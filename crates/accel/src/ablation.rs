@@ -1,0 +1,245 @@
+//! Design-space ablations for the pattern-aware architecture.
+//!
+//! DESIGN.md calls out three load-bearing design choices the paper makes
+//! implicitly; each gets a sweep here:
+//!
+//! 1. **Barrier granularity** — the shared-activation dataflow can
+//!    barrier per input channel (simple control, poor MAC packing for
+//!    small `n`) or aggregate a window's work across input channels
+//!    before issuing (what the paper's pipelining achieves);
+//! 2. **MACs per PE** — 4 in the paper; fewer starve throughput, more
+//!    waste slots at low `n`;
+//! 3. **PE count** — 64 in the paper; interacts with layer output-channel
+//!    counts through tile fragmentation.
+
+use crate::config::AccelConfig;
+use crate::pe::{PeGroup, StepStats};
+use crate::pipeline::PipelineModel;
+use crate::sim::{dense_layer_cycles, simulate_layer, LayerSim};
+use pcnn_core::plan::LayerPlan;
+use pcnn_core::Pattern;
+use pcnn_nn::zoo::ConvSpec;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// When the lock-step PE group synchronises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncGranularity {
+    /// One barrier per (window, input channel): every PE's per-channel
+    /// work rounds up to a MAC-group boundary separately.
+    PerInputChannel,
+    /// One barrier per window: a PE's work across all input channels
+    /// packs into its MAC units back-to-back (the paper's pipelined
+    /// dataflow).
+    WindowAggregated,
+}
+
+/// Simulates one PCNN layer under the chosen barrier granularity.
+/// `WindowAggregated` reproduces [`simulate_layer`]'s model.
+pub fn simulate_layer_sync(
+    spec: &ConvSpec,
+    lp: LayerPlan,
+    act_density: f64,
+    cfg: &AccelConfig,
+    seed: u64,
+    sync: SyncGranularity,
+) -> LayerSim {
+    if sync == SyncGranularity::WindowAggregated {
+        return simulate_layer(spec, lp, act_density, cfg, seed);
+    }
+    let area = spec.kernel_area();
+    let pats: Vec<u16> = Pattern::enumerate(area, lp.n.min(area))
+        .into_iter()
+        .take(lp.effective_patterns(area))
+        .map(|p| p.mask())
+        .collect();
+    let (oh, ow) = spec.out_hw();
+    let windows = oh * ow;
+    let tiles = spec.out_c.div_ceil(cfg.pe_count);
+    let group = PeGroup::new(cfg.pe_count, cfg.macs_per_pe);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let kernel_masks: Vec<u16> = (0..spec.in_c * spec.out_c)
+        .map(|_| pats[rng.gen_range(0..pats.len())])
+        .collect();
+
+    let full: u16 = (1u16 << area) - 1;
+    let mut stats = StepStats::default();
+    let mut eff = vec![0u64; cfg.pe_count];
+    for _w in 0..windows {
+        for ic in 0..spec.in_c {
+            let amask = if act_density >= 1.0 {
+                full
+            } else {
+                let mut m = 0u16;
+                for b in 0..area {
+                    if rng.gen_bool(act_density) {
+                        m |= 1 << b;
+                    }
+                }
+                m
+            };
+            for tile in 0..tiles {
+                let base = tile * cfg.pe_count;
+                let active = (spec.out_c - base).min(cfg.pe_count);
+                for (i, e) in eff.iter_mut().take(active).enumerate() {
+                    *e = (kernel_masks[(base + i) * spec.in_c + ic] & amask).count_ones() as u64;
+                }
+                stats.add(group.step(&eff[..active]));
+            }
+        }
+    }
+
+    let pipe = PipelineModel::new(cfg.pipeline_stages);
+    LayerSim {
+        name: format!("{} (per-ic barrier)", spec.name),
+        dense_cycles: dense_layer_cycles(spec, cfg),
+        cycles: pipe.total_cycles(stats.cycles),
+        stats,
+        fetch_rows: 0,
+    }
+}
+
+/// One point of a configuration sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub value: usize,
+    /// Speedup over the (same-configuration) dense baseline.
+    pub speedup: f64,
+    /// MAC-slot utilisation.
+    pub utilization: f64,
+}
+
+/// Sweeps MACs-per-PE, holding everything else at `cfg`.
+pub fn sweep_macs_per_pe(
+    spec: &ConvSpec,
+    lp: LayerPlan,
+    act_density: f64,
+    cfg: &AccelConfig,
+    values: &[usize],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    values
+        .iter()
+        .map(|&m| {
+            let c = AccelConfig {
+                macs_per_pe: m,
+                ..*cfg
+            };
+            let sim = simulate_layer(spec, lp, act_density, &c, seed);
+            SweepPoint {
+                value: m,
+                speedup: sim.speedup(),
+                utilization: sim.utilization(),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the PE count, holding everything else at `cfg`.
+pub fn sweep_pe_count(
+    spec: &ConvSpec,
+    lp: LayerPlan,
+    act_density: f64,
+    cfg: &AccelConfig,
+    values: &[usize],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    values
+        .iter()
+        .map(|&p| {
+            let c = AccelConfig {
+                pe_count: p,
+                ..*cfg
+            };
+            let sim = simulate_layer(spec, lp, act_density, &c, seed);
+            SweepPoint {
+                value: p,
+                speedup: sim.speedup(),
+                utilization: sim.utilization(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ConvSpec {
+        ConvSpec {
+            name: "ablate".into(),
+            in_c: 64,
+            out_c: 64,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 8,
+            in_w: 8,
+            prunable: true,
+        }
+    }
+
+    #[test]
+    fn window_aggregation_beats_per_channel_barriers() {
+        // With n = 1, a per-channel barrier wastes 3 of 4 MAC slots every
+        // step; aggregation reaches ≈ 9/n.
+        let cfg = AccelConfig::default();
+        let lp = LayerPlan {
+            n: 1,
+            max_patterns: 8,
+        };
+        let agg = simulate_layer_sync(&spec(), lp, 1.0, &cfg, 7, SyncGranularity::WindowAggregated);
+        let per_ic =
+            simulate_layer_sync(&spec(), lp, 1.0, &cfg, 7, SyncGranularity::PerInputChannel);
+        assert!(agg.speedup() > 8.0, "aggregated {}", agg.speedup());
+        assert!(per_ic.speedup() < 3.5, "per-ic {}", per_ic.speedup());
+        assert!(agg.utilization() > per_ic.utilization());
+    }
+
+    #[test]
+    fn per_channel_barrier_matches_hand_count() {
+        // n = 1, dense acts: each per-ic step issues 1 MAC in 1 cycle;
+        // dense needs ceil(9·64/4) per window vs 64 sparse cycles →
+        // exactly 2.25× before pipeline constants.
+        let cfg = AccelConfig::default();
+        let lp = LayerPlan {
+            n: 1,
+            max_patterns: 8,
+        };
+        let per_ic =
+            simulate_layer_sync(&spec(), lp, 1.0, &cfg, 3, SyncGranularity::PerInputChannel);
+        let windows = 64u64;
+        assert_eq!(per_ic.stats.cycles, windows * 64);
+    }
+
+    #[test]
+    fn more_macs_per_pe_lower_utilization_at_fixed_n() {
+        let cfg = AccelConfig::default();
+        let lp = LayerPlan {
+            n: 2,
+            max_patterns: 32,
+        };
+        let points = sweep_macs_per_pe(&spec(), lp, 1.0, &cfg, &[1, 2, 4, 8, 16], 5);
+        // Utilisation degrades once per-PE work per window (n·in_c = 128)
+        // stops dividing the MAC width evenly; at 16 MACs it's still fine
+        // here, so check the trend weakly: min util at the largest width.
+        let min = points
+            .iter()
+            .map(|p| p.utilization)
+            .fold(f64::INFINITY, f64::min);
+        assert!(points.last().unwrap().utilization <= min + 1e-9 || min > 0.95);
+    }
+
+    #[test]
+    fn pe_count_fragmentation() {
+        // out_c = 64: 48 PEs leave a 16-wide ragged tile → worse
+        // utilisation than 64 PEs.
+        let cfg = AccelConfig::default();
+        let lp = LayerPlan {
+            n: 4,
+            max_patterns: 32,
+        };
+        let points = sweep_pe_count(&spec(), lp, 1.0, &cfg, &[48, 64], 5);
+        assert!(points[1].utilization > points[0].utilization);
+    }
+}

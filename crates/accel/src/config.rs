@@ -1,0 +1,108 @@
+//! Architecture parameters of the pattern-aware accelerator.
+
+/// Static configuration of the simulated accelerator.
+///
+/// Defaults match the paper's implementation: 64 PEs with 4 MAC units
+/// each (256 MACs/cycle), 300 MHz at 1 V in a 55 nm process, a 128 KB
+/// weight SRAM, a 4 KB pattern SRAM, and 60-word kernel/SPM register
+/// files (60 = lcm(1..6), so kernels with 1–6 non-zeros never straddle a
+/// register refill).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Number of processing elements.
+    pub pe_count: usize,
+    /// MAC units per PE.
+    pub macs_per_pe: usize,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// Supply voltage in volts (reported only; the power model is a
+    /// lookup calibrated at 1 V).
+    pub voltage: f64,
+    /// Weight SRAM capacity in KiB.
+    pub weight_sram_kb: usize,
+    /// Pattern SRAM capacity in KiB.
+    pub pattern_sram_kb: usize,
+    /// Activation (data) SRAM capacity in KiB.
+    pub data_sram_kb: usize,
+    /// Kernel register file depth in words (one weight per word).
+    pub kernel_rf_words: usize,
+    /// Stored weight precision in bits.
+    pub weight_bits: u32,
+    /// Pipeline depth (Figure 5: preprocess, pointer-gen, MAC, ReLU).
+    pub pipeline_stages: usize,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig {
+            pe_count: 64,
+            macs_per_pe: 4,
+            freq_mhz: 300.0,
+            voltage: 1.0,
+            weight_sram_kb: 128,
+            pattern_sram_kb: 4,
+            data_sram_kb: 256,
+            kernel_rf_words: 60,
+            weight_bits: 8,
+            pipeline_stages: 4,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// Total MAC throughput per cycle (`pe_count × macs_per_pe`).
+    pub fn macs_per_cycle(&self) -> usize {
+        self.pe_count * self.macs_per_pe
+    }
+
+    /// Peak throughput in GOPS, counting one MAC as two operations
+    /// (multiply + add), the convention behind the paper's TOPS/W.
+    pub fn peak_gops(&self) -> f64 {
+        2.0 * self.macs_per_cycle() as f64 * self.freq_mhz * 1e6 / 1e9
+    }
+
+    /// Number of 3×3 kernels with `nnz` non-zeros (8-bit) the weight SRAM
+    /// holds (paper: "a 128 KB weight SRAM … holding up to 32768 kernels
+    /// of 3×3 size with 4 non-zeros with 8-bit quantization").
+    pub fn weight_sram_kernels(&self, nnz: usize) -> usize {
+        assert!(nnz > 0, "nnz must be positive");
+        self.weight_sram_kb * 1024 * 8 / (nnz as u32 * self.weight_bits) as usize
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / (self.freq_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = AccelConfig::default();
+        assert_eq!(c.macs_per_cycle(), 256);
+        // 2 × 256 × 300 MHz = 153.6 GOPS peak.
+        assert!((c.peak_gops() - 153.6).abs() < 1e-9);
+        // 128 KB holds 32768 kernels at n = 4 × 8 bits.
+        assert_eq!(c.weight_sram_kernels(4), 32_768);
+        // 60-word register file is the lcm of 1..=6.
+        for n in 1..=6 {
+            assert_eq!(c.kernel_rf_words % n, 0);
+        }
+    }
+
+    #[test]
+    fn cycle_time() {
+        let c = AccelConfig::default();
+        assert!((c.cycle_time_s() - 1.0 / 300e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sram_kernel_capacity_scales() {
+        let c = AccelConfig::default();
+        assert_eq!(c.weight_sram_kernels(1), 131_072);
+        assert_eq!(c.weight_sram_kernels(8), 16_384);
+    }
+}

@@ -1,0 +1,102 @@
+//! The SPM pattern decoder.
+//!
+//! Pattern Config (PaC) loads a layer's SPM mapping table from Pattern
+//! SRAM; during execution the decoder expands each kernel's SPM code to
+//! its `k²`-bit weight mask in one pipelined cycle (Figure 3a).
+
+use pcnn_core::PatternSet;
+
+/// A loaded SPM mapping table: code → weight mask.
+#[derive(Debug, Clone)]
+pub struct PatternDecoder {
+    masks: Vec<u16>,
+    area: usize,
+    nnz: usize,
+}
+
+impl PatternDecoder {
+    /// Loads the decoder with a layer's pattern set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set mixes pattern weights (PCNN layers are
+    /// constant-`n` by construction).
+    pub fn load(set: &PatternSet) -> Self {
+        let nnz = set.iter().next().map_or(0, |p| p.weight());
+        assert!(
+            set.iter().all(|p| p.weight() == nnz),
+            "pattern set mixes weights"
+        );
+        PatternDecoder {
+            masks: set.iter().map(|p| p.mask()).collect(),
+            area: set.area(),
+            nnz,
+        }
+    }
+
+    /// Decodes an SPM code to its weight mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of table range (a malformed workload).
+    pub fn decode(&self, code: u16) -> u16 {
+        self.masks[code as usize]
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Kernel area covered by the masks.
+    pub fn area(&self) -> usize {
+        self.area
+    }
+
+    /// Non-zeros per kernel for this layer.
+    pub fn nonzeros_per_kernel(&self) -> usize {
+        self.nnz
+    }
+
+    /// Storage the table occupies in Pattern SRAM, in bits (one
+    /// `area`-bit mask per entry).
+    pub fn table_bits(&self) -> u64 {
+        (self.masks.len() * self.area) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_core::{Pattern, PatternSet};
+
+    #[test]
+    fn decode_roundtrip() {
+        let set = PatternSet::full(9, 4);
+        let dec = PatternDecoder::load(&set);
+        assert_eq!(dec.entries(), 126);
+        assert_eq!(dec.nonzeros_per_kernel(), 4);
+        for code in 0..set.len() {
+            assert_eq!(dec.decode(code as u16), set.get(code).mask());
+        }
+    }
+
+    #[test]
+    fn table_bits_match_sram_budget() {
+        // 16 patterns × 9 bits = 144 bits per layer; 13 VGG layers need
+        // well under the 4 KB pattern SRAM (the SRAM also holds codes).
+        let set =
+            PatternSet::from_patterns(Pattern::enumerate(9, 4).into_iter().take(16).collect());
+        let dec = PatternDecoder::load(&set);
+        assert_eq!(dec.table_bits(), 144);
+        assert!(dec.table_bits() * 13 < 4 * 1024 * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decode_out_of_range_panics() {
+        let set = PatternSet::full(9, 1);
+        let dec = PatternDecoder::load(&set);
+        let _ = dec.decode(100);
+    }
+}

@@ -1,0 +1,192 @@
+//! Off-chip (DRAM) traffic and energy model.
+//!
+//! The paper's introduction motivates pruning with the cost of moving
+//! "large amounts of data from DRAM to the on-chip memory". This module
+//! quantifies that: per-inference DRAM bytes for weights (dense, SPM,
+//! CSC) and activations, and an energy estimate using the standard
+//! DRAM-access-dominates energy ratios (a DRAM access costs two orders
+//! of magnitude more than an SRAM access; defaults follow the figures
+//! popularised by the EIE/Eyeriss line of work for 45 nm).
+
+use pcnn_core::compress::StorageModel;
+use pcnn_core::plan::PrunePlan;
+use pcnn_nn::zoo::NetworkShape;
+
+/// Energy cost constants, picojoules per byte moved/accessed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// DRAM access energy per byte.
+    pub dram_pj_per_byte: f64,
+    /// On-chip SRAM access energy per byte.
+    pub sram_pj_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    /// ≈640 pJ per 32-bit DRAM word and ≈5 pJ per 32-bit SRAM word
+    /// (Horowitz ISSCC'14 figures, as used by EIE): 160 / 1.25 pJ per
+    /// byte.
+    fn default() -> Self {
+        EnergyModel {
+            dram_pj_per_byte: 160.0,
+            sram_pj_per_byte: 1.25,
+        }
+    }
+}
+
+/// Per-inference DRAM traffic of one configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficReport {
+    /// Weight bytes fetched from DRAM (once per inference, assuming no
+    /// on-chip residency across layers).
+    pub weight_bytes: u64,
+    /// Index bytes (SPM codes + tables, or CSC run-lengths).
+    pub index_bytes: u64,
+    /// Activation bytes moved (inputs read + outputs written per layer).
+    pub activation_bytes: u64,
+}
+
+impl TrafficReport {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.index_bytes + self.activation_bytes
+    }
+
+    /// Energy in microjoules under the given model (all traffic charged
+    /// at DRAM cost).
+    pub fn energy_uj(&self, energy: &EnergyModel) -> f64 {
+        self.total_bytes() as f64 * energy.dram_pj_per_byte / 1e6
+    }
+}
+
+/// Weight storage format for traffic accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightFormat {
+    /// Uncompressed weights.
+    Dense,
+    /// SPM: packed non-zeros + per-kernel codes + per-layer tables.
+    Spm,
+    /// CSC/EIE: packed non-zeros + per-non-zero run lengths.
+    Csc,
+}
+
+/// Computes per-inference DRAM traffic for `net` under `plan` (or dense
+/// when `plan` is `None`), with `act_bits`-bit activations and the
+/// storage model's weight precision.
+///
+/// # Panics
+///
+/// Panics on plan/network mismatch.
+pub fn network_traffic(
+    net: &NetworkShape,
+    plan: Option<&PrunePlan>,
+    format: WeightFormat,
+    storage: &StorageModel,
+    act_bits: u32,
+) -> TrafficReport {
+    let mut report = TrafficReport::default();
+    let wb = storage.weight_bits as u64;
+
+    // Activations: every conv reads its input map and writes its output.
+    for conv in &net.convs {
+        let (oh, ow) = conv.out_hw();
+        let input = (conv.in_c * conv.in_h * conv.in_w) as u64;
+        let output = (conv.out_c * oh * ow) as u64;
+        report.activation_bytes += (input + output) * act_bits as u64 / 8;
+    }
+
+    match (plan, format) {
+        (None, _) | (_, WeightFormat::Dense) => {
+            for conv in &net.convs {
+                report.weight_bytes += conv.weights() * wb / 8;
+            }
+        }
+        (Some(plan), WeightFormat::Spm) => {
+            let rep = pcnn_core::compress::pcnn_compression(net, plan, storage);
+            report.weight_bytes = rep.layers.iter().map(|l| l.spm_weight_bits).sum::<u64>() / 8;
+            report.index_bytes = rep.index_bits.div_ceil(8);
+        }
+        (Some(plan), WeightFormat::Csc) => {
+            let n_prunable = net.convs.iter().filter(|c| c.prunable).count();
+            assert_eq!(plan.layers().len(), n_prunable, "plan/net mismatch");
+            let mut it = plan.layers().iter();
+            for conv in &net.convs {
+                if conv.prunable {
+                    let lp = it.next().expect("plan exhausted");
+                    let kept = conv.kernels() * lp.n as u64;
+                    report.weight_bytes += kept * wb / 8;
+                    report.index_bytes += kept * storage.csc_index_bits as u64 / 8;
+                } else {
+                    report.weight_bytes += conv.weights() * wb / 8;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_nn::zoo::vgg16_cifar;
+
+    fn storage8() -> StorageModel {
+        StorageModel {
+            weight_bits: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dense_weight_traffic_is_param_count_at_8bit() {
+        let net = vgg16_cifar();
+        let t = network_traffic(&net, None, WeightFormat::Dense, &storage8(), 8);
+        assert_eq!(t.weight_bytes, net.conv_params());
+        assert_eq!(t.index_bytes, 0);
+        assert!(t.activation_bytes > 0);
+    }
+
+    #[test]
+    fn spm_cuts_weight_traffic_by_9_over_n() {
+        let net = vgg16_cifar();
+        let plan = PrunePlan::uniform(13, 1, 8);
+        let dense = network_traffic(&net, None, WeightFormat::Dense, &storage8(), 8);
+        let spm = network_traffic(&net, Some(&plan), WeightFormat::Spm, &storage8(), 8);
+        let ratio = dense.weight_bytes as f64 / spm.weight_bytes as f64;
+        assert!((ratio - 9.0).abs() < 1e-9);
+        // Activations unchanged by weight pruning.
+        assert_eq!(dense.activation_bytes, spm.activation_bytes);
+    }
+
+    #[test]
+    fn spm_index_traffic_below_csc() {
+        let net = vgg16_cifar();
+        let plan = PrunePlan::uniform(13, 4, 16);
+        let spm = network_traffic(&net, Some(&plan), WeightFormat::Spm, &storage8(), 8);
+        let csc = network_traffic(&net, Some(&plan), WeightFormat::Csc, &storage8(), 8);
+        assert!(
+            spm.index_bytes * 3 < csc.index_bytes,
+            "spm {} vs csc {}",
+            spm.index_bytes,
+            csc.index_bytes
+        );
+        assert_eq!(spm.weight_bytes, csc.weight_bytes);
+    }
+
+    #[test]
+    fn energy_scales_with_traffic() {
+        let e = EnergyModel::default();
+        let a = TrafficReport {
+            weight_bytes: 1000,
+            index_bytes: 0,
+            activation_bytes: 0,
+        };
+        let b = TrafficReport {
+            weight_bytes: 2000,
+            index_bytes: 0,
+            activation_bytes: 0,
+        };
+        assert!((b.energy_uj(&e) - 2.0 * a.energy_uj(&e)).abs() < 1e-12);
+        // DRAM dominates SRAM by two orders of magnitude in the defaults.
+        assert!(e.dram_pj_per_byte / e.sram_pj_per_byte > 100.0);
+    }
+}

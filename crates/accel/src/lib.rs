@@ -1,0 +1,59 @@
+//! Cycle-level simulator of the PCNN pattern-aware accelerator.
+//!
+//! The paper implements its architecture in RTL (UMC 55 nm, 300 MHz, 1 V)
+//! and measures speedup with VCS and area/power with Design Compiler.
+//! This crate replaces that flow with a cycle-level model that is
+//! *functionally verified* against the golden dense convolution of
+//! `pcnn-tensor`:
+//!
+//! * [`config`] — architecture parameters (64 PEs × 4 MACs, SRAM sizes,
+//!   clock, the 60-word kernel register file);
+//! * [`decoder`] — the SPM pattern decoder (code → 9-bit weight mask via
+//!   the per-layer mapping table held in Pattern SRAM);
+//! * [`sparsity`] — the sparsity-IO pointer generator: activation
+//!   zero-detect, mask AND, and the backward adder–AND offset chain of
+//!   Figure 4c;
+//! * [`memory`] — Figure 3's memory system: weight/pattern/data SRAMs,
+//!   the 60-word kernel register file alignment rules, and the packed
+//!   weight fetch layout of Figure 3b;
+//! * [`pe`] — the sparsity-aware PE group: shared-activation dataflow,
+//!   per-window barrier, per-PE MAC issue, workload-balance accounting;
+//! * [`pipeline`] — the 4-stage pipeline of Figure 5 (data preprocess →
+//!   pointer generation → MAC → accumulate/ReLU);
+//! * [`sim`] — whole-layer / whole-network cycle simulation with dense,
+//!   PCNN, and irregular-sparse modes;
+//! * [`power`] — the Table IX area/power budget and the TOPS/W model;
+//! * [`ablation`] — design-space sweeps (barrier granularity, MACs/PE,
+//!   PE count);
+//! * [`quant_exec`] — the 8-bit integer datapath (per-layer symmetric
+//!   quantisation, i32 accumulation).
+//!
+//! # Example: speedup of an n = 1 PCNN configuration
+//!
+//! ```
+//! use pcnn_accel::{config::AccelConfig, sim};
+//! use pcnn_nn::zoo::vgg16_cifar;
+//! use pcnn_core::PrunePlan;
+//!
+//! let cfg = AccelConfig::default();
+//! let net = vgg16_cifar();
+//! let plan = PrunePlan::uniform(13, 1, 8);
+//! let report = sim::simulate_network(&net, Some(&plan), 1.0, &cfg, 1);
+//! assert!(report.speedup() > 8.0 && report.speedup() < 10.0);
+//! ```
+
+pub mod ablation;
+pub mod config;
+pub mod decoder;
+pub mod dram;
+pub mod memory;
+pub mod pe;
+pub mod pipeline;
+pub mod power;
+pub mod quant_exec;
+pub mod scheduler;
+pub mod sim;
+pub mod sparsity;
+pub mod trace;
+
+pub use config::AccelConfig;

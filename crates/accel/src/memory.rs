@@ -1,0 +1,266 @@
+//! The memory system of Figure 3: weight / pattern / data SRAMs, the
+//! 60-word kernel register file, and the packed weight fetch layout.
+
+use crate::config::AccelConfig;
+
+/// How kernels of a given sparsity pack into weight-SRAM fetch rows
+/// (Figure 3b). A fetch row delivers 8 weights; kernels never straddle a
+/// *group* of `fetches_per_group` rows:
+///
+/// * n = 2 → 4 filters per data fetch,
+/// * n = 3 → 8 filters each 3 data fetches,
+/// * n = 4 → 2 filters per fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightLayout {
+    /// Non-zeros per kernel.
+    pub nnz: usize,
+    /// Weights delivered per fetch row.
+    pub row_weights: usize,
+    /// Fetch rows per alignment group.
+    pub fetches_per_group: usize,
+    /// Kernels per alignment group.
+    pub kernels_per_group: usize,
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+impl WeightLayout {
+    /// Layout for kernels with `nnz` stored weights and 8-weight fetch
+    /// rows (64-bit rows of 8-bit weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nnz` is zero.
+    pub fn for_nnz(nnz: usize) -> Self {
+        assert!(nnz > 0, "nnz must be positive");
+        let row_weights = 8usize;
+        let group = lcm(nnz, row_weights);
+        WeightLayout {
+            nnz,
+            row_weights,
+            fetches_per_group: group / row_weights,
+            kernels_per_group: group / nnz,
+        }
+    }
+
+    /// Fetch rows needed to deliver `kernels` kernels (whole groups).
+    pub fn fetches_for(&self, kernels: usize) -> usize {
+        let groups = kernels.div_ceil(self.kernels_per_group);
+        groups * self.fetches_per_group
+    }
+}
+
+/// The 60-word kernel register file: how many kernels one refill holds.
+///
+/// Kernels with 1–6 non-zeros divide 60 exactly ("the sizes of kernel
+/// and SPM registers are 60-word which can integrally store kernels that
+/// contain 1 to 6 non-zero weights"); 7–9 non-zeros pad to 10 words
+/// ("for other sparsities, we pad zeros to align the memory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelRegisterFile {
+    /// Register depth in words.
+    pub words: usize,
+}
+
+impl KernelRegisterFile {
+    /// A register file of `words` entries.
+    pub fn new(words: usize) -> Self {
+        KernelRegisterFile { words }
+    }
+
+    /// Padded storage slot for one kernel of `nnz` non-zeros: the
+    /// smallest divisor of the register depth that is ≥ `nnz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nnz` is zero or exceeds the register depth.
+    pub fn padded_len(&self, nnz: usize) -> usize {
+        assert!(nnz > 0 && nnz <= self.words, "invalid nnz {nnz}");
+        (nnz..=self.words)
+            .find(|d| self.words % d == 0)
+            .expect("words is its own divisor")
+    }
+
+    /// Kernels held per refill for the given sparsity.
+    pub fn kernels_per_refill(&self, nnz: usize) -> usize {
+        self.words / self.padded_len(nnz)
+    }
+
+    /// Fraction of register words wasted by padding.
+    pub fn padding_overhead(&self, nnz: usize) -> f64 {
+        let pad = self.padded_len(nnz);
+        (pad - nnz) as f64 / pad as f64
+    }
+}
+
+/// Byte/overhead accounting of a whole PCNN workload in on-chip memory.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryFootprint {
+    /// Packed non-zero weight bytes.
+    pub weight_bytes: u64,
+    /// SPM code bytes (codes are packed at their bit width).
+    pub code_bytes: u64,
+    /// Mapping-table bytes.
+    pub table_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Footprint of `kernels` kernels at `nnz` non-zeros with
+    /// `code_bits`-bit SPM codes and a `patterns`-entry table.
+    pub fn pcnn(
+        kernels: u64,
+        nnz: usize,
+        code_bits: u32,
+        patterns: usize,
+        area: usize,
+        weight_bits: u32,
+    ) -> Self {
+        MemoryFootprint {
+            weight_bytes: (kernels * nnz as u64 * weight_bits as u64).div_ceil(8),
+            code_bytes: (kernels * code_bits as u64).div_ceil(8),
+            table_bytes: ((patterns * area) as u64).div_ceil(8),
+        }
+    }
+
+    /// Bit-exact index overhead relative to weight storage. Note this is
+    /// *not* the paper's headline 3.1 % — that figure is the provisioned
+    /// SRAM ratio ([`provisioned_index_overhead`]): at 8-bit weights,
+    /// 4-bit codes per 4-non-zero kernel are 12.5 % bit-exact, and the
+    /// paper's 4 KB pattern SRAM cannot hold codes for all 32 768
+    /// resident kernels at once (codes stream with the weights).
+    pub fn index_overhead(&self) -> f64 {
+        (self.code_bytes + self.table_bytes) as f64 / self.weight_bytes.max(1) as f64
+    }
+}
+
+/// The paper's memory-overhead metric: provisioned pattern SRAM over
+/// provisioned weight SRAM ("this architecture introduces only 3.1%
+/// memory overhead to store indices" = 4 KB / 128 KB).
+pub fn provisioned_index_overhead(cfg: &AccelConfig) -> f64 {
+    cfg.pattern_sram_kb as f64 / cfg.weight_sram_kb as f64
+}
+
+/// EIE-style CSC index cost for the same number of non-zeros: 4 bits per
+/// non-zero weight (the paper's comparison: "64 KB index SRAM is needed
+/// to denote 128 K weights").
+pub fn csc_index_bytes(nonzeros: u64, index_bits: u32) -> u64 {
+    (nonzeros * index_bits as u64).div_ceil(8)
+}
+
+/// Checks a footprint against the configured SRAM sizes.
+pub fn fits(cfg: &AccelConfig, fp: &MemoryFootprint) -> bool {
+    fp.weight_bytes <= (cfg.weight_sram_kb * 1024) as u64
+        && fp.code_bytes + fp.table_bytes <= (cfg.pattern_sram_kb * 1024) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3b_layouts() {
+        // n = 2: 4 filters per fetch row.
+        let l2 = WeightLayout::for_nnz(2);
+        assert_eq!(l2.fetches_per_group, 1);
+        assert_eq!(l2.kernels_per_group, 4);
+        // n = 3: 8 filters per 3 fetch rows.
+        let l3 = WeightLayout::for_nnz(3);
+        assert_eq!(l3.fetches_per_group, 3);
+        assert_eq!(l3.kernels_per_group, 8);
+        // n = 4: 2 filters per fetch row.
+        let l4 = WeightLayout::for_nnz(4);
+        assert_eq!(l4.fetches_per_group, 1);
+        assert_eq!(l4.kernels_per_group, 2);
+    }
+
+    #[test]
+    fn fetch_count_rounds_up_to_groups() {
+        let l3 = WeightLayout::for_nnz(3);
+        assert_eq!(l3.fetches_for(8), 3);
+        assert_eq!(l3.fetches_for(9), 6);
+        assert_eq!(l3.fetches_for(1), 3);
+        assert_eq!(l3.fetches_for(0), 0);
+    }
+
+    #[test]
+    fn kernel_rf_integral_for_1_to_6() {
+        let rf = KernelRegisterFile::new(60);
+        for nnz in 1..=6 {
+            assert_eq!(rf.padded_len(nnz), nnz, "no padding for nnz {nnz}");
+            assert_eq!(rf.kernels_per_refill(nnz), 60 / nnz);
+            assert_eq!(rf.padding_overhead(nnz), 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_rf_pads_7_to_9() {
+        let rf = KernelRegisterFile::new(60);
+        for nnz in 7..=9 {
+            assert_eq!(rf.padded_len(nnz), 10, "nnz {nnz} pads to 10");
+            assert_eq!(rf.kernels_per_refill(nnz), 6);
+            assert!(rf.padding_overhead(nnz) > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_memory_overhead_3_1_percent() {
+        // The paper's 3.1 % is the provisioned SRAM ratio: 4 KB pattern
+        // SRAM against 128 KB weight SRAM.
+        let cfg = AccelConfig::default();
+        let ov = provisioned_index_overhead(&cfg);
+        assert!((ov - 0.03125).abs() < 1e-9, "overhead {ov}");
+    }
+
+    #[test]
+    fn bit_exact_footprint() {
+        // 32768 kernels × 4 non-zeros × 8 bits fills the 128 KB weight
+        // SRAM; 16 patterns/layer → 4-bit codes = 16 KB bit-exact
+        // (12.5 % of the 8-bit weights; it would be 3.1 % of 32-bit
+        // weights, which is the compression-table accounting).
+        let fp = MemoryFootprint::pcnn(32_768, 4, 4, 16, 9, 8);
+        assert_eq!(fp.weight_bytes, 128 * 1024);
+        assert_eq!(fp.code_bytes, 16 * 1024);
+        assert!((fp.index_overhead() - 0.125).abs() < 0.001);
+        let fp32 = MemoryFootprint::pcnn(32_768, 4, 4, 16, 9, 32);
+        assert!((fp32.index_overhead() - 0.03125).abs() < 0.001);
+    }
+
+    #[test]
+    fn fits_checks_both_srams() {
+        let cfg = AccelConfig::default();
+        // 8 000 kernels: 32 KB of weights, 4 000 B of codes — fits.
+        let ok = MemoryFootprint::pcnn(8_000, 4, 4, 16, 9, 8);
+        assert!(fits(&cfg, &ok));
+        // Over-full weight SRAM: rejected.
+        let too_big = MemoryFootprint::pcnn(40_000, 4, 4, 16, 9, 8);
+        assert!(!fits(&cfg, &too_big));
+    }
+
+    #[test]
+    fn eie_csc_overhead_matches_paper() {
+        // "64 KB index SRAM is needed to denote 128 K weights" at 4 bits.
+        assert_eq!(csc_index_bytes(131_072, 4), 64 * 1024);
+    }
+
+    #[test]
+    fn csc_overhead_is_about_3x_spm() {
+        // The same 128 K non-zeros under SPM: 32768 kernels × 4-bit codes
+        // ≈ 16 KB + table ≈ 16 KB vs CSC 64 KB → ≈ 4× more; with 7-bit
+        // full-set codes ≈ 28 KB → ≈ 2.3×. The paper's "three times"
+        // sits between these; assert the ballpark.
+        let spm = MemoryFootprint::pcnn(32_768, 4, 5, 32, 9, 8);
+        let csc = csc_index_bytes(131_072, 4);
+        let factor = csc as f64 / (spm.code_bytes + spm.table_bytes) as f64;
+        assert!(factor > 2.0 && factor < 4.5, "factor {factor}");
+    }
+}

@@ -1,0 +1,152 @@
+//! The sparsity-aware PE group (Figure 4a).
+//!
+//! 64 PEs share one activation register file ("shared-activation
+//! datapath"); each PE holds a different filter's compressed weights and
+//! has 4 MAC units. Because every PE must wait for the slowest one
+//! before the next window is broadcast (the per-window barrier), the
+//! group's cycle count for a step is the *maximum* over PEs of
+//! `ceil(effectual_i / macs_per_pe)` — which is why PCNN's identical
+//! per-kernel non-zero counts translate directly into utilisation.
+
+/// The PE-group cycle/utilisation model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeGroup {
+    /// Number of PEs ganged on the shared activation bus.
+    pub pe_count: usize,
+    /// MAC units per PE.
+    pub macs_per_pe: usize,
+}
+
+/// Cycle and MAC-slot accounting of one or more lock-step steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Cycles consumed (max over PEs, summed over steps).
+    pub cycles: u64,
+    /// Effectual MACs actually issued.
+    pub used_macs: u64,
+    /// MAC slots available during those cycles
+    /// (`cycles × pe_count × macs_per_pe`).
+    pub slot_macs: u64,
+}
+
+impl StepStats {
+    /// MAC-slot utilisation in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.used_macs as f64 / self.slot_macs.max(1) as f64
+    }
+
+    /// Accumulates another step's stats.
+    pub fn add(&mut self, other: StepStats) {
+        self.cycles += other.cycles;
+        self.used_macs += other.used_macs;
+        self.slot_macs += other.slot_macs;
+    }
+}
+
+impl PeGroup {
+    /// Creates a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(pe_count: usize, macs_per_pe: usize) -> Self {
+        assert!(
+            pe_count > 0 && macs_per_pe > 0,
+            "PE group dimensions must be positive"
+        );
+        PeGroup {
+            pe_count,
+            macs_per_pe,
+        }
+    }
+
+    /// Cycle cost of one lock-step step given each active PE's effectual
+    /// MAC count (`effectual.len() ≤ pe_count`; missing PEs idle).
+    ///
+    /// A step with no work still costs one cycle (the barrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more counts than PEs are supplied.
+    pub fn step(&self, effectual: &[u64]) -> StepStats {
+        assert!(
+            effectual.len() <= self.pe_count,
+            "more work queues than PEs"
+        );
+        let max = effectual.iter().copied().max().unwrap_or(0);
+        let cycles = max.div_ceil(self.macs_per_pe as u64).max(1);
+        StepStats {
+            cycles,
+            used_macs: effectual.iter().sum(),
+            slot_macs: cycles * (self.pe_count * self.macs_per_pe) as u64,
+        }
+    }
+
+    /// Cycles a fully dense step takes: every PE processes `work` MACs.
+    pub fn dense_step_cycles(&self, work: u64) -> u64 {
+        work.div_ceil(self.macs_per_pe as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_step_is_fully_utilised_at_multiples() {
+        let g = PeGroup::new(4, 4);
+        // Each of 4 PEs does 8 MACs → 2 cycles, 32 used of 32 slots.
+        let s = g.step(&[8, 8, 8, 8]);
+        assert_eq!(s.cycles, 2);
+        assert_eq!(s.used_macs, 32);
+        assert_eq!(s.slot_macs, 32);
+        assert_eq!(s.utilization(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_wastes_slots() {
+        let g = PeGroup::new(4, 4);
+        // One straggler with 16 MACs forces 4 cycles on everyone.
+        let s = g.step(&[16, 4, 4, 4]);
+        assert_eq!(s.cycles, 4);
+        assert_eq!(s.used_macs, 28);
+        assert_eq!(s.slot_macs, 64);
+        assert!(s.utilization() < 0.5);
+    }
+
+    #[test]
+    fn empty_step_costs_one_cycle() {
+        let g = PeGroup::new(2, 4);
+        let s = g.step(&[0, 0]);
+        assert_eq!(s.cycles, 1);
+        assert_eq!(s.used_macs, 0);
+    }
+
+    #[test]
+    fn partial_occupancy_counts_idle_pes() {
+        let g = PeGroup::new(64, 4);
+        // Only one PE active → slots still charged for all 64.
+        let s = g.step(&[4]);
+        assert_eq!(s.cycles, 1);
+        assert_eq!(s.slot_macs, 256);
+        assert!((s.utilization() - 4.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let g = PeGroup::new(2, 2);
+        let mut acc = StepStats::default();
+        acc.add(g.step(&[2, 2]));
+        acc.add(g.step(&[4, 2]));
+        assert_eq!(acc.cycles, 1 + 2);
+        assert_eq!(acc.used_macs, 4 + 6);
+    }
+
+    #[test]
+    fn dense_step_rounds_up() {
+        let g = PeGroup::new(64, 4);
+        assert_eq!(g.dense_step_cycles(9), 3);
+        assert_eq!(g.dense_step_cycles(8), 2);
+        assert_eq!(g.dense_step_cycles(0), 1);
+    }
+}

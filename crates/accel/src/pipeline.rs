@@ -1,0 +1,76 @@
+//! The 4-stage pipeline of Figure 5 and double-buffered weight fetch.
+//!
+//! Stages: data preprocess (kernel restore + activation load +
+//! zero-detect) → sparsity-pointer generation → MAC → partial-sum
+//! accumulate / ReLU. All stages are pipelined, so steady-state
+//! throughput is set by the MAC stage; the other stages contribute fill
+//! and drain cycles per layer tile plus stalls when a weight-register
+//! refill cannot hide behind compute.
+
+/// Pipeline timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineModel {
+    /// Number of stages (4 in the paper).
+    pub stages: usize,
+}
+
+impl PipelineModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new(stages: usize) -> Self {
+        assert!(stages > 0, "pipeline needs at least one stage");
+        PipelineModel { stages }
+    }
+
+    /// Total cycles to flow `issue_cycles` of MAC-stage work through the
+    /// pipeline: fill (stages − 1) + issues.
+    pub fn total_cycles(&self, issue_cycles: u64) -> u64 {
+        if issue_cycles == 0 {
+            0
+        } else {
+            issue_cycles + (self.stages as u64 - 1)
+        }
+    }
+
+    /// Stall cycles for a double-buffered weight refill: the next tile's
+    /// `fetch_cycles` overlap the current tile's `compute_cycles`; only
+    /// the excess stalls. The first tile's fetch is always exposed.
+    pub fn refill_stalls(&self, fetch_cycles: u64, compute_cycles: u64, first_tile: bool) -> u64 {
+        if first_tile {
+            fetch_cycles
+        } else {
+            fetch_cycles.saturating_sub(compute_cycles)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_cost_once_per_flow() {
+        let p = PipelineModel::new(4);
+        assert_eq!(p.total_cycles(100), 103);
+        assert_eq!(p.total_cycles(1), 4);
+        assert_eq!(p.total_cycles(0), 0);
+    }
+
+    #[test]
+    fn refill_hides_behind_compute() {
+        let p = PipelineModel::new(4);
+        assert_eq!(p.refill_stalls(10, 100, false), 0);
+        assert_eq!(p.refill_stalls(150, 100, false), 50);
+        // The very first refill has nothing to hide behind.
+        assert_eq!(p.refill_stalls(10, 100, true), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_rejected() {
+        let _ = PipelineModel::new(0);
+    }
+}

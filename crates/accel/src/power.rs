@@ -1,0 +1,164 @@
+//! Area/power budget (Table IX) and the TOPS/W model.
+//!
+//! The paper obtains these numbers from Design Compiler in a UMC 55 nm
+//! standard-power CMOS process at 300 MHz / 1 V. We cannot run synthesis,
+//! so the per-component constants are calibrated to the paper's Table IX;
+//! everything derived (shares, totals, TOPS/W) is recomputed from them.
+
+use crate::config::AccelConfig;
+
+/// Area/power of one chip component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentBudget {
+    /// Component name as in Table IX.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW at 300 MHz, 1 V.
+    pub power_mw: f64,
+}
+
+/// The chip-level area/power model (excluding PLL and IO, as the paper
+/// notes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaPowerModel {
+    /// Per-component budgets.
+    pub components: Vec<ComponentBudget>,
+}
+
+impl AreaPowerModel {
+    /// The paper's UMC 55 nm budget (Table IX).
+    pub fn umc55() -> Self {
+        AreaPowerModel {
+            components: vec![
+                ComponentBudget {
+                    name: "Data SRAM",
+                    area_mm2: 3.25,
+                    power_mw: 13.7,
+                },
+                ComponentBudget {
+                    name: "Weight SRAM",
+                    area_mm2: 2.48,
+                    power_mw: 15.6,
+                },
+                ComponentBudget {
+                    name: "Pattern SRAM",
+                    area_mm2: 0.19,
+                    power_mw: 0.9,
+                },
+                ComponentBudget {
+                    name: "Register File",
+                    area_mm2: 1.58,
+                    power_mw: 13.6,
+                },
+                ComponentBudget {
+                    name: "PE group",
+                    area_mm2: 0.50,
+                    power_mw: 4.9,
+                },
+            ],
+        }
+    }
+
+    /// Total area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total power in mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.components.iter().map(|c| c.power_mw).sum()
+    }
+
+    /// A component's area share in `[0, 1]`.
+    pub fn area_share(&self, name: &str) -> f64 {
+        self.component(name)
+            .map_or(0.0, |c| c.area_mm2 / self.total_area_mm2())
+    }
+
+    /// A component's power share in `[0, 1]`.
+    pub fn power_share(&self, name: &str) -> f64 {
+        self.component(name)
+            .map_or(0.0, |c| c.power_mw / self.total_power_mw())
+    }
+
+    /// Looks up a component by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentBudget> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Effective efficiency in TOPS/W when the architecture delivers
+    /// `speedup ×` the dense throughput: dense-equivalent operations per
+    /// second divided by total power.
+    ///
+    /// With the paper's configuration this gives 3.15 TOPS/W dense and
+    /// 28.39 TOPS/W at 9× (88.9 % sparsity).
+    pub fn tops_per_watt(&self, cfg: &AccelConfig, speedup: f64) -> f64 {
+        let effective_gops = cfg.peak_gops() * speedup;
+        effective_gops / (self.total_power_mw() / 1000.0) / 1000.0
+    }
+
+    /// Scales the pattern SRAM's area/power linearly to a different
+    /// capacity (used by ablations over pattern-count budgets).
+    pub fn with_pattern_sram_kb(&self, kb: f64, baseline_kb: f64) -> Self {
+        let scale = kb / baseline_kb;
+        let mut out = self.clone();
+        for c in &mut out.components {
+            if c.name == "Pattern SRAM" {
+                c.area_mm2 *= scale;
+                c.power_mw *= scale;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table9_totals() {
+        let m = AreaPowerModel::umc55();
+        // Paper: overall 8.00 mm², 48.7 mW.
+        assert!((m.total_area_mm2() - 8.00).abs() < 1e-9);
+        assert!((m.total_power_mw() - 48.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table9_shares() {
+        let m = AreaPowerModel::umc55();
+        // Pattern SRAM: 2.4 % area, 1.9 % power (the paper's headline
+        // "only 2.4% area and 1.9% power of the whole chip").
+        assert!((m.area_share("Pattern SRAM") - 0.024).abs() < 0.001);
+        assert!((m.power_share("Pattern SRAM") - 0.019).abs() < 0.001);
+        // Data SRAM: 40.6 % area, 28.2 % power.
+        assert!((m.area_share("Data SRAM") - 0.406).abs() < 0.001);
+        assert!((m.power_share("Data SRAM") - 0.282).abs() < 0.002);
+    }
+
+    #[test]
+    fn tops_per_watt_matches_paper() {
+        let m = AreaPowerModel::umc55();
+        let cfg = AccelConfig::default();
+        // Dense: 3.15 TOPS/W.
+        assert!((m.tops_per_watt(&cfg, 1.0) - 3.154).abs() < 0.01);
+        // 9× speedup (n = 1, 88.9 % sparsity): 28.39 TOPS/W.
+        assert!((m.tops_per_watt(&cfg, 9.0) - 28.39).abs() < 0.05);
+    }
+
+    #[test]
+    fn pattern_sram_scaling() {
+        let m = AreaPowerModel::umc55();
+        let doubled = m.with_pattern_sram_kb(8.0, 4.0);
+        assert!((doubled.component("Pattern SRAM").unwrap().area_mm2 - 0.38).abs() < 1e-9);
+        // Other components untouched.
+        assert_eq!(doubled.component("PE group"), m.component("PE group"));
+    }
+
+    #[test]
+    fn unknown_component_shares_are_zero() {
+        let m = AreaPowerModel::umc55();
+        assert_eq!(m.area_share("PLL"), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Quantised functional execution: the 8-bit datapath the paper's SRAM
+//! sizing assumes ("8-bit quantization for common cases").
+//!
+//! Weights are quantised per layer, activations per tensor, MACs
+//! accumulate in `i32`, and the output is rescaled by the product of the
+//! two scales — the standard integer-inference contract. The test suite
+//! bounds the error against the float datapath.
+
+use crate::config::AccelConfig;
+use crate::decoder::PatternDecoder;
+use crate::sparsity::{activation_mask, generate_pointers};
+use pcnn_core::quant::{quantize_symmetric, QuantParams};
+use pcnn_core::sparse::SparseConv;
+use pcnn_tensor::Tensor;
+
+/// A sparse convolution with quantised non-zero sequences.
+#[derive(Debug, Clone)]
+pub struct QuantSparseConv {
+    sparse: SparseConv,
+    qweights: Vec<i8>,
+    wparams: QuantParams,
+}
+
+impl QuantSparseConv {
+    /// Quantises the layer's non-zero sequence to `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=8`.
+    pub fn new(sparse: SparseConv, bits: u32) -> Self {
+        let kernels = sparse.spm().kernel_count();
+        let n = sparse.spm().nonzeros_per_kernel();
+        let mut flat = Vec::with_capacity(kernels * n);
+        for ki in 0..kernels {
+            flat.extend_from_slice(sparse.spm().kernel_nonzeros(ki));
+        }
+        let (qweights, wparams) = quantize_symmetric(&flat, bits);
+        QuantSparseConv {
+            sparse,
+            qweights,
+            wparams,
+        }
+    }
+
+    /// The weight quantisation parameters.
+    pub fn weight_params(&self) -> QuantParams {
+        self.wparams
+    }
+
+    /// The underlying float sparse convolution.
+    pub fn sparse(&self) -> &SparseConv {
+        &self.sparse
+    }
+
+    /// Executes the integer datapath on an NCHW input: activations are
+    /// quantised to `act_bits`, MACs accumulate in `i32`, the output is
+    /// `acc · s_w · s_a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatch.
+    pub fn forward(&self, input: &Tensor, act_bits: u32, _cfg: &AccelConfig) -> Tensor {
+        let shape = *self.sparse.shape();
+        let dims = input.shape();
+        let (n, in_c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(in_c, shape.in_c, "channel mismatch");
+        let (oh, ow) = shape.out_hw(h, w);
+        let k = shape.kernel;
+        let area = k * k;
+        let nnz = self.sparse.spm().nonzeros_per_kernel();
+        let decoder = PatternDecoder::load(self.sparse.spm().pattern_set());
+
+        let (qacts, aparams) = quantize_symmetric(input.as_slice(), act_bits);
+        let out_scale = self.wparams.scale * aparams.scale;
+
+        let mut out = Tensor::zeros(&[n, shape.out_c, oh, ow]);
+        let mut window = vec![0i8; area];
+        let mut fwindow = vec![0.0f32; area];
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ic in 0..in_c {
+                        let plane = (ni * in_c + ic) * h * w;
+                        for pos in 0..area {
+                            let (ky, kx) = (pos / k, pos % k);
+                            let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                            let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                            let q = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                0
+                            } else {
+                                qacts[plane + iy as usize * w + ix as usize]
+                            };
+                            window[pos] = q;
+                            fwindow[pos] = q as f32;
+                        }
+                        let amask = activation_mask(&fwindow);
+                        for oc in 0..shape.out_c {
+                            let ki = oc * in_c + ic;
+                            let wmask = decoder.decode(self.sparse.spm().code(ki));
+                            let mut acc: i32 = 0;
+                            for p in generate_pointers(wmask, amask, area) {
+                                let qw = self.qweights[ki * nnz + p.weight_idx] as i32;
+                                acc += qw * window[p.act_idx] as i32;
+                            }
+                            let off = out.offset4(ni, oc, oy, ox);
+                            out.as_mut_slice()[off] += acc as f32 * out_scale;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_core::project::project_onto_set;
+    use pcnn_core::PatternSet;
+    use pcnn_tensor::conv::{conv2d_direct, Conv2dShape};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn setup() -> (SparseConv, Tensor, Tensor) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let set = PatternSet::full(9, 4);
+        let shape = Conv2dShape::new(4, 6, 3, 1, 1);
+        let mut w = Tensor::from_vec(
+            (0..6 * 4 * 9)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+            &[6, 4, 3, 3],
+        );
+        for kernel in w.as_mut_slice().chunks_mut(9) {
+            let _ = project_onto_set(kernel, &set);
+        }
+        let x = Tensor::from_vec(
+            (0..4 * 8 * 8)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+            &[1, 4, 8, 8],
+        );
+        let golden = conv2d_direct(&x, &w, None, &shape);
+        (
+            SparseConv::from_dense(&w, shape, &set).expect("encode"),
+            x,
+            golden,
+        )
+    }
+
+    #[test]
+    fn int8_output_close_to_float() {
+        let (sparse, x, golden) = setup();
+        let q = QuantSparseConv::new(sparse, 8);
+        let y = q.forward(&x, 8, &AccelConfig::default());
+        // 8-bit x 8-bit over 36 accumulations: relative error small.
+        let num: f32 = y
+            .as_slice()
+            .iter()
+            .zip(golden.as_slice())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        let den: f32 = golden.sq_norm();
+        let rel = (num / den.max(1e-12)).sqrt();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn lower_bits_higher_error() {
+        let (sparse, x, golden) = setup();
+        let err = |bits: u32| {
+            let q = QuantSparseConv::new(sparse.clone(), bits);
+            let y = q.forward(&x, bits, &AccelConfig::default());
+            let num: f32 = y
+                .as_slice()
+                .iter()
+                .zip(golden.as_slice())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            (num / golden.sq_norm().max(1e-12)).sqrt()
+        };
+        assert!(err(4) > err(8));
+    }
+
+    #[test]
+    fn pruned_weights_quantise_to_zero() {
+        let (sparse, _x, _) = setup();
+        let q = QuantSparseConv::new(sparse, 8);
+        // Every stored sequence entry that was 0.0 must still be 0.
+        let spm = q.sparse().spm();
+        for ki in 0..spm.kernel_count() {
+            for (j, &v) in spm.kernel_nonzeros(ki).iter().enumerate() {
+                if v == 0.0 {
+                    assert_eq!(q.qweights[ki * spm.nonzeros_per_kernel() + j], 0);
+                }
+            }
+        }
+    }
+}

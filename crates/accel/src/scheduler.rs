@@ -1,0 +1,202 @@
+//! Layer-to-SRAM tiling scheduler.
+//!
+//! The 128 KB weight SRAM holds only part of a large layer (VGG-16's
+//! conv13 alone has 2.36 M weights). The host controller must therefore
+//! split each layer into *weight tiles* that fit residency, stream them
+//! in, and reuse each tile across the whole activation map before
+//! swapping. This module computes that schedule and its DRAM reload
+//! behaviour — the piece that connects the memory system of Figure 3 to
+//! whole-network execution.
+
+use crate::config::AccelConfig;
+use crate::memory::WeightLayout;
+use pcnn_core::plan::LayerPlan;
+use pcnn_core::PrunePlan;
+use pcnn_nn::zoo::{ConvSpec, NetworkShape};
+
+/// The tile schedule of one layer.
+#[derive(Debug, Clone)]
+pub struct LayerSchedule {
+    /// Layer name.
+    pub name: String,
+    /// Kernels resident per tile.
+    pub kernels_per_tile: usize,
+    /// Number of weight tiles (DRAM → SRAM loads).
+    pub tiles: usize,
+    /// Bytes loaded per tile (packed weights + codes, padded to fetch
+    /// rows).
+    pub tile_bytes: u64,
+    /// Whether the whole layer fits in one residency.
+    pub fits_once: bool,
+}
+
+impl LayerSchedule {
+    /// Total weight bytes streamed from DRAM for this layer (each tile
+    /// is loaded exactly once; activations are reused against resident
+    /// weights).
+    pub fn dram_bytes(&self) -> u64 {
+        self.tile_bytes * self.tiles as u64
+    }
+}
+
+/// Schedules one layer's kernels into weight-SRAM tiles.
+///
+/// `nnz` is the per-kernel non-zero count (`k²` for dense layers).
+///
+/// # Panics
+///
+/// Panics if the SRAM cannot hold even one fetch group.
+pub fn schedule_layer(
+    spec: &ConvSpec,
+    nnz: usize,
+    code_bits: u32,
+    cfg: &AccelConfig,
+) -> LayerSchedule {
+    let kernels = spec.in_c * spec.out_c;
+    let layout = WeightLayout::for_nnz(nnz.max(1));
+    // Bytes per kernel group in SRAM: weights padded to fetch rows plus
+    // its share of the code stream.
+    let group_weight_bytes =
+        (layout.fetches_per_group * layout.row_weights) as u64 * cfg.weight_bits as u64 / 8;
+    let group_code_bits = layout.kernels_per_group as u64 * code_bits as u64;
+    let capacity_bits = (cfg.weight_sram_kb * 1024 * 8) as u64;
+    let group_bits = group_weight_bytes * 8 + group_code_bits;
+    let groups_resident = (capacity_bits / group_bits.max(1)) as usize;
+    assert!(
+        groups_resident > 0,
+        "weight SRAM smaller than one fetch group"
+    );
+
+    let kernels_per_tile = (groups_resident * layout.kernels_per_group).min(kernels.max(1));
+    let tiles = kernels.div_ceil(kernels_per_tile.max(1));
+    let groups_per_tile = kernels_per_tile.div_ceil(layout.kernels_per_group);
+    let tile_bytes = groups_per_tile as u64 * group_bits.div_ceil(8);
+    LayerSchedule {
+        name: spec.name.clone(),
+        kernels_per_tile,
+        tiles,
+        tile_bytes,
+        fits_once: tiles == 1,
+    }
+}
+
+/// Schedules a whole network under a PCNN plan (`None` = dense).
+///
+/// # Panics
+///
+/// Panics on plan/network mismatch.
+pub fn schedule_network(
+    net: &NetworkShape,
+    plan: Option<&PrunePlan>,
+    cfg: &AccelConfig,
+) -> Vec<LayerSchedule> {
+    match plan {
+        None => net
+            .convs
+            .iter()
+            .map(|c| schedule_layer(c, c.kernel_area(), 0, cfg))
+            .collect(),
+        Some(plan) => {
+            let n_prunable = net.convs.iter().filter(|c| c.prunable).count();
+            assert_eq!(plan.layers().len(), n_prunable, "plan/net mismatch");
+            let mut it = plan.layers().iter();
+            net.convs
+                .iter()
+                .map(|c| {
+                    if c.prunable {
+                        let lp: &LayerPlan = it.next().expect("plan exhausted");
+                        let code_bits = {
+                            let p = lp.effective_patterns(c.kernel_area());
+                            if p <= 1 {
+                                1
+                            } else {
+                                usize::BITS - (p - 1).leading_zeros()
+                            }
+                        };
+                        schedule_layer(c, lp.n, code_bits, cfg)
+                    } else {
+                        schedule_layer(c, c.kernel_area(), 0, cfg)
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_nn::zoo::vgg16_cifar;
+
+    #[test]
+    fn small_layer_fits_once() {
+        let cfg = AccelConfig::default();
+        let spec = ConvSpec {
+            name: "small".into(),
+            in_c: 16,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 8,
+            in_w: 8,
+            prunable: true,
+        };
+        let s = schedule_layer(&spec, 4, 4, &cfg);
+        assert!(s.fits_once);
+        assert_eq!(s.tiles, 1);
+        assert_eq!(s.kernels_per_tile, 256);
+    }
+
+    #[test]
+    fn vgg_conv13_needs_multiple_dense_tiles_but_fits_pruned() {
+        let cfg = AccelConfig::default();
+        let net = vgg16_cifar();
+        let conv13 = net.convs.last().unwrap();
+        // Dense: 512×512×9 bytes ≈ 2.36 MB ≫ 128 KB → many tiles.
+        let dense = schedule_layer(conv13, 9, 0, &cfg);
+        assert!(dense.tiles > 10, "dense tiles {}", dense.tiles);
+        // n = 1 with 3-bit codes: 512×512×(8+3) bits ≈ 360 KB → 3 tiles.
+        let pruned = schedule_layer(conv13, 1, 3, &cfg);
+        assert!(
+            pruned.tiles < dense.tiles / 3,
+            "pruned tiles {}",
+            pruned.tiles
+        );
+    }
+
+    #[test]
+    fn network_schedule_reduces_dram_traffic() {
+        let cfg = AccelConfig::default();
+        let net = vgg16_cifar();
+        let dense: u64 = schedule_network(&net, None, &cfg)
+            .iter()
+            .map(|s| s.dram_bytes())
+            .sum();
+        let plan = PrunePlan::uniform(13, 2, 32);
+        let pruned: u64 = schedule_network(&net, Some(&plan), &cfg)
+            .iter()
+            .map(|s| s.dram_bytes())
+            .sum();
+        let ratio = dense as f64 / pruned as f64;
+        // ≈ 9/2 minus code overhead and row padding.
+        assert!(ratio > 3.0 && ratio < 4.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tiles_cover_all_kernels() {
+        let cfg = AccelConfig::default();
+        let net = vgg16_cifar();
+        let plan = PrunePlan::uniform(13, 4, 16);
+        for (s, c) in schedule_network(&net, Some(&plan), &cfg)
+            .iter()
+            .zip(&net.convs)
+        {
+            assert!(
+                s.kernels_per_tile * s.tiles >= c.in_c * c.out_c,
+                "{}",
+                s.name
+            );
+        }
+    }
+}

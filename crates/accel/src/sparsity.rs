@@ -1,0 +1,185 @@
+//! The sparsity-IO pointer generator (Figure 4 of the paper).
+//!
+//! Per convolution window the hardware:
+//! 1. zero-detects the activation registers (Reg1..Reg9) into an
+//!    *activation mask*;
+//! 2. ANDs it with the *weight mask* from the SPM decoder, yielding the
+//!    *sparsity mask* of effectual positions;
+//! 3. runs an adder–AND chain over the sparsity mask producing, for each
+//!    position, the distance to the next effectual position (Figure 4c) —
+//!    from which the MAC issue logic walks the effectual positions and
+//!    fetches the matching compressed weight via its rank in the weight
+//!    mask.
+
+/// Zero-detect: builds a bitmask with bit `i` set iff `window[i] != 0`.
+///
+/// # Panics
+///
+/// Panics if the window has more than 16 positions.
+pub fn activation_mask(window: &[f32]) -> u16 {
+    assert!(window.len() <= 16, "window too large for u16 mask");
+    let mut mask = 0u16;
+    for (i, &v) in window.iter().enumerate() {
+        if v != 0.0 {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// The sparsity mask: effectual positions = non-zero weight AND non-zero
+/// activation.
+pub fn sparsity_mask(weight_mask: u16, act_mask: u16) -> u16 {
+    weight_mask & act_mask
+}
+
+/// The adder–AND offset chain of Figure 4c, computed backwards:
+/// `offset[i] = 0` when position `i` is effectual, otherwise
+/// `offset[i+1] + 1` (distance to the next effectual position, or to the
+/// end of the window). In hardware this is an adder whose carry is ANDed
+/// away by the mask bit.
+pub fn offset_chain(mask: u16, area: usize) -> Vec<u8> {
+    let mut offsets = vec![0u8; area];
+    let mut dist = 1u8;
+    for i in (0..area).rev() {
+        if (mask >> i) & 1 == 1 {
+            offsets[i] = 0;
+            dist = 1;
+        } else {
+            offsets[i] = dist;
+            dist = dist.saturating_add(1);
+        }
+    }
+    offsets
+}
+
+/// Walks the effectual positions using the offset chain the way the
+/// pointer generator does: start at position 0, skip `offset` positions
+/// whenever the current one is ineffectual, emit it otherwise.
+pub fn walk_effectual(mask: u16, area: usize) -> Vec<usize> {
+    let offsets = offset_chain(mask, area);
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    let mut i = 0usize;
+    while i < area {
+        let off = offsets[i] as usize;
+        if off == 0 {
+            out.push(i);
+            i += 1;
+        } else {
+            i += off;
+        }
+    }
+    out
+}
+
+/// A generated MAC operand pointer pair: where to read the weight in the
+/// compressed kernel register and which activation register to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacPointer {
+    /// Index into the kernel's packed non-zero sequence (rank of the
+    /// position within the weight mask).
+    pub weight_idx: usize,
+    /// Window position (activation register index).
+    pub act_idx: usize,
+}
+
+/// Full pointer generation for one (kernel, window) pair: effectual
+/// positions of `weight_mask & act_mask`, each resolved to a compressed
+/// weight index and an activation register index.
+pub fn generate_pointers(weight_mask: u16, act_mask: u16, area: usize) -> Vec<MacPointer> {
+    let sp = sparsity_mask(weight_mask, act_mask);
+    walk_effectual(sp, area)
+        .into_iter()
+        .map(|pos| {
+            let below = weight_mask & ((1u32 << pos) as u16).wrapping_sub(1);
+            MacPointer {
+                weight_idx: below.count_ones() as usize,
+                act_idx: pos,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4c_example() {
+        // Paper Figure 4c: sparsity mask 0 1 0 1 0 1 0 0 0 (positions
+        // 0..9, set at 1, 3, 5) → offset list 1 0 1 0 1 0 3 2 1.
+        let mask = 0b0_0010_1010u16; // bits 1, 3, 5
+        let offsets = offset_chain(mask, 9);
+        assert_eq!(offsets, vec![1, 0, 1, 0, 1, 0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn walk_matches_naive_scan() {
+        for mask in [
+            0u16,
+            0b1_1111_1111,
+            0b0_0010_1010,
+            0b1_0000_0001,
+            0b0_1010_0110,
+        ] {
+            let naive: Vec<usize> = (0..9).filter(|&i| (mask >> i) & 1 == 1).collect();
+            assert_eq!(walk_effectual(mask, 9), naive, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn activation_mask_detects_zeros() {
+        let window = [0.0f32, 1.0, -2.0, 0.0, 0.5, 0.0, 0.0, 0.0, 3.0];
+        assert_eq!(activation_mask(&window), 0b1_0001_0110);
+    }
+
+    #[test]
+    fn figure4b_pointer_example() {
+        // Figure 4b: weight mask 1 1 1 1 0 1 0 0 0 (bits 0..3, 5), act
+        // mask 0 1 0 1 1 1 1 1 1 → sparsity mask 0 1 0 1 0 1 0 0 0. The
+        // effectual MACs are (w1,a1), (w3,a3), (w5,a5); compressed weight
+        // indices are the ranks within the weight mask: 1, 3, 4.
+        let wmask = 0b0_0010_1111u16;
+        let amask = 0b1_1111_1010u16;
+        let ptrs = generate_pointers(wmask, amask, 9);
+        assert_eq!(
+            ptrs,
+            vec![
+                MacPointer {
+                    weight_idx: 1,
+                    act_idx: 1
+                },
+                MacPointer {
+                    weight_idx: 3,
+                    act_idx: 3
+                },
+                MacPointer {
+                    weight_idx: 4,
+                    act_idx: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_full_masks() {
+        assert!(generate_pointers(0, 0b1_1111_1111, 9).is_empty());
+        assert!(generate_pointers(0b1_1111_1111, 0, 9).is_empty());
+        let all = generate_pointers(0b1_1111_1111, 0b1_1111_1111, 9);
+        assert_eq!(all.len(), 9);
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.weight_idx, i);
+            assert_eq!(p.act_idx, i);
+        }
+    }
+
+    #[test]
+    fn pointer_count_is_popcount_of_and() {
+        for wmask in [0b0_0000_1111u16, 0b1_0101_0101, 0b0_0110_0011] {
+            for amask in [0b1_1111_0000u16, 0b0_1010_1010, 0b1_1111_1111] {
+                let n = generate_pointers(wmask, amask, 9).len();
+                assert_eq!(n, (wmask & amask).count_ones() as usize);
+            }
+        }
+    }
+}

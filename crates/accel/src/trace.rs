@@ -1,0 +1,182 @@
+//! Event-level execution tracing for small workloads.
+//!
+//! The cycle simulator aggregates; this module *narrates*: it replays a
+//! (kernel, window) pair through the datapath and records every
+//! micro-step — decode, zero-detect, mask AND, offset walk, MAC issue —
+//! with the pipeline stage and cycle it occupies. Useful for debugging
+//! the simulator against the paper's worked examples and as
+//! documentation of the Figure 5 pipeline.
+
+use crate::decoder::PatternDecoder;
+use crate::sparsity::{activation_mask, generate_pointers, offset_chain, sparsity_mask};
+
+/// One traced micro-event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Cycle (relative to the window's entry into the pipeline).
+    pub cycle: u64,
+    /// Pipeline stage name.
+    pub stage: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in issue order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Renders the trace as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "cycle {:>3} [{:<11}] {}\n",
+                e.cycle, e.stage, e.detail
+            ));
+        }
+        out
+    }
+
+    /// Number of MAC issue slots used.
+    pub fn mac_count(&self) -> usize {
+        self.events.iter().filter(|e| e.stage == "mac").count()
+    }
+}
+
+/// Replays one kernel × one activation window through the pipeline,
+/// recording each micro-step. `macs_per_pe` controls how many MACs issue
+/// per cycle in the MAC stage.
+///
+/// # Panics
+///
+/// Panics if `code` is outside the decoder's table or the window is not
+/// `area`-sized.
+pub fn trace_window(
+    decoder: &PatternDecoder,
+    code: u16,
+    window: &[f32],
+    weights: &[f32],
+    macs_per_pe: usize,
+) -> Trace {
+    assert_eq!(window.len(), decoder.area(), "window/area mismatch");
+    let mut t = Trace::default();
+    let mut cycle = 0u64;
+
+    // Stage 1: data preprocess — kernel restore + activation zero-detect.
+    let wmask = decoder.decode(code);
+    t.events.push(TraceEvent {
+        cycle,
+        stage: "preprocess",
+        detail: format!("SPM code {code} -> weight mask {wmask:#011b}"),
+    });
+    let amask = activation_mask(window);
+    t.events.push(TraceEvent {
+        cycle,
+        stage: "preprocess",
+        detail: format!("zero-detect -> activation mask {amask:#011b}"),
+    });
+    cycle += 1;
+
+    // Stage 2: sparsity pointer generation.
+    let smask = sparsity_mask(wmask, amask);
+    let offsets = offset_chain(smask, decoder.area());
+    t.events.push(TraceEvent {
+        cycle,
+        stage: "pointer-gen",
+        detail: format!("sparsity mask {smask:#011b}, offsets {offsets:?}"),
+    });
+    let pointers = generate_pointers(wmask, amask, decoder.area());
+    t.events.push(TraceEvent {
+        cycle,
+        stage: "pointer-gen",
+        detail: format!("{} effectual MAC(s)", pointers.len()),
+    });
+    cycle += 1;
+
+    // Stage 3: MAC issue, macs_per_pe per cycle.
+    let mut acc = 0.0f32;
+    for (i, chunk) in pointers.chunks(macs_per_pe.max(1)).enumerate() {
+        for p in chunk {
+            let w = weights[p.weight_idx];
+            let a = window[p.act_idx];
+            acc += w * a;
+            t.events.push(TraceEvent {
+                cycle: cycle + i as u64,
+                stage: "mac",
+                detail: format!(
+                    "w[{}]={w:.3} * a[{}]={a:.3} -> acc {acc:.3}",
+                    p.weight_idx, p.act_idx
+                ),
+            });
+        }
+    }
+    cycle += pointers.chunks(macs_per_pe.max(1)).count().max(1) as u64;
+
+    // Stage 4: accumulate / ReLU.
+    t.events.push(TraceEvent {
+        cycle,
+        stage: "accumulate",
+        detail: format!("partial sum {acc:.3} (ReLU applied after cross-channel reduce)"),
+    });
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_core::PatternSet;
+
+    fn decoder_n3() -> PatternDecoder {
+        PatternDecoder::load(&PatternSet::full(9, 3))
+    }
+
+    #[test]
+    fn trace_counts_effectual_macs_only() {
+        let dec = decoder_n3();
+        // Pattern 0 of F_3 is mask 0b000000111 (positions 0,1,2).
+        let window = [1.0f32, 0.0, 2.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0];
+        let weights = [0.5f32, 0.25, -1.0];
+        let t = trace_window(&dec, 0, &window, &weights, 4);
+        // Positions 0 and 2 are effectual (1 is a zero activation).
+        assert_eq!(t.mac_count(), 2);
+        let text = t.render();
+        assert!(text.contains("preprocess"));
+        assert!(text.contains("pointer-gen"));
+        assert!(text.contains("accumulate"));
+    }
+
+    #[test]
+    fn trace_mac_cycles_respect_width() {
+        let dec = PatternDecoder::load(&PatternSet::full(9, 6));
+        let window = [1.0f32; 9];
+        let weights = [1.0f32; 6];
+        // 6 effectual MACs at 2 per cycle → MAC events span 3 cycles.
+        let t = trace_window(&dec, 0, &window, &weights, 2);
+        let mac_cycles: std::collections::HashSet<u64> = t
+            .events
+            .iter()
+            .filter(|e| e.stage == "mac")
+            .map(|e| e.cycle)
+            .collect();
+        assert_eq!(mac_cycles.len(), 3);
+    }
+
+    #[test]
+    fn accumulate_value_matches_dot_product() {
+        let dec = decoder_n3();
+        let window = [0.5f32, 1.5, -2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let weights = [2.0f32, -1.0, 0.5];
+        let t = trace_window(&dec, 0, &window, &weights, 4);
+        let expect = 2.0 * 0.5 + (-1.0) * 1.5 + 0.5 * (-2.0);
+        let last = t.events.last().unwrap();
+        assert!(
+            last.detail.contains(&format!("{expect:.3}")),
+            "{}",
+            last.detail
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the accelerator: PE-group timing laws,
+//! memory-layout arithmetic, and decoder/pointer composition.
+
+use pcnn_accel::config::AccelConfig;
+use pcnn_accel::decoder::PatternDecoder;
+use pcnn_accel::memory::{KernelRegisterFile, WeightLayout};
+use pcnn_accel::pe::PeGroup;
+use pcnn_accel::sparsity::generate_pointers;
+use pcnn_core::{Pattern, PatternSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pe_step_cycle_law(work in prop::collection::vec(0u64..64, 1..64), macs in 1usize..=8) {
+        let g = PeGroup::new(64, macs);
+        let s = g.step(&work);
+        let max = work.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(s.cycles, max.div_ceil(macs as u64).max(1));
+        prop_assert_eq!(s.used_macs, work.iter().sum::<u64>());
+        prop_assert!(s.used_macs <= s.slot_macs);
+        prop_assert!(s.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn weight_layout_group_identity(nnz in 1usize..=9) {
+        let l = WeightLayout::for_nnz(nnz);
+        // A group carries exactly kernels_per_group × nnz weights in
+        // fetches_per_group × 8-weight rows, with no slack.
+        prop_assert_eq!(l.kernels_per_group * nnz, l.fetches_per_group * l.row_weights);
+        // Fetch counts are monotone in kernel count.
+        let mut prev = 0;
+        for kernels in [1usize, 5, 16, 100] {
+            let f = l.fetches_for(kernels);
+            prop_assert!(f >= prev);
+            prop_assert!(f * l.row_weights >= kernels * nnz);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn kernel_rf_padding_bounds(nnz in 1usize..=9) {
+        let rf = KernelRegisterFile::new(60);
+        let pad = rf.padded_len(nnz);
+        prop_assert!(pad >= nnz);
+        prop_assert_eq!(60 % pad, 0);
+        prop_assert_eq!(rf.kernels_per_refill(nnz) * pad, 60);
+        prop_assert!(rf.padding_overhead(nnz) < 0.5);
+    }
+
+    #[test]
+    fn decoder_pointer_composition(n in 1usize..=6, code_pick in 0usize..1000, amask in 0u16..512) {
+        // decode(code) then pointer-generate: every pointer's weight
+        // index addresses within the kernel's n-length sequence.
+        let set = PatternSet::full(9, n);
+        let dec = PatternDecoder::load(&set);
+        let code = code_pick % set.len();
+        let wmask = dec.decode(code as u16);
+        prop_assert_eq!(wmask.count_ones() as usize, n);
+        for p in generate_pointers(wmask, amask, 9) {
+            prop_assert!(p.weight_idx < n);
+            prop_assert!(p.act_idx < 9);
+        }
+    }
+
+    #[test]
+    fn sram_capacity_inverse_in_nnz(nnz in 1usize..=9) {
+        // Capacity floors to whole kernels: k·nnz fits, (k+1)·nnz doesn't.
+        let cfg = AccelConfig::default();
+        let k = cfg.weight_sram_kernels(nnz);
+        let capacity_weights = 128 * 1024; // bytes at 8-bit weights
+        prop_assert!(k * nnz <= capacity_weights);
+        prop_assert!((k + 1) * nnz > capacity_weights);
+    }
+
+    #[test]
+    fn enumerate_then_decode_roundtrip(n in 1usize..=4) {
+        let pats = Pattern::enumerate(9, n);
+        let set = PatternSet::from_patterns(pats.clone());
+        let dec = PatternDecoder::load(&set);
+        for (i, p) in pats.iter().enumerate() {
+            prop_assert_eq!(dec.decode(i as u16), p.mask());
+        }
+    }
+}

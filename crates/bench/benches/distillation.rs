@@ -1,0 +1,33 @@
+//! Criterion bench: Algorithm 1 (pattern distillation) over layers of
+//! realistic kernel counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_core::distill::{distill_layer, PatternHistogram};
+use pcnn_tensor::init::kaiming_normal;
+
+fn bench_distillation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distillation");
+    // Layer sizes: proxy conv4 (16×16 kernels) up to a real VGG conv2
+    // slice (64×64).
+    for (out_c, in_c) in [(16usize, 16usize), (64, 64), (128, 64)] {
+        let w = kaiming_normal(&[out_c, in_c, 3, 3], in_c * 9, 11);
+        group.bench_with_input(
+            BenchmarkId::new("distill_layer_n4_v16", format!("{out_c}x{in_c}")),
+            &w,
+            |b, w| b.iter(|| distill_layer(std::hint::black_box(w), 4, 16)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("histogram_n4", format!("{out_c}x{in_c}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    PatternHistogram::from_weight(std::hint::black_box(w), 4).distinct_patterns()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distillation);
+criterion_main!(benches);

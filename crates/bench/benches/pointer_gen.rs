@@ -1,0 +1,46 @@
+//! Criterion bench: the sparsity-IO pointer generator (offset chain and
+//! pointer walk of Figure 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnn_accel::sparsity::{generate_pointers, offset_chain, walk_effectual};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn bench_pointer_gen(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let masks: Vec<(u16, u16)> = (0..4096)
+        .map(|_| (rng.gen::<u16>() & 0x1FF, rng.gen::<u16>() & 0x1FF))
+        .collect();
+
+    c.bench_function("offset_chain_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(w, a) in &masks {
+                acc += offset_chain(std::hint::black_box(w & a), 9)[0] as u32;
+            }
+            acc
+        })
+    });
+
+    c.bench_function("walk_effectual_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(w, a) in &masks {
+                acc += walk_effectual(std::hint::black_box(w & a), 9).len();
+            }
+            acc
+        })
+    });
+
+    c.bench_function("generate_pointers_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(w, a) in &masks {
+                acc += generate_pointers(std::hint::black_box(w), a, 9).len();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_pointer_gen);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: the projection operator Π (top-n masking and
+//! nearest-pattern search), the inner loop of distillation and ADMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_core::project::{project_kernel, project_onto_set};
+use pcnn_core::PatternSet;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn random_kernels(count: usize, seed: u64) -> Vec<[f32; 9]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut k = [0.0f32; 9];
+            for v in &mut k {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            k
+        })
+        .collect()
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let kernels = random_kernels(1024, 7);
+    let mut group = c.benchmark_group("projection");
+
+    for n in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("top_n", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for k in &kernels {
+                    acc += project_kernel(std::hint::black_box(k), n).weight();
+                }
+                acc
+            })
+        });
+    }
+
+    // Nearest-pattern search against distilled-size sets.
+    for pats in [8usize, 32, 126] {
+        let set = PatternSet::from_patterns(
+            pcnn_core::Pattern::enumerate(9, 4)
+                .into_iter()
+                .take(pats)
+                .collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("nearest_in_set", pats), &set, |b, set| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for k in &kernels {
+                    let mut kk = *k;
+                    acc += project_onto_set(std::hint::black_box(&mut kk), set);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

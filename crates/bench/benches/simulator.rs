@@ -1,0 +1,71 @@
+//! Criterion bench: cycle-simulator throughput for single layers and the
+//! per-table speedup sweep at a reduced size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_accel::config::AccelConfig;
+use pcnn_accel::sim::{simulate_layer, simulate_layer_irregular};
+use pcnn_core::plan::LayerPlan;
+use pcnn_nn::zoo::ConvSpec;
+
+fn spec(in_c: usize, out_c: usize, hw: usize) -> ConvSpec {
+    ConvSpec {
+        name: "bench".into(),
+        in_c,
+        out_c,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        in_h: hw,
+        in_w: hw,
+        prunable: true,
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = AccelConfig::default();
+    let mut group = c.benchmark_group("cycle_sim");
+    group.sample_size(20);
+
+    for n in [1usize, 4] {
+        let s = spec(64, 64, 16);
+        group.bench_with_input(BenchmarkId::new("pcnn_64x64x16", n), &n, |b, &n| {
+            b.iter(|| {
+                simulate_layer(
+                    &s,
+                    LayerPlan {
+                        n,
+                        max_patterns: 32,
+                    },
+                    1.0,
+                    &cfg,
+                    3,
+                )
+                .cycles
+            })
+        });
+    }
+
+    let s = spec(128, 128, 16);
+    group.bench_function("irregular_128x128x16", |b| {
+        b.iter(|| simulate_layer_irregular(&s, 4.0 / 9.0, 1.0, &cfg, 3).cycles)
+    });
+    group.bench_function("pcnn_128x128x16_sparse_acts", |b| {
+        b.iter(|| {
+            simulate_layer(
+                &s,
+                LayerPlan {
+                    n: 4,
+                    max_patterns: 32,
+                },
+                0.8,
+                &cfg,
+                3,
+            )
+            .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

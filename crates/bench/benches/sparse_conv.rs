@@ -1,0 +1,54 @@
+//! Criterion bench: SPM sparse convolution vs the dense im2col reference
+//! — the software-kernel analogue of the accelerator speedup claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_core::project::project_onto_set;
+use pcnn_core::sparse::SparseConv;
+use pcnn_core::PatternSet;
+use pcnn_tensor::conv::{conv2d_forward, Conv2dShape};
+use pcnn_tensor::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn pruned_weight(out_c: usize, in_c: usize, n: usize, seed: u64) -> (Tensor, PatternSet) {
+    let set = PatternSet::full(9, n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut w = Tensor::from_vec(
+        (0..out_c * in_c * 9)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+        &[out_c, in_c, 3, 3],
+    );
+    for kernel in w.as_mut_slice().chunks_mut(9) {
+        let _ = project_onto_set(kernel, &set);
+    }
+    (w, set)
+}
+
+fn bench_sparse_conv(c: &mut Criterion) {
+    let shape = Conv2dShape::new(32, 32, 3, 1, 1);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let x = Tensor::from_vec(
+        (0..1 * 32 * 16 * 16)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+        &[1, 32, 16, 16],
+    );
+
+    let mut group = c.benchmark_group("sparse_conv_32x32x16x16");
+    for n in [1usize, 2, 4] {
+        let (w, set) = pruned_weight(32, 32, n, 5);
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("encode");
+        group.bench_with_input(BenchmarkId::new("spm_sparse", n), &sparse, |b, s| {
+            b.iter(|| s.forward(std::hint::black_box(&x)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dense_im2col_same_weights", n),
+            &w,
+            |b, w| b.iter(|| conv2d_forward(std::hint::black_box(&x), w, None, &shape)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_conv);
+criterion_main!(benches);

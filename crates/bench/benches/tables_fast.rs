@@ -1,0 +1,49 @@
+//! Criterion bench: end-to-end generation time of every analytic table
+//! (the non-training path of the `tables` binary). One benchmark per
+//! paper artifact, so regressions in any experiment pipeline show up
+//! individually.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnn_bench::experiments::{self, Options};
+
+fn bench_tables(c: &mut Criterion) {
+    let opt = Options::default();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("table1_vgg_cifar", |b| {
+        b.iter(|| experiments::compression::table1(&opt))
+    });
+    group.bench_function("table2_resnet_cifar", |b| {
+        b.iter(|| experiments::compression::table2(&opt))
+    });
+    group.bench_function("table3_vgg_imagenet", |b| {
+        b.iter(|| experiments::compression::table3(&opt))
+    });
+    group.bench_function("table4_pattern_counts", |b| {
+        b.iter(|| experiments::patterns::table4(&opt))
+    });
+    group.bench_function("table5_comparison_vgg", |b| {
+        b.iter(|| experiments::comparison::table5(&opt))
+    });
+    group.bench_function("table6_comparison_resnet", |b| {
+        b.iter(|| experiments::comparison::table6(&opt))
+    });
+    group.bench_function("table7_kernel_fusion", |b| {
+        b.iter(|| experiments::fusion::table7(&opt))
+    });
+    group.bench_function("table8_channel_fusion", |b| {
+        b.iter(|| experiments::fusion::table8(&opt))
+    });
+    group.bench_function("table9_area_power", |b| {
+        b.iter(|| experiments::hardware::table9(&opt))
+    });
+    group.bench_function("topsw", |b| b.iter(|| experiments::hardware::topsw(&opt)));
+    group.bench_function("overhead", |b| {
+        b.iter(|| experiments::hardware::overhead(&opt))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerates every table and figure of the PCNN paper.
+//!
+//! ```text
+//! tables [EXPERIMENT...] [--train] [--quick] [--seed N]
+//!
+//! EXPERIMENT: table1 table2 table3 table4 table5 table6 table7 table8
+//!             table9 fig2 speedup topsw overhead utilization all
+//! ```
+//!
+//! Without `--train` the accuracy columns are left blank and only the
+//! analytic/simulated columns (which are exact) are produced; with
+//! `--train` the proxy networks are trained and pruned end-to-end
+//! (several minutes).
+
+use pcnn_bench::experiments::{self, Options};
+use pcnn_bench::table::Table;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tables [EXPERIMENT...] [--train] [--quick] [--seed N]\n\
+         experiments: table1 table2 table3 table4 table5 table6 table7 table8\n\
+         \x20            table9 fig2 speedup topsw overhead utilization ablation actdensity dram all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opt = Options::default();
+    let mut picks: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--train" => opt.train = true,
+            "--quick" => opt.quick = true,
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                opt.seed = v;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => picks.push(other.to_string()),
+        }
+    }
+    if picks.is_empty() {
+        picks.push("all".to_string());
+    }
+
+    let all = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "fig2",
+        "speedup",
+        "topsw",
+        "overhead",
+        "utilization",
+        "ablation",
+        "actdensity",
+        "dram",
+    ];
+    let selected: Vec<&str> = if picks.iter().any(|p| p == "all") {
+        all.to_vec()
+    } else {
+        for p in &picks {
+            if !all.contains(&p.as_str()) {
+                eprintln!("unknown experiment: {p}");
+                usage();
+            }
+        }
+        picks.iter().map(String::as_str).collect()
+    };
+
+    for name in selected {
+        let t0 = std::time::Instant::now();
+        let table: Table = match name {
+            "table1" => experiments::compression::table1(&opt),
+            "table2" => experiments::compression::table2(&opt),
+            "table3" => experiments::compression::table3(&opt),
+            "table4" => experiments::patterns::table4(&opt),
+            "table5" => experiments::comparison::table5(&opt),
+            "table6" => experiments::comparison::table6(&opt),
+            "table7" => experiments::fusion::table7(&opt),
+            "table8" => experiments::fusion::table8(&opt),
+            "table9" => experiments::hardware::table9(&opt),
+            "fig2" => experiments::patterns::fig2(&opt),
+            "speedup" => experiments::hardware::speedup(&opt),
+            "topsw" => experiments::hardware::topsw(&opt),
+            "overhead" => experiments::hardware::overhead(&opt),
+            "utilization" => experiments::hardware::utilization(&opt),
+            "ablation" => experiments::hardware::ablation(&opt),
+            "actdensity" => experiments::hardware::act_density(&opt),
+            "dram" => experiments::hardware::dram(&opt),
+            _ => unreachable!("validated above"),
+        };
+        println!("{table}");
+        eprintln!("[{name} generated in {:.1?}]\n", t0.elapsed());
+    }
+}

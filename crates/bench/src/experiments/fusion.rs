@@ -1,0 +1,134 @@
+//! Tables VII and VIII: orthogonality of PCNN to coarse-grained pruning.
+
+use super::Options;
+use crate::table::{ratio, Table};
+use pcnn_core::fuse::{channel_pruned_network, fused_compression, kernel_pruned_network};
+use pcnn_core::PrunePlan;
+use pcnn_nn::zoo::{vgg16_cifar, vgg16_imagenet};
+
+/// Table VII: PCNN (n = 5) combined with kernel-level pruning for VGG-16
+/// on ImageNet.
+pub fn table7(_opt: &Options) -> Table {
+    let net = vgg16_imagenet();
+    let plan = PrunePlan::uniform(13, 5, 32);
+    let mut t = Table::new(
+        "Table VII: combined with kernel-level pruning, VGG-16 on ImageNet",
+        &[
+            "Config",
+            "PCNN factor",
+            "Kernel factor",
+            "Total compression",
+            "Paper acc / comp",
+        ],
+    );
+    let base = fused_compression(&net, &net, &plan, &Default::default());
+    t.row(vec![
+        "PCNN n = 5".into(),
+        ratio(base.pcnn_factor),
+        "-".into(),
+        ratio(base.total),
+        "+0.38% / 1.8x".into(),
+    ]);
+    for (kp, paper) in [(2.4f64, "+0.28% / 4.4x"), (4.1, "-0.27% / 7.3x")] {
+        let reduced = kernel_pruned_network(&net, 1.0 / kp);
+        let fused = fused_compression(&net, &reduced, &plan, &Default::default());
+        t.row(vec![
+            format!("PCNN n = 5 + kernel pruning {kp}x"),
+            ratio(fused.pcnn_factor),
+            ratio(fused.coarse_factor),
+            ratio(fused.total),
+            paper.into(),
+        ]);
+    }
+    t.note("kernel pruning removes whole 2-D kernels; PCNN prunes inside the survivors — factors compose multiplicatively");
+    t
+}
+
+/// Table VIII: PCNN combined with channel-level pruning for VGG-16 on
+/// CIFAR-10.
+pub fn table8(_opt: &Options) -> Table {
+    let net = vgg16_cifar();
+    let mut t = Table::new(
+        "Table VIII: combined with channel-level pruning, VGG-16 on CIFAR-10",
+        &[
+            "Config",
+            "PCNN factor",
+            "Channel factor",
+            "Total compression",
+            "Paper acc / comp",
+        ],
+    );
+    // Paper: 3.75× PCNN × 9× channel = 34.4×. Our nearest integer plans:
+    // n = 2 (4.5×) and n = 3 (3.0×) bracket the paper's mixed 3.75×.
+    for (keep, plan, label, paper) in [
+        (
+            1.0 / 3.0,
+            PrunePlan::uniform(13, 2, 32),
+            "PCNN n = 2 + channel pruning (keep 1/3)",
+            "-0.02% / 34.4x (A)",
+        ),
+        (
+            1.0 / 3.0,
+            PrunePlan::uniform(13, 3, 32),
+            "PCNN n = 3 + channel pruning (keep 1/3)",
+            "paper uses 3.75x PCNN",
+        ),
+        (
+            0.27,
+            PrunePlan::uniform(13, 2, 32),
+            "PCNN n = 2 + channel pruning (keep 27%)",
+            "-0.46% / 50.3x (B)",
+        ),
+    ] {
+        let reduced = channel_pruned_network(&net, keep);
+        let fused = fused_compression(&net, &reduced, &plan, &Default::default());
+        t.row(vec![
+            label.into(),
+            ratio(fused.pcnn_factor),
+            ratio(fused.coarse_factor),
+            ratio(fused.total),
+            paper.into(),
+        ]);
+    }
+    for (label, acc, comp) in [
+        ("Structured ADMM [23]", "-0.60%", "50.0x"),
+        ("SNIP [24]", "-0.45%", "20.0x"),
+        ("Synaptic Strength [25]", "+0.43%", "25.0x"),
+    ] {
+        t.row(vec![
+            label.into(),
+            "-".into(),
+            "-".into(),
+            comp.into(),
+            format!("{acc} (paper-quoted)"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_totals_near_paper() {
+        let t = table7(&Options::default());
+        let s = t.to_string();
+        assert!(s.contains("1.80x"));
+        // 1.8 × 2.4 ≈ 4.3–4.4.
+        let totals: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[3].trim_end_matches('x').parse::<f64>().unwrap())
+            .collect();
+        assert!((totals[1] - 4.4).abs() < 0.2, "{}", totals[1]);
+        assert!((totals[2] - 7.3).abs() < 0.4, "{}", totals[2]);
+    }
+
+    #[test]
+    fn table8_exceeds_30x() {
+        let t = table8(&Options::default());
+        let total: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
+        assert!(total > 30.0, "{total}");
+    }
+}

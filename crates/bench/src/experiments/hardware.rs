@@ -1,0 +1,436 @@
+//! Hardware-side experiments: Table IX, the §IV-E speedup ladder and
+//! TOPS/W figures, the memory-overhead claim, and the PE-utilisation
+//! ablation behind the paper's imbalance argument.
+
+use super::Options;
+use crate::table::{pct, ratio, Table};
+use pcnn_accel::ablation::{
+    simulate_layer_sync, sweep_macs_per_pe, sweep_pe_count, SyncGranularity,
+};
+use pcnn_accel::config::AccelConfig;
+use pcnn_accel::memory::{csc_index_bytes, provisioned_index_overhead, MemoryFootprint};
+use pcnn_accel::power::AreaPowerModel;
+use pcnn_accel::sim::{simulate_layer, simulate_layer_irregular, simulate_network};
+use pcnn_core::plan::LayerPlan;
+use pcnn_core::PrunePlan;
+use pcnn_nn::zoo::{vgg16_cifar, ConvSpec};
+
+/// Table IX: area and power characteristics of the chip.
+pub fn table9(_opt: &Options) -> Table {
+    let model = AreaPowerModel::umc55();
+    let mut t = Table::new(
+        "Table IX: area and power characteristics (UMC 55 nm, 300 MHz, 1 V; PLL/IO excluded)",
+        &[
+            "Component",
+            "Area (mm2)",
+            "Area share",
+            "Power (mW)",
+            "Power share",
+        ],
+    );
+    t.row(vec![
+        "Overall".into(),
+        format!("{:.2}", model.total_area_mm2()),
+        "100%".into(),
+        format!("{:.1}", model.total_power_mw()),
+        "100%".into(),
+    ]);
+    for c in &model.components {
+        t.row(vec![
+            c.name.into(),
+            format!("{:.2}", c.area_mm2),
+            pct(model.area_share(c.name)),
+            format!("{:.1}", c.power_mw),
+            pct(model.power_share(c.name)),
+        ]);
+    }
+    t.note("per-component constants calibrated to the paper's Design Compiler results; shares and totals recomputed");
+    t
+}
+
+/// §IV-E speedup: simulated VGG-16 inference cycles for n = 4..1 against
+/// the dense counterpart, at dense activations (the paper's reported
+/// ladder ≈ 9/n) and at the paper's stated 0.8 average activation
+/// density (which our simulator additionally exploits).
+pub fn speedup(opt: &Options) -> Table {
+    let cfg = AccelConfig::default();
+    let net = vgg16_cifar();
+    let model = AreaPowerModel::umc55();
+    let mut t = Table::new(
+        "Speedup vs dense (VGG-16, cycle simulation, 64 PEs x 4 MACs)",
+        &[
+            "Config",
+            "Weight sparsity",
+            "Speedup (acts dense)",
+            "Speedup (act density 0.8)",
+            "Paper speedup",
+            "TOPS/W (ours)",
+            "Paper TOPS/W",
+        ],
+    );
+    t.row(vec![
+        "Dense".into(),
+        "0%".into(),
+        "1.00x".into(),
+        "1.00x".into(),
+        "1.0x".into(),
+        format!("{:.2}", model.tops_per_watt(&cfg, 1.0)),
+        "3.15".into(),
+    ]);
+    let paper = [
+        (4usize, "2.3x", "-"),
+        (3, "3.1x", "-"),
+        (2, "4.5x", "-"),
+        (1, "9.0x", "28.39"),
+    ];
+    for (n, paper_sp, paper_tw) in paper {
+        let plan = PrunePlan::uniform(13, n, if n == 1 { 8 } else { 32 });
+        let dense_acts = simulate_network(&net, Some(&plan), 1.0, &cfg, opt.seed);
+        let sparse_acts = simulate_network(&net, Some(&plan), 0.8, &cfg, opt.seed);
+        let sp = dense_acts.speedup();
+        t.row(vec![
+            format!("PCNN n = {n}"),
+            pct(1.0 - n as f64 / 9.0),
+            ratio(sp),
+            ratio(sparse_acts.speedup()),
+            paper_sp.into(),
+            format!("{:.2}", model.tops_per_watt(&cfg, sp)),
+            paper_tw.into(),
+        ]);
+    }
+    t.note("the paper's ladder matches the dense-activation column (2.25/3.0/4.5/9.0 = 9/n); its stated 0.8 activation sparsity would push speedups higher, as our last column shows");
+    t
+}
+
+/// §IV-E efficiency summary: TOPS/W across the sparsity range.
+pub fn topsw(_opt: &Options) -> Table {
+    let cfg = AccelConfig::default();
+    let model = AreaPowerModel::umc55();
+    let mut t = Table::new(
+        "Power efficiency (2 ops/MAC x 256 MACs @ 300 MHz / 48.7 mW)",
+        &["Sparsity", "Speedup", "TOPS/W", "Paper"],
+    );
+    for (label, sp, paper) in [
+        ("0% (dense)", 1.0, "3.15"),
+        ("55.6% (n = 4)", 9.0 / 4.0, "-"),
+        ("66.7% (n = 3)", 3.0, "-"),
+        ("77.8% (n = 2)", 4.5, "-"),
+        ("88.9% (n = 1)", 9.0, "28.39"),
+    ] {
+        t.row(vec![
+            label.into(),
+            ratio(sp),
+            format!("{:.2}", model.tops_per_watt(&cfg, sp)),
+            paper.into(),
+        ]);
+    }
+    t
+}
+
+/// §IV-E memory overhead: SPM index provisioning vs CSC/EIE.
+pub fn overhead(_opt: &Options) -> Table {
+    let cfg = AccelConfig::default();
+    let mut t = Table::new(
+        "Index memory overhead: SPM vs CSC (EIE)",
+        &["Metric", "Value", "Paper"],
+    );
+    t.row(vec![
+        "Pattern SRAM / Weight SRAM (provisioned)".into(),
+        pct(provisioned_index_overhead(&cfg)),
+        "3.1%".into(),
+    ]);
+    let fp = MemoryFootprint::pcnn(32_768, 4, 4, 16, 9, 8);
+    t.row(vec![
+        "Bit-exact SPM codes for 32768 resident kernels (4-bit)".into(),
+        format!("{} KB", fp.code_bytes / 1024),
+        "streams with weights".into(),
+    ]);
+    t.row(vec![
+        "EIE CSC index for 128K weights (4-bit/nz)".into(),
+        format!("{} KB", csc_index_bytes(131_072, 4) / 1024),
+        "64 KB".into(),
+    ]);
+    t.row(vec![
+        "Weight SRAM capacity at n = 4, 8-bit".into(),
+        format!("{} kernels", cfg.weight_sram_kernels(4)),
+        "32768 kernels".into(),
+    ]);
+    t
+}
+
+/// Ablation for the paper's §I claim: irregular pruning's per-kernel
+/// non-zero spread leaves lock-step PEs idle; PCNN's constant `n` keeps
+/// them busy. Simulated on a CONV4-sized layer across densities.
+pub fn utilization(opt: &Options) -> Table {
+    let cfg = AccelConfig::default();
+    let spec = ConvSpec {
+        name: "conv4-like".into(),
+        in_c: 128,
+        out_c: 128,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        in_h: 16,
+        in_w: 16,
+        prunable: true,
+    };
+    let mut t = Table::new(
+        "PE utilisation: PCNN regular sparsity vs irregular pruning (128x128 3x3 layer)",
+        &[
+            "Density",
+            "PCNN util",
+            "Irregular util",
+            "PCNN speedup",
+            "Irregular speedup",
+        ],
+    );
+    for n in [1usize, 2, 3, 4] {
+        let density = n as f64 / 9.0;
+        let pcnn = simulate_layer(
+            &spec,
+            LayerPlan {
+                n,
+                max_patterns: 32,
+            },
+            1.0,
+            &cfg,
+            opt.seed,
+        );
+        let irr = simulate_layer_irregular(&spec, density, 1.0, &cfg, opt.seed);
+        t.row(vec![
+            format!("{:.1}% (n = {n})", density * 100.0),
+            pct(pcnn.utilization()),
+            pct(irr.utilization()),
+            ratio(pcnn.speedup()),
+            ratio(irr.speedup()),
+        ]);
+    }
+    t.note("irregular pruning wastes MAC slots waiting for straggler kernels; PCNN's identical per-kernel nnz keeps the lock-step array near fully utilised");
+    t
+}
+
+/// DRAM traffic and energy per inference: dense vs SPM vs CSC, the
+/// quantification of the paper's "transfer large amounts of data from
+/// DRAM" motivation (§I).
+pub fn dram(_opt: &Options) -> Table {
+    use pcnn_accel::dram::{network_traffic, EnergyModel, WeightFormat};
+    use pcnn_accel::scheduler::schedule_network;
+    use pcnn_core::compress::StorageModel;
+
+    let net = vgg16_cifar();
+    let cfg = AccelConfig::default();
+    let storage = StorageModel {
+        weight_bits: 8,
+        ..Default::default()
+    };
+    let energy = EnergyModel::default();
+    let mut t = Table::new(
+        "DRAM traffic per inference (VGG-16, 8-bit weights/activations)",
+        &[
+            "Config",
+            "Weight KB",
+            "Index KB",
+            "Act KB",
+            "Total KB",
+            "Energy (uJ)",
+            "SRAM reloads",
+        ],
+    );
+    let dense = network_traffic(&net, None, WeightFormat::Dense, &storage, 8);
+    let dense_tiles: usize = schedule_network(&net, None, &cfg)
+        .iter()
+        .map(|s| s.tiles)
+        .sum();
+    t.row(vec![
+        "Dense".into(),
+        (dense.weight_bytes / 1024).to_string(),
+        (dense.index_bytes / 1024).to_string(),
+        (dense.activation_bytes / 1024).to_string(),
+        (dense.total_bytes() / 1024).to_string(),
+        format!("{:.1}", dense.energy_uj(&energy)),
+        dense_tiles.to_string(),
+    ]);
+    for n in [4usize, 2, 1] {
+        let plan = PrunePlan::uniform(13, n, if n == 1 { 8 } else { 32 });
+        let spm = network_traffic(&net, Some(&plan), WeightFormat::Spm, &storage, 8);
+        let csc = network_traffic(&net, Some(&plan), WeightFormat::Csc, &storage, 8);
+        let tiles: usize = schedule_network(&net, Some(&plan), &cfg)
+            .iter()
+            .map(|s| s.tiles)
+            .sum();
+        t.row(vec![
+            format!("PCNN n = {n} (SPM)"),
+            (spm.weight_bytes / 1024).to_string(),
+            (spm.index_bytes / 1024).to_string(),
+            (spm.activation_bytes / 1024).to_string(),
+            (spm.total_bytes() / 1024).to_string(),
+            format!("{:.1}", spm.energy_uj(&energy)),
+            tiles.to_string(),
+        ]);
+        t.row(vec![
+            format!("irregular n = {n} (CSC)"),
+            (csc.weight_bytes / 1024).to_string(),
+            (csc.index_bytes / 1024).to_string(),
+            (csc.activation_bytes / 1024).to_string(),
+            (csc.total_bytes() / 1024).to_string(),
+            format!("{:.1}", csc.energy_uj(&energy)),
+            "-".into(),
+        ]);
+    }
+    t.note("energy at 160 pJ/B DRAM (Horowitz ISSCC'14, as in EIE); activations unchanged by weight pruning");
+    t.note("'SRAM reloads' counts weight tiles streamed through the 128 KB weight SRAM (scheduler module)");
+    t
+}
+
+/// Measures the per-layer activation density of a trained proxy (the
+/// quantity the paper summarises as "the average activation sparsity is
+/// 0.8") and re-runs the speedup simulation at the measured mean.
+pub fn act_density(opt: &Options) -> Table {
+    use super::accuracy::{train_baseline, Proxy};
+    let train_opt = super::Options {
+        train: true,
+        quick: !opt.train,
+        ..*opt
+    };
+    let mut baseline = train_baseline(Proxy::Vgg16, &train_opt);
+    let (x, _) = baseline
+        .train_set
+        .batch(&(0..32.min(baseline.train_set.len())).collect::<Vec<_>>());
+    let (_, densities) = baseline.model.forward_with_densities(&x);
+
+    let mut t = Table::new(
+        "Measured activation density per prunable layer (VGG-16 proxy)",
+        &["Layer", "Input activation density"],
+    );
+    for (name, d) in &densities {
+        t.row(vec![name.clone(), pct(*d)]);
+    }
+    let mean: f64 = densities.iter().map(|(_, d)| d).sum::<f64>() / densities.len().max(1) as f64;
+    t.note(&format!(
+        "mean density {:.2} (paper states 0.8 average activation sparsity for VGG-16)",
+        mean
+    ));
+
+    // Feed the measured mean back into the cycle simulator.
+    let cfg = AccelConfig::default();
+    let net = vgg16_cifar();
+    let plan = PrunePlan::uniform(13, 4, 32);
+    let sim = simulate_network(&net, Some(&plan), mean.clamp(0.05, 1.0), &cfg, opt.seed);
+    t.note(&format!(
+        "n = 4 speedup at measured density: {:.2}x (vs 2.25x with dense activations)",
+        sim.speedup()
+    ));
+    t
+}
+
+/// Design-space ablation (DESIGN.md): barrier granularity, MACs/PE and
+/// PE-count sweeps on a conv4-sized layer at n = 2.
+pub fn ablation(opt: &Options) -> Table {
+    let cfg = AccelConfig::default();
+    let spec = ConvSpec {
+        name: "conv4-like".into(),
+        in_c: 128,
+        out_c: 128,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        in_h: 16,
+        in_w: 16,
+        prunable: true,
+    };
+    let lp = LayerPlan {
+        n: 2,
+        max_patterns: 32,
+    };
+    let mut t = Table::new(
+        "Design-space ablation (128x128 3x3 layer, n = 2, dense acts)",
+        &["Variant", "Speedup", "Utilisation"],
+    );
+    for (label, sync) in [
+        (
+            "barrier per window (paper dataflow)",
+            SyncGranularity::WindowAggregated,
+        ),
+        (
+            "barrier per input channel",
+            SyncGranularity::PerInputChannel,
+        ),
+    ] {
+        let sim = simulate_layer_sync(&spec, lp, 1.0, &cfg, opt.seed, sync);
+        t.row(vec![
+            label.into(),
+            ratio(sim.speedup()),
+            pct(sim.utilization()),
+        ]);
+    }
+    for p in sweep_macs_per_pe(&spec, lp, 1.0, &cfg, &[2, 4, 8], opt.seed) {
+        t.row(vec![
+            format!("{} MACs/PE (64 PEs)", p.value),
+            ratio(p.speedup),
+            pct(p.utilization),
+        ]);
+    }
+    for p in sweep_pe_count(&spec, lp, 1.0, &cfg, &[32, 64, 96], opt.seed) {
+        t.row(vec![
+            format!("{} PEs (4 MACs/PE)", p.value),
+            ratio(p.speedup),
+            pct(p.utilization),
+        ]);
+    }
+    t.note("speedup is measured against a dense baseline with the same PE configuration");
+    t.note("96 PEs fragment the 128 output channels into a ragged second tile — the kind of mismatch the paper's 64-PE choice avoids for VGG widths");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_rows_cover_all_variants() {
+        let t = ablation(&Options::default());
+        assert_eq!(t.rows.len(), 8);
+        // Window-aggregated barrier strictly beats per-channel.
+        let sp = |i: usize| t.rows[i][1].trim_end_matches('x').parse::<f64>().unwrap();
+        assert!(sp(0) > sp(1));
+    }
+
+    #[test]
+    fn table9_reproduces_paper_cells() {
+        let t = table9(&Options::default());
+        let s = t.to_string();
+        assert!(s.contains("8.00"));
+        assert!(s.contains("48.7"));
+        assert!(s.contains("2.4%")); // pattern SRAM area share
+    }
+
+    #[test]
+    fn topsw_ladder() {
+        let t = topsw(&Options::default());
+        let s = t.to_string();
+        assert!(s.contains("3.15"));
+        assert!(s.contains("28.39"));
+    }
+
+    #[test]
+    fn overhead_cells() {
+        let t = overhead(&Options::default());
+        let s = t.to_string();
+        assert!(s.contains("3.1%"));
+        assert!(s.contains("64 KB"));
+        assert!(s.contains("32768 kernels"));
+    }
+
+    #[test]
+    fn utilization_pcnn_wins_every_density() {
+        let t = utilization(&Options {
+            seed: 3,
+            ..Default::default()
+        });
+        for row in &t.rows {
+            let p: f64 = row[1].trim_end_matches('%').parse().unwrap();
+            let i: f64 = row[2].trim_end_matches('%').parse().unwrap();
+            assert!(p > i, "density {}: pcnn {p} vs irregular {i}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! One module per paper experiment; each returns a [`crate::table::Table`].
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table I (VGG-16 / CIFAR-10 sweep) | [`compression::table1`] |
+//! | Table II (ResNet-18 / CIFAR-10 sweep) | [`compression::table2`] |
+//! | Table III (VGG-16 / ImageNet) | [`compression::table3`] |
+//! | Table IV (pattern-count ablation) | [`patterns::table4`] |
+//! | Table V (VGG-16 method comparison) | [`comparison::table5`] |
+//! | Table VI (ResNet-18 method comparison) | [`comparison::table6`] |
+//! | Table VII (+ kernel pruning) | [`fusion::table7`] |
+//! | Table VIII (+ channel pruning) | [`fusion::table8`] |
+//! | Table IX (area/power) | [`hardware::table9`] |
+//! | Figure 2 (pattern histogram) | [`patterns::fig2`] |
+//! | §IV-E speedup ladder | [`hardware::speedup`] |
+//! | §IV-E TOPS/W | [`hardware::topsw`] |
+//! | §IV-E memory overhead | [`hardware::overhead`] |
+//! | §I imbalance claim (ablation) | [`hardware::utilization`] |
+
+pub mod accuracy;
+pub mod comparison;
+pub mod compression;
+pub mod fusion;
+pub mod hardware;
+pub mod patterns;
+
+/// Options shared by all experiment generators.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Run the proxy-network training experiments (accuracy columns).
+    /// Without it, accuracy cells print `-` and only the analytic
+    /// columns (exact) are filled.
+    pub train: bool,
+    /// Use smaller datasets / fewer epochs (CI-friendly).
+    pub quick: bool,
+    /// Seed for all stochastic parts.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            train: false,
+            quick: false,
+            seed: 42,
+        }
+    }
+}

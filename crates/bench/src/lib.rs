@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the PCNN
+//! paper.
+//!
+//! Each experiment lives in [`experiments`] and returns a [`table::Table`]
+//! that renders as aligned text with the paper's reported values beside
+//! the reproduction's measured ones. The `tables` binary drives them:
+//!
+//! ```text
+//! cargo run -p pcnn-bench --release --bin tables -- all
+//! cargo run -p pcnn-bench --release --bin tables -- table1 --train
+//! ```
+//!
+//! Criterion micro-benchmarks (`benches/`) cover the projection and
+//! distillation kernels, SPM sparse convolution vs dense, the pointer
+//! generator, and the cycle simulator.
+
+pub mod experiments;
+pub mod table;

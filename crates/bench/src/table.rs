@@ -1,0 +1,139 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A rendered experiment: title, column headers, rows, footnotes.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (e.g. `"Table I: VGG-16 on CIFAR-10"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row must have `headers.len()` entries).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, text: &str) -> &mut Self {
+        self.notes.push(text.to_string());
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "## {}", self.title)?;
+        let line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:<w$}"))
+            .collect();
+        writeln!(f, "| {} |", line.join(" | "))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", sep.join("-|-"))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            writeln!(f, "| {} |", line.join(" | "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a count in the paper's `×10ⁿ` style, e.g. `3.13e8`.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let exp = v.abs().log10().floor() as i32;
+    let mantissa = v / 10f64.powi(exp);
+    format!("{mantissa:.2}e{exp}")
+}
+
+/// Formats a ratio like the paper's compression column, e.g. `4.5x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage, e.g. `88.9%`.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "bbbb"]);
+        t.row(vec!["xx".into(), "y".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| xx | y    |"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(sci(3.13e8), "3.13e8");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(ratio(4.5), "4.50x");
+        assert_eq!(pct(0.889), "88.9%");
+    }
+}

@@ -1,0 +1,342 @@
+//! Baseline pruning methods the paper compares against or composes with.
+//!
+//! * [`irregular`] — unstructured magnitude pruning (Deep Compression
+//!   style), the CSC/EIE storage counterpart and the source of PE
+//!   workload imbalance;
+//! * [`kernel`] — kernel-level (2-D) pruning, composed with PCNN in
+//!   Table VII;
+//! * [`filter`] — filter-level (3-D) L1 pruning (Li et al.), Table V;
+//! * [`channel`] — channel pruning via batch-norm scale magnitudes
+//!   (network-slimming style), Tables V and VIII.
+
+pub mod irregular {
+    //! Unstructured magnitude pruning.
+
+    use pcnn_nn::Model;
+    use pcnn_tensor::Tensor;
+
+    /// Prunes the smallest-magnitude weights of every prunable
+    /// convolution so that only `density` (0..=1) of them survive,
+    /// *globally per layer* (not per kernel — this is what makes the
+    /// result irregular). Installs masks. Returns per-layer kept counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `[0, 1]`.
+    pub fn prune_magnitude(model: &mut Model, density: f64) -> Vec<usize> {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+        let mut kept_counts = Vec::new();
+        for conv in model.prunable_convs_mut() {
+            let wshape = conv.weight().shape().to_vec();
+            let weights = conv.weight().as_slice().to_vec();
+            let keep = ((weights.len() as f64) * density).round() as usize;
+            let mut order: Vec<usize> = (0..weights.len()).collect();
+            order.sort_by(|&a, &b| {
+                weights[b]
+                    .abs()
+                    .partial_cmp(&weights[a].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut mask = Tensor::zeros(&wshape);
+            for &i in order.iter().take(keep) {
+                mask.as_mut_slice()[i] = 1.0;
+            }
+            conv.set_mask(Some(mask));
+            kept_counts.push(keep);
+        }
+        kept_counts
+    }
+
+    /// Per-kernel non-zero counts of a layer's OIHW weight tensor — the
+    /// workload-imbalance signal: irregular pruning produces a wide
+    /// spread, PCNN a single value.
+    pub fn kernel_nnz_histogram(weight: &Tensor) -> Vec<usize> {
+        let dims = weight.shape();
+        let area = dims[2] * dims[3];
+        weight
+            .as_slice()
+            .chunks(area)
+            .map(|k| k.iter().filter(|&&w| w != 0.0).count())
+            .collect()
+    }
+}
+
+pub mod kernel {
+    //! Kernel-level (2-D) pruning: remove whole `k×k` kernels by L1 norm.
+
+    use pcnn_nn::Model;
+    use pcnn_tensor::Tensor;
+
+    /// Zeros the `1 - keep_fraction` smallest-L1 kernels of every
+    /// prunable convolution and installs masks. Returns the per-layer
+    /// number of kernels kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `(0, 1]`.
+    pub fn prune_kernels(model: &mut Model, keep_fraction: f64) -> Vec<usize> {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0,1]"
+        );
+        let mut kept = Vec::new();
+        for conv in model.prunable_convs_mut() {
+            let area = conv.shape().kernel_area();
+            let wshape = conv.weight().shape().to_vec();
+            let norms: Vec<f32> = conv
+                .weight()
+                .as_slice()
+                .chunks(area)
+                .map(|k| k.iter().map(|w| w.abs()).sum())
+                .collect();
+            let keep_n = ((norms.len() as f64) * keep_fraction).ceil() as usize;
+            let mut order: Vec<usize> = (0..norms.len()).collect();
+            order.sort_by(|&a, &b| {
+                norms[b]
+                    .partial_cmp(&norms[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut mask = Tensor::zeros(&wshape);
+            for &ki in order.iter().take(keep_n) {
+                for v in mask.as_mut_slice()[ki * area..(ki + 1) * area].iter_mut() {
+                    *v = 1.0;
+                }
+            }
+            conv.set_mask(Some(mask));
+            kept.push(keep_n);
+        }
+        kept
+    }
+}
+
+pub mod filter {
+    //! Filter-level (3-D) pruning by L1 norm (Li et al., ICLR 2017).
+
+    use pcnn_nn::Model;
+    use pcnn_tensor::Tensor;
+
+    /// Zeros the `1 - keep_fraction` smallest-L1 filters (output
+    /// channels) of every prunable convolution and installs masks.
+    /// Returns the per-layer number of filters kept.
+    ///
+    /// This keeps tensor shapes intact (zeroed filters rather than
+    /// physically removed ones), which is equivalent for accuracy and
+    /// FLOPs accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `(0, 1]`.
+    pub fn prune_filters(model: &mut Model, keep_fraction: f64) -> Vec<usize> {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0,1]"
+        );
+        let mut kept = Vec::new();
+        for conv in model.prunable_convs_mut() {
+            let shape = *conv.shape();
+            let filter_len = shape.in_c * shape.kernel_area();
+            let wshape = conv.weight().shape().to_vec();
+            let norms: Vec<f32> = conv
+                .weight()
+                .as_slice()
+                .chunks(filter_len)
+                .map(|f| f.iter().map(|w| w.abs()).sum())
+                .collect();
+            let keep_n = ((norms.len() as f64) * keep_fraction).ceil() as usize;
+            let mut order: Vec<usize> = (0..norms.len()).collect();
+            order.sort_by(|&a, &b| {
+                norms[b]
+                    .partial_cmp(&norms[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut mask = Tensor::zeros(&wshape);
+            for &fi in order.iter().take(keep_n) {
+                for v in mask.as_mut_slice()[fi * filter_len..(fi + 1) * filter_len].iter_mut() {
+                    *v = 1.0;
+                }
+            }
+            conv.set_mask(Some(mask));
+            kept.push(keep_n);
+        }
+        kept
+    }
+}
+
+pub mod channel {
+    //! Channel pruning guided by batch-norm scale factors γ
+    //! (network-slimming style, Liu et al., ICCV 2017).
+
+    use pcnn_nn::model::Layer;
+    use pcnn_nn::Model;
+
+    /// Collects the |γ| of every `BatchNorm2d` that directly follows a
+    /// prunable convolution, flattened across layers.
+    pub fn gamma_saliencies(model: &Model) -> Vec<f32> {
+        let mut out = Vec::new();
+        let layers = model.layers();
+        for i in 0..layers.len() {
+            if let (Layer::Conv2d(c), Some(Layer::BatchNorm2d(bn))) =
+                (&layers[i], layers.get(i + 1))
+            {
+                if c.shape().kernel >= 2 {
+                    out.extend(bn.gamma().as_slice().iter().map(|g| g.abs()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Zeros the BN scale of exactly the `⌊(1 − keep_fraction)·total⌋`
+    /// smallest-|γ| channels *globally* across conv+BN pairs, which
+    /// silences those channels' outputs — the slimming pruning step.
+    /// Returns the number of channels zeroed. Ties (e.g. a freshly
+    /// initialised model where every γ = 1) are broken by position, so
+    /// the quota is always respected exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `(0, 1]`.
+    pub fn prune_channels(model: &mut Model, keep_fraction: f64) -> usize {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0,1]"
+        );
+        // Collect (bn layer index, channel, saliency) for BNs that follow
+        // a prunable convolution.
+        let mut entries: Vec<(usize, usize, f32)> = Vec::new();
+        {
+            let layers = model.layers();
+            for i in 0..layers.len() {
+                if let (Layer::Conv2d(c), Some(Layer::BatchNorm2d(bn))) =
+                    (&layers[i], layers.get(i + 1))
+                {
+                    if c.shape().kernel >= 2 {
+                        for (ch, g) in bn.gamma().as_slice().iter().enumerate() {
+                            entries.push((i + 1, ch, g.abs()));
+                        }
+                    }
+                }
+            }
+        }
+        if entries.is_empty() {
+            return 0;
+        }
+        entries.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let quota = ((entries.len() as f64) * (1.0 - keep_fraction)).floor() as usize;
+        let layers = model.layers_mut();
+        for &(li, ch, _) in entries.iter().take(quota) {
+            if let Layer::BatchNorm2d(bn) = &mut layers[li] {
+                bn.gamma_mut().as_mut_slice()[ch] = 0.0;
+            }
+        }
+        quota
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_nn::models::{vgg16_proxy, VggProxyConfig};
+
+    fn proxy() -> pcnn_nn::Model {
+        vgg16_proxy(&VggProxyConfig::default(), 5)
+    }
+
+    #[test]
+    fn irregular_hits_target_density() {
+        let mut m = proxy();
+        let _ = irregular::prune_magnitude(&mut m, 4.0 / 9.0);
+        for conv in m.prunable_convs() {
+            let density = 1.0 - conv.weight().sparsity();
+            assert!((density - 4.0 / 9.0).abs() < 0.01, "density {density}");
+        }
+    }
+
+    #[test]
+    fn irregular_is_actually_irregular() {
+        // Per-kernel nnz varies under magnitude pruning (unlike PCNN).
+        let mut m = proxy();
+        let _ = irregular::prune_magnitude(&mut m, 4.0 / 9.0);
+        let convs = m.prunable_convs();
+        let hist = irregular::kernel_nnz_histogram(convs[5].weight());
+        let min = hist.iter().min().unwrap();
+        let max = hist.iter().max().unwrap();
+        assert!(max > min, "expected spread, got constant {min}");
+    }
+
+    #[test]
+    fn kernel_pruning_zeroes_whole_kernels() {
+        let mut m = proxy();
+        let kept = kernel::prune_kernels(&mut m, 0.5);
+        for (conv, &k) in m.prunable_convs().iter().zip(&kept) {
+            let area = conv.shape().kernel_area();
+            let mut alive = 0usize;
+            for kernel in conv.weight().as_slice().chunks(area) {
+                let nnz = kernel.iter().filter(|&&w| w != 0.0).count();
+                assert!(nnz == 0 || nnz == area, "partial kernel survived");
+                if nnz > 0 {
+                    alive += 1;
+                }
+            }
+            assert_eq!(alive, k);
+        }
+    }
+
+    #[test]
+    fn filter_pruning_zeroes_whole_filters() {
+        let mut m = proxy();
+        let _ = filter::prune_filters(&mut m, 0.75);
+        for conv in m.prunable_convs() {
+            let shape = *conv.shape();
+            let filter_len = shape.in_c * shape.kernel_area();
+            let mut zeroed = 0usize;
+            for f in conv.weight().as_slice().chunks(filter_len) {
+                let nnz = f.iter().filter(|&&w| w != 0.0).count();
+                assert!(nnz == 0 || nnz == filter_len);
+                if nnz == 0 {
+                    zeroed += 1;
+                }
+            }
+            let expect = shape.out_c - ((shape.out_c as f64) * 0.75).ceil() as usize;
+            assert_eq!(zeroed, expect);
+        }
+    }
+
+    #[test]
+    fn channel_pruning_zeroes_gammas() {
+        let mut m = proxy();
+        let before = channel::gamma_saliencies(&m).len();
+        let pruned = channel::prune_channels(&mut m, 0.5);
+        // Exactly half the channels are zeroed even with all-tied γ = 1.
+        assert_eq!(pruned, before / 2, "pruned {pruned} of {before}");
+        let zeros = channel::gamma_saliencies(&m)
+            .iter()
+            .filter(|&&g| g == 0.0)
+            .count();
+        assert_eq!(zeros, pruned);
+    }
+
+    #[test]
+    fn channel_pruning_prefers_small_gammas() {
+        let mut m = proxy();
+        // Make one BN's channels tiny so they are pruned first.
+        if let pcnn_nn::model::Layer::BatchNorm2d(bn) = &mut m.layers_mut()[1] {
+            bn.gamma_mut().fill(1e-6);
+        }
+        let _ = channel::prune_channels(&mut m, 0.9);
+        if let pcnn_nn::model::Layer::BatchNorm2d(bn) = &m.layers()[1] {
+            assert!(bn.gamma().as_slice().iter().all(|&g| g == 0.0));
+        } else {
+            panic!("layer 1 should be BatchNorm");
+        }
+    }
+
+    #[test]
+    fn keep_everything_is_noop() {
+        let mut m = proxy();
+        let w_before: Vec<f32> = m.prunable_convs()[0].weight().as_slice().to_vec();
+        let _ = kernel::prune_kernels(&mut m, 1.0);
+        let _ = filter::prune_filters(&mut m, 1.0);
+        assert_eq!(m.prunable_convs()[0].weight().as_slice(), &w_before[..]);
+    }
+}

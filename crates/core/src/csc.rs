@@ -1,0 +1,193 @@
+//! A working CSC (EIE-style) compressed format for irregular sparsity.
+//!
+//! The paper compares SPM's index overhead against EIE's relative-indexed
+//! CSC: each non-zero weight carries a 4-bit *run length* (zeros since
+//! the previous non-zero); runs longer than 15 insert an explicit
+//! padding zero. This module implements that format for real — encode,
+//! decode, and bit accounting — so the comparison in the tables rests on
+//! an executable artifact rather than a formula.
+
+use pcnn_tensor::Tensor;
+
+/// A CSC/EIE-encoded flat weight vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscVector {
+    /// Stored values (non-zeros plus any padding zeros).
+    values: Vec<f32>,
+    /// Run-length index per stored value (zeros preceding it).
+    runs: Vec<u8>,
+    /// Bits per run-length index.
+    index_bits: u32,
+    /// Original dense length.
+    len: usize,
+}
+
+impl CscVector {
+    /// Encodes a dense slice with `index_bits`-bit run lengths (EIE uses
+    /// 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or exceeds 8.
+    pub fn encode(dense: &[f32], index_bits: u32) -> Self {
+        assert!((1..=8).contains(&index_bits), "index_bits must be 1..=8");
+        let max_run = (1u32 << index_bits) - 1;
+        let mut values = Vec::new();
+        let mut runs = Vec::new();
+        let mut run = 0u32;
+        for &v in dense {
+            if v == 0.0 {
+                run += 1;
+                if run > max_run {
+                    // Insert a padding zero to keep the run encodable.
+                    values.push(0.0);
+                    runs.push(max_run as u8);
+                    run = 0;
+                }
+            } else {
+                values.push(v);
+                runs.push(run as u8);
+                run = 0;
+            }
+        }
+        CscVector {
+            values,
+            runs,
+            index_bits,
+            len: dense.len(),
+        }
+    }
+
+    /// Encodes a whole OIHW weight tensor (flattened, as EIE does).
+    pub fn encode_tensor(weight: &Tensor, index_bits: u32) -> Self {
+        Self::encode(weight.as_slice(), index_bits)
+    }
+
+    /// Decodes back to the dense vector.
+    pub fn decode(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        let mut pos = 0usize;
+        for (&v, &r) in self.values.iter().zip(&self.runs) {
+            pos += r as usize;
+            if v != 0.0 {
+                out[pos] = v;
+            }
+            pos += 1;
+        }
+        out
+    }
+
+    /// Stored entries (non-zeros + padding zeros).
+    pub fn stored(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Padding zeros inserted for over-long runs.
+    pub fn padding_zeros(&self) -> usize {
+        self.values.iter().filter(|&&v| v == 0.0).count()
+    }
+
+    /// Index storage in bits.
+    pub fn index_bits_total(&self) -> u64 {
+        self.runs.len() as u64 * self.index_bits as u64
+    }
+
+    /// Total storage in bits for the given weight precision.
+    pub fn total_bits(&self, weight_bits: u32) -> u64 {
+        self.stored() as u64 * weight_bits as u64 + self.index_bits_total()
+    }
+
+    /// Compression ratio versus the dense vector at the same precision.
+    pub fn compression(&self, weight_bits: u32) -> f64 {
+        (self.len as u64 * weight_bits as u64) as f64 / self.total_bits(weight_bits).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_simple() {
+        let dense = vec![0.0, 1.0, 0.0, 0.0, 2.0, 0.0, -3.0, 0.0];
+        let csc = CscVector::encode(&dense, 4);
+        assert_eq!(csc.decode(), dense);
+        assert_eq!(csc.stored(), 3);
+        assert_eq!(csc.index_bits_total(), 12);
+    }
+
+    #[test]
+    fn long_runs_insert_padding() {
+        // 20 zeros then a value: with 4-bit runs (max 15) one padding
+        // zero is required.
+        let mut dense = vec![0.0f32; 20];
+        dense.push(7.0);
+        let csc = CscVector::encode(&dense, 4);
+        assert_eq!(csc.padding_zeros(), 1);
+        assert_eq!(csc.decode(), dense);
+    }
+
+    #[test]
+    fn all_zero_vector() {
+        let dense = vec![0.0f32; 40];
+        let csc = CscVector::encode(&dense, 4);
+        // Two padding zeros cover runs of 16 each; the final partial run
+        // is dropped (nothing left to anchor it), which still decodes to
+        // all zeros.
+        assert_eq!(csc.decode(), dense);
+        assert!(csc.stored() <= 3);
+    }
+
+    #[test]
+    fn roundtrip_random_sparsity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for density in [0.05f64, 0.2, 0.5, 1.0] {
+            let dense: Vec<f32> = (0..500)
+                .map(|_| {
+                    if rng.gen_bool(density) {
+                        rng.gen_range(-1.0f32..1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let csc = CscVector::encode(&dense, 4);
+            let back = csc.decode();
+            // Exact roundtrip apart from values that were randomly 0.0.
+            assert_eq!(back, dense, "density {density}");
+        }
+    }
+
+    #[test]
+    fn compression_matches_paper_example() {
+        // n = 4-of-9 regular density, fp32: EIE-style CSC ≈ 2.0× (paper
+        // §IV-B). Build a vector with exactly 4 non-zeros per 9.
+        let mut dense = Vec::new();
+        for _ in 0..1000 {
+            dense.extend_from_slice(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+        }
+        let csc = CscVector::encode(&dense, 4);
+        assert_eq!(csc.padding_zeros(), 0);
+        let c = csc.compression(32);
+        assert!((c - 2.0).abs() < 0.01, "{c}");
+    }
+
+    #[test]
+    fn tensor_encode_matches_flat() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let data: Vec<f32> = (0..2 * 3 * 9)
+            .map(|_| {
+                if rng.gen_bool(0.4) {
+                    rng.gen_range(-1.0f32..1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let t = Tensor::from_vec(data.clone(), &[2, 3, 3, 3]);
+        let a = CscVector::encode_tensor(&t, 4);
+        let b = CscVector::encode(&data, 4);
+        assert_eq!(a, b);
+    }
+}

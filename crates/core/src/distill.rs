@@ -1,0 +1,228 @@
+//! KP-based pattern distillation (Algorithm 1 of the paper).
+//!
+//! Pattern distillation selects, per layer, the `V_l` patterns from the
+//! full candidate set `F_n` that most kernels project onto — the greedy
+//! solution of the multiple-knapsack problem with unit capacities
+//! (MKP-1) the paper formulates in Equation 1: count the nearest pattern
+//! of every kernel, then keep the top-`V_l` by frequency.
+
+use crate::pattern::{Pattern, PatternSet};
+use crate::project::project_kernel;
+use pcnn_tensor::Tensor;
+
+/// Frequency histogram of nearest patterns over a layer's kernels —
+/// the data behind Figure 2 of the paper ("dominant" vs "trivial"
+/// patterns in CONV4 of VGG-16).
+#[derive(Debug, Clone)]
+pub struct PatternHistogram {
+    /// `(pattern, count)` pairs sorted by descending count (ties by
+    /// ascending mask).
+    entries: Vec<(Pattern, u64)>,
+    /// Number of kernels counted.
+    total: u64,
+}
+
+impl PatternHistogram {
+    /// Counts the nearest pattern in `F_n` for every `area`-length kernel
+    /// of `weight` (an OIHW tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's kernel area doesn't match `n`'s range.
+    pub fn from_weight(weight: &Tensor, n: usize) -> Self {
+        let dims = weight.shape();
+        assert_eq!(dims.len(), 4, "weight must be OIHW");
+        let area = dims[2] * dims[3];
+        let mut counts: std::collections::HashMap<Pattern, u64> = std::collections::HashMap::new();
+        for kernel in weight.as_slice().chunks(area) {
+            let p = project_kernel(kernel, n);
+            *counts.entry(p).or_insert(0) += 1;
+        }
+        let total = weight.as_slice().len() as u64 / area as u64;
+        let mut entries: Vec<(Pattern, u64)> = counts.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.mask().cmp(&b.0.mask())));
+        PatternHistogram { entries, total }
+    }
+
+    /// The `(pattern, count)` entries, most frequent first.
+    pub fn entries(&self) -> &[(Pattern, u64)] {
+        &self.entries
+    }
+
+    /// Number of kernels counted.
+    pub fn total_kernels(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of *distinct* patterns that appeared at least once. The
+    /// paper observes this is far below `|F_n|` ("there are even some
+    /// redundant patterns when we apply PCNN").
+    pub fn distinct_patterns(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fraction of kernels covered by the `k` most frequent patterns.
+    pub fn coverage(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.entries.iter().take(k).map(|(_, c)| c).sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// Shannon entropy of the pattern distribution in bits — the lower
+    /// bound an entropy coder could reach for the SPM index stream,
+    /// against which the fixed `⌈log2 |P|⌉`-bit code can be judged.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        -self
+            .entries
+            .iter()
+            .map(|(_, c)| {
+                let p = *c as f64 / total;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
+    /// The top-`k` patterns as a [`PatternSet`] (the distilled `P_l`).
+    ///
+    /// When fewer than `k` distinct patterns were observed, the set is
+    /// padded with unobserved patterns from `F_n` so downstream
+    /// bit-width accounting still reflects the requested `V_l`... unless
+    /// `pad` is false, in which case only observed patterns are kept.
+    pub fn top_k(&self, k: usize, area: usize, n: usize, pad: bool) -> PatternSet {
+        let mut pats: Vec<Pattern> = self.entries.iter().take(k).map(|(p, _)| *p).collect();
+        if pad && pats.len() < k {
+            for candidate in Pattern::enumerate(area, n) {
+                if pats.len() >= k {
+                    break;
+                }
+                if !pats.contains(&candidate) {
+                    pats.push(candidate);
+                }
+            }
+        }
+        PatternSet::from_patterns(pats)
+    }
+}
+
+/// Algorithm 1 for one layer: distills the top-`vl` patterns of `weight`
+/// (OIHW) with `n` non-zeros per kernel.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_core::distill::distill_layer;
+/// use pcnn_tensor::init::kaiming_normal;
+///
+/// let w = kaiming_normal(&[8, 4, 3, 3], 36, 7);
+/// let set = distill_layer(&w, 4, 16);
+/// assert_eq!(set.len(), 16);
+/// assert!(set.iter().all(|p| p.weight() == 4));
+/// ```
+pub fn distill_layer(weight: &Tensor, n: usize, vl: usize) -> PatternSet {
+    let dims = weight.shape();
+    let area = dims[2] * dims[3];
+    let hist = PatternHistogram::from_weight(weight, n);
+    hist.top_k(vl, area, n, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_tensor::init::kaiming_normal;
+
+    #[test]
+    fn histogram_counts_sum_to_kernel_count() {
+        let w = kaiming_normal(&[16, 8, 3, 3], 72, 3);
+        let hist = PatternHistogram::from_weight(&w, 4);
+        let sum: u64 = hist.entries().iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, 128);
+        assert_eq!(hist.total_kernels(), 128);
+    }
+
+    #[test]
+    fn histogram_is_sorted_descending() {
+        let w = kaiming_normal(&[32, 16, 3, 3], 144, 5);
+        let hist = PatternHistogram::from_weight(&w, 4);
+        for pair in hist.entries().windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_and_reaches_one() {
+        let w = kaiming_normal(&[16, 16, 3, 3], 144, 7);
+        let hist = PatternHistogram::from_weight(&w, 2);
+        let mut prev = 0.0;
+        for k in 1..=hist.distinct_patterns() {
+            let c = hist.coverage(k);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((hist.coverage(hist.distinct_patterns()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_pattern_wins() {
+        // Craft a layer where every kernel matches the same pattern.
+        let mut w = Tensor::zeros(&[4, 4, 3, 3]);
+        for kernel in w.as_mut_slice().chunks_mut(9) {
+            kernel[0] = 1.0;
+            kernel[8] = -2.0;
+        }
+        let hist = PatternHistogram::from_weight(&w, 2);
+        assert_eq!(hist.distinct_patterns(), 1);
+        assert_eq!(hist.entries()[0].0.positions(), vec![0, 8]);
+        assert_eq!(hist.entries()[0].1, 16);
+    }
+
+    #[test]
+    fn distill_pads_to_requested_size() {
+        // A single-kernel layer observes one pattern; requesting 8 pads.
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        w.as_mut_slice()[3] = 1.0;
+        let set = distill_layer(&w, 1, 8);
+        assert_eq!(set.len(), 8);
+        // The observed pattern gets SPM code 0 (most frequent first).
+        assert_eq!(set.get(0).positions(), vec![3]);
+    }
+
+    #[test]
+    fn distill_respects_vl_below_observed() {
+        let w = kaiming_normal(&[32, 32, 3, 3], 288, 11);
+        let set = distill_layer(&w, 4, 4);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.bits_per_code(), 2);
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_distinct() {
+        let w = kaiming_normal(&[32, 16, 3, 3], 144, 3);
+        let hist = PatternHistogram::from_weight(&w, 4);
+        let h = hist.entropy_bits();
+        assert!(h > 0.0);
+        assert!(h <= (hist.distinct_patterns() as f64).log2() + 1e-9);
+        // A single-pattern layer has zero entropy.
+        let mut w1 = Tensor::zeros(&[4, 4, 3, 3]);
+        for kernel in w1.as_mut_slice().chunks_mut(9) {
+            kernel[0] = 1.0;
+        }
+        assert_eq!(PatternHistogram::from_weight(&w1, 1).entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn distilled_sets_order_by_frequency() {
+        let w = kaiming_normal(&[64, 32, 3, 3], 288, 13);
+        let hist = PatternHistogram::from_weight(&w, 4);
+        let set = hist.top_k(16, 9, 4, true);
+        // The first pattern of the set is the most frequent.
+        assert_eq!(set.get(0), hist.entries()[0].0);
+    }
+
+    use pcnn_tensor::Tensor;
+}

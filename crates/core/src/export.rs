@@ -1,0 +1,296 @@
+//! Binary deployment format for SPM-encoded networks.
+//!
+//! A real PCNN deployment ships three streams per layer (Figure 3a):
+//! the SPM mapping table (→ Pattern SRAM), the per-kernel code stream,
+//! and the packed non-zero weights (→ Weight SRAM). This module defines
+//! a self-contained little-endian container for all three plus the
+//! layer geometry, with strict validation on load — the artifact a host
+//! driver would DMA to the accelerator.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "PCNN"            4 bytes
+//! version u16              (currently 1)
+//! layers  u16
+//! per layer:
+//!   out_c, in_c, area      u16 × 3
+//!   n (nonzeros/kernel)    u16
+//!   patterns               u16
+//!   pattern masks          u16 × patterns
+//!   codes                  u16 × (out_c·in_c)
+//!   weights                f32 × (out_c·in_c·n)
+//! ```
+
+use crate::pattern::{Pattern, PatternSet};
+use crate::spm::SpmLayer;
+use pcnn_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"PCNN";
+const VERSION: u16 = 1;
+
+/// Errors produced when parsing a PCNN container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePcnnError {
+    /// The magic bytes or version did not match.
+    BadHeader,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A declared field was internally inconsistent (e.g. a code out of
+    /// table range, a non-square kernel area, a zero dimension).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ParsePcnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePcnnError::BadHeader => write!(f, "not a PCNN v{VERSION} container"),
+            ParsePcnnError::Truncated => write!(f, "container truncated"),
+            ParsePcnnError::Corrupt(what) => write!(f, "corrupt container: {what}"),
+        }
+    }
+}
+
+impl Error for ParsePcnnError {}
+
+/// Serialises SPM layers into the deployment container.
+pub fn export_spm_layers(layers: &[SpmLayer]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(layers.len() as u16).to_le_bytes());
+    for layer in layers {
+        let set = layer.pattern_set();
+        out.extend_from_slice(&(layer.out_channels() as u16).to_le_bytes());
+        out.extend_from_slice(&(layer.in_channels() as u16).to_le_bytes());
+        out.extend_from_slice(&(set.area() as u16).to_le_bytes());
+        out.extend_from_slice(&(layer.nonzeros_per_kernel() as u16).to_le_bytes());
+        out.extend_from_slice(&(set.len() as u16).to_le_bytes());
+        for p in set.iter() {
+            out.extend_from_slice(&p.mask().to_le_bytes());
+        }
+        for &code in layer.codes() {
+            out.extend_from_slice(&code.to_le_bytes());
+        }
+        for ki in 0..layer.kernel_count() {
+            for &w in layer.kernel_nonzeros(ki) {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// A cursor with bounds-checked little-endian reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParsePcnnError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ParsePcnnError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, ParsePcnnError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, ParsePcnnError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Parses a deployment container back into SPM layers.
+///
+/// # Errors
+///
+/// Returns [`ParsePcnnError`] on any malformed input — the parser never
+/// panics on untrusted bytes.
+pub fn import_spm_layers(bytes: &[u8]) -> Result<Vec<SpmLayer>, ParsePcnnError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC || r.u16()? != VERSION {
+        return Err(ParsePcnnError::BadHeader);
+    }
+    let layer_count = r.u16()? as usize;
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let out_c = r.u16()? as usize;
+        let in_c = r.u16()? as usize;
+        let area = r.u16()? as usize;
+        let n = r.u16()? as usize;
+        let patterns = r.u16()? as usize;
+        if out_c == 0 || in_c == 0 {
+            return Err(ParsePcnnError::Corrupt("zero channel dimension"));
+        }
+        let side = (area as f64).sqrt() as usize;
+        if side * side != area || area == 0 || area > 16 {
+            return Err(ParsePcnnError::Corrupt(
+                "kernel area not a square in 1..=16",
+            ));
+        }
+        if n > area || patterns == 0 {
+            return Err(ParsePcnnError::Corrupt("invalid sparsity or empty table"));
+        }
+
+        let mut masks = Vec::with_capacity(patterns);
+        for _ in 0..patterns {
+            let m = r.u16()?;
+            if area < 16 && m >= 1 << area {
+                return Err(ParsePcnnError::Corrupt("pattern mask out of area range"));
+            }
+            if m.count_ones() as usize != n {
+                return Err(ParsePcnnError::Corrupt("pattern weight mismatch"));
+            }
+            masks.push(Pattern::new(m, area));
+        }
+        let mut seen = std::collections::HashSet::new();
+        if !masks.iter().all(|p| seen.insert(p.mask())) {
+            return Err(ParsePcnnError::Corrupt("duplicate pattern in table"));
+        }
+        let set = PatternSet::from_patterns(masks);
+
+        let kernels = out_c * in_c;
+        let mut codes = Vec::with_capacity(kernels);
+        for _ in 0..kernels {
+            let c = r.u16()?;
+            if c as usize >= set.len() {
+                return Err(ParsePcnnError::Corrupt("SPM code out of table range"));
+            }
+            codes.push(c);
+        }
+        let mut weights = Vec::with_capacity(kernels * n);
+        for _ in 0..kernels * n {
+            weights.push(r.f32()?);
+        }
+
+        // Rebuild through the dense representation so all of SpmLayer's
+        // own invariants re-apply.
+        let mut dense = Tensor::zeros(&[out_c, in_c, side, side]);
+        for (ki, &code) in codes.iter().enumerate() {
+            let pattern = set.get(code as usize);
+            for (rank, pos) in pattern.positions().into_iter().enumerate() {
+                dense.as_mut_slice()[ki * area + pos] = weights[ki * n + rank];
+            }
+        }
+        let layer = SpmLayer::encode(&dense, &set)
+            .map_err(|_| ParsePcnnError::Corrupt("kernels do not fit declared table"))?;
+        layers.push(layer);
+    }
+    if r.pos != bytes.len() {
+        return Err(ParsePcnnError::Corrupt("trailing bytes"));
+    }
+    Ok(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::project_onto_set;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn sample_layers() -> Vec<SpmLayer> {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        for (oc, ic, n) in [(4usize, 3usize, 4usize), (6, 4, 2)] {
+            let set = PatternSet::full(9, n);
+            let mut w = Tensor::from_vec(
+                (0..oc * ic * 9)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect(),
+                &[oc, ic, 3, 3],
+            );
+            for kernel in w.as_mut_slice().chunks_mut(9) {
+                let _ = project_onto_set(kernel, &set);
+            }
+            out.push(SpmLayer::encode(&w, &set).expect("encode"));
+        }
+        out
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let layers = sample_layers();
+        let bytes = export_spm_layers(&layers);
+        let back = import_spm_layers(&bytes).expect("parse");
+        assert_eq!(back.len(), layers.len());
+        for (a, b) in layers.iter().zip(&back) {
+            assert_eq!(a.codes(), b.codes());
+            assert_eq!(a.decode().as_slice(), b.decode().as_slice());
+            assert_eq!(a.pattern_set(), b.pattern_set());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let layers = sample_layers();
+        let mut bytes = export_spm_layers(&layers);
+        bytes[0] = b'X';
+        assert_eq!(
+            import_spm_layers(&bytes).unwrap_err(),
+            ParsePcnnError::BadHeader
+        );
+        let mut bytes2 = export_spm_layers(&layers);
+        bytes2[4] = 99;
+        assert_eq!(
+            import_spm_layers(&bytes2).unwrap_err(),
+            ParsePcnnError::BadHeader
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let layers = sample_layers();
+        let bytes = export_spm_layers(&layers);
+        // Chop at a few representative places: header, table, codes, weights.
+        for cut in [3usize, 7, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = import_spm_layers(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ParsePcnnError::Truncated | ParsePcnnError::BadHeader),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_code() {
+        let layers = sample_layers();
+        let mut bytes = export_spm_layers(&layers);
+        // First layer: header(4+2+2) + layer header(10) + table(126*2)
+        // puts the first code at a known offset; overwrite with 0xFFFF.
+        let code_off = 8 + 10 + 126 * 2;
+        bytes[code_off] = 0xFF;
+        bytes[code_off + 1] = 0xFF;
+        assert_eq!(
+            import_spm_layers(&bytes).unwrap_err(),
+            ParsePcnnError::Corrupt("SPM code out of table range")
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let layers = sample_layers();
+        let mut bytes = export_spm_layers(&layers);
+        bytes.push(0);
+        assert_eq!(
+            import_spm_layers(&bytes).unwrap_err(),
+            ParsePcnnError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn error_messages_are_displayable() {
+        assert!(ParsePcnnError::BadHeader.to_string().contains("PCNN"));
+        assert!(ParsePcnnError::Truncated.to_string().contains("truncated"));
+        assert!(ParsePcnnError::Corrupt("x").to_string().contains("x"));
+    }
+}

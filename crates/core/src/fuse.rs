@@ -1,0 +1,170 @@
+//! Composing PCNN with coarse-grained pruning (the paper's
+//! "orthogonality" experiments, Tables VII and VIII).
+//!
+//! PCNN prunes *within* kernels; kernel- and channel-level pruning
+//! remove whole kernels or channels. The compression rates compose
+//! (almost) multiplicatively: after coarse pruning keeps a fraction of
+//! the weights, PCNN keeps `n/k²` of *those*.
+
+use crate::compress::{pcnn_compression, CompressionReport, StorageModel};
+use crate::plan::PrunePlan;
+use pcnn_nn::zoo::NetworkShape;
+
+/// Result of a fused (PCNN × coarse) compression computation.
+#[derive(Debug, Clone)]
+pub struct FusedCompression {
+    /// PCNN-only weight compression on the reduced network.
+    pub pcnn_factor: f64,
+    /// Coarse pruning factor (dense weights / weights after coarse).
+    pub coarse_factor: f64,
+    /// Total weight compression relative to the original dense network.
+    pub total: f64,
+    /// Bit-level compression including SPM index overhead.
+    pub total_with_index: f64,
+    /// The underlying PCNN report on the reduced network.
+    pub report: CompressionReport,
+}
+
+/// Scales a network as if kernel-level pruning kept `keep` of each
+/// prunable layer's kernels. Kernel pruning removes `(out_c·in_c)`-grain
+/// 2-D kernels; we model it by scaling the kernel count, implemented as
+/// scaling `in_c` (weight and MAC counts scale identically).
+///
+/// # Panics
+///
+/// Panics if `keep` is outside `(0, 1]`.
+pub fn kernel_pruned_network(net: &NetworkShape, keep: f64) -> NetworkShape {
+    assert!(keep > 0.0 && keep <= 1.0, "keep must be in (0,1]");
+    let mut out = net.clone();
+    for conv in out.convs.iter_mut().filter(|c| c.prunable) {
+        conv.in_c = ((conv.in_c as f64 * keep).round() as usize).max(1);
+    }
+    out.name = format!("{} + kernel-pruned ×{:.2}", net.name, 1.0 / keep);
+    out
+}
+
+/// Scales a network as if channel pruning kept `keep` of every layer's
+/// channels: each prunable layer's `in_c` and `out_c` shrink, so its
+/// weight count shrinks by ≈ `keep²` (interior layers) — which is why a
+/// 9× channel-pruned VGG corresponds to `keep = 1/3`.
+///
+/// # Panics
+///
+/// Panics if `keep` is outside `(0, 1]`.
+pub fn channel_pruned_network(net: &NetworkShape, keep: f64) -> NetworkShape {
+    assert!(keep > 0.0 && keep <= 1.0, "keep must be in (0,1]");
+    let mut out = net.clone();
+    let first_in = out.convs.first().map(|c| c.in_c);
+    for conv in out.convs.iter_mut() {
+        // The network input (3 RGB planes) is not prunable.
+        if Some(conv.in_c) != first_in || conv.name != "conv1" {
+            conv.in_c = ((conv.in_c as f64 * keep).round() as usize).max(1);
+        }
+        conv.out_c = ((conv.out_c as f64 * keep).round() as usize).max(1);
+    }
+    out.name = format!("{} + channel-pruned keep={keep:.2}", net.name);
+    out
+}
+
+/// Computes the fused compression of applying a coarse-grained reduction
+/// (already baked into `reduced`) followed by PCNN under `plan`.
+///
+/// `original` supplies the dense baseline the total is measured against.
+pub fn fused_compression(
+    original: &NetworkShape,
+    reduced: &NetworkShape,
+    plan: &PrunePlan,
+    storage: &StorageModel,
+) -> FusedCompression {
+    let report = pcnn_compression(reduced, plan, storage);
+    let dense_orig = original.conv_params() as f64;
+    let dense_reduced = reduced.conv_params() as f64;
+    let coarse_factor = dense_orig / dense_reduced;
+    let total = dense_orig / report.params_after as f64;
+    let orig_bits = original.conv_params() * storage.weight_bits as u64;
+    let total_with_index = orig_bits as f64 / report.total_bits as f64;
+    FusedCompression {
+        pcnn_factor: report.weight_only,
+        coarse_factor,
+        total,
+        total_with_index,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_nn::zoo::{vgg16_cifar, vgg16_imagenet};
+
+    #[test]
+    fn table7_kernel_fusion() {
+        // Paper Table VII: PCNN n=5 (1.8×) + kernel pruning 2.4× → 4.4×;
+        // + kernel pruning 4.1× → 7.3×.
+        let net = vgg16_imagenet();
+        let plan = PrunePlan::uniform(13, 5, 32);
+        for (kp_factor, expect) in [(2.4f64, 4.4f64), (4.1, 7.3)] {
+            let reduced = kernel_pruned_network(&net, 1.0 / kp_factor);
+            let fused = fused_compression(&net, &reduced, &plan, &StorageModel::default());
+            assert!(
+                (fused.pcnn_factor - 1.8).abs() < 0.01,
+                "pcnn {}",
+                fused.pcnn_factor
+            );
+            assert!(
+                (fused.total - expect).abs() / expect < 0.05,
+                "kernel {kp_factor}: total {} vs paper {expect}",
+                fused.total
+            );
+        }
+    }
+
+    #[test]
+    fn table8_channel_fusion() {
+        // Paper Table VIII: PCNN 3.75× (n=2.4 avg ≈ keeping 2.4/9) +
+        // channel pruning 9× → 34.4×. We model PCNN 3.75× as the n
+        // schedule that keeps 2.4/9 — closest integer plan: n=2 in most
+        // layers (4.5×) mixed with n=3 (3×); the paper states the factors
+        // themselves, so we verify multiplicativity with n=2 (4.5×)
+        // against a 9×-parameter channel reduction scaled to match.
+        let net = vgg16_cifar();
+        // keep ≈ 1/3 of channels → interior layers shrink ~9×.
+        let reduced = channel_pruned_network(&net, 1.0 / 3.0);
+        let coarse = net.conv_params() as f64 / reduced.conv_params() as f64;
+        assert!(coarse > 8.0 && coarse < 10.0, "coarse {coarse}");
+        let plan = PrunePlan::uniform(13, 2, 32);
+        let fused = fused_compression(&net, &reduced, &plan, &StorageModel::default());
+        // 4.5 × ~9 ≈ 40; the paper's 3.75 × 9.17 ≈ 34.4. Multiplicativity
+        // is the property under test.
+        let expected = fused.pcnn_factor * fused.coarse_factor;
+        assert!(
+            (fused.total - expected).abs() / expected < 0.01,
+            "total {} vs product {expected}",
+            fused.total
+        );
+        assert!(
+            fused.total > 30.0,
+            "headline >30× fused compression, got {}",
+            fused.total
+        );
+    }
+
+    #[test]
+    fn reduced_networks_shrink() {
+        let net = vgg16_cifar();
+        let k = kernel_pruned_network(&net, 0.5);
+        assert!(k.conv_params() < net.conv_params());
+        let c = channel_pruned_network(&net, 0.5);
+        // Interior layers shrink ≈4×.
+        let ratio = net.conv_params() as f64 / c.conv_params() as f64;
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio {ratio}");
+        // First layer input stays 3 (RGB is not prunable).
+        assert_eq!(c.convs[0].in_c, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep must be in (0,1]")]
+    fn zero_keep_rejected() {
+        let _ = kernel_pruned_network(&vgg16_cifar(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! PCNN core: pattern-based fine-grained regular pruning.
+//!
+//! This crate implements the primary contribution of *"PCNN:
+//! Pattern-based Fine-Grained Regular Pruning Towards Optimizing CNN
+//! Accelerators"* (DAC 2020):
+//!
+//! * [`pattern`] — sparsity patterns over `k²` kernel positions and
+//!   ordered [`pattern::PatternSet`]s (the SPM mapping tables);
+//! * [`spm`] — the Sparsity Pattern Mask storage format: one small code
+//!   per kernel plus an equal-length non-zero sequence;
+//! * [`project`] — the projection operator `Π` that maps a kernel to its
+//!   nearest pattern (keeping top-`n` absolute values);
+//! * [`distill`] — KP-based pattern distillation (Algorithm 1): keep the
+//!   top-`V_l` most frequently matched patterns per layer;
+//! * [`plan`] — per-layer sparsity plans (`n_l`, `V_l`), uniform or
+//!   "various" as in the paper's last table rows;
+//! * [`pruner`] — applying a plan to a trainable `pcnn-nn` model
+//!   (mask building + hard pruning);
+//! * [`admm`] — ADMM pattern-constrained fine-tuning;
+//! * [`compress`] — storage/compression accounting under SPM and CSC
+//!   (EIE-style) formats, and FLOPs accounting;
+//! * [`csc`] — a working EIE-style run-length CSC codec (the irregular
+//!   baseline's actual storage format);
+//! * [`sensitivity`] — per-layer sensitivity scans and automatic
+//!   "various-n" plan search (extension of the paper's hand-tuned rows);
+//! * [`baselines`] — irregular, kernel-level, filter-level and
+//!   channel-level pruning comparators;
+//! * [`fuse`] — combining PCNN with coarse-grained pruning (the
+//!   orthogonality experiments);
+//! * [`quant`] — 8-bit symmetric quantisation used by the accelerator;
+//! * [`sparse`] — software execution of SPM-encoded convolutions with
+//!   effectual-MAC counting.
+//!
+//! # Example: encode a kernel as pattern + non-zero sequence
+//!
+//! ```
+//! use pcnn_core::project::project_kernel;
+//!
+//! // Figure 1 of the paper: a kernel with 6 non-zeros.
+//! let kernel = [0.0, 2.09, 1.45, 0.0, 0.0, 1.15, -0.89, 2.12, -0.58];
+//! let pattern = project_kernel(&kernel, 6);
+//! assert_eq!(pattern.weight(), 6);
+//! assert!(!pattern.contains(0) && pattern.contains(1));
+//! ```
+
+pub mod admm;
+pub mod baselines;
+pub mod compress;
+pub mod csc;
+pub mod distill;
+pub mod export;
+pub mod fuse;
+pub mod pattern;
+pub mod plan;
+pub mod project;
+pub mod pruner;
+pub mod quant;
+pub mod sensitivity;
+pub mod sparse;
+pub mod spm;
+
+pub use pattern::{Pattern, PatternSet};
+pub use plan::PrunePlan;

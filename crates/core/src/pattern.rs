@@ -1,0 +1,532 @@
+//! Sparsity patterns and pattern sets (SPM mapping tables).
+//!
+//! A [`Pattern`] names which of the `k²` positions of a 2-D convolution
+//! kernel are non-zero, stored as a bitmask (position 0 = top-left,
+//! row-major — matching the weight layout of OIHW tensors). A
+//! [`PatternSet`] is an ordered collection of patterns; the *index* of a
+//! pattern in the set is its SPM code, and the set itself is exactly the
+//! "SPM mapping table" the accelerator's decoder holds.
+
+use std::fmt;
+
+/// Maximum kernel area supported by the `u16` bitmask representation.
+pub const MAX_KERNEL_AREA: usize = 16;
+
+/// A sparsity pattern over the positions of one 2-D kernel.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_core::Pattern;
+/// let p = Pattern::from_positions(&[0, 4, 8], 9); // main diagonal of 3×3
+/// assert_eq!(p.weight(), 3);
+/// assert!(p.contains(4));
+/// assert_eq!(p.positions(), vec![0, 4, 8]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern {
+    mask: u16,
+    area: u8,
+}
+
+impl Pattern {
+    /// Creates a pattern from a raw bitmask over `area` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area > 16` or the mask has bits outside `area`.
+    pub fn new(mask: u16, area: usize) -> Self {
+        assert!(
+            area <= MAX_KERNEL_AREA,
+            "kernel area {area} exceeds u16 mask"
+        );
+        assert!(
+            area == MAX_KERNEL_AREA || mask < (1u16 << area),
+            "mask {mask:#b} out of range for area {area}"
+        );
+        Pattern {
+            mask,
+            area: area as u8,
+        }
+    }
+
+    /// Creates a pattern with the given non-zero positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range.
+    pub fn from_positions(positions: &[usize], area: usize) -> Self {
+        let mut mask = 0u16;
+        for &p in positions {
+            assert!(p < area, "position {p} out of range for area {area}");
+            mask |= 1 << p;
+        }
+        Pattern::new(mask, area)
+    }
+
+    /// The raw bitmask (bit `i` set ⇔ position `i` is non-zero).
+    pub fn mask(&self) -> u16 {
+        self.mask
+    }
+
+    /// The kernel area this pattern is defined over (9 for 3×3).
+    pub fn area(&self) -> usize {
+        self.area as usize
+    }
+
+    /// Number of non-zero positions (the paper's `n`).
+    pub fn weight(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Whether position `pos` is non-zero under this pattern.
+    pub fn contains(&self, pos: usize) -> bool {
+        pos < self.area() && (self.mask >> pos) & 1 == 1
+    }
+
+    /// The non-zero positions in ascending order.
+    pub fn positions(&self) -> Vec<usize> {
+        (0..self.area()).filter(|&p| self.contains(p)).collect()
+    }
+
+    /// Rank of `pos` among the non-zero positions (how many non-zeros
+    /// precede it) — the index of the weight in the compressed non-zero
+    /// sequence. Returns `None` when `pos` is pruned.
+    pub fn rank_of(&self, pos: usize) -> Option<usize> {
+        if !self.contains(pos) {
+            return None;
+        }
+        let below = self.mask & ((1u32 << pos) as u16).wrapping_sub(1);
+        Some(below.count_ones() as usize)
+    }
+
+    /// Retained energy of `kernel` under this pattern: `Σ w_i²` over the
+    /// pattern's positions. The nearest pattern (in the L2 sense used by
+    /// the paper's projection `Π`) is the one maximising this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel.len() != area`.
+    pub fn retained_energy(&self, kernel: &[f32]) -> f32 {
+        assert_eq!(kernel.len(), self.area(), "kernel length mismatch");
+        kernel
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.contains(*i))
+            .map(|(_, &w)| w * w)
+            .sum()
+    }
+
+    /// Applies the pattern to `kernel` in place, zeroing pruned positions.
+    pub fn apply(&self, kernel: &mut [f32]) {
+        assert_eq!(kernel.len(), self.area(), "kernel length mismatch");
+        for (i, w) in kernel.iter_mut().enumerate() {
+            if !self.contains(i) {
+                *w = 0.0;
+            }
+        }
+    }
+
+    /// Rotates a square pattern 90° clockwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern's area is not a perfect square.
+    pub fn rotate90(&self) -> Pattern {
+        let side = (self.area() as f64).sqrt() as usize;
+        assert_eq!(side * side, self.area(), "rotate90 needs a square pattern");
+        let mut mask = 0u16;
+        for r in 0..side {
+            for c in 0..side {
+                if self.contains(r * side + c) {
+                    // (r, c) → (c, side-1-r)
+                    mask |= 1 << (c * side + (side - 1 - r));
+                }
+            }
+        }
+        Pattern::new(mask, self.area())
+    }
+
+    /// Mirrors a square pattern horizontally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern's area is not a perfect square.
+    pub fn flip_horizontal(&self) -> Pattern {
+        let side = (self.area() as f64).sqrt() as usize;
+        assert_eq!(side * side, self.area(), "flip needs a square pattern");
+        let mut mask = 0u16;
+        for r in 0..side {
+            for c in 0..side {
+                if self.contains(r * side + c) {
+                    mask |= 1 << (r * side + (side - 1 - c));
+                }
+            }
+        }
+        Pattern::new(mask, self.area())
+    }
+
+    /// The pattern's orbit under the dihedral symmetry group of the
+    /// square (4 rotations × optional mirror), deduplicated and sorted.
+    /// Distilled pattern sets tend to be closed under this group because
+    /// natural images have no preferred orientation.
+    pub fn symmetry_orbit(&self) -> Vec<Pattern> {
+        let mut orbit = Vec::with_capacity(8);
+        let mut p = *self;
+        for _ in 0..4 {
+            orbit.push(p);
+            orbit.push(p.flip_horizontal());
+            p = p.rotate90();
+        }
+        orbit.sort();
+        orbit.dedup();
+        orbit
+    }
+
+    /// Enumerates the full candidate set `F_n`: every pattern over `area`
+    /// positions with exactly `n` non-zeros, in ascending mask order.
+    /// `|F_n| = C(area, n)` (126 for 3×3 kernels with n = 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > area` or `area > 16`.
+    pub fn enumerate(area: usize, n: usize) -> Vec<Pattern> {
+        assert!(
+            area <= MAX_KERNEL_AREA && n <= area,
+            "invalid (area={area}, n={n})"
+        );
+        let mut out = Vec::with_capacity(binomial(area, n) as usize);
+        for mask in 0..(1u32 << area) {
+            if mask.count_ones() as usize == n {
+                out.push(Pattern::new(mask as u16, area));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pattern({:0width$b}/{})",
+            self.mask,
+            self.area,
+            width = self.area()
+        )
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Renders 3×3 (or any square-area) patterns as a grid of `#`/`.`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = (self.area() as f64).sqrt() as usize;
+        if side * side == self.area() {
+            for row in 0..side {
+                for col in 0..side {
+                    write!(
+                        f,
+                        "{}",
+                        if self.contains(row * side + col) {
+                            '#'
+                        } else {
+                            '.'
+                        }
+                    )?;
+                }
+                if row + 1 < side {
+                    writeln!(f)?;
+                }
+            }
+            Ok(())
+        } else {
+            write!(f, "{:?}", self)
+        }
+    }
+}
+
+/// Binomial coefficient `C(n, k)` (u64, exact for the small arguments
+/// used here).
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1u64;
+    for i in 0..k {
+        num = num * (n - i) as u64 / (i + 1) as u64;
+    }
+    num
+}
+
+/// An ordered set of patterns; the position of a pattern in the set is
+/// its SPM code. This is the per-layer "SPM mapping table".
+///
+/// # Example
+///
+/// ```
+/// use pcnn_core::{Pattern, PatternSet};
+/// let set = PatternSet::full(9, 4);
+/// assert_eq!(set.len(), 126);         // C(9,4)
+/// assert_eq!(set.bits_per_code(), 7); // ⌈log2 126⌉
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+    area: usize,
+}
+
+impl PatternSet {
+    /// Builds a set from a list of patterns (order = SPM code order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, contains duplicates, or mixes areas.
+    pub fn from_patterns(patterns: Vec<Pattern>) -> Self {
+        assert!(!patterns.is_empty(), "pattern set must not be empty");
+        let area = patterns[0].area();
+        let mut seen = std::collections::HashSet::new();
+        for p in &patterns {
+            assert_eq!(p.area(), area, "mixed kernel areas in pattern set");
+            assert!(seen.insert(p.mask()), "duplicate pattern {p:?}");
+        }
+        PatternSet { patterns, area }
+    }
+
+    /// The full candidate set `F_n` over `area` positions.
+    pub fn full(area: usize, n: usize) -> Self {
+        PatternSet::from_patterns(Pattern::enumerate(area, n))
+    }
+
+    /// Number of patterns (`|P_l|`, the paper's `V_l` after distillation).
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Kernel area the patterns cover.
+    pub fn area(&self) -> usize {
+        self.area
+    }
+
+    /// The pattern with SPM code `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range.
+    pub fn get(&self, code: usize) -> Pattern {
+        self.patterns[code]
+    }
+
+    /// The SPM code of `pattern`, if present.
+    pub fn code_of(&self, pattern: Pattern) -> Option<usize> {
+        self.patterns.iter().position(|p| *p == pattern)
+    }
+
+    /// Iterates over patterns in SPM-code order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Pattern> {
+        self.patterns.iter()
+    }
+
+    /// Bits needed to store one SPM code: `⌈log2 |P|⌉` (min 1).
+    pub fn bits_per_code(&self) -> u32 {
+        if self.patterns.len() <= 1 {
+            1
+        } else {
+            usize::BITS - (self.patterns.len() - 1).leading_zeros()
+        }
+    }
+
+    /// Bits of the mapping-table itself: each entry expands a code to an
+    /// `area`-bit weight mask.
+    pub fn table_bits(&self) -> u64 {
+        (self.patterns.len() * self.area) as u64
+    }
+
+    /// The pattern in the set nearest to `kernel` (maximum retained
+    /// energy; ties broken by lowest SPM code) and its code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel.len() != area`.
+    pub fn nearest(&self, kernel: &[f32]) -> (usize, Pattern) {
+        assert_eq!(kernel.len(), self.area, "kernel length mismatch");
+        let mut best = 0usize;
+        let mut best_energy = f32::NEG_INFINITY;
+        for (i, p) in self.patterns.iter().enumerate() {
+            let e = p.retained_energy(kernel);
+            if e > best_energy {
+                best_energy = e;
+                best = i;
+            }
+        }
+        (best, self.patterns[best])
+    }
+}
+
+impl<'a> IntoIterator for &'a PatternSet {
+    type Item = &'a Pattern;
+    type IntoIter = std::slice::Iter<'a, Pattern>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(9, 0), 1);
+        assert_eq!(binomial(9, 4), 126);
+        assert_eq!(binomial(9, 5), 126);
+        assert_eq!(binomial(9, 9), 1);
+        assert_eq!(binomial(9, 2), 36);
+        assert_eq!(binomial(4, 5), 0);
+    }
+
+    #[test]
+    fn paper_pattern_counts() {
+        // "there are Σ C(9,i) = 512 total patterns in 3×3 kernels" and the
+        // max over n is C(9,4) = C(9,5) = 126.
+        let total: u64 = (0..=9).map(|i| binomial(9, i)).sum();
+        assert_eq!(total, 512);
+        assert_eq!(Pattern::enumerate(9, 4).len(), 126);
+        assert_eq!(Pattern::enumerate(9, 2).len(), 36);
+        assert_eq!(Pattern::enumerate(9, 1).len(), 9);
+    }
+
+    #[test]
+    fn pattern_positions_roundtrip() {
+        let p = Pattern::from_positions(&[1, 3, 8], 9);
+        assert_eq!(p.positions(), vec![1, 3, 8]);
+        assert_eq!(p.weight(), 3);
+        assert!(!p.contains(0));
+        assert!(!p.contains(9)); // out of range is simply "not contained"
+    }
+
+    #[test]
+    fn rank_of_counts_preceding_nonzeros() {
+        let p = Pattern::from_positions(&[1, 3, 8], 9);
+        assert_eq!(p.rank_of(1), Some(0));
+        assert_eq!(p.rank_of(3), Some(1));
+        assert_eq!(p.rank_of(8), Some(2));
+        assert_eq!(p.rank_of(0), None);
+        assert_eq!(p.rank_of(4), None);
+    }
+
+    #[test]
+    fn retained_energy_and_apply() {
+        let p = Pattern::from_positions(&[0, 2], 4);
+        let mut kernel = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.retained_energy(&kernel), 1.0 + 9.0);
+        p.apply(&mut kernel);
+        assert_eq!(kernel, [1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn display_grid() {
+        let p = Pattern::from_positions(&[0, 4, 8], 9);
+        assert_eq!(format!("{p}"), "#..\n.#.\n..#");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range_mask() {
+        let _ = Pattern::new(0b10_0000_0000, 9);
+    }
+
+    #[test]
+    fn rotation_has_order_four_and_preserves_weight() {
+        let p = Pattern::from_positions(&[0, 1, 5], 9);
+        let mut q = p;
+        for _ in 0..4 {
+            q = q.rotate90();
+            assert_eq!(q.weight(), p.weight());
+        }
+        assert_eq!(q, p, "four rotations return to start");
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let p = Pattern::from_positions(&[0, 4, 7], 9);
+        assert_eq!(p.flip_horizontal().flip_horizontal(), p);
+    }
+
+    #[test]
+    fn rotate_maps_corners_correctly() {
+        // Top-left corner (0) rotates to top-right (2) on a 3×3 grid.
+        let p = Pattern::from_positions(&[0], 9);
+        assert_eq!(p.rotate90().positions(), vec![2]);
+        // Centre is a fixed point.
+        let c = Pattern::from_positions(&[4], 9);
+        assert_eq!(c.rotate90(), c);
+    }
+
+    #[test]
+    fn symmetry_orbit_sizes_divide_eight() {
+        for mask in 0..512u16 {
+            let orbit = Pattern::new(mask, 9).symmetry_orbit();
+            assert!(
+                8 % orbit.len() == 0,
+                "orbit size {} for mask {mask:#b}",
+                orbit.len()
+            );
+            // The orbit contains the pattern itself.
+            assert!(orbit.contains(&Pattern::new(mask, 9)));
+        }
+    }
+
+    #[test]
+    fn set_codes_are_stable_and_unique() {
+        let set = PatternSet::full(9, 2);
+        assert_eq!(set.len(), 36);
+        for code in 0..set.len() {
+            assert_eq!(set.code_of(set.get(code)), Some(code));
+        }
+    }
+
+    #[test]
+    fn bits_per_code_matches_paper() {
+        // 126 patterns → 7 bits; 32 → 5; 16 → 4; 8 → 3; 4 → 2; 1 → 1.
+        assert_eq!(PatternSet::full(9, 4).bits_per_code(), 7);
+        let take = |k: usize| {
+            PatternSet::from_patterns(Pattern::enumerate(9, 4).into_iter().take(k).collect())
+        };
+        assert_eq!(take(32).bits_per_code(), 5);
+        assert_eq!(take(16).bits_per_code(), 4);
+        assert_eq!(take(8).bits_per_code(), 3);
+        assert_eq!(take(4).bits_per_code(), 2);
+        assert_eq!(take(1).bits_per_code(), 1);
+    }
+
+    #[test]
+    fn nearest_maximises_energy() {
+        let set = PatternSet::full(9, 2);
+        let kernel = [0.0, 5.0, 0.0, 0.0, -7.0, 0.0, 0.1, 0.0, 0.0];
+        let (_, p) = set.nearest(&kernel);
+        assert_eq!(p.positions(), vec![1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pattern")]
+    fn from_patterns_rejects_duplicates() {
+        let p = Pattern::from_positions(&[0], 9);
+        let _ = PatternSet::from_patterns(vec![p, p]);
+    }
+
+    #[test]
+    fn enumerate_is_sorted_and_distinct() {
+        let pats = Pattern::enumerate(9, 3);
+        for w in pats.windows(2) {
+            assert!(w[0].mask() < w[1].mask());
+        }
+        assert_eq!(pats.len(), 84);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-layer pruning plans: the paper's `S = {s_1..s_l}` (kernel
+//! sparsity, expressed as non-zeros `n_l`) and `V_l` (pattern budget).
+
+use crate::pattern::binomial;
+
+/// The PCNN configuration of one prunable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerPlan {
+    /// Non-zero weights kept per kernel (`n_l`).
+    pub n: usize,
+    /// Maximum number of patterns (`V_l`); clamped to `C(k², n)` when it
+    /// exceeds the full candidate-set size.
+    pub max_patterns: usize,
+}
+
+impl LayerPlan {
+    /// Effective pattern-set size for a kernel of `area` positions:
+    /// `min(max_patterns, C(area, n))`.
+    pub fn effective_patterns(&self, area: usize) -> usize {
+        (self.max_patterns as u64)
+            .min(binomial(area, self.n))
+            .max(1) as usize
+    }
+}
+
+/// A whole-network pruning plan: one [`LayerPlan`] per *prunable* layer,
+/// in network order.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_core::PrunePlan;
+/// // Paper Table I default: n = 4 in all 13 VGG-16 layers, ≤32 patterns.
+/// let plan = PrunePlan::uniform(13, 4, 32);
+/// assert_eq!(plan.layers().len(), 13);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrunePlan {
+    layers: Vec<LayerPlan>,
+}
+
+impl PrunePlan {
+    /// A plan from explicit per-layer entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn from_layers(layers: Vec<LayerPlan>) -> Self {
+        assert!(!layers.is_empty(), "plan must cover at least one layer");
+        PrunePlan { layers }
+    }
+
+    /// The same `n` and pattern budget in every layer (the paper's
+    /// "unified sparsity setting").
+    pub fn uniform(num_layers: usize, n: usize, max_patterns: usize) -> Self {
+        PrunePlan::from_layers(vec![LayerPlan { n, max_patterns }; num_layers])
+    }
+
+    /// A "various" plan: per-layer `n` values, with `patterns_for(n)`
+    /// giving each layer's pattern budget.
+    pub fn various(ns: &[usize], patterns_for: impl Fn(usize) -> usize) -> Self {
+        PrunePlan::from_layers(
+            ns.iter()
+                .map(|&n| LayerPlan {
+                    n,
+                    max_patterns: patterns_for(n),
+                })
+                .collect(),
+        )
+    }
+
+    /// Paper Table I footnote (a): VGG-16 various setting
+    /// `2-1-1-1-1-1-1-1-1-1-1-1-1` with 32 patterns in `n = 2` layers and
+    /// 8 patterns in `n = 1` layers.
+    pub fn vgg16_various() -> Self {
+        let mut ns = vec![1usize; 13];
+        ns[0] = 2;
+        PrunePlan::various(&ns, |n| if n >= 2 { 32 } else { 8 })
+    }
+
+    /// Paper Table II footnote (a): ResNet-18 various setting
+    /// `2-2-2-1-…-1` (first three prunable 3×3 layers at `n = 2`) with
+    /// 32 patterns in `n = 2` layers and 8 in `n = 1` layers. Our
+    /// prunable list is the stem plus the 16 block convolutions
+    /// (17 layers).
+    pub fn resnet18_various() -> Self {
+        let mut ns = vec![1usize; 17];
+        ns[0] = 2;
+        ns[1] = 2;
+        ns[2] = 2;
+        PrunePlan::various(&ns, |n| if n >= 2 { 32 } else { 8 })
+    }
+
+    /// The per-layer entries in network order.
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// The entry for prunable layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> LayerPlan {
+        self.layers[i]
+    }
+
+    /// Mean kept fraction `n_l / area`, weighted by `weights_per_layer`
+    /// (used for quick speedup estimates).
+    pub fn mean_density(&self, area: usize, weights_per_layer: &[u64]) -> f64 {
+        assert_eq!(
+            weights_per_layer.len(),
+            self.layers.len(),
+            "layer count mismatch"
+        );
+        let total: u64 = weights_per_layer.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .zip(weights_per_layer)
+            .map(|(l, &w)| (l.n as f64 / area as f64) * (w as f64 / total as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan() {
+        let p = PrunePlan::uniform(13, 4, 32);
+        assert!(p.layers().iter().all(|l| l.n == 4 && l.max_patterns == 32));
+    }
+
+    #[test]
+    fn effective_patterns_clamps_to_candidate_set() {
+        // n = 1 has only C(9,1) = 9 candidates, so 32 clamps to 9; the
+        // paper uses "at most 8" there.
+        let l = LayerPlan {
+            n: 1,
+            max_patterns: 32,
+        };
+        assert_eq!(l.effective_patterns(9), 9);
+        let l8 = LayerPlan {
+            n: 1,
+            max_patterns: 8,
+        };
+        assert_eq!(l8.effective_patterns(9), 8);
+        let l4 = LayerPlan {
+            n: 4,
+            max_patterns: 200,
+        };
+        assert_eq!(l4.effective_patterns(9), 126);
+    }
+
+    #[test]
+    fn vgg_various_matches_footnote() {
+        let p = PrunePlan::vgg16_various();
+        assert_eq!(p.layers().len(), 13);
+        assert_eq!(
+            p.layer(0),
+            LayerPlan {
+                n: 2,
+                max_patterns: 32
+            }
+        );
+        for i in 1..13 {
+            assert_eq!(
+                p.layer(i),
+                LayerPlan {
+                    n: 1,
+                    max_patterns: 8
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn resnet_various_matches_footnote() {
+        let p = PrunePlan::resnet18_various();
+        assert_eq!(p.layers().len(), 17);
+        assert_eq!(p.layers().iter().filter(|l| l.n == 2).count(), 3);
+        assert_eq!(p.layers().iter().filter(|l| l.n == 1).count(), 14);
+    }
+
+    #[test]
+    fn mean_density_weighted() {
+        let p = PrunePlan::from_layers(vec![
+            LayerPlan {
+                n: 9,
+                max_patterns: 1,
+            },
+            LayerPlan {
+                n: 0,
+                max_patterns: 1,
+            },
+        ]);
+        // Equal weights → density (1 + 0)/2.
+        assert!((p.mean_density(9, &[100, 100]) - 0.5).abs() < 1e-12);
+        // All weight on the dense layer → 1.
+        assert!((p.mean_density(9, &[100, 0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_plan_rejected() {
+        let _ = PrunePlan::from_layers(vec![]);
+    }
+}

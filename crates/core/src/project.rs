@@ -1,0 +1,114 @@
+//! The projection operator `Π` of the PCNN learning framework.
+//!
+//! `Π^{w}_{P}` matches a kernel `w` to the nearest pattern in a pattern
+//! set `P` "by keeping top n absolute values" (paper §II-B). Nearest in
+//! the L2 sense is equivalent to retaining maximum energy `Σ w_i²`, which
+//! for the full candidate set `F_n` is exactly the top-`n`-|w| mask.
+
+use crate::pattern::{Pattern, PatternSet};
+
+/// The pattern of the top-`n` absolute values of `kernel` — the nearest
+/// pattern in the *full* candidate set `F_n`.
+///
+/// Ties are broken toward lower positions, deterministically.
+///
+/// # Panics
+///
+/// Panics if `n > kernel.len()` or `kernel.len() > 16`.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_core::project::project_kernel;
+/// let p = project_kernel(&[0.1, -3.0, 0.2, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0], 2);
+/// assert_eq!(p.positions(), vec![1, 3]);
+/// ```
+pub fn project_kernel(kernel: &[f32], n: usize) -> Pattern {
+    assert!(
+        n <= kernel.len(),
+        "cannot keep {n} of {} weights",
+        kernel.len()
+    );
+    let mut idx: Vec<usize> = (0..kernel.len()).collect();
+    // Stable sort by descending |w|; ties keep ascending position order.
+    idx.sort_by(|&a, &b| {
+        kernel[b]
+            .abs()
+            .partial_cmp(&kernel[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Pattern::from_positions(&idx[..n], kernel.len())
+}
+
+/// Projects `kernel` onto the nearest pattern of `set`, returning the
+/// pattern's SPM code and zeroing pruned positions in place.
+pub fn project_onto_set(kernel: &mut [f32], set: &PatternSet) -> usize {
+    let (code, pattern) = set.nearest(kernel);
+    pattern.apply(kernel);
+    code
+}
+
+/// Squared L2 distance between `kernel` and its projection onto
+/// `pattern` (the objective summand in the paper's Equation 1).
+pub fn projection_distance_sq(kernel: &[f32], pattern: Pattern) -> f32 {
+    kernel
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !pattern.contains(*i))
+        .map(|(_, &w)| w * w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_n_projection_matches_full_set_nearest() {
+        let kernel = [0.5, -2.0, 0.1, 1.5, -0.2, 0.0, 3.0, 0.05, -1.0];
+        for n in 1..=9 {
+            let direct = project_kernel(&kernel, n);
+            let full = PatternSet::full(9, n);
+            let (_, nearest) = full.nearest(&kernel);
+            assert_eq!(direct, nearest, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let set = PatternSet::full(9, 3);
+        let mut kernel = [0.5, -2.0, 0.1, 1.5, -0.2, 0.0, 3.0, 0.05, -1.0];
+        let code1 = project_onto_set(&mut kernel, &set);
+        let once = kernel;
+        let code2 = project_onto_set(&mut kernel, &set);
+        assert_eq!(code1, code2);
+        assert_eq!(once, kernel);
+    }
+
+    #[test]
+    fn distance_plus_energy_equals_norm() {
+        let kernel = [1.0f32, -2.0, 3.0, 0.5, 0.0, 1.0, -1.0, 2.0, 0.25];
+        let p = project_kernel(&kernel, 4);
+        let total: f32 = kernel.iter().map(|w| w * w).sum();
+        let kept = p.retained_energy(&kernel);
+        let lost = projection_distance_sq(&kernel, p);
+        assert!((kept + lost - total).abs() < 1e-5);
+    }
+
+    #[test]
+    fn n_zero_prunes_everything() {
+        let mut kernel = [1.0f32; 9];
+        let set = PatternSet::full(9, 0);
+        let _ = project_onto_set(&mut kernel, &set);
+        assert!(kernel.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let kernel = [1.0f32; 9];
+        let a = project_kernel(&kernel, 4);
+        let b = project_kernel(&kernel, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.positions(), vec![0, 1, 2, 3]);
+    }
+}

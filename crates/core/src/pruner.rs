@@ -1,0 +1,213 @@
+//! Applying a PCNN plan to a trainable model: distillation, projection,
+//! and mask installation (hard pruning).
+
+use crate::distill::distill_layer;
+use crate::pattern::PatternSet;
+use crate::plan::PrunePlan;
+use crate::project::project_onto_set;
+use pcnn_nn::Model;
+use pcnn_tensor::Tensor;
+
+/// Per-layer outcome of pruning.
+#[derive(Debug, Clone)]
+pub struct LayerPruneReport {
+    /// Layer name.
+    pub name: String,
+    /// Non-zeros kept per kernel.
+    pub n: usize,
+    /// Size of the distilled pattern set.
+    pub patterns: usize,
+    /// Number of kernels in the layer.
+    pub kernels: usize,
+    /// Achieved weight sparsity (fraction of zeros) after projection.
+    pub sparsity: f64,
+}
+
+/// Outcome of [`prune_model`]: per-layer reports plus the distilled
+/// pattern sets (in prunable-layer order) for later SPM encoding or ADMM.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// One report per prunable layer.
+    pub reports: Vec<LayerPruneReport>,
+    /// The distilled `P_l` per prunable layer.
+    pub sets: Vec<PatternSet>,
+}
+
+/// Distils pattern sets for every prunable layer of `model` under `plan`
+/// without modifying the weights (the first phase of the paper's
+/// learning framework).
+///
+/// # Panics
+///
+/// Panics if the plan's layer count differs from the model's prunable
+/// convolution count.
+pub fn distill_pattern_sets(model: &Model, plan: &PrunePlan) -> Vec<PatternSet> {
+    let convs = model.prunable_convs();
+    assert_eq!(
+        convs.len(),
+        plan.layers().len(),
+        "plan covers {} layers, model has {}",
+        plan.layers().len(),
+        convs.len()
+    );
+    convs
+        .iter()
+        .zip(plan.layers())
+        .map(|(conv, lp)| {
+            let area = conv.shape().kernel_area();
+            distill_layer(conv.weight(), lp.n, lp.effective_patterns(area))
+        })
+        .collect()
+}
+
+/// Hard-prunes `model` under `plan`: distills per-layer pattern sets,
+/// projects every kernel onto its nearest pattern, and installs 0/1
+/// masks so subsequent fine-tuning cannot regrow pruned weights.
+///
+/// # Panics
+///
+/// Panics on plan/model layer-count mismatch.
+pub fn prune_model(model: &mut Model, plan: &PrunePlan) -> PruneOutcome {
+    let sets = distill_pattern_sets(model, plan);
+    let outcome = prune_model_with_sets(model, plan, &sets);
+    PruneOutcome {
+        reports: outcome,
+        sets,
+    }
+}
+
+/// Hard-prunes `model` using pre-computed pattern sets (used after ADMM,
+/// which distils its sets before regularising toward them).
+///
+/// # Panics
+///
+/// Panics if `sets` doesn't match the model's prunable layers.
+pub fn prune_model_with_sets(
+    model: &mut Model,
+    plan: &PrunePlan,
+    sets: &[PatternSet],
+) -> Vec<LayerPruneReport> {
+    let convs = model.prunable_convs_mut();
+    assert_eq!(convs.len(), sets.len(), "set count mismatch");
+    assert_eq!(convs.len(), plan.layers().len(), "plan count mismatch");
+    let mut reports = Vec::with_capacity(convs.len());
+    for ((conv, set), lp) in convs.into_iter().zip(sets).zip(plan.layers()) {
+        let area = conv.shape().kernel_area();
+        let wshape = conv.weight().shape().to_vec();
+        let mut mask = Tensor::zeros(&wshape);
+        {
+            let weights = conv.weight_mut().as_mut_slice();
+            let mask_data = mask.as_mut_slice();
+            for (ki, kernel) in weights.chunks_mut(area).enumerate() {
+                let code = project_onto_set(kernel, set);
+                let pattern = set.get(code);
+                for pos in pattern.positions() {
+                    mask_data[ki * area + pos] = 1.0;
+                }
+            }
+        }
+        conv.set_mask(Some(mask));
+        let kernels = conv.shape().kernel_count();
+        reports.push(LayerPruneReport {
+            name: conv.name.clone(),
+            n: lp.n,
+            patterns: set.len(),
+            kernels,
+            sparsity: conv.weight().sparsity(),
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_nn::models::{vgg16_proxy, VggProxyConfig};
+
+    fn proxy() -> Model {
+        vgg16_proxy(&VggProxyConfig::default(), 3)
+    }
+
+    #[test]
+    fn prune_model_enforces_regular_sparsity() {
+        let mut m = proxy();
+        let plan = PrunePlan::uniform(13, 4, 32);
+        let outcome = prune_model(&mut m, &plan);
+        assert_eq!(outcome.reports.len(), 13);
+        // Every kernel of every layer has exactly 4 non-zeros or fewer
+        // (a kernel that was already sparser stays sparser).
+        for conv in m.prunable_convs() {
+            for kernel in conv.weight().as_slice().chunks(9) {
+                let nnz = kernel.iter().filter(|&&w| w != 0.0).count();
+                assert!(nnz <= 4, "kernel has {nnz} non-zeros");
+            }
+        }
+        // Overall sparsity ≈ 5/9 for n=4 (random init has no exact zeros).
+        for r in &outcome.reports {
+            assert!(
+                (r.sparsity - 5.0 / 9.0).abs() < 0.02,
+                "{}: {}",
+                r.name,
+                r.sparsity
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_kernels_conform_to_distilled_sets() {
+        let mut m = proxy();
+        let plan = PrunePlan::uniform(13, 2, 8);
+        let outcome = prune_model(&mut m, &plan);
+        for (conv, set) in m.prunable_convs().iter().zip(&outcome.sets) {
+            assert!(set.len() <= 8);
+            for kernel in conv.weight().as_slice().chunks(9) {
+                let mut support = 0u16;
+                for (i, &w) in kernel.iter().enumerate() {
+                    if w != 0.0 {
+                        support |= 1 << i;
+                    }
+                }
+                // The kernel's support must be covered by a pattern in the set.
+                assert!(
+                    set.iter().any(|p| p.mask() & support == support),
+                    "support {support:#b} not covered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_survive_weight_updates() {
+        let mut m = proxy();
+        let plan = PrunePlan::uniform(13, 1, 8);
+        let _ = prune_model(&mut m, &plan);
+        // Overwrite all weights with ones, then re-apply masks.
+        for conv in m.prunable_convs_mut() {
+            conv.weight_mut().fill(1.0);
+        }
+        m.apply_weight_masks();
+        for conv in m.prunable_convs() {
+            for kernel in conv.weight().as_slice().chunks(9) {
+                assert_eq!(kernel.iter().filter(|&&w| w != 0.0).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan covers")]
+    fn plan_layer_mismatch_panics() {
+        let m = proxy();
+        let plan = PrunePlan::uniform(5, 4, 32);
+        let _ = distill_pattern_sets(&m, &plan);
+    }
+
+    #[test]
+    fn various_plan_applies_per_layer() {
+        let mut m = proxy();
+        let plan = PrunePlan::vgg16_various();
+        let outcome = prune_model(&mut m, &plan);
+        assert_eq!(outcome.reports[0].n, 2);
+        assert_eq!(outcome.reports[1].n, 1);
+        assert!(outcome.reports[0].sparsity < outcome.reports[1].sparsity);
+    }
+}

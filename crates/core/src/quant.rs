@@ -1,0 +1,120 @@
+//! Symmetric linear quantisation.
+//!
+//! The accelerator stores weights "with 8-bit quantization for common
+//! cases" (paper §IV-E); this module provides the per-layer symmetric
+//! quantiser used when building accelerator workloads, plus error
+//! metrics.
+
+/// Parameters of a symmetric uniform quantiser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+    /// Bit width (2..=8).
+    pub bits: u32,
+}
+
+impl QuantParams {
+    /// Largest representable integer magnitude (`2^(bits-1) − 1`).
+    pub fn q_max(&self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+}
+
+/// Quantises `data` symmetrically to `bits` bits.
+///
+/// The scale maps the maximum absolute value to the top code, so zero is
+/// exactly representable (crucial: pruned weights must stay zero).
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=8`.
+pub fn quantize_symmetric(data: &[f32], bits: u32) -> (Vec<i8>, QuantParams) {
+    assert!((2..=8).contains(&bits), "bits must be in 2..=8");
+    let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let q_max = ((1 << (bits - 1)) - 1) as f32;
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / q_max };
+    let params = QuantParams { scale, bits };
+    let q = data
+        .iter()
+        .map(|&v| {
+            let r = (v / scale).round();
+            r.clamp(-q_max, q_max) as i8
+        })
+        .collect();
+    (q, params)
+}
+
+/// Reconstructs real values from quantised codes.
+pub fn dequantize(codes: &[i8], params: QuantParams) -> Vec<f32> {
+    codes.iter().map(|&c| c as f32 * params.scale).collect()
+}
+
+/// Root-mean-square quantisation error of round-tripping `data`.
+pub fn quant_rmse(data: &[f32], bits: u32) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let (q, p) = quantize_symmetric(data, bits);
+    let back = dequantize(&q, p);
+    let mse: f32 = data
+        .iter()
+        .zip(&back)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / data.len() as f32;
+    mse.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn zero_is_exact() {
+        let data = [0.0f32, 0.5, -0.5, 0.0];
+        let (q, p) = quantize_symmetric(&data, 8);
+        assert_eq!(q[0], 0);
+        assert_eq!(q[3], 0);
+        let back = dequantize(&q, p);
+        assert_eq!(back[0], 0.0);
+    }
+
+    #[test]
+    fn max_value_hits_top_code() {
+        let data = [1.0f32, -1.0, 0.25];
+        let (q, p) = quantize_symmetric(&data, 8);
+        assert_eq!(q[0], 127);
+        assert_eq!(q[1], -127);
+        assert_eq!(p.q_max(), 127);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data: Vec<f32> = (0..1000).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let (q, p) = quantize_symmetric(&data, 8);
+        let back = dequantize(&q, p);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= p.scale * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let data: Vec<f32> = (0..500).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let e4 = quant_rmse(&data, 4);
+        let e8 = quant_rmse(&data, 8);
+        assert!(e8 < e4 / 4.0, "8-bit {e8} vs 4-bit {e4}");
+    }
+
+    #[test]
+    fn all_zero_input() {
+        let (q, p) = quantize_symmetric(&[0.0; 16], 8);
+        assert!(q.iter().all(|&c| c == 0));
+        assert_eq!(p.scale, 1.0);
+        assert_eq!(quant_rmse(&[], 8), 0.0);
+    }
+}

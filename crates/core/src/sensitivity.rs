@@ -1,0 +1,227 @@
+//! Per-layer sensitivity analysis and automatic "various-`n`" search.
+//!
+//! The paper's best rows (Tables I/II footnote a) use hand-chosen
+//! per-layer sparsities ("2-1-1-…-1"). This module automates the choice:
+//! measure each layer's accuracy sensitivity to pruning, then greedily
+//! assign the smallest `n` to the least sensitive layers under a FLOPs
+//! budget — the natural extension of the paper's framework.
+
+use crate::plan::{LayerPlan, PrunePlan};
+use crate::pruner::prune_model;
+use pcnn_nn::data::Dataset;
+use pcnn_nn::train::evaluate;
+use pcnn_nn::Model;
+
+/// Sensitivity of one layer: accuracy after pruning *only that layer* to
+/// the probe sparsity.
+#[derive(Debug, Clone)]
+pub struct LayerSensitivity {
+    /// Layer name.
+    pub name: String,
+    /// Layer index among prunable convolutions.
+    pub index: usize,
+    /// Accuracy with only this layer pruned to the probe `n`.
+    pub pruned_acc: f32,
+    /// Accuracy drop vs the unpruned model (positive = hurts).
+    pub drop: f32,
+    /// The layer's weight count (for budget accounting).
+    pub weights: u64,
+}
+
+/// Probes each prunable layer in isolation: prune it to `probe_n`
+/// (others untouched), evaluate, restore. No fine-tuning — this measures
+/// raw sensitivity, as sensitivity scans in the pruning literature do.
+pub fn scan_sensitivity(
+    model: &Model,
+    test_set: &Dataset,
+    probe_n: usize,
+    max_patterns: usize,
+) -> Vec<LayerSensitivity> {
+    let n_layers = model.prunable_convs().len();
+    let mut base_model = model.clone();
+    let base_acc = evaluate(&mut base_model, test_set, 32);
+
+    (0..n_layers)
+        .map(|li| {
+            let mut probe = model.clone();
+            // Plan: probe layer gets probe_n, everything else stays dense
+            // (n = k², full pattern set is the single all-ones pattern).
+            let plans: Vec<LayerPlan> = (0..n_layers)
+                .map(|i| {
+                    if i == li {
+                        LayerPlan {
+                            n: probe_n,
+                            max_patterns,
+                        }
+                    } else {
+                        let area = probe.prunable_convs()[i].shape().kernel_area();
+                        LayerPlan {
+                            n: area,
+                            max_patterns: 1,
+                        }
+                    }
+                })
+                .collect();
+            let _ = prune_model(&mut probe, &PrunePlan::from_layers(plans));
+            let acc = evaluate(&mut probe, test_set, 32);
+            let conv = &model.prunable_convs()[li];
+            LayerSensitivity {
+                name: conv.name.clone(),
+                index: li,
+                pruned_acc: acc,
+                drop: base_acc - acc,
+                weights: conv.weight().len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Greedy various-`n` search: starting from every layer at `n_high`,
+/// repeatedly lowers the *least sensitive* remaining layer to `n_low`
+/// until the plan's FLOPs-weighted density reaches `target_density`
+/// (e.g. `1.2/9` to approximate the paper's 2-1-…-1 schedule).
+///
+/// Returns the plan plus the order in which layers were lowered.
+///
+/// # Panics
+///
+/// Panics if `n_low >= n_high` or the sensitivity list is empty.
+pub fn search_various_plan(
+    sensitivities: &[LayerSensitivity],
+    n_high: usize,
+    n_low: usize,
+    patterns_for: impl Fn(usize) -> usize,
+    target_density: f64,
+    area: usize,
+) -> (PrunePlan, Vec<usize>) {
+    assert!(n_low < n_high, "n_low must be below n_high");
+    assert!(!sensitivities.is_empty(), "need at least one layer");
+    let mut ns: Vec<usize> = vec![n_high; sensitivities.len()];
+    let weights: Vec<u64> = sensitivities.iter().map(|s| s.weights).collect();
+    let total_w: u64 = weights.iter().sum();
+
+    let density = |ns: &[usize]| -> f64 {
+        ns.iter()
+            .zip(&weights)
+            .map(|(&n, &w)| (n as f64 / area as f64) * (w as f64 / total_w as f64))
+            .sum()
+    };
+
+    // Least sensitive first.
+    let mut order: Vec<usize> = (0..sensitivities.len()).collect();
+    order.sort_by(|&a, &b| {
+        sensitivities[a]
+            .drop
+            .partial_cmp(&sensitivities[b].drop)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut lowered = Vec::new();
+    for &li in &order {
+        if density(&ns) <= target_density {
+            break;
+        }
+        ns[li] = n_low;
+        lowered.push(li);
+    }
+    (PrunePlan::various(&ns, patterns_for), lowered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_nn::data::synthetic_split;
+    use pcnn_nn::models::tiny_cnn;
+    use pcnn_nn::optim::Sgd;
+    use pcnn_nn::train::{train, TrainConfig};
+
+    fn trained() -> (Model, Dataset) {
+        let (tr, te) = synthetic_split(4, 160, 60, 8, 8, 0.15, 3);
+        let mut m = tiny_cnn(4, 8, 5);
+        let mut opt = Sgd::new(0.08, 0.9, 1e-4);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            seed: 1,
+            ..Default::default()
+        };
+        let _ = train(&mut m, &tr, &te, &mut opt, &cfg);
+        (m, te)
+    }
+
+    #[test]
+    fn scan_covers_all_layers_and_restores_nothing() {
+        let (m, te) = trained();
+        let sens = scan_sensitivity(&m, &te, 1, 8);
+        assert_eq!(sens.len(), 2);
+        // The original model is untouched (scan works on clones).
+        for conv in m.prunable_convs() {
+            assert_eq!(conv.mask(), None);
+        }
+        for s in &sens {
+            assert!(s.pruned_acc >= 0.0 && s.pruned_acc <= 1.0);
+            assert!(s.weights > 0);
+        }
+    }
+
+    #[test]
+    fn search_hits_target_density() {
+        let sens = vec![
+            LayerSensitivity {
+                name: "a".into(),
+                index: 0,
+                pruned_acc: 0.9,
+                drop: 0.01,
+                weights: 100,
+            },
+            LayerSensitivity {
+                name: "b".into(),
+                index: 1,
+                pruned_acc: 0.5,
+                drop: 0.40,
+                weights: 100,
+            },
+            LayerSensitivity {
+                name: "c".into(),
+                index: 2,
+                pruned_acc: 0.8,
+                drop: 0.10,
+                weights: 100,
+            },
+        ];
+        let (plan, lowered) =
+            search_various_plan(&sens, 2, 1, |n| if n >= 2 { 32 } else { 8 }, 1.4 / 9.0, 9);
+        // Least sensitive layers lowered first: a (0.01), then c (0.10).
+        assert_eq!(lowered, vec![0, 2]);
+        assert_eq!(plan.layer(0).n, 1);
+        assert_eq!(plan.layer(1).n, 2);
+        assert_eq!(plan.layer(2).n, 1);
+    }
+
+    #[test]
+    fn search_noop_when_already_under_budget() {
+        let sens = vec![LayerSensitivity {
+            name: "a".into(),
+            index: 0,
+            pruned_acc: 0.9,
+            drop: 0.0,
+            weights: 10,
+        }];
+        let (plan, lowered) = search_various_plan(&sens, 2, 1, |_| 8, 0.5, 9);
+        assert!(lowered.is_empty());
+        assert_eq!(plan.layer(0).n, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_low must be below")]
+    fn search_rejects_inverted_range() {
+        let sens = vec![LayerSensitivity {
+            name: "a".into(),
+            index: 0,
+            pruned_acc: 0.9,
+            drop: 0.0,
+            weights: 1,
+        }];
+        let _ = search_various_plan(&sens, 1, 2, |_| 8, 0.1, 9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Software execution of SPM-encoded sparse convolutions.
+//!
+//! This is the functional model of what the pattern-aware PE array
+//! computes: per kernel, only the pattern's positions are visited, and
+//! zero activations are skipped (the shared-activation zero-detect).
+//! It doubles as the golden reference and the MAC-count source for the
+//! accelerator simulator in `pcnn-accel`.
+
+use crate::pattern::PatternSet;
+use crate::spm::{EncodeSpmError, SpmLayer};
+use pcnn_tensor::conv::Conv2dShape;
+use pcnn_tensor::Tensor;
+
+/// MAC-work accounting of one sparse convolution execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacCounts {
+    /// Dense MAC count (`k² · in_c · out_c · out_h · out_w`).
+    pub dense: u64,
+    /// MAC slots under weight sparsity only: pattern positions visited
+    /// (`n/k²` of dense) — what balanced-workload hardware must issue
+    /// when activations are dense.
+    pub weight_sparse: u64,
+    /// Effectual MACs: pattern position *and* non-zero activation —
+    /// what the sparsity-aware PE array actually executes.
+    pub effectual: u64,
+}
+
+impl MacCounts {
+    /// Speedup over dense execution from weight sparsity alone.
+    pub fn weight_speedup(&self) -> f64 {
+        self.dense as f64 / self.weight_sparse.max(1) as f64
+    }
+
+    /// Speedup over dense execution exploiting both sparsities.
+    pub fn full_speedup(&self) -> f64 {
+        self.dense as f64 / self.effectual.max(1) as f64
+    }
+}
+
+/// An SPM-encoded convolution layer ready for sparse execution.
+#[derive(Debug, Clone)]
+pub struct SparseConv {
+    spm: SpmLayer,
+    shape: Conv2dShape,
+}
+
+impl SparseConv {
+    /// Encodes a (pattern-conformant) dense OIHW weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeSpmError`] if some kernel doesn't fit any pattern
+    /// in `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shape disagrees with `shape`.
+    pub fn from_dense(
+        weight: &Tensor,
+        shape: Conv2dShape,
+        set: &PatternSet,
+    ) -> Result<Self, EncodeSpmError> {
+        assert_eq!(
+            weight.shape(),
+            &[shape.out_c, shape.in_c, shape.kernel, shape.kernel],
+            "weight/shape mismatch"
+        );
+        Ok(SparseConv {
+            spm: SpmLayer::encode(weight, set)?,
+            shape,
+        })
+    }
+
+    /// The underlying SPM encoding.
+    pub fn spm(&self) -> &SpmLayer {
+        &self.spm
+    }
+
+    /// The convolution shape.
+    pub fn shape(&self) -> &Conv2dShape {
+        &self.shape
+    }
+
+    /// Executes the sparse convolution on an NCHW input.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_counting(input).0
+    }
+
+    /// Executes the sparse convolution and reports MAC-work counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatch.
+    pub fn forward_counting(&self, input: &Tensor) -> (Tensor, MacCounts) {
+        let dims = input.shape();
+        assert_eq!(dims.len(), 4, "input must be NCHW");
+        let (n, in_c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(in_c, self.shape.in_c, "input channels mismatch");
+        let (oh, ow) = self.shape.out_hw(h, w);
+        let k = self.shape.kernel;
+        let out_c = self.shape.out_c;
+        let mut out = Tensor::zeros(&[n, out_c, oh, ow]);
+        let mut counts = MacCounts::default();
+        counts.dense = (n * out_c * in_c * k * k * oh * ow) as u64;
+
+        // Counting convention (matches the hardware): a convolution
+        // window always spans the full k² positions — zero padding shows
+        // up as zero *activations*, which the dense baseline still
+        // multiplies but the sparsity-aware PE skips. Hence
+        // `weight_sparse` counts every (window × pattern-position) pair
+        // and `effectual` only those with a non-zero, in-bounds
+        // activation, making weight_speedup exactly k²/n.
+        let x = input.as_slice();
+        for ni in 0..n {
+            for oc in 0..out_c {
+                for ic in 0..in_c {
+                    let ki = oc * in_c + ic;
+                    let pattern = self.spm.pattern_set().get(self.spm.code(ki) as usize);
+                    let seq = self.spm.kernel_nonzeros(ki);
+                    let plane = (ni * in_c + ic) * h * w;
+                    for (rank, pos) in pattern.positions().into_iter().enumerate() {
+                        let (ky, kx) = (pos / k, pos % k);
+                        let wv = seq[rank];
+                        for oy in 0..oh {
+                            let iy =
+                                (oy * self.shape.stride + ky) as isize - self.shape.pad as isize;
+                            counts.weight_sparse += ow as u64;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let ix = (ox * self.shape.stride + kx) as isize
+                                    - self.shape.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let av = x[plane + iy as usize * w + ix as usize];
+                                if av != 0.0 {
+                                    counts.effectual += 1;
+                                    let off = out.offset4(ni, oc, oy, ox);
+                                    out.as_mut_slice()[off] += wv * av;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (out, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::project_onto_set;
+    use pcnn_tensor::conv::conv2d_direct;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_pruned(out_c: usize, in_c: usize, set: &PatternSet, seed: u64) -> Tensor {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut w = Tensor::from_vec(
+            (0..out_c * in_c * 9)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+            &[out_c, in_c, 3, 3],
+        );
+        for kernel in w.as_mut_slice().chunks_mut(9) {
+            let _ = project_onto_set(kernel, set);
+        }
+        w
+    }
+
+    #[test]
+    fn sparse_forward_matches_dense_reference() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let set = PatternSet::full(9, 3);
+        let shape = Conv2dShape::new(3, 4, 3, 1, 1);
+        let w = random_pruned(4, 3, &set, 7);
+        let x = Tensor::from_vec(
+            (0..2 * 3 * 6 * 6)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+            &[2, 3, 6, 6],
+        );
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("encode");
+        let got = sparse.forward(&x);
+        let want = conv2d_direct(&x, &w, None, &shape);
+        pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-4);
+    }
+
+    #[test]
+    fn sparse_forward_matches_dense_with_stride() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let set = PatternSet::full(9, 2);
+        let shape = Conv2dShape::new(2, 3, 3, 2, 1);
+        let w = random_pruned(3, 2, &set, 9);
+        let x = Tensor::from_vec(
+            (0..1 * 2 * 9 * 9)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+            &[1, 2, 9, 9],
+        );
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("encode");
+        let got = sparse.forward(&x);
+        let want = conv2d_direct(&x, &w, None, &shape);
+        pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-4);
+    }
+
+    #[test]
+    fn weight_speedup_is_area_over_n() {
+        let set = PatternSet::full(9, 3);
+        // No padding: every window position maps to a real activation.
+        let shape = Conv2dShape::new(2, 2, 3, 1, 0);
+        let w = random_pruned(2, 2, &set, 11);
+        // Dense activations → weight_speedup == 9/3 == 3 exactly.
+        let x = Tensor::ones(&[1, 2, 8, 8]);
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("encode");
+        let (_, counts) = sparse.forward_counting(&x);
+        assert!(
+            (counts.weight_speedup() - 3.0).abs() < 1e-9,
+            "{}",
+            counts.weight_speedup()
+        );
+        // All activations non-zero → effectual == weight_sparse.
+        assert_eq!(counts.effectual, counts.weight_sparse);
+    }
+
+    #[test]
+    fn padding_counts_as_zero_activations() {
+        // With pad=1 the dense baseline still multiplies padded zeros,
+        // so effectual < weight_sparse even for an all-ones input.
+        let set = PatternSet::full(9, 3);
+        let shape = Conv2dShape::new(2, 2, 3, 1, 1);
+        let w = random_pruned(2, 2, &set, 11);
+        let x = Tensor::ones(&[1, 2, 8, 8]);
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("encode");
+        let (_, counts) = sparse.forward_counting(&x);
+        assert!(counts.effectual < counts.weight_sparse);
+        assert!((counts.weight_speedup() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_sparsity_reduces_effectual_macs() {
+        let set = PatternSet::full(9, 4);
+        let shape = Conv2dShape::new(1, 1, 3, 1, 1);
+        let w = random_pruned(1, 1, &set, 13);
+        let mut x = Tensor::ones(&[1, 1, 8, 8]);
+        // Zero half the activations.
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("encode");
+        let (_, counts) = sparse.forward_counting(&x);
+        assert!(counts.effectual < counts.weight_sparse);
+        assert!(counts.full_speedup() > counts.weight_speedup());
+    }
+
+    #[test]
+    fn zero_input_yields_zero_output_and_no_effectual_macs() {
+        let set = PatternSet::full(9, 2);
+        let shape = Conv2dShape::new(2, 2, 3, 1, 1);
+        let w = random_pruned(2, 2, &set, 17);
+        let x = Tensor::zeros(&[1, 2, 5, 5]);
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("encode");
+        let (y, counts) = sparse.forward_counting(&x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(counts.effectual, 0);
+    }
+}

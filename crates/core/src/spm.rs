@@ -1,0 +1,293 @@
+//! The Sparsity Pattern Mask (SPM) storage format.
+//!
+//! An SPM-encoded layer stores, per 2-D kernel, one small code naming the
+//! kernel's pattern in the layer's [`PatternSet`] plus an equal-length
+//! non-zero weight sequence (Figure 1 of the paper). Contrast this with
+//! CSC (EIE), which spends an index on *every non-zero weight*; SPM
+//! spends `⌈log2 |P_l|⌉` bits per *kernel*.
+
+use crate::pattern::PatternSet;
+use pcnn_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a weight tensor cannot be SPM-encoded against a
+/// given pattern set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeSpmError {
+    /// Index of the offending kernel (in `out_c · in_c` order).
+    pub kernel: usize,
+    /// The kernel's support mask that no pattern covers.
+    pub support: u16,
+}
+
+impl fmt::Display for EncodeSpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel {} has support {:#b} not covered by any pattern in the set",
+            self.kernel, self.support
+        )
+    }
+}
+
+impl Error for EncodeSpmError {}
+
+/// An SPM-encoded convolution layer: pattern table + per-kernel codes +
+/// the packed non-zero sequences.
+#[derive(Debug, Clone)]
+pub struct SpmLayer {
+    set: PatternSet,
+    codes: Vec<u16>,
+    nonzeros: Vec<f32>,
+    n: usize,
+    out_c: usize,
+    in_c: usize,
+}
+
+impl SpmLayer {
+    /// Encodes an OIHW weight tensor whose kernels all conform to
+    /// patterns in `set` (every pattern in the set must have the same
+    /// weight `n`; kernels with *fewer* non-zeros than `n` are stored
+    /// with explicit zeros in their sequence, which is how the paper's
+    /// memory layout pads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeSpmError`] if some kernel has a non-zero outside
+    /// every pattern of the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not OIHW with `k² == set.area()`, or if
+    /// the set mixes pattern weights.
+    pub fn encode(weight: &Tensor, set: &PatternSet) -> Result<Self, EncodeSpmError> {
+        let dims = weight.shape();
+        assert_eq!(dims.len(), 4, "weight must be OIHW");
+        let (out_c, in_c, kh, kw) = (dims[0], dims[1], dims[2], dims[3]);
+        let area = kh * kw;
+        assert_eq!(area, set.area(), "kernel area mismatch with pattern set");
+        let n = set.iter().next().map_or(0, |p| p.weight());
+        assert!(
+            set.iter().all(|p| p.weight() == n),
+            "pattern set mixes weights"
+        );
+
+        let kernels = out_c * in_c;
+        let mut codes = Vec::with_capacity(kernels);
+        let mut nonzeros = Vec::with_capacity(kernels * n);
+        let data = weight.as_slice();
+        for ki in 0..kernels {
+            let kernel = &data[ki * area..(ki + 1) * area];
+            let mut support = 0u16;
+            for (i, &w) in kernel.iter().enumerate() {
+                if w != 0.0 {
+                    support |= 1 << i;
+                }
+            }
+            // Exact match first, then the highest-energy superset.
+            let code = set
+                .iter()
+                .position(|p| p.mask() == support)
+                .or_else(|| {
+                    let mut best: Option<(usize, f32)> = None;
+                    for (i, p) in set.iter().enumerate() {
+                        if p.mask() & support == support {
+                            let e = p.retained_energy(kernel);
+                            if best.is_none_or(|(_, be)| e > be) {
+                                best = Some((i, e));
+                            }
+                        }
+                    }
+                    best.map(|(i, _)| i)
+                })
+                .ok_or(EncodeSpmError {
+                    kernel: ki,
+                    support,
+                })?;
+            codes.push(code as u16);
+            let pattern = set.get(code);
+            for pos in pattern.positions() {
+                nonzeros.push(kernel[pos]);
+            }
+        }
+        Ok(SpmLayer {
+            set: set.clone(),
+            codes,
+            nonzeros,
+            n,
+            out_c,
+            in_c,
+        })
+    }
+
+    /// Decodes back to a dense OIHW tensor.
+    pub fn decode(&self) -> Tensor {
+        let area = self.set.area();
+        let side = (area as f64).sqrt() as usize;
+        assert_eq!(side * side, area, "non-square kernels are not supported");
+        let mut out = Tensor::zeros(&[self.out_c, self.in_c, side, side]);
+        let data = out.as_mut_slice();
+        for (ki, &code) in self.codes.iter().enumerate() {
+            let pattern = self.set.get(code as usize);
+            for (rank, pos) in pattern.positions().into_iter().enumerate() {
+                data[ki * area + pos] = self.nonzeros[ki * self.n + rank];
+            }
+        }
+        out
+    }
+
+    /// The layer's pattern set (SPM mapping table).
+    pub fn pattern_set(&self) -> &PatternSet {
+        &self.set
+    }
+
+    /// Non-zeros per kernel (the paper's `n`).
+    pub fn nonzeros_per_kernel(&self) -> usize {
+        self.n
+    }
+
+    /// Number of kernels (`out_c · in_c`).
+    pub fn kernel_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// The SPM code of kernel `ki`.
+    pub fn code(&self, ki: usize) -> u16 {
+        self.codes[ki]
+    }
+
+    /// The packed non-zero sequence of kernel `ki` (`n` values).
+    pub fn kernel_nonzeros(&self, ki: usize) -> &[f32] {
+        &self.nonzeros[ki * self.n..(ki + 1) * self.n]
+    }
+
+    /// All SPM codes in kernel order.
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Storage cost of the non-zero sequences, in bits.
+    pub fn weight_bits(&self, bits_per_weight: u32) -> u64 {
+        self.nonzeros.len() as u64 * bits_per_weight as u64
+    }
+
+    /// Storage cost of the per-kernel SPM codes, in bits.
+    pub fn index_bits(&self) -> u64 {
+        self.codes.len() as u64 * self.set.bits_per_code() as u64
+    }
+
+    /// Storage cost of the mapping table, in bits.
+    pub fn table_bits(&self) -> u64 {
+        self.set.table_bits()
+    }
+
+    /// Dense storage cost of the same layer, in bits.
+    pub fn dense_bits(&self, bits_per_weight: u32) -> u64 {
+        (self.codes.len() * self.set.area()) as u64 * bits_per_weight as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use crate::project::project_onto_set;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn pruned_weight(out_c: usize, in_c: usize, set: &PatternSet, seed: u64) -> Tensor {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut w = Tensor::from_vec(
+            (0..out_c * in_c * 9)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+            &[out_c, in_c, 3, 3],
+        );
+        for kernel in w.as_mut_slice().chunks_mut(9) {
+            let _ = project_onto_set(kernel, set);
+        }
+        w
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let set = PatternSet::full(9, 4);
+        let w = pruned_weight(4, 3, &set, 1);
+        let spm = SpmLayer::encode(&w, &set).expect("encode");
+        assert_eq!(spm.kernel_count(), 12);
+        assert_eq!(spm.nonzeros_per_kernel(), 4);
+        let back = spm.decode();
+        assert_eq!(back.as_slice(), w.as_slice());
+    }
+
+    #[test]
+    fn encode_rejects_nonconforming_kernel() {
+        // A dense kernel has 9 non-zeros; no n=2 pattern covers it.
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let set = PatternSet::full(9, 2);
+        let err = SpmLayer::encode(&w, &set).unwrap_err();
+        assert_eq!(err.kernel, 0);
+        assert_eq!(err.support, 0b1_1111_1111);
+        // Error is displayable.
+        assert!(err.to_string().contains("kernel 0"));
+    }
+
+    #[test]
+    fn kernel_with_fewer_nonzeros_encodes_with_padding() {
+        // Kernel with a single non-zero still encodes against an n=3 set;
+        // its sequence carries explicit zeros.
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        w.as_mut_slice()[4] = 2.5;
+        let set = PatternSet::full(9, 3);
+        let spm = SpmLayer::encode(&w, &set).expect("encode");
+        let seq = spm.kernel_nonzeros(0);
+        assert_eq!(seq.iter().filter(|&&v| v != 0.0).count(), 1);
+        assert_eq!(spm.decode().as_slice(), w.as_slice());
+    }
+
+    #[test]
+    fn storage_accounting_fig1_example() {
+        // One 3×3 kernel, n = 4, |P| = 126 → 7-bit code; 4 weights of 32
+        // bits; dense is 9 × 32.
+        let set = PatternSet::full(9, 4);
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        for (i, v) in [(1, 2.09f32), (2, 1.45), (5, 1.15), (7, 2.12)] {
+            w.as_mut_slice()[i] = v;
+        }
+        let spm = SpmLayer::encode(&w, &set).expect("encode");
+        assert_eq!(spm.weight_bits(32), 4 * 32);
+        assert_eq!(spm.index_bits(), 7);
+        assert_eq!(spm.dense_bits(32), 9 * 32);
+        assert_eq!(spm.table_bits(), 126 * 9);
+    }
+
+    #[test]
+    fn smaller_set_means_fewer_index_bits() {
+        let full = PatternSet::full(9, 4);
+        let small =
+            PatternSet::from_patterns(Pattern::enumerate(9, 4).into_iter().take(8).collect());
+        let w = pruned_weight(2, 2, &small, 3);
+        let a = SpmLayer::encode(&w, &full).expect("full");
+        let b = SpmLayer::encode(&w, &small).expect("small");
+        assert!(b.index_bits() < a.index_bits());
+        assert_eq!(a.weight_bits(8), b.weight_bits(8));
+    }
+
+    #[test]
+    fn codes_in_range() {
+        let set = PatternSet::full(9, 2);
+        let w = pruned_weight(6, 5, &set, 9);
+        let spm = SpmLayer::encode(&w, &set).expect("encode");
+        assert!(spm.codes().iter().all(|&c| (c as usize) < set.len()));
+    }
+}

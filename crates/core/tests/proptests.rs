@@ -1,0 +1,121 @@
+//! Property-based tests for the PCNN core: distillation invariants, CSC
+//! codec roundtrips, sparse-execution equivalence, and plan accounting.
+
+use pcnn_core::csc::CscVector;
+use pcnn_core::distill::{distill_layer, PatternHistogram};
+use pcnn_core::plan::{LayerPlan, PrunePlan};
+use pcnn_core::project::project_onto_set;
+use pcnn_core::sparse::SparseConv;
+use pcnn_core::{Pattern, PatternSet};
+use pcnn_tensor::conv::{conv2d_direct, Conv2dShape};
+use pcnn_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn histogram_counts_partition_kernels(
+        vals in prop::collection::vec(-2.0f32..2.0, 8 * 2 * 9),
+        n in 1usize..=6,
+    ) {
+        let w = Tensor::from_vec(vals, &[8, 2, 3, 3]);
+        let hist = PatternHistogram::from_weight(&w, n);
+        let total: u64 = hist.entries().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, 16);
+        // Every counted pattern has weight n.
+        for (p, _) in hist.entries() {
+            prop_assert_eq!(p.weight(), n);
+        }
+    }
+
+    #[test]
+    fn distilled_set_size_and_uniqueness(
+        vals in prop::collection::vec(-2.0f32..2.0, 6 * 2 * 9),
+        n in 1usize..=4,
+        vl in 1usize..=16,
+    ) {
+        let w = Tensor::from_vec(vals, &[6, 2, 3, 3]);
+        let set = distill_layer(&w, n, vl);
+        let cap = pcnn_core::pattern::binomial(9, n).min(vl as u64) as usize;
+        prop_assert_eq!(set.len(), cap);
+        // All patterns distinct (PatternSet enforces), all weight n.
+        for p in set.iter() {
+            prop_assert_eq!(p.weight(), n);
+        }
+    }
+
+    #[test]
+    fn csc_roundtrip_arbitrary(
+        dense in prop::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 1 => (-5.0f32..5.0).prop_filter("nz", |v| *v != 0.0)],
+            0..200,
+        ),
+        bits in 2u32..=6,
+    ) {
+        let csc = CscVector::encode(&dense, bits);
+        prop_assert_eq!(csc.decode(), dense);
+    }
+
+    #[test]
+    fn csc_never_beats_information_content(
+        nonzeros in 1usize..50,
+    ) {
+        // A fully dense vector must not "compress" above 1 under CSC with
+        // its per-value index overhead.
+        let dense = vec![1.0f32; nonzeros];
+        let csc = CscVector::encode(&dense, 4);
+        prop_assert!(csc.compression(32) <= 1.0);
+    }
+
+    #[test]
+    fn sparse_conv_equals_dense_of_projected_weights(
+        vals in prop::collection::vec(-1.0f32..1.0, 3 * 2 * 9),
+        xvals in prop::collection::vec(-1.0f32..1.0, 2 * 25),
+        n in 1usize..=5,
+    ) {
+        let set = PatternSet::full(9, n);
+        let mut w = Tensor::from_vec(vals, &[3, 2, 3, 3]);
+        for kernel in w.as_mut_slice().chunks_mut(9) {
+            let _ = project_onto_set(kernel, &set);
+        }
+        let shape = Conv2dShape::new(2, 3, 3, 1, 1);
+        let x = Tensor::from_vec(xvals, &[1, 2, 5, 5]);
+        let sparse = SparseConv::from_dense(&w, shape, &set).expect("projected weights conform");
+        let got = sparse.forward(&x);
+        let want = conv2d_direct(&x, &w, None, &shape);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn plan_mean_density_bounds(ns in prop::collection::vec(1usize..=9, 1..20)) {
+        let plan = PrunePlan::various(&ns, |_| 32);
+        let weights: Vec<u64> = ns.iter().map(|_| 9u64).collect();
+        let d = plan.mean_density(9, &weights);
+        let min = *ns.iter().min().unwrap() as f64 / 9.0;
+        let max = *ns.iter().max().unwrap() as f64 / 9.0;
+        prop_assert!(d >= min - 1e-12 && d <= max + 1e-12);
+    }
+
+    #[test]
+    fn effective_patterns_never_exceed_candidates(n in 0usize..=9, budget in 1usize..=200) {
+        let lp = LayerPlan { n, max_patterns: budget };
+        let eff = lp.effective_patterns(9) as u64;
+        prop_assert!(eff <= pcnn_core::pattern::binomial(9, n).max(1));
+        prop_assert!(eff <= budget.max(1) as u64);
+    }
+
+    #[test]
+    fn pattern_apply_then_support_subset(mask in 0u16..512, vals in prop::array::uniform9(-2.0f32..2.0)) {
+        let p = Pattern::new(mask, 9);
+        let mut kernel = vals;
+        p.apply(&mut kernel);
+        for (i, &v) in kernel.iter().enumerate() {
+            if v != 0.0 {
+                prop_assert!(p.contains(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Model checkpointing: save/load all parameters to a compact binary
+//! file.
+//!
+//! The experiment harness pre-trains baselines repeatedly; checkpoints
+//! let examples and benches reuse one trained model. The format is a
+//! minimal little-endian container — parameter count, then per parameter
+//! its length and raw `f32` data — validated against the receiving
+//! model's parameter shapes on load.
+
+use crate::model::Model;
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PCKP";
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum LoadCheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file.
+    BadHeader,
+    /// The checkpoint's parameter list doesn't match the model's.
+    ShapeMismatch {
+        /// Index of the mismatching parameter.
+        index: usize,
+        /// Length stored in the file.
+        stored: usize,
+        /// Length the model expects.
+        expected: usize,
+    },
+    /// Parameter count differs from the model's.
+    CountMismatch,
+}
+
+impl fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadCheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadCheckpointError::BadHeader => write!(f, "not a PCNN checkpoint"),
+            LoadCheckpointError::ShapeMismatch {
+                index,
+                stored,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "parameter {index} has {stored} values, model expects {expected}"
+                )
+            }
+            LoadCheckpointError::CountMismatch => write!(f, "parameter count mismatch"),
+        }
+    }
+}
+
+impl Error for LoadCheckpointError {}
+
+impl From<std::io::Error> for LoadCheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        LoadCheckpointError::Io(e)
+    }
+}
+
+/// Serialises all parameters of `model` (in its stable parameter order)
+/// to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_checkpoint(model: &mut Model, path: &Path) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    {
+        let params = model.params_mut();
+        out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+        for p in &params {
+            out.extend_from_slice(&(p.data.len() as u32).to_le_bytes());
+            for &v in p.data.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    // Non-trainable buffers (BN running statistics) follow the same
+    // length-prefixed layout.
+    {
+        let buffers = model.buffers_mut();
+        out.extend_from_slice(&(buffers.len() as u32).to_le_bytes());
+        for b in &buffers {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            for &v in b.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&out)
+}
+
+/// Loads parameters saved by [`save_checkpoint`] into `model`, which
+/// must have the identical architecture.
+///
+/// # Errors
+///
+/// Returns [`LoadCheckpointError`] on I/O failure, format mismatch, or
+/// any shape disagreement (the model is left partially updated only on
+/// shape errors detected mid-file — validate before trusting it).
+pub fn load_checkpoint(model: &mut Model, path: &Path) -> Result<(), LoadCheckpointError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(LoadCheckpointError::BadHeader);
+    }
+
+    fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<usize, LoadCheckpointError> {
+        if *pos + 4 > bytes.len() {
+            return Err(LoadCheckpointError::BadHeader);
+        }
+        let v =
+            u32::from_le_bytes([bytes[*pos], bytes[*pos + 1], bytes[*pos + 2], bytes[*pos + 3]]);
+        *pos += 4;
+        Ok(v as usize)
+    }
+
+    fn fill_tensors(
+        bytes: &[u8],
+        pos: &mut usize,
+        tensors: &mut [&mut pcnn_tensor::Tensor],
+    ) -> Result<(), LoadCheckpointError> {
+        for (index, t) in tensors.iter_mut().enumerate() {
+            let len = read_u32(bytes, pos)?;
+            if len != t.len() {
+                return Err(LoadCheckpointError::ShapeMismatch {
+                    index,
+                    stored: len,
+                    expected: t.len(),
+                });
+            }
+            if *pos + 4 * len > bytes.len() {
+                return Err(LoadCheckpointError::BadHeader);
+            }
+            for v in t.as_mut_slice().iter_mut() {
+                *v = f32::from_le_bytes([
+                    bytes[*pos],
+                    bytes[*pos + 1],
+                    bytes[*pos + 2],
+                    bytes[*pos + 3],
+                ]);
+                *pos += 4;
+            }
+        }
+        Ok(())
+    }
+
+    let mut pos = 4usize;
+    let param_count = read_u32(&bytes, &mut pos)?;
+    {
+        let mut params = model.params_mut();
+        if params.len() != param_count {
+            return Err(LoadCheckpointError::CountMismatch);
+        }
+        let mut tensors: Vec<&mut pcnn_tensor::Tensor> =
+            params.iter_mut().map(|p| &mut *p.data).collect();
+        fill_tensors(&bytes, &mut pos, &mut tensors)?;
+    }
+    // Buffer section (BN running statistics).
+    let buffer_count = read_u32(&bytes, &mut pos)?;
+    {
+        let mut buffers = model.buffers_mut();
+        if buffers.len() != buffer_count {
+            return Err(LoadCheckpointError::CountMismatch);
+        }
+        fill_tensors(&bytes, &mut pos, &mut buffers)?;
+    }
+    if pos != bytes.len() {
+        return Err(LoadCheckpointError::BadHeader);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::tiny_cnn;
+    use pcnn_tensor::Tensor;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pcnn-ckpt-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut m1 = tiny_cnn(4, 8, 3);
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        let y1 = m1.forward(&x, false);
+        save_checkpoint(&mut m1, &path).expect("save");
+
+        let mut m2 = tiny_cnn(4, 8, 99); // different init
+        let y_before = m2.forward(&x, false);
+        assert_ne!(y1.as_slice(), y_before.as_slice());
+        load_checkpoint(&mut m2, &path).expect("load");
+        let y2 = m2.forward(&x, false);
+        pcnn_tensor::assert_slices_close(y1.as_slice(), y2.as_slice(), 1e-6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_architecture_mismatch() {
+        let path = tmp("mismatch");
+        let mut m1 = tiny_cnn(4, 8, 3);
+        save_checkpoint(&mut m1, &path).expect("save");
+        let mut m2 = tiny_cnn(4, 16, 3); // wider → shape mismatch
+        let err = load_checkpoint(&mut m2, &path).unwrap_err();
+        assert!(
+            matches!(err, LoadCheckpointError::ShapeMismatch { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a checkpoint").expect("write");
+        let mut m = tiny_cnn(4, 8, 3);
+        let err = load_checkpoint(&mut m, &path).unwrap_err();
+        assert!(matches!(err, LoadCheckpointError::BadHeader), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

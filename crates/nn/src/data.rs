@@ -1,0 +1,256 @@
+//! Deterministic synthetic image datasets.
+//!
+//! The sandbox has no CIFAR-10/ImageNet, so accuracy-trend experiments run
+//! on a procedural stand-in: each class is a fixed smooth template (a sum
+//! of random 2-D sinusoids per channel); samples are cyclically shifted
+//! and noised copies. The task is CNN-learnable but not linearly trivial,
+//! which is what the pruning-accuracy experiments need.
+
+use pcnn_tensor::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// A labelled image-classification dataset held in memory.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All images, `N × C × H × W`.
+    pub images: Tensor,
+    /// One label per image, in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies the samples at `indices` into a contiguous batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let dims = self.images.shape();
+        let (c, h, w) = (dims[1], dims[2], dims[3]);
+        let img = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * img);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(&self.images.as_slice()[i * img..(i + 1) * img]);
+            labels.push(self.labels[i]);
+        }
+        (Tensor::from_vec(data, &[indices.len(), c, h, w]), labels)
+    }
+}
+
+/// Parameters of one sinusoidal texture component.
+#[derive(Debug, Clone, Copy)]
+struct Wave {
+    fx: f32,
+    fy: f32,
+    phase: f32,
+    amp: f32,
+}
+
+/// Generates a train/test pair drawn from the *same* class templates.
+///
+/// This is the entry point the experiments use: the template definitions
+/// and all sample corruptions come from one seeded RNG, and the first
+/// `n_train` samples form the training set.
+///
+/// # Example
+///
+/// ```
+/// let (tr, te) = pcnn_nn::data::synthetic_split(10, 200, 50, 16, 16, 0.25, 7);
+/// assert_eq!(tr.len(), 200);
+/// assert_eq!(te.len(), 50);
+/// ```
+pub fn synthetic_split(
+    num_classes: usize,
+    n_train: usize,
+    n_test: usize,
+    h: usize,
+    w: usize,
+    noise: f32,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    let all = synthetic_images(num_classes, n_train + n_test, h, w, noise, seed);
+    let dims = all.images.shape();
+    let img = dims[1] * dims[2] * dims[3];
+    let (train_data, test_data) = all.images.as_slice().split_at(n_train * img);
+    let train = Dataset {
+        images: Tensor::from_vec(train_data.to_vec(), &[n_train, dims[1], dims[2], dims[3]]),
+        labels: all.labels[..n_train].to_vec(),
+        num_classes,
+    };
+    let test = Dataset {
+        images: Tensor::from_vec(test_data.to_vec(), &[n_test, dims[1], dims[2], dims[3]]),
+        labels: all.labels[n_train..].to_vec(),
+        num_classes,
+    };
+    (train, test)
+}
+
+/// Generates a deterministic synthetic dataset of 3-channel images.
+///
+/// * `num_classes` — number of classes (templates).
+/// * `samples` — total sample count, round-robin across classes.
+/// * `h`, `w` — image size.
+/// * `noise` — Gaussian noise standard deviation added per pixel.
+/// * `seed` — controls templates *and* sample corruption. Two datasets
+///   built with different seeds have **different class templates**; use
+///   [`synthetic_split`] to get a train/test pair over one task.
+///
+/// # Example
+///
+/// ```
+/// let ds = pcnn_nn::data::synthetic_images(10, 100, 16, 16, 0.25, 7);
+/// assert_eq!(ds.len(), 100);
+/// assert_eq!(ds.images.shape(), &[100, 3, 16, 16]);
+/// ```
+pub fn synthetic_images(
+    num_classes: usize,
+    samples: usize,
+    h: usize,
+    w: usize,
+    noise: f32,
+    seed: u64,
+) -> Dataset {
+    assert!(num_classes > 0, "need at least one class");
+    let channels = 3usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Fixed per-class, per-channel wave mixtures.
+    let mut templates: Vec<Vec<f32>> = Vec::with_capacity(num_classes);
+    for _ in 0..num_classes {
+        let mut tpl = vec![0.0f32; channels * h * w];
+        for c in 0..channels {
+            let waves: Vec<Wave> = (0..3)
+                .map(|_| Wave {
+                    fx: rng.gen_range(0.5..2.5),
+                    fy: rng.gen_range(0.5..2.5),
+                    phase: rng.gen_range(0.0..std::f32::consts::TAU),
+                    amp: rng.gen_range(0.4..1.0),
+                })
+                .collect();
+            for y in 0..h {
+                for x in 0..w {
+                    let mut v = 0.0;
+                    for wv in &waves {
+                        v += wv.amp
+                            * (wv.fx * x as f32 * std::f32::consts::TAU / w as f32
+                                + wv.fy * y as f32 * std::f32::consts::TAU / h as f32
+                                + wv.phase)
+                                .sin();
+                    }
+                    tpl[(c * h + y) * w + x] = v;
+                }
+            }
+        }
+        templates.push(tpl);
+    }
+
+    let img = channels * h * w;
+    let mut data = Vec::with_capacity(samples * img);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let class = i % num_classes;
+        labels.push(class);
+        let tpl = &templates[class];
+        let dy = rng.gen_range(0..h);
+        let dx = rng.gen_range(0..w);
+        for c in 0..channels {
+            for y in 0..h {
+                for x in 0..w {
+                    let sy = (y + dy) % h;
+                    let sx = (x + dx) % w;
+                    let n = sample_normal(&mut rng) * noise;
+                    data.push(tpl[(c * h + sy) * w + sx] + n);
+                }
+            }
+        }
+    }
+    Dataset {
+        images: Tensor::from_vec(data, &[samples, channels, h, w]),
+        labels,
+        num_classes,
+    }
+}
+
+fn sample_normal(rng: &mut SmallRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = synthetic_images(4, 20, 8, 8, 0.1, 3);
+        let b = synthetic_images(4, 20, 8, 8, 0.1, 3);
+        assert_eq!(a.images.as_slice(), b.images.as_slice());
+        assert_eq!(a.labels, b.labels);
+        let c = synthetic_images(4, 20, 8, 8, 0.1, 4);
+        assert_ne!(a.images.as_slice(), c.images.as_slice());
+    }
+
+    #[test]
+    fn labels_round_robin() {
+        let ds = synthetic_images(3, 7, 4, 4, 0.0, 1);
+        assert_eq!(ds.labels, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn batch_copies_right_samples() {
+        let ds = synthetic_images(2, 10, 4, 4, 0.0, 1);
+        let (imgs, labels) = ds.batch(&[3, 7]);
+        assert_eq!(imgs.shape(), &[2, 3, 4, 4]);
+        assert_eq!(labels, vec![ds.labels[3], ds.labels[7]]);
+        let img_len = 3 * 4 * 4;
+        assert_eq!(
+            &imgs.as_slice()[..img_len],
+            &ds.images.as_slice()[3 * img_len..4 * img_len]
+        );
+    }
+
+    #[test]
+    fn split_shares_templates() {
+        let (tr, te) = synthetic_split(3, 9, 6, 8, 8, 0.0, 2);
+        assert_eq!(tr.len(), 9);
+        assert_eq!(te.len(), 6);
+        // Same round-robin labelling continues across the split.
+        assert_eq!(te.labels, vec![0, 1, 2, 0, 1, 2]);
+        // Noise-free samples of the same class from train and test are
+        // shifted copies of one template: their multisets of values match.
+        let img = 3 * 8 * 8;
+        let mut a: Vec<f32> = tr.images.as_slice()[..img].to_vec();
+        let mut b: Vec<f32> = te.images.as_slice()[..img].to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn classes_are_distinguishable_without_noise() {
+        // Noise-free samples of different classes differ substantially.
+        let ds = synthetic_images(2, 2, 8, 8, 0.0, 5);
+        let img_len = 3 * 8 * 8;
+        let a = &ds.images.as_slice()[..img_len];
+        let b = &ds.images.as_slice()[img_len..2 * img_len];
+        let dist: f32 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+        assert!(dist > 1.0, "templates too similar: {dist}");
+    }
+}

@@ -1,0 +1,686 @@
+//! Trainable layers with explicit forward/backward passes.
+//!
+//! Every layer caches exactly what its backward pass needs during a
+//! training-mode forward pass. [`Conv2d`] additionally supports a *weight
+//! mask* — the mechanism pruning methods in `pcnn-core` use for masked
+//! (hard-pruned) fine-tuning: after every optimiser step the mask re-zeros
+//! the pruned coordinates.
+
+use pcnn_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dShape};
+use pcnn_tensor::ops;
+use pcnn_tensor::pool;
+use pcnn_tensor::{init, Tensor};
+
+/// A mutable view of one parameter tensor and its accumulated gradient,
+/// consumed by the optimiser.
+pub struct ParamRef<'a> {
+    /// The parameter values.
+    pub data: &'a mut Tensor,
+    /// The gradient accumulated by the last backward pass.
+    pub grad: &'a mut Tensor,
+    /// Whether weight decay applies (disabled for BN affine and biases).
+    pub decay: bool,
+}
+
+/// 2-D convolution layer (OIHW weights, NCHW activations).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Human-readable layer name (e.g. `"conv4"`), used by pruning reports.
+    pub name: String,
+    shape: Conv2dShape,
+    weight: Tensor,
+    bias: Option<Tensor>,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    mask: Option<Tensor>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialised convolution.
+    pub fn new(name: &str, shape: Conv2dShape, bias: bool, seed: u64) -> Self {
+        let wshape = [shape.out_c, shape.in_c, shape.kernel, shape.kernel];
+        let fan_in = shape.in_c * shape.kernel_area();
+        Conv2d {
+            name: name.to_string(),
+            shape,
+            weight: init::kaiming_normal(&wshape, fan_in, seed),
+            bias: bias.then(|| Tensor::zeros(&[shape.out_c])),
+            grad_weight: Tensor::zeros(&wshape),
+            grad_bias: Tensor::zeros(&[shape.out_c]),
+            mask: None,
+            cached_input: None,
+        }
+    }
+
+    /// The static convolution shape.
+    pub fn shape(&self) -> &Conv2dShape {
+        &self.shape
+    }
+
+    /// The weight tensor (OIHW).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the weights (used by pruners and ADMM).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The accumulated weight gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    /// Mutable access to the weight gradient — ADMM adds its penalty term
+    /// `ρ(W − Z + U)` here before the optimiser step.
+    pub fn grad_weight_mut(&mut self) -> &mut Tensor {
+        &mut self.grad_weight
+    }
+
+    /// The current pruning mask, if any.
+    pub fn mask(&self) -> Option<&Tensor> {
+        self.mask.as_ref()
+    }
+
+    /// Installs (or clears) a 0/1 pruning mask with the weight's shape and
+    /// immediately applies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the weight shape.
+    pub fn set_mask(&mut self, mask: Option<Tensor>) {
+        if let Some(m) = &mask {
+            assert_eq!(m.shape(), self.weight.shape(), "mask shape mismatch");
+        }
+        self.mask = mask;
+        self.apply_mask();
+    }
+
+    /// Re-zeros masked weights (no-op without a mask). Called after every
+    /// optimiser step during masked fine-tuning.
+    pub fn apply_mask(&mut self) {
+        if let Some(m) = &self.mask {
+            for (w, &keep) in self.weight.as_mut_slice().iter_mut().zip(m.as_slice()) {
+                if keep == 0.0 {
+                    *w = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Forward pass; caches the input when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        conv2d_forward(x, &self.weight, self.bias.as_ref(), &self.shape)
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward pass preceded it.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Conv2d::backward without cached forward");
+        let grads = conv2d_backward(&input, &self.weight, grad_out, &self.shape);
+        self.grad_weight.axpy(1.0, &grads.weight);
+        if self.bias.is_some() {
+            self.grad_bias.axpy(1.0, &grads.bias);
+        }
+        grads.input
+    }
+
+    /// Parameter/gradient pairs for the optimiser.
+    pub fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        let mut out = vec![ParamRef {
+            data: &mut self.weight,
+            grad: &mut self.grad_weight,
+            decay: true,
+        }];
+        if let Some(b) = self.bias.as_mut() {
+            out.push(ParamRef {
+                data: b,
+                grad: &mut self.grad_bias,
+                decay: false,
+            });
+        }
+        out
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+}
+
+/// Fully-connected layer.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor, // out × in
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialised linear layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Linear {
+            weight: init::xavier_uniform(
+                &[out_features, in_features],
+                in_features,
+                out_features,
+                seed,
+            ),
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// The weight tensor (`out × in`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Forward pass; caches the input when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        ops::linear_forward(x, &self.weight, Some(&self.bias))
+    }
+
+    /// Backward pass; accumulates gradients, returns `dL/dx`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Linear::backward without cached forward");
+        let grads = ops::linear_backward(&input, &self.weight, grad_out);
+        self.grad_weight.axpy(1.0, &grads.weight);
+        self.grad_bias.axpy(1.0, &grads.bias);
+        grads.input
+    }
+
+    /// Parameter/gradient pairs for the optimiser.
+    pub fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef {
+                data: &mut self.weight,
+                grad: &mut self.grad_weight,
+                decay: true,
+            },
+            ParamRef {
+                data: &mut self.bias,
+                grad: &mut self.grad_bias,
+                decay: false,
+            },
+        ]
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+}
+
+/// Batch normalisation over the channel dimension of NCHW activations.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with unit scale and zero shift.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Per-channel scale γ — the channel-saliency signal used by
+    /// network-slimming-style channel pruning.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// Mutable γ access (used by channel pruners to zero channels).
+    pub fn gamma_mut(&mut self) -> &mut Tensor {
+        &mut self.gamma
+    }
+
+    /// Forward pass. In training mode uses batch statistics and updates the
+    /// running averages; in eval mode uses the running statistics.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.shape().to_vec();
+        assert_eq!(dims.len(), 4, "BatchNorm2d expects NCHW");
+        assert_eq!(dims[1], self.channels, "channel mismatch");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let mut out = x.clone();
+
+        if train {
+            let mut xhat = x.clone();
+            let mut inv_stds = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut mean = 0.0f32;
+                for ni in 0..n {
+                    let off = (ni * c + ci) * plane;
+                    mean += x.as_slice()[off..off + plane].iter().sum::<f32>();
+                }
+                mean /= m;
+                let mut var = 0.0f32;
+                for ni in 0..n {
+                    let off = (ni * c + ci) * plane;
+                    var += x.as_slice()[off..off + plane]
+                        .iter()
+                        .map(|v| (v - mean).powi(2))
+                        .sum::<f32>();
+                }
+                var /= m;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                inv_stds[ci] = inv_std;
+                let g = self.gamma.as_slice()[ci];
+                let b = self.beta.as_slice()[ci];
+                for ni in 0..n {
+                    let off = (ni * c + ci) * plane;
+                    for i in off..off + plane {
+                        let xh = (x.as_slice()[i] - mean) * inv_std;
+                        xhat.as_mut_slice()[i] = xh;
+                        out.as_mut_slice()[i] = g * xh + b;
+                    }
+                }
+                let rm = &mut self.running_mean.as_mut_slice()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.as_mut_slice()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+            }
+            self.cache = Some(BnCache {
+                xhat,
+                inv_std: inv_stds,
+                input_shape: dims,
+            });
+        } else {
+            for ci in 0..c {
+                let mean = self.running_mean.as_slice()[ci];
+                let inv_std = 1.0 / (self.running_var.as_slice()[ci] + self.eps).sqrt();
+                let g = self.gamma.as_slice()[ci];
+                let b = self.beta.as_slice()[ci];
+                for ni in 0..n {
+                    let off = (ni * c + ci) * plane;
+                    for i in off..off + plane {
+                        out.as_mut_slice()[i] = g * (x.as_slice()[i] - mean) * inv_std + b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass through training-mode batch normalisation.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward without cached forward");
+        let dims = &cache.input_shape;
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let mut grad_in = Tensor::zeros(dims);
+
+        for ci in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let off = (ni * c + ci) * plane;
+                for i in off..off + plane {
+                    let dy = grad_out.as_slice()[i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.xhat.as_slice()[i];
+                }
+            }
+            self.grad_beta.as_mut_slice()[ci] += sum_dy;
+            self.grad_gamma.as_mut_slice()[ci] += sum_dy_xhat;
+
+            let g = self.gamma.as_slice()[ci];
+            let inv_std = cache.inv_std[ci];
+            let k1 = g * inv_std / m;
+            for ni in 0..n {
+                let off = (ni * c + ci) * plane;
+                for i in off..off + plane {
+                    let dy = grad_out.as_slice()[i];
+                    let xh = cache.xhat.as_slice()[i];
+                    grad_in.as_mut_slice()[i] = k1 * (m * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Parameter/gradient pairs for the optimiser.
+    pub fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef {
+                data: &mut self.gamma,
+                grad: &mut self.grad_gamma,
+                decay: false,
+            },
+            ParamRef {
+                data: &mut self.beta,
+                grad: &mut self.grad_beta,
+                decay: false,
+            },
+        ]
+    }
+
+    /// Non-trainable state (running mean and variance) that checkpoints
+    /// must carry for eval-mode reproducibility.
+    pub fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { cached_input: None }
+    }
+
+    /// Forward pass; caches the input when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        ops::relu_forward(x)
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Relu::backward without cached forward");
+        ops::relu_backward(&input, grad_out)
+    }
+}
+
+/// Non-overlapping max pooling.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given square window/stride.
+    pub fn new(window: usize) -> Self {
+        MaxPool2d {
+            window,
+            cache: None,
+        }
+    }
+
+    /// Forward pass; caches argmax indices when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let out = pool::maxpool2d_forward(x, self.window);
+        if train {
+            self.cache = Some((out.argmax, x.shape().to_vec()));
+        }
+        out.output
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (argmax, shape) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward without cached forward");
+        pool::maxpool2d_backward(grad_out, &argmax, &shape)
+    }
+}
+
+/// Global average pooling (NCHW → NC11).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_shape: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_shape = Some(x.shape().to_vec());
+        }
+        pool::global_avgpool_forward(x)
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("GlobalAvgPool::backward without cached forward");
+        pool::global_avgpool_backward(grad_out, &shape)
+    }
+}
+
+/// Flattens NCHW activations to `N × (C·H·W)` for the classifier head.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_shape: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_shape = Some(x.shape().to_vec());
+        }
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshaped(&[n, rest])
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("Flatten::backward without cached forward");
+        grad_out.reshaped(&shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn conv2d_mask_zeroes_weights_and_sticks() {
+        let shape = Conv2dShape::new(1, 1, 3, 1, 1);
+        let mut conv = Conv2d::new("c", shape, false, 1);
+        let mut mask = Tensor::ones(&[1, 1, 3, 3]);
+        mask.as_mut_slice()[4] = 0.0; // prune the centre
+        conv.set_mask(Some(mask));
+        assert_eq!(conv.weight().as_slice()[4], 0.0);
+        // Simulate an optimiser writing into the masked slot.
+        conv.weight_mut().as_mut_slice()[4] = 1.0;
+        conv.apply_mask();
+        assert_eq!(conv.weight().as_slice()[4], 0.0);
+    }
+
+    #[test]
+    fn conv2d_forward_backward_roundtrip() {
+        let shape = Conv2dShape::new(2, 3, 3, 1, 1);
+        let mut conv = Conv2d::new("c", shape, true, 3);
+        let x = Tensor::ones(&[2, 2, 4, 4]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 3, 4, 4]);
+        let gi = conv.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gi.shape(), x.shape());
+        // Gradients accumulated.
+        assert!(conv.grad_weight.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn batchnorm_normalises_batch() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 4 * 4)
+                .map(|_| rng.gen_range(-3.0..9.0))
+                .collect(),
+            &[2, 2, 4, 4],
+        );
+        let y = bn.forward(&x, true);
+        // Per-channel mean ≈ 0, var ≈ 1 after normalisation (γ=1, β=0).
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..2 {
+                for hi in 0..4 {
+                    for wi in 0..4 {
+                        vals.push(y.at4(ni, ci, hi, wi));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_backward_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let x = Tensor::from_vec(
+            (0..1 * 2 * 3 * 3)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+            &[1, 2, 3, 3],
+        );
+        // Loss = weighted sum so the gradient is non-trivial.
+        let wts: Vec<f32> = (0..x.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            bn.forward(x, true)
+                .as_slice()
+                .iter()
+                .zip(&wts)
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let mut bn = BatchNorm2d::new(2);
+        let _ = bn.forward(&x, true);
+        let go = Tensor::from_vec(wts.clone(), x.shape());
+        let gi = bn.backward(&go);
+        let eps = 1e-2;
+        for idx in [0usize, 5, 9, 17] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let mut bnp = BatchNorm2d::new(2);
+            let mut bnm = BatchNorm2d::new(2);
+            let fd = (loss(&mut bnp, &xp) - loss(&mut bnm, &xm)) / (2.0 * eps);
+            let an = gi.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "idx {idx}: fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0], &[1, 1, 2, 2]);
+        // Several training passes move the running mean toward 2.
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y = bn.forward(&x, false);
+        // With running_mean≈2 and var≈0, output ≈ 0 (gamma=1, beta=0).
+        assert!(
+            y.as_slice().iter().all(|v| v.abs() < 0.5),
+            "{:?}",
+            y.as_slice()
+        );
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 5]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 60]);
+        let back = f.backward(&y);
+        assert_eq!(back.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn linear_params_expose_weight_and_bias() {
+        let mut l = Linear::new(4, 2, 1);
+        let params = l.params_mut();
+        assert_eq!(params.len(), 2);
+        assert!(params[0].decay);
+        assert!(!params[1].decay);
+    }
+}

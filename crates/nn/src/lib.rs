@@ -1,0 +1,36 @@
+//! Minimal CNN training substrate for the PCNN reproduction.
+//!
+//! The paper fine-tunes pre-trained VGG-16 and ResNet-18 models with ADMM
+//! after pattern distillation. The Rust ecosystem offers no training stack
+//! suitable for that, so this crate provides one: layers with explicit
+//! backward passes ([`layers`]), a composable [`model::Model`], SGD with
+//! momentum ([`optim`]), deterministic synthetic datasets ([`data`]),
+//! training loops ([`train`]), scaled-down proxy networks with the same
+//! topology as the paper's benchmarks ([`models`]), and an *analytic shape
+//! zoo* ([`zoo`]) holding the exact layer dimensions of the real VGG-16 /
+//! ResNet-18, which is what all exact FLOPs / parameter / compression
+//! arithmetic in the tables runs on.
+//!
+//! # Example: one training epoch on a tiny CNN
+//!
+//! ```
+//! use pcnn_nn::{data, models, optim::Sgd, train};
+//!
+//! let ds = data::synthetic_images(4, 64, 8, 8, 0.2, 1);
+//! let mut model = models::tiny_cnn(4, 8, 2);
+//! let mut opt = Sgd::new(0.05, 0.9, 5e-4);
+//! let cfg = train::TrainConfig { epochs: 1, batch_size: 16, ..Default::default() };
+//! let stats = train::train(&mut model, &ds, &ds, &mut opt, &cfg);
+//! assert_eq!(stats.epochs.len(), 1);
+//! ```
+
+pub mod checkpoint;
+pub mod data;
+pub mod layers;
+pub mod model;
+pub mod models;
+pub mod optim;
+pub mod train;
+pub mod zoo;
+
+pub use model::Model;

@@ -1,0 +1,571 @@
+//! Composable sequential model with residual-block support.
+//!
+//! A [`Model`] is a sequence of [`Layer`]s. Residual blocks (for ResNet
+//! topologies) are a composite layer that owns its two convolutions, batch
+//! norms and optional downsample path, and handles the skip connection in
+//! its own forward/backward.
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, ParamRef, Relu,
+};
+use pcnn_tensor::conv::Conv2dShape;
+use pcnn_tensor::Tensor;
+
+/// One layer of a [`Model`].
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Batch normalisation.
+    BatchNorm2d(BatchNorm2d),
+    /// ReLU activation.
+    Relu(Relu),
+    /// Non-overlapping max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Global average pooling.
+    GlobalAvgPool(GlobalAvgPool),
+    /// NCHW → matrix flatten.
+    Flatten(Flatten),
+    /// Fully-connected layer.
+    Linear(Linear),
+    /// Basic ResNet residual block.
+    Residual(Box<ResidualBlock>),
+}
+
+/// A basic (two 3×3 convolutions) residual block, as in ResNet-18.
+///
+/// `y = relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))` where the
+/// shortcut is the identity, or a 1×1 strided convolution + BN when the
+/// spatial size or channel count changes.
+#[derive(Debug, Clone)]
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    downsample: Option<(Conv2d, BatchNorm2d)>,
+    cached_sum: Option<Tensor>,
+}
+
+impl ResidualBlock {
+    /// Creates a basic block `in_c → out_c` with the given stride on the
+    /// first convolution. A downsample path is added automatically when
+    /// `stride != 1` or `in_c != out_c`.
+    pub fn new(name: &str, in_c: usize, out_c: usize, stride: usize, seed: u64) -> Self {
+        let conv1 = Conv2d::new(
+            &format!("{name}.conv1"),
+            Conv2dShape::new(in_c, out_c, 3, stride, 1),
+            false,
+            seed,
+        );
+        let conv2 = Conv2d::new(
+            &format!("{name}.conv2"),
+            Conv2dShape::new(out_c, out_c, 3, 1, 1),
+            false,
+            seed + 1,
+        );
+        let downsample = (stride != 1 || in_c != out_c).then(|| {
+            (
+                Conv2d::new(
+                    &format!("{name}.ds"),
+                    Conv2dShape::new(in_c, out_c, 1, stride, 0),
+                    false,
+                    seed + 2,
+                ),
+                BatchNorm2d::new(out_c),
+            )
+        });
+        ResidualBlock {
+            conv1,
+            bn1: BatchNorm2d::new(out_c),
+            relu1: Relu::new(),
+            conv2,
+            bn2: BatchNorm2d::new(out_c),
+            downsample,
+            cached_sum: None,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let a = self.conv1.forward(x, train);
+        let b = self.bn1.forward(&a, train);
+        let r = self.relu1.forward(&b, train);
+        let c = self.conv2.forward(&r, train);
+        let d = self.bn2.forward(&c, train);
+        let s = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let t = conv.forward(x, train);
+                bn.forward(&t, train)
+            }
+            None => x.clone(),
+        };
+        let mut sum = d;
+        sum.axpy(1.0, &s);
+        let out = sum.map(|v| v.max(0.0));
+        if train {
+            self.cached_sum = Some(sum);
+        }
+        out
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let sum = self
+            .cached_sum
+            .take()
+            .expect("ResidualBlock::backward without cached forward");
+        // Gate through the final ReLU.
+        let mut d_sum = grad_out.clone();
+        for (g, &s) in d_sum.as_mut_slice().iter_mut().zip(sum.as_slice()) {
+            if s <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        // Main path.
+        let d_c = self.bn2.backward(&d_sum);
+        let d_r = self.conv2.backward(&d_c);
+        let d_b = self.relu1.backward(&d_r);
+        let d_a = self.bn1.backward(&d_b);
+        let mut d_x = self.conv1.backward(&d_a);
+        // Shortcut path.
+        match &mut self.downsample {
+            Some((conv, bn)) => {
+                let d_t = bn.backward(&d_sum);
+                let d_sc = conv.backward(&d_t);
+                d_x.axpy(1.0, &d_sc);
+            }
+            None => d_x.axpy(1.0, &d_sum),
+        }
+        d_x
+    }
+
+    /// Forward pass that also records the non-zero fraction of each 3×3
+    /// convolution's *input* (the activation density the accelerator's
+    /// zero-detect sees).
+    pub fn forward_with_densities(&mut self, x: &Tensor, out: &mut Vec<(String, f64)>) -> Tensor {
+        out.push((self.conv1.name.clone(), 1.0 - x.sparsity()));
+        let a = self.conv1.forward(x, false);
+        let b = self.bn1.forward(&a, false);
+        let r = self.relu1.forward(&b, false);
+        out.push((self.conv2.name.clone(), 1.0 - r.sparsity()));
+        let c = self.conv2.forward(&r, false);
+        let d = self.bn2.forward(&c, false);
+        let s = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let t = conv.forward(x, false);
+                bn.forward(&t, false)
+            }
+            None => x.clone(),
+        };
+        let mut sum = d;
+        sum.axpy(1.0, &s);
+        sum.map(|v| v.max(0.0))
+    }
+
+    /// The 3×3 convolutions of the block (conv1, conv2), excluding the 1×1
+    /// downsample — matching the paper, which prunes only 3×3 layers.
+    pub fn convs_3x3_mut(&mut self) -> Vec<&mut Conv2d> {
+        vec![&mut self.conv1, &mut self.conv2]
+    }
+
+    /// Immutable access to the block's 3×3 convolutions.
+    pub fn convs_3x3(&self) -> Vec<&Conv2d> {
+        vec![&self.conv1, &self.conv2]
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        let mut out = self.conv1.params_mut();
+        out.extend(self.bn1.params_mut());
+        out.extend(self.conv2.params_mut());
+        out.extend(self.bn2.params_mut());
+        if let Some((conv, bn)) = self.downsample.as_mut() {
+            out.extend(conv.params_mut());
+            out.extend(bn.params_mut());
+        }
+        out
+    }
+
+    fn zero_grad(&mut self) {
+        self.conv1.zero_grad();
+        self.bn1.zero_grad();
+        self.conv2.zero_grad();
+        self.bn2.zero_grad();
+        if let Some((conv, bn)) = self.downsample.as_mut() {
+            conv.zero_grad();
+            bn.zero_grad();
+        }
+    }
+
+    fn apply_masks(&mut self) {
+        self.conv1.apply_mask();
+        self.conv2.apply_mask();
+        if let Some((conv, _)) = self.downsample.as_mut() {
+            conv.apply_mask();
+        }
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out = self.bn1.buffers_mut();
+        out.extend(self.bn2.buffers_mut());
+        if let Some((_, bn)) = self.downsample.as_mut() {
+            out.extend(bn.buffers_mut());
+        }
+        out
+    }
+}
+
+/// A sequential neural network.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(&mut self, layer: Layer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The model's layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the model's layers.
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Full forward pass.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                Layer::Conv2d(l) => l.forward(&cur, train),
+                Layer::BatchNorm2d(l) => l.forward(&cur, train),
+                Layer::Relu(l) => l.forward(&cur, train),
+                Layer::MaxPool2d(l) => l.forward(&cur, train),
+                Layer::GlobalAvgPool(l) => l.forward(&cur, train),
+                Layer::Flatten(l) => l.forward(&cur, train),
+                Layer::Linear(l) => l.forward(&cur, train),
+                Layer::Residual(l) => l.forward(&cur, train),
+            };
+        }
+        cur
+    }
+
+    /// Full backward pass from the loss gradient at the output.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = match layer {
+                Layer::Conv2d(l) => l.backward(&cur),
+                Layer::BatchNorm2d(l) => l.backward(&cur),
+                Layer::Relu(l) => l.backward(&cur),
+                Layer::MaxPool2d(l) => l.backward(&cur),
+                Layer::GlobalAvgPool(l) => l.backward(&cur),
+                Layer::Flatten(l) => l.backward(&cur),
+                Layer::Linear(l) => l.backward(&cur),
+                Layer::Residual(l) => l.backward(&cur),
+            };
+        }
+        cur
+    }
+
+    /// All parameter/gradient pairs in a stable order (the order the
+    /// optimiser relies on for its momentum buffers).
+    pub fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv2d(l) => out.extend(l.params_mut()),
+                Layer::BatchNorm2d(l) => out.extend(l.params_mut()),
+                Layer::Linear(l) => out.extend(l.params_mut()),
+                Layer::Residual(l) => out.extend(l.params_mut()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv2d(l) => l.zero_grad(),
+                Layer::BatchNorm2d(l) => l.zero_grad(),
+                Layer::Linear(l) => l.zero_grad(),
+                Layer::Residual(l) => l.zero_grad(),
+                _ => {}
+            }
+        }
+    }
+
+    /// Re-applies every convolution's pruning mask (after optimiser steps).
+    pub fn apply_weight_masks(&mut self) {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv2d(l) => l.apply_mask(),
+                Layer::Residual(l) => l.apply_masks(),
+                _ => {}
+            }
+        }
+    }
+
+    /// All *prunable* convolutions in network order — every 3×3 (and
+    /// larger) convolution; 1×1 convolutions (ResNet downsample paths) are
+    /// excluded, matching the paper ("we only process the layers with 3×3
+    /// filters and ignore 1×1 ones").
+    pub fn prunable_convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv2d(l) => {
+                    if l.shape().kernel >= 2 {
+                        out.push(l);
+                    }
+                }
+                Layer::Residual(l) => out.extend(l.convs_3x3_mut()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Immutable view of the prunable convolutions in network order.
+    pub fn prunable_convs(&self) -> Vec<&Conv2d> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv2d(l) => {
+                    if l.shape().kernel >= 2 {
+                        out.push(l);
+                    }
+                }
+                Layer::Residual(l) => out.extend(l.convs_3x3()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.data.len()).sum()
+    }
+
+    /// All non-trainable buffers (batch-norm running statistics) in a
+    /// stable order, for checkpointing.
+    pub fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            match layer {
+                Layer::BatchNorm2d(l) => out.extend(l.buffers_mut()),
+                Layer::Residual(l) => out.extend(l.buffers_mut()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Eval-mode forward pass that records, for every prunable
+    /// convolution, the non-zero fraction of its input activations — the
+    /// quantity the paper summarises as "the average activation sparsity
+    /// is 0.8". Returns `(output, per-layer (name, density))`.
+    pub fn forward_with_densities(&mut self, x: &Tensor) -> (Tensor, Vec<(String, f64)>) {
+        let mut densities = Vec::new();
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                Layer::Conv2d(l) => {
+                    if l.shape().kernel >= 2 {
+                        densities.push((l.name.clone(), 1.0 - cur.sparsity()));
+                    }
+                    l.forward(&cur, false)
+                }
+                Layer::Residual(l) => l.forward_with_densities(&cur, &mut densities),
+                Layer::BatchNorm2d(l) => l.forward(&cur, false),
+                Layer::Relu(l) => l.forward(&cur, false),
+                Layer::MaxPool2d(l) => l.forward(&cur, false),
+                Layer::GlobalAvgPool(l) => l.forward(&cur, false),
+                Layer::Flatten(l) => l.forward(&cur, false),
+                Layer::Linear(l) => l.forward(&cur, false),
+            };
+        }
+        (cur, densities)
+    }
+
+    /// A human-readable summary: one line per layer with kind, name and
+    /// parameter count (residual blocks expand their convolutions).
+    pub fn summary(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv2d(l) => {
+                    let s = l.shape();
+                    out.push(format!(
+                        "Conv2d {:<10} {}x{}x{}x{} ({} params)",
+                        l.name,
+                        s.out_c,
+                        s.in_c,
+                        s.kernel,
+                        s.kernel,
+                        s.weight_count()
+                    ));
+                }
+                Layer::BatchNorm2d(_) => out.push("BatchNorm2d".to_string()),
+                Layer::Relu(_) => out.push("ReLU".to_string()),
+                Layer::MaxPool2d(_) => out.push("MaxPool2d".to_string()),
+                Layer::GlobalAvgPool(_) => out.push("GlobalAvgPool".to_string()),
+                Layer::Flatten(_) => out.push("Flatten".to_string()),
+                Layer::Linear(l) => {
+                    let (o, i) = (l.weight().shape()[0], l.weight().shape()[1]);
+                    out.push(format!("Linear {i}->{o} ({} params)", o * i + o));
+                }
+                Layer::Residual(b) => {
+                    for c in b.convs_3x3() {
+                        let s = c.shape();
+                        out.push(format!(
+                            "Residual/Conv2d {:<14} {}x{}x{}x{} ({} params)",
+                            c.name,
+                            s.out_c,
+                            s.in_c,
+                            s.kernel,
+                            s.kernel,
+                            s.weight_count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_tensor::conv::Conv2dShape;
+
+    fn small_model() -> Model {
+        let mut m = Model::new();
+        m.push(Layer::Conv2d(Conv2d::new(
+            "c1",
+            Conv2dShape::new(1, 4, 3, 1, 1),
+            false,
+            1,
+        )))
+        .push(Layer::BatchNorm2d(BatchNorm2d::new(4)))
+        .push(Layer::Relu(Relu::new()))
+        .push(Layer::MaxPool2d(MaxPool2d::new(2)))
+        .push(Layer::Flatten(Flatten::new()))
+        .push(Layer::Linear(Linear::new(4 * 2 * 2, 3, 2)));
+        m
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = small_model();
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn backward_runs_and_populates_grads() {
+        let mut m = small_model();
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let y = m.forward(&x, true);
+        let _ = m.backward(&Tensor::ones(y.shape()));
+        let grads_nonzero = m.params_mut().iter().any(|p| p.grad.sq_norm() > 0.0);
+        assert!(grads_nonzero);
+    }
+
+    #[test]
+    fn residual_block_identity_shapes() {
+        let mut b = ResidualBlock::new("b", 4, 4, 1, 7);
+        let x = Tensor::ones(&[1, 4, 8, 8]);
+        let y = b.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 4, 8, 8]);
+        let gi = b.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn residual_block_downsample_shapes() {
+        let mut b = ResidualBlock::new("b", 4, 8, 2, 7);
+        let x = Tensor::ones(&[1, 4, 8, 8]);
+        let y = b.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+        let gi = b.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn prunable_convs_exclude_1x1() {
+        let mut m = Model::new();
+        m.push(Layer::Residual(Box::new(ResidualBlock::new(
+            "b", 4, 8, 2, 3,
+        ))));
+        // The block has conv1, conv2 (3×3) and a 1×1 downsample.
+        assert_eq!(m.prunable_convs_mut().len(), 2);
+        assert_eq!(m.prunable_convs().len(), 2);
+    }
+
+    #[test]
+    fn densities_cover_prunable_convs_and_match_forward() {
+        let mut m = small_model();
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let (y, densities) = m.forward_with_densities(&x);
+        assert_eq!(densities.len(), 1);
+        assert_eq!(densities[0].0, "c1");
+        // All-ones input → density 1 at the first conv.
+        assert!((densities[0].1 - 1.0).abs() < 1e-12);
+        // Output equals the plain forward pass.
+        let y2 = m.forward(&x, false);
+        assert_eq!(y.as_slice(), y2.as_slice());
+        // Residual model records two entries per block.
+        let mut r = Model::new();
+        r.push(Layer::Residual(Box::new(ResidualBlock::new(
+            "b", 2, 2, 1, 3,
+        ))));
+        let xr = Tensor::ones(&[1, 2, 4, 4]);
+        let (_, d) = r.forward_with_densities(&xr);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn summary_lists_every_layer() {
+        let m = small_model();
+        let s = m.summary();
+        assert_eq!(s.len(), 6);
+        assert!(s[0].starts_with("Conv2d"));
+        assert!(s[5].starts_with("Linear"));
+        let mut r = Model::new();
+        r.push(Layer::Residual(Box::new(ResidualBlock::new(
+            "b", 4, 8, 2, 3,
+        ))));
+        assert_eq!(
+            r.summary().len(),
+            2,
+            "residual expands to its two 3x3 convs"
+        );
+    }
+
+    #[test]
+    fn params_order_is_stable() {
+        let mut m = small_model();
+        let n1: Vec<usize> = m.params_mut().iter().map(|p| p.data.len()).collect();
+        let n2: Vec<usize> = m.params_mut().iter().map(|p| p.data.len()).collect();
+        assert_eq!(n1, n2);
+        assert!(!n1.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Trainable proxy models with the paper's benchmark topologies.
+//!
+//! Full-size VGG-16 / ResNet-18 cannot be trained in this environment, so
+//! the accuracy-trend experiments use width-scaled proxies that preserve
+//! the structural properties PCNN interacts with: 13 (VGG) / 16 (ResNet)
+//! prunable 3×3 convolution layers, batch-norm + ReLU blocks, max-pool
+//! (VGG) or strided-residual (ResNet) downsampling, and 1×1 shortcut
+//! convolutions that the pruner must skip. Exact FLOPs/parameter
+//! arithmetic for the tables uses [`crate::zoo`] instead.
+
+use crate::layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu};
+use crate::model::{Layer, Model, ResidualBlock};
+use pcnn_tensor::conv::Conv2dShape;
+
+/// Configuration for the VGG-16-topology proxy.
+#[derive(Debug, Clone)]
+pub struct VggProxyConfig {
+    /// Output channels of each of the 13 convolution layers.
+    pub widths: [usize; 13],
+    /// Indices (0-based, exclusive upper) after which a 2×2 max-pool is
+    /// inserted. The standard VGG-16 pools after layers 2, 4, 7, 10, 13
+    /// (1-based); for a 16×16 proxy input we only keep the first four.
+    pub pools_after: Vec<usize>,
+    /// Input spatial size (square).
+    pub input_hw: usize,
+    /// Number of classes in the classifier head.
+    pub num_classes: usize,
+}
+
+impl Default for VggProxyConfig {
+    /// A 16×16-input, narrow VGG-16 proxy: same 13-layer topology,
+    /// channels scaled down ~16× so it trains in seconds.
+    fn default() -> Self {
+        VggProxyConfig {
+            widths: [8, 8, 16, 16, 24, 24, 24, 32, 32, 32, 32, 32, 32],
+            pools_after: vec![2, 4, 7, 10],
+            input_hw: 16,
+            num_classes: 10,
+        }
+    }
+}
+
+impl VggProxyConfig {
+    /// Spatial size of the feature map after the last pool.
+    pub fn final_hw(&self) -> usize {
+        self.input_hw >> self.pools_after.len()
+    }
+}
+
+/// Builds the VGG-16-topology proxy model.
+///
+/// # Panics
+///
+/// Panics if pooling would shrink the input below 1×1.
+pub fn vgg16_proxy(cfg: &VggProxyConfig, seed: u64) -> Model {
+    assert!(
+        cfg.input_hw >= 1 << cfg.pools_after.len(),
+        "input too small for pool count"
+    );
+    let mut m = Model::new();
+    let mut in_c = 3usize;
+    for (i, &out_c) in cfg.widths.iter().enumerate() {
+        let name = format!("conv{}", i + 1);
+        m.push(Layer::Conv2d(Conv2d::new(
+            &name,
+            Conv2dShape::new(in_c, out_c, 3, 1, 1),
+            false,
+            seed + i as u64,
+        )));
+        m.push(Layer::BatchNorm2d(BatchNorm2d::new(out_c)));
+        m.push(Layer::Relu(Relu::new()));
+        if cfg.pools_after.contains(&(i + 1)) {
+            m.push(Layer::MaxPool2d(MaxPool2d::new(2)));
+        }
+        in_c = out_c;
+    }
+    let hw = cfg.final_hw();
+    m.push(Layer::Flatten(Flatten::new()));
+    m.push(Layer::Linear(Linear::new(
+        in_c * hw * hw,
+        cfg.num_classes,
+        seed + 100,
+    )));
+    m
+}
+
+/// Configuration for the ResNet-18-topology proxy.
+#[derive(Debug, Clone)]
+pub struct ResNetProxyConfig {
+    /// Channel width of the four stages (each stage has two basic blocks).
+    pub stage_widths: [usize; 4],
+    /// Input spatial size (square).
+    pub input_hw: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Default for ResNetProxyConfig {
+    /// A 16×16-input, narrow ResNet-18 proxy (8 basic blocks, 16 prunable
+    /// 3×3 convolutions + stem, 3 skipped 1×1 downsample convolutions).
+    fn default() -> Self {
+        ResNetProxyConfig {
+            stage_widths: [8, 16, 24, 32],
+            input_hw: 16,
+            num_classes: 10,
+        }
+    }
+}
+
+/// Builds the ResNet-18-topology proxy model (2 basic blocks per stage).
+pub fn resnet18_proxy(cfg: &ResNetProxyConfig, seed: u64) -> Model {
+    let mut m = Model::new();
+    let w = cfg.stage_widths;
+    m.push(Layer::Conv2d(Conv2d::new(
+        "conv1",
+        Conv2dShape::new(3, w[0], 3, 1, 1),
+        false,
+        seed,
+    )));
+    m.push(Layer::BatchNorm2d(BatchNorm2d::new(w[0])));
+    m.push(Layer::Relu(Relu::new()));
+    let mut in_c = w[0];
+    let mut s = seed + 10;
+    for (stage, &out_c) in w.iter().enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        m.push(Layer::Residual(Box::new(ResidualBlock::new(
+            &format!("s{}b0", stage + 1),
+            in_c,
+            out_c,
+            stride,
+            s,
+        ))));
+        s += 10;
+        m.push(Layer::Residual(Box::new(ResidualBlock::new(
+            &format!("s{}b1", stage + 1),
+            out_c,
+            out_c,
+            1,
+            s,
+        ))));
+        s += 10;
+        in_c = out_c;
+    }
+    m.push(Layer::GlobalAvgPool(GlobalAvgPool::new()));
+    m.push(Layer::Flatten(Flatten::new()));
+    m.push(Layer::Linear(Linear::new(
+        in_c,
+        cfg.num_classes,
+        seed + 100,
+    )));
+    m
+}
+
+/// A 2-convolution CNN for fast unit tests: conv→bn→relu→pool→conv→bn→
+/// relu→gap→fc.
+pub fn tiny_cnn(num_classes: usize, width: usize, seed: u64) -> Model {
+    let mut m = Model::new();
+    m.push(Layer::Conv2d(Conv2d::new(
+        "conv1",
+        Conv2dShape::new(3, width, 3, 1, 1),
+        false,
+        seed,
+    )));
+    m.push(Layer::BatchNorm2d(BatchNorm2d::new(width)));
+    m.push(Layer::Relu(Relu::new()));
+    m.push(Layer::MaxPool2d(MaxPool2d::new(2)));
+    m.push(Layer::Conv2d(Conv2d::new(
+        "conv2",
+        Conv2dShape::new(width, width * 2, 3, 1, 1),
+        false,
+        seed + 1,
+    )));
+    m.push(Layer::BatchNorm2d(BatchNorm2d::new(width * 2)));
+    m.push(Layer::Relu(Relu::new()));
+    m.push(Layer::GlobalAvgPool(GlobalAvgPool::new()));
+    m.push(Layer::Flatten(Flatten::new()));
+    m.push(Layer::Linear(Linear::new(width * 2, num_classes, seed + 2)));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_tensor::Tensor;
+
+    #[test]
+    fn vgg_proxy_has_13_prunable_convs() {
+        let mut m = vgg16_proxy(&VggProxyConfig::default(), 1);
+        assert_eq!(m.prunable_convs_mut().len(), 13);
+    }
+
+    #[test]
+    fn vgg_proxy_forward_shape() {
+        let cfg = VggProxyConfig::default();
+        let mut m = vgg16_proxy(&cfg, 1);
+        let x = Tensor::ones(&[2, 3, cfg.input_hw, cfg.input_hw]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[2, cfg.num_classes]);
+    }
+
+    #[test]
+    fn resnet_proxy_has_17_prunable_convs() {
+        // Stem + 8 blocks × 2 convs = 17 prunable 3×3 layers; the three
+        // 1×1 downsample convs are excluded.
+        let mut m = resnet18_proxy(&ResNetProxyConfig::default(), 1);
+        assert_eq!(m.prunable_convs_mut().len(), 17);
+    }
+
+    #[test]
+    fn resnet_proxy_forward_shape() {
+        let cfg = ResNetProxyConfig::default();
+        let mut m = resnet18_proxy(&cfg, 1);
+        let x = Tensor::ones(&[2, 3, cfg.input_hw, cfg.input_hw]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[2, cfg.num_classes]);
+    }
+
+    #[test]
+    fn resnet_proxy_backward_runs() {
+        let cfg = ResNetProxyConfig::default();
+        let mut m = resnet18_proxy(&cfg, 1);
+        let x = Tensor::ones(&[1, 3, cfg.input_hw, cfg.input_hw]);
+        let y = m.forward(&x, true);
+        let _ = m.backward(&Tensor::ones(y.shape()));
+    }
+
+    #[test]
+    fn vgg_proxy_custom_width() {
+        let cfg = VggProxyConfig {
+            widths: [4; 13],
+            pools_after: vec![2, 4],
+            input_hw: 8,
+            num_classes: 5,
+        };
+        let mut m = vgg16_proxy(&cfg, 3);
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 5]);
+    }
+}

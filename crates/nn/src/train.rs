@@ -1,0 +1,188 @@
+//! Mini-batch training and evaluation loops.
+
+use crate::data::Dataset;
+use crate::model::Model;
+use crate::optim::Sgd;
+use pcnn_tensor::ops::{count_correct, cross_entropy};
+use rand::seq::SliceRandom;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Training-loop configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Epochs at which the learning rate is multiplied by `lr_decay`.
+    pub lr_decay_epochs: Vec<usize>,
+    /// Learning-rate decay factor.
+    pub lr_decay: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr_decay_epochs: vec![],
+            lr_decay: 0.1,
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Training accuracy over the epoch.
+    pub train_acc: f32,
+    /// Test accuracy measured after the epoch.
+    pub test_acc: f32,
+}
+
+/// Statistics for a whole training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainStats {
+    /// Best test accuracy seen over the run (0 if no epochs ran).
+    pub fn best_test_acc(&self) -> f32 {
+        self.epochs.iter().map(|e| e.test_acc).fold(0.0, f32::max)
+    }
+
+    /// Final test accuracy (0 if no epochs ran).
+    pub fn final_test_acc(&self) -> f32 {
+        self.epochs.last().map_or(0.0, |e| e.test_acc)
+    }
+}
+
+/// Trains `model` on `train_set`, evaluating on `test_set` each epoch.
+///
+/// A per-batch hook-free loop: forward → loss → backward → SGD step
+/// (which re-applies pruning masks). Returns per-epoch statistics.
+pub fn train(
+    model: &mut Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    opt: &mut Sgd,
+    cfg: &TrainConfig,
+) -> TrainStats {
+    let mut stats = TrainStats::default();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut indices: Vec<usize> = (0..train_set.len()).collect();
+
+    for epoch in 0..cfg.epochs {
+        if cfg.lr_decay_epochs.contains(&epoch) {
+            opt.lr *= cfg.lr_decay;
+        }
+        indices.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for chunk in indices.chunks(cfg.batch_size) {
+            let (x, labels) = train_set.batch(chunk);
+            let logits = model.forward(&x, true);
+            let (loss, grad) = cross_entropy(&logits, &labels);
+            correct += count_correct(&logits, &labels);
+            seen += labels.len();
+            loss_sum += loss as f64 * labels.len() as f64;
+            model.zero_grad();
+            let _ = model.backward(&grad);
+            opt.step(model);
+        }
+        let train_loss = (loss_sum / seen.max(1) as f64) as f32;
+        let train_acc = correct as f32 / seen.max(1) as f32;
+        let test_acc = evaluate(model, test_set, cfg.batch_size);
+        if cfg.verbose {
+            eprintln!(
+                "epoch {:>3}: loss {:.4}  train acc {:.3}  test acc {:.3}  (lr {:.4})",
+                epoch, train_loss, train_acc, test_acc, opt.lr
+            );
+        }
+        stats.epochs.push(EpochStats {
+            train_loss,
+            train_acc,
+            test_acc,
+        });
+    }
+    stats
+}
+
+/// Computes accuracy of `model` on `set` in eval mode.
+pub fn evaluate(model: &mut Model, set: &Dataset, batch_size: usize) -> f32 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    let indices: Vec<usize> = (0..set.len()).collect();
+    let mut correct = 0usize;
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let (x, labels) = set.batch(chunk);
+        let logits = model.forward(&x, false);
+        correct += count_correct(&logits, &labels);
+    }
+    correct as f32 / set.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic_images;
+    use crate::models::tiny_cnn;
+
+    #[test]
+    fn tiny_cnn_learns_synthetic_task() {
+        let (train_set, test_set) = crate::data::synthetic_split(4, 160, 48, 8, 8, 0.15, 11);
+        let mut model = tiny_cnn(4, 8, 42);
+        let mut opt = Sgd::new(0.08, 0.9, 1e-4);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            seed: 1,
+            ..Default::default()
+        };
+        let stats = train(&mut model, &train_set, &test_set, &mut opt, &cfg);
+        let acc = stats.best_test_acc();
+        assert!(acc > 0.6, "model failed to learn: best test acc {acc}");
+        // Loss decreased over training.
+        assert!(stats.epochs.last().unwrap().train_loss < stats.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn evaluate_empty_set_is_zero() {
+        let ds = synthetic_images(2, 2, 4, 4, 0.0, 1);
+        let empty = Dataset {
+            images: ds.images.clone(),
+            labels: vec![],
+            num_classes: 2,
+        };
+        let mut model = tiny_cnn(2, 4, 1);
+        assert_eq!(evaluate(&mut model, &empty, 8), 0.0);
+    }
+
+    #[test]
+    fn lr_decay_applies() {
+        let ds = synthetic_images(2, 8, 4, 4, 0.1, 1);
+        let mut model = tiny_cnn(2, 4, 1);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr_decay_epochs: vec![1],
+            lr_decay: 0.5,
+            ..Default::default()
+        };
+        let _ = train(&mut model, &ds, &ds, &mut opt, &cfg);
+        assert!((opt.lr - 0.05).abs() < 1e-6);
+    }
+}

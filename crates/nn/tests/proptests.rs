@@ -1,0 +1,89 @@
+//! Property-based tests for the training substrate: normalisation laws,
+//! dataset invariants, and gradient bookkeeping.
+
+use pcnn_nn::data::{synthetic_images, synthetic_split};
+use pcnn_nn::layers::{BatchNorm2d, Conv2d};
+use pcnn_nn::zoo::{vgg16_cifar, ConvSpec};
+use pcnn_tensor::conv::Conv2dShape;
+use pcnn_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batchnorm_output_is_normalised(
+        vals in prop::collection::vec(-10.0f32..10.0, 2 * 2 * 16),
+        offset in -5.0f32..5.0,
+        scale in 0.5f32..4.0,
+    ) {
+        // BN(x) and BN(scale·x + offset) agree: affine input changes are
+        // absorbed by batch statistics.
+        let x = Tensor::from_vec(vals.clone(), &[2, 2, 4, 4]);
+        let shifted = Tensor::from_vec(vals.iter().map(|v| v * scale + offset).collect(), &[2, 2, 4, 4]);
+        let mut bn1 = BatchNorm2d::new(2);
+        let mut bn2 = BatchNorm2d::new(2);
+        let a = bn1.forward(&x, true);
+        let b = bn2.forward(&shifted, true);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((p - q).abs() < 2e-2, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn dataset_labels_and_shapes(classes in 1usize..8, samples in 1usize..40) {
+        let ds = synthetic_images(classes, samples, 6, 6, 0.1, 3);
+        prop_assert_eq!(ds.len(), samples);
+        for (i, &l) in ds.labels.iter().enumerate() {
+            prop_assert_eq!(l, i % classes);
+        }
+        prop_assert_eq!(ds.images.shape(), &[samples, 3, 6, 6]);
+    }
+
+    #[test]
+    fn split_is_a_partition(n_train in 1usize..30, n_test in 1usize..30) {
+        let (tr, te) = synthetic_split(4, n_train, n_test, 6, 6, 0.1, 9);
+        let whole = synthetic_images(4, n_train + n_test, 6, 6, 0.1, 9);
+        let img = 3 * 6 * 6;
+        prop_assert_eq!(&whole.images.as_slice()[..n_train * img], tr.images.as_slice());
+        prop_assert_eq!(&whole.images.as_slice()[n_train * img..], te.images.as_slice());
+    }
+
+    #[test]
+    fn conv_mask_is_sticky_under_writes(bits in prop::collection::vec(prop::bool::ANY, 9)) {
+        let shape = Conv2dShape::new(1, 1, 3, 1, 1);
+        let mut conv = Conv2d::new("c", shape, false, 1);
+        let mask_vals: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        conv.set_mask(Some(Tensor::from_vec(mask_vals.clone(), &[1, 1, 3, 3])));
+        conv.weight_mut().fill(2.0);
+        conv.apply_mask();
+        for (w, m) in conv.weight().as_slice().iter().zip(&mask_vals) {
+            if *m == 0.0 {
+                prop_assert_eq!(*w, 0.0);
+            } else {
+                prop_assert_eq!(*w, 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_macs_scale_with_spatial_area(scale in 1usize..=4) {
+        // Doubling the input side of a stride-1 same-pad conv quadruples
+        // its MACs.
+        let base = ConvSpec {
+            name: "t".into(), in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1,
+            in_h: 8, in_w: 8, prunable: true,
+        };
+        let scaled = ConvSpec { in_h: 8 * scale, in_w: 8 * scale, ..base.clone() };
+        prop_assert_eq!(scaled.macs(), base.macs() * (scale * scale) as u64);
+    }
+}
+
+#[test]
+fn vgg16_layer_names_are_unique() {
+    let net = vgg16_cifar();
+    let mut names: Vec<&str> = net.convs.iter().map(|c| c.name.as_str()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), net.convs.len());
+}

@@ -1,0 +1,497 @@
+//! im2col convolution with explicit forward and backward passes.
+//!
+//! Convolutions are the only compute-heavy primitive in the workspace: the
+//! forward pass is `weight[out_c × in_c·k²] @ im2col(x)` per image, batch
+//! images run on scoped threads, and the backward pass reuses the same
+//! column buffers through `col2im`.
+
+use crate::gemm::{gemm, transpose};
+use crate::Tensor;
+
+/// Static shape of a square 2-D convolution.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_tensor::conv::Conv2dShape;
+/// let s = Conv2dShape::new(3, 64, 3, 1, 1);
+/// assert_eq!(s.out_hw(32, 32), (32, 32));
+/// assert_eq!(s.weight_count(), 64 * 3 * 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dShape {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels (number of filters).
+    pub out_c: usize,
+    /// Square kernel side (3 for every pruned layer in the paper).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl Conv2dShape {
+    /// Creates a shape description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dShape {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(
+            ph >= self.kernel && pw >= self.kernel,
+            "input {h}x{w} too small for kernel {}",
+            self.kernel
+        );
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Elements in one kernel (`k²`).
+    pub fn kernel_area(&self) -> usize {
+        self.kernel * self.kernel
+    }
+
+    /// Total number of weights (`out_c · in_c · k²`).
+    pub fn weight_count(&self) -> usize {
+        self.out_c * self.in_c * self.kernel_area()
+    }
+
+    /// Number of 2-D kernels (`out_c · in_c`), the unit the SPM indexes.
+    pub fn kernel_count(&self) -> usize {
+        self.out_c * self.in_c
+    }
+
+    /// Multiply–accumulate count for one image of the given input size.
+    /// The paper counts 1 MAC = 1 FLOP, which this follows.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        (oh * ow) as u64 * self.weight_count() as u64
+    }
+}
+
+/// Lowers one image (`in_c × h × w` slice) to a column matrix of shape
+/// `(in_c·k²) × (out_h·out_w)`, written into `col`.
+///
+/// # Panics
+///
+/// Panics if `image` or `col` have the wrong length.
+pub fn im2col(image: &[f32], h: usize, w: usize, shape: &Conv2dShape, col: &mut [f32]) {
+    let k = shape.kernel;
+    let (oh, ow) = shape.out_hw(h, w);
+    let cols = oh * ow;
+    assert_eq!(image.len(), shape.in_c * h * w, "image length mismatch");
+    assert_eq!(col.len(), shape.in_c * k * k * cols, "col length mismatch");
+
+    for c in 0..shape.in_c {
+        let plane = &image[c * h * w..(c + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((c * k + ky) * k + kx) * cols;
+                for oy in 0..oh {
+                    let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                    let out_row = row + oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        col[out_row..out_row + ow].fill(0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        col[out_row + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            plane[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatters a column-matrix gradient back onto an
+/// image gradient buffer (accumulating).
+pub fn col2im(col: &[f32], h: usize, w: usize, shape: &Conv2dShape, image: &mut [f32]) {
+    let k = shape.kernel;
+    let (oh, ow) = shape.out_hw(h, w);
+    let cols = oh * ow;
+    assert_eq!(image.len(), shape.in_c * h * w, "image length mismatch");
+    assert_eq!(col.len(), shape.in_c * k * k * cols, "col length mismatch");
+
+    for c in 0..shape.in_c {
+        let plane_off = c * h * w;
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((c * k + ky) * k + kx) * cols;
+                for oy in 0..oh {
+                    let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        image[plane_off + iy * w + ix as usize] += col[row + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution: `y = w ⊛ x + b`.
+///
+/// `input` is NCHW, `weight` is OIHW, `bias` (if any) has `out_c`
+/// elements. Returns an NCHW output tensor. Batch images are processed on
+/// worker threads.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    shape: &Conv2dShape,
+) -> Tensor {
+    let dims = input.shape();
+    assert_eq!(dims.len(), 4, "input must be NCHW");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, shape.in_c, "input channel mismatch");
+    assert_eq!(
+        weight.shape(),
+        &[shape.out_c, shape.in_c, shape.kernel, shape.kernel],
+        "weight must be OIHW"
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), shape.out_c, "bias length mismatch");
+    }
+
+    let (oh, ow) = shape.out_hw(h, w);
+    let cols = oh * ow;
+    let kk = shape.in_c * shape.kernel_area();
+    let mut out = Tensor::zeros(&[n, shape.out_c, oh, ow]);
+
+    let in_img = c * h * w;
+    let out_img = shape.out_c * cols;
+    let input_data = input.as_slice();
+    let wdata = weight.as_slice();
+
+    crate::parallel::parallel_chunks_mut(out.as_mut_slice(), out_img, |i, out_chunk| {
+        let image = &input_data[i * in_img..(i + 1) * in_img];
+        let mut col = vec![0.0f32; kk * cols];
+        im2col(image, h, w, shape, &mut col);
+        gemm(shape.out_c, kk, cols, 1.0, wdata, &col, 0.0, out_chunk);
+        if let Some(b) = bias {
+            for (oc, &bv) in b.as_slice().iter().enumerate() {
+                for v in out_chunk[oc * cols..(oc + 1) * cols].iter_mut() {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Gradients of a convolution.
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, NCHW.
+    pub input: Tensor,
+    /// Gradient w.r.t. the weights, OIHW.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias (`out_c`), always produced; ignore when
+    /// the layer has no bias.
+    pub bias: Tensor,
+}
+
+/// Backward convolution: given `grad_out = dL/dy`, returns gradients for
+/// input, weight, and bias.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    shape: &Conv2dShape,
+) -> Conv2dGrads {
+    let dims = input.shape();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, shape.in_c);
+    let (oh, ow) = shape.out_hw(h, w);
+    assert_eq!(
+        grad_out.shape(),
+        &[n, shape.out_c, oh, ow],
+        "grad_out shape mismatch"
+    );
+
+    let cols = oh * ow;
+    let kk = shape.in_c * shape.kernel_area();
+    let in_img = c * h * w;
+    let out_img = shape.out_c * cols;
+
+    let input_data = input.as_slice();
+    let go = grad_out.as_slice();
+    let wt = transpose(shape.out_c, kk, weight.as_slice()); // kk × out_c
+
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let workers = crate::parallel::num_threads().min(n.max(1));
+
+    // Each worker accumulates a private weight/bias gradient, reduced after
+    // the scope joins; grad_input chunks are disjoint per image.
+    let gi_chunks: Vec<&mut [f32]> = grad_input.as_mut_slice().chunks_mut(in_img).collect();
+    let queue = std::sync::Mutex::new(gi_chunks.into_iter().enumerate().collect::<Vec<_>>());
+    let partials = std::sync::Mutex::new(Vec::<(Vec<f32>, Vec<f32>)>::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut gw = vec![0.0f32; shape.out_c * kk];
+                let mut gb = vec![0.0f32; shape.out_c];
+                let mut col = vec![0.0f32; kk * cols];
+                let mut gcol = vec![0.0f32; kk * cols];
+                loop {
+                    let item = queue.lock().expect("queue poisoned").pop();
+                    let Some((i, gi_chunk)) = item else { break };
+                    let image = &input_data[i * in_img..(i + 1) * in_img];
+                    let go_img = &go[i * out_img..(i + 1) * out_img];
+
+                    // dW += dY @ col^T  (out_c×cols @ cols×kk). Implemented as
+                    // gemm over the transposed column matrix.
+                    im2col(image, h, w, shape, &mut col);
+                    let col_t = transpose(kk, cols, &col); // cols × kk
+                    gemm(shape.out_c, cols, kk, 1.0, go_img, &col_t, 1.0, &mut gw);
+
+                    // db += sum over spatial of dY.
+                    for oc in 0..shape.out_c {
+                        gb[oc] += go_img[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+                    }
+
+                    // dX = col2im(W^T @ dY).
+                    gcol.fill(0.0);
+                    gemm(kk, shape.out_c, cols, 1.0, &wt, go_img, 0.0, &mut gcol);
+                    gi_chunk.fill(0.0);
+                    col2im(&gcol, h, w, shape, gi_chunk);
+                }
+                partials.lock().expect("partials poisoned").push((gw, gb));
+            });
+        }
+    });
+
+    let mut grad_weight = Tensor::zeros(&[shape.out_c, shape.in_c, shape.kernel, shape.kernel]);
+    let mut grad_bias = Tensor::zeros(&[shape.out_c]);
+    for (gw, gb) in partials.into_inner().expect("partials poisoned") {
+        for (acc, v) in grad_weight.as_mut_slice().iter_mut().zip(gw) {
+            *acc += v;
+        }
+        for (acc, v) in grad_bias.as_mut_slice().iter_mut().zip(gb) {
+            *acc += v;
+        }
+    }
+
+    Conv2dGrads {
+        input: grad_input,
+        weight: grad_weight,
+        bias: grad_bias,
+    }
+}
+
+/// Naive direct convolution used as the golden reference in tests and for
+/// verifying the accelerator simulator's functional output.
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    shape: &Conv2dShape,
+) -> Tensor {
+    let dims = input.shape();
+    let (n, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (oh, ow) = shape.out_hw(h, w);
+    let k = shape.kernel;
+    let mut out = Tensor::zeros(&[n, shape.out_c, oh, ow]);
+    for ni in 0..n {
+        for oc in 0..shape.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map_or(0.0, |b| b.as_slice()[oc]);
+                    for ic in 0..shape.in_c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                                let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at4(ni, ic, iy as usize, ix as usize)
+                                    * weight.at4(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                    out.set4(ni, oc, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_tensor(rng: &mut SmallRng, shape: &[usize]) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec((0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(), shape)
+    }
+
+    #[test]
+    fn out_hw_same_padding() {
+        let s = Conv2dShape::new(3, 8, 3, 1, 1);
+        assert_eq!(s.out_hw(32, 32), (32, 32));
+        let s2 = Conv2dShape::new(3, 8, 3, 2, 1);
+        assert_eq!(s2.out_hw(32, 32), (16, 16));
+        let s3 = Conv2dShape::new(3, 8, 1, 1, 0);
+        assert_eq!(s3.out_hw(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn macs_match_hand_count() {
+        // 3x3, 8->16 channels, 4x4 output: 16*8*9*16 MACs.
+        let s = Conv2dShape::new(8, 16, 3, 1, 1);
+        assert_eq!(s.macs(4, 4), 16 * 8 * 9 * 16);
+    }
+
+    #[test]
+    fn forward_matches_direct() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for &(in_c, out_c, k, stride, pad, h, w) in &[
+            (1, 1, 3, 1, 1, 5, 5),
+            (3, 4, 3, 1, 1, 8, 6),
+            (2, 5, 3, 2, 1, 9, 9),
+            (4, 2, 1, 1, 0, 6, 6),
+        ] {
+            let shape = Conv2dShape::new(in_c, out_c, k, stride, pad);
+            let x = random_tensor(&mut rng, &[2, in_c, h, w]);
+            let wt = random_tensor(&mut rng, &[out_c, in_c, k, k]);
+            let b = random_tensor(&mut rng, &[out_c]);
+            let fast = conv2d_forward(&x, &wt, Some(&b), &shape);
+            let slow = conv2d_direct(&x, &wt, Some(&b), &shape);
+            crate::assert_slices_close(fast.as_slice(), slow.as_slice(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let shape = Conv2dShape::new(2, 3, 3, 1, 1);
+        let (h, w) = (6, 5);
+        let (oh, ow) = shape.out_hw(h, w);
+        let kk = shape.in_c * 9;
+        let x: Vec<f32> = (0..shape.in_c * h * w)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let y: Vec<f32> = (0..kk * oh * ow)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let mut cx = vec![0.0f32; kk * oh * ow];
+        im2col(&x, h, w, &shape, &mut cx);
+        let lhs: f32 = cx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut aty = vec![0.0f32; shape.in_c * h * w];
+        col2im(&y, h, w, &shape, &mut aty);
+        let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let shape = Conv2dShape::new(2, 3, 3, 1, 1);
+        let x = random_tensor(&mut rng, &[1, 2, 5, 5]);
+        let wt = random_tensor(&mut rng, &[3, 2, 3, 3]);
+        let b = random_tensor(&mut rng, &[3]);
+
+        // Loss = sum(conv(x)) so dL/dy = ones.
+        let y = conv2d_forward(&x, &wt, Some(&b), &shape);
+        let go = Tensor::ones(y.shape());
+        let grads = conv2d_backward(&x, &wt, &go, &shape);
+
+        let eps = 1e-3;
+        // Check a scattering of weight coordinates.
+        for &idx in &[0usize, 7, 13, 26, 40, 53] {
+            let mut wp = wt.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = wt.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fp = conv2d_forward(&x, &wp, Some(&b), &shape).sum();
+            let fm = conv2d_forward(&x, &wm, Some(&b), &shape).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = grads.weight.as_slice()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2,
+                "weight grad mismatch at {idx}: fd={fd} an={an}"
+            );
+        }
+        // Check a scattering of input coordinates.
+        for &idx in &[0usize, 11, 24, 37, 49] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp = conv2d_forward(&xp, &wt, Some(&b), &shape).sum();
+            let fm = conv2d_forward(&xm, &wt, Some(&b), &shape).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = grads.input.as_slice()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2,
+                "input grad mismatch at {idx}: fd={fd} an={an}"
+            );
+        }
+        // Bias gradient of a sum-loss is the number of output pixels.
+        let (oh, ow) = shape.out_hw(5, 5);
+        for &g in grads.bias.as_slice() {
+            assert!((g - (oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn forward_kaiming_initialised_runs() {
+        let shape = Conv2dShape::new(16, 32, 3, 1, 1);
+        let w = init::kaiming_normal(&[32, 16, 3, 3], 16 * 9, 5);
+        let x = Tensor::ones(&[2, 16, 8, 8]);
+        let y = conv2d_forward(&x, &w, None, &shape);
+        assert_eq!(y.shape(), &[2, 32, 8, 8]);
+        // Kaiming keeps activations in a sane range.
+        assert!(y.as_slice().iter().all(|v| v.abs() < 100.0));
+    }
+}

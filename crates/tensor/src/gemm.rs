@@ -1,0 +1,182 @@
+//! Blocked single-precision GEMM.
+//!
+//! `C = alpha * A @ B + beta * C` with row-major operands. The kernel is
+//! cache-blocked and written so the inner loop vectorises; it is the
+//! workhorse behind im2col convolution in [`crate::conv`].
+
+/// Panic-checked blocked GEMM: `c[m×n] = alpha * a[m×k] @ b[k×n] + beta * c`.
+///
+/// All matrices are row-major slices.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m*k` / `k*n` / `m*n` extent.
+pub fn gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "a too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "b too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "c too short: {} < {}", c.len(), m * n);
+
+    if beta != 1.0 {
+        for v in c[..m * n].iter_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Block sizes chosen so a block of B stays in L1/L2.
+    const MC: usize = 64;
+    const KC: usize = 128;
+
+    for i0 in (0..m).step_by(MC) {
+        let i_max = (i0 + MC).min(m);
+        for k0 in (0..k).step_by(KC) {
+            let k_max = (k0 + KC).min(k);
+            for i in i0..i_max {
+                let a_row = &a[i * k..i * k + k];
+                let c_row = &mut c[i * n..i * n + n];
+                for kk in k0..k_max {
+                    let aik = alpha * a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..kk * n + n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Naive reference GEMM used to validate [`gemm`] in tests.
+pub fn gemm_reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+/// `y[m] = a[m×k] @ x[k]` (matrix–vector product).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn gemv(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    assert!(a.len() >= m * k && x.len() >= k && y.len() >= m);
+    for i in 0..m {
+        let row = &a[i * k..i * k + k];
+        y[i] = row.iter().zip(x.iter()).map(|(&av, &xv)| av * xv).sum();
+    }
+}
+
+/// Transposes a row-major `rows×cols` matrix into a new buffer.
+pub fn transpose(rows: usize, cols: usize, a: &[f32]) -> Vec<f32> {
+    assert!(a.len() >= rows * cols);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = a[r * cols + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut SmallRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn gemm_matches_reference_on_random_shapes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 16, 16),
+            (65, 129, 33),
+            (10, 1, 10),
+        ] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let mut c1 = random_matrix(&mut rng, m * n);
+            let mut c2 = c1.clone();
+            gemm(m, k, n, 1.3, &a, &b, 0.7, &mut c1);
+            gemm_reference(m, k, n, 1.3, &a, &b, 0.7, &mut c2);
+            crate::assert_slices_close(&c1, &c2, 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_identity() {
+        // A @ I == A
+        let m = 4;
+        let a: Vec<f32> = (0..m * m).map(|i| i as f32).collect();
+        let mut eye = vec![0.0f32; m * m];
+        for i in 0..m {
+            eye[i * m + i] = 1.0;
+        }
+        let mut c = vec![0.0f32; m * m];
+        gemm(m, m, m, 1.0, &a, &eye, 0.0, &mut c);
+        crate::assert_slices_close(&a, &c, 1e-6);
+    }
+
+    #[test]
+    fn gemm_beta_scaling_only_when_alpha_zero() {
+        let mut c = vec![2.0f32; 4];
+        gemm(2, 2, 2, 0.0, &[1.0; 4], &[1.0; 4], 0.5, &mut c);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (m, k) = (7, 11);
+        let a = random_matrix(&mut rng, m * k);
+        let x = random_matrix(&mut rng, k);
+        let mut y1 = vec![0.0f32; m];
+        let mut y2 = vec![0.0f32; m];
+        gemv(m, k, &a, &x, &mut y1);
+        gemm(m, k, 1, 1.0, &a, &x, 0.0, &mut y2);
+        crate::assert_slices_close(&y1, &y2, 1e-5);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let t = transpose(3, 4, &a);
+        let back = transpose(4, 3, &t);
+        assert_eq!(a, back);
+        // element (0,1) of the transpose is element (1,0) of the source
+        assert_eq!(t[1], a[4]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic weight initialisers (seeded, reproducible).
+
+use crate::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Kaiming/He normal initialisation: `N(0, sqrt(2 / fan_in))`.
+///
+/// `fan_in` is the number of input connections per output unit
+/// (`in_c · k²` for convolutions, `in_features` for linear layers).
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len: usize = shape.iter().product();
+    let data = (0..len).map(|_| sample_normal(&mut rng) * std).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len: usize = shape.iter().product();
+    let data = (0..len).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Standard-normal sample via Box–Muller (avoids a rand_distr dependency).
+fn sample_normal(rng: &mut SmallRng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_is_deterministic() {
+        let a = kaiming_normal(&[64, 16, 3, 3], 16 * 9, 42);
+        let b = kaiming_normal(&[64, 16, 3, 3], 16 * 9, 42);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = kaiming_normal(&[64, 16, 3, 3], 16 * 9, 43);
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn kaiming_std_close_to_target() {
+        let fan_in = 128usize;
+        let t = kaiming_normal(&[10000], fan_in, 1);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        let target = 2.0 / fan_in as f32;
+        assert!(
+            (var - target).abs() < target * 0.2,
+            "var {var} vs target {target}"
+        );
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let t = xavier_uniform(&[1000], 50, 50, 7);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v > -a && v < a));
+    }
+}

@@ -1,0 +1,90 @@
+//! Dense tensor math substrate for the PCNN reproduction.
+//!
+//! This crate provides the numeric foundation used by the rest of the
+//! workspace: an owned, contiguous, `f32`, NCHW [`Tensor`], im2col-based
+//! convolution with explicit backward passes, pooling, elementwise kernels,
+//! a blocked (and optionally threaded) GEMM, and deterministic weight
+//! initialisers.
+//!
+//! The design goal is *correctness and determinism*, not peak FLOPs: this
+//! substrate plays the role of the PyTorch runtime the paper trained with,
+//! and of the golden reference model the accelerator simulator is verified
+//! against.
+//!
+//! # Example
+//!
+//! ```
+//! use pcnn_tensor::{Tensor, conv::{Conv2dShape, conv2d_forward}};
+//!
+//! let x = Tensor::ones(&[1, 3, 8, 8]);
+//! let w = Tensor::ones(&[4, 3, 3, 3]);
+//! let shape = Conv2dShape::new(3, 4, 3, 1, 1);
+//! let y = conv2d_forward(&x, &w, None, &shape);
+//! assert_eq!(y.shape(), &[1, 4, 8, 8]);
+//! ```
+
+pub mod conv;
+pub mod gemm;
+pub mod init;
+pub mod ops;
+pub mod parallel;
+pub mod pool;
+pub mod tensor;
+
+pub use tensor::Tensor;
+
+/// Relative tolerance helper used throughout the test suites.
+///
+/// Returns `true` when `a` and `b` agree to within `tol` absolutely or
+/// relatively (whichever is looser), which is the right notion for
+/// comparing accumulated floating-point dot products of different
+/// association orders.
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+/// Asserts two slices are elementwise approximately equal.
+///
+/// # Panics
+///
+/// Panics with the first offending index when lengths differ or any pair
+/// of elements disagrees by more than `tol` (see [`approx_eq`]).
+pub fn assert_slices_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "slice lengths differ: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            approx_eq(x, y, tol),
+            "slices differ at index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+        assert!(approx_eq(1e6, 1e6 * (1.0 + 1e-6), 1e-5));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "slices differ")]
+    fn assert_slices_close_panics_on_mismatch() {
+        assert_slices_close(&[1.0, 2.0], &[1.0, 2.5], 1e-3);
+    }
+}

@@ -1,0 +1,276 @@
+//! Elementwise activations, the linear (fully-connected) layer kernels,
+//! and the softmax cross-entropy loss.
+
+use crate::gemm::{gemm, transpose};
+use crate::Tensor;
+
+/// ReLU forward: `max(0, x)` elementwise.
+pub fn relu_forward(input: &Tensor) -> Tensor {
+    input.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: gradient passes where the *input* was positive.
+pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Tensor {
+    assert_eq!(
+        input.shape(),
+        grad_out.shape(),
+        "relu backward shape mismatch"
+    );
+    let mut grad_in = grad_out.clone();
+    for (g, &x) in grad_in.as_mut_slice().iter_mut().zip(input.as_slice()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    grad_in
+}
+
+/// Linear layer forward: `y[n×out] = x[n×in] @ w[out×in]^T + b`.
+pub fn linear_forward(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    let (n, in_f) = (input.shape()[0], input.shape()[1]);
+    let (out_f, w_in) = (weight.shape()[0], weight.shape()[1]);
+    assert_eq!(in_f, w_in, "linear in-features mismatch");
+    let wt = transpose(out_f, in_f, weight.as_slice()); // in × out
+    let mut out = Tensor::zeros(&[n, out_f]);
+    gemm(
+        n,
+        in_f,
+        out_f,
+        1.0,
+        input.as_slice(),
+        &wt,
+        0.0,
+        out.as_mut_slice(),
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_f, "bias length mismatch");
+        for row in out.as_mut_slice().chunks_mut(out_f) {
+            for (v, &bv) in row.iter_mut().zip(b.as_slice()) {
+                *v += bv;
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of a linear layer.
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the input, `n × in`.
+    pub input: Tensor,
+    /// Gradient w.r.t. the weight, `out × in`.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias, `out`.
+    pub bias: Tensor,
+}
+
+/// Linear layer backward pass.
+pub fn linear_backward(input: &Tensor, weight: &Tensor, grad_out: &Tensor) -> LinearGrads {
+    let (n, in_f) = (input.shape()[0], input.shape()[1]);
+    let out_f = weight.shape()[0];
+    assert_eq!(grad_out.shape(), &[n, out_f], "grad_out shape mismatch");
+
+    // dX = dY @ W   (n×out @ out×in)
+    let mut grad_input = Tensor::zeros(&[n, in_f]);
+    gemm(
+        n,
+        out_f,
+        in_f,
+        1.0,
+        grad_out.as_slice(),
+        weight.as_slice(),
+        0.0,
+        grad_input.as_mut_slice(),
+    );
+
+    // dW = dY^T @ X (out×n @ n×in)
+    let gyt = transpose(n, out_f, grad_out.as_slice());
+    let mut grad_weight = Tensor::zeros(&[out_f, in_f]);
+    gemm(
+        out_f,
+        n,
+        in_f,
+        1.0,
+        &gyt,
+        input.as_slice(),
+        0.0,
+        grad_weight.as_mut_slice(),
+    );
+
+    // db = column sums of dY.
+    let mut grad_bias = Tensor::zeros(&[out_f]);
+    for row in grad_out.as_slice().chunks(out_f) {
+        for (b, &g) in grad_bias.as_mut_slice().iter_mut().zip(row) {
+            *b += g;
+        }
+    }
+    LinearGrads {
+        input: grad_input,
+        weight: grad_weight,
+        bias: grad_bias,
+    }
+}
+
+/// Numerically stable row-wise softmax of an `n × classes` logit matrix.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let classes = logits.shape()[1];
+    let mut out = logits.clone();
+    for row in out.as_mut_slice().chunks_mut(classes) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// Returns `(loss, grad_logits)` where `grad_logits = (softmax - onehot)/n`.
+///
+/// # Panics
+///
+/// Panics if any label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(
+            label < classes,
+            "label {label} out of range (classes={classes})"
+        );
+        let p = probs.at2(i, label).max(1e-12);
+        loss -= p.ln();
+        let off = grad.offset2(i, label);
+        grad.as_mut_slice()[off] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    grad.scale(inv_n);
+    (loss * inv_n, grad)
+}
+
+/// Counts how many argmax predictions match the labels.
+pub fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    let classes = logits.shape()[1];
+    logits
+        .as_slice()
+        .chunks(classes)
+        .zip(labels)
+        .filter(|(row, &label)| {
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best == label
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn relu_clamps_and_gates() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let y = relu_forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let go = Tensor::from_vec(vec![5.0, 5.0, 5.0], &[3]);
+        let gi = relu_backward(&x, &go);
+        assert_eq!(gi.as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn linear_forward_known_values() {
+        // y = x @ W^T + b with W = [[1,2],[3,4]], x = [1,1], b = [10, 20].
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let y = linear_forward(&x, &w, Some(&b));
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn linear_backward_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x = Tensor::from_vec((0..6).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[2, 3]);
+        let w = Tensor::from_vec((0..12).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[4, 3]);
+        let y = linear_forward(&x, &w, None);
+        let go = Tensor::ones(y.shape());
+        let grads = linear_backward(&x, &w, &go);
+        let eps = 1e-3;
+        for idx in 0..12 {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (linear_forward(&x, &wp, None).sum() - linear_forward(&x, &wm, None).sum())
+                / (2.0 * eps);
+            assert!((fd - grads.weight.as_slice()[idx]).abs() < 1e-2);
+        }
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (linear_forward(&xp, &w, None).sum() - linear_forward(&xm, &w, None).sum())
+                / (2.0 * eps);
+            assert!((fd - grads.input.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let p = softmax(&x);
+        for row in p.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Tensor::zeros(&[1, 10]);
+        let (loss, grad) = cross_entropy(&logits, &[3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        // Gradient sums to zero per row.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let logits = Tensor::from_vec((0..8).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[2, 4]);
+        let labels = [1usize, 3usize];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..8 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fd = (cross_entropy(&lp, &labels).0 - cross_entropy(&lm, &labels).0) / (2.0 * eps);
+            assert!((fd - grad.as_slice()[idx]).abs() < 1e-2, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn count_correct_counts() {
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], &[2, 2]);
+        assert_eq!(count_correct(&logits, &[1, 0]), 2);
+        assert_eq!(count_correct(&logits, &[0, 1]), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The workspace deliberately avoids heavyweight parallelism dependencies;
+//! batch-level data parallelism over scoped threads is all the training
+//! and simulation workloads need.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use (capped at 8).
+///
+/// Training batches in this workspace are small, so more threads than
+/// this only add synchronisation overhead.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs `f(index)` for every index in `0..count`, distributing indices
+/// over worker threads with dynamic (work-stealing-ish) scheduling.
+///
+/// `f` must be `Sync` because multiple worker threads call it
+/// concurrently on disjoint indices.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let sum = AtomicUsize::new(0);
+/// pcnn_tensor::parallel::parallel_for(10, |i| { sum.fetch_add(i, Ordering::Relaxed); });
+/// assert_eq!(sum.into_inner(), 45);
+/// ```
+pub fn parallel_for<F>(count: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = num_threads().min(count.max(1));
+    if workers <= 1 || count <= 1 {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// Splits `data` into `count` equal chunks of `chunk_len` and runs
+/// `f(chunk_index, chunk)` on each, in parallel.
+///
+/// # Panics
+///
+/// Panics if `data.len() != count * chunk_len`.
+pub fn parallel_chunks_mut<F>(data: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(data.len() % chunk_len, 0, "data not divisible into chunks");
+    let count = data.len() / chunk_len;
+    let workers = num_threads().min(count.max(1));
+    if workers <= 1 || count <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks: Vec<(usize, &mut [f32])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let queue = std::sync::Mutex::new(chunks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue poisoned").pop();
+                match item {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let visited: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(100, |i| {
+            visited[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for v in &visited {
+            assert_eq!(v.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn parallel_for_handles_zero_and_one() {
+        parallel_for(0, |_| panic!("must not be called"));
+        let called = AtomicUsize::new(0);
+        parallel_for(1, |_| {
+            called.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(called.into_inner(), 1);
+    }
+
+    #[test]
+    fn parallel_chunks_mut_writes_disjoint() {
+        let mut data = vec![0.0f32; 64];
+        parallel_chunks_mut(&mut data, 8, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        for (i, chunk) in data.chunks(8).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as f32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn parallel_chunks_mut_rejects_ragged() {
+        let mut data = vec![0.0f32; 10];
+        parallel_chunks_mut(&mut data, 3, |_, _| {});
+    }
+}

@@ -1,0 +1,177 @@
+//! Pooling layers: 2×2 max pooling (VGG) and global average pooling
+//! (ResNet head), with explicit backward passes.
+
+use crate::Tensor;
+
+/// Result of a max-pool forward pass: the pooled output plus the argmax
+/// indices needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOut {
+    /// Pooled NCHW output.
+    pub output: Tensor,
+    /// Flat input offset of the winning element for every output element.
+    pub argmax: Vec<usize>,
+}
+
+/// `window`-sized, stride-`window` (non-overlapping) max pooling.
+///
+/// # Panics
+///
+/// Panics if the spatial dimensions are not divisible by `window`.
+pub fn maxpool2d_forward(input: &Tensor, window: usize) -> MaxPoolOut {
+    let dims = input.shape();
+    assert_eq!(dims.len(), 4, "input must be NCHW");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert!(
+        window > 0 && h % window == 0 && w % window == 0,
+        "{h}x{w} not divisible by window {window}"
+    );
+    let (oh, ow) = (h / window, w / window);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.as_slice();
+
+    let mut oi = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            let idx = plane + (oy * window + dy) * w + ox * window + dx;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out.as_mut_slice()[oi] = best;
+                    argmax[oi] = best_idx;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    MaxPoolOut {
+        output: out,
+        argmax,
+    }
+}
+
+/// Backward max pooling: routes each output gradient to its argmax input.
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(grad_out.len(), argmax.len(), "argmax length mismatch");
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.as_mut_slice();
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        gi[idx] += g;
+    }
+    grad_in
+}
+
+/// Global average pooling: NCHW → NC11.
+pub fn global_avgpool_forward(input: &Tensor) -> Tensor {
+    let dims = input.shape();
+    assert_eq!(dims.len(), 4, "input must be NCHW");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let area = (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c, 1, 1]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            let s: f32 = input.as_slice()[plane..plane + h * w].iter().sum();
+            out.as_mut_slice()[ni * c + ci] = s / area;
+        }
+    }
+    out
+}
+
+/// Backward global average pooling: spreads each gradient uniformly.
+pub fn global_avgpool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    assert_eq!(grad_out.len(), n * c, "grad_out must be NC11");
+    let area = (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_shape);
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = grad_out.as_slice()[ni * c + ci] / area;
+            let plane = (ni * c + ci) * h * w;
+            for v in grad_in.as_mut_slice()[plane..plane + h * w].iter_mut() {
+                *v = g;
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                0.0, -1.0, 9.0, 1.0, //
+                -2.0, -3.0, 2.0, 0.5,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let out = maxpool2d_forward(&x, 2);
+        assert_eq!(out.output.as_slice(), &[4.0, 8.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let fwd = maxpool2d_forward(&x, 2);
+        let go = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]);
+        let gi = maxpool2d_backward(&go, &fwd.argmax, &[1, 1, 2, 2]);
+        assert_eq!(gi.as_slice(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn maxpool_ties_and_negatives() {
+        // All-negative window still selects the max (strictly greater wins,
+        // first occurrence kept on ties).
+        let x = Tensor::from_vec(vec![-5.0, -5.0, -7.0, -6.0], &[1, 1, 2, 2]);
+        let out = maxpool2d_forward(&x, 2);
+        assert_eq!(out.output.as_slice(), &[-5.0]);
+        assert_eq!(out.argmax, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn maxpool_rejects_ragged() {
+        let x = Tensor::zeros(&[1, 1, 5, 4]);
+        let _ = maxpool2d_forward(&x, 2);
+    }
+
+    #[test]
+    fn global_avgpool_roundtrip() {
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]);
+        let out = global_avgpool_forward(&x);
+        assert_eq!(out.shape(), &[1, 2, 1, 1]);
+        assert_eq!(out.as_slice(), &[1.5, 5.5]);
+        let go = Tensor::from_vec(vec![4.0, 8.0], &[1, 2, 1, 1]);
+        let gi = global_avgpool_backward(&go, &[1, 2, 2, 2]);
+        assert_eq!(gi.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avgpool_gradient_sums_to_output_gradient() {
+        let go = Tensor::from_vec(vec![3.0], &[1, 1, 1, 1]);
+        let gi = global_avgpool_backward(&go, &[1, 1, 4, 4]);
+        assert!((gi.sum() - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,371 @@
+//! The owned, contiguous, row-major `f32` tensor used across the workspace.
+
+use std::fmt;
+
+/// An owned, contiguous, row-major `f32` tensor of arbitrary rank.
+///
+/// Convolutional data uses NCHW layout and convolution weights use OIHW
+/// layout by convention. The struct keeps its fields private so the
+/// `data.len() == shape.iter().product()` invariant always holds.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", data=[{}, {}, ..; {}])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        assert!(
+            !shape.is_empty(),
+            "tensor shape must have at least one dimension"
+        );
+        let len = shape.iter().product();
+        Tensor {
+            data: vec![value; len],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "data length {} does not match shape {:?} (= {})",
+            data.len(),
+            shape,
+            expected
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The tensor's shape (dimension sizes, outermost first).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a reshaped copy sharing no structure with `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Reinterprets the tensor's shape in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        self.shape = shape.to_vec();
+    }
+
+    /// Flat offset of a 4-D index (NCHW convention).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the tensor is not rank 4 or an index is out of
+    /// bounds.
+    #[inline]
+    pub fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.rank(), 4);
+        debug_assert!(
+            n < self.shape[0] && c < self.shape[1] && h < self.shape[2] && w < self.shape[3]
+        );
+        ((n * self.shape[1] + c) * self.shape[2] + h) * self.shape[3] + w
+    }
+
+    /// Reads a 4-D element.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.offset4(n, c, h, w)]
+    }
+
+    /// Writes a 4-D element.
+    #[inline]
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let off = self.offset4(n, c, h, w);
+        self.data[off] = value;
+    }
+
+    /// Flat offset of a 2-D index.
+    #[inline]
+    pub fn offset2(&self, r: usize, c: usize) -> usize {
+        debug_assert_eq!(self.rank(), 2);
+        debug_assert!(r < self.shape[0] && c < self.shape[1]);
+        r * self.shape[1] + c
+    }
+
+    /// Reads a 2-D element.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        self.data[self.offset2(r, c)]
+    }
+
+    /// Writes a 2-D element.
+    #[inline]
+    pub fn set2(&mut self, r: usize, c: usize, value: f32) {
+        let off = self.offset2(r, c);
+        self.data[off] = value;
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    pub fn map(&self, f: impl FnMut(f32) -> f32) -> Tensor {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// `self += alpha * other`, elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill(&mut self, value: f32) {
+        for v in &mut self.data {
+            *v = value;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Number of elements equal to zero.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v == 0.0).count()
+    }
+
+    /// Fraction of elements equal to zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.count_zeros() as f64 / self.data.len() as f64
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// A rank-1 tensor with a single zero element.
+    fn default() -> Self {
+        Tensor::zeros(&[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(&[4]);
+        assert!(o.as_slice().iter().all(|&v| v == 1.0));
+        let f = Tensor::full(&[2, 2], 7.5);
+        assert!(f.as_slice().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn index4_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        t.set4(1, 2, 3, 4, 42.0);
+        assert_eq!(t.at4(1, 2, 3, 4), 42.0);
+        assert_eq!(t.offset4(0, 0, 0, 1), 1);
+        assert_eq!(t.offset4(0, 0, 1, 0), 5);
+        assert_eq!(t.offset4(0, 1, 0, 0), 20);
+        assert_eq!(t.offset4(1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn index2_roundtrip() {
+        let mut t = Tensor::zeros(&[3, 4]);
+        t.set2(2, 3, -1.5);
+        assert_eq!(t.at2(2, 3), -1.5);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let r = t.reshaped(&[2, 6]);
+        assert_eq!(r.shape(), &[2, 6]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_rejects_bad_count() {
+        let mut t = Tensor::zeros(&[3, 4]);
+        t.reshape(&[5, 5]);
+    }
+
+    #[test]
+    fn axpy_scale_sum() {
+        let mut a = Tensor::ones(&[4]);
+        let b = Tensor::full(&[4], 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[2.0; 4]);
+        a.scale(2.0);
+        assert_eq!(a.sum(), 16.0);
+        assert_eq!(a.mean(), 4.0);
+    }
+
+    #[test]
+    fn sparsity_counts() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, 2.0], &[4]);
+        assert_eq!(t.count_zeros(), 2);
+        assert!((t.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_does_not_mutate_original() {
+        let t = Tensor::ones(&[3]);
+        let u = t.map(|v| v * 3.0);
+        assert_eq!(t.as_slice(), &[1.0; 3]);
+        assert_eq!(u.as_slice(), &[3.0; 3]);
+    }
+
+    #[test]
+    fn sq_norm_matches_manual() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(t.sq_norm(), 25.0);
+    }
+}

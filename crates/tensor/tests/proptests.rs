@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor substrate: linear-operator laws
+//! of the convolution kernels and structural invariants of pooling.
+
+use pcnn_tensor::conv::{col2im, conv2d_direct, conv2d_forward, im2col, Conv2dShape};
+use pcnn_tensor::ops::{relu_forward, softmax};
+use pcnn_tensor::pool::{global_avgpool_forward, maxpool2d_backward, maxpool2d_forward};
+use pcnn_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_tensor(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_is_linear_in_input(
+        x1 in small_tensor(2 * 18),
+        x2 in small_tensor(2 * 18),
+        w in small_tensor(3 * 2 * 9),
+        alpha in -2.0f32..2.0,
+    ) {
+        let shape = Conv2dShape::new(2, 3, 3, 1, 1);
+        let xa = Tensor::from_vec(x1.clone(), &[1, 2, 3, 6]);
+        let xb = Tensor::from_vec(x2.clone(), &[1, 2, 3, 6]);
+        let wt = Tensor::from_vec(w, &[3, 2, 3, 3]);
+        // conv(x1 + a·x2) == conv(x1) + a·conv(x2)
+        let mut sum = xa.clone();
+        sum.axpy(alpha, &xb);
+        let lhs = conv2d_forward(&sum, &wt, None, &shape);
+        let mut rhs = conv2d_forward(&xa, &wt, None, &shape);
+        rhs.axpy(alpha, &conv2d_forward(&xb, &wt, None, &shape));
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn im2col_forward_equals_direct(
+        x in small_tensor(2 * 25),
+        w in small_tensor(4 * 2 * 9),
+        stride in 1usize..=2,
+    ) {
+        let shape = Conv2dShape::new(2, 4, 3, stride, 1);
+        let xt = Tensor::from_vec(x, &[1, 2, 5, 5]);
+        let wt = Tensor::from_vec(w, &[4, 2, 3, 3]);
+        let fast = conv2d_forward(&xt, &wt, None, &shape);
+        let slow = conv2d_direct(&xt, &wt, None, &shape);
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property(
+        x in small_tensor(3 * 16),
+        y_seed in small_tensor(3 * 9 * 16),
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> for any y.
+        let shape = Conv2dShape::new(3, 1, 3, 1, 1);
+        let (h, w) = (4, 4);
+        let mut cx = vec![0.0f32; 3 * 9 * 16];
+        im2col(&x, h, w, &shape, &mut cx);
+        let lhs: f32 = cx.iter().zip(&y_seed).map(|(a, b)| a * b).sum();
+        let mut aty = vec![0.0f32; 3 * 16];
+        col2im(&y_seed, h, w, &shape, &mut aty);
+        let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_output_dominates_inputs(x in small_tensor(16)) {
+        let xt = Tensor::from_vec(x.clone(), &[1, 1, 4, 4]);
+        let out = maxpool2d_forward(&xt, 2);
+        let global_max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        // The pooled maximum equals the global maximum.
+        let pooled_max = out.output.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(pooled_max, global_max);
+        // Every pooled value is one of the inputs.
+        for &v in out.output.as_slice() {
+            prop_assert!(x.contains(&v));
+        }
+    }
+
+    #[test]
+    fn maxpool_backward_conserves_gradient_mass(x in small_tensor(16), g in small_tensor(4)) {
+        let xt = Tensor::from_vec(x, &[1, 1, 4, 4]);
+        let fwd = maxpool2d_forward(&xt, 2);
+        let go = Tensor::from_vec(g.clone(), &[1, 1, 2, 2]);
+        let gi = maxpool2d_backward(&go, &fwd.argmax, &[1, 1, 4, 4]);
+        let sum_in: f32 = gi.sum();
+        let sum_out: f32 = g.iter().sum();
+        prop_assert!((sum_in - sum_out).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gap_equals_mean(x in small_tensor(2 * 9)) {
+        let xt = Tensor::from_vec(x.clone(), &[1, 2, 3, 3]);
+        let out = global_avgpool_forward(&xt);
+        let mean0: f32 = x[..9].iter().sum::<f32>() / 9.0;
+        prop_assert!((out.as_slice()[0] - mean0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn relu_idempotent_and_nonnegative(x in small_tensor(32)) {
+        let xt = Tensor::from_vec(x, &[32]);
+        let once = relu_forward(&xt);
+        let twice = relu_forward(&once);
+        prop_assert_eq!(once.as_slice(), twice.as_slice());
+        prop_assert!(once.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(x in small_tensor(6), shift in -5.0f32..5.0) {
+        let a = softmax(&Tensor::from_vec(x.clone(), &[1, 6]));
+        let shifted: Vec<f32> = x.iter().map(|v| v + shift).collect();
+        let b = softmax(&Tensor::from_vec(shifted, &[1, 6]));
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduces the paper's Figure 2 analysis: train a VGG-16-topology
+//! proxy, project every CONV4 kernel to its nearest n = 4 pattern, and
+//! plot the dominant/trivial frequency split that motivates KP-based
+//! pattern distillation.
+//!
+//! ```text
+//! cargo run --release --example pattern_analysis [layer_name] [n]
+//! ```
+
+use pcnn::core::distill::{distill_layer, PatternHistogram};
+use pcnn::nn::data::synthetic_split;
+use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
+use pcnn::nn::optim::Sgd;
+use pcnn::nn::train::{train, TrainConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let layer = args.next().unwrap_or_else(|| "conv4".to_string());
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    println!("training a VGG-16 proxy to get realistic weights...");
+    let (train_set, test_set) = synthetic_split(10, 600, 150, 16, 16, 0.25, 3);
+    let mut model = vgg16_proxy(&VggProxyConfig::default(), 3);
+    let mut sgd = Sgd::new(0.05, 0.9, 5e-4);
+    let cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        seed: 3,
+        ..Default::default()
+    };
+    let stats = train(&mut model, &train_set, &test_set, &mut sgd, &cfg);
+    println!("proxy test accuracy: {:.3}\n", stats.final_test_acc());
+
+    let convs = model.prunable_convs();
+    let conv = convs
+        .iter()
+        .find(|c| c.name == layer)
+        .unwrap_or_else(|| panic!("no layer named {layer}; try conv1..conv13"));
+
+    let hist = PatternHistogram::from_weight(conv.weight(), n);
+    println!(
+        "== pattern distribution in {} (n = {n}, |F_n| = C(9,{n})) ==",
+        conv.name
+    );
+    println!(
+        "{} kernels, {} distinct patterns observed",
+        hist.total_kernels(),
+        hist.distinct_patterns()
+    );
+    let max = hist.entries().first().map_or(1, |e| e.1).max(1);
+    for (rank, (p, count)) in hist.entries().iter().take(20).enumerate() {
+        let bar = "#".repeat(((count * 50) / max) as usize);
+        println!(
+            "{:>3}. {} {:>5}  {bar}",
+            rank + 1,
+            p.to_string().replace('\n', " "),
+            count
+        );
+    }
+    println!("...");
+    for k in [4usize, 8, 16, 32] {
+        println!(
+            "top-{k:<3} patterns cover {:>5.1}% of kernels",
+            hist.coverage(k) * 100.0
+        );
+    }
+
+    println!("\n== distilled pattern set (Algorithm 1, V_l = 8) ==");
+    let set = distill_layer(conv.weight(), n, 8);
+    for (code, p) in set.iter().enumerate() {
+        println!("SPM code {code}:\n{p}\n");
+    }
+    println!("bits per SPM code: {}", set.bits_per_code());
+}

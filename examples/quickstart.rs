@@ -1,0 +1,67 @@
+//! Quickstart: the PCNN representation and compression math in a minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the paper's Figure 1 (SPM encoding of one kernel), the
+//! candidate-set sizes of §II-A, and Table I's compression arithmetic on
+//! the real VGG-16 shapes.
+
+use pcnn::core::compress::{csc_compression, flops_after_pcnn, pcnn_compression, StorageModel};
+use pcnn::core::pattern::binomial;
+use pcnn::core::project::project_kernel;
+use pcnn::core::spm::SpmLayer;
+use pcnn::core::{PatternSet, PrunePlan};
+use pcnn::nn::zoo::vgg16_cifar;
+use pcnn::tensor::Tensor;
+
+fn main() {
+    // --- Figure 1: one kernel, its pattern, and its SPM encoding -------
+    let kernel = [0.0f32, 2.09, 1.45, 0.0, 0.0, 1.15, -0.89, 2.12, -0.58];
+    let pattern = project_kernel(&kernel, 6);
+    println!(
+        "Figure 1 kernel pattern ({} non-zeros):\n{pattern}\n",
+        pattern.weight()
+    );
+
+    let weight = Tensor::from_vec(kernel.to_vec(), &[1, 1, 3, 3]);
+    let set = PatternSet::full(9, 6);
+    let spm = SpmLayer::encode(&weight, &set).expect("kernel conforms to F_6");
+    println!(
+        "SPM storage: {} weight bits + {} index bits (dense would be {} bits)\n",
+        spm.weight_bits(32),
+        spm.index_bits(),
+        spm.dense_bits(32),
+    );
+
+    // --- §II-A: pattern counting ---------------------------------------
+    let total: u64 = (0..=9).map(|i| binomial(9, i)).sum();
+    println!("all 3x3 patterns: {total} (9-bit naive index)");
+    println!(
+        "PCNN fixes n per layer; worst case |F_n| = C(9,4) = {}\n",
+        binomial(9, 4)
+    );
+
+    // --- Table I arithmetic on the real VGG-16 -------------------------
+    let net = vgg16_cifar();
+    println!(
+        "VGG-16 (CIFAR-10): {} conv params, {} conv MACs",
+        net.conv_params(),
+        net.conv_macs()
+    );
+    for n in [4usize, 3, 2, 1] {
+        let plan = PrunePlan::uniform(13, n, if n == 1 { 8 } else { 32 });
+        let comp = pcnn_compression(&net, &plan, &StorageModel::default());
+        let flops = flops_after_pcnn(&net, &plan);
+        let (csc, _) = csc_compression(&net, &plan, &StorageModel::default());
+        println!(
+            "  n = {n}: weight {:.2}x | weight+idx {:.2}x | CSC(EIE) {:.2}x | FLOPs pruned {:.1}%",
+            comp.weight_only,
+            comp.weight_plus_index,
+            csc,
+            flops.reduction * 100.0
+        );
+    }
+    println!("\n(the weight+idx vs CSC gap is the point of kernel-level SPM indices)");
+}

@@ -1,0 +1,39 @@
+//! # PCNN: pattern-based fine-grained regular pruning
+//!
+//! A Rust reproduction of *"PCNN: Pattern-based Fine-Grained Regular
+//! Pruning Towards Optimizing CNN Accelerators"* (Tan et al., DAC 2020).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`tensor`] — dense tensor math (im2col convolution, GEMM, pooling);
+//! * [`nn`] — a minimal CNN training stack plus the analytic shape zoo of
+//!   the paper's benchmark networks;
+//! * [`core`] — the paper's contribution: SPM encoding, pattern
+//!   distillation, projection, ADMM fine-tuning, baseline pruners, and
+//!   compression/FLOPs accounting;
+//! * [`accel`] — the cycle-level simulator of the pattern-aware
+//!   accelerator (decoder, sparsity-IO pointer generation, PE group,
+//!   memory system, area/power model).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcnn::core::{compress, PrunePlan};
+//! use pcnn::nn::zoo::vgg16_cifar;
+//!
+//! // Paper Table I, n = 2: 4.5× weight compression on VGG-16.
+//! let net = vgg16_cifar();
+//! let plan = PrunePlan::uniform(13, 2, 32);
+//! let report = compress::pcnn_compression(&net, &plan, &Default::default());
+//! assert!((report.weight_only - 4.5).abs() < 1e-9);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end flows: pruning +
+//! ADMM fine-tuning of a trainable proxy network, running the
+//! accelerator simulator, and reproducing the paper's pattern-frequency
+//! analysis.
+
+pub use pcnn_accel as accel;
+pub use pcnn_core as core;
+pub use pcnn_nn as nn;
+pub use pcnn_tensor as tensor;

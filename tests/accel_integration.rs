@@ -1,0 +1,116 @@
+//! Cross-crate integration: pruned models executed on the accelerator
+//! simulator match the software reference, and the simulated speedups
+//! track the analytic FLOPs reductions.
+
+use pcnn::accel::config::AccelConfig;
+use pcnn::accel::sim::{execute_sparse_conv, simulate_network};
+use pcnn::core::compress::flops_after_pcnn;
+use pcnn::core::pruner::prune_model;
+use pcnn::core::sparse::SparseConv;
+use pcnn::core::PrunePlan;
+use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
+use pcnn::nn::zoo::vgg16_cifar;
+use pcnn::tensor::conv::conv2d_direct;
+use pcnn::tensor::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+#[test]
+fn pruned_proxy_layer_runs_bit_identically_on_the_simulator() {
+    // Prune a real (proxy) model, lift one layer into the accelerator,
+    // and compare against the golden dense convolution of those weights.
+    let mut model = vgg16_proxy(&VggProxyConfig::default(), 17);
+    let plan = PrunePlan::uniform(13, 4, 16);
+    let outcome = prune_model(&mut model, &plan);
+
+    let convs = model.prunable_convs();
+    let conv = convs[3]; // conv4, as in Figure 2
+    let set = &outcome.sets[3];
+    let sparse = SparseConv::from_dense(conv.weight(), *conv.shape(), set).expect("encode");
+
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut x = Tensor::from_vec(
+        (0..conv.shape().in_c * 10 * 10)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+        &[1, conv.shape().in_c, 10, 10],
+    );
+    for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+        if i % 4 == 0 {
+            *v = 0.0;
+        }
+    }
+
+    let cfg = AccelConfig::default();
+    let (got, sim) = execute_sparse_conv(&sparse, &x, &cfg);
+    let want = conv2d_direct(&x, conv.weight(), None, conv.shape());
+    pcnn::tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-4);
+    assert!(
+        sim.speedup() > 2.0,
+        "n=4 with activation zeros should beat 2x: {}",
+        sim.speedup()
+    );
+}
+
+#[test]
+fn simulated_speedup_tracks_analytic_flops_reduction() {
+    // Over the whole VGG-16, cycle-level speedup and the FLOPs ratio
+    // must agree to within the simulator's overhead margin.
+    let cfg = AccelConfig::default();
+    let net = vgg16_cifar();
+    for n in [1usize, 2, 4] {
+        let plan = PrunePlan::uniform(13, n, 32);
+        let sim = simulate_network(&net, Some(&plan), 1.0, &cfg, 5);
+        let flops = flops_after_pcnn(&net, &plan);
+        let analytic = flops.baseline as f64 / flops.pruned as f64;
+        let ratio = sim.speedup() / analytic;
+        assert!(
+            (0.93..=1.05).contains(&ratio),
+            "n={n}: sim {} vs analytic {analytic}",
+            sim.speedup()
+        );
+    }
+}
+
+#[test]
+fn network_time_scales_with_clock() {
+    let net = vgg16_cifar();
+    let plan = PrunePlan::uniform(13, 2, 32);
+    let cfg300 = AccelConfig::default();
+    let cfg600 = AccelConfig {
+        freq_mhz: 600.0,
+        ..Default::default()
+    };
+    let sim = simulate_network(&net, Some(&plan), 1.0, &cfg300, 9);
+    let t300 = sim.time_ms(&cfg300);
+    let t600 = sim.time_ms(&cfg600);
+    assert!((t300 / t600 - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn wider_pe_array_does_not_change_functionality() {
+    // Functional output is invariant to the PE configuration; only the
+    // cycle counts change.
+    let mut model = vgg16_proxy(&VggProxyConfig::default(), 19);
+    let plan = PrunePlan::uniform(13, 2, 8);
+    let outcome = prune_model(&mut model, &plan);
+    let convs = model.prunable_convs();
+    let conv = convs[1];
+    let sparse =
+        SparseConv::from_dense(conv.weight(), *conv.shape(), &outcome.sets[1]).expect("encode");
+    let x = Tensor::ones(&[1, conv.shape().in_c, 6, 6]);
+
+    let small = AccelConfig {
+        pe_count: 2,
+        macs_per_pe: 1,
+        ..Default::default()
+    };
+    let big = AccelConfig {
+        pe_count: 128,
+        macs_per_pe: 8,
+        ..Default::default()
+    };
+    let (y_small, sim_small) = execute_sparse_conv(&sparse, &x, &small);
+    let (y_big, sim_big) = execute_sparse_conv(&sparse, &x, &big);
+    pcnn::tensor::assert_slices_close(y_small.as_slice(), y_big.as_slice(), 1e-5);
+    assert!(sim_small.stats.cycles > sim_big.stats.cycles);
+}

@@ -1,0 +1,53 @@
+//! Checkpoint workflow across crates: train once, checkpoint, run two
+//! different pruning experiments from the same restored baseline.
+
+use pcnn::core::pruner::prune_model;
+use pcnn::core::PrunePlan;
+use pcnn::nn::checkpoint::{load_checkpoint, save_checkpoint};
+use pcnn::nn::data::synthetic_split;
+use pcnn::nn::models::tiny_cnn;
+use pcnn::nn::optim::Sgd;
+use pcnn::nn::train::{evaluate, train, TrainConfig};
+
+#[test]
+fn one_baseline_many_experiments() {
+    let (tr, te) = synthetic_split(4, 160, 48, 8, 8, 0.2, 77);
+    let mut model = tiny_cnn(4, 8, 7);
+    let mut opt = Sgd::new(0.08, 0.9, 1e-4);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 16,
+        seed: 1,
+        ..Default::default()
+    };
+    let _ = train(&mut model, &tr, &te, &mut opt, &cfg);
+    let baseline_acc = evaluate(&mut model, &te, 16);
+
+    let path = std::env::temp_dir().join(format!("pcnn-it-ckpt-{}", std::process::id()));
+    save_checkpoint(&mut model, &path).expect("save");
+
+    // Experiment A: n = 4 pruning mutates the model...
+    let plan_a = PrunePlan::uniform(2, 4, 16);
+    let _ = prune_model(&mut model, &plan_a);
+    let pruned_acc = evaluate(&mut model, &te, 16);
+
+    // ...restoring the checkpoint recovers the exact baseline.
+    let mut restored = tiny_cnn(4, 8, 99);
+    load_checkpoint(&mut restored, &path).expect("load");
+    let restored_acc = evaluate(&mut restored, &te, 16);
+    assert_eq!(restored_acc, baseline_acc, "checkpoint must restore the baseline exactly");
+
+    // Experiment B starts clean from the restored weights.
+    let plan_b = PrunePlan::uniform(2, 1, 8);
+    let outcome = prune_model(&mut restored, &plan_b);
+    assert_eq!(outcome.reports.len(), 2);
+    for conv in restored.prunable_convs() {
+        for kernel in conv.weight().as_slice().chunks(9) {
+            assert!(kernel.iter().filter(|&&w| w != 0.0).count() <= 1);
+        }
+    }
+    // The two experiments saw the same starting point, so experiment A's
+    // mask must not appear in experiment B's model.
+    let _ = pruned_acc;
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration: the full PCNN pipeline from training through
+//! SPM encoding, checking that every stage's invariants hold together.
+
+use pcnn::core::admm::{run_pcnn_pipeline, AdmmConfig};
+use pcnn::core::spm::SpmLayer;
+use pcnn::core::PrunePlan;
+use pcnn::nn::data::synthetic_split;
+use pcnn::nn::models::{resnet18_proxy, vgg16_proxy, ResNetProxyConfig, VggProxyConfig};
+use pcnn::nn::optim::Sgd;
+use pcnn::nn::train::{evaluate, train, TrainConfig};
+use pcnn::nn::Model;
+
+fn quick_train(
+    model: &mut Model,
+    seed: u64,
+) -> (f32, pcnn::nn::data::Dataset, pcnn::nn::data::Dataset) {
+    let (tr, te) = synthetic_split(6, 240, 60, 12, 12, 0.2, seed);
+    let mut sgd = Sgd::new(0.06, 0.9, 5e-4);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 24,
+        seed,
+        ..Default::default()
+    };
+    let stats = train(model, &tr, &te, &mut sgd, &cfg);
+    (stats.final_test_acc(), tr, te)
+}
+
+#[test]
+fn vgg_pipeline_then_spm_encode_roundtrip() {
+    let cfg = VggProxyConfig {
+        widths: [6, 6, 8, 8, 8, 8, 8, 12, 12, 12, 12, 12, 12],
+        pools_after: vec![2, 4],
+        input_hw: 12,
+        num_classes: 6,
+    };
+    let mut model = vgg16_proxy(&cfg, 21);
+    let (_base, tr, te) = quick_train(&mut model, 21);
+
+    let plan = PrunePlan::uniform(13, 3, 16);
+    let admm_cfg = AdmmConfig {
+        rounds: 2,
+        epochs_per_round: 1,
+        batch_size: 24,
+        ..Default::default()
+    };
+    let report = run_pcnn_pipeline(&mut model, &tr, &te, &plan, &admm_cfg, 2);
+
+    // Every pruned layer must SPM-encode against its own distilled set
+    // and decode back to exactly the weights the model holds.
+    for (conv, set) in model.prunable_convs().iter().zip(&report.outcome.sets) {
+        let spm = SpmLayer::encode(conv.weight(), set).expect("pruned weights conform");
+        assert_eq!(
+            spm.decode().as_slice(),
+            conv.weight().as_slice(),
+            "{}",
+            conv.name
+        );
+        // SPM index cost is below CSC's for the same layer (4 bits/nz).
+        let csc_bits = (spm.kernel_count() * spm.nonzeros_per_kernel() * 4) as u64;
+        assert!(spm.index_bits() < csc_bits, "{}", conv.name);
+    }
+}
+
+#[test]
+fn resnet_pipeline_keeps_downsamples_dense() {
+    let cfg = ResNetProxyConfig {
+        stage_widths: [4, 8, 8, 12],
+        input_hw: 12,
+        num_classes: 6,
+    };
+    let mut model = resnet18_proxy(&cfg, 23);
+    let (_base, tr, te) = quick_train(&mut model, 23);
+
+    let plan = PrunePlan::uniform(17, 2, 8);
+    let admm_cfg = AdmmConfig {
+        rounds: 1,
+        epochs_per_round: 1,
+        batch_size: 24,
+        ..Default::default()
+    };
+    let report = run_pcnn_pipeline(&mut model, &tr, &te, &plan, &admm_cfg, 1);
+    assert_eq!(report.outcome.reports.len(), 17);
+
+    // 3×3 layers are pattern-regular...
+    for conv in model.prunable_convs() {
+        for kernel in conv.weight().as_slice().chunks(9) {
+            assert!(kernel.iter().filter(|&&w| w != 0.0).count() <= 2);
+        }
+    }
+    // ...and the model still runs.
+    let acc = evaluate(&mut model, &te, 24);
+    assert!(acc > 0.0);
+}
+
+#[test]
+fn masked_finetune_cannot_regrow_pruned_weights() {
+    let cfg = VggProxyConfig {
+        widths: [4; 13],
+        pools_after: vec![2, 4],
+        input_hw: 8,
+        num_classes: 4,
+    };
+    let mut model = vgg16_proxy(&cfg, 31);
+    let (tr, te) = synthetic_split(4, 120, 40, 8, 8, 0.2, 31);
+    let plan = PrunePlan::uniform(13, 1, 8);
+    let _ = pcnn::core::pruner::prune_model(&mut model, &plan);
+
+    // Fine-tune hard and verify the sparsity pattern never changes.
+    let masks_before: Vec<Vec<bool>> = model
+        .prunable_convs()
+        .iter()
+        .map(|c| c.weight().as_slice().iter().map(|&w| w != 0.0).collect())
+        .collect();
+    let mut sgd = Sgd::new(0.05, 0.9, 0.0);
+    let cfg_t = TrainConfig {
+        epochs: 3,
+        batch_size: 20,
+        seed: 5,
+        ..Default::default()
+    };
+    let _ = train(&mut model, &tr, &te, &mut sgd, &cfg_t);
+    for (conv, before) in model.prunable_convs().iter().zip(&masks_before) {
+        for (&w, &was_alive) in conv.weight().as_slice().iter().zip(before) {
+            if !was_alive {
+                assert_eq!(w, 0.0, "pruned weight regrew in {}", conv.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use pcnn::accel::sparsity::{generate_pointers, offset_chain, walk_effectual};
+use pcnn::core::pattern::{binomial, Pattern, PatternSet};
+use pcnn::core::project::{project_kernel, project_onto_set, projection_distance_sq};
+use pcnn::core::quant::{dequantize, quantize_symmetric};
+use pcnn::core::spm::SpmLayer;
+use pcnn::tensor::gemm::{gemm, gemm_reference};
+use pcnn::tensor::Tensor;
+use proptest::prelude::*;
+
+fn kernel9() -> impl Strategy<Value = [f32; 9]> {
+    prop::array::uniform9(-10.0f32..10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- patterns -------------------------------------------------------
+
+    #[test]
+    fn pattern_positions_roundtrip(mask in 0u16..512) {
+        let p = Pattern::new(mask, 9);
+        let rebuilt = Pattern::from_positions(&p.positions(), 9);
+        prop_assert_eq!(p, rebuilt);
+        prop_assert_eq!(p.weight(), p.positions().len());
+    }
+
+    #[test]
+    fn rank_of_is_dense_index_into_positions(mask in 0u16..512) {
+        let p = Pattern::new(mask, 9);
+        for (rank, pos) in p.positions().into_iter().enumerate() {
+            prop_assert_eq!(p.rank_of(pos), Some(rank));
+        }
+    }
+
+    // --- projection -----------------------------------------------------
+
+    #[test]
+    fn projection_keeps_top_n_energy(kernel in kernel9(), n in 0usize..=9) {
+        let p = project_kernel(&kernel, n);
+        prop_assert_eq!(p.weight(), n);
+        // No discarded weight strictly exceeds a kept one in magnitude.
+        let kept_min = p
+            .positions()
+            .iter()
+            .map(|&i| kernel[i].abs())
+            .fold(f32::INFINITY, f32::min);
+        for (i, w) in kernel.iter().enumerate() {
+            if !p.contains(i) && n > 0 {
+                prop_assert!(w.abs() <= kept_min + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_optimal_within_full_set(kernel in kernel9(), n in 1usize..=4) {
+        let direct = project_kernel(&kernel, n);
+        let full = PatternSet::full(9, n);
+        for p in full.iter() {
+            prop_assert!(direct.retained_energy(&kernel) >= p.retained_energy(&kernel) - 1e-4);
+        }
+    }
+
+    #[test]
+    fn energy_conservation(kernel in kernel9(), n in 0usize..=9) {
+        let p = project_kernel(&kernel, n);
+        let total: f32 = kernel.iter().map(|w| w * w).sum();
+        let split = p.retained_energy(&kernel) + projection_distance_sq(&kernel, p);
+        prop_assert!((total - split).abs() <= total.abs() * 1e-4 + 1e-4);
+    }
+
+    // --- SPM encode/decode -----------------------------------------------
+
+    #[test]
+    fn spm_roundtrip_on_projected_layers(
+        seed_vals in prop::collection::vec(-5.0f32..5.0, 4 * 3 * 9),
+        n in 1usize..=6,
+    ) {
+        let mut w = Tensor::from_vec(seed_vals, &[4, 3, 3, 3]);
+        let set = PatternSet::full(9, n);
+        for kernel in w.as_mut_slice().chunks_mut(9) {
+            let _ = project_onto_set(kernel, &set);
+        }
+        let spm = SpmLayer::encode(&w, &set).expect("projected weights conform");
+        let decoded = spm.decode();
+        prop_assert_eq!(decoded.as_slice(), w.as_slice());
+        prop_assert_eq!(spm.nonzeros_per_kernel(), n);
+        // Bit accounting adds up.
+        prop_assert_eq!(spm.weight_bits(32), (12 * n * 32) as u64);
+    }
+
+    // --- pointer generation ----------------------------------------------
+
+    #[test]
+    fn offset_chain_walk_equals_bit_scan(mask in 0u16..512) {
+        let naive: Vec<usize> = (0..9).filter(|&i| (mask >> i) & 1 == 1).collect();
+        prop_assert_eq!(walk_effectual(mask, 9), naive);
+    }
+
+    #[test]
+    fn offset_chain_invariants(mask in 0u16..512) {
+        let offsets = offset_chain(mask, 9);
+        for (i, &off) in offsets.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                prop_assert_eq!(off, 0);
+            } else {
+                // The offset points at the next effectual position or
+                // one past the end.
+                let target = i + off as usize;
+                prop_assert!(target <= 9);
+                if target < 9 {
+                    prop_assert_eq!((mask >> target) & 1, 1);
+                }
+                for j in i..target.min(9) {
+                    prop_assert_eq!((mask >> j) & 1, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pointers_are_consistent(wmask in 0u16..512, amask in 0u16..512) {
+        let ptrs = generate_pointers(wmask, amask, 9);
+        prop_assert_eq!(ptrs.len(), (wmask & amask).count_ones() as usize);
+        for p in &ptrs {
+            // The activation index is an effectual position.
+            prop_assert_eq!((wmask >> p.act_idx) & 1, 1);
+            prop_assert_eq!((amask >> p.act_idx) & 1, 1);
+            // The weight index is its rank in the weight mask.
+            let below = wmask & ((1u32 << p.act_idx) as u16).wrapping_sub(1);
+            prop_assert_eq!(p.weight_idx, below.count_ones() as usize);
+        }
+        // Pointers come out in ascending position order.
+        for pair in ptrs.windows(2) {
+            prop_assert!(pair[0].act_idx < pair[1].act_idx);
+        }
+    }
+
+    // --- quantisation -----------------------------------------------------
+
+    #[test]
+    fn quantisation_error_bounded(values in prop::collection::vec(-100.0f32..100.0, 1..64), bits in 2u32..=8) {
+        let (codes, params) = quantize_symmetric(&values, bits);
+        let back = dequantize(&codes, params);
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= params.scale * 0.5 + 1e-5);
+        }
+        // Zeros stay exactly zero.
+        for (a, b) in values.iter().zip(&back) {
+            if *a == 0.0 {
+                prop_assert_eq!(*b, 0.0);
+            }
+        }
+    }
+
+    // --- GEMM --------------------------------------------------------------
+
+    #[test]
+    fn blocked_gemm_matches_reference(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut c1 = vec![0.5f32; m * n];
+        let mut c2 = c1.clone();
+        gemm(m, k, n, 1.0, &a, &b, 0.3, &mut c1);
+        gemm_reference(m, k, n, 1.0, &a, &b, 0.3, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    // --- combinatorics -------------------------------------------------------
+
+    #[test]
+    fn enumerate_size_is_binomial(n in 0usize..=9) {
+        prop_assert_eq!(Pattern::enumerate(9, n).len() as u64, binomial(9, n));
+    }
+}
