@@ -87,7 +87,7 @@ impl KernelRegisterFile {
     pub fn padded_len(&self, nnz: usize) -> usize {
         assert!(nnz > 0 && nnz <= self.words, "invalid nnz {nnz}");
         (nnz..=self.words)
-            .find(|d| self.words % d == 0)
+            .find(|d| self.words.is_multiple_of(*d))
             .expect("words is its own divisor")
     }
 

@@ -267,7 +267,7 @@ pub fn simulate_network(
                         used_macs: spec.macs(),
                         slot_macs: dense * cfg.macs_per_cycle() as u64,
                     },
-                    fetch_rows: (spec.weights() as u64).div_ceil(8),
+                    fetch_rows: spec.weights().div_ceil(8),
                 });
             }
         }
@@ -296,7 +296,7 @@ pub fn simulate_network(
                             used_macs: spec.macs(),
                             slot_macs: dense * cfg.macs_per_cycle() as u64,
                         },
-                        fetch_rows: (spec.weights() as u64).div_ceil(8),
+                        fetch_rows: spec.weights().div_ceil(8),
                     });
                 }
             }
@@ -314,6 +314,7 @@ pub fn simulate_network(
 /// # Panics
 ///
 /// Panics on input shape mismatch.
+#[allow(clippy::needless_range_loop)]
 pub fn execute_sparse_conv(
     sparse: &SparseConv,
     input: &Tensor,

@@ -171,7 +171,7 @@ mod tests {
         let window = [0.5f32, 1.5, -2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let weights = [2.0f32, -1.0, 0.5];
         let t = trace_window(&dec, 0, &window, &weights, 4);
-        let expect = 2.0 * 0.5 + (-1.0) * 1.5 + 0.5 * (-2.0);
+        let expect = 2.0 * 0.5 + -1.5 + 0.5 * (-2.0);
         let last = t.events.last().unwrap();
         assert!(
             last.detail.contains(&format!("{expect:.3}")),

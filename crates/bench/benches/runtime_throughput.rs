@@ -1,0 +1,63 @@
+//! Criterion bench: batched `pcnn-runtime` throughput vs the dense
+//! reference path, at batch sizes 1 / 8 / 64 — the perf trajectory
+//! future PRs are measured against.
+//!
+//! Two comparisons per batch size:
+//! * `sparse_engine` — pattern-compiled graph, per-image jobs on the
+//!   work-stealing pool;
+//! * `dense_graph` — the same network lowered entirely densely, run as
+//!   one im2col batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_core::PrunePlan;
+use pcnn_nn::models::{vgg16_proxy, VggProxyConfig};
+use pcnn_runtime::compile::{compile_dense, prune_and_compile, CompileOptions};
+use pcnn_runtime::Engine;
+use pcnn_tensor::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn random_input(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        shape,
+    )
+}
+
+fn bench_runtime_throughput(c: &mut Criterion) {
+    let cfg = VggProxyConfig::default();
+    let dense_graph = {
+        let model = vgg16_proxy(&cfg, 5);
+        compile_dense(&model)
+    };
+    let sparse_engine = {
+        let mut model = vgg16_proxy(&cfg, 5);
+        let plan = PrunePlan::uniform(13, 2, 32);
+        let (graph, _, _) = prune_and_compile(&mut model, &plan, &CompileOptions::default())
+            .expect("proxy lowers cleanly");
+        Engine::with_default_threads(graph)
+    };
+    let dense_engine = Engine::with_default_threads(dense_graph.clone());
+
+    let mut group = c.benchmark_group("vgg16_proxy_n2");
+    group.sample_size(10);
+    for batch in [1usize, 8, 64] {
+        let x = random_input(&[batch, 3, cfg.input_hw, cfg.input_hw], batch as u64);
+        group.bench_with_input(BenchmarkId::new("sparse_engine", batch), &x, |b, x| {
+            b.iter(|| sparse_engine.infer_images(std::hint::black_box(x)))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_engine", batch), &x, |b, x| {
+            b.iter(|| dense_engine.infer_images(std::hint::black_box(x)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dense_graph_batched", batch),
+            &x,
+            |b, x| b.iter(|| dense_graph.run(std::hint::black_box(x))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_throughput);
+criterion_main!(benches);

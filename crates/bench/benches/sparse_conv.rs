@@ -28,7 +28,7 @@ fn bench_sparse_conv(c: &mut Criterion) {
     let shape = Conv2dShape::new(32, 32, 3, 1, 1);
     let mut rng = SmallRng::seed_from_u64(3);
     let x = Tensor::from_vec(
-        (0..1 * 32 * 16 * 16)
+        (0..32 * 16 * 16)
             .map(|_| rng.gen_range(-1.0f32..1.0))
             .collect(),
         &[1, 32, 16, 16],

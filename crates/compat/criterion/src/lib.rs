@@ -1,0 +1,247 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the benchmarking API its `benches/` use: [`Criterion`],
+//! [`BenchmarkGroup`] with `bench_function` / `bench_with_input` /
+//! `sample_size`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! criterion's statistical engine it runs a short calibrated measurement
+//! (warm-up, then timed batches) and prints one `name ... time:` line per
+//! benchmark — enough to track relative perf across PRs without any
+//! dependency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark after warm-up.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Wall-clock spent warming a benchmark before measuring.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one closure; handed to benchmark bodies.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: warm-up, then timed batches until the
+    /// measurement target is reached; records mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Batch size so each timed batch is ~1/20 of the target.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((MEASURE_TARGET.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_TARGET {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped benches).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    println!(
+        "{label:<50} time: [{}]   ({} iters)",
+        human_time(b.ns_per_iter),
+        b.iters
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Builds a driver with default settings (mirrors
+    /// `Criterion::default().configure_from_args()`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints the final summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted, unused by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, unused by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 * 2)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(5.0).ends_with("ns"));
+        assert!(human_time(5_000.0).ends_with("µs"));
+        assert!(human_time(5_000_000.0).ends_with("ms"));
+        assert!(human_time(5_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of `proptest` its test suites use: the [`Strategy`] trait
+//! with `prop_map` / `prop_filter`, range and collection strategies,
+//! [`Just`], weighted [`prop_oneof!`], [`ProptestConfig`] and the
+//! [`proptest!`] macro. Sampling is plain seeded random generation —
+//! no shrinking and no persisted failure corpus. A failing case panics
+//! with the case number and the standard deterministic seed, so reruns
+//! reproduce it exactly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// The RNG handed to strategies while generating cases.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A deterministic per-test RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform sample from a range.
+    pub fn range<T, R: SampleRange<T>>(&mut self, r: R) -> T {
+        self.0.gen_range(r)
+    }
+}
+
+/// Test-runner configuration (subset: `cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of an associated type.
+///
+/// Unlike real proptest there is no shrink tree: a strategy is just a
+/// seeded sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying (up to an internal cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 10000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy modules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Lengths accepted by [`vec`]: a fixed size or a range of sizes.
+        pub trait IntoSizeRange {
+            /// Samples a concrete length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.range(self.clone())
+            }
+        }
+
+        impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.range(self.clone())
+            }
+        }
+
+        /// A strategy for `Vec`s whose elements come from `element`.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        /// Generates vectors of `element` samples with a length drawn
+        /// from `len` (a `usize` or a range).
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Array strategies (`uniformN`).
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        macro_rules! uniform_n {
+            ($($name:ident => $n:literal),*) => {$(
+                /// An array of independent samples from one strategy.
+                pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray { element }
+                }
+            )*};
+        }
+
+        /// A strategy for fixed-size arrays of independent samples.
+        pub struct UniformArray<S, const N: usize> {
+            element: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+            fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+                std::array::from_fn(|_| self.element.sample(rng))
+            }
+        }
+
+        uniform_n!(uniform4 => 4, uniform9 => 9, uniform16 => 16);
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// A fair coin flip.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.bits() & 1 == 1
+            }
+        }
+    }
+}
+
+/// A weighted union of strategies over one value type.
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a weighted union; used by [`prop_oneof!`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.bits() % self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total");
+    }
+}
+
+/// Weighted (`w => strategy`) or unweighted strategy union.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Asserts a property holds; formats like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Asserts two expressions are equal; formats like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Asserts two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            // Stable per-test seed: derived from the test name so adding
+            // tests elsewhere does not shift this test's cases.
+            let seed = {
+                let name = stringify!($name);
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            };
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let ($($arg,)+) = ($($crate::Strategy::sample(&$strategy, &mut rng),)+);
+                let run = || -> () { $body };
+                run();
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0usize..10, y in 1u32..=4, f in -1.0f32..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_fixed_and_ranged_lengths(
+            a in prop::collection::vec(0u16..512, 12),
+            b in prop::collection::vec(-1.0f32..1.0, 0..20),
+        ) {
+            prop_assert_eq!(a.len(), 12);
+            prop_assert!(b.len() < 20);
+            prop_assert!(a.iter().all(|&v| v < 512));
+        }
+
+        #[test]
+        fn array_uniform9(k in prop::array::uniform9(-2.0f32..2.0)) {
+            prop_assert_eq!(k.len(), 9);
+            prop_assert!(k.iter().all(|v| (-2.0..2.0).contains(v)));
+        }
+
+        #[test]
+        fn oneof_weighted_mixes(v in prop::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 1 => (1.0f32..2.0).prop_filter("nz", |x| *x != 0.0)],
+            200,
+        )) {
+            let zeros = v.iter().filter(|&&x| x == 0.0).count();
+            // 3:1 weighting: far more zeros than not, but both present
+            // with overwhelming probability at 200 samples.
+            prop_assert!(zeros > 100 && zeros < 200, "zeros = {}", zeros);
+        }
+
+        #[test]
+        fn bool_any_flips(bits in prop::collection::vec(prop::bool::ANY, 64)) {
+            prop_assert_eq!(bits.len(), 64);
+        }
+
+        #[test]
+        fn tuple_pattern_binding((a, b) in Just((1usize, 2usize))) {
+            prop_assert_eq!(a + b, 3);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let s = (0usize..10).prop_map(|v| v * 2);
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected")]
+    fn filter_exhaustion_panics() {
+        let s = (0usize..10).prop_filter("impossible", |_| false);
+        let mut rng = crate::TestRng::new(1);
+        let _ = s.sample(&mut rng);
+    }
+}

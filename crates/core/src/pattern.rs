@@ -332,6 +332,11 @@ impl PatternSet {
         self.patterns.iter()
     }
 
+    /// The patterns as a slice, in SPM-code order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
     /// Bits needed to store one SPM code: `⌈log2 |P|⌉` (min 1).
     pub fn bits_per_code(&self) -> u32 {
         if self.patterns.len() <= 1 {

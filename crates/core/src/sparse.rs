@@ -100,8 +100,10 @@ impl SparseConv {
         let k = self.shape.kernel;
         let out_c = self.shape.out_c;
         let mut out = Tensor::zeros(&[n, out_c, oh, ow]);
-        let mut counts = MacCounts::default();
-        counts.dense = (n * out_c * in_c * k * k * oh * ow) as u64;
+        let mut counts = MacCounts {
+            dense: (n * out_c * in_c * k * k * oh * ow) as u64,
+            ..MacCounts::default()
+        };
 
         // Counting convention (matches the hardware): a convolution
         // window always spans the full k² positions — zero padding shows
@@ -196,7 +198,7 @@ mod tests {
         let shape = Conv2dShape::new(2, 3, 3, 2, 1);
         let w = random_pruned(3, 2, &set, 9);
         let x = Tensor::from_vec(
-            (0..1 * 2 * 9 * 9)
+            (0..2 * 9 * 9)
                 .map(|_| rng.gen_range(-1.0f32..1.0))
                 .collect(),
             &[1, 2, 9, 9],

@@ -177,6 +177,24 @@ impl SpmLayer {
         &self.codes
     }
 
+    /// Iterates kernels in `out_c · in_c` order as
+    /// `(kernel index, SPM code, non-zero sequence)` — the exact stream
+    /// a runtime or accelerator front-end consumes.
+    pub fn iter_kernels(&self) -> impl Iterator<Item = (usize, u16, &[f32])> + '_ {
+        self.codes
+            .iter()
+            .enumerate()
+            .map(move |(ki, &code)| (ki, code, self.kernel_nonzeros(ki)))
+    }
+
+    /// Whether kernel `ki`'s non-zero sequence is entirely zero — true
+    /// for kernels removed by an *orthogonal* coarse-grained pruning
+    /// pass (kernel/channel pruning on top of PCNN). Runtimes skip these
+    /// kernels outright.
+    pub fn kernel_is_zero(&self, ki: usize) -> bool {
+        self.kernel_nonzeros(ki).iter().all(|&w| w == 0.0)
+    }
+
     /// Storage cost of the non-zero sequences, in bits.
     pub fn weight_bits(&self, bits_per_weight: u32) -> u64 {
         self.nonzeros.len() as u64 * bits_per_weight as u64
@@ -289,5 +307,32 @@ mod tests {
         let w = pruned_weight(6, 5, &set, 9);
         let spm = SpmLayer::encode(&w, &set).expect("encode");
         assert!(spm.codes().iter().all(|&c| (c as usize) < set.len()));
+    }
+
+    #[test]
+    fn iter_kernels_streams_codes_and_sequences() {
+        let set = PatternSet::full(9, 3);
+        let w = pruned_weight(4, 2, &set, 15);
+        let spm = SpmLayer::encode(&w, &set).expect("encode");
+        let mut count = 0;
+        for (ki, code, nonzeros) in spm.iter_kernels() {
+            assert_eq!(ki, count);
+            assert_eq!(code, spm.code(ki));
+            assert_eq!(nonzeros, spm.kernel_nonzeros(ki));
+            assert_eq!(nonzeros.len(), 3);
+            count += 1;
+        }
+        assert_eq!(count, spm.kernel_count());
+    }
+
+    #[test]
+    fn kernel_is_zero_flags_coarsely_pruned_kernels() {
+        let set = PatternSet::full(9, 2);
+        let mut w = pruned_weight(2, 2, &set, 19);
+        // Coarse-prune kernel 1 entirely.
+        w.as_mut_slice()[9..18].fill(0.0);
+        let spm = SpmLayer::encode(&w, &set).expect("encode");
+        assert!(spm.kernel_is_zero(1));
+        assert!(!spm.kernel_is_zero(0));
     }
 }

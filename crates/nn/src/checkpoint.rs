@@ -117,8 +117,12 @@ pub fn load_checkpoint(model: &mut Model, path: &Path) -> Result<(), LoadCheckpo
         if *pos + 4 > bytes.len() {
             return Err(LoadCheckpointError::BadHeader);
         }
-        let v =
-            u32::from_le_bytes([bytes[*pos], bytes[*pos + 1], bytes[*pos + 2], bytes[*pos + 3]]);
+        let v = u32::from_le_bytes([
+            bytes[*pos],
+            bytes[*pos + 1],
+            bytes[*pos + 2],
+            bytes[*pos + 3],
+        ]);
         *pos += 4;
         Ok(v as usize)
     }

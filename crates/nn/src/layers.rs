@@ -63,6 +63,11 @@ impl Conv2d {
         &self.weight
     }
 
+    /// The bias vector, when the layer has one (runtime lowering hook).
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
     /// Mutable access to the weights (used by pruners and ADMM).
     pub fn weight_mut(&mut self) -> &mut Tensor {
         &mut self.weight
@@ -192,6 +197,11 @@ impl Linear {
         &self.weight
     }
 
+    /// The bias vector (runtime lowering hook).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
     /// Forward pass; caches the input when `train` is set.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if train {
@@ -285,8 +295,44 @@ impl BatchNorm2d {
         &mut self.gamma
     }
 
+    /// Per-channel shift β.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// The running mean used in eval mode.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The running variance used in eval mode.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// The eval-mode affine form of this layer (runtime lowering hook):
+    /// per-channel `(scale, shift)` such that `y = scale·x + shift`
+    /// reproduces `forward(x, false)` exactly.
+    pub fn eval_scale_shift(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for ci in 0..self.channels {
+            let inv_std = 1.0 / (self.running_var.as_slice()[ci] + self.eps).sqrt();
+            let s = self.gamma.as_slice()[ci] * inv_std;
+            scale.push(s);
+            shift.push(self.beta.as_slice()[ci] - s * self.running_mean.as_slice()[ci]);
+        }
+        (scale, shift)
+    }
+
     /// Forward pass. In training mode uses batch statistics and updates the
     /// running averages; in eval mode uses the running statistics.
+    #[allow(clippy::needless_range_loop)]
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let dims = x.shape().to_vec();
         assert_eq!(dims.len(), 4, "BatchNorm2d expects NCHW");
@@ -470,6 +516,11 @@ impl MaxPool2d {
         }
     }
 
+    /// The pooling window / stride (runtime lowering hook).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
     /// Forward pass; caches argmax indices when `train` is set.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let out = pool::maxpool2d_forward(x, self.window);
@@ -615,9 +666,7 @@ mod tests {
     fn batchnorm_backward_finite_difference() {
         let mut rng = SmallRng::seed_from_u64(17);
         let x = Tensor::from_vec(
-            (0..1 * 2 * 3 * 3)
-                .map(|_| rng.gen_range(-1.0..1.0))
-                .collect(),
+            (0..2 * 3 * 3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
             &[1, 2, 3, 3],
         );
         // Loss = weighted sum so the gradient is non-trivial.

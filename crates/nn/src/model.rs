@@ -175,6 +175,26 @@ impl ResidualBlock {
         vec![&self.conv1, &self.conv2]
     }
 
+    /// The block's components in dataflow order (runtime lowering hook):
+    /// `(conv1, bn1, conv2, bn2, downsample)`.
+    pub fn parts(
+        &self,
+    ) -> (
+        &Conv2d,
+        &BatchNorm2d,
+        &Conv2d,
+        &BatchNorm2d,
+        Option<(&Conv2d, &BatchNorm2d)>,
+    ) {
+        (
+            &self.conv1,
+            &self.bn1,
+            &self.conv2,
+            &self.bn2,
+            self.downsample.as_ref().map(|(c, b)| (c, b)),
+        )
+    }
+
     fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
         let mut out = self.conv1.params_mut();
         out.extend(self.bn1.params_mut());
@@ -328,10 +348,8 @@ impl Model {
         let mut out = Vec::new();
         for layer in &mut self.layers {
             match layer {
-                Layer::Conv2d(l) => {
-                    if l.shape().kernel >= 2 {
-                        out.push(l);
-                    }
+                Layer::Conv2d(l) if l.shape().kernel >= 2 => {
+                    out.push(l);
                 }
                 Layer::Residual(l) => out.extend(l.convs_3x3_mut()),
                 _ => {}
@@ -345,10 +363,8 @@ impl Model {
         let mut out = Vec::new();
         for layer in &self.layers {
             match layer {
-                Layer::Conv2d(l) => {
-                    if l.shape().kernel >= 2 {
-                        out.push(l);
-                    }
+                Layer::Conv2d(l) if l.shape().kernel >= 2 => {
+                    out.push(l);
                 }
                 Layer::Residual(l) => out.extend(l.convs_3x3()),
                 _ => {}

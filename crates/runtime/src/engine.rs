@@ -1,0 +1,241 @@
+//! The batched inference engine: many concurrent requests over one
+//! compiled graph.
+//!
+//! An [`Engine`] pins an [`ExecutableGraph`] behind an `Arc` and fans
+//! inference requests out over the persistent work-stealing
+//! [`ThreadPool`] from `pcnn_tensor::parallel`. This is the
+//! "serve heavy traffic" configuration: the graph compiles once, worker
+//! threads live for the engine's lifetime, and each request is an
+//! independent job so an expensive request never blocks cheap ones
+//! behind it (work stealing rebalances).
+
+use crate::graph::ExecutableGraph;
+use pcnn_tensor::parallel::ThreadPool;
+use pcnn_tensor::Tensor;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggregate timing of one [`Engine::serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests served.
+    pub requests: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Mean per-request latency (time inside the graph, excluding queue
+    /// wait).
+    pub mean_latency: Duration,
+    /// Slowest single request.
+    pub max_latency: Duration,
+}
+
+impl ServeStats {
+    /// Requests per second of wall-clock time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.requests as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// A serving engine: one compiled graph + a persistent worker pool.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_nn::models;
+/// use pcnn_runtime::compile::compile_dense;
+/// use pcnn_runtime::engine::Engine;
+/// use pcnn_tensor::Tensor;
+///
+/// let model = models::tiny_cnn(4, 4, 1);
+/// let engine = Engine::new(compile_dense(&model), 2);
+/// let out = engine.infer(&Tensor::ones(&[1, 3, 8, 8]));
+/// assert_eq!(out.shape(), &[1, 4]);
+/// ```
+pub struct Engine {
+    graph: Arc<ExecutableGraph>,
+    pool: ThreadPool,
+}
+
+impl Engine {
+    /// Builds an engine with `threads` workers (minimum 1).
+    pub fn new(graph: ExecutableGraph, threads: usize) -> Self {
+        Engine {
+            graph: Arc::new(graph),
+            pool: ThreadPool::new(threads),
+        }
+    }
+
+    /// Builds an engine sized by `pcnn_tensor::parallel::num_threads`.
+    pub fn with_default_threads(graph: ExecutableGraph) -> Self {
+        Engine {
+            graph: Arc::new(graph),
+            pool: ThreadPool::with_default_threads(),
+        }
+    }
+
+    /// The compiled graph.
+    pub fn graph(&self) -> &ExecutableGraph {
+        &self.graph
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Runs one request synchronously on the calling thread.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.graph.run(x)
+    }
+
+    /// Runs independent requests concurrently, returning outputs in
+    /// request order.
+    pub fn infer_batch(&self, inputs: Vec<Tensor>) -> Vec<Tensor> {
+        let jobs: Vec<_> = inputs
+            .into_iter()
+            .map(|x| {
+                let graph = self.graph.clone();
+                move || graph.run(&x)
+            })
+            .collect();
+        self.pool.run_batch(jobs)
+    }
+
+    /// Splits an NCHW batch into per-image requests, runs them
+    /// concurrently, and reassembles the batched output — the
+    /// throughput-oriented entry point benchmarked against the dense
+    /// batched path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4 or has an empty batch.
+    pub fn infer_images(&self, x: &Tensor) -> Tensor {
+        let dims = x.shape().to_vec();
+        assert_eq!(dims.len(), 4, "input must be NCHW");
+        let n = dims[0];
+        assert!(n > 0, "empty batch");
+        let img = dims[1..].iter().product::<usize>();
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| {
+                Tensor::from_vec(
+                    x.as_slice()[i * img..(i + 1) * img].to_vec(),
+                    &[1, dims[1], dims[2], dims[3]],
+                )
+            })
+            .collect();
+        let outputs = self.infer_batch(inputs);
+        stack_outputs(&outputs)
+    }
+
+    /// Runs requests concurrently and reports serving statistics.
+    pub fn serve(&self, inputs: Vec<Tensor>) -> (Vec<Tensor>, ServeStats) {
+        let n = inputs.len();
+        let start = Instant::now();
+        let jobs: Vec<_> = inputs
+            .into_iter()
+            .map(|x| {
+                let graph = self.graph.clone();
+                move || {
+                    let t0 = Instant::now();
+                    let y = graph.run(&x);
+                    (y, t0.elapsed())
+                }
+            })
+            .collect();
+        let results = self.pool.run_batch(jobs);
+        let wall = start.elapsed();
+        let mut outputs = Vec::with_capacity(n);
+        let mut total = Duration::ZERO;
+        let mut max = Duration::ZERO;
+        for (y, lat) in results {
+            total += lat;
+            max = max.max(lat);
+            outputs.push(y);
+        }
+        let stats = ServeStats {
+            requests: n,
+            wall,
+            mean_latency: if n == 0 {
+                Duration::ZERO
+            } else {
+                total / n as u32
+            },
+            max_latency: max,
+        };
+        (outputs, stats)
+    }
+}
+
+/// Concatenates per-image outputs (batch dim 1 each) along the batch
+/// dimension.
+fn stack_outputs(outputs: &[Tensor]) -> Tensor {
+    assert!(!outputs.is_empty(), "nothing to stack");
+    let first = outputs[0].shape();
+    assert_eq!(first[0], 1, "per-image outputs must have batch 1");
+    let mut shape = first.to_vec();
+    shape[0] = outputs.len();
+    let mut data = Vec::with_capacity(outputs.iter().map(Tensor::len).sum());
+    for out in outputs {
+        assert_eq!(out.shape(), first, "inconsistent output shapes");
+        data.extend_from_slice(out.as_slice());
+    }
+    Tensor::from_vec(data, &shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_dense;
+    use pcnn_nn::models;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_input(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = shape.iter().product();
+        Tensor::from_vec(
+            (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn batch_outputs_preserve_request_order() {
+        let model = models::tiny_cnn(3, 4, 7);
+        let engine = Engine::new(compile_dense(&model), 4);
+        let inputs: Vec<Tensor> = (0..12).map(|i| random_input(&[1, 3, 8, 8], i)).collect();
+        let single: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x)).collect();
+        let batched = engine.infer_batch(inputs);
+        for (a, b) in single.iter().zip(&batched) {
+            pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-6);
+        }
+    }
+
+    #[test]
+    fn infer_images_equals_batched_forward() {
+        let model = models::tiny_cnn(5, 4, 9);
+        let engine = Engine::new(compile_dense(&model), 3);
+        let x = random_input(&[6, 3, 8, 8], 42);
+        let split = engine.infer_images(&x);
+        let whole = engine.infer(&x);
+        assert_eq!(split.shape(), whole.shape());
+        pcnn_tensor::assert_slices_close(split.as_slice(), whole.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn serve_reports_consistent_stats() {
+        let model = models::tiny_cnn(2, 4, 11);
+        let engine = Engine::new(compile_dense(&model), 2);
+        let inputs: Vec<Tensor> = (0..8)
+            .map(|i| random_input(&[1, 3, 8, 8], i + 100))
+            .collect();
+        let (outputs, stats) = engine.serve(inputs);
+        assert_eq!(outputs.len(), 8);
+        assert_eq!(stats.requests, 8);
+        assert!(stats.throughput_rps() > 0.0);
+        assert!(stats.max_latency >= stats.mean_latency);
+    }
+}

@@ -1,0 +1,79 @@
+//! The executable inference graph.
+//!
+//! An [`ExecutableGraph`] is the immutable product of the layer
+//! compiler: a straight-line op sequence that is `Send + Sync`, so a
+//! single compiled network can be shared (via `Arc`) by every worker of
+//! the batched [`crate::engine::Engine`] with zero per-request setup.
+
+use crate::ops::{run_ops, Op};
+use pcnn_tensor::Tensor;
+
+/// A compiled, immutable, thread-safe inference graph.
+#[derive(Debug, Clone)]
+pub struct ExecutableGraph {
+    ops: Vec<Op>,
+}
+
+impl ExecutableGraph {
+    /// Wraps a lowered op sequence.
+    pub fn new(ops: Vec<Op>) -> Self {
+        ExecutableGraph { ops }
+    }
+
+    /// The op sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Runs the graph on an NCHW input (any batch size), producing the
+    /// network output.
+    pub fn run(&self, x: &Tensor) -> Tensor {
+        run_ops(&self.ops, x)
+    }
+
+    /// One description line per op (residual blocks annotate their
+    /// sub-op counts).
+    pub fn summary(&self) -> Vec<String> {
+        self.ops.iter().map(Op::describe).collect()
+    }
+
+    /// Number of pattern-sparse convolution ops, recursing into
+    /// residual blocks.
+    pub fn sparse_op_count(&self) -> usize {
+        fn count(ops: &[Op]) -> usize {
+            ops.iter()
+                .map(|op| match op {
+                    Op::PatternConv(_) => 1,
+                    Op::Residual { main, shortcut } => count(main) + count(shortcut),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    #[test]
+    fn empty_graph_is_identity() {
+        let g = ExecutableGraph::new(vec![]);
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 1, 1, 2]);
+        assert_eq!(g.run(&x).as_slice(), x.as_slice());
+        assert!(g.summary().is_empty());
+        assert_eq!(g.sparse_op_count(), 0);
+    }
+
+    #[test]
+    fn summary_and_run_compose() {
+        let g = ExecutableGraph::new(vec![Op::Relu, Op::Flatten]);
+        assert_eq!(g.summary(), vec!["ReLU".to_string(), "Flatten".to_string()]);
+        let x = Tensor::from_vec(vec![-1.0, 3.0, -4.0, 2.0], &[1, 1, 2, 2]);
+        let y = g.run(&x);
+        assert_eq!(y.shape(), &[1, 4]);
+        assert_eq!(y.as_slice(), &[0.0, 3.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! # `pcnn-runtime` — pattern-aware sparse CNN inference engine
+//!
+//! The rest of the workspace *models* PCNN: `pcnn-core` prunes networks
+//! into pattern/SPM form and `pcnn-accel` simulates the paper's
+//! accelerator cycle by cycle. This crate *runs* them: it consumes a
+//! pruned `pcnn-nn` model (or its SPM-encoded weights) and executes it
+//! on the CPU through kernels specialised per sparsity pattern — the
+//! software analogue of the paper's pattern-aware PE array, in the
+//! spirit of PCONV's compiler-assisted runtime.
+//!
+//! ## Architecture
+//!
+//! The engine is a three-stage pipeline, one module per stage:
+//!
+//! 1. **Kernel registry** ([`registry`]). Each 3×3 sparsity pattern is
+//!    compiled once into tap coordinates, and execution dispatches onto
+//!    monomorphised, unrolled row kernels
+//!    ([`pcnn_tensor::direct::accumulate_rows`]) — the regularity of
+//!    pattern pruning is what makes a fixed unrolled kernel per pattern
+//!    possible at all. A registry can cover a distilled [`PatternSet`]
+//!    (one kernel per SPM code) or the full 2⁹ pattern space.
+//!
+//! 2. **Layer compiler** ([`compile`]). A pruned model lowers to an
+//!    immutable [`graph::ExecutableGraph`] of ops ([`ops::Op`]):
+//!    pattern-sparse convolutions ([`pattern_conv::PatternConv`]) for
+//!    the 3×3 layers, dense im2col for the rest, with eval-mode batch
+//!    norm folded into the conv weights and ReLU fused into the conv
+//!    epilogue. Kernels zeroed by orthogonal coarse-grained pruning
+//!    (`pcnn_core::fuse`) are skipped at run time, so fused
+//!    coarse+pattern sparsity compounds exactly as in the paper's
+//!    storage model.
+//!
+//! 3. **Batched executor** ([`engine`]). An [`engine::Engine`] shares
+//!    the compiled graph across a persistent work-stealing thread pool
+//!    ([`pcnn_tensor::parallel::ThreadPool`]) and fans out concurrent
+//!    inference requests — batch them ([`engine::Engine::infer_batch`]),
+//!    split an NCHW batch into per-image jobs
+//!    ([`engine::Engine::infer_images`]), or measure serving throughput
+//!    ([`engine::Engine::serve`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcnn_core::PrunePlan;
+//! use pcnn_nn::models;
+//! use pcnn_runtime::compile::{prune_and_compile, CompileOptions};
+//! use pcnn_runtime::engine::Engine;
+//! use pcnn_tensor::Tensor;
+//!
+//! // 1. Train-or-load a model, then prune it with a PCNN plan (n = 2).
+//! let mut model = models::tiny_cnn(10, 4, 1);
+//! let plan = PrunePlan::uniform(2, 2, 32);
+//!
+//! // 2. Lower through the pattern compiler (BN folded, ReLU fused).
+//! let (graph, report, _outcome) =
+//!     prune_and_compile(&mut model, &plan, &CompileOptions::default()).unwrap();
+//! assert_eq!(report.sparse_layers, 2);
+//!
+//! // 3. Serve batched traffic over the work-stealing pool.
+//! let engine = Engine::new(graph, 4);
+//! let requests: Vec<Tensor> = (0..8).map(|_| Tensor::ones(&[1, 3, 8, 8])).collect();
+//! let (outputs, stats) = engine.serve(requests);
+//! assert_eq!(outputs.len(), 8);
+//! assert!(stats.throughput_rps() > 0.0);
+//! ```
+//!
+//! ## Correctness
+//!
+//! The parity suite (`tests/parity.rs`) checks sparse execution against
+//! the dense im2col reference to 1e-5 for every proxy network of the
+//! paper's zoo at n = 2 and n = 4, fused and unfused; property tests
+//! round-trip random pattern assignments through the kernel registry.
+//!
+//! [`PatternSet`]: pcnn_core::PatternSet
+
+pub mod compile;
+pub mod engine;
+pub mod graph;
+pub mod ops;
+pub mod pattern_conv;
+pub mod registry;
+
+pub use compile::{compile, compile_dense, prune_and_compile, CompileOptions, CompileReport};
+pub use engine::{Engine, ServeStats};
+pub use graph::ExecutableGraph;
+pub use pattern_conv::PatternConv;
+pub use registry::KernelRegistry;

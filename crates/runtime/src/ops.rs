@@ -1,0 +1,242 @@
+//! The executable operator set of a lowered network.
+//!
+//! A lowered graph is a straight-line sequence of [`Op`]s (residual
+//! blocks nest two sub-sequences). Every op is immutable and `Sync`, so
+//! one compiled graph serves arbitrarily many concurrent inference
+//! requests — unlike the trainable `pcnn_nn::Model`, whose forward pass
+//! requires `&mut self` for gradient caches.
+
+use crate::pattern_conv::PatternConv;
+use pcnn_tensor::conv::{conv2d_forward, Conv2dShape};
+use pcnn_tensor::{ops as tops, pool, Tensor};
+
+/// One executable operator.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Dense im2col convolution (optionally with folded BN bias and
+    /// fused ReLU).
+    DenseConv {
+        /// OIHW weights (already BN-scaled when folded).
+        weight: Tensor,
+        /// Per-output-channel bias.
+        bias: Option<Tensor>,
+        /// Convolution geometry.
+        shape: Conv2dShape,
+        /// Fused ReLU epilogue.
+        relu: bool,
+    },
+    /// Pattern-sparse convolution through the compiled kernel registry.
+    PatternConv(PatternConv),
+    /// Per-channel affine `y = scale·x + shift` (unfused eval-mode BN).
+    Affine {
+        /// Per-channel scale.
+        scale: Vec<f32>,
+        /// Per-channel shift.
+        shift: Vec<f32>,
+    },
+    /// Standalone ReLU.
+    Relu,
+    /// Non-overlapping max pooling.
+    MaxPool {
+        /// Window side = stride.
+        window: usize,
+    },
+    /// Global average pooling (NCHW → NC11).
+    GlobalAvgPool,
+    /// NCHW → `N × (C·H·W)`.
+    Flatten,
+    /// Fully-connected layer.
+    Linear {
+        /// `out × in` weights.
+        weight: Tensor,
+        /// `out` bias.
+        bias: Tensor,
+    },
+    /// Residual block: `relu(main(x) + shortcut(x))`; an empty shortcut
+    /// is the identity.
+    Residual {
+        /// The conv1→bn1→relu→conv2→bn2 path, lowered.
+        main: Vec<Op>,
+        /// The optional 1×1 downsample path, lowered.
+        shortcut: Vec<Op>,
+    },
+}
+
+impl Op {
+    /// Executes the op on an input activation.
+    pub fn run(&self, x: &Tensor) -> Tensor {
+        match self {
+            Op::DenseConv {
+                weight,
+                bias,
+                shape,
+                relu,
+            } => {
+                let mut y = conv2d_forward(x, weight, bias.as_ref(), shape);
+                if *relu {
+                    for v in y.as_mut_slice() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                y
+            }
+            Op::PatternConv(conv) => conv.forward(x),
+            Op::Affine { scale, shift } => {
+                let dims = x.shape();
+                assert_eq!(dims.len(), 4, "affine expects NCHW");
+                let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+                assert_eq!(c, scale.len(), "affine channel mismatch");
+                let plane = h * w;
+                let mut y = x.clone();
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let off = (ni * c + ci) * plane;
+                        let (s, t) = (scale[ci], shift[ci]);
+                        for v in y.as_mut_slice()[off..off + plane].iter_mut() {
+                            *v = s * *v + t;
+                        }
+                    }
+                }
+                y
+            }
+            Op::Relu => tops::relu_forward(x),
+            Op::MaxPool { window } => pool::maxpool2d_forward(x, *window).output,
+            Op::GlobalAvgPool => pool::global_avgpool_forward(x),
+            Op::Flatten => {
+                let n = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                x.reshaped(&[n, rest])
+            }
+            Op::Linear { weight, bias } => tops::linear_forward(x, weight, Some(bias)),
+            Op::Residual { main, shortcut } => {
+                let mut m = run_ops(main, x);
+                let s = if shortcut.is_empty() {
+                    x.clone()
+                } else {
+                    run_ops(shortcut, x)
+                };
+                m.axpy(1.0, &s);
+                m.map_inplace(|v| v.max(0.0));
+                m
+            }
+        }
+    }
+
+    /// A one-line description for graph summaries.
+    pub fn describe(&self) -> String {
+        match self {
+            Op::DenseConv { shape, relu, .. } => format!(
+                "DenseConv {}x{}x{}x{} s{} p{}{}",
+                shape.out_c,
+                shape.in_c,
+                shape.kernel,
+                shape.kernel,
+                shape.stride,
+                shape.pad,
+                if *relu { " +relu" } else { "" }
+            ),
+            Op::PatternConv(c) => {
+                let s = c.shape();
+                format!(
+                    "PatternConv {}x{}x{}x{} n={} |P|={}{}{}",
+                    s.out_c,
+                    s.in_c,
+                    s.kernel,
+                    s.kernel,
+                    c.spm().nonzeros_per_kernel(),
+                    c.spm().pattern_set().len(),
+                    if c.has_relu() { " +relu" } else { "" },
+                    if c.skipped_kernels() > 0 {
+                        format!(" (skip {})", c.skipped_kernels())
+                    } else {
+                        String::new()
+                    }
+                )
+            }
+            Op::Affine { scale, .. } => format!("Affine c={}", scale.len()),
+            Op::Relu => "ReLU".to_string(),
+            Op::MaxPool { window } => format!("MaxPool {window}x{window}"),
+            Op::GlobalAvgPool => "GlobalAvgPool".to_string(),
+            Op::Flatten => "Flatten".to_string(),
+            Op::Linear { weight, .. } => {
+                format!("Linear {}->{}", weight.shape()[1], weight.shape()[0])
+            }
+            Op::Residual { main, shortcut } => format!(
+                "Residual [{} main ops, {} shortcut ops]",
+                main.len(),
+                shortcut.len()
+            ),
+        }
+    }
+}
+
+/// Runs a sequence of ops. The input is only cloned when `ops` is
+/// empty; otherwise the first op reads `x` directly (keeps a
+/// per-request full-tensor copy off the serving hot path).
+pub fn run_ops(ops: &[Op], x: &Tensor) -> Tensor {
+    match ops.split_first() {
+        None => x.clone(),
+        Some((first, rest)) => {
+            let mut cur = first.run(x);
+            for op in rest {
+                cur = op.run(&cur);
+            }
+            cur
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_matches_manual() {
+        let x = Tensor::ones(&[1, 2, 2, 2]);
+        let op = Op::Affine {
+            scale: vec![2.0, -1.0],
+            shift: vec![0.5, 1.0],
+        };
+        let y = op.run(&x);
+        assert_eq!(&y.as_slice()[..4], &[2.5; 4]);
+        assert_eq!(&y.as_slice()[4..], &[0.0; 4]);
+    }
+
+    #[test]
+    fn relu_and_flatten() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[1, 1, 2, 2]);
+        let y = Op::Relu.run(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let f = Op::Flatten.run(&x);
+        assert_eq!(f.shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn residual_identity_relu_of_doubled() {
+        // main = empty shortcut + empty main: relu(x + x) with main = [].
+        let x = Tensor::from_vec(vec![-2.0, 1.0], &[1, 1, 1, 2]);
+        let op = Op::Residual {
+            main: vec![],
+            shortcut: vec![],
+        };
+        let y = op.run(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_conv_fused_relu_clamps() {
+        let shape = Conv2dShape::new(1, 1, 1, 1, 0);
+        let w = Tensor::from_vec(vec![-1.0], &[1, 1, 1, 1]);
+        let op = Op::DenseConv {
+            weight: w,
+            bias: None,
+            shape,
+            relu: true,
+        };
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = op.run(&x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! The compiled-pattern kernel registry.
+//!
+//! PCONV-style runtimes get their speed from a simple observation: a
+//! 3×3 kernel pruned to pattern `p` is a *fixed* set of `n` taps, so the
+//! convolution inner loop for that kernel can be specialised — no mask
+//! tests, no index indirection, just `n` shifted multiply-adds. This
+//! module performs that specialisation once per pattern:
+//!
+//! * [`CompiledPattern`] — a pattern lowered to `(ky, kx)` tap
+//!   coordinates in SPM rank order (the order of the kernel's packed
+//!   non-zero sequence);
+//! * [`KernelRegistry`] — the table of compiled patterns for one layer's
+//!   [`PatternSet`], indexed by SPM code, with the flat padded-plane
+//!   offsets re-derived per input geometry.
+//!
+//! The unrolled executors themselves live in
+//! [`pcnn_tensor::direct::accumulate_rows`]; dispatch onto the right
+//! monomorphisation happens through
+//! [`pcnn_tensor::direct::accumulate_rows_dyn`].
+
+use pcnn_core::pattern::{Pattern, PatternSet};
+
+/// One pattern lowered to tap coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    pattern: Pattern,
+    side: usize,
+    /// `(ky, kx)` per tap, ascending kernel-position order — exactly the
+    /// rank order of the SPM non-zero sequence.
+    taps: Vec<(usize, usize)>,
+}
+
+impl CompiledPattern {
+    /// Compiles a square-area pattern into tap coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern's area is not a perfect square.
+    pub fn compile(pattern: Pattern) -> Self {
+        let area = pattern.area();
+        let side = (area as f64).sqrt() as usize;
+        assert_eq!(side * side, area, "pattern area {area} is not square");
+        let taps = pattern
+            .positions()
+            .into_iter()
+            .map(|pos| (pos / side, pos % side))
+            .collect();
+        CompiledPattern {
+            pattern,
+            side,
+            taps,
+        }
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// Kernel side length (3 for 3×3).
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of taps (`n`, the pattern weight).
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// The `(ky, kx)` taps in SPM rank order.
+    pub fn taps(&self) -> &[(usize, usize)] {
+        &self.taps
+    }
+
+    /// Flat offsets into a padded plane of width `pw`, in rank order.
+    pub fn offsets(&self, pw: usize) -> Vec<usize> {
+        self.taps.iter().map(|&(ky, kx)| ky * pw + kx).collect()
+    }
+
+    /// Rebuilds the pattern from the compiled taps — the registry
+    /// round-trip checked by the property tests.
+    pub fn reconstruct(&self) -> Pattern {
+        let positions: Vec<usize> = self
+            .taps
+            .iter()
+            .map(|&(ky, kx)| ky * self.side + kx)
+            .collect();
+        Pattern::from_positions(&positions, self.side * self.side)
+    }
+}
+
+/// The compiled-kernel table of one layer: one [`CompiledPattern`] per
+/// SPM code of the layer's [`PatternSet`].
+///
+/// # Example
+///
+/// ```
+/// use pcnn_core::PatternSet;
+/// use pcnn_runtime::registry::KernelRegistry;
+///
+/// let set = PatternSet::full(9, 2);
+/// let reg = KernelRegistry::for_set(&set);
+/// assert_eq!(reg.len(), 36);
+/// assert_eq!(reg.get(0).tap_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelRegistry {
+    by_code: Vec<CompiledPattern>,
+    area: usize,
+}
+
+impl KernelRegistry {
+    /// Compiles every pattern of `set`, in SPM-code order.
+    pub fn for_set(set: &PatternSet) -> Self {
+        KernelRegistry {
+            by_code: set
+                .patterns()
+                .iter()
+                .map(|&p| CompiledPattern::compile(p))
+                .collect(),
+            area: set.area(),
+        }
+    }
+
+    /// Compiles the *entire* 3×3 pattern space (all `2⁹ = 512` masks) —
+    /// the "pre-compile everything" configuration for engines that must
+    /// accept arbitrary pattern assignments without a distillation step.
+    pub fn full_3x3() -> Self {
+        KernelRegistry {
+            by_code: (0..512u16)
+                .map(|mask| CompiledPattern::compile(Pattern::new(mask, 9)))
+                .collect(),
+            area: 9,
+        }
+    }
+
+    /// Number of compiled kernels.
+    pub fn len(&self) -> usize {
+        self.by_code.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_code.is_empty()
+    }
+
+    /// Kernel area the registry covers.
+    pub fn area(&self) -> usize {
+        self.area
+    }
+
+    /// The compiled kernel for SPM code `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range.
+    pub fn get(&self, code: usize) -> &CompiledPattern {
+        &self.by_code[code]
+    }
+
+    /// Precomputes, for every code, the flat padded-plane offsets for
+    /// plane width `pw` — done once per (layer, input geometry).
+    pub fn offset_table(&self, pw: usize) -> Vec<Vec<usize>> {
+        self.by_code.iter().map(|c| c.offsets(pw)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_orders_taps_by_rank() {
+        // Pattern positions {1, 3, 8} on 3×3: taps (0,1), (1,0), (2,2).
+        let p = Pattern::from_positions(&[1, 3, 8], 9);
+        let c = CompiledPattern::compile(p);
+        assert_eq!(c.taps(), &[(0, 1), (1, 0), (2, 2)]);
+        assert_eq!(c.tap_count(), 3);
+    }
+
+    #[test]
+    fn offsets_respect_padded_width() {
+        let p = Pattern::from_positions(&[0, 4, 8], 9);
+        let c = CompiledPattern::compile(p);
+        assert_eq!(c.offsets(10), vec![0, 11, 22]);
+        assert_eq!(c.offsets(7), vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn reconstruct_roundtrips_every_3x3_pattern() {
+        for mask in 0..512u16 {
+            let p = Pattern::new(mask, 9);
+            assert_eq!(CompiledPattern::compile(p).reconstruct(), p);
+        }
+    }
+
+    #[test]
+    fn registry_matches_set_order() {
+        let set = PatternSet::full(9, 4);
+        let reg = KernelRegistry::for_set(&set);
+        assert_eq!(reg.len(), set.len());
+        for code in 0..set.len() {
+            assert_eq!(reg.get(code).pattern(), set.get(code));
+        }
+    }
+
+    #[test]
+    fn full_registry_covers_the_whole_space() {
+        let reg = KernelRegistry::full_3x3();
+        assert_eq!(reg.len(), 512);
+        for (mask, c) in (0..512u16).zip(0..512) {
+            assert_eq!(reg.get(c).pattern().mask(), mask);
+        }
+    }
+
+    #[test]
+    fn offset_table_is_per_code() {
+        let set = PatternSet::full(9, 1);
+        let reg = KernelRegistry::for_set(&set);
+        let table = reg.offset_table(6);
+        assert_eq!(table.len(), 9);
+        for (code, offs) in table.iter().enumerate() {
+            assert_eq!(offs, &reg.get(code).offsets(6));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Parity suite: pattern-sparse execution must match the dense im2col
+//! reference within 1e-5 for every proxy network of the paper's zoo
+//! (VGG-16, ResNet-18, tiny CNN topologies) at n = 2 and n = 4, with
+//! fusion on and off.
+
+use pcnn_core::PrunePlan;
+use pcnn_nn::models::{resnet18_proxy, tiny_cnn, vgg16_proxy, ResNetProxyConfig, VggProxyConfig};
+use pcnn_nn::Model;
+use pcnn_runtime::compile::{prune_and_compile, CompileOptions};
+use pcnn_tensor::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn random_input(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        shape,
+    )
+}
+
+/// Moves the batch-norm running statistics off their initial values so
+/// BN folding is exercised non-trivially.
+fn warm_batchnorm(model: &mut Model, input_hw: usize, seed: u64) {
+    for i in 0..3 {
+        let x = random_input(&[2, 3, input_hw, input_hw], seed + i);
+        let _ = model.forward(&x, true);
+    }
+}
+
+fn assert_parity(mut model: Model, prunable: usize, n: usize, input_hw: usize, seed: u64) {
+    warm_batchnorm(&mut model, input_hw, seed);
+    let plan = PrunePlan::uniform(prunable, n, 32);
+
+    for (fused, opts) in [
+        (true, CompileOptions::default()),
+        (
+            false,
+            CompileOptions {
+                fuse_batchnorm: false,
+                fuse_relu: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let mut m = model.clone();
+        let (graph, report, _) = prune_and_compile(&mut m, &plan, &opts)
+            .unwrap_or_else(|e| panic!("compile (fused={fused}): {e}"));
+        assert_eq!(
+            report.sparse_layers, prunable,
+            "every prunable layer lowered sparse (fused={fused})"
+        );
+        assert_eq!(report.dense_fallbacks, 0);
+
+        let x = random_input(&[2, 3, input_hw, input_hw], seed + 50);
+        let want = m.forward(&x, false);
+        let got = graph.run(&x);
+        assert_eq!(got.shape(), want.shape());
+        pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-5);
+    }
+}
+
+#[test]
+fn vgg16_proxy_parity_n2() {
+    let cfg = VggProxyConfig::default();
+    assert_parity(vgg16_proxy(&cfg, 1), 13, 2, cfg.input_hw, 10);
+}
+
+#[test]
+fn vgg16_proxy_parity_n4() {
+    let cfg = VggProxyConfig::default();
+    assert_parity(vgg16_proxy(&cfg, 2), 13, 4, cfg.input_hw, 20);
+}
+
+#[test]
+fn resnet18_proxy_parity_n2() {
+    let cfg = ResNetProxyConfig::default();
+    assert_parity(resnet18_proxy(&cfg, 3), 17, 2, cfg.input_hw, 30);
+}
+
+#[test]
+fn resnet18_proxy_parity_n4() {
+    let cfg = ResNetProxyConfig::default();
+    assert_parity(resnet18_proxy(&cfg, 4), 17, 4, cfg.input_hw, 40);
+}
+
+#[test]
+fn tiny_cnn_parity_n2() {
+    assert_parity(tiny_cnn(10, 8, 5), 2, 2, 8, 50);
+}
+
+#[test]
+fn tiny_cnn_parity_n4() {
+    assert_parity(tiny_cnn(10, 8, 6), 2, 4, 8, 60);
+}
+
+#[test]
+fn paper_various_plans_lower_end_to_end() {
+    // The paper's Table I/II "various" rows: mixed n per layer.
+    let cfg = VggProxyConfig::default();
+    let mut model = vgg16_proxy(&cfg, 7);
+    warm_batchnorm(&mut model, cfg.input_hw, 70);
+    let plan = PrunePlan::vgg16_various();
+    let (graph, report, _) =
+        prune_and_compile(&mut model, &plan, &CompileOptions::default()).expect("compile");
+    assert_eq!(report.sparse_layers, 13);
+    let x = random_input(&[1, 3, cfg.input_hw, cfg.input_hw], 71);
+    let want = model.forward(&x, false);
+    let got = graph.run(&x);
+    pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-5);
+}
+
+#[test]
+fn batched_engine_matches_sequential_graph() {
+    use pcnn_runtime::engine::Engine;
+    let mut model = tiny_cnn(4, 8, 9);
+    warm_batchnorm(&mut model, 8, 80);
+    let plan = PrunePlan::uniform(2, 2, 32);
+    let (graph, _, _) =
+        prune_and_compile(&mut model, &plan, &CompileOptions::default()).expect("compile");
+    let engine = Engine::new(graph, 4);
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|i| random_input(&[1, 3, 8, 8], 90 + i))
+        .collect();
+    let sequential: Vec<Tensor> = inputs.iter().map(|x| engine.graph().run(x)).collect();
+    let (parallel, stats) = engine.serve(inputs);
+    assert_eq!(stats.requests, 16);
+    for (a, b) in sequential.iter().zip(&parallel) {
+        pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-6);
+    }
+}

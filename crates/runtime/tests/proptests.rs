@@ -1,0 +1,91 @@
+//! Property tests for the runtime: kernel-registry round-trips over
+//! arbitrary pattern assignments, and sparse/dense execution
+//! equivalence under random geometry and weights.
+
+use pcnn_core::pattern::{Pattern, PatternSet};
+use pcnn_core::project::project_onto_set;
+use pcnn_runtime::pattern_conv::PatternConv;
+use pcnn_runtime::registry::{CompiledPattern, KernelRegistry};
+use pcnn_tensor::conv::{conv2d_direct, Conv2dShape};
+use pcnn_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_pattern_roundtrips_through_the_registry(mask in 0u16..512) {
+        let p = Pattern::new(mask, 9);
+        let compiled = CompiledPattern::compile(p);
+        prop_assert_eq!(compiled.reconstruct(), p);
+        prop_assert_eq!(compiled.tap_count(), p.weight());
+        // Tap order is SPM rank order: ascending kernel positions.
+        let positions: Vec<usize> = compiled
+            .taps()
+            .iter()
+            .map(|&(ky, kx)| ky * 3 + kx)
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&positions, &sorted);
+        prop_assert_eq!(positions, p.positions());
+    }
+
+    #[test]
+    fn random_assignment_executes_exactly(
+        codes in prop::collection::vec(0usize..126, 6),
+        vals in prop::collection::vec(-1.0f32..1.0, 6 * 9),
+        xvals in prop::collection::vec(-1.0f32..1.0, 2 * 36),
+    ) {
+        // Assign each of the 3×2 kernels an arbitrary n=4 pattern, build
+        // the conforming weight, and check sparse == dense execution.
+        let set = PatternSet::full(9, 4);
+        let mut w = Tensor::from_vec(vals, &[3, 2, 3, 3]);
+        for (ki, kernel) in w.as_mut_slice().chunks_mut(9).enumerate() {
+            set.get(codes[ki]).apply(kernel);
+        }
+        let shape = Conv2dShape::new(2, 3, 3, 1, 1);
+        let x = Tensor::from_vec(xvals, &[1, 2, 6, 6]);
+        let conv = PatternConv::from_dense(&w, shape, &set).expect("conforming weights");
+        let got = conv.forward(&x);
+        let want = conv2d_direct(&x, &w, None, &shape);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn projected_weights_execute_exactly_for_all_n(
+        vals in prop::collection::vec(-1.0f32..1.0, 4 * 2 * 9),
+        xvals in prop::collection::vec(-1.0f32..1.0, 2 * 25),
+        n in 1usize..=5,
+        stride in 1usize..=2,
+    ) {
+        let set = PatternSet::full(9, n);
+        let mut w = Tensor::from_vec(vals, &[4, 2, 3, 3]);
+        for kernel in w.as_mut_slice().chunks_mut(9) {
+            let _ = project_onto_set(kernel, &set);
+        }
+        let shape = Conv2dShape::new(2, 4, 3, stride, 1);
+        let x = Tensor::from_vec(xvals, &[1, 2, 5, 5]);
+        let conv = PatternConv::from_dense(&w, shape, &set).expect("projected weights conform");
+        let got = conv.forward(&x);
+        let want = conv2d_direct(&x, &w, None, &shape);
+        prop_assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn full_registry_offsets_are_consistent(pw in 3usize..64) {
+        let reg = KernelRegistry::full_3x3();
+        for code in [0usize, 1, 7, 100, 511] {
+            let c = reg.get(code);
+            let offs = c.offsets(pw);
+            for (&off, &(ky, kx)) in offs.iter().zip(c.taps()) {
+                prop_assert_eq!(off, ky * pw + kx);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Direct (im2col-free) convolution primitives.
+//!
+//! The pattern-aware runtime in `pcnn-runtime` executes pruned 3×3
+//! convolutions as a handful of shifted row accumulations — one per
+//! surviving pattern position — over a zero-padded input plane. This
+//! module provides the two building blocks that make that fast and
+//! bounds-check-free:
+//!
+//! * [`pad_plane`] / [`padded_dims`] — copy one channel plane into a
+//!   zero-padded buffer, so every kernel tap lands in-bounds and the
+//!   inner loops need no edge handling;
+//! * [`accumulate_rows`] — the unrolled micro-kernel: for a compile-time
+//!   number of taps `N`, accumulate `Σ_j w_j · padded[base + off_j + ox·s]`
+//!   across an output row. Monomorphising over `N` unrolls the tap loop
+//!   and lets the compiler vectorise across `ox`, which is exactly the
+//!   "compiled pattern kernel" trick of PCONV-style runtimes.
+//!
+//! The padded-offset convention: for a tap at kernel position
+//! `(ky, kx)`, `off = ky · pw + kx` where `pw = w + 2·pad`, and an
+//! output row `oy` reads from `base = oy · stride · pw`. With the output
+//! size from [`crate::conv::Conv2dShape::out_hw`] every access stays
+//! inside the padded plane, so the hot loop is pure arithmetic.
+
+/// Padded plane dimensions `(ph, pw)` for an `h × w` plane.
+pub fn padded_dims(h: usize, w: usize, pad: usize) -> (usize, usize) {
+    (h + 2 * pad, w + 2 * pad)
+}
+
+/// Copies one `h × w` channel plane into `buf` with a `pad`-wide zero
+/// border. `buf` is resized to `ph · pw` and fully overwritten.
+pub fn pad_plane(plane: &[f32], h: usize, w: usize, pad: usize, buf: &mut Vec<f32>) {
+    let (ph, pw) = padded_dims(h, w, pad);
+    buf.clear();
+    buf.resize(ph * pw, 0.0);
+    pad_plane_into(plane, h, w, pad, buf);
+}
+
+/// Copies one `h × w` channel plane into a **pre-zeroed** `ph · pw`
+/// slice with a `pad`-wide border — the allocation-free variant of
+/// [`pad_plane`] for callers that manage a shared scratch buffer.
+///
+/// # Panics
+///
+/// Panics if `buf.len() != ph · pw`. Border elements are left as-is,
+/// so the caller must have zeroed `buf` beforehand.
+pub fn pad_plane_into(plane: &[f32], h: usize, w: usize, pad: usize, buf: &mut [f32]) {
+    assert_eq!(plane.len(), h * w, "plane length mismatch");
+    let (ph, pw) = padded_dims(h, w, pad);
+    assert_eq!(buf.len(), ph * pw, "padded buffer length mismatch");
+    for y in 0..h {
+        let src = &plane[y * w..(y + 1) * w];
+        let dst = (y + pad) * pw + pad;
+        buf[dst..dst + w].copy_from_slice(src);
+    }
+}
+
+/// Accumulates one output row from `N` weighted taps of a padded plane:
+///
+/// `out[ox] += Σ_j weights[j] · padded[base + offsets[j] + ox · stride]`
+///
+/// `N` is a compile-time constant so the tap loop fully unrolls; the
+/// `stride == 1` path is written as `N` slice-zips the optimiser can
+/// vectorise.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if an offset reaches outside `padded`;
+/// callers are expected to have validated geometry once at compile time.
+#[inline]
+pub fn accumulate_rows<const N: usize>(
+    out: &mut [f32],
+    padded: &[f32],
+    base: usize,
+    offsets: &[usize; N],
+    weights: &[f32; N],
+    stride: usize,
+) {
+    let ow = out.len();
+    if stride == 1 {
+        for j in 0..N {
+            let w = weights[j];
+            let src = &padded[base + offsets[j]..base + offsets[j] + ow];
+            for (o, &x) in out.iter_mut().zip(src) {
+                *o += w * x;
+            }
+        }
+    } else {
+        for (ox, o) in out.iter_mut().enumerate() {
+            let x = ox * stride;
+            let mut acc = 0.0f32;
+            for j in 0..N {
+                acc += weights[j] * padded[base + offsets[j] + x];
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// Accumulates a whole output plane (`oh` rows of `ow`) from `N`
+/// weighted taps of a padded plane. Row `oy` reads from
+/// `base = oy · row_stride` where `row_stride = stride · pw`. Keeping
+/// the row loop inside the monomorphisation amortises dispatch to once
+/// per (kernel, plane).
+#[inline]
+pub fn accumulate_plane<const N: usize>(
+    out_plane: &mut [f32],
+    padded: &[f32],
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize; N],
+    weights: &[f32; N],
+    stride: usize,
+) {
+    for (oy, out_row) in out_plane.chunks_mut(ow).enumerate() {
+        accumulate_rows::<N>(out_row, padded, oy * row_stride, offsets, weights, stride);
+    }
+}
+
+/// Runtime-`n` dispatcher onto the monomorphised [`accumulate_plane`]
+/// instances (3×3 kernels have 0..=9 taps). Patterns wider than 9 taps
+/// (larger kernels) fall back to a generic loop.
+#[inline]
+pub fn accumulate_plane_dyn(
+    out_plane: &mut [f32],
+    padded: &[f32],
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[f32],
+    stride: usize,
+) {
+    debug_assert_eq!(offsets.len(), weights.len());
+    macro_rules! arm {
+        ($n:literal) => {{
+            let offs: &[usize; $n] = offsets.try_into().expect("length checked by match");
+            let wts: &[f32; $n] = weights.try_into().expect("length checked by match");
+            accumulate_plane::<$n>(out_plane, padded, ow, row_stride, offs, wts, stride)
+        }};
+    }
+    match offsets.len() {
+        0 => {}
+        1 => arm!(1),
+        2 => arm!(2),
+        3 => arm!(3),
+        4 => arm!(4),
+        5 => arm!(5),
+        6 => arm!(6),
+        7 => arm!(7),
+        8 => arm!(8),
+        9 => arm!(9),
+        _ => {
+            for (oy, out_row) in out_plane.chunks_mut(ow).enumerate() {
+                accumulate_rows_dyn(out_row, padded, oy * row_stride, offsets, weights, stride);
+            }
+        }
+    }
+}
+
+/// Runtime-`n` dispatcher onto the monomorphised [`accumulate_rows`]
+/// instances (3×3 kernels have 0..=9 taps). Patterns wider than 9 taps
+/// (larger kernels) fall back to a generic loop.
+#[inline]
+pub fn accumulate_rows_dyn(
+    out: &mut [f32],
+    padded: &[f32],
+    base: usize,
+    offsets: &[usize],
+    weights: &[f32],
+    stride: usize,
+) {
+    debug_assert_eq!(offsets.len(), weights.len());
+    macro_rules! arm {
+        ($n:literal) => {{
+            let offs: &[usize; $n] = offsets.try_into().expect("length checked by match");
+            let wts: &[f32; $n] = weights.try_into().expect("length checked by match");
+            accumulate_rows::<$n>(out, padded, base, offs, wts, stride)
+        }};
+    }
+    match offsets.len() {
+        0 => {}
+        1 => arm!(1),
+        2 => arm!(2),
+        3 => arm!(3),
+        4 => arm!(4),
+        5 => arm!(5),
+        6 => arm!(6),
+        7 => arm!(7),
+        8 => arm!(8),
+        9 => arm!(9),
+        _ => {
+            for (ox, o) in out.iter_mut().enumerate() {
+                let x = ox * stride;
+                let mut acc = 0.0f32;
+                for (&off, &w) in offsets.iter().zip(weights) {
+                    acc += w * padded[base + off + x];
+                }
+                *o += acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_plane_centers_data() {
+        let plane: Vec<f32> = (1..=6).map(|v| v as f32).collect(); // 2×3
+        let mut buf = Vec::new();
+        pad_plane(&plane, 2, 3, 1, &mut buf);
+        let (ph, pw) = padded_dims(2, 3, 1);
+        assert_eq!((ph, pw), (4, 5));
+        assert_eq!(buf.len(), 20);
+        // Row 1: 0 1 2 3 0; row 2: 0 4 5 6 0; borders zero.
+        assert_eq!(&buf[5..10], &[0.0, 1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(&buf[10..15], &[0.0, 4.0, 5.0, 6.0, 0.0]);
+        assert!(buf[0..5].iter().all(|&v| v == 0.0));
+        assert!(buf[15..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pad_plane_zero_pad_is_copy() {
+        let plane = vec![1.0, 2.0, 3.0, 4.0];
+        let mut buf = vec![9.0; 100];
+        pad_plane(&plane, 2, 2, 0, &mut buf);
+        assert_eq!(buf, plane);
+    }
+
+    #[test]
+    fn accumulate_rows_matches_naive() {
+        // 4×5 padded plane, 2 taps, stride 1.
+        let padded: Vec<f32> = (0..20).map(|v| v as f32).collect();
+        let offsets = [0usize, 6];
+        let weights = [2.0f32, -1.0];
+        let mut out = vec![0.5f32; 3];
+        accumulate_rows::<2>(&mut out, &padded, 5, &offsets, &weights, 1);
+        for (ox, &o) in out.iter().enumerate() {
+            let want = 0.5 + 2.0 * padded[5 + ox] - padded[11 + ox];
+            assert!((o - want).abs() < 1e-6, "ox {ox}: {o} vs {want}");
+        }
+    }
+
+    #[test]
+    fn accumulate_rows_strided() {
+        let padded: Vec<f32> = (0..30).map(|v| v as f32).collect();
+        let offsets = [1usize];
+        let weights = [3.0f32];
+        let mut out = vec![0.0f32; 4];
+        accumulate_rows::<1>(&mut out, &padded, 0, &offsets, &weights, 2);
+        for (ox, &o) in out.iter().enumerate() {
+            assert_eq!(o, 3.0 * padded[1 + 2 * ox]);
+        }
+    }
+
+    #[test]
+    fn dyn_dispatch_equals_monomorphic() {
+        let padded: Vec<f32> = (0..64).map(|v| (v as f32).sin()).collect();
+        for n in 0..=9usize {
+            let offsets: Vec<usize> = (0..n).map(|j| j * 5).collect();
+            let weights: Vec<f32> = (0..n).map(|j| j as f32 - 1.5).collect();
+            let mut a = vec![0.0f32; 8];
+            let mut b = vec![0.0f32; 8];
+            accumulate_rows_dyn(&mut a, &padded, 2, &offsets, &weights, 1);
+            for (ox, o) in b.iter_mut().enumerate() {
+                for j in 0..n {
+                    *o += weights[j] * padded[2 + offsets[j] + ox];
+                }
+            }
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+}

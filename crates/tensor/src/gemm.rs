@@ -11,6 +11,7 @@
 /// # Panics
 ///
 /// Panics if any slice is shorter than its `m*k` / `k*n` / `m*n` extent.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm(
     m: usize,
     k: usize,
@@ -61,6 +62,7 @@ pub fn gemm(
 }
 
 /// Naive reference GEMM used to validate [`gemm`] in tests.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_reference(
     m: usize,
     k: usize,

@@ -24,6 +24,7 @@
 //! ```
 
 pub mod conv;
+pub mod direct;
 pub mod gemm;
 pub mod init;
 pub mod ops;

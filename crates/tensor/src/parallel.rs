@@ -1,10 +1,17 @@
-//! Minimal data-parallel helpers built on `std::thread::scope`.
+//! Minimal data-parallel helpers built on `std::thread::scope`, plus a
+//! persistent work-stealing [`ThreadPool`].
 //!
 //! The workspace deliberately avoids heavyweight parallelism dependencies;
 //! batch-level data parallelism over scoped threads is all the training
-//! and simulation workloads need.
+//! and simulation workloads need. The serving runtime (`pcnn-runtime`)
+//! additionally needs long-lived workers that amortise thread start-up
+//! across many inference requests — that is [`ThreadPool`]: per-worker
+//! deques where owners drain their own queue oldest-first and idle
+//! workers steal the newest job from a sibling's tail.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Returns the number of worker threads to use (capped at 8).
 ///
@@ -91,6 +98,240 @@ where
     });
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between a [`ThreadPool`]'s handle and its workers.
+struct PoolShared {
+    /// One deque per worker. Submissions push to the back; owners pop
+    /// their own front (oldest first), thieves steal from a sibling's
+    /// back (newest first).
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Wakes parked workers when jobs arrive or the pool shuts down.
+    signal: Condvar,
+    /// Guards the park/unpark decision; holds the count of queued jobs.
+    queued: Mutex<usize>,
+    shutdown: AtomicBool,
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// Jobs are distributed round-robin over per-worker deques; an idle
+/// worker first drains its own deque, then steals from siblings, then
+/// parks. Dropping the pool joins all workers after the queues drain.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_tensor::parallel::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = hits.clone();
+///     pool.execute(move || { hits.fetch_add(1, Ordering::Relaxed); });
+/// }
+/// pool.wait_idle();
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next: AtomicUsize,
+    /// Jobs submitted and not yet finished (for `wait_idle`).
+    in_flight: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Condvar::new(),
+            queued: Mutex::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let in_flight = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let workers = (0..threads)
+            .map(|id| {
+                let shared = shared.clone();
+                let in_flight = in_flight.clone();
+                std::thread::Builder::new()
+                    .name(format!("pcnn-pool-{id}"))
+                    .spawn(move || worker_loop(id, &shared, &in_flight))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            next: AtomicUsize::new(0),
+            in_flight,
+        }
+    }
+
+    /// A pool sized by [`num_threads`].
+    pub fn with_default_threads() -> Self {
+        ThreadPool::new(num_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one job. Jobs may be submitted from any thread, including
+    /// from inside other jobs. A job that panics is contained by its
+    /// worker; the panic re-surfaces from [`ThreadPool::run_batch`] but
+    /// never wedges the pool.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        {
+            let (lock, _) = &*self.in_flight;
+            *lock.lock().expect("in_flight poisoned") += 1;
+        }
+        // Increment `queued` BEFORE pushing: a worker that pops the job
+        // decrements afterwards, so the counter can transiently read
+        // high (bounded spin) but never leaks a permanent surplus that
+        // would busy-spin idle workers forever.
+        {
+            let mut q = self.shared.queued.lock().expect("queued poisoned");
+            *q += 1;
+        }
+        self.shared.queues[slot]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Box::new(job));
+        self.shared.signal.notify_one();
+    }
+
+    /// Runs `jobs` and returns their results in submission order,
+    /// blocking the caller until all complete. A job that panicked
+    /// re-raises its panic here.
+    ///
+    /// Must be called from **outside** the pool: a job that calls
+    /// `run_batch` on its own pool parks a worker while its sub-jobs
+    /// wait for one, which deadlocks once every worker is parked
+    /// (guaranteed on a 1-thread pool). Submitting fire-and-forget
+    /// work from inside a job via [`ThreadPool::execute`] is fine.
+    pub fn run_batch<R, F>(&self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let n = jobs.len();
+        type Outcome<R> = Option<std::thread::Result<R>>;
+        let results = Arc::new(Mutex::new(Vec::from_iter(
+            (0..n).map(|_| None as Outcome<R>),
+        )));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for (i, job) in jobs.into_iter().enumerate() {
+            let results = results.clone();
+            let done = done.clone();
+            self.execute(move || {
+                // Catch panics so the barrier below always completes; the
+                // payload re-raises on the caller thread.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                results.lock().expect("results poisoned")[i] = Some(r);
+                let (lock, cv) = &*done;
+                *lock.lock().expect("done poisoned") += 1;
+                cv.notify_all();
+            });
+        }
+        let (lock, cv) = &*done;
+        let mut finished = lock.lock().expect("done poisoned");
+        while *finished < n {
+            finished = cv.wait(finished).expect("done wait poisoned");
+        }
+        drop(finished);
+        // A worker may still hold its Arc clone for an instant after
+        // signalling, so drain under the lock rather than unwrapping.
+        let outcomes: Vec<std::thread::Result<R>> = results
+            .lock()
+            .expect("results poisoned")
+            .drain(..)
+            .map(|r| r.expect("every job stored its outcome"))
+            .collect();
+        outcomes
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let (lock, cv) = &*self.in_flight;
+        let mut n = lock.lock().expect("in_flight poisoned");
+        while *n > 0 {
+            n = cv.wait(n).expect("in_flight wait poisoned");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.signal.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, shared: &PoolShared, in_flight: &(Mutex<usize>, Condvar)) {
+    let workers = shared.queues.len();
+    loop {
+        // Own queue first, then steal round-robin from siblings.
+        let mut job = shared.queues[id]
+            .lock()
+            .expect("queue poisoned")
+            .pop_front();
+        if job.is_none() {
+            for k in 1..workers {
+                let victim = (id + k) % workers;
+                job = shared.queues[victim]
+                    .lock()
+                    .expect("queue poisoned")
+                    .pop_back();
+                if job.is_some() {
+                    break;
+                }
+            }
+        }
+        match job {
+            Some(job) => {
+                {
+                    let mut q = shared.queued.lock().expect("queued poisoned");
+                    *q = q.saturating_sub(1);
+                }
+                // Contain panics so a bad job can neither kill the worker
+                // nor leak the in-flight count (which would hang
+                // wait_idle/run_batch callers).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let (lock, cv) = in_flight;
+                *lock.lock().expect("in_flight poisoned") -= 1;
+                cv.notify_all();
+            }
+            None => {
+                let mut q = shared.queued.lock().expect("queued poisoned");
+                loop {
+                    // Drain queued work before honoring shutdown, so
+                    // dropping the pool never abandons submitted jobs.
+                    if *q > 0 {
+                        break;
+                    }
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    q = shared.signal.wait(q).expect("signal wait poisoned");
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +376,131 @@ mod tests {
     fn parallel_chunks_mut_rejects_ragged() {
         let mut data = vec![0.0f32; 10];
         parallel_chunks_mut(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn pool_runs_every_job_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..200).map(|_| AtomicUsize::new(0)).collect());
+        for i in 0..200 {
+            let hits = hits.clone();
+            pool.execute(move || {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn pool_run_batch_preserves_order() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<_> = (0..50).map(|i| move || i * i).collect();
+        let out = pool.run_batch(jobs);
+        assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_uneven_job_sizes() {
+        // Work stealing: one queue gets the heavy jobs, others must steal.
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..16)
+            .map(|i| {
+                move || {
+                    let spin = if i % 4 == 0 { 200_000 } else { 10 };
+                    let mut acc = 0u64;
+                    for k in 0..spin {
+                        acc = acc.wrapping_add(std::hint::black_box(k));
+                    }
+                    acc
+                }
+            })
+            .collect();
+        let out = pool.run_batch(jobs);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn pool_single_thread_still_completes() {
+        let pool = ThreadPool::new(1);
+        let out = pool.run_batch((0..8).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn pool_drop_joins_cleanly() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| {});
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        // A panicking job must not kill its worker or leak the
+        // in-flight count — wait_idle and later jobs still work.
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("job blew up"));
+        pool.wait_idle();
+        let out = pool.run_batch(vec![|| 1, || 2]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_batch_propagates_job_panic() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(vec![
+                Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                Box::new(|| panic!("bad request")),
+            ])
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool itself is still functional afterwards.
+        assert_eq!(pool.run_batch(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        // Jobs already submitted must run before shutdown completes.
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(1);
+            // One slow job keeps the single worker busy while more queue up.
+            for _ in 0..20 {
+                let hits = hits.clone();
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop joins
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn pool_nested_submission() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let pool2 = pool.clone();
+            let count2 = count.clone();
+            pool.execute(move || {
+                count2.fetch_add(1, Ordering::Relaxed);
+                let count3 = count2.clone();
+                pool2.execute(move || {
+                    count3.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        // Wait until both the outer and the nested job ran.
+        for _ in 0..1000 {
+            if count.load(Ordering::Relaxed) == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 2);
     }
 }

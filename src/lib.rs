@@ -13,7 +13,11 @@
 //!   compression/FLOPs accounting;
 //! * [`accel`] — the cycle-level simulator of the pattern-aware
 //!   accelerator (decoder, sparsity-IO pointer generation, PE group,
-//!   memory system, area/power model).
+//!   memory system, area/power model);
+//! * [`runtime`] — the pattern-aware sparse inference engine: compiled
+//!   per-pattern kernels, a layer compiler lowering pruned models to an
+//!   executable graph, and a batched work-stealing executor for serving
+//!   concurrent requests.
 //!
 //! ## Quickstart
 //!
@@ -36,4 +40,5 @@
 pub use pcnn_accel as accel;
 pub use pcnn_core as core;
 pub use pcnn_nn as nn;
+pub use pcnn_runtime as runtime;
 pub use pcnn_tensor as tensor;

@@ -35,7 +35,10 @@ fn one_baseline_many_experiments() {
     let mut restored = tiny_cnn(4, 8, 99);
     load_checkpoint(&mut restored, &path).expect("load");
     let restored_acc = evaluate(&mut restored, &te, 16);
-    assert_eq!(restored_acc, baseline_acc, "checkpoint must restore the baseline exactly");
+    assert_eq!(
+        restored_acc, baseline_acc,
+        "checkpoint must restore the baseline exactly"
+    );
 
     // Experiment B starts clean from the restored weights.
     let plan_b = PrunePlan::uniform(2, 1, 8);
