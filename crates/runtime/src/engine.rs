@@ -16,6 +16,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Aggregate timing of one [`Engine::serve`] call.
+///
+/// This is the *bulk, closed-loop* view: one synchronous call over a
+/// pre-collected request vector. Online serving telemetry — per-request
+/// queue-wait and end-to-end latency percentiles, throughput, and
+/// rejection counts under real concurrent traffic — lives in
+/// `pcnn-serve`'s `metrics` module, which absorbs and supersedes these
+/// fields for the async front-end.
 #[derive(Debug, Clone)]
 pub struct ServeStats {
     /// Requests served.
@@ -131,6 +138,173 @@ impl Engine {
         stack_outputs(&outputs)
     }
 
+    /// Coalesced execution: stacks same-shape single-image requests
+    /// into contiguous NCHW sub-batches (at most one per worker), runs
+    /// each sub-batch through the graph as **one** batched pass, and
+    /// splits the outputs back into per-request tensors in submission
+    /// order.
+    ///
+    /// This is the dispatch hook for dynamic micro-batchers
+    /// (`pcnn-serve`): a batched graph pass amortises padded-plane
+    /// construction, offset-table derivation, and per-op dispatch across
+    /// the whole batch (see [`crate::PatternConv::forward_batch`]),
+    /// which per-request [`Engine::infer_batch`] jobs cannot. `scratch`
+    /// holds the stacking buffers and is reused across calls, so a
+    /// steady-state batcher performs no stacking allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not `1 × C × H × W` or the shapes differ
+    /// across requests.
+    pub fn infer_coalesced(&self, inputs: Vec<Tensor>, scratch: &mut BatchScratch) -> Vec<Tensor> {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut stacked = self.stack_requests(inputs, &mut scratch.buffers);
+
+        let batched: Vec<(Tensor, Vec<f32>)> = if stacked.len() == 1 {
+            // A 1-chunk dispatch degenerates to one batched pass on the
+            // calling thread.
+            let x = stacked.pop().expect("one chunk");
+            vec![(self.graph.run(&x), x.into_vec())]
+        } else {
+            let jobs: Vec<_> = stacked
+                .into_iter()
+                .map(|x| {
+                    let graph = self.graph.clone();
+                    move || (graph.run(&x), x.into_vec())
+                })
+                .collect();
+            self.pool.run_batch(jobs)
+        };
+
+        let mut outputs = Vec::with_capacity(n);
+        for (y, buf) in batched {
+            split_rows(&y, &mut outputs);
+            scratch.buffers.push(buf);
+        }
+        outputs
+    }
+
+    /// Validates that `inputs` are same-shape `1 × C × H × W` requests
+    /// and stacks them into at most one contiguous NCHW sub-batch per
+    /// worker, drawing stacking storage from `buffers` (refilled by the
+    /// caller once the batched tensors come back).
+    fn stack_requests(&self, inputs: Vec<Tensor>, buffers: &mut Vec<Vec<f32>>) -> Vec<Tensor> {
+        let n = inputs.len();
+        let img_shape = inputs[0].shape().to_vec();
+        assert_eq!(img_shape.len(), 4, "requests must be NCHW");
+        assert_eq!(img_shape[0], 1, "requests must be single-image");
+        for x in &inputs[1..] {
+            assert_eq!(x.shape(), &img_shape[..], "mixed request shapes");
+        }
+        let img_len: usize = img_shape[1..].iter().product();
+
+        let chunks = self.threads().min(n);
+        let per = n.div_ceil(chunks);
+        let mut stacked: Vec<Tensor> = Vec::with_capacity(chunks);
+        for group in inputs.chunks(per) {
+            let mut buf = buffers.pop().unwrap_or_default();
+            buf.clear();
+            buf.reserve(group.len() * img_len);
+            for x in group {
+                buf.extend_from_slice(x.as_slice());
+            }
+            let mut shape = img_shape.clone();
+            shape[0] = group.len();
+            stacked.push(Tensor::from_vec(buf, &shape));
+        }
+        stacked
+    }
+
+    /// Asynchronous [`Engine::infer_coalesced`]: stacks the same-shape
+    /// single-image requests into chunked batches, submits the chunk
+    /// passes to the worker pool, and **returns immediately**; `on_done`
+    /// runs on the worker that finishes the last chunk, receiving the
+    /// per-request outputs in submission order plus the stacking buffers
+    /// for reuse.
+    ///
+    /// This is the pipelined dispatch hook for `pcnn-serve`: the
+    /// batcher thread hands a batch to the engine and goes straight
+    /// back to coalescing the next one, so queue management overlaps
+    /// execution. `buffers` may be empty or hold recycled stacking
+    /// buffers from earlier completions (any count; missing ones are
+    /// allocated). If a chunk pass panics, `on_done` receives an empty
+    /// output vector — the caller decides how to fail the requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not `1 × C × H × W` or shapes differ
+    /// across requests.
+    pub fn infer_coalesced_async<F>(
+        &self,
+        inputs: Vec<Tensor>,
+        mut buffers: Vec<Vec<f32>>,
+        on_done: F,
+    ) where
+        F: FnOnce(Vec<Tensor>, Vec<Vec<f32>>) + Send + 'static,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            on_done(Vec::new(), buffers);
+            return;
+        }
+        let stacked = self.stack_requests(inputs, &mut buffers);
+
+        struct Pending {
+            /// Per-chunk `(batched_output, reclaimed_stack_buffer)`.
+            slots: Vec<Option<(Tensor, Vec<f32>)>>,
+            remaining: usize,
+            failed: bool,
+            spare_buffers: Vec<Vec<f32>>,
+            #[allow(clippy::type_complexity)]
+            on_done: Option<Box<dyn FnOnce(Vec<Tensor>, Vec<Vec<f32>>) + Send>>,
+        }
+        let total = stacked.len();
+        let pending = Arc::new(std::sync::Mutex::new(Pending {
+            slots: (0..total).map(|_| None).collect(),
+            remaining: total,
+            failed: false,
+            spare_buffers: buffers,
+            on_done: Some(Box::new(on_done)),
+        }));
+
+        for (c, x) in stacked.into_iter().enumerate() {
+            let graph = self.graph.clone();
+            let pending = pending.clone();
+            self.pool.execute(move || {
+                // Contain a model panic so the completion callback always
+                // fires; the caller sees the empty-output failure mode.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| graph.run(&x)));
+                let mut p = pending.lock().expect("pending poisoned");
+                match result {
+                    Ok(y) => p.slots[c] = Some((y, x.into_vec())),
+                    Err(_) => p.failed = true,
+                }
+                p.remaining -= 1;
+                if p.remaining > 0 {
+                    return;
+                }
+                let slots = std::mem::take(&mut p.slots);
+                let mut buffers = std::mem::take(&mut p.spare_buffers);
+                let failed = p.failed;
+                let cb = p.on_done.take().expect("completion fires once");
+                drop(p);
+                let mut outputs = Vec::new();
+                for slot in slots {
+                    let Some((y, buf)) = slot else { continue };
+                    if !failed {
+                        split_rows(&y, &mut outputs);
+                    }
+                    buffers.push(buf);
+                }
+                cb(outputs, buffers);
+            });
+        }
+    }
+
     /// Runs requests concurrently and reports serving statistics.
     pub fn serve(&self, inputs: Vec<Tensor>) -> (Vec<Tensor>, ServeStats) {
         let n = inputs.len();
@@ -167,6 +341,40 @@ impl Engine {
             max_latency: max,
         };
         (outputs, stats)
+    }
+}
+
+/// Reusable stacking buffers for [`Engine::infer_coalesced`].
+///
+/// A dynamic batcher keeps one `BatchScratch` for the lifetime of its
+/// dispatch loop; the per-chunk `Vec<f32>` buffers cycle through the
+/// stacked input tensors and come back after every dispatch, so
+/// steady-state serving allocates nothing to assemble batches.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    buffers: Vec<Vec<f32>>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}
+
+/// Splits a batched `N × …` output into per-row `1 × …` tensors,
+/// appended to `outputs` in row order.
+fn split_rows(y: &Tensor, outputs: &mut Vec<Tensor>) {
+    let rows = y.shape()[0];
+    let mut out_shape = y.shape().to_vec();
+    out_shape[0] = 1;
+    let row_len: usize = out_shape[1..].iter().product();
+    let data = y.as_slice();
+    for r in 0..rows {
+        outputs.push(Tensor::from_vec(
+            data[r * row_len..(r + 1) * row_len].to_vec(),
+            &out_shape,
+        ));
     }
 }
 
@@ -223,6 +431,42 @@ mod tests {
         let whole = engine.infer(&x);
         assert_eq!(split.shape(), whole.shape());
         pcnn_tensor::assert_slices_close(split.as_slice(), whole.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn infer_coalesced_matches_single_requests() {
+        let model = models::tiny_cnn(4, 4, 5);
+        let engine = Engine::new(compile_dense(&model), 3);
+        let inputs: Vec<Tensor> = (0..7)
+            .map(|i| random_input(&[1, 3, 8, 8], 50 + i))
+            .collect();
+        let single: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x)).collect();
+        let mut scratch = BatchScratch::new();
+        let coalesced = engine.infer_coalesced(inputs, &mut scratch);
+        assert_eq!(coalesced.len(), 7);
+        for (a, b) in single.iter().zip(&coalesced) {
+            assert_eq!(a.shape(), b.shape());
+            pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn infer_coalesced_reuses_scratch_and_handles_edge_sizes() {
+        let model = models::tiny_cnn(2, 4, 6);
+        let engine = Engine::new(compile_dense(&model), 2);
+        let mut scratch = BatchScratch::new();
+        assert!(engine.infer_coalesced(Vec::new(), &mut scratch).is_empty());
+        // Repeated dispatches of varying size through one scratch.
+        for size in [1usize, 5, 2, 8] {
+            let inputs: Vec<Tensor> = (0..size)
+                .map(|i| random_input(&[1, 3, 8, 8], 90 + i as u64))
+                .collect();
+            let want: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x)).collect();
+            let got = engine.infer_coalesced(inputs, &mut scratch);
+            for (a, b) in want.iter().zip(&got) {
+                pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-5);
+            }
+        }
     }
 
     #[test]

@@ -36,7 +36,17 @@
 //!    inference requests — batch them ([`engine::Engine::infer_batch`]),
 //!    split an NCHW batch into per-image jobs
 //!    ([`engine::Engine::infer_images`]), or measure serving throughput
-//!    ([`engine::Engine::serve`]).
+//!    ([`engine::Engine::serve`]). For dynamic batchers the engine
+//!    offers coalesced execution hooks
+//!    ([`engine::Engine::infer_coalesced`],
+//!    [`engine::Engine::infer_coalesced_async`]): same-shape
+//!    single-image requests stack into one batched graph pass, which
+//!    amortises padded-plane construction and offset tables across the
+//!    whole batch ([`PatternConv::forward_batch`]).
+//!
+//! The online serving layer on top of this crate — bounded request
+//! queue, micro-batching, tickets, latency percentiles — is
+//! `pcnn-serve`.
 //!
 //! ## Quickstart
 //!

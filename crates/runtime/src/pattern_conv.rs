@@ -17,7 +17,10 @@ use crate::registry::KernelRegistry;
 use pcnn_core::pattern::PatternSet;
 use pcnn_core::spm::{EncodeSpmError, SpmLayer};
 use pcnn_tensor::conv::Conv2dShape;
-use pcnn_tensor::direct::{accumulate_plane_dyn, pad_plane_into, padded_dims};
+use pcnn_tensor::direct::{
+    accumulate_plane_batch_dyn, accumulate_plane_dyn, pad_plane_into, pad_plane_overwrite,
+    padded_dims, BatchPlanes,
+};
 use pcnn_tensor::Tensor;
 
 /// A compiled, immutable, thread-safe sparse convolution.
@@ -119,7 +122,7 @@ impl PatternConv {
         self.skip.iter().filter(|&&s| s).count()
     }
 
-    /// Executes on an NCHW input, image by image.
+    /// Executes on an NCHW input with batch-level amortisation.
     ///
     /// # Panics
     ///
@@ -131,20 +134,122 @@ impl PatternConv {
         assert_eq!(in_c, self.shape.in_c, "input channel mismatch");
         let (oh, ow) = self.shape.out_hw(h, w);
         let mut out = Tensor::zeros(&[n, self.shape.out_c, oh, ow]);
-
-        let in_img = in_c * h * w;
-        let out_img = self.shape.out_c * oh * ow;
-        // Geometry is fixed across the batch: derive the per-code tap
-        // offsets once and reuse one padded-plane scratch buffer.
-        let (_, pw) = padded_dims(h, w, self.shape.pad);
-        let offsets = self.registry.offset_table(pw);
         let mut scratch = Vec::new();
-        for ni in 0..n {
-            let image = &input.as_slice()[ni * in_img..(ni + 1) * in_img];
-            let out_image = &mut out.as_mut_slice()[ni * out_img..(ni + 1) * out_img];
-            self.forward_image_with(image, h, w, out_image, &mut scratch, &offsets);
-        }
+        self.forward_batch(input.as_slice(), n, h, w, out.as_mut_slice(), &mut scratch);
         out
+    }
+
+    /// The batched execution path: pads **every** plane of **every**
+    /// image once up front, then walks `(oc, ic)` kernels in the outer
+    /// loops and images in the inner loop, so the per-kernel SPM
+    /// code/weight/offset lookups (and the offset table itself) are paid
+    /// once per batch rather than once per image. This is what makes
+    /// dynamic batching in `pcnn-serve` cheaper than per-image dispatch
+    /// even on a single core.
+    ///
+    /// `input` is `n` contiguous `in_c × h × w` images; `out` is `n`
+    /// contiguous `out_c × oh × ow` outputs, fully overwritten.
+    /// `scratch` is reused across calls (grows to `n · in_c` padded
+    /// planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `out` have the wrong length.
+    pub fn forward_batch(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        let shape = &self.shape;
+        let (oh, ow) = shape.out_hw(h, w);
+        let in_img = shape.in_c * h * w;
+        let out_img = shape.out_c * oh * ow;
+        let out_plane_len = oh * ow;
+        assert_eq!(input.len(), n * in_img, "input length mismatch");
+        assert_eq!(out.len(), n * out_img, "output length mismatch");
+
+        // Geometry is fixed across the batch: derive the per-code tap
+        // offsets once.
+        let (ph, pw) = padded_dims(h, w, shape.pad);
+        let offsets = self.registry.offset_table(pw);
+        let plane_len = ph * pw;
+        let in_c = shape.in_c;
+        let row_stride = shape.stride * pw;
+
+        // Pad each input plane once per batch, all images up front. The
+        // overwrite variant tolerates stale scratch contents, so a
+        // reused buffer costs one write per element, not two.
+        let scratch_len = n * in_c * plane_len;
+        if scratch.len() < scratch_len {
+            scratch.resize(scratch_len, 0.0);
+        }
+        let scratch = &mut scratch[..scratch_len];
+        for ni in 0..n {
+            for ic in 0..in_c {
+                pad_plane_overwrite(
+                    &input[ni * in_img + ic * h * w..ni * in_img + (ic + 1) * h * w],
+                    h,
+                    w,
+                    shape.pad,
+                    &mut scratch[(ni * in_c + ic) * plane_len..(ni * in_c + ic + 1) * plane_len],
+                );
+            }
+        }
+
+        // Seed every output plane with its channel bias.
+        for ni in 0..n {
+            for oc in 0..shape.out_c {
+                out[ni * out_img + oc * out_plane_len..ni * out_img + (oc + 1) * out_plane_len]
+                    .fill(self.bias.as_ref().map_or(0.0, |b| b[oc]));
+            }
+        }
+
+        // Kernels outer, images inner: one (code, weights, offsets)
+        // lookup — and one monomorphisation dispatch — feeds the whole
+        // batch.
+        let in_img_padded = in_c * plane_len;
+        for oc in 0..shape.out_c {
+            for ic in 0..in_c {
+                let ki = oc * in_c + ic;
+                if self.skip[ki] {
+                    continue;
+                }
+                let code = self.spm.code(ki) as usize;
+                let offs = &offsets[code];
+                let wts = self.spm.kernel_nonzeros(ki);
+                let geo = BatchPlanes {
+                    out_base: oc * out_plane_len,
+                    out_stride: out_img,
+                    in_base: ic * plane_len,
+                    in_stride: in_img_padded,
+                    plane_len,
+                    n,
+                };
+                accumulate_plane_batch_dyn(
+                    out,
+                    scratch,
+                    geo,
+                    oh,
+                    ow,
+                    row_stride,
+                    offs,
+                    wts,
+                    shape.stride,
+                );
+            }
+        }
+
+        if self.relu {
+            for v in out.iter_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
     }
 
     /// Executes one `in_c × h × w` image into a preallocated
@@ -316,6 +421,45 @@ mod tests {
         let got = conv.forward(&x);
         let want = conv2d_direct(&x, &w, None, &shape);
         pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn batched_padding_matches_per_image_path_with_epilogue() {
+        // The amortised batch path (pad once per batch, images in the
+        // inner loop) must agree with driving forward_image per image,
+        // including strided geometry and the bias+ReLU epilogue.
+        for (stride, relu) in [(1usize, false), (1, true), (2, true)] {
+            let set = PatternSet::full(9, 2);
+            let shape = Conv2dShape::new(3, 4, 3, stride, 1);
+            let w = random_pruned(4, 3, &set, 41 + stride as u64);
+            let bias: Vec<f32> = (0..4).map(|i| 0.3 * i as f32 - 0.4).collect();
+            let conv = PatternConv::from_dense(&w, shape, &set)
+                .expect("encode")
+                .with_bias(bias)
+                .with_relu(relu);
+            let (h, w_in) = (7usize, 9usize);
+            let batch = random_input(&[5, 3, h, w_in], 43);
+            let whole = conv.forward(&batch);
+            let (oh, ow) = shape.out_hw(h, w_in);
+            let out_len = shape.out_c * oh * ow;
+            let img_len = 3 * h * w_in;
+            let mut scratch = Vec::new();
+            for ni in 0..5 {
+                let mut single = vec![0.0f32; out_len];
+                conv.forward_image(
+                    &batch.as_slice()[ni * img_len..(ni + 1) * img_len],
+                    h,
+                    w_in,
+                    &mut single,
+                    &mut scratch,
+                );
+                pcnn_tensor::assert_slices_close(
+                    &single,
+                    &whole.as_slice()[ni * out_len..(ni + 1) * out_len],
+                    1e-6,
+                );
+            }
+        }
     }
 
     #[test]

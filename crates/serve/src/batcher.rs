@@ -1,0 +1,201 @@
+//! The dynamic micro-batcher: the single consumer of the request queue
+//! and the only dispatcher into the engine.
+//!
+//! The coalescing rule is the classic serving trade-off dial: after the
+//! first request of a batch arrives, the batcher keeps popping until it
+//! holds `max_batch` requests **or** `max_wait` has elapsed, whichever
+//! comes first. `max_wait == 0` degenerates to batch-as-available
+//! (never waits, still coalesces whatever is already queued);
+//! `max_batch == 1` degenerates to per-request dispatch — the baseline
+//! the serving bench compares against.
+//!
+//! Dispatch is **pipelined**: a coalesced batch is handed to the
+//! engine's worker pool via `Engine::infer_coalesced_async` and the
+//! batcher immediately goes back to coalescing, so queue management
+//! overlaps execution. At most `engine.threads() + 1` batches are in
+//! flight at once — past that the batcher blocks, the queue fills, and
+//! admission control sheds load, which is exactly the backpressure
+//! chain the front-end promises. Stacking buffers recycle through the
+//! completion callbacks, so steady-state dispatch performs no stacking
+//! allocations.
+//!
+//! Batches must be shape-uniform for the engine's coalesced stacking, so
+//! a request whose shape differs from the batch being built closes that
+//! batch and opens the next one (no reordering, no starvation).
+
+use crate::metrics::ServerMetrics;
+use crate::queue::{BoundedQueue, Pop};
+use crate::ticket::{ServeError, TicketCell};
+use pcnn_runtime::engine::Engine;
+use pcnn_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One queued inference request.
+pub(crate) struct Request {
+    /// The `1 × C × H × W` input.
+    pub input: Tensor,
+    /// Where the result goes.
+    pub cell: Arc<TicketCell>,
+    /// Admission timestamp, for queue-wait and e2e latency.
+    pub submitted: Instant,
+}
+
+/// Everything the batcher thread needs, bundled for the spawn.
+pub(crate) struct BatcherContext {
+    pub engine: Arc<Engine>,
+    pub queue: Arc<BoundedQueue<Request>>,
+    pub metrics: Arc<ServerMetrics>,
+    /// When set, drain-by-failing: remaining requests get
+    /// [`ServeError::Aborted`] instead of an inference pass.
+    pub abort: Arc<AtomicBool>,
+    pub max_batch: usize,
+    pub max_wait: Duration,
+}
+
+/// Counter of dispatched-but-incomplete batches, with a condvar for the
+/// batcher to block on (dispatch cap, final drain).
+struct InFlight {
+    count: Mutex<usize>,
+    changed: Condvar,
+}
+
+impl InFlight {
+    fn acquire(&self, limit: usize) {
+        let mut n = self.count.lock().expect("inflight poisoned");
+        while *n >= limit {
+            n = self.changed.wait(n).expect("inflight wait poisoned");
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        *self.count.lock().expect("inflight poisoned") -= 1;
+        self.changed.notify_all();
+    }
+
+    fn wait_zero(&self) {
+        let mut n = self.count.lock().expect("inflight poisoned");
+        while *n > 0 {
+            n = self.changed.wait(n).expect("inflight wait poisoned");
+        }
+    }
+}
+
+/// The batcher thread body: coalesce → dispatch until the queue closes
+/// and drains, then wait for in-flight batches to land.
+pub(crate) fn run_batcher(ctx: BatcherContext) {
+    // One more batch in flight than engine workers: every worker busy
+    // plus one batch coalesced and ready.
+    let max_inflight = ctx.engine.threads() + 1;
+    let inflight = Arc::new(InFlight {
+        count: Mutex::new(0),
+        changed: Condvar::new(),
+    });
+    let buffer_pool: Arc<Mutex<Vec<Vec<f32>>>> = Arc::new(Mutex::new(Vec::new()));
+    // A request popped while building a batch but belonging to the
+    // *next* one (shape change): it seeds the following iteration.
+    let mut carried: Option<Request> = None;
+    loop {
+        let first = match carried.take() {
+            Some(r) => r,
+            None => match ctx.queue.pop_wait(None) {
+                Pop::Item(r) => r,
+                Pop::Closed => break,
+                Pop::TimedOut => unreachable!("untimed pop cannot time out"),
+            },
+        };
+        // Claim an engine slot BEFORE coalescing: while the batcher
+        // waits here for the engine to free up, new requests keep
+        // queueing, so batch size adapts to engine busyness — idle
+        // engine means tiny batches and minimal latency, saturated
+        // engine means full batches and maximal amortisation.
+        inflight.acquire(max_inflight);
+        let mut batch = vec![first];
+        let deadline = Instant::now() + ctx.max_wait;
+        while batch.len() < ctx.max_batch && carried.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                // Deadline passed: take only what is already queued.
+                match ctx.queue.try_pop() {
+                    Some(r) => accept(&mut batch, &mut carried, r),
+                    None => break,
+                }
+            } else {
+                match ctx.queue.pop_wait(Some(deadline - now)) {
+                    Pop::Item(r) => accept(&mut batch, &mut carried, r),
+                    Pop::TimedOut => break,
+                    Pop::Closed => break,
+                }
+            }
+        }
+        dispatch(&ctx, batch, &inflight, &buffer_pool);
+    }
+    inflight.wait_zero();
+}
+
+/// Adds `r` to the batch when shape-compatible, else carries it over as
+/// the seed of the next batch.
+fn accept(batch: &mut Vec<Request>, carried: &mut Option<Request>, r: Request) {
+    if r.input.shape() == batch[0].input.shape() {
+        batch.push(r);
+    } else {
+        *carried = Some(r);
+    }
+}
+
+/// Hands one coalesced batch to the engine pool (the caller has already
+/// claimed the in-flight slot, released by the completion callback) and
+/// returns immediately; tickets complete from the callback.
+fn dispatch(
+    ctx: &BatcherContext,
+    batch: Vec<Request>,
+    inflight: &Arc<InFlight>,
+    buffer_pool: &Arc<Mutex<Vec<Vec<f32>>>>,
+) {
+    if ctx.abort.load(Ordering::SeqCst) {
+        for r in batch {
+            ctx.metrics.aborted.inc();
+            r.cell.complete(Err(ServeError::Aborted));
+        }
+        inflight.release();
+        return;
+    }
+    let dispatch_at = Instant::now();
+    let mut inputs = Vec::with_capacity(batch.len());
+    let mut meta = Vec::with_capacity(batch.len());
+    for r in batch {
+        ctx.metrics.queue_wait.record(dispatch_at - r.submitted);
+        inputs.push(r.input);
+        meta.push((r.cell, r.submitted));
+    }
+    ctx.metrics.batches.inc();
+    ctx.metrics.batched_images.add(meta.len() as u64);
+
+    let buffers = std::mem::take(&mut *buffer_pool.lock().expect("buffer pool poisoned"));
+    let metrics = ctx.metrics.clone();
+    let inflight = inflight.clone();
+    let buffer_pool = buffer_pool.clone();
+    ctx.engine
+        .infer_coalesced_async(inputs, buffers, move |outputs, spare| {
+            let done_at = Instant::now();
+            metrics.service.record(done_at - dispatch_at);
+            if outputs.len() == meta.len() {
+                for ((cell, submitted), y) in meta.into_iter().zip(outputs) {
+                    metrics.latency.record(done_at - submitted);
+                    metrics.completed.inc();
+                    cell.complete(Ok(y));
+                }
+            } else {
+                // A chunk pass failed inside the engine: no output can
+                // be attributed, so every ticket of the batch fails.
+                for (cell, _) in meta {
+                    metrics.aborted.inc();
+                    cell.complete(Err(ServeError::Aborted));
+                }
+            }
+            *buffer_pool.lock().expect("buffer pool poisoned") = spare;
+            inflight.release();
+        });
+}

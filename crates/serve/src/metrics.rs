@@ -1,0 +1,423 @@
+//! Lock-free serving telemetry: counters and log-bucketed latency
+//! histograms.
+//!
+//! Every hot-path record is a single relaxed atomic increment, so the
+//! batcher and an arbitrary number of client threads can publish
+//! telemetry without contending on a lock. Latencies land in
+//! [`LogHistogram`] — one bucket per power of two of nanoseconds — which
+//! is coarse (quantiles are exact to within ~2×, reported at the bucket's
+//! geometric midpoint) but constant-size, allocation-free, and
+//! mergeable. This module absorbs the per-batch
+//! `pcnn_runtime::engine::ServeStats` view: a [`TelemetrySnapshot`]
+//! carries throughput plus p50/p95/p99 of both **queue wait** (admission
+//! → dispatch, the cost of batching) and **end-to-end latency**
+//! (admission → ticket fulfilment, what the client observes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A relaxed atomic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` ns, with bucket 0 also catching sub-nanosecond and
+/// the last bucket catching everything above ~9.2 seconds.
+const BUCKETS: usize = 34;
+
+/// A lock-free latency histogram with logarithmic (power-of-two ns)
+/// buckets.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_serve::metrics::LogHistogram;
+/// use std::time::Duration;
+///
+/// let h = LogHistogram::new();
+/// for ms in [1u64, 2, 4, 100] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 4);
+/// // p50 lands in the bucket holding 2ms, within its 2x resolution.
+/// let p50 = h.quantile(0.5);
+/// assert!(p50 >= Duration::from_millis(1) && p50 <= Duration::from_millis(4));
+/// ```
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum of recorded nanoseconds, for exact means.
+    total_ns: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        (ns.max(1).ilog2() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one duration given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean of the recorded durations (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), reported at the geometric
+    /// midpoint of the bucket containing it — exact to within the 2×
+    /// bucket resolution. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = (1u64 << i) as f64;
+                return Duration::from_nanos((lo * std::f64::consts::SQRT_2) as u64);
+            }
+        }
+        Duration::from_nanos(1u64 << (BUCKETS - 1))
+    }
+}
+
+/// All counters and histograms of one server, shared by reference
+/// between the submit path, the batcher, and observers.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Requests admitted into the queue.
+    pub submitted: Counter,
+    /// Requests whose ticket was fulfilled with an output.
+    pub completed: Counter,
+    /// Requests refused by admission control (queue full).
+    pub rejected: Counter,
+    /// Requests refused because the server was shutting down.
+    pub rejected_shutdown: Counter,
+    /// Requests failed by an abort-mode shutdown.
+    pub aborted: Counter,
+    /// Batches dispatched to the engine.
+    pub batches: Counter,
+    /// Total images across dispatched batches.
+    pub batched_images: Counter,
+    /// Admission → dispatch wait.
+    pub queue_wait: LogHistogram,
+    /// Admission → ticket fulfilment.
+    pub latency: LogHistogram,
+    /// Dispatch → batch completion (engine time per batch).
+    pub service: LogHistogram,
+    started: Instant,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh metrics; the throughput clock starts now.
+    pub fn new() -> Self {
+        ServerMetrics {
+            submitted: Counter::default(),
+            completed: Counter::default(),
+            rejected: Counter::default(),
+            rejected_shutdown: Counter::default(),
+            aborted: Counter::default(),
+            batches: Counter::default(),
+            batched_images: Counter::default(),
+            queue_wait: LogHistogram::new(),
+            latency: LogHistogram::new(),
+            service: LogHistogram::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// A point-in-time reading of every metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let completed = self.completed.get();
+        let batches = self.batches.get();
+        let elapsed = self.started.elapsed();
+        TelemetrySnapshot {
+            submitted: self.submitted.get(),
+            completed,
+            rejected: self.rejected.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            aborted: self.aborted.get(),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                self.batched_images.get() as f64 / batches as f64
+            },
+            elapsed,
+            throughput_rps: if elapsed.is_zero() {
+                0.0
+            } else {
+                completed as f64 / elapsed.as_secs_f64()
+            },
+            queue_wait_p50: self.queue_wait.quantile(0.50),
+            queue_wait_p95: self.queue_wait.quantile(0.95),
+            queue_wait_p99: self.queue_wait.quantile(0.99),
+            queue_wait_mean: self.queue_wait.mean(),
+            latency_p50: self.latency.quantile(0.50),
+            latency_p95: self.latency.quantile(0.95),
+            latency_p99: self.latency.quantile(0.99),
+            latency_mean: self.latency.mean(),
+            service_mean: self.service.mean(),
+        }
+    }
+}
+
+/// A point-in-time telemetry reading — the serving-era successor of
+/// `pcnn_runtime::engine::ServeStats` (throughput and mean latency are
+/// still here, now joined by tail percentiles and admission counters).
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests completed with an output.
+    pub completed: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Requests rejected during shutdown.
+    pub rejected_shutdown: u64,
+    /// Requests aborted by shutdown.
+    pub aborted: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean images per dispatched batch.
+    pub mean_batch: f64,
+    /// Time since the server started.
+    pub elapsed: Duration,
+    /// Completed requests per second of server lifetime.
+    pub throughput_rps: f64,
+    /// Median admission → dispatch wait.
+    pub queue_wait_p50: Duration,
+    /// 95th-percentile queue wait.
+    pub queue_wait_p95: Duration,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99: Duration,
+    /// Mean queue wait (exact).
+    pub queue_wait_mean: Duration,
+    /// Median end-to-end latency.
+    pub latency_p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub latency_p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+    /// Mean end-to-end latency (exact).
+    pub latency_mean: Duration,
+    /// Mean engine time per dispatched batch (exact).
+    pub service_mean: Duration,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} submitted, {} completed, {} rejected ({} at shutdown), {} aborted",
+            self.submitted, self.completed, self.rejected, self.rejected_shutdown, self.aborted
+        )?;
+        writeln!(
+            f,
+            "batches:  {} dispatched, {:.2} images/batch mean",
+            self.batches, self.mean_batch
+        )?;
+        writeln!(f, "throughput: {:.1} req/s", self.throughput_rps)?;
+        writeln!(
+            f,
+            "queue wait: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (mean {:.3} ms)",
+            ms(self.queue_wait_p50),
+            ms(self.queue_wait_p95),
+            ms(self.queue_wait_p99),
+            ms(self.queue_wait_mean)
+        )?;
+        writeln!(
+            f,
+            "e2e latency: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (mean {:.3} ms)",
+            ms(self.latency_p50),
+            ms(self.latency_p95),
+            ms(self.latency_p99),
+            ms(self.latency_mean)
+        )?;
+        write!(
+            f,
+            "engine service: {:.3} ms mean per batch",
+            ms(self.service_mean)
+        )
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot as a flat JSON object (hand-rolled — the
+    /// workspace takes no serialisation dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"submitted\":{},\"completed\":{},\"rejected\":{},",
+                "\"rejected_shutdown\":{},\"aborted\":{},\"batches\":{},",
+                "\"mean_batch\":{:.3},\"elapsed_s\":{:.6},\"throughput_rps\":{:.3},",
+                "\"queue_wait_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
+                "\"latency_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
+                "\"service_mean_ms\":{:.6}}}"
+            ),
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.rejected_shutdown,
+            self.aborted,
+            self.batches,
+            self.mean_batch,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps,
+            ms(self.queue_wait_p50),
+            ms(self.queue_wait_p95),
+            ms(self.queue_wait_p99),
+            ms(self.queue_wait_mean),
+            ms(self.latency_p50),
+            ms(self.latency_p95),
+            ms(self.latency_p99),
+            ms(self.latency_mean),
+            ms(self.service_mean),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(1024), 10);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_samples() {
+        let h = LogHistogram::new();
+        for us in 1..=1000u64 {
+            h.record_ns(us * 1000);
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99);
+        // p50 of 1..=1000 µs is ~500 µs; bucket resolution is 2x.
+        assert!(p50 >= Duration::from_micros(250) && p50 <= Duration::from_micros(1000));
+        assert!(p99 >= Duration::from_micros(500) && p99 <= Duration::from_micros(2000));
+        assert_eq!(h.mean(), Duration::from_nanos(500_500 * 1000 / 1000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record_ns((t + 1) * 1000 + i);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().expect("recorder");
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn snapshot_and_json_are_consistent() {
+        let m = ServerMetrics::new();
+        m.submitted.add(10);
+        m.completed.add(9);
+        m.rejected.inc();
+        m.batches.add(3);
+        m.batched_images.add(9);
+        for i in 1..=9u64 {
+            m.queue_wait.record(Duration::from_micros(i * 10));
+            m.latency.record(Duration::from_micros(i * 100));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.completed, 9);
+        assert_eq!(snap.rejected, 1);
+        assert!((snap.mean_batch - 3.0).abs() < 1e-9);
+        assert!(snap.latency_p50 >= snap.queue_wait_p50);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"completed\":9"));
+        assert!(json.contains("\"latency_ms\""));
+        let rendered = format!("{snap}");
+        assert!(rendered.contains("p99"));
+    }
+}

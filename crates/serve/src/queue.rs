@@ -1,0 +1,281 @@
+//! The bounded, two-priority MPMC request queue.
+//!
+//! Admission control happens here: [`BoundedQueue::try_push`] never
+//! blocks and never grows the queue past its capacity — a full queue
+//! hands the item straight back ([`PushError::Full`]) so the caller can
+//! surface backpressure instead of accumulating unbounded memory and
+//! unbounded tail latency. Consumers block on [`BoundedQueue::pop_wait`]
+//! with an optional timeout, which is what lets the micro-batcher
+//! implement its `max_wait` coalescing deadline.
+//!
+//! Closing the queue ([`BoundedQueue::close`]) rejects new pushes but
+//! keeps serving pops until the queue is empty — graceful drain is a
+//! property of the queue, not a special shutdown code path.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduling class of a request. `High` drains strictly before
+/// `Normal`; arrival order is preserved within a class (FIFO per
+/// priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive lane, always popped first.
+    High,
+    /// The default lane.
+    Normal,
+}
+
+/// Number of priority lanes.
+const LANES: usize = 2;
+
+impl Priority {
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+        }
+    }
+}
+
+/// Why a push was refused. The item comes back to the caller in both
+/// cases — the queue never drops silently.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (backpressure).
+    Full(T),
+    /// The queue was closed for shutdown.
+    Closed(T),
+}
+
+/// Outcome of a blocking pop.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item, highest priority lane first, FIFO within the lane.
+    Item(T),
+    /// The timeout elapsed with the queue still empty.
+    TimedOut,
+    /// The queue is closed **and** fully drained; no item will ever
+    /// arrive again.
+    Closed,
+}
+
+struct Inner<T> {
+    lanes: [VecDeque<T>; LANES],
+    len: usize,
+    closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn pop(&mut self) -> Option<T> {
+        for lane in &mut self.lanes {
+            if let Some(item) = lane.pop_front() {
+                self.len -= 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// A bounded MPMC queue with two FIFO priority lanes.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_serve::queue::{BoundedQueue, Pop, Priority, PushError};
+///
+/// let q: BoundedQueue<u32> = BoundedQueue::new(2);
+/// q.try_push(1, Priority::Normal).unwrap();
+/// q.try_push(2, Priority::High).unwrap();
+/// assert!(matches!(q.try_push(3, Priority::Normal), Err(PushError::Full(3))));
+/// // High drains before Normal.
+/// assert!(matches!(q.pop_wait(None), Pop::Item(2)));
+/// assert!(matches!(q.pop_wait(None), Pop::Item(1)));
+/// ```
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                lanes: [VecDeque::new(), VecDeque::new()],
+                len: 0,
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (all lanes).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").len
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`BoundedQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+
+    /// Non-blocking admission: enqueues `item` on `priority`'s lane, or
+    /// returns it in the error when the queue is full or closed.
+    pub fn try_push(&self, item: T, priority: Priority) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.len >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.lanes[priority.lane()].push_back(item);
+        inner.len += 1;
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking pop: highest-priority item, or `None` when empty.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().expect("queue poisoned").pop()
+    }
+
+    /// Blocking pop. With `timeout == None`, waits until an item
+    /// arrives or the queue is closed and drained. With a timeout,
+    /// additionally returns [`Pop::TimedOut`] when the deadline passes
+    /// with the queue still empty.
+    pub fn pop_wait(&self, timeout: Option<Duration>) -> Pop<T> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.pop() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            match deadline {
+                None => {
+                    inner = self.not_empty.wait(inner).expect("queue wait poisoned");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Pop::TimedOut;
+                    }
+                    let (guard, _) = self
+                        .not_empty
+                        .wait_timeout(inner, deadline - now)
+                        .expect("queue wait poisoned");
+                    inner = guard;
+                }
+            }
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail with
+    /// [`PushError::Closed`]; pops keep draining what is already queued
+    /// and then report [`Pop::Closed`].
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_lane_high_first() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1, Priority::Normal).unwrap();
+        q.try_push(2, Priority::Normal).unwrap();
+        q.try_push(10, Priority::High).unwrap();
+        q.try_push(11, Priority::High).unwrap();
+        let order: Vec<i32> = std::iter::from_fn(|| q.try_pop()).collect();
+        assert_eq!(order, vec![10, 11, 1, 2]);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_limit() {
+        let q = BoundedQueue::new(3);
+        for i in 0..3 {
+            q.try_push(i, Priority::Normal).unwrap();
+        }
+        assert!(matches!(
+            q.try_push(99, Priority::High),
+            Err(PushError::Full(99))
+        ));
+        assert_eq!(q.len(), 3);
+        // Popping one frees one admission slot.
+        assert!(matches!(q.pop_wait(None), Pop::Item(0)));
+        q.try_push(99, Priority::High).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7, Priority::Normal).unwrap();
+        q.close();
+        assert!(matches!(
+            q.try_push(8, Priority::Normal),
+            Err(PushError::Closed(8))
+        ));
+        assert!(matches!(q.pop_wait(None), Pop::Item(7)));
+        assert!(matches!(q.pop_wait(None), Pop::Closed));
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn pop_wait_times_out_on_empty() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        let t0 = Instant::now();
+        assert!(matches!(
+            q.pop_wait(Some(Duration::from_millis(20))),
+            Pop::TimedOut
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || match q2.pop_wait(None) {
+            Pop::Item(v) => v,
+            other => panic!("expected item, got {other:?}"),
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        q.try_push(42, Priority::Normal).unwrap();
+        assert_eq!(popper.join().expect("popper"), 42);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_close() {
+        let q: Arc<BoundedQueue<u8>> = Arc::new(BoundedQueue::new(1));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || matches!(q2.pop_wait(None), Pop::Closed));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(popper.join().expect("popper"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Graceful shutdown: close the door, drain the hall, count heads.
+//!
+//! Shutdown is two queue-level facts plus one report. Closing the
+//! bounded queue atomically (a) rejects every later `submit` with
+//! [`crate::ServeError::ShuttingDown`] and (b) lets the batcher keep
+//! popping until the queue is empty, at which point its loop exits on
+//! its own — there is no second drain code path that could disagree
+//! with the serving one. [`ShutdownMode::Abort`] additionally flips the
+//! batcher into fail-fast: still-queued requests get their tickets
+//! fulfilled with [`crate::ServeError::Aborted`] instead of an
+//! inference pass, bounding shutdown time by one in-flight batch.
+
+use std::time::Duration;
+
+/// What to do with requests still queued when shutdown begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Serve everything already admitted, then stop (default).
+    Drain,
+    /// Fail queued requests with [`crate::ServeError::Aborted`]; only
+    /// the batch already inside the engine completes.
+    Abort,
+}
+
+/// What shutdown did, assembled from the final metrics.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Mode the shutdown ran under.
+    pub mode: ShutdownMode,
+    /// Requests completed over the server's whole lifetime.
+    pub completed: u64,
+    /// Requests failed with `Aborted` during shutdown.
+    pub aborted: u64,
+    /// Submissions refused because shutdown had begun.
+    pub rejected_at_shutdown: u64,
+    /// Wall-clock from the shutdown call to batcher exit.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for DrainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shutdown({:?}): {} served lifetime, {} aborted, {} rejected at shutdown, drained in {:.2} ms",
+            self.mode,
+            self.completed,
+            self.aborted,
+            self.rejected_at_shutdown,
+            self.wall.as_secs_f64() * 1e3
+        )
+    }
+}

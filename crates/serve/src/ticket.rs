@@ -1,0 +1,166 @@
+//! The handle half of the async API: submit returns a [`Ticket`], the
+//! batcher fulfils it, the client blocks (or polls) on it.
+//!
+//! No async runtime is involved — a ticket is a one-shot slot guarded by
+//! a mutex + condvar, which is all a thread-per-client front-end needs
+//! and keeps the crate dependency-free like the rest of the workspace.
+
+use pcnn_tensor::Tensor;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a request did not produce an output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the request: the bounded queue was at
+    /// capacity. Retry later or shed load upstream.
+    QueueFull,
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request's input shape was rejected at submission.
+    BadInput(String),
+    /// The server shut down in abort mode before running the request.
+    Aborted,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue at capacity (backpressure)"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadInput(why) => write!(f, "bad input: {why}"),
+            ServeError::Aborted => write!(f, "request aborted by shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The shared one-shot slot between a [`Ticket`] and the batcher.
+pub(crate) struct TicketCell {
+    slot: Mutex<Option<Result<Tensor, ServeError>>>,
+    done: Condvar,
+}
+
+impl TicketCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketCell {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Fulfils the ticket (idempotent: first write wins) and wakes the
+    /// waiter.
+    pub(crate) fn complete(&self, result: Result<Tensor, ServeError>) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+/// A claim on one in-flight inference result.
+///
+/// Obtained from `Server::submit`; redeem it with [`Ticket::wait`]
+/// (blocking) or poll with [`Ticket::try_wait`]. Dropping a ticket
+/// abandons the result but never blocks the server — the batcher's
+/// write into the shared cell is unconditional.
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    pub(crate) fn new(cell: Arc<TicketCell>) -> Self {
+        Ticket { cell }
+    }
+
+    /// Blocks until the request completes, returning the output tensor
+    /// or the reason it was not produced.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        let mut slot = self.cell.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cell.done.wait(slot).expect("ticket wait poisoned");
+        }
+    }
+
+    /// Blocks up to `timeout`; `Err(self)` gives the ticket back when
+    /// the deadline passes first, so the caller can keep waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Tensor, ServeError>, Ticket> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.cell.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return Ok(result);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            let (guard, _) = self
+                .cell
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket wait poisoned");
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking poll: `Some` exactly once when the result is ready.
+    pub fn try_wait(&self) -> Option<Result<Tensor, ServeError>> {
+        self.cell.slot.lock().expect("ticket poisoned").take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_blocks_until_completed() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone());
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        cell.complete(Ok(Tensor::ones(&[1, 2])));
+        let out = waiter.join().expect("waiter").expect("ok");
+        assert_eq!(out.shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn try_wait_polls_and_consumes() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone());
+        assert!(ticket.try_wait().is_none());
+        cell.complete(Err(ServeError::Aborted));
+        assert_eq!(ticket.try_wait(), Some(Err(ServeError::Aborted)));
+        assert!(ticket.try_wait().is_none(), "result is taken exactly once");
+    }
+
+    #[test]
+    fn wait_timeout_returns_ticket_on_deadline() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone());
+        let ticket = match ticket.wait_timeout(Duration::from_millis(10)) {
+            Err(t) => t,
+            Ok(_) => panic!("nothing was completed yet"),
+        };
+        cell.complete(Ok(Tensor::zeros(&[1])));
+        assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone());
+        cell.complete(Ok(Tensor::ones(&[1])));
+        cell.complete(Err(ServeError::Aborted));
+        assert!(ticket.wait().is_ok(), "second write must not clobber");
+    }
+}

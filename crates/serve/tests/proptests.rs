@@ -1,0 +1,180 @@
+//! Property tests for the bounded request queue: the three invariants
+//! backpressure and ticketing rest on.
+//!
+//! * **Capacity** — under any interleaving of pushes and pops the live
+//!   count never exceeds capacity, and a push is refused iff the queue
+//!   is at capacity (or closed).
+//! * **FIFO per priority** — popped items of one priority class appear
+//!   in their push order, and High always precedes queued Normal.
+//! * **No lost tickets** — every accepted item is popped exactly once,
+//!   including across close(); rejected items come back to the caller.
+
+use pcnn_serve::queue::{BoundedQueue, Pop, Priority, PushError};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One scripted queue operation: push (with priority and id) or pop.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    PushNormal,
+    PushHigh,
+    PopOne,
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        2 => Just(OpKind::PushNormal),
+        1 => Just(OpKind::PushHigh),
+        2 => Just(OpKind::PopOne),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capacity_never_exceeded_and_full_iff_at_capacity(
+        cap in 1usize..8,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let q: BoundedQueue<u32> = BoundedQueue::new(cap);
+        let mut next_id = 0u32;
+        let mut live = 0usize;
+        for op in ops {
+            match op {
+                OpKind::PushNormal | OpKind::PushHigh => {
+                    let pri = if matches!(op, OpKind::PushHigh) {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    };
+                    match q.try_push(next_id, pri) {
+                        Ok(()) => {
+                            live += 1;
+                            prop_assert!(live <= cap, "accepted past capacity");
+                        }
+                        Err(PushError::Full(item)) => {
+                            prop_assert_eq!(item, next_id, "rejected item must come back");
+                            prop_assert_eq!(live, cap, "refused below capacity");
+                        }
+                        Err(PushError::Closed(_)) => unreachable!("queue never closed here"),
+                    }
+                    next_id += 1;
+                }
+                OpKind::PopOne => {
+                    if q.try_pop().is_some() {
+                        live -= 1;
+                    } else {
+                        prop_assert_eq!(live, 0, "pop missed a queued item");
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), live);
+        }
+    }
+
+    #[test]
+    fn fifo_per_priority_with_high_first(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+    ) {
+        // Large capacity: this property is about ordering, not admission.
+        let q: BoundedQueue<(Priority, u32)> = BoundedQueue::new(1024);
+        let mut next_id = 0u32;
+        let mut last_popped = [None::<u32>; 2]; // per-priority watermark
+        for op in ops {
+            match op {
+                OpKind::PushNormal | OpKind::PushHigh => {
+                    let pri = if matches!(op, OpKind::PushHigh) {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    };
+                    q.try_push((pri, next_id), pri).expect("capacity is ample");
+                    next_id += 1;
+                }
+                OpKind::PopOne => {
+                    if let Some((pri, id)) = q.try_pop() {
+                        let lane = (pri == Priority::Normal) as usize;
+                        if let Some(prev) = last_popped[lane] {
+                            prop_assert!(
+                                id > prev,
+                                "priority {pri:?} popped {id} after {prev}"
+                            );
+                        }
+                        last_popped[lane] = Some(id);
+                    }
+                }
+            }
+        }
+        // Drain the rest: everything High must precede everything Normal.
+        let rest: Vec<(Priority, u32)> = std::iter::from_fn(|| q.try_pop()).collect();
+        let first_normal = rest.iter().position(|(p, _)| *p == Priority::Normal);
+        if let Some(first_n) = first_normal {
+            prop_assert!(
+                rest[first_n..].iter().all(|(p, _)| *p == Priority::Normal),
+                "High item popped after a Normal one in final drain"
+            );
+        }
+    }
+
+    #[test]
+    fn no_ticket_lost_across_concurrent_producers_and_close(
+        cap in 1usize..32,
+        per_producer in 1usize..40,
+    ) {
+        // 3 producers push distinct ids as fast as they can; one consumer
+        // drains; the queue closes midway. Every id must end up exactly
+        // once in (popped ∪ rejected), never dropped, never duplicated.
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(cap));
+        let producers: Vec<_> = (0..3u32)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut rejected = Vec::new();
+                    for i in 0..per_producer as u32 {
+                        let id = p * 10_000 + i;
+                        match q.try_push(id, Priority::Normal) {
+                            Ok(()) => {}
+                            Err(PushError::Full(v)) | Err(PushError::Closed(v)) => {
+                                rejected.push(v)
+                            }
+                        }
+                    }
+                    rejected
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut popped = Vec::new();
+                loop {
+                    match q.pop_wait(None) {
+                        Pop::Item(v) => popped.push(v),
+                        Pop::Closed => break,
+                        Pop::TimedOut => unreachable!("untimed pop"),
+                    }
+                }
+                popped
+            })
+        };
+        let mut rejected: Vec<u32> = Vec::new();
+        for p in producers {
+            rejected.extend(p.join().expect("producer"));
+        }
+        q.close();
+        let popped = consumer.join().expect("consumer");
+
+        let mut all: Vec<u32> = popped.iter().chain(rejected.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(
+            all.len(),
+            3 * per_producer,
+            "ids lost or duplicated: {} popped + {} rejected != {} submitted",
+            popped.len(),
+            rejected.len(),
+            3 * per_producer
+        );
+    }
+}

@@ -54,6 +54,31 @@ pub fn pad_plane_into(plane: &[f32], h: usize, w: usize, pad: usize, buf: &mut [
     }
 }
 
+/// Writes one `h × w` channel plane into a `ph · pw` slice with a
+/// `pad`-wide zero border, **fully overwriting** `buf` in a single pass
+/// — border zeros and interior copies together, with no pre-zeroing
+/// required. This is the batched-serving variant of [`pad_plane_into`]:
+/// a reused scratch buffer holds stale planes from the previous batch,
+/// and overwriting costs one write per element instead of the
+/// zero-everything-then-copy double write.
+///
+/// # Panics
+///
+/// Panics if `plane.len() != h · w` or `buf.len() != ph · pw`.
+pub fn pad_plane_overwrite(plane: &[f32], h: usize, w: usize, pad: usize, buf: &mut [f32]) {
+    assert_eq!(plane.len(), h * w, "plane length mismatch");
+    let (ph, pw) = padded_dims(h, w, pad);
+    assert_eq!(buf.len(), ph * pw, "padded buffer length mismatch");
+    buf[..pad * pw].fill(0.0);
+    for y in 0..h {
+        let row = &mut buf[(y + pad) * pw..(y + pad + 1) * pw];
+        row[..pad].fill(0.0);
+        row[pad..pad + w].copy_from_slice(&plane[y * w..(y + 1) * w]);
+        row[pad + w..].fill(0.0);
+    }
+    buf[(h + pad) * pw..].fill(0.0);
+}
+
 /// Accumulates one output row from `N` weighted taps of a padded plane:
 ///
 /// `out[ox] += Σ_j weights[j] · padded[base + offsets[j] + ox · stride]`
@@ -151,6 +176,148 @@ pub fn accumulate_plane_dyn(
         _ => {
             for (oy, out_row) in out_plane.chunks_mut(ow).enumerate() {
                 accumulate_rows_dyn(out_row, padded, oy * row_stride, offsets, weights, stride);
+            }
+        }
+    }
+}
+
+/// Geometry of one kernel application repeated across a batch of
+/// images, for [`accumulate_plane_batch_dyn`]: image `i`'s output plane
+/// starts at `out_base + i · out_stride` (an `oh × ow` plane) and its
+/// padded input plane at `in_base + i · in_stride` (a `plane_len`-long
+/// padded plane).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPlanes {
+    /// Offset of image 0's output plane.
+    pub out_base: usize,
+    /// Element distance between consecutive images' output planes.
+    pub out_stride: usize,
+    /// Offset of image 0's padded input plane.
+    pub in_base: usize,
+    /// Element distance between consecutive images' padded planes.
+    pub in_stride: usize,
+    /// Length of one padded input plane.
+    pub plane_len: usize,
+    /// Number of images.
+    pub n: usize,
+}
+
+/// Batched variant of [`accumulate_plane_dyn`]: applies **one** kernel
+/// to the same channel slot of every image in a batch with a single
+/// monomorphisation dispatch, tap offsets and weights hoisted into
+/// registers for the whole batch. Deep layers of real networks have
+/// tiny output planes (down to 1×1), where per-plane slicing and
+/// dispatch rival the arithmetic itself; those take a direct-indexed
+/// fast path with the image loop fused inside the monomorphisation —
+/// a large share of what makes batched execution cheaper than
+/// per-image execution.
+#[inline]
+#[allow(clippy::too_many_arguments)] // kernel geometry is irreducible
+pub fn accumulate_plane_batch_dyn(
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[f32],
+    stride: usize,
+) {
+    debug_assert_eq!(offsets.len(), weights.len());
+    /// Rows as compile-time `[f32; OW]` arrays: the tap and pixel loops
+    /// unroll completely and the only bounds checks are one slice
+    /// conversion per row per tap.
+    #[inline]
+    fn tiny_rows<const N: usize, const OW: usize>(
+        out: &mut [f32],
+        padded: &[f32],
+        geo: BatchPlanes,
+        oh: usize,
+        row_stride: usize,
+        offs: &[usize; N],
+        wts: &[f32; N],
+    ) {
+        for i in 0..geo.n {
+            let ob = geo.out_base + i * geo.out_stride;
+            let ib = geo.in_base + i * geo.in_stride;
+            for oy in 0..oh {
+                let rb = ib + oy * row_stride;
+                let orow: &mut [f32; OW] = (&mut out[ob + oy * OW..ob + (oy + 1) * OW])
+                    .try_into()
+                    .expect("row length is OW");
+                let mut acc = [0.0f32; OW];
+                for j in 0..N {
+                    let src: &[f32; OW] = (&padded[rb + offs[j]..rb + offs[j] + OW])
+                        .try_into()
+                        .expect("row length is OW");
+                    for k in 0..OW {
+                        acc[k] += wts[j] * src[k];
+                    }
+                }
+                for k in 0..OW {
+                    orow[k] += acc[k];
+                }
+            }
+        }
+    }
+    macro_rules! arm {
+        ($n:literal) => {{
+            let offs: &[usize; $n] = offsets.try_into().expect("length checked by match");
+            let wts: &[f32; $n] = weights.try_into().expect("length checked by match");
+            if stride == 1 && matches!(ow, 1 | 2 | 4 | 8) {
+                // Const-width fast path: short power-of-two rows as
+                // fixed-size arrays, unrolled taps — on the small planes
+                // of deep layers the plane loop overhead rivals the
+                // arithmetic. Wider rows stay on the slice path, whose
+                // per-tap row zips vectorise well.
+                match ow {
+                    1 => tiny_rows::<$n, 1>(out, padded, geo, oh, row_stride, offs, wts),
+                    2 => tiny_rows::<$n, 2>(out, padded, geo, oh, row_stride, offs, wts),
+                    4 => tiny_rows::<$n, 4>(out, padded, geo, oh, row_stride, offs, wts),
+                    _ => tiny_rows::<$n, 8>(out, padded, geo, oh, row_stride, offs, wts),
+                }
+            } else {
+                for i in 0..geo.n {
+                    let ob = geo.out_base + i * geo.out_stride;
+                    let ib = geo.in_base + i * geo.in_stride;
+                    accumulate_plane::<$n>(
+                        &mut out[ob..ob + oh * ow],
+                        &padded[ib..ib + geo.plane_len],
+                        ow,
+                        row_stride,
+                        offs,
+                        wts,
+                        stride,
+                    );
+                }
+            }
+        }};
+    }
+    match offsets.len() {
+        0 => {}
+        1 => arm!(1),
+        2 => arm!(2),
+        3 => arm!(3),
+        4 => arm!(4),
+        5 => arm!(5),
+        6 => arm!(6),
+        7 => arm!(7),
+        8 => arm!(8),
+        9 => arm!(9),
+        _ => {
+            for i in 0..geo.n {
+                let ob = geo.out_base + i * geo.out_stride;
+                let ib = geo.in_base + i * geo.in_stride;
+                accumulate_plane_dyn(
+                    &mut out[ob..ob + oh * ow],
+                    &padded[ib..ib + geo.plane_len],
+                    ow,
+                    row_stride,
+                    offsets,
+                    weights,
+                    stride,
+                );
             }
         }
     }

@@ -480,6 +480,90 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_with_zero_jobs_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.run_batch(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+        // The pool is unaffected by the empty barrier.
+        assert_eq!(pool.run_batch(vec![|| 5]), vec![5]);
+    }
+
+    #[test]
+    fn run_batch_ordering_under_contention() {
+        // Several external threads share one pool, each running batches
+        // whose jobs finish in scrambled order (uneven spins). Every
+        // caller must still observe its own submission order, with no
+        // cross-talk between concurrent batches.
+        let pool = Arc::new(ThreadPool::new(3));
+        let callers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for round in 0..5u64 {
+                        let jobs: Vec<_> = (0..12u64)
+                            .map(|i| {
+                                move || {
+                                    let spin = ((t + round + i) % 5) * 40_000;
+                                    let mut acc = 0u64;
+                                    for k in 0..spin {
+                                        acc = acc.wrapping_add(std::hint::black_box(k));
+                                    }
+                                    std::hint::black_box(acc);
+                                    (t, i)
+                                }
+                            })
+                            .collect();
+                        let out = pool.run_batch(jobs);
+                        let want: Vec<(u64, u64)> = (0..12).map(|i| (t, i)).collect();
+                        assert_eq!(out, want, "caller {t} round {round}");
+                    }
+                })
+            })
+            .collect();
+        for c in callers {
+            c.join().expect("caller thread");
+        }
+    }
+
+    #[test]
+    fn wait_idle_is_reusable_and_idempotent() {
+        let pool = ThreadPool::new(2);
+        // Idle pool: returns immediately, repeatedly.
+        pool.wait_idle();
+        pool.wait_idle();
+        // Work → idle → more work → idle: the counter must not wedge.
+        let hits = Arc::new(AtomicUsize::new(0));
+        for round in 1..=3usize {
+            for _ in 0..10 {
+                let hits = hits.clone();
+                pool.execute(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(hits.load(Ordering::Relaxed), round * 10);
+        }
+        drop(pool); // joins cleanly after repeated wait_idle cycles
+    }
+
+    #[test]
+    fn concurrent_wait_idle_callers_all_wake() {
+        let pool = Arc::new(ThreadPool::new(2));
+        for _ in 0..50 {
+            pool.execute(|| std::thread::sleep(std::time::Duration::from_micros(100)));
+        }
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || pool.wait_idle())
+            })
+            .collect();
+        for w in waiters {
+            w.join().expect("waiter");
+        }
+    }
+
+    #[test]
     fn pool_nested_submission() {
         let pool = Arc::new(ThreadPool::new(2));
         let count = Arc::new(AtomicUsize::new(0));

@@ -1,0 +1,186 @@
+//! Live traffic against the async serving front-end.
+//!
+//! ```text
+//! cargo run --release --example serve_traffic            # full demo
+//! cargo run --release --example serve_traffic -- --smoke # CI-sized
+//! ```
+//!
+//! 1. Prunes the VGG-16-topology proxy at n = 2 and compiles it through
+//!    the pattern compiler, exactly as `sparse_inference.rs` does.
+//! 2. Drives the `pcnn-serve` front-end with N concurrent closed-loop
+//!    client threads and prints the telemetry report: throughput plus
+//!    p50/p95/p99 of queue wait and end-to-end latency.
+//! 3. Repeats the run with `max_batch = 1` to show what dynamic
+//!    batching buys (the batched configuration must win).
+//! 4. Demonstrates backpressure: a burst at a tiny queue capacity gets
+//!    `QueueFull` rejections instead of unbounded queueing.
+//! 5. Shuts down gracefully and prints the drain report.
+
+use pcnn::core::PrunePlan;
+use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
+use pcnn::runtime::compile::{prune_and_compile, CompileOptions};
+use pcnn::runtime::Engine;
+use pcnn::serve::{ServeConfig, ServeError, Server, ShutdownMode, TelemetrySnapshot};
+use pcnn::tensor::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        shape,
+    )
+}
+
+fn build_engine() -> Engine {
+    let cfg = VggProxyConfig::default();
+    let mut model = vgg16_proxy(&cfg, 3);
+    let plan = PrunePlan::uniform(13, 2, 32);
+    let (graph, report, _) = prune_and_compile(&mut model, &plan, &CompileOptions::default())
+        .expect("proxy lowers cleanly");
+    println!(
+        "engine: pruned VGG-16 proxy, {} sparse + {} dense ops, SPM compression {:.2}x",
+        report.sparse_layers,
+        report.dense_layers,
+        report.compression()
+    );
+    Engine::with_default_threads(graph)
+}
+
+/// Closed-loop run: `clients` threads each submit-and-wait
+/// `requests_per_client` times. Returns (wall, telemetry, dropped).
+fn closed_loop(
+    server: &Arc<Server>,
+    clients: usize,
+    requests_per_client: usize,
+    hw: usize,
+) -> (Duration, TelemetrySnapshot, usize) {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut dropped = 0usize;
+                for i in 0..requests_per_client {
+                    let x = random_tensor(&[1, 3, hw, hw], (c * 10_000 + i) as u64);
+                    match server.submit(x) {
+                        Ok(ticket) => {
+                            ticket.wait().expect("drain never aborts in this demo");
+                        }
+                        Err(ServeError::QueueFull) => dropped += 1,
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+                dropped
+            })
+        })
+        .collect();
+    let dropped: usize = workers.into_iter().map(|w| w.join().expect("client")).sum();
+    (start.elapsed(), server.metrics().snapshot(), dropped)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let hw = VggProxyConfig::default().input_hw;
+    let clients = if smoke { 4 } else { 6 };
+    let per_client = if smoke { 12 } else { 60 };
+
+    // --- 1. Dynamic batching, tuned for the closed-loop client count ----
+    // max_batch of half the clients: with pipelined dispatch one batch
+    // coalesces while another executes, so the engine never idles
+    // waiting for the full client cohort to resubmit.
+    let server = Arc::new(Server::start(
+        build_engine(),
+        ServeConfig {
+            max_batch: (clients / 2).max(4),
+            input_chw: Some([3, hw, hw]),
+            ..ServeConfig::default()
+        },
+    ));
+    println!(
+        "\n[batched] {clients} clients x {per_client} requests, capacity {}, max_batch {}, max_wait {:?}",
+        server.config().queue_capacity,
+        server.config().max_batch,
+        server.config().max_wait,
+    );
+    let (wall, snap, dropped) = closed_loop(&server, clients, per_client, hw);
+    println!("{snap}");
+    let total = clients * per_client;
+    let batched_rps = total as f64 / wall.as_secs_f64();
+    println!("wall-clock throughput: {batched_rps:.1} req/s over {total} requests");
+    assert_eq!(
+        dropped, 0,
+        "default capacity must not shed closed-loop load"
+    );
+    assert_eq!(snap.completed as usize, total, "zero dropped tickets");
+    assert!(
+        snap.mean_batch >= 1.0,
+        "telemetry must report batch occupancy"
+    );
+
+    // --- 2. The same load without batching (max_batch = 1) --------------
+    let single = Arc::new(Server::start(
+        build_engine(),
+        ServeConfig {
+            max_batch: 1,
+            input_chw: Some([3, hw, hw]),
+            ..ServeConfig::default()
+        },
+    ));
+    println!("\n[batch-1] same load, max_batch = 1");
+    let (wall1, snap1, dropped1) = closed_loop(&single, clients, per_client, hw);
+    let single_rps = total as f64 / wall1.as_secs_f64();
+    println!(
+        "wall-clock throughput: {single_rps:.1} req/s (p99 e2e {:.2} ms)",
+        snap1.latency_p99.as_secs_f64() * 1e3
+    );
+    assert_eq!(dropped1, 0);
+    println!(
+        "\ndynamic batching speedup: {:.2}x (mean batch {:.1} images)",
+        batched_rps / single_rps,
+        snap.mean_batch
+    );
+
+    // --- 3. Backpressure: burst into a tiny queue ------------------------
+    let tiny = Server::start(
+        build_engine(),
+        ServeConfig {
+            queue_capacity: 4,
+            max_batch: 4,
+            input_chw: Some([3, hw, hw]),
+            ..ServeConfig::default()
+        },
+    );
+    let burst = 64usize;
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..burst {
+        match tiny.submit(random_tensor(&[1, 3, hw, hw], 999 + i as u64)) {
+            Ok(t) => accepted.push(t),
+            Err(ServeError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    for t in accepted {
+        t.wait().expect("accepted requests complete");
+    }
+    println!(
+        "\n[backpressure] burst of {burst} into capacity 4: {} accepted, {rejected} rejected with QueueFull",
+        burst - rejected
+    );
+    assert!(rejected > 0, "a 64-burst must trip a capacity-4 queue");
+    let tiny_report = tiny.shutdown(ShutdownMode::Drain);
+    println!("{tiny_report}");
+
+    // --- 4. Graceful shutdown -------------------------------------------
+    let report = match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(ShutdownMode::Drain),
+        Err(_) => unreachable!("all clients joined"),
+    };
+    println!("\n{report}");
+    drop(Arc::try_unwrap(single).map(|s| s.shutdown(ShutdownMode::Drain)));
+    println!("serve_traffic: OK");
+}

@@ -17,7 +17,11 @@
 //! * [`runtime`] — the pattern-aware sparse inference engine: compiled
 //!   per-pattern kernels, a layer compiler lowering pruned models to an
 //!   executable graph, and a batched work-stealing executor for serving
-//!   concurrent requests.
+//!   concurrent requests;
+//! * [`serve`] — the async serving front-end over the engine: a bounded
+//!   request queue with backpressure, a dynamic micro-batcher
+//!   (`max_batch`/`max_wait`), ticketed results, latency percentiles,
+//!   and graceful shutdown.
 //!
 //! ## Quickstart
 //!
@@ -41,4 +45,5 @@ pub use pcnn_accel as accel;
 pub use pcnn_core as core;
 pub use pcnn_nn as nn;
 pub use pcnn_runtime as runtime;
+pub use pcnn_serve as serve;
 pub use pcnn_tensor as tensor;

@@ -1,0 +1,150 @@
+//! End-to-end integration of the serving stack: pruned model → pattern
+//! compiler → engine → `pcnn-serve` front-end, driven by real
+//! concurrent clients.
+
+use pcnn::core::PrunePlan;
+use pcnn::nn::models::{self, vgg16_proxy, VggProxyConfig};
+use pcnn::runtime::compile::{compile_dense, prune_and_compile, CompileOptions};
+use pcnn::runtime::Engine;
+use pcnn::serve::{Priority, ServeConfig, ServeError, Server, ShutdownMode};
+use pcnn::tensor::Tensor;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        shape,
+    )
+}
+
+/// Four concurrent clients against a pruned VGG-16 proxy: every ticket
+/// resolves, and every output matches the engine's direct answer for
+/// the same input.
+#[test]
+fn concurrent_clients_get_correct_outputs() {
+    let cfg = VggProxyConfig::default();
+    let mut model = vgg16_proxy(&cfg, 11);
+    let plan = PrunePlan::uniform(13, 2, 32);
+    let (graph, _, _) =
+        prune_and_compile(&mut model, &plan, &CompileOptions::default()).expect("proxy lowers");
+    let server = Arc::new(Server::start(
+        Engine::with_default_threads(graph),
+        ServeConfig {
+            max_batch: 4,
+            input_chw: Some([3, cfg.input_hw, cfg.input_hw]),
+            ..ServeConfig::default()
+        },
+    ));
+
+    let clients: Vec<_> = (0..4u64)
+        .map(|c| {
+            let server = server.clone();
+            let hw = cfg.input_hw;
+            std::thread::spawn(move || {
+                for i in 0..8u64 {
+                    let x = random_tensor(&[1, 3, hw, hw], c * 1000 + i);
+                    let want = server.engine().infer(&x);
+                    let got = server.submit(x).expect("admitted").wait().expect("served");
+                    assert_eq!(got.shape(), want.shape());
+                    pcnn::tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-5);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.completed, 32, "zero dropped tickets");
+    assert_eq!(snap.rejected, 0);
+    assert!(snap.latency_p99 >= snap.latency_p50);
+    assert!(snap.throughput_rps > 0.0);
+
+    let report = Arc::try_unwrap(server)
+        .unwrap_or_else(|_| panic!("clients joined"))
+        .shutdown(ShutdownMode::Drain);
+    assert_eq!(report.completed, 32);
+    assert_eq!(report.aborted, 0);
+}
+
+/// Backpressure end-to-end: a burst into a slow engine with a tiny
+/// queue must shed load with `QueueFull`, and every accepted ticket
+/// still resolves.
+#[test]
+fn burst_trips_admission_control() {
+    // The VGG proxy is slow enough (hundreds of µs per request) that a
+    // tight submission loop outruns it by orders of magnitude.
+    let cfg = VggProxyConfig::default();
+    let mut model = vgg16_proxy(&cfg, 13);
+    let plan = PrunePlan::uniform(13, 2, 32);
+    let (graph, _, _) =
+        prune_and_compile(&mut model, &plan, &CompileOptions::default()).expect("proxy lowers");
+    let server = Server::start(
+        Engine::with_default_threads(graph),
+        ServeConfig {
+            queue_capacity: 2,
+            max_batch: 2,
+            max_wait: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..200 {
+        match server.submit(random_tensor(
+            &[1, 3, cfg.input_hw, cfg.input_hw],
+            400 + i as u64,
+        )) {
+            Ok(t) => accepted.push(t),
+            Err(ServeError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "capacity 2 must shed a 200-burst");
+    let accepted_count = accepted.len();
+    for t in accepted {
+        t.wait().expect("accepted requests complete");
+    }
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.completed as usize, accepted_count);
+    assert_eq!(snap.rejected as usize, rejected);
+}
+
+/// Priorities, shutdown accounting, and post-shutdown rejection on a
+/// small dense model.
+#[test]
+fn lifecycle_priorities_and_shutdown_accounting() {
+    let engine = Engine::new(compile_dense(&models::tiny_cnn(4, 4, 17)), 2);
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..10)
+        .map(|i| {
+            let pri = if i % 3 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            server
+                .submit_with_priority(random_tensor(&[1, 3, 8, 8], 600 + i), pri)
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("served");
+    }
+    let report = server.shutdown(ShutdownMode::Drain);
+    assert_eq!(report.completed, 10);
+    assert_eq!(report.aborted, 0);
+    assert_eq!(report.rejected_at_shutdown, 0);
+}
