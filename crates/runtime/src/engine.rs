@@ -84,6 +84,36 @@ impl Engine {
         }
     }
 
+    /// Builds an engine around an already-shared compiled graph — the
+    /// constructor shard builders use, so `n` shards hold one graph, not
+    /// `n` copies of its weights and offset tables.
+    pub fn from_shared(graph: Arc<ExecutableGraph>, threads: usize) -> Self {
+        Engine {
+            graph,
+            pool: ThreadPool::new(threads),
+        }
+    }
+
+    /// Splits this engine into `n` independent shards over the **same**
+    /// compiled graph, partitioning the existing worker budget: each
+    /// shard gets `threads() / n` workers (remainder spread from shard
+    /// 0, minimum 1 per shard), and this engine's pool is torn down in
+    /// exchange. Shards share weights through the `Arc` but own their
+    /// worker pools, so a sharded server's dispatchers never contend on
+    /// one pool's injector.
+    pub fn into_shards(self, n: usize) -> Vec<Engine> {
+        let n = n.max(1);
+        let total = self.threads();
+        let Engine { graph, pool } = self;
+        drop(pool); // join the old workers before spawning shard pools
+        (0..n)
+            .map(|i| {
+                let threads = (total / n + usize::from(i < total % n)).max(1);
+                Engine::from_shared(graph.clone(), threads)
+            })
+            .collect()
+    }
+
     /// The compiled graph.
     pub fn graph(&self) -> &ExecutableGraph {
         &self.graph
@@ -230,20 +260,39 @@ impl Engine {
     /// back to coalescing the next one, so queue management overlaps
     /// execution. `buffers` may be empty or hold recycled stacking
     /// buffers from earlier completions (any count; missing ones are
-    /// allocated). If a chunk pass panics, `on_done` receives an empty
-    /// output vector — the caller decides how to fail the requests.
+    /// allocated).
+    ///
+    /// Failure is attributed **per chunk**: chunk boundaries are
+    /// deterministic (`threads().min(n)` chunks of `n.div_ceil(chunks)`
+    /// requests in submission order), so when one chunk's graph pass
+    /// panics, exactly that chunk's requests come back as `None` while
+    /// every other request keeps its output — and the failed chunk's
+    /// stacking buffer is still reclaimed, so the caller's buffer pool
+    /// never shrinks.
     ///
     /// # Panics
     ///
     /// Panics if any input is not `1 × C × H × W` or shapes differ
     /// across requests.
-    pub fn infer_coalesced_async<F>(
+    pub fn infer_coalesced_async<F>(&self, inputs: Vec<Tensor>, buffers: Vec<Vec<f32>>, on_done: F)
+    where
+        F: FnOnce(Vec<Option<Tensor>>, Vec<Vec<f32>>) + Send + 'static,
+    {
+        self.coalesced_async_with(inputs, buffers, |graph, x| graph.run(x), on_done)
+    }
+
+    /// [`Engine::infer_coalesced_async`] with the chunk pass injected —
+    /// the seam that lets tests drive the completion machinery with a
+    /// deterministically panicking pass.
+    fn coalesced_async_with<R, F>(
         &self,
         inputs: Vec<Tensor>,
         mut buffers: Vec<Vec<f32>>,
+        run_chunk: R,
         on_done: F,
     ) where
-        F: FnOnce(Vec<Tensor>, Vec<Vec<f32>>) + Send + 'static,
+        R: Fn(&ExecutableGraph, &Tensor) -> Tensor + Clone + Send + 'static,
+        F: FnOnce(Vec<Option<Tensor>>, Vec<Vec<f32>>) + Send + 'static,
     {
         let n = inputs.len();
         if n == 0 {
@@ -253,19 +302,22 @@ impl Engine {
         let stacked = self.stack_requests(inputs, &mut buffers);
 
         struct Pending {
-            /// Per-chunk `(batched_output, reclaimed_stack_buffer)`.
-            slots: Vec<Option<(Tensor, Vec<f32>)>>,
+            /// Per-chunk `(batched_output_or_failure, reclaimed_stack_buffer)`.
+            #[allow(clippy::type_complexity)]
+            slots: Vec<Option<(Option<Tensor>, Vec<f32>)>>,
+            /// Requests in each chunk, for expanding a failed chunk into
+            /// per-request `None`s.
+            rows: Vec<usize>,
             remaining: usize,
-            failed: bool,
             spare_buffers: Vec<Vec<f32>>,
             #[allow(clippy::type_complexity)]
-            on_done: Option<Box<dyn FnOnce(Vec<Tensor>, Vec<Vec<f32>>) + Send>>,
+            on_done: Option<Box<dyn FnOnce(Vec<Option<Tensor>>, Vec<Vec<f32>>) + Send>>,
         }
         let total = stacked.len();
         let pending = Arc::new(std::sync::Mutex::new(Pending {
             slots: (0..total).map(|_| None).collect(),
+            rows: stacked.iter().map(|x| x.shape()[0]).collect(),
             remaining: total,
-            failed: false,
             spare_buffers: buffers,
             on_done: Some(Box::new(on_done)),
         }));
@@ -273,30 +325,35 @@ impl Engine {
         for (c, x) in stacked.into_iter().enumerate() {
             let graph = self.graph.clone();
             let pending = pending.clone();
+            let run_chunk = run_chunk.clone();
             self.pool.execute(move || {
                 // Contain a model panic so the completion callback always
-                // fires; the caller sees the empty-output failure mode.
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| graph.run(&x)));
+                // fires; only this chunk's requests fail, and the chunk's
+                // stacking buffer survives for reuse either way.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_chunk(&graph, &x)
+                }));
                 let mut p = pending.lock().expect("pending poisoned");
-                match result {
-                    Ok(y) => p.slots[c] = Some((y, x.into_vec())),
-                    Err(_) => p.failed = true,
-                }
+                p.slots[c] = Some((result.ok(), x.into_vec()));
                 p.remaining -= 1;
                 if p.remaining > 0 {
                     return;
                 }
                 let slots = std::mem::take(&mut p.slots);
+                let rows = std::mem::take(&mut p.rows);
                 let mut buffers = std::mem::take(&mut p.spare_buffers);
-                let failed = p.failed;
                 let cb = p.on_done.take().expect("completion fires once");
                 drop(p);
                 let mut outputs = Vec::new();
-                for slot in slots {
-                    let Some((y, buf)) = slot else { continue };
-                    if !failed {
-                        split_rows(&y, &mut outputs);
+                for (slot, rows) in slots.into_iter().zip(rows) {
+                    let (y, buf) = slot.expect("every chunk reports");
+                    match y {
+                        Some(y) => {
+                            let mut split = Vec::with_capacity(rows);
+                            split_rows(&y, &mut split);
+                            outputs.extend(split.into_iter().map(Some));
+                        }
+                        None => outputs.extend(std::iter::repeat_with(|| None).take(rows)),
                     }
                     buffers.push(buf);
                 }
@@ -467,6 +524,91 @@ mod tests {
                 pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn coalesced_async_matches_sync_and_returns_buffers() {
+        let model = models::tiny_cnn(3, 4, 8);
+        let engine = Engine::new(compile_dense(&model), 2);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| random_input(&[1, 3, 8, 8], 70 + i))
+            .collect();
+        let want: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x)).collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        engine.infer_coalesced_async(inputs, Vec::new(), move |outputs, buffers| {
+            tx.send((outputs, buffers)).expect("receiver alive");
+        });
+        let (outputs, buffers) = rx.recv().expect("completion fires");
+        assert_eq!(outputs.len(), 5);
+        assert_eq!(buffers.len(), 2, "both chunk buffers recycle");
+        for (a, b) in want.iter().zip(&outputs) {
+            let b = b.as_ref().expect("chunk pass succeeded");
+            pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-5);
+        }
+    }
+
+    /// A panicking chunk fails exactly its own requests: with 5 requests
+    /// over 2 workers the chunks are [0..3) and [3..5), so a pass that
+    /// dies on the 2-row chunk must return real outputs for requests
+    /// 0–2, `None` for 3–4, and still hand back **both** stacking
+    /// buffers. The pre-fix code emptied the whole batch and leaked the
+    /// failed chunk's buffer.
+    #[test]
+    fn coalesced_async_panicking_chunk_fails_only_its_requests() {
+        let model = models::tiny_cnn(3, 4, 8);
+        let engine = Engine::new(compile_dense(&model), 2);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| random_input(&[1, 3, 8, 8], 80 + i))
+            .collect();
+        let want: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x)).collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        engine.coalesced_async_with(
+            inputs,
+            vec![Vec::new()], // one recycled buffer seeds the pool
+            |graph, x| {
+                assert!(x.shape()[0] != 2, "chunk of 2 dies mid-pass");
+                graph.run(x)
+            },
+            move |outputs, buffers| {
+                tx.send((outputs, buffers)).expect("receiver alive");
+            },
+        );
+        let (outputs, buffers) = rx.recv().expect("completion fires despite the panic");
+        assert_eq!(outputs.len(), 5, "every request is attributed");
+        for (i, out) in outputs.iter().enumerate() {
+            if i < 3 {
+                let y = out.as_ref().expect("surviving chunk keeps its outputs");
+                pcnn_tensor::assert_slices_close(y.as_slice(), want[i].as_slice(), 1e-5);
+            } else {
+                assert!(out.is_none(), "request {i} belonged to the failed chunk");
+            }
+        }
+        assert_eq!(
+            buffers.len(),
+            2,
+            "the failed chunk's stacking buffer must be reclaimed too"
+        );
+    }
+
+    #[test]
+    fn into_shards_partitions_workers_and_preserves_outputs() {
+        let model = models::tiny_cnn(4, 4, 5);
+        let engine = Engine::new(compile_dense(&model), 5);
+        let x = random_input(&[1, 3, 8, 8], 123);
+        let want = engine.infer(&x);
+        let shards = engine.into_shards(3);
+        assert_eq!(shards.len(), 3);
+        // 5 workers over 3 shards: 2 + 2 + 1, nothing lost, each >= 1.
+        let threads: Vec<usize> = shards.iter().map(Engine::threads).collect();
+        assert_eq!(threads.iter().sum::<usize>(), 5);
+        assert_eq!(threads, vec![2, 2, 1]);
+        for shard in &shards {
+            let got = shard.infer(&x);
+            pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 0.0);
+        }
+        // More shards than workers still yields one worker per shard.
+        let shards = shards.into_iter().next().expect("shard 0").into_shards(4);
+        assert!(shards.iter().all(|s| s.threads() == 1));
     }
 
     #[test]

@@ -1,20 +1,32 @@
-//! The dynamic micro-batcher: the single consumer of the request queue
-//! and the only dispatcher into the engine.
+//! The dynamic micro-batcher: one consumer of the shared request queue
+//! and one dispatcher into its engine shard.
+//!
+//! A server runs `shards` batcher threads, all popping the **same**
+//! [`BoundedQueue`] — admission control, priorities, and backpressure
+//! are queue properties and stay identical at any shard count — and
+//! each dispatching into its own `Engine` shard with its own in-flight
+//! cap, buffer pool, and [`ShardMetrics`].
 //!
 //! The coalescing rule is the classic serving trade-off dial: after the
 //! first request of a batch arrives, the batcher keeps popping until it
-//! holds `max_batch` requests **or** `max_wait` has elapsed, whichever
-//! comes first. `max_wait == 0` degenerates to batch-as-available
-//! (never waits, still coalesces whatever is already queued);
-//! `max_batch == 1` degenerates to per-request dispatch — the baseline
-//! the serving bench compares against.
+//! holds `max_batch` requests **or** the first request's coalescing
+//! budget (`max_wait` from its **admission**, not from the moment the
+//! batcher got around to it) runs out, whichever comes first. Anchoring
+//! the deadline at admission is what makes `max_wait` a real bound on
+//! added latency: when the engine is saturated, the batcher blocks in
+//! [`InFlight::acquire`] first, and a request that already burned its
+//! budget waiting there dispatches with whatever is queued instead of
+//! waiting `max_wait` again. `max_wait == 0` degenerates to
+//! batch-as-available (never waits, still coalesces whatever is already
+//! queued); `max_batch == 1` degenerates to per-request dispatch — the
+//! baseline the serving bench compares against.
 //!
 //! Dispatch is **pipelined**: a coalesced batch is handed to the
 //! engine's worker pool via `Engine::infer_coalesced_async` and the
 //! batcher immediately goes back to coalescing, so queue management
 //! overlaps execution. At most `engine.threads() + 1` batches are in
-//! flight at once — past that the batcher blocks, the queue fills, and
-//! admission control sheds load, which is exactly the backpressure
+//! flight per shard — past that the batcher blocks, the queue fills,
+//! and admission control sheds load, which is exactly the backpressure
 //! chain the front-end promises. Stacking buffers recycle through the
 //! completion callbacks, so steady-state dispatch performs no stacking
 //! allocations.
@@ -23,7 +35,7 @@
 //! a request whose shape differs from the batch being built closes that
 //! batch and opens the next one (no reordering, no starvation).
 
-use crate::metrics::ServerMetrics;
+use crate::metrics::ShardMetrics;
 use crate::queue::{BoundedQueue, Pop};
 use crate::ticket::{ServeError, TicketCell};
 use pcnn_runtime::engine::Engine;
@@ -38,15 +50,19 @@ pub(crate) struct Request {
     pub input: Tensor,
     /// Where the result goes.
     pub cell: Arc<TicketCell>,
-    /// Admission timestamp, for queue-wait and e2e latency.
+    /// Admission timestamp, for queue-wait and e2e latency — and the
+    /// anchor of the coalescing deadline.
     pub submitted: Instant,
 }
 
-/// Everything the batcher thread needs, bundled for the spawn.
+/// Everything one batcher thread needs, bundled for the spawn.
 pub(crate) struct BatcherContext {
+    /// This batcher's engine shard.
     pub engine: Arc<Engine>,
+    /// The queue shared by every shard's batcher.
     pub queue: Arc<BoundedQueue<Request>>,
-    pub metrics: Arc<ServerMetrics>,
+    /// This shard's metrics.
+    pub shard: Arc<ShardMetrics>,
     /// When set, drain-by-failing: remaining requests get
     /// [`ServeError::Aborted`] instead of an inference pass.
     pub abort: Arc<AtomicBool>,
@@ -86,8 +102,8 @@ impl InFlight {
 /// The batcher thread body: coalesce → dispatch until the queue closes
 /// and drains, then wait for in-flight batches to land.
 pub(crate) fn run_batcher(ctx: BatcherContext) {
-    // One more batch in flight than engine workers: every worker busy
-    // plus one batch coalesced and ready.
+    // One more batch in flight than this shard's workers: every worker
+    // busy plus one batch coalesced and ready.
     let max_inflight = ctx.engine.threads() + 1;
     let inflight = Arc::new(InFlight {
         count: Mutex::new(0),
@@ -112,27 +128,47 @@ pub(crate) fn run_batcher(ctx: BatcherContext) {
         // engine means tiny batches and minimal latency, saturated
         // engine means full batches and maximal amortisation.
         inflight.acquire(max_inflight);
-        let mut batch = vec![first];
-        let deadline = Instant::now() + ctx.max_wait;
-        while batch.len() < ctx.max_batch && carried.is_none() {
-            let now = Instant::now();
-            if now >= deadline {
-                // Deadline passed: take only what is already queued.
-                match ctx.queue.try_pop() {
-                    Some(r) => accept(&mut batch, &mut carried, r),
-                    None => break,
-                }
-            } else {
-                match ctx.queue.pop_wait(Some(deadline - now)) {
-                    Pop::Item(r) => accept(&mut batch, &mut carried, r),
-                    Pop::TimedOut => break,
-                    Pop::Closed => break,
-                }
-            }
-        }
+        let batch = coalesce(&ctx.queue, first, &mut carried, ctx.max_batch, ctx.max_wait);
         dispatch(&ctx, batch, &inflight, &buffer_pool);
     }
     inflight.wait_zero();
+}
+
+/// Builds one batch around `first`: pops shape-compatible requests until
+/// `max_batch` or the coalescing deadline, whichever comes first.
+///
+/// The deadline anchors at the **first request's admission** (clamped to
+/// now, in case clocks ever hand us an admission instant ahead of this
+/// thread's view), so time the request already spent queued or blocked
+/// behind the in-flight cap counts against its coalescing budget —
+/// `max_wait` bounds *added* wait, not wait-after-the-batcher-was-ready.
+fn coalesce(
+    queue: &BoundedQueue<Request>,
+    first: Request,
+    carried: &mut Option<Request>,
+    max_batch: usize,
+    max_wait: Duration,
+) -> Vec<Request> {
+    let anchor = first.submitted.min(Instant::now());
+    let deadline = anchor + max_wait;
+    let mut batch = vec![first];
+    while batch.len() < max_batch && carried.is_none() {
+        let now = Instant::now();
+        if now >= deadline {
+            // Deadline passed: take only what is already queued.
+            match queue.try_pop() {
+                Some(r) => accept(&mut batch, carried, r),
+                None => break,
+            }
+        } else {
+            match queue.pop_wait(Some(deadline - now)) {
+                Pop::Item(r) => accept(&mut batch, carried, r),
+                Pop::TimedOut => break,
+                Pop::Closed => break,
+            }
+        }
+    }
+    batch
 }
 
 /// Adds `r` to the batch when shape-compatible, else carries it over as
@@ -156,7 +192,7 @@ fn dispatch(
 ) {
     if ctx.abort.load(Ordering::SeqCst) {
         for r in batch {
-            ctx.metrics.aborted.inc();
+            ctx.shard.aborted.inc();
             r.cell.complete(Err(ServeError::Aborted));
         }
         inflight.release();
@@ -166,36 +202,150 @@ fn dispatch(
     let mut inputs = Vec::with_capacity(batch.len());
     let mut meta = Vec::with_capacity(batch.len());
     for r in batch {
-        ctx.metrics.queue_wait.record(dispatch_at - r.submitted);
+        ctx.shard.queue_wait.record(dispatch_at - r.submitted);
         inputs.push(r.input);
         meta.push((r.cell, r.submitted));
     }
-    ctx.metrics.batches.inc();
-    ctx.metrics.batched_images.add(meta.len() as u64);
+    ctx.shard.batches.inc();
+    ctx.shard.batched_images.add(meta.len() as u64);
 
     let buffers = std::mem::take(&mut *buffer_pool.lock().expect("buffer pool poisoned"));
-    let metrics = ctx.metrics.clone();
+    let shard = ctx.shard.clone();
     let inflight = inflight.clone();
     let buffer_pool = buffer_pool.clone();
     ctx.engine
         .infer_coalesced_async(inputs, buffers, move |outputs, spare| {
             let done_at = Instant::now();
-            metrics.service.record(done_at - dispatch_at);
-            if outputs.len() == meta.len() {
-                for ((cell, submitted), y) in meta.into_iter().zip(outputs) {
-                    metrics.latency.record(done_at - submitted);
-                    metrics.completed.inc();
-                    cell.complete(Ok(y));
-                }
-            } else {
-                // A chunk pass failed inside the engine: no output can
-                // be attributed, so every ticket of the batch fails.
-                for (cell, _) in meta {
-                    metrics.aborted.inc();
-                    cell.complete(Err(ServeError::Aborted));
+            shard.service.record(done_at - dispatch_at);
+            debug_assert_eq!(outputs.len(), meta.len(), "one output slot per request");
+            let mut outputs = outputs.into_iter();
+            for (cell, submitted) in meta {
+                // `next()` yields `None` past the end, so a short output
+                // vector (an engine attribution bug, impossible today)
+                // fails the surplus tickets instead of silently dropping
+                // them and hanging their waiters forever.
+                match outputs.next().flatten() {
+                    Some(y) => {
+                        shard.latency.record(done_at - submitted);
+                        shard.completed.inc();
+                        cell.complete(Ok(y));
+                    }
+                    // This request's chunk pass panicked (or the engine
+                    // failed to attribute an output to it); the rest of
+                    // the batch keeps its outputs.
+                    None => {
+                        shard.failed.inc();
+                        cell.complete(Err(ServeError::EngineFault));
+                    }
                 }
             }
             *buffer_pool.lock().expect("buffer pool poisoned") = spare;
             inflight.release();
         });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Priority;
+
+    fn request(shape: &[usize], submitted: Instant) -> Request {
+        Request {
+            input: Tensor::ones(shape),
+            cell: TicketCell::new(),
+            submitted,
+        }
+    }
+
+    /// The coalescing budget anchors at admission: a first request that
+    /// already waited longer than `max_wait` (queued behind the
+    /// in-flight cap) must dispatch with what is queued *right now*,
+    /// not hold the batch open another `max_wait`. The pre-fix code
+    /// anchored at `Instant::now()` after `acquire` returned, so this
+    /// call blocked the full 200 ms.
+    #[test]
+    fn stale_first_request_dispatches_without_new_wait() {
+        let queue: BoundedQueue<Request> = BoundedQueue::new(16);
+        let max_wait = Duration::from_millis(200);
+        for _ in 0..2 {
+            assert!(queue
+                .try_push(request(&[1, 3, 8, 8], Instant::now()), Priority::Normal)
+                .is_ok());
+        }
+        // The first request was admitted well over max_wait ago.
+        let first = request(&[1, 3, 8, 8], Instant::now() - 2 * max_wait);
+        let mut carried = None;
+        let t0 = Instant::now();
+        let batch = coalesce(&queue, first, &mut carried, 8, max_wait);
+        assert_eq!(batch.len(), 3, "queued requests still coalesce");
+        assert!(carried.is_none());
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "expired budget must not buy a fresh {max_wait:?} wait (took {:?})",
+            t0.elapsed()
+        );
+    }
+
+    /// A fresh first request still gets its full coalescing window.
+    #[test]
+    fn fresh_first_request_waits_out_its_budget() {
+        let queue: BoundedQueue<Request> = BoundedQueue::new(16);
+        let max_wait = Duration::from_millis(30);
+        let first = request(&[1, 3, 8, 8], Instant::now());
+        let mut carried = None;
+        let t0 = Instant::now();
+        let batch = coalesce(&queue, first, &mut carried, 8, max_wait);
+        assert_eq!(batch.len(), 1);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "an empty queue holds the batch open until the deadline"
+        );
+    }
+
+    /// `max_batch` still closes a batch before the deadline, and a
+    /// shape change carries over to seed the next batch even when the
+    /// first request's budget is spent.
+    #[test]
+    fn expired_budget_still_respects_max_batch_and_shape_splits() {
+        let queue: BoundedQueue<Request> = BoundedQueue::new(16);
+        let stale = Instant::now() - Duration::from_secs(1);
+        for _ in 0..3 {
+            assert!(queue
+                .try_push(request(&[1, 3, 8, 8], Instant::now()), Priority::Normal)
+                .is_ok());
+        }
+        assert!(queue
+            .try_push(request(&[1, 3, 10, 10], Instant::now()), Priority::Normal)
+            .is_ok());
+        let mut carried = None;
+        let batch = coalesce(
+            &queue,
+            request(&[1, 3, 8, 8], stale),
+            &mut carried,
+            3,
+            Duration::from_millis(50),
+        );
+        assert_eq!(batch.len(), 3, "max_batch caps the greedy drain");
+        assert!(carried.is_none(), "cap hit before the shape change");
+        let batch = coalesce(
+            &queue,
+            queue.try_pop().expect("one 8x8 left"),
+            &mut carried,
+            8,
+            Duration::ZERO,
+        );
+        assert_eq!(batch.len(), 1);
+        assert!(
+            carried.is_some(),
+            "the 10x10 request seeds the next batch instead of joining"
+        );
+        let batch = coalesce(
+            &queue,
+            carried.take().expect("carried seed"),
+            &mut carried,
+            8,
+            Duration::ZERO,
+        );
+        assert_eq!(batch[0].input.shape(), &[1, 3, 10, 10]);
+    }
 }

@@ -8,31 +8,39 @@
 //! requests that happen to arrive together. This crate is that layer:
 //!
 //! ```text
-//!  clients ── submit() ──► BoundedQueue ──► micro-batcher ──► Engine
-//!     ▲                    (capacity,       (max_batch,       (coalesced
-//!     │                     backpressure)    max_wait)         batch pass)
+//!                                      ┌─► batcher 0 ──► Engine shard 0
+//!  clients ── submit() ──► BoundedQueue┼─► batcher 1 ──► Engine shard 1
+//!     ▲                    (capacity,  └─► batcher N ──► Engine shard N
+//!     │                     backpressure)   (max_batch,    (coalesced
+//!     │                                      max_wait)      batch pass)
 //!     └────────── Ticket::wait() ◄── fulfil ◄──┘
 //! ```
 //!
 //! * **Admission control** ([`queue`]): a bounded two-priority MPMC
 //!   queue. A full queue rejects at submission ([`ServeError::QueueFull`])
 //!   — latency stays bounded because the backlog is.
+//! * **Sharded dispatch** ([`ServeConfig::shards`]): the engine's worker
+//!   budget partitions into independent engine shards (one compiled
+//!   graph, separate worker pools), each drained by its own batcher
+//!   thread popping the **same** queue — admission, priorities, and
+//!   backpressure are unchanged while dispatch parallelism multiplies.
 //! * **Dynamic micro-batching** ([`batcher`]): requests queued within a
-//!   `max_wait` window coalesce, up to `max_batch`, into one stacked
-//!   engine pass, which amortises padded-plane construction, offset
-//!   tables, and per-op dispatch across the batch
-//!   ([`pcnn_runtime::PatternConv::forward_batch`]).
+//!   `max_wait` window of the batch's first admission coalesce, up to
+//!   `max_batch`, into one stacked engine pass, which amortises
+//!   padded-plane construction, offset tables, and per-op dispatch
+//!   across the batch ([`pcnn_runtime::PatternConv::forward_batch`]).
 //! * **Handle-based async API** ([`ticket`]): [`Server::submit`] returns
 //!   a [`Ticket`] immediately; redeem with [`Ticket::wait`],
 //!   [`Ticket::try_wait`], or [`Ticket::wait_timeout`]. Threads and
 //!   condvars only — no async runtime, consistent with the
 //!   dependency-free workspace.
 //! * **Latency telemetry** ([`metrics`]): lock-free counters and
-//!   log-bucketed histograms giving p50/p95/p99 of queue wait and
-//!   end-to-end latency plus throughput — absorbing the engine's bulk
-//!   `ServeStats` view.
+//!   log-bucketed histograms, kept per shard and merged on read
+//!   ([`metrics::LogHistogram::merge_from`]), giving p50/p95/p99 of
+//!   queue wait and end-to-end latency plus throughput — absorbing the
+//!   engine's bulk `ServeStats` view.
 //! * **Graceful shutdown** ([`shutdown`]): close admissions, drain the
-//!   queue (or abort it), join the batcher, report.
+//!   queue (or abort it), join every batcher, report.
 //!
 //! ## Quickstart
 //!
@@ -59,7 +67,7 @@ pub mod queue;
 pub mod shutdown;
 pub mod ticket;
 
-pub use metrics::{ServerMetrics, TelemetrySnapshot};
+pub use metrics::{ServerMetrics, ShardSnapshot, TelemetrySnapshot};
 pub use queue::Priority;
 pub use shutdown::{DrainReport, ShutdownMode};
 pub use ticket::{ServeError, Ticket};
@@ -80,82 +88,136 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Most requests coalesced into one engine pass.
     pub max_batch: usize,
-    /// Longest the batcher waits for a batch to fill after its first
-    /// request arrives. Zero means "dispatch whatever is queued".
+    /// Longest a request's batch is held open for coalescing, measured
+    /// from that request's **admission**. Zero means "dispatch whatever
+    /// is queued".
     pub max_wait: Duration,
     /// When set, `submit` rejects inputs whose `C × H × W` differs
     /// (admission-time shape checking). When `None`, any single-image
-    /// NCHW input is admitted and the batcher splits batches on shape
+    /// NCHW input is admitted and the batchers split batches on shape
     /// changes.
     pub input_chw: Option<[usize; 3]>,
+    /// Engine shards. The engine's worker budget is partitioned into
+    /// this many independent engines (shared compiled graph, separate
+    /// worker pools), each driven by its own batcher thread popping the
+    /// same queue. `1` (default) reproduces the single-dispatcher
+    /// topology; `0` means auto — one shard per available core, capped
+    /// at the engine's worker count so the budget truly partitions. An
+    /// **explicit** count is honoured even past the engine's workers:
+    /// every shard owns at least one worker, so `shards > threads`
+    /// deliberately grows the total thread count (oversubscription —
+    /// useful for I/O-heavy callbacks, a tail-latency hazard otherwise).
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
     /// Capacity 256, batches of up to 8, 2 ms coalescing window, no
-    /// shape pinning.
+    /// shape pinning, one shard.
     fn default() -> Self {
         ServeConfig {
             queue_capacity: 256,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             input_chw: None,
+            shards: 1,
         }
     }
 }
 
-/// The serving front-end: owns the engine, the bounded queue, and the
-/// batcher thread.
+/// Resolves `config.shards` against the engine: `0` (auto) becomes one
+/// shard per available core, capped at the engine's worker count so a
+/// shard never owns zero of the original budget.
+fn resolve_shards(requested: usize, engine_threads: usize) -> usize {
+    match requested {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(engine_threads)
+            .max(1),
+        n => n,
+    }
+}
+
+/// The serving front-end: owns the engine shards, the bounded queue,
+/// and one batcher thread per shard.
 ///
 /// `Server` is `Sync` — clients on any number of threads call
 /// [`Server::submit`] concurrently. Dropping the server performs a
 /// drain shutdown.
 pub struct Server {
-    engine: Arc<Engine>,
+    engines: Vec<Arc<Engine>>,
     queue: Arc<BoundedQueue<Request>>,
     metrics: Arc<ServerMetrics>,
     abort: Arc<AtomicBool>,
-    batcher: Option<std::thread::JoinHandle<()>>,
+    batchers: Vec<std::thread::JoinHandle<()>>,
     config: ServeConfig,
 }
 
 impl Server {
-    /// Compiles the front-end around `engine` and spawns the batcher
-    /// thread.
+    /// Compiles the front-end around `engine` — partitioning it into
+    /// `config.shards` engine shards when sharding is requested — and
+    /// spawns one batcher thread per shard, all consuming the same
+    /// queue.
     ///
     /// # Panics
     ///
     /// Panics if `config.max_batch == 0`.
     pub fn start(engine: Engine, config: ServeConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be at least 1");
-        let engine = Arc::new(engine);
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let metrics = Arc::new(ServerMetrics::new());
-        let abort = Arc::new(AtomicBool::new(false));
-        let ctx = BatcherContext {
-            engine: engine.clone(),
-            queue: queue.clone(),
-            metrics: metrics.clone(),
-            abort: abort.clone(),
-            max_batch: config.max_batch,
-            max_wait: config.max_wait,
+        let shards = resolve_shards(config.shards, engine.threads());
+        let engines: Vec<Arc<Engine>> = if shards == 1 {
+            vec![Arc::new(engine)]
+        } else {
+            engine
+                .into_shards(shards)
+                .into_iter()
+                .map(Arc::new)
+                .collect()
         };
-        let batcher = std::thread::Builder::new()
-            .name("pcnn-serve-batcher".to_string())
-            .spawn(move || batcher::run_batcher(ctx))
-            .expect("spawn batcher thread");
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let metrics = Arc::new(ServerMetrics::new(shards));
+        let abort = Arc::new(AtomicBool::new(false));
+        let batchers = engines
+            .iter()
+            .enumerate()
+            .map(|(i, engine)| {
+                let ctx = BatcherContext {
+                    engine: engine.clone(),
+                    queue: queue.clone(),
+                    shard: metrics.shard(i).clone(),
+                    abort: abort.clone(),
+                    max_batch: config.max_batch,
+                    max_wait: config.max_wait,
+                };
+                std::thread::Builder::new()
+                    .name(format!("pcnn-serve-batcher-{i}"))
+                    .spawn(move || batcher::run_batcher(ctx))
+                    .expect("spawn batcher thread")
+            })
+            .collect();
         Server {
-            engine,
+            engines,
             queue,
             metrics,
             abort,
-            batcher: Some(batcher),
+            batchers,
             config,
         }
     }
 
-    /// The engine behind the front-end.
+    /// Shard 0's engine (the only engine when `shards == 1`).
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        &self.engines[0]
+    }
+
+    /// Number of engine shards serving the queue.
+    pub fn shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Shard `i`'s engine.
+    pub fn engine_shard(&self, i: usize) -> &Engine {
+        &self.engines[i]
     }
 
     /// The configuration the server was started with.
@@ -233,13 +295,14 @@ impl Server {
             self.abort.store(true, Ordering::SeqCst);
         }
         self.queue.close();
-        if let Some(handle) = self.batcher.take() {
+        for handle in self.batchers.drain(..) {
             let _ = handle.join();
         }
         DrainReport {
             mode,
-            completed: self.metrics.completed.get(),
-            aborted: self.metrics.aborted.get(),
+            completed: self.metrics.completed(),
+            aborted: self.metrics.aborted(),
+            failed: self.metrics.failed(),
             rejected_at_shutdown: self.metrics.rejected_shutdown.get(),
             wall: start.elapsed(),
         }
@@ -248,7 +311,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.batcher.is_some() {
+        if !self.batchers.is_empty() {
             let _ = self.shutdown_inner(ShutdownMode::Drain);
         }
     }
@@ -379,6 +442,66 @@ mod tests {
         }
         assert_eq!(served, report.completed);
         assert_eq!(aborted, report.aborted);
+    }
+
+    #[test]
+    fn sharded_server_partitions_engine_and_serves_correctly() {
+        let engine = Engine::new(compile_dense(&models::tiny_cnn(3, 4, 1)), 4);
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                shards: 3,
+                max_wait: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(server.shards(), 3);
+        let total_threads: usize = (0..3).map(|i| server.engine_shard(i).threads()).sum();
+        assert_eq!(total_threads, 4, "worker budget partitions, not grows");
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        let want = server.engine().infer(&x);
+        let tickets: Vec<Ticket> = (0..24)
+            .map(|_| server.submit(x.clone()).expect("admitted"))
+            .collect();
+        for t in tickets {
+            let got = t.wait().expect("served");
+            pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-6);
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.completed, 24);
+        assert_eq!(snap.shards.len(), 3);
+        assert_eq!(
+            snap.shards.iter().map(|s| s.completed).sum::<u64>(),
+            24,
+            "per-shard counts roll up to the merged view"
+        );
+        let report = server.shutdown(ShutdownMode::Drain);
+        assert_eq!(report.completed, 24);
+    }
+
+    #[test]
+    fn auto_shards_resolve_against_engine_and_parallelism() {
+        assert_eq!(resolve_shards(1, 8), 1);
+        assert_eq!(resolve_shards(5, 2), 5, "explicit counts are honoured");
+        let auto = resolve_shards(0, 2);
+        assert!((1..=2).contains(&auto), "auto is capped by engine workers");
+        assert_eq!(resolve_shards(0, 1), 1);
+        // Auto on a real server: it must start and serve.
+        let engine = Engine::new(compile_dense(&models::tiny_cnn(3, 4, 1)), 2);
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                shards: 0,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(server.shards() >= 1);
+        let out = server
+            .submit(Tensor::ones(&[1, 3, 8, 8]))
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert_eq!(out.shape(), &[1, 3]);
     }
 
     #[test]

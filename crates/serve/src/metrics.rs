@@ -1,19 +1,31 @@
 //! Lock-free serving telemetry: counters and log-bucketed latency
-//! histograms.
+//! histograms, kept **per shard** and merged on read.
 //!
 //! Every hot-path record is a single relaxed atomic increment, so the
-//! batcher and an arbitrary number of client threads can publish
+//! batchers and an arbitrary number of client threads can publish
 //! telemetry without contending on a lock. Latencies land in
 //! [`LogHistogram`] — one bucket per power of two of nanoseconds — which
 //! is coarse (quantiles are exact to within ~2×, reported at the bucket's
-//! geometric midpoint) but constant-size, allocation-free, and
-//! mergeable. This module absorbs the per-batch
+//! geometric midpoint) but constant-size, allocation-free, and mergeable
+//! ([`LogHistogram::merge_from`], which is how per-shard histograms roll
+//! up into the server-wide view).
+//!
+//! A sharded server gives each batcher its own [`ShardMetrics`] — its
+//! shard-local batch/service/latency histograms never share a cache
+//! line with another shard's — while admission-side counters
+//! (submitted / rejected) stay server-global because `submit` runs
+//! before shard assignment. [`ServerMetrics::snapshot`] merges
+//! everything into one [`TelemetrySnapshot`] and also carries the
+//! per-shard breakdown ([`ShardSnapshot`]).
+//!
+//! This module absorbs the per-batch
 //! `pcnn_runtime::engine::ServeStats` view: a [`TelemetrySnapshot`]
 //! carries throughput plus p50/p95/p99 of both **queue wait** (admission
 //! → dispatch, the cost of batching) and **end-to-end latency**
 //! (admission → ticket fulfilment, what the client observes).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A relaxed atomic event counter.
@@ -37,9 +49,10 @@ impl Counter {
     }
 }
 
-/// Number of power-of-two buckets: bucket `i` holds durations in
-/// `[2^i, 2^(i+1))` ns, with bucket 0 also catching sub-nanosecond and
-/// the last bucket catching everything above ~9.2 seconds.
+/// Number of power-of-two buckets: bucket `i > 0` holds durations in
+/// `[2^i, 2^(i+1))` ns, bucket 0 spans `[0, 2)` ns (it catches both the
+/// 0 ns and 1 ns values), and the last bucket catches everything from
+/// `2^33` ns ≈ 8.6 s up.
 const BUCKETS: usize = 34;
 
 /// A lock-free latency histogram with logarithmic (power-of-two ns)
@@ -105,6 +118,31 @@ impl LogHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Folds every sample of `other` into `self` — the roll-up half of
+    /// the histogram's mergeability (identical fixed buckets mean a
+    /// merge is 34 additions, no re-binning). Concurrent `record`s on
+    /// either side are safe; a merge taken mid-record is off by at most
+    /// the in-flight sample, same as any relaxed read.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        // Count and total are read BEFORE the buckets, mirroring
+        // `record_ns`'s bucket-then-count write order so a racing
+        // record usually lands as a harmless one-sample undercount.
+        // Everything is relaxed, so this is best-effort, not a memory-
+        // model guarantee — `quantile` clamps to the slowest non-empty
+        // bucket for the case where count still runs ahead of the
+        // copied bucket mass.
+        let count = other.count.load(Ordering::Relaxed);
+        let total_ns = other.total_ns.load(Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.total_ns.fetch_add(total_ns, Ordering::Relaxed);
+    }
+
     /// Exact mean of the recorded durations (zero when empty).
     pub fn mean(&self) -> Duration {
         let n = self.count();
@@ -117,6 +155,14 @@ impl LogHistogram {
     /// The `q`-quantile (`0.0..=1.0`), reported at the geometric
     /// midpoint of the bucket containing it — exact to within the 2×
     /// bucket resolution. Zero when empty.
+    ///
+    /// All histogram loads are relaxed, so a quantile taken while
+    /// records (or merges) race can observe a `count` slightly ahead of
+    /// the summed bucket mass. When the scan runs out of mass before
+    /// reaching the rank, the quantile clamps to the slowest non-empty
+    /// bucket — off by at most the in-flight samples — rather than
+    /// reporting the end-of-range sentinel (~8.6 s) for a histogram
+    /// whose real tail may be microseconds.
     pub fn quantile(&self, q: f64) -> Duration {
         let n = self.count();
         if n == 0 {
@@ -124,31 +170,41 @@ impl LogHistogram {
         }
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
+        let mut slowest_nonempty = None;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
+            let mass = bucket.load(Ordering::Relaxed);
+            if mass > 0 {
+                slowest_nonempty = Some(i);
+            }
+            seen += mass;
             if seen >= rank {
-                let lo = (1u64 << i) as f64;
-                return Duration::from_nanos((lo * std::f64::consts::SQRT_2) as u64);
+                return Self::bucket_midpoint(i);
             }
         }
-        Duration::from_nanos(1u64 << (BUCKETS - 1))
+        match slowest_nonempty {
+            Some(i) => Self::bucket_midpoint(i),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Geometric midpoint of bucket `i`, the value quantiles report.
+    fn bucket_midpoint(i: usize) -> Duration {
+        let lo = (1u64 << i) as f64;
+        Duration::from_nanos((lo * std::f64::consts::SQRT_2) as u64)
     }
 }
 
-/// All counters and histograms of one server, shared by reference
-/// between the submit path, the batcher, and observers.
-#[derive(Debug)]
-pub struct ServerMetrics {
-    /// Requests admitted into the queue.
-    pub submitted: Counter,
+/// The dispatch-side counters and histograms of **one** shard, written
+/// only by that shard's batcher thread and the engine workers running
+/// its completions.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
     /// Requests whose ticket was fulfilled with an output.
     pub completed: Counter,
-    /// Requests refused by admission control (queue full).
-    pub rejected: Counter,
-    /// Requests refused because the server was shutting down.
-    pub rejected_shutdown: Counter,
     /// Requests failed by an abort-mode shutdown.
     pub aborted: Counter,
+    /// Requests failed because their chunk's engine pass panicked.
+    pub failed: Counter,
     /// Batches dispatched to the engine.
     pub batches: Counter,
     /// Total images across dispatched batches.
@@ -159,49 +215,129 @@ pub struct ServerMetrics {
     pub latency: LogHistogram,
     /// Dispatch → batch completion (engine time per batch).
     pub service: LogHistogram,
-    started: Instant,
 }
 
-impl Default for ServerMetrics {
-    fn default() -> Self {
-        Self::new()
+impl ShardMetrics {
+    /// Fresh shard-local metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time reading of this shard.
+    pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        let batches = self.batches.get();
+        let batched_images = self.batched_images.get();
+        ShardSnapshot {
+            shard,
+            completed: self.completed.get(),
+            aborted: self.aborted.get(),
+            failed: self.failed.get(),
+            batches,
+            batched_images,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched_images as f64 / batches as f64
+            },
+            queue_wait_p50: self.queue_wait.quantile(0.50),
+            queue_wait_p99: self.queue_wait.quantile(0.99),
+            latency_p50: self.latency.quantile(0.50),
+            latency_p99: self.latency.quantile(0.99),
+            service_mean: self.service.mean(),
+        }
     }
 }
 
+/// All metrics of one server: admission-side counters (written by
+/// `submit`, before any shard is involved) plus one [`ShardMetrics`]
+/// per batcher, merged on [`ServerMetrics::snapshot`].
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Requests admitted into the queue.
+    pub submitted: Counter,
+    /// Requests refused by admission control (queue full).
+    pub rejected: Counter,
+    /// Requests refused because the server was shutting down.
+    pub rejected_shutdown: Counter,
+    shards: Vec<Arc<ShardMetrics>>,
+    started: Instant,
+}
+
 impl ServerMetrics {
-    /// Fresh metrics; the throughput clock starts now.
-    pub fn new() -> Self {
+    /// Fresh metrics for a server of `shards` dispatchers (minimum 1);
+    /// the throughput clock starts now.
+    pub fn new(shards: usize) -> Self {
         ServerMetrics {
             submitted: Counter::default(),
-            completed: Counter::default(),
             rejected: Counter::default(),
             rejected_shutdown: Counter::default(),
-            aborted: Counter::default(),
-            batches: Counter::default(),
-            batched_images: Counter::default(),
-            queue_wait: LogHistogram::new(),
-            latency: LogHistogram::new(),
-            service: LogHistogram::new(),
+            shards: (0..shards.max(1))
+                .map(|_| Arc::new(ShardMetrics::new()))
+                .collect(),
             started: Instant::now(),
         }
     }
 
-    /// A point-in-time reading of every metric.
+    /// Number of shards this server's metrics track.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`'s metrics handle (the batcher keeps a clone).
+    pub fn shard(&self, i: usize) -> &Arc<ShardMetrics> {
+        &self.shards[i]
+    }
+
+    /// Requests completed with an output, across every shard.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed.get()).sum()
+    }
+
+    /// Requests aborted by shutdown, across every shard.
+    pub fn aborted(&self) -> u64 {
+        self.shards.iter().map(|s| s.aborted.get()).sum()
+    }
+
+    /// Requests failed by engine faults, across every shard.
+    pub fn failed(&self) -> u64 {
+        self.shards.iter().map(|s| s.failed.get()).sum()
+    }
+
+    /// A point-in-time reading of every metric: the shard histograms
+    /// merge ([`LogHistogram::merge_from`]) into the server-wide
+    /// percentiles, and the per-shard breakdown rides along. The merged
+    /// counters are derived from the **same** reads that build the
+    /// per-shard breakdown, so `completed == shards.iter().sum()` holds
+    /// even for a snapshot taken mid-traffic.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let completed = self.completed.get();
-        let batches = self.batches.get();
+        let queue_wait = LogHistogram::new();
+        let latency = LogHistogram::new();
+        let service = LogHistogram::new();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            queue_wait.merge_from(&shard.queue_wait);
+            latency.merge_from(&shard.latency);
+            service.merge_from(&shard.service);
+            shards.push(shard.snapshot(i));
+        }
+        let completed: u64 = shards.iter().map(|s| s.completed).sum();
+        let aborted: u64 = shards.iter().map(|s| s.aborted).sum();
+        let failed: u64 = shards.iter().map(|s| s.failed).sum();
+        let batches: u64 = shards.iter().map(|s| s.batches).sum();
+        let batched_images: u64 = shards.iter().map(|s| s.batched_images).sum();
         let elapsed = self.started.elapsed();
         TelemetrySnapshot {
             submitted: self.submitted.get(),
             completed,
             rejected: self.rejected.get(),
             rejected_shutdown: self.rejected_shutdown.get(),
-            aborted: self.aborted.get(),
+            aborted,
+            failed,
             batches,
             mean_batch: if batches == 0 {
                 0.0
             } else {
-                self.batched_images.get() as f64 / batches as f64
+                batched_images as f64 / batches as f64
             },
             elapsed,
             throughput_rps: if elapsed.is_zero() {
@@ -209,15 +345,16 @@ impl ServerMetrics {
             } else {
                 completed as f64 / elapsed.as_secs_f64()
             },
-            queue_wait_p50: self.queue_wait.quantile(0.50),
-            queue_wait_p95: self.queue_wait.quantile(0.95),
-            queue_wait_p99: self.queue_wait.quantile(0.99),
-            queue_wait_mean: self.queue_wait.mean(),
-            latency_p50: self.latency.quantile(0.50),
-            latency_p95: self.latency.quantile(0.95),
-            latency_p99: self.latency.quantile(0.99),
-            latency_mean: self.latency.mean(),
-            service_mean: self.service.mean(),
+            queue_wait_p50: queue_wait.quantile(0.50),
+            queue_wait_p95: queue_wait.quantile(0.95),
+            queue_wait_p99: queue_wait.quantile(0.99),
+            queue_wait_mean: queue_wait.mean(),
+            latency_p50: latency.quantile(0.50),
+            latency_p95: latency.quantile(0.95),
+            latency_p99: latency.quantile(0.99),
+            latency_mean: latency.mean(),
+            service_mean: service.mean(),
+            shards,
         }
     }
 }
@@ -237,6 +374,8 @@ pub struct TelemetrySnapshot {
     pub rejected_shutdown: u64,
     /// Requests aborted by shutdown.
     pub aborted: u64,
+    /// Requests failed by engine faults (a chunk pass panicked).
+    pub failed: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Mean images per dispatched batch.
@@ -263,6 +402,64 @@ pub struct TelemetrySnapshot {
     pub latency_mean: Duration,
     /// Mean engine time per dispatched batch (exact).
     pub service_mean: Duration,
+    /// Per-shard breakdown (one entry per batcher, in shard order).
+    pub shards: Vec<ShardSnapshot>,
+}
+
+/// A point-in-time reading of one shard's dispatch metrics.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index (batcher `pcnn-serve-batcher-<shard>`).
+    pub shard: usize,
+    /// Requests this shard completed with an output.
+    pub completed: u64,
+    /// Requests this shard failed during an abort shutdown.
+    pub aborted: u64,
+    /// Requests this shard failed on engine faults.
+    pub failed: u64,
+    /// Batches this shard dispatched.
+    pub batches: u64,
+    /// Total images across this shard's dispatched batches.
+    pub batched_images: u64,
+    /// Mean images per dispatched batch.
+    pub mean_batch: f64,
+    /// Median admission → dispatch wait of this shard's requests.
+    pub queue_wait_p50: Duration,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99: Duration,
+    /// Median end-to-end latency.
+    pub latency_p50: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+    /// Mean engine time per dispatched batch.
+    pub service_mean: Duration,
+}
+
+impl ShardSnapshot {
+    /// Renders the shard reading as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"shard\":{},\"completed\":{},\"aborted\":{},\"failed\":{},",
+                "\"batches\":{},\"batched_images\":{},\"mean_batch\":{:.3},",
+                "\"queue_wait_ms\":{{\"p50\":{:.6},\"p99\":{:.6}}},",
+                "\"latency_ms\":{{\"p50\":{:.6},\"p99\":{:.6}}},",
+                "\"service_mean_ms\":{:.6}}}"
+            ),
+            self.shard,
+            self.completed,
+            self.aborted,
+            self.failed,
+            self.batches,
+            self.batched_images,
+            self.mean_batch,
+            ms(self.queue_wait_p50),
+            ms(self.queue_wait_p99),
+            ms(self.latency_p50),
+            ms(self.latency_p99),
+            ms(self.service_mean),
+        )
+    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -273,8 +470,13 @@ impl std::fmt::Display for TelemetrySnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests: {} submitted, {} completed, {} rejected ({} at shutdown), {} aborted",
-            self.submitted, self.completed, self.rejected, self.rejected_shutdown, self.aborted
+            "requests: {} submitted, {} completed, {} rejected ({} at shutdown), {} aborted, {} failed",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.rejected_shutdown,
+            self.aborted,
+            self.failed
         )?;
         writeln!(
             f,
@@ -302,7 +504,24 @@ impl std::fmt::Display for TelemetrySnapshot {
             f,
             "engine service: {:.3} ms mean per batch",
             ms(self.service_mean)
-        )
+        )?;
+        if self.shards.len() > 1 {
+            for s in &self.shards {
+                write!(
+                    f,
+                    "\nshard {}: {} completed in {} batches ({:.2} images/batch), \
+                     e2e p50 {:.3} ms p99 {:.3} ms, service {:.3} ms mean",
+                    s.shard,
+                    s.completed,
+                    s.batches,
+                    s.mean_batch,
+                    ms(s.latency_p50),
+                    ms(s.latency_p99),
+                    ms(s.service_mean)
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -310,20 +529,27 @@ impl TelemetrySnapshot {
     /// Renders the snapshot as a flat JSON object (hand-rolled — the
     /// workspace takes no serialisation dependency).
     pub fn to_json(&self) -> String {
+        let shards = self
+            .shards
+            .iter()
+            .map(ShardSnapshot::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"rejected\":{},",
-                "\"rejected_shutdown\":{},\"aborted\":{},\"batches\":{},",
+                "\"rejected_shutdown\":{},\"aborted\":{},\"failed\":{},\"batches\":{},",
                 "\"mean_batch\":{:.3},\"elapsed_s\":{:.6},\"throughput_rps\":{:.3},",
                 "\"queue_wait_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
-                "\"service_mean_ms\":{:.6}}}"
+                "\"service_mean_ms\":{:.6},\"shards\":[{}]}}"
             ),
             self.submitted,
             self.completed,
             self.rejected,
             self.rejected_shutdown,
             self.aborted,
+            self.failed,
             self.batches,
             self.mean_batch,
             self.elapsed.as_secs_f64(),
@@ -337,6 +563,7 @@ impl TelemetrySnapshot {
             ms(self.latency_p99),
             ms(self.latency_mean),
             ms(self.service_mean),
+            shards,
         )
     }
 }
@@ -396,16 +623,59 @@ mod tests {
     }
 
     #[test]
+    fn quantile_clamps_to_slowest_bucket_when_count_runs_ahead() {
+        // Simulate the benign snapshot-vs-record race: `count` observes
+        // one more sample than the bucket mass (all loads are relaxed).
+        let h = LogHistogram::new();
+        for us in [10u64, 20, 40] {
+            h.record(Duration::from_micros(us));
+        }
+        h.count.fetch_add(1, Ordering::Relaxed);
+        let p99 = h.quantile(0.99);
+        assert!(
+            p99 <= Duration::from_micros(80),
+            "must clamp to the slowest recorded bucket, not the ~8.6 s sentinel (got {p99:?})"
+        );
+        assert!(p99 >= Duration::from_micros(20));
+    }
+
+    #[test]
+    fn merge_from_folds_counts_buckets_and_totals() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        for us in [1u64, 10, 100] {
+            a.record(Duration::from_micros(us));
+        }
+        for us in [5u64, 50, 500, 5000] {
+            b.record(Duration::from_micros(us));
+        }
+        let merged = LogHistogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), 7);
+        // Exact mean survives the merge: total_ns adds up.
+        let want_ns = (1 + 10 + 100 + 5 + 50 + 500 + 5000) * 1000 / 7;
+        assert_eq!(merged.mean(), Duration::from_nanos(want_ns));
+        // Quantiles of the merged histogram bracket the pooled samples.
+        let p50 = merged.quantile(0.5);
+        assert!(p50 >= Duration::from_micros(25) && p50 <= Duration::from_micros(100));
+        // Merging an empty histogram is a no-op.
+        merged.merge_from(&LogHistogram::new());
+        assert_eq!(merged.count(), 7);
+    }
+
+    #[test]
     fn snapshot_and_json_are_consistent() {
-        let m = ServerMetrics::new();
+        let m = ServerMetrics::new(1);
         m.submitted.add(10);
-        m.completed.add(9);
         m.rejected.inc();
-        m.batches.add(3);
-        m.batched_images.add(9);
+        let shard = m.shard(0);
+        shard.completed.add(9);
+        shard.batches.add(3);
+        shard.batched_images.add(9);
         for i in 1..=9u64 {
-            m.queue_wait.record(Duration::from_micros(i * 10));
-            m.latency.record(Duration::from_micros(i * 100));
+            shard.queue_wait.record(Duration::from_micros(i * 10));
+            shard.latency.record(Duration::from_micros(i * 100));
         }
         let snap = m.snapshot();
         assert_eq!(snap.submitted, 10);
@@ -413,11 +683,45 @@ mod tests {
         assert_eq!(snap.rejected, 1);
         assert!((snap.mean_batch - 3.0).abs() < 1e-9);
         assert!(snap.latency_p50 >= snap.queue_wait_p50);
+        assert_eq!(snap.shards.len(), 1);
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"completed\":9"));
         assert!(json.contains("\"latency_ms\""));
+        assert!(json.contains("\"shards\":[{\"shard\":0"));
         let rendered = format!("{snap}");
         assert!(rendered.contains("p99"));
+    }
+
+    #[test]
+    fn sharded_snapshot_merges_and_keeps_per_shard_breakdown() {
+        let m = ServerMetrics::new(3);
+        m.submitted.add(30);
+        for (i, per_shard) in [10u64, 15, 5].into_iter().enumerate() {
+            let shard = m.shard(i);
+            shard.completed.add(per_shard);
+            shard.batches.add(per_shard / 5);
+            shard.batched_images.add(per_shard);
+            for k in 0..per_shard {
+                // Distinct latency scales per shard so the merged
+                // percentiles provably pool all three.
+                shard
+                    .latency
+                    .record(Duration::from_micros(10u64.pow(i as u32 + 1) + k));
+            }
+        }
+        assert_eq!(m.completed(), 30);
+        let snap = m.snapshot();
+        assert_eq!(snap.completed, 30);
+        assert_eq!(snap.shards.len(), 3);
+        assert_eq!(snap.shards[1].completed, 15);
+        assert_eq!(snap.shards[2].shard, 2);
+        // The merged p99 reflects the slowest shard's scale (~1 ms),
+        // which no single fast shard would report.
+        assert!(snap.latency_p99 >= Duration::from_micros(500));
+        assert!(snap.shards[0].latency_p99 <= Duration::from_micros(50));
+        let display = format!("{snap}");
+        assert!(display.contains("shard 2:"));
+        assert!(snap.to_json().contains("\"shard\":2"));
     }
 }

@@ -8,6 +8,17 @@
 //! with an optional timeout, which is what lets the micro-batcher
 //! implement its `max_wait` coalescing deadline.
 //!
+//! The queue is MPMC on **both** sides: any number of producers push
+//! and any number of consumers (one batcher per server shard) block in
+//! [`BoundedQueue::pop_wait`] concurrently. The wakeup discipline is
+//! written for that: the inner state tracks how many consumers are
+//! asleep, a push notifies only when one is, and a consumer that pops
+//! an item while more items remain and other consumers still sleep
+//! passes the notification on (wakeup chaining). Without the chain, two
+//! rapid pushes can land both their `notify_one` calls on the same
+//! about-to-wake consumer, stranding an item in the queue while a
+//! second consumer sleeps until the next push or close.
+//!
 //! Closing the queue ([`BoundedQueue::close`]) rejects new pushes but
 //! keeps serving pops until the queue is empty — graceful drain is a
 //! property of the queue, not a special shutdown code path.
@@ -65,6 +76,10 @@ struct Inner<T> {
     lanes: [VecDeque<T>; LANES],
     len: usize,
     closed: bool,
+    /// Consumers currently blocked inside `pop_wait`. Pushes skip the
+    /// condvar when nobody sleeps, and poppers use it to decide whether
+    /// a chained wakeup is needed.
+    waiters: usize,
 }
 
 impl<T> Inner<T> {
@@ -108,6 +123,7 @@ impl<T> BoundedQueue<T> {
                 lanes: [VecDeque::new(), VecDeque::new()],
                 len: 0,
                 closed: false,
+                waiters: 0,
             }),
             capacity: capacity.max(1),
             not_empty: Condvar::new(),
@@ -146,14 +162,36 @@ impl<T> BoundedQueue<T> {
         }
         inner.lanes[priority.lane()].push_back(item);
         inner.len += 1;
+        let wake = inner.waiters > 0;
         drop(inner);
-        self.not_empty.notify_one();
+        if wake {
+            self.not_empty.notify_one();
+        }
         Ok(())
+    }
+
+    /// Pops under the lock, also reporting whether a chained wakeup is
+    /// owed: items remain while other consumers still sleep. The chain
+    /// is what makes `notify_one` safe with multiple consumers — even
+    /// if several push-side notifications collapse onto one waiter,
+    /// that waiter re-emits a wakeup for every item it leaves behind.
+    /// Callers send the notification **after** dropping the lock (as
+    /// `try_push` does), so the woken consumer doesn't immediately
+    /// block on the mutex the notifier still holds.
+    fn pop_flagged(inner: &mut Inner<T>) -> Option<(T, bool)> {
+        let item = inner.pop()?;
+        Some((item, inner.len > 0 && inner.waiters > 0))
     }
 
     /// Non-blocking pop: highest-priority item, or `None` when empty.
     pub fn try_pop(&self) -> Option<T> {
-        self.inner.lock().expect("queue poisoned").pop()
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let (item, notify) = Self::pop_flagged(&mut inner)?;
+        drop(inner);
+        if notify {
+            self.not_empty.notify_one();
+        }
+        Some(item)
     }
 
     /// Blocking pop. With `timeout == None`, waits until an item
@@ -164,7 +202,11 @@ impl<T> BoundedQueue<T> {
         let deadline = timeout.map(|d| Instant::now() + d);
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = inner.pop() {
+            if let Some((item, notify)) = Self::pop_flagged(&mut inner) {
+                drop(inner);
+                if notify {
+                    self.not_empty.notify_one();
+                }
                 return Pop::Item(item);
             }
             if inner.closed {
@@ -172,18 +214,22 @@ impl<T> BoundedQueue<T> {
             }
             match deadline {
                 None => {
+                    inner.waiters += 1;
                     inner = self.not_empty.wait(inner).expect("queue wait poisoned");
+                    inner.waiters -= 1;
                 }
                 Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
                         return Pop::TimedOut;
                     }
+                    inner.waiters += 1;
                     let (guard, _) = self
                         .not_empty
                         .wait_timeout(inner, deadline - now)
                         .expect("queue wait poisoned");
                     inner = guard;
+                    inner.waiters -= 1;
                 }
             }
         }
@@ -267,6 +313,101 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.try_push(42, Priority::Normal).unwrap();
         assert_eq!(popper.join().expect("popper"), 42);
+    }
+
+    /// Multi-consumer wakeup discipline: with several consumers asleep,
+    /// a burst of pushes must wake enough of them to drain every item
+    /// promptly. Under the old `notify_one`-on-push-only scheme, two
+    /// rapid pushes could land both notifications on the same waiter,
+    /// stranding an item while another consumer slept — this test then
+    /// stalls at the round where it happens and fails on the deadline.
+    #[test]
+    fn burst_pushes_wake_enough_sleeping_consumers() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(64));
+        let popped = Arc::new(AtomicU64::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                let popped = popped.clone();
+                std::thread::spawn(move || loop {
+                    match q.pop_wait(None) {
+                        Pop::Item(_) => {
+                            popped.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Pop::Closed => return,
+                        Pop::TimedOut => unreachable!("untimed pop"),
+                    }
+                })
+            })
+            .collect();
+        let rounds = 300u64;
+        let per_round = 3u64;
+        for round in 0..rounds {
+            // Let the consumers re-block on the condvar so the burst hits
+            // sleeping waiters, which is where notify_one can misfire.
+            std::thread::sleep(Duration::from_micros(300));
+            for i in 0..per_round {
+                q.try_push((round * per_round + i) as u32, Priority::Normal)
+                    .expect("capacity is ample");
+            }
+            let want = (round + 1) * per_round;
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while popped.load(Ordering::SeqCst) < want {
+                assert!(
+                    Instant::now() < deadline,
+                    "round {round}: item stranded in the queue \
+                     ({} of {want} popped, len {})",
+                    popped.load(Ordering::SeqCst),
+                    q.len()
+                );
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        for c in consumers {
+            c.join().expect("consumer");
+        }
+        assert_eq!(popped.load(Ordering::SeqCst), rounds * per_round);
+        assert!(q.is_empty());
+    }
+
+    /// A consumer that pops while more items remain must pass the wakeup
+    /// on: two items pushed while two consumers sleep end up one each,
+    /// even when both push notifications collapse onto one waiter.
+    #[test]
+    fn chained_wakeup_drains_backlog_to_second_consumer() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    // Each consumer takes exactly one item, then leaves.
+                    match q.pop_wait(None) {
+                        Pop::Item(v) => v,
+                        other => panic!("expected an item, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        // Wait until both consumers are registered as asleep.
+        let t0 = Instant::now();
+        while q.inner.lock().expect("queue poisoned").waiters < 2 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "consumers never slept"
+            );
+            std::thread::yield_now();
+        }
+        q.try_push(1, Priority::Normal).unwrap();
+        q.try_push(2, Priority::Normal).unwrap();
+        let mut got: Vec<u32> = consumers
+            .into_iter()
+            .map(|c| c.join().expect("consumer"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
     }
 
     #[test]

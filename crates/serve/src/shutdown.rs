@@ -2,13 +2,15 @@
 //!
 //! Shutdown is two queue-level facts plus one report. Closing the
 //! bounded queue atomically (a) rejects every later `submit` with
-//! [`crate::ServeError::ShuttingDown`] and (b) lets the batcher keep
-//! popping until the queue is empty, at which point its loop exits on
-//! its own — there is no second drain code path that could disagree
-//! with the serving one. [`ShutdownMode::Abort`] additionally flips the
-//! batcher into fail-fast: still-queued requests get their tickets
-//! fulfilled with [`crate::ServeError::Aborted`] instead of an
-//! inference pass, bounding shutdown time by one in-flight batch.
+//! [`crate::ServeError::ShuttingDown`] and (b) lets every shard's
+//! batcher keep popping until the queue is empty, at which point each
+//! loop exits on its own — there is no second drain code path that
+//! could disagree with the serving one, and no per-shard shutdown
+//! protocol because the shared queue *is* the protocol.
+//! [`ShutdownMode::Abort`] additionally flips the batchers into
+//! fail-fast: still-queued requests get their tickets fulfilled with
+//! [`crate::ServeError::Aborted`] instead of an inference pass,
+//! bounding shutdown time by one in-flight batch per shard.
 
 use std::time::Duration;
 
@@ -22,7 +24,8 @@ pub enum ShutdownMode {
     Abort,
 }
 
-/// What shutdown did, assembled from the final metrics.
+/// What shutdown did, assembled from the final metrics (summed across
+/// every shard of a sharded server).
 #[derive(Debug, Clone)]
 pub struct DrainReport {
     /// Mode the shutdown ran under.
@@ -31,9 +34,11 @@ pub struct DrainReport {
     pub completed: u64,
     /// Requests failed with `Aborted` during shutdown.
     pub aborted: u64,
+    /// Requests failed with `EngineFault` over the server's lifetime.
+    pub failed: u64,
     /// Submissions refused because shutdown had begun.
     pub rejected_at_shutdown: u64,
-    /// Wall-clock from the shutdown call to batcher exit.
+    /// Wall-clock from the shutdown call to the last batcher's exit.
     pub wall: Duration,
 }
 
@@ -41,10 +46,12 @@ impl std::fmt::Display for DrainReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "shutdown({:?}): {} served lifetime, {} aborted, {} rejected at shutdown, drained in {:.2} ms",
+            "shutdown({:?}): {} served lifetime, {} aborted, {} failed, \
+             {} rejected at shutdown, drained in {:.2} ms",
             self.mode,
             self.completed,
             self.aborted,
+            self.failed,
             self.rejected_at_shutdown,
             self.wall.as_secs_f64() * 1e3
         )

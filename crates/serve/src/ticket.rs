@@ -21,6 +21,10 @@ pub enum ServeError {
     BadInput(String),
     /// The server shut down in abort mode before running the request.
     Aborted,
+    /// The engine pass running this request's chunk panicked. Only the
+    /// requests stacked into the faulting chunk fail; the rest of the
+    /// coalesced batch completes normally.
+    EngineFault,
 }
 
 impl std::fmt::Display for ServeError {
@@ -30,6 +34,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::BadInput(why) => write!(f, "bad input: {why}"),
             ServeError::Aborted => write!(f, "request aborted by shutdown"),
+            ServeError::EngineFault => {
+                write!(f, "engine fault: the pass running this request panicked")
+            }
         }
     }
 }

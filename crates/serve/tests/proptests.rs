@@ -118,13 +118,15 @@ proptest! {
     }
 
     #[test]
-    fn no_ticket_lost_across_concurrent_producers_and_close(
+    fn no_ticket_lost_across_concurrent_producers_consumers_and_close(
         cap in 1usize..32,
         per_producer in 1usize..40,
     ) {
-        // 3 producers push distinct ids as fast as they can; one consumer
-        // drains; the queue closes midway. Every id must end up exactly
-        // once in (popped ∪ rejected), never dropped, never duplicated.
+        // 3 producers push distinct ids as fast as they can; 2 consumers
+        // drain concurrently (the sharded-server shape: one batcher per
+        // shard popping the same queue); the queue closes midway. Every
+        // id must end up exactly once in (popped ∪ rejected), never
+        // dropped, never duplicated.
         let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(cap));
         let producers: Vec<_> = (0..3u32)
             .map(|p| {
@@ -144,34 +146,41 @@ proptest! {
                 })
             })
             .collect();
-        let consumer = {
-            let q = q.clone();
-            std::thread::spawn(move || {
-                let mut popped = Vec::new();
-                loop {
-                    match q.pop_wait(None) {
-                        Pop::Item(v) => popped.push(v),
-                        Pop::Closed => break,
-                        Pop::TimedOut => unreachable!("untimed pop"),
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut popped = Vec::new();
+                    loop {
+                        match q.pop_wait(None) {
+                            Pop::Item(v) => popped.push(v),
+                            Pop::Closed => break,
+                            Pop::TimedOut => unreachable!("untimed pop"),
+                        }
                     }
-                }
-                popped
+                    popped
+                })
             })
-        };
+            .collect();
         let mut rejected: Vec<u32> = Vec::new();
         for p in producers {
             rejected.extend(p.join().expect("producer"));
         }
         q.close();
-        let popped = consumer.join().expect("consumer");
+        let mut popped: Vec<u32> = Vec::new();
+        for c in consumers {
+            popped.extend(c.join().expect("consumer"));
+        }
 
         let mut all: Vec<u32> = popped.iter().chain(rejected.iter()).copied().collect();
         all.sort_unstable();
+        let before_dedup = all.len();
         all.dedup();
+        prop_assert_eq!(all.len(), before_dedup, "an id was popped twice");
         prop_assert_eq!(
             all.len(),
             3 * per_producer,
-            "ids lost or duplicated: {} popped + {} rejected != {} submitted",
+            "ids lost: {} popped + {} rejected != {} submitted",
             popped.len(),
             rejected.len(),
             3 * per_producer

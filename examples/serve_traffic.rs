@@ -1,8 +1,9 @@
 //! Live traffic against the async serving front-end.
 //!
 //! ```text
-//! cargo run --release --example serve_traffic            # full demo
-//! cargo run --release --example serve_traffic -- --smoke # CI-sized
+//! cargo run --release --example serve_traffic                 # full demo
+//! cargo run --release --example serve_traffic -- --smoke      # CI-sized
+//! cargo run --release --example serve_traffic -- --shards 2   # sharded topology
 //! ```
 //!
 //! 1. Prunes the VGG-16-topology proxy at n = 2 and compiles it through
@@ -12,9 +13,12 @@
 //!    p50/p95/p99 of queue wait and end-to-end latency.
 //! 3. Repeats the run with `max_batch = 1` to show what dynamic
 //!    batching buys (the batched configuration must win).
-//! 4. Demonstrates backpressure: a burst at a tiny queue capacity gets
+//! 4. Repeats the batched run sharded (`--shards N`, `auto`/`0` = one
+//!    shard per core): the same queue feeds one batcher per engine
+//!    shard, and the telemetry report grows a per-shard breakdown.
+//! 5. Demonstrates backpressure: a burst at a tiny queue capacity gets
 //!    `QueueFull` rejections instead of unbounded queueing.
-//! 5. Shuts down gracefully and prints the drain report.
+//! 6. Shuts down gracefully and prints the drain report.
 
 use pcnn::core::PrunePlan;
 use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
@@ -82,8 +86,26 @@ fn closed_loop(
     (start.elapsed(), server.metrics().snapshot(), dropped)
 }
 
+/// Parses `--shards <n>` (`auto` or `0` = one shard per core, capped at
+/// the engine's workers). Defaults to 2 so the plain demo exercises the
+/// sharded topology.
+fn shards_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            let v = args.next().expect("--shards takes a value");
+            if v == "auto" {
+                return 0;
+            }
+            return v.parse().expect("--shards takes a number or 'auto'");
+        }
+    }
+    2
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let shards = shards_arg();
     let hw = VggProxyConfig::default().input_hw;
     let clients = if smoke { 4 } else { 6 };
     let per_client = if smoke { 12 } else { 60 };
@@ -144,7 +166,41 @@ fn main() {
         snap.mean_batch
     );
 
-    // --- 3. Backpressure: burst into a tiny queue ------------------------
+    // --- 3. The same load sharded: N batchers on one queue ---------------
+    let sharded = Arc::new(Server::start(
+        build_engine(),
+        ServeConfig {
+            shards,
+            max_batch: (clients / 2).max(4),
+            input_chw: Some([3, hw, hw]),
+            ..ServeConfig::default()
+        },
+    ));
+    let shard_workers: Vec<usize> = (0..sharded.shards())
+        .map(|i| sharded.engine_shard(i).threads())
+        .collect();
+    println!(
+        "\n[sharded] same load, {} engine shards with {:?} workers ({} total), one shared queue",
+        sharded.shards(),
+        shard_workers,
+        shard_workers.iter().sum::<usize>(),
+    );
+    let (wall_s, snap_s, dropped_s) = closed_loop(&sharded, clients, per_client, hw);
+    let sharded_rps = total as f64 / wall_s.as_secs_f64();
+    println!("{snap_s}");
+    println!(
+        "wall-clock throughput: {sharded_rps:.1} req/s ({:.2}x the single-shard batched run)",
+        sharded_rps / batched_rps
+    );
+    assert_eq!(dropped_s, 0);
+    assert_eq!(snap_s.completed as usize, total, "zero dropped tickets");
+    assert_eq!(
+        snap_s.shards.iter().map(|s| s.completed).sum::<u64>(),
+        total as u64,
+        "per-shard telemetry accounts for every request"
+    );
+
+    // --- 4. Backpressure: burst into a tiny queue ------------------------
     let tiny = Server::start(
         build_engine(),
         ServeConfig {
@@ -175,12 +231,18 @@ fn main() {
     let tiny_report = tiny.shutdown(ShutdownMode::Drain);
     println!("{tiny_report}");
 
-    // --- 4. Graceful shutdown -------------------------------------------
+    // --- 5. Graceful shutdown -------------------------------------------
     let report = match Arc::try_unwrap(server) {
         Ok(s) => s.shutdown(ShutdownMode::Drain),
         Err(_) => unreachable!("all clients joined"),
     };
     println!("\n{report}");
+    let sharded_report = match Arc::try_unwrap(sharded) {
+        Ok(s) => s.shutdown(ShutdownMode::Drain),
+        Err(_) => unreachable!("all clients joined"),
+    };
+    println!("{sharded_report}");
+    assert_eq!(sharded_report.completed as usize, total);
     drop(Arc::try_unwrap(single).map(|s| s.shutdown(ShutdownMode::Drain)));
     println!("serve_traffic: OK");
 }

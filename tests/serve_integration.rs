@@ -115,6 +115,107 @@ fn burst_trips_admission_control() {
     assert_eq!(snap.rejected as usize, rejected);
 }
 
+/// Shard parity: the same traffic through a single-shard and a
+/// four-shard server produces per-ticket outputs identical to the
+/// engine's direct answer — sharding changes dispatch parallelism, not
+/// results, ordering guarantees, or accounting.
+#[test]
+fn shard_parity_outputs_match_direct_inference() {
+    let cfg = VggProxyConfig::default();
+    let inputs: Vec<Tensor> = (0..24)
+        .map(|i| random_tensor(&[1, 3, cfg.input_hw, cfg.input_hw], 9000 + i))
+        .collect();
+    let mut by_shards: Vec<Vec<Tensor>> = Vec::new();
+    for shards in [1usize, 4] {
+        let mut model = vgg16_proxy(&cfg, 11);
+        let plan = PrunePlan::uniform(13, 2, 32);
+        let (graph, _, _) =
+            prune_and_compile(&mut model, &plan, &CompileOptions::default()).expect("proxy lowers");
+        let server = Server::start(
+            Engine::new(graph, 4),
+            ServeConfig {
+                shards,
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(server.shards(), shards);
+        let want: Vec<Tensor> = inputs.iter().map(|x| server.engine().infer(x)).collect();
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).expect("admitted"))
+            .collect();
+        let outs: Vec<Tensor> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("served"))
+            .collect();
+        for (got, want) in outs.iter().zip(&want) {
+            pcnn::tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-6);
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.completed, 24);
+        assert_eq!(snap.shards.len(), shards);
+        assert_eq!(
+            snap.shards.iter().map(|s| s.completed).sum::<u64>(),
+            24,
+            "shard breakdown accounts for every request"
+        );
+        let report = server.shutdown(ShutdownMode::Drain);
+        assert_eq!(report.completed, 24);
+        assert_eq!(report.aborted + report.failed, 0);
+        by_shards.push(outs);
+    }
+    // Both topologies run the same compiled graph: identical outputs.
+    for (a, b) in by_shards[0].iter().zip(&by_shards[1]) {
+        pcnn::tensor::assert_slices_close(a.as_slice(), b.as_slice(), 0.0);
+    }
+}
+
+/// Abort shutdown with shards > 1: every admitted request resolves as
+/// exactly one of completed or aborted — no ticket lost, none counted
+/// twice, even with four batchers racing the abort flag.
+#[test]
+fn sharded_abort_shutdown_accounts_for_every_ticket() {
+    let engine = Engine::new(compile_dense(&models::tiny_cnn(4, 4, 17)), 4);
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            shards: 4,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        },
+    );
+    let submitted = 96u64;
+    let tickets: Vec<_> = (0..submitted)
+        .map(|i| {
+            server
+                .submit(random_tensor(&[1, 3, 8, 8], 7000 + i))
+                .expect("admitted")
+        })
+        .collect();
+    let report = server.shutdown(ShutdownMode::Abort);
+    assert_eq!(
+        report.completed + report.aborted,
+        submitted,
+        "completed + aborted must equal submitted"
+    );
+    assert_eq!(report.failed, 0);
+    let mut served = 0u64;
+    let mut aborted = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => served += 1,
+            Err(ServeError::Aborted) => aborted += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(served, report.completed);
+    assert_eq!(aborted, report.aborted);
+}
+
 /// Priorities, shutdown accounting, and post-shutdown rejection on a
 /// small dense model.
 #[test]
