@@ -6,7 +6,6 @@
 //! two scales — the standard integer-inference contract. The test suite
 //! bounds the error against the float datapath.
 
-use crate::config::AccelConfig;
 use crate::decoder::PatternDecoder;
 use crate::sparsity::{activation_mask, generate_pointers};
 use pcnn_core::quant::{quantize_symmetric, QuantParams};
@@ -54,12 +53,15 @@ impl QuantSparseConv {
 
     /// Executes the integer datapath on an NCHW input: activations are
     /// quantised to `act_bits`, MACs accumulate in `i32`, the output is
-    /// `acc · s_w · s_a`.
+    /// `acc · s_w · s_a`. (The datapath is purely functional — it does
+    /// not depend on an `AccelConfig`; cycle-accurate behaviour lives in
+    /// the simulator, and the runtime's int8 path in
+    /// `pcnn_runtime::quant_conv` shares this signature shape.)
     ///
     /// # Panics
     ///
     /// Panics on input shape mismatch.
-    pub fn forward(&self, input: &Tensor, act_bits: u32, _cfg: &AccelConfig) -> Tensor {
+    pub fn forward(&self, input: &Tensor, act_bits: u32) -> Tensor {
         let shape = *self.sparse.shape();
         let dims = input.shape();
         let (n, in_c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -152,7 +154,7 @@ mod tests {
     fn int8_output_close_to_float() {
         let (sparse, x, golden) = setup();
         let q = QuantSparseConv::new(sparse, 8);
-        let y = q.forward(&x, 8, &AccelConfig::default());
+        let y = q.forward(&x, 8);
         // 8-bit x 8-bit over 36 accumulations: relative error small.
         let num: f32 = y
             .as_slice()
@@ -170,7 +172,7 @@ mod tests {
         let (sparse, x, golden) = setup();
         let err = |bits: u32| {
             let q = QuantSparseConv::new(sparse.clone(), bits);
-            let y = q.forward(&x, bits, &AccelConfig::default());
+            let y = q.forward(&x, bits);
             let num: f32 = y
                 .as_slice()
                 .iter()

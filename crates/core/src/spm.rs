@@ -172,6 +172,13 @@ impl SpmLayer {
         &self.nonzeros[ki * self.n..(ki + 1) * self.n]
     }
 
+    /// Every packed non-zero sequence as one flat kernel-major slice
+    /// (`kernel_count · n` values, kernel `ki` at `ki·n..(ki+1)·n`) —
+    /// the stream a per-layer quantiser consumes in a single pass.
+    pub fn nonzeros(&self) -> &[f32] {
+        &self.nonzeros
+    }
+
     /// All SPM codes in kernel order.
     pub fn codes(&self) -> &[u16] {
         &self.codes

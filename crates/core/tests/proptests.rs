@@ -5,6 +5,7 @@ use pcnn_core::csc::CscVector;
 use pcnn_core::distill::{distill_layer, PatternHistogram};
 use pcnn_core::plan::{LayerPlan, PrunePlan};
 use pcnn_core::project::project_onto_set;
+use pcnn_core::quant::{dequantize, quant_rmse, quantize_symmetric, QuantParams};
 use pcnn_core::sparse::SparseConv;
 use pcnn_core::{Pattern, PatternSet};
 use pcnn_tensor::conv::{conv2d_direct, Conv2dShape};
@@ -116,6 +117,85 @@ proptest! {
             if v != 0.0 {
                 prop_assert!(p.contains(i));
             }
+        }
+    }
+
+    /// The symmetric quantiser's fundamental error bound: round-tripping
+    /// any slice reconstructs every element within half a quantisation
+    /// step (`scale / 2`), at every supported bit width.
+    #[test]
+    fn quant_roundtrip_error_bounded_by_half_step(
+        vals in prop::collection::vec(-8.0f32..8.0, 1..200),
+        bits in 2u32..=8,
+    ) {
+        let (q, p) = quantize_symmetric(&vals, bits);
+        prop_assert_eq!(q.len(), vals.len());
+        let back = dequantize(&q, p);
+        for (a, b) in vals.iter().zip(&back) {
+            prop_assert!(
+                (a - b).abs() <= p.scale * 0.5 + 1e-6,
+                "|{} - {}| > scale/2 = {}", a, b, p.scale * 0.5
+            );
+        }
+    }
+
+    /// Codes never exceed the bit width's representable magnitude, the
+    /// maximum absolute value maps to the top code, zeros map to the
+    /// zero code exactly, and `q_max` is consistent across widths.
+    #[test]
+    fn quant_codes_respect_q_max_and_fixed_points(
+        vals in prop::collection::vec(
+            prop_oneof![1 => Just(0.0f32), 3 => -4.0f32..4.0],
+            1..120,
+        ),
+        bits in 2u32..=8,
+    ) {
+        let (q, p) = quantize_symmetric(&vals, bits);
+        prop_assert_eq!(p.q_max(), (1i32 << (bits - 1)) - 1);
+        let max_abs = vals.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (&code, &v) in q.iter().zip(&vals) {
+            prop_assert!((code as i32).abs() <= p.q_max());
+            if v == 0.0 {
+                prop_assert_eq!(code, 0, "zero must quantise to the zero code");
+            }
+            if v.abs() == max_abs && max_abs > 0.0 {
+                prop_assert_eq!((code as i32).abs(), p.q_max());
+            }
+        }
+        // The derived parameters match the shared scale helper.
+        prop_assert_eq!(p, QuantParams::for_max_abs(max_abs, bits));
+    }
+
+    /// Degenerate inputs: all-zero slices quantise to all-zero codes at
+    /// unit scale, and a single-element slice maps onto the top code.
+    #[test]
+    fn quant_degenerate_slices(len in 1usize..64, v in -4.0f32..4.0, bits in 2u32..=8) {
+        let zeros = vec![0.0f32; len];
+        let (qz, pz) = quantize_symmetric(&zeros, bits);
+        prop_assert!(qz.iter().all(|&c| c == 0));
+        prop_assert_eq!(pz.scale, 1.0);
+        prop_assert_eq!(dequantize(&qz, pz), zeros);
+
+        let (q1, p1) = quantize_symmetric(&[v], bits);
+        if v == 0.0 {
+            prop_assert_eq!(q1[0], 0);
+        } else {
+            prop_assert_eq!((q1[0] as i32).abs(), p1.q_max());
+            prop_assert_eq!(q1[0] > 0, v > 0.0);
+            // The sole element reconstructs exactly: it IS the max.
+            prop_assert!((dequantize(&q1, p1)[0] - v).abs() <= p1.scale * 0.5 + 1e-6);
+        }
+    }
+
+    /// More bits never hurt: RMSE is monotonically non-increasing in the
+    /// bit width for any fixed data.
+    #[test]
+    fn quant_rmse_monotone_in_bits(vals in prop::collection::vec(-2.0f32..2.0, 8..100)) {
+        let mut last = f32::INFINITY;
+        for bits in 2u32..=8 {
+            let e = quant_rmse(&vals, bits);
+            prop_assert!(e <= last + 1e-6, "rmse rose from {} to {} at {} bits", last, e, bits);
+            last = e;
         }
     }
 }

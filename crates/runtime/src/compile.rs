@@ -21,6 +21,7 @@
 use crate::graph::ExecutableGraph;
 use crate::ops::Op;
 use crate::pattern_conv::PatternConv;
+use crate::quant_conv::QuantOptions;
 use pcnn_core::pattern::PatternSet;
 use pcnn_core::plan::PrunePlan;
 use pcnn_core::pruner;
@@ -30,6 +31,7 @@ use pcnn_nn::model::{Layer, Model};
 use pcnn_tensor::Tensor;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Lowering failures.
 #[derive(Debug, Clone)]
@@ -197,6 +199,42 @@ pub fn prune_and_compile(
     Ok((graph, report, outcome))
 }
 
+/// [`compile`] plus the quantised lowering: the f32 graph compiles as
+/// usual, then every pattern convolution quantises per layer through
+/// `pcnn_core::quant` (reusing its SPM codes and compiled registry) into
+/// the graph's int8 op sequence. The returned graph runs at **either**
+/// [`crate::Precision`] — one compiled topology, two datapaths.
+///
+/// # Errors
+///
+/// Propagates [`compile`] errors.
+pub fn compile_quant(
+    model: &Model,
+    sets: &[PatternSet],
+    opts: &CompileOptions,
+    qopts: &QuantOptions,
+) -> Result<(ExecutableGraph, CompileReport), CompileError> {
+    let (graph, report) = compile(model, sets, opts)?;
+    Ok((graph.with_int8(qopts), report))
+}
+
+/// [`prune_and_compile`] with the quantised lowering enabled — the
+/// one-call path from a trainable model to a dual-precision engine.
+///
+/// # Errors
+///
+/// Propagates [`compile`] errors.
+pub fn prune_and_compile_quant(
+    model: &mut Model,
+    plan: &PrunePlan,
+    opts: &CompileOptions,
+    qopts: &QuantOptions,
+) -> Result<(ExecutableGraph, CompileReport, pruner::PruneOutcome), CompileError> {
+    let outcome = pruner::prune_model(model, plan);
+    let (graph, report) = compile_quant(model, &outcome.sets, opts, qopts)?;
+    Ok((graph, report, outcome))
+}
+
 fn lower_layers(
     layers: &[Layer],
     sets: &[PatternSet],
@@ -243,8 +281,8 @@ fn lower_layers(
             }
             Layer::Linear(l) => {
                 ops.push(Op::Linear {
-                    weight: l.weight().clone(),
-                    bias: l.bias().clone(),
+                    weight: Arc::new(l.weight().clone()),
+                    bias: Arc::new(l.bias().clone()),
                 });
                 i += 1;
             }
@@ -370,10 +408,10 @@ fn lower_conv(
         None => {
             report.dense_layers += 1;
             ops.push(Op::DenseConv {
-                weight,
+                weight: Arc::new(weight),
                 bias: bias.map(|b| {
                     let len = b.len();
-                    Tensor::from_vec(b, &[len])
+                    Arc::new(Tensor::from_vec(b, &[len]))
                 }),
                 shape,
                 relu: epilogue_relu,

@@ -10,6 +10,7 @@
 //! behind it (work stealing rebalances).
 
 use crate::graph::ExecutableGraph;
+use crate::quant_conv::Precision;
 use pcnn_tensor::parallel::ThreadPool;
 use pcnn_tensor::Tensor;
 use std::sync::Arc;
@@ -124,9 +125,25 @@ impl Engine {
         self.pool.threads()
     }
 
-    /// Runs one request synchronously on the calling thread.
+    /// Whether this engine's graph can execute `precision` (f32 always;
+    /// int8 when the graph was compiled with its quantised lowering).
+    pub fn supports(&self, precision: Precision) -> bool {
+        self.graph.supports(precision)
+    }
+
+    /// Runs one request synchronously on the calling thread (f32).
     pub fn infer(&self, x: &Tensor) -> Tensor {
         self.graph.run(x)
+    }
+
+    /// Runs one request synchronously at the requested precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph lacks the requested lowering (see
+    /// [`Engine::supports`]).
+    pub fn infer_with(&self, x: &Tensor, precision: Precision) -> Tensor {
+        self.graph.run_with(x, precision)
     }
 
     /// Runs independent requests concurrently, returning outputs in
@@ -187,6 +204,23 @@ impl Engine {
     /// Panics if any input is not `1 × C × H × W` or the shapes differ
     /// across requests.
     pub fn infer_coalesced(&self, inputs: Vec<Tensor>, scratch: &mut BatchScratch) -> Vec<Tensor> {
+        self.infer_coalesced_at(Precision::F32, inputs, scratch)
+    }
+
+    /// [`Engine::infer_coalesced`] at an explicit precision: the whole
+    /// coalesced batch runs through the selected lowering of the shared
+    /// graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mixed/bad request shapes, or if the graph lacks the
+    /// requested lowering.
+    pub fn infer_coalesced_at(
+        &self,
+        precision: Precision,
+        inputs: Vec<Tensor>,
+        scratch: &mut BatchScratch,
+    ) -> Vec<Tensor> {
         let n = inputs.len();
         if n == 0 {
             return Vec::new();
@@ -197,13 +231,13 @@ impl Engine {
             // A 1-chunk dispatch degenerates to one batched pass on the
             // calling thread.
             let x = stacked.pop().expect("one chunk");
-            vec![(self.graph.run(&x), x.into_vec())]
+            vec![(self.graph.run_with(&x, precision), x.into_vec())]
         } else {
             let jobs: Vec<_> = stacked
                 .into_iter()
                 .map(|x| {
                     let graph = self.graph.clone();
-                    move || (graph.run(&x), x.into_vec())
+                    move || (graph.run_with(&x, precision), x.into_vec())
                 })
                 .collect();
             self.pool.run_batch(jobs)
@@ -278,7 +312,34 @@ impl Engine {
     where
         F: FnOnce(Vec<Option<Tensor>>, Vec<Vec<f32>>) + Send + 'static,
     {
-        self.coalesced_async_with(inputs, buffers, |graph, x| graph.run(x), on_done)
+        self.infer_coalesced_async_at(Precision::F32, inputs, buffers, on_done)
+    }
+
+    /// [`Engine::infer_coalesced_async`] at an explicit precision — the
+    /// dispatch hook for precision-aware batchers: a batch coalesced
+    /// from same-precision requests runs every chunk through the
+    /// selected lowering of the shared graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not `1 × C × H × W` or shapes differ
+    /// across requests. A missing int8 lowering surfaces as per-chunk
+    /// failures (`None` outputs), not a panic of the caller.
+    pub fn infer_coalesced_async_at<F>(
+        &self,
+        precision: Precision,
+        inputs: Vec<Tensor>,
+        buffers: Vec<Vec<f32>>,
+        on_done: F,
+    ) where
+        F: FnOnce(Vec<Option<Tensor>>, Vec<Vec<f32>>) + Send + 'static,
+    {
+        self.coalesced_async_with(
+            inputs,
+            buffers,
+            move |graph, x| graph.run_with(x, precision),
+            on_done,
+        )
     }
 
     /// [`Engine::infer_coalesced_async`] with the chunk pass injected —
@@ -588,6 +649,54 @@ mod tests {
             2,
             "the failed chunk's stacking buffer must be reclaimed too"
         );
+    }
+
+    #[test]
+    fn precision_routes_to_the_right_lowering() {
+        use crate::compile::{prune_and_compile_quant, CompileOptions};
+        use crate::quant_conv::QuantOptions;
+        use pcnn_core::PrunePlan;
+        let mut model = models::tiny_cnn(4, 4, 3);
+        let plan = PrunePlan::uniform(2, 2, 32);
+        let (graph, _, _) = prune_and_compile_quant(
+            &mut model,
+            &plan,
+            &CompileOptions::default(),
+            &QuantOptions::default(),
+        )
+        .expect("compile");
+        assert!(graph.quant_op_count() > 0);
+        let engine = Engine::new(graph, 2);
+        assert!(engine.supports(Precision::Int8));
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| random_input(&[1, 3, 8, 8], 200 + i))
+            .collect();
+        // Int8 inference matches the dequantise-then-f32 reference …
+        for x in &inputs {
+            let got = engine.infer_with(x, Precision::Int8);
+            let want = engine.graph().run_int8_reference(x);
+            pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 1e-5);
+        }
+        // … and the coalesced path routes whole batches through int8.
+        let want: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| engine.infer_with(x, Precision::Int8))
+            .collect();
+        let mut scratch = BatchScratch::new();
+        let got = engine.infer_coalesced_at(Precision::Int8, inputs.clone(), &mut scratch);
+        for (a, b) in want.iter().zip(&got) {
+            pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-6);
+        }
+        // The async variant agrees too.
+        let (tx, rx) = std::sync::mpsc::channel();
+        engine.infer_coalesced_async_at(Precision::Int8, inputs, Vec::new(), move |outs, bufs| {
+            tx.send((outs, bufs)).expect("receiver alive");
+        });
+        let (outs, _) = rx.recv().expect("completion fires");
+        for (a, b) in want.iter().zip(&outs) {
+            let b = b.as_ref().expect("chunk pass succeeded");
+            pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-6);
+        }
     }
 
     #[test]

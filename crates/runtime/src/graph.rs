@@ -4,41 +4,135 @@
 //! compiler: a straight-line op sequence that is `Send + Sync`, so a
 //! single compiled network can be shared (via `Arc`) by every worker of
 //! the batched [`crate::engine::Engine`] with zero per-request setup.
+//!
+//! A graph can carry **two lowerings of the same compiled topology**:
+//! the f32 op sequence, and (after [`ExecutableGraph::with_int8`]) an
+//! int8 sequence whose pattern convolutions share the f32 lowering's SPM
+//! codes and kernel registries with the non-zero weights quantised per
+//! layer. [`ExecutableGraph::run_with`] selects the
+//! [`Precision`] per call, which is how one engine serves mixed-precision
+//! traffic without compiling the network twice.
 
-use crate::ops::{run_ops, Op};
+use crate::ops::{quantize_ops, run_ops, run_ops_reference, Op};
+use crate::quant_conv::{Precision, QuantOptions};
 use pcnn_tensor::Tensor;
 
 /// A compiled, immutable, thread-safe inference graph.
 #[derive(Debug, Clone)]
 pub struct ExecutableGraph {
     ops: Vec<Op>,
+    /// The int8 lowering of the same topology, when enabled.
+    int8_ops: Option<Vec<Op>>,
 }
 
 impl ExecutableGraph {
-    /// Wraps a lowered op sequence.
+    /// Wraps a lowered op sequence (f32 only).
     pub fn new(ops: Vec<Op>) -> Self {
-        ExecutableGraph { ops }
+        ExecutableGraph {
+            ops,
+            int8_ops: None,
+        }
     }
 
-    /// The op sequence.
+    /// Derives the int8 lowering from the compiled f32 ops: every
+    /// pattern convolution quantises per layer (reusing its SPM codes
+    /// and compiled registry), everything else stays on the f32 path.
+    /// The f32 lowering is untouched — both precisions remain runnable.
+    pub fn with_int8(mut self, opts: &QuantOptions) -> Self {
+        self.int8_ops = Some(quantize_ops(&self.ops, opts));
+        self
+    }
+
+    /// Whether the int8 lowering is available.
+    pub fn has_int8(&self) -> bool {
+        self.int8_ops.is_some()
+    }
+
+    /// Whether `precision` can be executed on this graph.
+    pub fn supports(&self, precision: Precision) -> bool {
+        match precision {
+            Precision::F32 => true,
+            Precision::Int8 => self.has_int8(),
+        }
+    }
+
+    /// The f32 op sequence.
     pub fn ops(&self) -> &[Op] {
         &self.ops
     }
 
-    /// Runs the graph on an NCHW input (any batch size), producing the
-    /// network output.
+    /// The int8 op sequence, when enabled.
+    pub fn int8_ops(&self) -> Option<&[Op]> {
+        self.int8_ops.as_deref()
+    }
+
+    /// Runs the graph on an NCHW input (any batch size) at f32,
+    /// producing the network output.
     pub fn run(&self, x: &Tensor) -> Tensor {
         run_ops(&self.ops, x)
     }
 
-    /// One description line per op (residual blocks annotate their
-    /// sub-op counts).
+    /// Runs the graph at the requested precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Precision::Int8` is requested on a graph compiled
+    /// without [`ExecutableGraph::with_int8`].
+    pub fn run_with(&self, x: &Tensor, precision: Precision) -> Tensor {
+        match precision {
+            Precision::F32 => run_ops(&self.ops, x),
+            Precision::Int8 => run_ops(
+                self.int8_ops
+                    .as_deref()
+                    .expect("int8 lowering not compiled: call with_int8 first"),
+                x,
+            ),
+        }
+    }
+
+    /// Runs the int8 lowering on its dequantise-then-f32 **reference**
+    /// datapath: identical quantisation decisions, float arithmetic.
+    /// The integer path ([`ExecutableGraph::run_with`] at `Int8`) must
+    /// match this within 1e-5 — the parity suite's oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the int8 lowering is not compiled.
+    pub fn run_int8_reference(&self, x: &Tensor) -> Tensor {
+        run_ops_reference(
+            self.int8_ops
+                .as_deref()
+                .expect("int8 lowering not compiled: call with_int8 first"),
+            x,
+        )
+    }
+
+    /// One description line per op of the f32 lowering (residual blocks
+    /// annotate their sub-op counts).
     pub fn summary(&self) -> Vec<String> {
         self.ops.iter().map(Op::describe).collect()
     }
 
-    /// Number of pattern-sparse convolution ops, recursing into
-    /// residual blocks.
+    /// One description line per op of the requested lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Precision::Int8` is requested without the lowering.
+    pub fn summary_at(&self, precision: Precision) -> Vec<String> {
+        match precision {
+            Precision::F32 => self.summary(),
+            Precision::Int8 => self
+                .int8_ops
+                .as_deref()
+                .expect("int8 lowering not compiled: call with_int8 first")
+                .iter()
+                .map(Op::describe)
+                .collect(),
+        }
+    }
+
+    /// Number of pattern-sparse convolution ops in the f32 lowering,
+    /// recursing into residual blocks.
     pub fn sparse_op_count(&self) -> usize {
         fn count(ops: &[Op]) -> usize {
             ops.iter()
@@ -50,6 +144,21 @@ impl ExecutableGraph {
                 .sum()
         }
         count(&self.ops)
+    }
+
+    /// Number of quantised convolution ops in the int8 lowering (zero
+    /// when the lowering is absent), recursing into residual blocks.
+    pub fn quant_op_count(&self) -> usize {
+        fn count(ops: &[Op]) -> usize {
+            ops.iter()
+                .map(|op| match op {
+                    Op::QuantConv(_) => 1,
+                    Op::Residual { main, shortcut } => count(main) + count(shortcut),
+                    _ => 0,
+                })
+                .sum()
+        }
+        self.int8_ops.as_deref().map_or(0, count)
     }
 }
 
@@ -65,6 +174,24 @@ mod tests {
         assert_eq!(g.run(&x).as_slice(), x.as_slice());
         assert!(g.summary().is_empty());
         assert_eq!(g.sparse_op_count(), 0);
+    }
+
+    #[test]
+    fn precision_support_and_panics() {
+        let g = ExecutableGraph::new(vec![Op::Relu]);
+        assert!(g.supports(Precision::F32));
+        assert!(!g.supports(Precision::Int8));
+        assert_eq!(g.quant_op_count(), 0);
+        let g = g.with_int8(&QuantOptions::default());
+        assert!(g.supports(Precision::Int8));
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 1, 1, 2]);
+        // No quant ops in this graph, so both precisions agree exactly.
+        assert_eq!(
+            g.run_with(&x, Precision::Int8).as_slice(),
+            g.run_with(&x, Precision::F32).as_slice()
+        );
+        assert_eq!(g.run_int8_reference(&x).as_slice(), g.run(&x).as_slice());
+        assert_eq!(g.summary_at(Precision::Int8), g.summary());
     }
 
     #[test]

@@ -44,6 +44,20 @@
 //!    amortises padded-plane construction and offset tables across the
 //!    whole batch ([`PatternConv::forward_batch`]).
 //!
+//! 4. **Quantised backend** ([`quant_conv`], [`quant_kernels`]). The
+//!    same compiled topology carries an optional **int8** lowering
+//!    ([`graph::ExecutableGraph::with_int8`], or [`compile::compile_quant`]
+//!    in one step): SPM non-zero sequences quantise per layer through
+//!    `pcnn_core::quant` while the pattern codes, registries, and offset
+//!    tables are shared verbatim — the economy the paper's SPM format
+//!    exists for. Execution quantises activations per image (fused into
+//!    plane padding), accumulates `i8 × i8` MACs in `i32` through
+//!    unrolled integer kernels, and requantises once per output plane
+//!    with the folded BN shift and fused ReLU
+//!    ([`quant_conv::QuantPatternConv`]). [`quant_conv::Precision`]
+//!    selects the datapath per call ([`engine::Engine::infer_with`],
+//!    [`engine::Engine::infer_coalesced_async_at`]).
+//!
 //! The online serving layer on top of this crate — bounded request
 //! queue, micro-batching, tickets, latency percentiles — is
 //! `pcnn-serve`.
@@ -88,10 +102,16 @@ pub mod engine;
 pub mod graph;
 pub mod ops;
 pub mod pattern_conv;
+pub mod quant_conv;
+pub mod quant_kernels;
 pub mod registry;
 
-pub use compile::{compile, compile_dense, prune_and_compile, CompileOptions, CompileReport};
+pub use compile::{
+    compile, compile_dense, compile_quant, prune_and_compile, prune_and_compile_quant,
+    CompileOptions, CompileReport,
+};
 pub use engine::{Engine, ServeStats};
 pub use graph::ExecutableGraph;
 pub use pattern_conv::PatternConv;
+pub use quant_conv::{Precision, QuantOptions, QuantPatternConv, QuantScratch};
 pub use registry::KernelRegistry;

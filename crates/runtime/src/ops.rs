@@ -7,8 +7,10 @@
 //! requires `&mut self` for gradient caches.
 
 use crate::pattern_conv::PatternConv;
+use crate::quant_conv::QuantPatternConv;
 use pcnn_tensor::conv::{conv2d_forward, Conv2dShape};
 use pcnn_tensor::{ops as tops, pool, Tensor};
+use std::sync::Arc;
 
 /// One executable operator.
 #[derive(Debug, Clone)]
@@ -16,10 +18,13 @@ pub enum Op {
     /// Dense im2col convolution (optionally with folded BN bias and
     /// fused ReLU).
     DenseConv {
-        /// OIHW weights (already BN-scaled when folded).
-        weight: Tensor,
-        /// Per-output-channel bias.
-        bias: Option<Tensor>,
+        /// OIHW weights (already BN-scaled when folded). Behind an
+        /// `Arc`: dense fallback layers carry over unchanged into the
+        /// int8 lowering, so both op sequences of a dual-precision
+        /// graph share one copy of these tensors.
+        weight: Arc<Tensor>,
+        /// Per-output-channel bias (shared like the weights).
+        bias: Option<Arc<Tensor>>,
         /// Convolution geometry.
         shape: Conv2dShape,
         /// Fused ReLU epilogue.
@@ -27,6 +32,9 @@ pub enum Op {
     },
     /// Pattern-sparse convolution through the compiled kernel registry.
     PatternConv(PatternConv),
+    /// Quantised pattern-sparse convolution: i8 weights × i8
+    /// activations, i32 accumulation, requantised in the epilogue.
+    QuantConv(QuantPatternConv),
     /// Per-channel affine `y = scale·x + shift` (unfused eval-mode BN).
     Affine {
         /// Per-channel scale.
@@ -47,10 +55,11 @@ pub enum Op {
     Flatten,
     /// Fully-connected layer.
     Linear {
-        /// `out × in` weights.
-        weight: Tensor,
+        /// `out × in` weights (shared across lowerings like
+        /// `DenseConv`'s).
+        weight: Arc<Tensor>,
         /// `out` bias.
-        bias: Tensor,
+        bias: Arc<Tensor>,
     },
     /// Residual block: `relu(main(x) + shortcut(x))`; an empty shortcut
     /// is the identity.
@@ -72,7 +81,7 @@ impl Op {
                 shape,
                 relu,
             } => {
-                let mut y = conv2d_forward(x, weight, bias.as_ref(), shape);
+                let mut y = conv2d_forward(x, weight, bias.as_deref(), shape);
                 if *relu {
                     for v in y.as_mut_slice() {
                         if *v < 0.0 {
@@ -83,6 +92,7 @@ impl Op {
                 y
             }
             Op::PatternConv(conv) => conv.forward(x),
+            Op::QuantConv(conv) => conv.forward(x),
             Op::Affine { scale, shift } => {
                 let dims = x.shape();
                 assert_eq!(dims.len(), 4, "affine expects NCHW");
@@ -110,17 +120,20 @@ impl Op {
                 x.reshaped(&[n, rest])
             }
             Op::Linear { weight, bias } => tops::linear_forward(x, weight, Some(bias)),
-            Op::Residual { main, shortcut } => {
-                let mut m = run_ops(main, x);
-                let s = if shortcut.is_empty() {
-                    x.clone()
-                } else {
-                    run_ops(shortcut, x)
-                };
-                m.axpy(1.0, &s);
-                m.map_inplace(|v| v.max(0.0));
-                m
-            }
+            Op::Residual { main, shortcut } => run_residual(main, shortcut, x, run_ops),
+        }
+    }
+
+    /// Executes the op on the *reference* datapath: quantised
+    /// convolutions run their dequantise-then-f32 reference
+    /// ([`QuantPatternConv::forward_reference`]) instead of the integer
+    /// kernels; every other op runs normally. The integer path must
+    /// match this within float rounding — the parity suite's oracle.
+    pub fn run_reference(&self, x: &Tensor) -> Tensor {
+        match self {
+            Op::QuantConv(conv) => conv.forward_reference(x),
+            Op::Residual { main, shortcut } => run_residual(main, shortcut, x, run_ops_reference),
+            other => other.run(x),
         }
     }
 
@@ -155,6 +168,25 @@ impl Op {
                     }
                 )
             }
+            Op::QuantConv(c) => {
+                let s = c.shape();
+                format!(
+                    "QuantConv int8 {}x{}x{}x{} n={} |P|={} s_w={:.2e}{}{}",
+                    s.out_c,
+                    s.in_c,
+                    s.kernel,
+                    s.kernel,
+                    c.nonzeros_per_kernel(),
+                    c.pattern_count(),
+                    c.weight_params().scale,
+                    if c.has_relu() { " +relu" } else { "" },
+                    if c.skipped_kernels() > 0 {
+                        format!(" (skip {})", c.skipped_kernels())
+                    } else {
+                        String::new()
+                    }
+                )
+            }
             Op::Affine { scale, .. } => format!("Affine c={}", scale.len()),
             Op::Relu => "ReLU".to_string(),
             Op::MaxPool { window } => format!("MaxPool {window}x{window}"),
@@ -172,6 +204,28 @@ impl Op {
     }
 }
 
+/// The residual combinator shared by both datapaths:
+/// `relu(main(x) + shortcut(x))`, with an empty shortcut meaning
+/// identity. `run_seq` is [`run_ops`] on the executing path and
+/// [`run_ops_reference`] on the parity oracle — one implementation, so
+/// the two can never drift.
+fn run_residual(
+    main: &[Op],
+    shortcut: &[Op],
+    x: &Tensor,
+    run_seq: impl Fn(&[Op], &Tensor) -> Tensor,
+) -> Tensor {
+    let mut m = run_seq(main, x);
+    let s = if shortcut.is_empty() {
+        x.clone()
+    } else {
+        run_seq(shortcut, x)
+    };
+    m.axpy(1.0, &s);
+    m.map_inplace(|v| v.max(0.0));
+    m
+}
+
 /// Runs a sequence of ops. The input is only cloned when `ops` is
 /// empty; otherwise the first op reads `x` directly (keeps a
 /// per-request full-tensor copy off the serving hot path).
@@ -186,6 +240,40 @@ pub fn run_ops(ops: &[Op], x: &Tensor) -> Tensor {
             cur
         }
     }
+}
+
+/// [`run_ops`] on the reference datapath (see [`Op::run_reference`]).
+pub fn run_ops_reference(ops: &[Op], x: &Tensor) -> Tensor {
+    match ops.split_first() {
+        None => x.clone(),
+        Some((first, rest)) => {
+            let mut cur = first.run_reference(x);
+            for op in rest {
+                cur = op.run_reference(&cur);
+            }
+            cur
+        }
+    }
+}
+
+/// Maps an f32 op sequence to its int8 lowering: pattern-sparse
+/// convolutions quantise ([`QuantPatternConv::from_pattern_conv`],
+/// reusing their compiled codes and registries), residual blocks map
+/// recursively, and every other op — dense 1×1 convolutions, pooling,
+/// linear heads — carries over on the f32 path (their weights are a
+/// sliver of the network next to the SPM layers, which is exactly why
+/// the paper quantises the SPM sequences).
+pub fn quantize_ops(ops: &[Op], opts: &crate::quant_conv::QuantOptions) -> Vec<Op> {
+    ops.iter()
+        .map(|op| match op {
+            Op::PatternConv(pc) => Op::QuantConv(QuantPatternConv::from_pattern_conv(pc, opts)),
+            Op::Residual { main, shortcut } => Op::Residual {
+                main: quantize_ops(main, opts),
+                shortcut: quantize_ops(shortcut, opts),
+            },
+            other => other.clone(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -230,7 +318,7 @@ mod tests {
         let shape = Conv2dShape::new(1, 1, 1, 1, 0);
         let w = Tensor::from_vec(vec![-1.0], &[1, 1, 1, 1]);
         let op = Op::DenseConv {
-            weight: w,
+            weight: Arc::new(w),
             bias: None,
             shape,
             relu: true,

@@ -117,6 +117,11 @@ impl PatternConv {
         self.relu
     }
 
+    /// The per-output-channel bias, when one is attached.
+    pub fn bias(&self) -> Option<&[f32]> {
+        self.bias.as_deref()
+    }
+
     /// Number of kernels skipped as all-zero (orthogonal coarse pruning).
     pub fn skipped_kernels(&self) -> usize {
         self.skip.iter().filter(|&&s| s).count()

@@ -39,6 +39,7 @@ use crate::metrics::ShardMetrics;
 use crate::queue::{BoundedQueue, Pop};
 use crate::ticket::{ServeError, TicketCell};
 use pcnn_runtime::engine::Engine;
+use pcnn_runtime::Precision;
 use pcnn_tensor::Tensor;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -53,6 +54,10 @@ pub(crate) struct Request {
     /// Admission timestamp, for queue-wait and e2e latency — and the
     /// anchor of the coalescing deadline.
     pub submitted: Instant,
+    /// The lowering this request executes on. A batch is
+    /// precision-uniform: a mismatching request closes the batch being
+    /// built, exactly like a shape change.
+    pub precision: Precision,
 }
 
 /// Everything one batcher thread needs, bundled for the spawn.
@@ -171,10 +176,10 @@ fn coalesce(
     batch
 }
 
-/// Adds `r` to the batch when shape-compatible, else carries it over as
-/// the seed of the next batch.
+/// Adds `r` to the batch when shape- and precision-compatible, else
+/// carries it over as the seed of the next batch.
 fn accept(batch: &mut Vec<Request>, carried: &mut Option<Request>, r: Request) {
-    if r.input.shape() == batch[0].input.shape() {
+    if r.input.shape() == batch[0].input.shape() && r.precision == batch[0].precision {
         batch.push(r);
     } else {
         *carried = Some(r);
@@ -199,22 +204,27 @@ fn dispatch(
         return;
     }
     let dispatch_at = Instant::now();
+    let precision = batch[0].precision;
     let mut inputs = Vec::with_capacity(batch.len());
     let mut meta = Vec::with_capacity(batch.len());
     for r in batch {
+        debug_assert_eq!(r.precision, precision, "batches are precision-uniform");
         ctx.shard.queue_wait.record(dispatch_at - r.submitted);
         inputs.push(r.input);
         meta.push((r.cell, r.submitted));
     }
     ctx.shard.batches.inc();
     ctx.shard.batched_images.add(meta.len() as u64);
+    let pm = ctx.shard.precision(precision);
+    pm.batches.inc();
+    pm.batched_images.add(meta.len() as u64);
 
     let buffers = std::mem::take(&mut *buffer_pool.lock().expect("buffer pool poisoned"));
     let shard = ctx.shard.clone();
     let inflight = inflight.clone();
     let buffer_pool = buffer_pool.clone();
     ctx.engine
-        .infer_coalesced_async(inputs, buffers, move |outputs, spare| {
+        .infer_coalesced_async_at(precision, inputs, buffers, move |outputs, spare| {
             let done_at = Instant::now();
             shard.service.record(done_at - dispatch_at);
             debug_assert_eq!(outputs.len(), meta.len(), "one output slot per request");
@@ -228,6 +238,9 @@ fn dispatch(
                     Some(y) => {
                         shard.latency.record(done_at - submitted);
                         shard.completed.inc();
+                        let pm = shard.precision(precision);
+                        pm.latency.record(done_at - submitted);
+                        pm.completed.inc();
                         cell.complete(Ok(y));
                     }
                     // This request's chunk pass panicked (or the engine
@@ -250,10 +263,15 @@ mod tests {
     use crate::queue::Priority;
 
     fn request(shape: &[usize], submitted: Instant) -> Request {
+        request_at(shape, submitted, Precision::F32)
+    }
+
+    fn request_at(shape: &[usize], submitted: Instant, precision: Precision) -> Request {
         Request {
             input: Tensor::ones(shape),
             cell: TicketCell::new(),
             submitted,
+            precision,
         }
     }
 
@@ -284,6 +302,44 @@ mod tests {
             "expired budget must not buy a fresh {max_wait:?} wait (took {:?})",
             t0.elapsed()
         );
+    }
+
+    /// A precision change closes the batch being built exactly like a
+    /// shape change: the mismatching request seeds the next batch, and
+    /// the two batches stay precision-uniform.
+    #[test]
+    fn precision_change_splits_the_batch() {
+        let queue: BoundedQueue<Request> = BoundedQueue::new(16);
+        let stale = Instant::now() - Duration::from_secs(1);
+        for _ in 0..2 {
+            assert!(queue
+                .try_push(
+                    request_at(&[1, 3, 8, 8], Instant::now(), Precision::F32),
+                    Priority::Normal
+                )
+                .is_ok());
+        }
+        assert!(queue
+            .try_push(
+                request_at(&[1, 3, 8, 8], Instant::now(), Precision::Int8),
+                Priority::Normal
+            )
+            .is_ok());
+        let mut carried = None;
+        let batch = coalesce(
+            &queue,
+            request_at(&[1, 3, 8, 8], stale, Precision::F32),
+            &mut carried,
+            8,
+            Duration::ZERO,
+        );
+        assert_eq!(batch.len(), 3, "same-precision requests coalesce");
+        assert!(batch.iter().all(|r| r.precision == Precision::F32));
+        let int8 = carried.take().expect("the int8 request carried over");
+        assert_eq!(int8.precision, Precision::Int8);
+        let batch = coalesce(&queue, int8, &mut carried, 8, Duration::ZERO);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].precision, Precision::Int8);
     }
 
     /// A fresh first request still gets its full coalescing window.

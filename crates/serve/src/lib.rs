@@ -39,6 +39,13 @@
 //!   ([`metrics::LogHistogram::merge_from`]), giving p50/p95/p99 of
 //!   queue wait and end-to-end latency plus throughput — absorbing the
 //!   engine's bulk `ServeStats` view.
+//! * **Precision selection** ([`ServeConfig::precision`],
+//!   [`Server::submit_with`]): when the engine's graph carries the int8
+//!   lowering (`pcnn_runtime::compile::compile_quant`), the server
+//!   routes traffic to either datapath — per server (the config
+//!   default) or per request. Batches stay precision-uniform, and
+//!   telemetry reports a per-precision breakdown
+//!   ([`TelemetrySnapshot`]'s `precisions`).
 //! * **Graceful shutdown** ([`shutdown`]): close admissions, drain the
 //!   queue (or abort it), join every batcher, report.
 //!
@@ -67,7 +74,8 @@ pub mod queue;
 pub mod shutdown;
 pub mod ticket;
 
-pub use metrics::{ServerMetrics, ShardSnapshot, TelemetrySnapshot};
+pub use metrics::{PrecisionSnapshot, ServerMetrics, ShardSnapshot, TelemetrySnapshot};
+pub use pcnn_runtime::Precision;
 pub use queue::Priority;
 pub use shutdown::{DrainReport, ShutdownMode};
 pub use ticket::{ServeError, Ticket};
@@ -108,11 +116,19 @@ pub struct ServeConfig {
     /// deliberately grows the total thread count (oversubscription —
     /// useful for I/O-heavy callbacks, a tail-latency hazard otherwise).
     pub shards: usize,
+    /// The precision requests execute at when `submit` /
+    /// `submit_with_priority` don't say otherwise (per-server
+    /// selection). Per-request selection is [`Server::submit_with`];
+    /// batches stay precision-uniform, and telemetry is labeled by
+    /// precision ([`TelemetrySnapshot`]'s `precisions`).
+    /// [`Precision::Int8`] requires an engine whose graph carries the
+    /// quantised lowering (`pcnn_runtime::compile::compile_quant`).
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
     /// Capacity 256, batches of up to 8, 2 ms coalescing window, no
-    /// shape pinning, one shard.
+    /// shape pinning, one shard, f32 execution.
     fn default() -> Self {
         ServeConfig {
             queue_capacity: 256,
@@ -120,6 +136,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             input_chw: None,
             shards: 1,
+            precision: Precision::F32,
         }
     }
 }
@@ -161,9 +178,15 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if `config.max_batch == 0`.
+    /// Panics if `config.max_batch == 0`, or if `config.precision`
+    /// requests a lowering the engine's graph does not carry.
     pub fn start(engine: Engine, config: ServeConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            engine.supports(config.precision),
+            "engine graph lacks the {} lowering (compile with compile_quant)",
+            config.precision
+        );
         let shards = resolve_shards(config.shards, engine.threads());
         let engines: Vec<Arc<Engine>> = if shards == 1 {
             vec![Arc::new(engine)]
@@ -230,7 +253,8 @@ impl Server {
         &self.metrics
     }
 
-    /// Submits a `1 × C × H × W` request at [`Priority::Normal`].
+    /// Submits a `1 × C × H × W` request at [`Priority::Normal`] and
+    /// the server's default precision ([`ServeConfig::precision`]).
     ///
     /// Returns a [`Ticket`] immediately; the inference happens on the
     /// batcher/engine threads. Errors are immediate and synchronous:
@@ -238,7 +262,7 @@ impl Server {
     /// ([`ServeError::QueueFull`]), or shutdown
     /// ([`ServeError::ShuttingDown`]).
     pub fn submit(&self, input: pcnn_tensor::Tensor) -> Result<Ticket, ServeError> {
-        self.submit_with_priority(input, Priority::Normal)
+        self.submit_with(input, Priority::Normal, self.config.precision)
     }
 
     /// [`Server::submit`] with an explicit scheduling class.
@@ -247,6 +271,26 @@ impl Server {
         input: pcnn_tensor::Tensor,
         priority: Priority,
     ) -> Result<Ticket, ServeError> {
+        self.submit_with(input, priority, self.config.precision)
+    }
+
+    /// [`Server::submit`] with an explicit scheduling class **and**
+    /// execution precision — per-request precision selection. The
+    /// batchers keep batches precision-uniform (a mismatching request
+    /// seeds the next batch, like a shape change), so mixed traffic
+    /// never mixes datapaths within one engine pass.
+    ///
+    /// Fails with [`ServeError::PrecisionUnavailable`] when the engine's
+    /// graph lacks the requested lowering.
+    pub fn submit_with(
+        &self,
+        input: pcnn_tensor::Tensor,
+        priority: Priority,
+        precision: Precision,
+    ) -> Result<Ticket, ServeError> {
+        if !self.engines[0].supports(precision) {
+            return Err(ServeError::PrecisionUnavailable);
+        }
         let dims = input.shape();
         if dims.len() != 4 || dims[0] != 1 {
             return Err(ServeError::BadInput(format!(
@@ -266,6 +310,7 @@ impl Server {
             input,
             cell: cell.clone(),
             submitted: Instant::now(),
+            precision,
         };
         match self.queue.try_push(request, priority) {
             Ok(()) => {
@@ -502,6 +547,82 @@ mod tests {
             .wait()
             .expect("served");
         assert_eq!(out.shape(), &[1, 3]);
+    }
+
+    /// A server over a dual-precision graph: mixed f32/int8 submissions
+    /// all complete, and the telemetry labels them by precision.
+    #[test]
+    fn per_request_precision_mixes_and_labels_telemetry() {
+        use pcnn_runtime::QuantOptions;
+        let graph = compile_dense(&models::tiny_cnn(3, 4, 1)).with_int8(&QuantOptions::default());
+        let server = Server::start(
+            Engine::new(graph, 2),
+            ServeConfig {
+                max_wait: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        let mut tickets = Vec::new();
+        for i in 0..12 {
+            let p = if i % 3 == 0 {
+                Precision::Int8
+            } else {
+                Precision::F32
+            };
+            tickets.push((
+                p,
+                server.submit_with(x.clone(), Priority::Normal, p).unwrap(),
+            ));
+        }
+        for (_, t) in tickets {
+            t.wait().expect("served");
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.completed, 12);
+        assert_eq!(snap.precisions.len(), 2);
+        let f32s = &snap.precisions[Precision::F32.index()];
+        let int8s = &snap.precisions[Precision::Int8.index()];
+        assert_eq!(f32s.precision, "f32");
+        assert_eq!(int8s.precision, "int8");
+        assert_eq!(f32s.completed, 8);
+        assert_eq!(int8s.completed, 4);
+        assert!(int8s.batches > 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"precision\":\"int8\""));
+        assert!(json.contains("\"precision\":\"f32\""));
+        let rendered = format!("{snap}");
+        assert!(rendered.contains("[int8]"));
+    }
+
+    /// Requesting int8 on an engine compiled without the lowering fails
+    /// synchronously — per request with `PrecisionUnavailable`, and at
+    /// startup with a panic when it's the server default.
+    #[test]
+    fn unavailable_precision_is_rejected_at_submit() {
+        let server = tiny_server(ServeConfig::default());
+        assert!(matches!(
+            server.submit_with(
+                Tensor::ones(&[1, 3, 8, 8]),
+                Priority::Normal,
+                Precision::Int8
+            ),
+            Err(ServeError::PrecisionUnavailable)
+        ));
+        assert_eq!(server.metrics().snapshot().submitted, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks the int8 lowering")]
+    fn int8_default_without_lowering_panics_at_start() {
+        let engine = Engine::new(compile_dense(&models::tiny_cnn(3, 4, 1)), 2);
+        let _ = Server::start(
+            engine,
+            ServeConfig {
+                precision: Precision::Int8,
+                ..ServeConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! → dispatch, the cost of batching) and **end-to-end latency**
 //! (admission → ticket fulfilment, what the client observes).
 
+use pcnn_runtime::Precision;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -194,6 +195,20 @@ impl LogHistogram {
     }
 }
 
+/// Dispatch metrics of one precision class (f32 or int8) within a
+/// shard — the label under which mixed-precision traffic is told apart.
+#[derive(Debug, Default)]
+pub struct PrecisionMetrics {
+    /// Requests of this precision fulfilled with an output.
+    pub completed: Counter,
+    /// Batches of this precision dispatched to the engine.
+    pub batches: Counter,
+    /// Total images across this precision's dispatched batches.
+    pub batched_images: Counter,
+    /// Admission → ticket fulfilment of this precision's requests.
+    pub latency: LogHistogram,
+}
+
 /// The dispatch-side counters and histograms of **one** shard, written
 /// only by that shard's batcher thread and the engine workers running
 /// its completions.
@@ -215,12 +230,20 @@ pub struct ShardMetrics {
     pub latency: LogHistogram,
     /// Dispatch → batch completion (engine time per batch).
     pub service: LogHistogram,
+    /// The same dispatch metrics, labeled by execution precision
+    /// (indexed by [`Precision::index`]).
+    pub by_precision: [PrecisionMetrics; 2],
 }
 
 impl ShardMetrics {
     /// Fresh shard-local metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The metrics of one precision class.
+    pub fn precision(&self, p: Precision) -> &PrecisionMetrics {
+        &self.by_precision[p.index()]
     }
 
     /// A point-in-time reading of this shard.
@@ -320,6 +343,33 @@ impl ServerMetrics {
             service.merge_from(&shard.service);
             shards.push(shard.snapshot(i));
         }
+        let precisions = Precision::ALL
+            .iter()
+            .map(|&p| {
+                let lat = LogHistogram::new();
+                let (mut completed, mut batches, mut batched_images) = (0u64, 0u64, 0u64);
+                for shard in &self.shards {
+                    let pm = shard.precision(p);
+                    completed += pm.completed.get();
+                    batches += pm.batches.get();
+                    batched_images += pm.batched_images.get();
+                    lat.merge_from(&pm.latency);
+                }
+                PrecisionSnapshot {
+                    precision: p.label(),
+                    completed,
+                    batches,
+                    mean_batch: if batches == 0 {
+                        0.0
+                    } else {
+                        batched_images as f64 / batches as f64
+                    },
+                    latency_p50: lat.quantile(0.50),
+                    latency_p99: lat.quantile(0.99),
+                    latency_mean: lat.mean(),
+                }
+            })
+            .collect();
         let completed: u64 = shards.iter().map(|s| s.completed).sum();
         let aborted: u64 = shards.iter().map(|s| s.aborted).sum();
         let failed: u64 = shards.iter().map(|s| s.failed).sum();
@@ -354,6 +404,7 @@ impl ServerMetrics {
             latency_p99: latency.quantile(0.99),
             latency_mean: latency.mean(),
             service_mean: service.mean(),
+            precisions,
             shards,
         }
     }
@@ -402,8 +453,50 @@ pub struct TelemetrySnapshot {
     pub latency_mean: Duration,
     /// Mean engine time per dispatched batch (exact).
     pub service_mean: Duration,
+    /// Per-precision breakdown (one entry per [`Precision`], in
+    /// `Precision::ALL` order), merged across shards.
+    pub precisions: Vec<PrecisionSnapshot>,
     /// Per-shard breakdown (one entry per batcher, in shard order).
     pub shards: Vec<ShardSnapshot>,
+}
+
+/// A point-in-time reading of one precision class's traffic.
+#[derive(Debug, Clone)]
+pub struct PrecisionSnapshot {
+    /// Precision label (`"f32"` or `"int8"`).
+    pub precision: &'static str,
+    /// Requests of this precision completed with an output.
+    pub completed: u64,
+    /// Batches of this precision dispatched.
+    pub batches: u64,
+    /// Mean images per dispatched batch.
+    pub mean_batch: f64,
+    /// Median end-to-end latency of this precision's requests.
+    pub latency_p50: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+    /// Mean end-to-end latency (exact).
+    pub latency_mean: Duration,
+}
+
+impl PrecisionSnapshot {
+    /// Renders the precision reading as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"precision\":\"{}\",\"completed\":{},\"batches\":{},",
+                "\"mean_batch\":{:.3},",
+                "\"latency_ms\":{{\"p50\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}}}}"
+            ),
+            self.precision,
+            self.completed,
+            self.batches,
+            self.mean_batch,
+            ms(self.latency_p50),
+            ms(self.latency_p99),
+            ms(self.latency_mean),
+        )
+    }
 }
 
 /// A point-in-time reading of one shard's dispatch metrics.
@@ -505,6 +598,21 @@ impl std::fmt::Display for TelemetrySnapshot {
             "engine service: {:.3} ms mean per batch",
             ms(self.service_mean)
         )?;
+        for p in &self.precisions {
+            if p.completed > 0 {
+                write!(
+                    f,
+                    "\n[{}] {} completed in {} batches ({:.2} images/batch), \
+                     e2e p50 {:.3} ms p99 {:.3} ms",
+                    p.precision,
+                    p.completed,
+                    p.batches,
+                    p.mean_batch,
+                    ms(p.latency_p50),
+                    ms(p.latency_p99)
+                )?;
+            }
+        }
         if self.shards.len() > 1 {
             for s in &self.shards {
                 write!(
@@ -535,6 +643,12 @@ impl TelemetrySnapshot {
             .map(ShardSnapshot::to_json)
             .collect::<Vec<_>>()
             .join(",");
+        let precisions = self
+            .precisions
+            .iter()
+            .map(PrecisionSnapshot::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"rejected\":{},",
@@ -542,7 +656,7 @@ impl TelemetrySnapshot {
                 "\"mean_batch\":{:.3},\"elapsed_s\":{:.6},\"throughput_rps\":{:.3},",
                 "\"queue_wait_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
-                "\"service_mean_ms\":{:.6},\"shards\":[{}]}}"
+                "\"service_mean_ms\":{:.6},\"precisions\":[{}],\"shards\":[{}]}}"
             ),
             self.submitted,
             self.completed,
@@ -563,6 +677,7 @@ impl TelemetrySnapshot {
             ms(self.latency_p99),
             ms(self.latency_mean),
             ms(self.service_mean),
+            precisions,
             shards,
         )
     }

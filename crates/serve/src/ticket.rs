@@ -25,6 +25,10 @@ pub enum ServeError {
     /// requests stacked into the faulting chunk fail; the rest of the
     /// coalesced batch completes normally.
     EngineFault,
+    /// The requested precision is not compiled into the engine's graph
+    /// (int8 requires a graph lowered with its quantised twin — see
+    /// `pcnn_runtime::compile::compile_quant`).
+    PrecisionUnavailable,
 }
 
 impl std::fmt::Display for ServeError {
@@ -36,6 +40,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Aborted => write!(f, "request aborted by shutdown"),
             ServeError::EngineFault => {
                 write!(f, "engine fault: the pass running this request panicked")
+            }
+            ServeError::PrecisionUnavailable => {
+                write!(
+                    f,
+                    "requested precision is not compiled into the engine's graph"
+                )
             }
         }
     }

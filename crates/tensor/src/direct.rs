@@ -323,6 +323,303 @@ pub fn accumulate_plane_batch_dyn(
     }
 }
 
+/// Writes one `h × w` **f32** channel plane into a `ph · pw` **i8**
+/// slice, symmetrically quantising while padding: interior elements
+/// become `clamp(round(v / scale), ±q_max)` and the `pad`-wide border is
+/// the zero code, fully overwriting `buf` in a single pass. This is the
+/// int8 twin of [`pad_plane_overwrite`], fusing activation quantisation
+/// into the padding copy the batched runtime already performs — the
+/// activations are never materialised as a separate i8 tensor.
+///
+/// The quantisation formula is exactly `pcnn_core::quant`'s
+/// (`(v · (1/scale)).round()` then clamp), so a runtime that derives
+/// `scale` the same way produces bit-identical codes to
+/// `quantize_symmetric`.
+///
+/// # Panics
+///
+/// Panics if `plane.len() != h · w` or `buf.len() != ph · pw`.
+pub fn pad_quant_plane_overwrite(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    pad: usize,
+    scale: f32,
+    q_max: i32,
+    buf: &mut [i8],
+) {
+    assert_eq!(plane.len(), h * w, "plane length mismatch");
+    let (ph, pw) = padded_dims(h, w, pad);
+    assert_eq!(buf.len(), ph * pw, "padded buffer length mismatch");
+    let q_max_f = q_max as f32;
+    let inv = 1.0 / scale;
+    buf[..pad * pw].fill(0);
+    for y in 0..h {
+        let row = &mut buf[(y + pad) * pw..(y + pad + 1) * pw];
+        row[..pad].fill(0);
+        for (q, &v) in row[pad..pad + w].iter_mut().zip(&plane[y * w..(y + 1) * w]) {
+            *q = (v * inv).round().clamp(-q_max_f, q_max_f) as i8;
+        }
+        row[pad + w..].fill(0);
+    }
+    buf[(h + pad) * pw..].fill(0);
+}
+
+/// Integer twin of [`accumulate_rows`]: accumulates one output row of
+/// `i32` sums from `N` weighted taps of an i8-quantised padded plane:
+///
+/// `out[ox] += Σ_j weights[j] · padded[base + off_j + ox · stride]`
+///
+/// Weights arrive pre-widened to `i32` (done once per kernel dispatch).
+/// Unlike the f32 kernel, the stride-1 path walks **pixels outer, taps
+/// inner** (all `N` tap products fused per pixel): integer widening
+/// multiplies vectorise far better as one fused reduction per lane than
+/// as `N` separate widen-multiply-add sweeps.
+#[inline]
+pub fn accumulate_rows_i8<const N: usize>(
+    out: &mut [i32],
+    padded: &[i8],
+    base: usize,
+    offsets: &[usize; N],
+    weights: &[i32; N],
+    stride: usize,
+) {
+    let ow = out.len();
+    if stride == 1 {
+        // Fixed-size blocks of 16 pixels: the compile-time block width
+        // lets the vectoriser emit straight-line widening MACs (the
+        // runtime-`ow` loop alone costs ~3× on AVX2). The tail runs the
+        // same fused form scalar — real plane widths are overwhelmingly
+        // multiples of 16 or tiny.
+        const B: usize = 16;
+        let srcs: [&[i8]; N] =
+            std::array::from_fn(|j| &padded[base + offsets[j]..base + offsets[j] + ow]);
+        let blocks = ow / B;
+        for b in 0..blocks {
+            let o: &mut [i32; B] = (&mut out[b * B..(b + 1) * B])
+                .try_into()
+                .expect("block length is B");
+            let mut acc = [0i32; B];
+            for j in 0..N {
+                let s: &[i8; B] = (&srcs[j][b * B..(b + 1) * B])
+                    .try_into()
+                    .expect("block length is B");
+                for k in 0..B {
+                    acc[k] += weights[j] * s[k] as i32;
+                }
+            }
+            for k in 0..B {
+                o[k] += acc[k];
+            }
+        }
+        for i in blocks * B..ow {
+            let mut acc = out[i];
+            for j in 0..N {
+                acc += weights[j] * srcs[j][i] as i32;
+            }
+            out[i] = acc;
+        }
+    } else {
+        for (ox, o) in out.iter_mut().enumerate() {
+            let x = ox * stride;
+            let mut acc = 0i32;
+            for j in 0..N {
+                acc += weights[j] * padded[base + offsets[j] + x] as i32;
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// Integer twin of [`accumulate_plane`]: a whole `oh × ow` plane of
+/// `i32` accumulators from `N` taps of an i8 padded plane.
+#[inline]
+pub fn accumulate_plane_i8<const N: usize>(
+    out_plane: &mut [i32],
+    padded: &[i8],
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize; N],
+    weights: &[i32; N],
+    stride: usize,
+) {
+    for (oy, out_row) in out_plane.chunks_mut(ow).enumerate() {
+        accumulate_rows_i8::<N>(out_row, padded, oy * row_stride, offsets, weights, stride);
+    }
+}
+
+/// Runtime-`n` dispatcher onto the monomorphised [`accumulate_plane_i8`]
+/// instances, mirroring [`accumulate_plane_dyn`]. Weights arrive as the
+/// layer's packed `i8` codes and widen once per dispatch.
+#[inline]
+pub fn accumulate_plane_dyn_i8(
+    out_plane: &mut [i32],
+    padded: &[i8],
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[i8],
+    stride: usize,
+) {
+    debug_assert_eq!(offsets.len(), weights.len());
+    macro_rules! arm {
+        ($n:literal) => {{
+            let offs: &[usize; $n] = offsets.try_into().expect("length checked by match");
+            let mut wts = [0i32; $n];
+            for (w, &q) in wts.iter_mut().zip(weights) {
+                *w = q as i32;
+            }
+            accumulate_plane_i8::<$n>(out_plane, padded, ow, row_stride, offs, &wts, stride)
+        }};
+    }
+    match offsets.len() {
+        0 => {}
+        1 => arm!(1),
+        2 => arm!(2),
+        3 => arm!(3),
+        4 => arm!(4),
+        5 => arm!(5),
+        6 => arm!(6),
+        7 => arm!(7),
+        8 => arm!(8),
+        9 => arm!(9),
+        _ => {
+            for (oy, out_row) in out_plane.chunks_mut(ow).enumerate() {
+                let base = oy * row_stride;
+                for (ox, o) in out_row.iter_mut().enumerate() {
+                    let x = ox * stride;
+                    let mut acc = 0i32;
+                    for (&off, &w) in offsets.iter().zip(weights) {
+                        acc += w as i32 * padded[base + off + x] as i32;
+                    }
+                    *o += acc;
+                }
+            }
+        }
+    }
+}
+
+/// Integer twin of [`accumulate_plane_batch_dyn`]: applies one
+/// i8-quantised kernel to the same channel slot of every image in a
+/// batch with a single monomorphisation dispatch, accumulating into
+/// `i32` planes. Small power-of-two output rows take the same
+/// const-width fast path as the f32 kernel — on the deep layers of real
+/// networks that loop overhead rivals the arithmetic.
+#[inline]
+#[allow(clippy::too_many_arguments)] // kernel geometry is irreducible
+pub fn accumulate_plane_batch_dyn_i8(
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[i8],
+    stride: usize,
+) {
+    debug_assert_eq!(offsets.len(), weights.len());
+    /// Rows as compile-time `[i32; OW]` accumulators, taps fully
+    /// unrolled — the i8 mirror of the f32 `tiny_rows`.
+    #[inline]
+    fn tiny_rows_i8<const N: usize, const OW: usize>(
+        out: &mut [i32],
+        padded: &[i8],
+        geo: BatchPlanes,
+        oh: usize,
+        row_stride: usize,
+        offs: &[usize; N],
+        wts: &[i32; N],
+    ) {
+        for i in 0..geo.n {
+            let ob = geo.out_base + i * geo.out_stride;
+            let ib = geo.in_base + i * geo.in_stride;
+            for oy in 0..oh {
+                let rb = ib + oy * row_stride;
+                let orow: &mut [i32; OW] = (&mut out[ob + oy * OW..ob + (oy + 1) * OW])
+                    .try_into()
+                    .expect("row length is OW");
+                let mut acc = [0i32; OW];
+                for j in 0..N {
+                    let src: &[i8; OW] = (&padded[rb + offs[j]..rb + offs[j] + OW])
+                        .try_into()
+                        .expect("row length is OW");
+                    for k in 0..OW {
+                        acc[k] += wts[j] * src[k] as i32;
+                    }
+                }
+                for k in 0..OW {
+                    orow[k] += acc[k];
+                }
+            }
+        }
+    }
+    macro_rules! arm {
+        ($n:literal) => {{
+            let offs: &[usize; $n] = offsets.try_into().expect("length checked by match");
+            let mut wts = [0i32; $n];
+            for (w, &q) in wts.iter_mut().zip(weights) {
+                *w = q as i32;
+            }
+            if stride == 1 && matches!(ow, 1 | 2 | 4 | 8 | 16 | 32) {
+                match ow {
+                    1 => tiny_rows_i8::<$n, 1>(out, padded, geo, oh, row_stride, offs, &wts),
+                    2 => tiny_rows_i8::<$n, 2>(out, padded, geo, oh, row_stride, offs, &wts),
+                    4 => tiny_rows_i8::<$n, 4>(out, padded, geo, oh, row_stride, offs, &wts),
+                    8 => tiny_rows_i8::<$n, 8>(out, padded, geo, oh, row_stride, offs, &wts),
+                    // Integer widening MACs gain more from compile-time
+                    // trip counts than the f32 kernels do, so the i8
+                    // const-width dispatch extends to the 16/32-wide
+                    // planes of real CIFAR-scale networks.
+                    16 => tiny_rows_i8::<$n, 16>(out, padded, geo, oh, row_stride, offs, &wts),
+                    _ => tiny_rows_i8::<$n, 32>(out, padded, geo, oh, row_stride, offs, &wts),
+                }
+            } else {
+                for i in 0..geo.n {
+                    let ob = geo.out_base + i * geo.out_stride;
+                    let ib = geo.in_base + i * geo.in_stride;
+                    accumulate_plane_i8::<$n>(
+                        &mut out[ob..ob + oh * ow],
+                        &padded[ib..ib + geo.plane_len],
+                        ow,
+                        row_stride,
+                        offs,
+                        &wts,
+                        stride,
+                    );
+                }
+            }
+        }};
+    }
+    match offsets.len() {
+        0 => {}
+        1 => arm!(1),
+        2 => arm!(2),
+        3 => arm!(3),
+        4 => arm!(4),
+        5 => arm!(5),
+        6 => arm!(6),
+        7 => arm!(7),
+        8 => arm!(8),
+        9 => arm!(9),
+        _ => {
+            for i in 0..geo.n {
+                let ob = geo.out_base + i * geo.out_stride;
+                let ib = geo.in_base + i * geo.in_stride;
+                accumulate_plane_dyn_i8(
+                    &mut out[ob..ob + oh * ow],
+                    &padded[ib..ib + geo.plane_len],
+                    ow,
+                    row_stride,
+                    offsets,
+                    weights,
+                    stride,
+                );
+            }
+        }
+    }
+}
+
 /// Runtime-`n` dispatcher onto the monomorphised [`accumulate_rows`]
 /// instances (3×3 kernels have 0..=9 taps). Patterns wider than 9 taps
 /// (larger kernels) fall back to a generic loop.
@@ -417,6 +714,103 @@ mod tests {
         accumulate_rows::<1>(&mut out, &padded, 0, &offsets, &weights, 2);
         for (ox, &o) in out.iter().enumerate() {
             assert_eq!(o, 3.0 * padded[1 + 2 * ox]);
+        }
+    }
+
+    #[test]
+    fn pad_quant_plane_quantises_and_borders_zero() {
+        let plane = vec![0.0f32, 1.0, -1.0, 0.5, 0.26, -0.26];
+        let mut buf = vec![7i8; 4 * 5]; // 2×3 plane, pad 1, stale contents
+        pad_quant_plane_overwrite(&plane, 2, 3, 1, 1.0 / 127.0, 127, &mut buf);
+        // Row 1 interior: 0, 127 (clamped from 127), -127; row 2: 64
+        // (0.5·127 = 63.5 rounds to 64), 33, -33.
+        assert_eq!(&buf[6..9], &[0, 127, -127]);
+        assert_eq!(&buf[11..14], &[64, 33, -33]);
+        assert!(buf[0..5].iter().all(|&q| q == 0));
+        assert!(buf[15..].iter().all(|&q| q == 0));
+        assert_eq!(buf[5], 0);
+        assert_eq!(buf[9], 0);
+    }
+
+    #[test]
+    fn accumulate_rows_i8_matches_naive() {
+        let padded: Vec<i8> = (0i32..20).map(|v| (v - 10) as i8).collect();
+        let offsets = [0usize, 6];
+        let weights = [2i32, -3];
+        let mut out = vec![5i32; 3];
+        accumulate_rows_i8::<2>(&mut out, &padded, 5, &offsets, &weights, 1);
+        for (ox, &o) in out.iter().enumerate() {
+            let want = 5 + 2 * padded[5 + ox] as i32 - 3 * padded[11 + ox] as i32;
+            assert_eq!(o, want, "ox {ox}");
+        }
+    }
+
+    #[test]
+    fn i8_dyn_dispatch_equals_naive_all_tap_counts() {
+        let padded: Vec<i8> = (0..64).map(|v| ((v * 7) % 251 - 125) as i8).collect();
+        for n in 0..=9usize {
+            let offsets: Vec<usize> = (0..n).map(|j| j * 5).collect();
+            let weights: Vec<i8> = (0..n).map(|j| (j as i32 * 13 - 40) as i8).collect();
+            for stride in [1usize, 2] {
+                let mut got = vec![0i32; 2 * 4]; // 2 rows of 4
+                accumulate_plane_dyn_i8(
+                    &mut got,
+                    &padded,
+                    4,
+                    8 * stride,
+                    &offsets,
+                    &weights,
+                    stride,
+                );
+                let mut want = vec![0i32; 2 * 4];
+                for oy in 0..2 {
+                    for ox in 0..4 {
+                        for j in 0..n {
+                            want[oy * 4 + ox] += weights[j] as i32
+                                * padded[oy * 8 * stride + offsets[j] + ox * stride] as i32;
+                        }
+                    }
+                }
+                assert_eq!(got, want, "n={n} stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_batch_dispatch_matches_per_image_planes() {
+        // 3 images, padded planes of 6×6, output 4×4 (tiny-rows path)
+        // and 4×3 (slice path) — both must equal per-image dispatch.
+        let plane_len = 36usize;
+        let padded: Vec<i8> = (0..3 * plane_len as i32)
+            .map(|v| ((v * 11) % 199 - 99) as i8)
+            .collect();
+        let offsets = vec![0usize, 7, 14];
+        let weights = vec![3i8, -5, 9];
+        for ow in [4usize, 3] {
+            let oh = 4usize;
+            let geo = BatchPlanes {
+                out_base: 0,
+                out_stride: oh * ow,
+                in_base: 0,
+                in_stride: plane_len,
+                plane_len,
+                n: 3,
+            };
+            let mut got = vec![0i32; 3 * oh * ow];
+            accumulate_plane_batch_dyn_i8(&mut got, &padded, geo, oh, ow, 6, &offsets, &weights, 1);
+            let mut want = vec![0i32; 3 * oh * ow];
+            for i in 0..3 {
+                accumulate_plane_dyn_i8(
+                    &mut want[i * oh * ow..(i + 1) * oh * ow],
+                    &padded[i * plane_len..(i + 1) * plane_len],
+                    ow,
+                    6,
+                    &offsets,
+                    &weights,
+                    1,
+                );
+            }
+            assert_eq!(got, want, "ow={ow}");
         }
     }
 
