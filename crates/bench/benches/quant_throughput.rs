@@ -382,12 +382,13 @@ fn main() {
     // The honesty clause: say where int8 wins and where it doesn't.
     let notes = format!(
         "int8 executes i8xi8->i32 pattern kernels with per-image activation quantisation \
-         fused into plane padding and one requantisation pass per output plane. The win \
-         scales with MACs per activation: on the CIFAR-width proxy (32-96 channels, 16x16 \
-         planes) the integer kernels amortise the quantise/requantise passes and int8 leads; \
-         on the deliberately tiny default proxies those per-activation passes rival the \
-         arithmetic itself and int8 runs near or below f32 parity. Best observed int8 \
-         speedup this run: {:.2}x on {}.",
+         fused into plane padding and the requantisation epilogue folded into each output \
+         channel's final kernel dispatch (pattern-grouped schedule). The quantise/max-abs \
+         passes dispatch through the same SIMD tiers as the kernels, so int8 leads f32 on \
+         the deliberately tiny activation-pass-bound default proxies too, not just the \
+         compute-bound CIFAR-width proxy. Ratios compressed vs the pre-SIMD-rewrite file \
+         because the f32 kernels sped up more than the int8 kernels; both gained in \
+         absolute terms. Best observed int8 speedup this run: {:.2}x on {}.",
         best_overall.0, best_overall.1
     );
     println!("notes: {notes}");

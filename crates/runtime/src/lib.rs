@@ -14,11 +14,20 @@
 //!
 //! 1. **Kernel registry** ([`registry`]). Each 3×3 sparsity pattern is
 //!    compiled once into tap coordinates, and execution dispatches onto
-//!    monomorphised, unrolled row kernels
-//!    ([`pcnn_tensor::direct::accumulate_rows`]) — the regularity of
-//!    pattern pruning is what makes a fixed unrolled kernel per pattern
-//!    possible at all. A registry can cover a distilled [`PatternSet`]
-//!    (one kernel per SPM code) or the full 2⁹ pattern space.
+//!    monomorphised kernels built on the explicit SIMD tiles of
+//!    [`pcnn_tensor::simd`] (AVX2 detected at runtime, scalar fallback
+//!    under `PCNN_FORCE_SCALAR=1` — bit-identical either way) — the
+//!    regularity of pattern pruning is what makes a fixed unrolled
+//!    kernel per pattern possible at all. A registry can cover a
+//!    distilled [`PatternSet`] (one kernel per SPM code) or the full 2⁹
+//!    pattern space, and every layer additionally compiles a
+//!    **pattern-grouped schedule** ([`registry::PatternSchedule`]):
+//!    kernels reorder ic-major into per-pattern-ID groups with packed
+//!    weights, so one offset-table load feeds every output channel
+//!    sharing that pattern and each padded input plane streams through
+//!    all of its consumers while cache-hot. The schedule's last-kernel
+//!    flags let the executors fold their epilogue (fused ReLU, int8
+//!    requantisation) into the final dispatch per output channel.
 //!
 //! 2. **Layer compiler** ([`compile`]). A pruned model lowers to an
 //!    immutable [`graph::ExecutableGraph`] of ops ([`ops::Op`]):

@@ -13,14 +13,15 @@
 //! on top of PCNN, `pcnn_core::fuse`) — are skipped outright, so fused
 //! coarse+pattern sparsity shows up as real runtime savings.
 
-use crate::registry::KernelRegistry;
+use crate::registry::{KernelRegistry, PatternSchedule};
 use pcnn_core::pattern::PatternSet;
 use pcnn_core::spm::{EncodeSpmError, SpmLayer};
 use pcnn_tensor::conv::Conv2dShape;
 use pcnn_tensor::direct::{
-    accumulate_plane_batch_dyn, accumulate_plane_dyn, pad_plane_into, pad_plane_overwrite,
-    padded_dims, BatchPlanes,
+    accumulate_plane_batch_dyn_at, accumulate_plane_dyn, pad_plane_into, pad_plane_overwrite,
+    padded_dims, relu_in_place_at, BatchPlanes,
 };
+use pcnn_tensor::simd::{self, SimdLevel};
 use pcnn_tensor::Tensor;
 
 /// A compiled, immutable, thread-safe sparse convolution.
@@ -36,6 +37,12 @@ pub struct PatternConv {
     relu: bool,
     /// Per-kernel skip flags for all-zero (coarsely pruned) kernels.
     skip: Vec<bool>,
+    /// The pattern-grouped execution order (ic-major, per-code groups).
+    schedule: PatternSchedule,
+    /// Non-zero weights packed in schedule-slot order (`n` per slot).
+    packed: Vec<f32>,
+    /// Execute batches pattern-grouped (default) or oc-major.
+    grouped: bool,
 }
 
 impl PatternConv {
@@ -53,9 +60,15 @@ impl PatternConv {
             "kernel area mismatch"
         );
         let registry = KernelRegistry::for_set(spm.pattern_set());
-        let skip = (0..spm.kernel_count())
+        let skip: Vec<bool> = (0..spm.kernel_count())
             .map(|ki| spm.kernel_is_zero(ki))
             .collect();
+        let schedule = PatternSchedule::build(spm.codes(), &skip, shape.out_c, shape.in_c);
+        let n = spm.nonzeros_per_kernel();
+        let mut packed = Vec::with_capacity(schedule.slot_count() * n);
+        for (ic, oc) in schedule.slot_kernels() {
+            packed.extend_from_slice(spm.kernel_nonzeros(oc * shape.in_c + ic));
+        }
         PatternConv {
             spm,
             registry,
@@ -63,6 +76,9 @@ impl PatternConv {
             bias: None,
             relu: false,
             skip,
+            schedule,
+            packed,
+            grouped: true,
         }
     }
 
@@ -95,6 +111,25 @@ impl PatternConv {
     pub fn with_relu(mut self, relu: bool) -> Self {
         self.relu = relu;
         self
+    }
+
+    /// Selects pattern-grouped (default) or oc-major batched execution.
+    /// Both orders produce bit-identical results; grouped execution
+    /// streams each padded input plane through all of its consumers
+    /// with one offset-table load per pattern group.
+    pub fn with_grouping(mut self, grouped: bool) -> Self {
+        self.grouped = grouped;
+        self
+    }
+
+    /// Whether batched execution runs pattern-grouped.
+    pub fn is_grouped(&self) -> bool {
+        self.grouped
+    }
+
+    /// The pattern-grouped execution schedule.
+    pub fn schedule(&self) -> &PatternSchedule {
+        &self.schedule
     }
 
     /// The underlying SPM encoding.
@@ -145,12 +180,13 @@ impl PatternConv {
     }
 
     /// The batched execution path: pads **every** plane of **every**
-    /// image once up front, then walks `(oc, ic)` kernels in the outer
-    /// loops and images in the inner loop, so the per-kernel SPM
-    /// code/weight/offset lookups (and the offset table itself) are paid
-    /// once per batch rather than once per image. This is what makes
-    /// dynamic batching in `pcnn-serve` cheaper than per-image dispatch
-    /// even on a single core.
+    /// image once per batch, then walks the layer's kernels
+    /// **pattern-grouped** (or oc-major, see
+    /// [`PatternConv::with_grouping`]) with images in the inner loop, so
+    /// per-kernel SPM code/weight/offset lookups — and the offset table
+    /// itself — are paid once per batch rather than once per image. This
+    /// is what makes dynamic batching in `pcnn-serve` cheaper than
+    /// per-image dispatch even on a single core.
     ///
     /// `input` is `n` contiguous `in_c × h × w` images; `out` is `n`
     /// contiguous `out_c × oh × ow` outputs, fully overwritten.
@@ -162,6 +198,43 @@ impl PatternConv {
     /// Panics if `input` or `out` have the wrong length.
     pub fn forward_batch(
         &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        self.forward_batch_at(simd::active(), self.grouped, input, n, h, w, out, scratch);
+    }
+
+    /// [`PatternConv::forward_batch`] on the legacy **oc-major** kernel
+    /// walk, kept as the parity oracle and bench baseline for the
+    /// pattern-grouped order (both produce bit-identical outputs).
+    pub fn forward_batch_oc_major(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        self.forward_batch_at(simd::active(), false, input, n, h, w, out, scratch);
+    }
+
+    /// The fully pinned batched entry point: the SIMD tier and kernel
+    /// walk order chosen by the caller (benches and property suites
+    /// diff the four combinations against each other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `out` have the wrong length.
+    #[allow(clippy::too_many_arguments)] // bench/test entry point: every axis is load-bearing
+    pub fn forward_batch_at(
+        &self,
+        level: SimdLevel,
+        grouped: bool,
         input: &[f32],
         n: usize,
         h: usize,
@@ -213,46 +286,90 @@ impl PatternConv {
             }
         }
 
-        // Kernels outer, images inner: one (code, weights, offsets)
-        // lookup — and one monomorphisation dispatch — feeds the whole
-        // batch.
         let in_img_padded = in_c * plane_len;
-        for oc in 0..shape.out_c {
-            for ic in 0..in_c {
-                let ki = oc * in_c + ic;
-                if self.skip[ki] {
-                    continue;
-                }
-                let code = self.spm.code(ki) as usize;
-                let offs = &offsets[code];
-                let wts = self.spm.kernel_nonzeros(ki);
-                let geo = BatchPlanes {
-                    out_base: oc * out_plane_len,
-                    out_stride: out_img,
-                    in_base: ic * plane_len,
-                    in_stride: in_img_padded,
-                    plane_len,
-                    n,
-                };
-                accumulate_plane_batch_dyn(
-                    out,
-                    scratch,
-                    geo,
-                    oh,
-                    ow,
-                    row_stride,
-                    offs,
-                    wts,
-                    shape.stride,
-                );
-            }
-        }
+        let geo_for = |ic: usize, oc: usize| BatchPlanes {
+            out_base: oc * out_plane_len,
+            out_stride: out_img,
+            in_base: ic * plane_len,
+            in_stride: in_img_padded,
+            plane_len,
+            n,
+        };
 
-        if self.relu {
-            for v in out.iter_mut() {
-                if *v < 0.0 {
-                    *v = 0.0;
+        if grouped {
+            // Pattern-grouped walk: one offset-table load per (ic,
+            // pattern) group, packed contiguous weight reads, each
+            // padded input plane streamed through all of its consumers
+            // while hot. The fused ReLU runs per output channel right
+            // after its final live kernel (the plane is still in cache)
+            // instead of as a whole-tensor pass at the end.
+            let nz = self.spm.nonzeros_per_kernel();
+            for entry in self.schedule.entries() {
+                let offs = &offsets[entry.code as usize];
+                let ic = entry.ic as usize;
+                let slot0 = entry.start as usize;
+                let lasts = self.schedule.group_last(entry);
+                for (s, &oc) in self.schedule.group_ocs(entry).iter().enumerate() {
+                    let oc = oc as usize;
+                    let wts = &self.packed[(slot0 + s) * nz..(slot0 + s + 1) * nz];
+                    accumulate_plane_batch_dyn_at(
+                        level,
+                        out,
+                        scratch,
+                        geo_for(ic, oc),
+                        oh,
+                        ow,
+                        row_stride,
+                        offs,
+                        wts,
+                        shape.stride,
+                    );
+                    if self.relu && lasts[s] {
+                        for ni in 0..n {
+                            let base = ni * out_img + oc * out_plane_len;
+                            relu_in_place_at(level, &mut out[base..base + out_plane_len]);
+                        }
+                    }
                 }
+            }
+            if self.relu {
+                // Fully coarse-pruned channels never hit the fold; their
+                // planes still hold a possibly-negative bias seed.
+                for &oc in self.schedule.untouched_ocs() {
+                    let oc = oc as usize;
+                    for ni in 0..n {
+                        let base = ni * out_img + oc * out_plane_len;
+                        relu_in_place_at(level, &mut out[base..base + out_plane_len]);
+                    }
+                }
+            }
+        } else {
+            // Legacy oc-major walk with a trailing whole-tensor ReLU.
+            for oc in 0..shape.out_c {
+                for ic in 0..in_c {
+                    let ki = oc * in_c + ic;
+                    if self.skip[ki] {
+                        continue;
+                    }
+                    let code = self.spm.code(ki) as usize;
+                    let offs = &offsets[code];
+                    let wts = self.spm.kernel_nonzeros(ki);
+                    accumulate_plane_batch_dyn_at(
+                        level,
+                        out,
+                        scratch,
+                        geo_for(ic, oc),
+                        oh,
+                        ow,
+                        row_stride,
+                        offs,
+                        wts,
+                        shape.stride,
+                    );
+                }
+            }
+            if self.relu {
+                relu_in_place_at(level, out);
             }
         }
     }

@@ -19,20 +19,27 @@
 //! 2. every surviving tap contributes an `i8 × i8` MAC into an `i32`
 //!    accumulator plane through the unrolled kernels of
 //!    [`pcnn_tensor::direct::accumulate_plane_batch_dyn_i8`];
-//! 3. one requantisation pass maps accumulators back to `f32`
-//!    (`acc · s_w · s_a`), adds the folded batch-norm shift, and applies
-//!    the fused ReLU ([`crate::quant_kernels::requantize_plane`]).
+//! 3. requantisation maps accumulators back to `f32` (`acc · s_w ·
+//!    s_a`), adds the folded batch-norm shift, and applies the fused
+//!    ReLU ([`crate::quant_kernels::requantize_plane`]). Under the
+//!    pattern-grouped schedule (the default) this epilogue is **folded
+//!    into each output channel's final kernel dispatch**, so the
+//!    accumulator planes are consumed while cache-hot instead of in a
+//!    separate full pass.
 //!
 //! Kernels whose quantised sequence is entirely zero are skipped — the
 //! orthogonal coarse-pruning economy survives quantisation (and can only
 //! grow, since tiny weights may round to the zero code).
 
 use crate::pattern_conv::PatternConv;
-use crate::quant_kernels::{per_image_activation_params, quantize_batch_planes, requantize_plane};
-use crate::registry::KernelRegistry;
+use crate::quant_kernels::{
+    per_image_activation_params_at, quantize_batch_planes_at, requantize_plane_at,
+};
+use crate::registry::{KernelRegistry, PatternSchedule};
 use pcnn_core::quant::{dequantize, quantize_symmetric, QuantParams};
 use pcnn_tensor::conv::{conv2d_direct, Conv2dShape};
-use pcnn_tensor::direct::{accumulate_plane_batch_dyn_i8, padded_dims, BatchPlanes};
+use pcnn_tensor::direct::{accumulate_plane_batch_dyn_i8_at, padded_dims, BatchPlanes};
+use pcnn_tensor::simd::{self, SimdLevel};
 use pcnn_tensor::Tensor;
 
 /// The numeric precision an executable graph runs at.
@@ -130,6 +137,13 @@ pub struct QuantPatternConv {
     skip: Vec<bool>,
     /// Pattern-table size, for summaries.
     set_len: usize,
+    /// The pattern-grouped execution order, rebuilt from the
+    /// **quantised** skip flags (tiny weights may round to all-zero).
+    schedule: PatternSchedule,
+    /// Quantised non-zero weights packed in schedule-slot order.
+    packed: Vec<i8>,
+    /// Execute batches pattern-grouped (default) or oc-major.
+    grouped: bool,
 }
 
 impl QuantPatternConv {
@@ -148,13 +162,20 @@ impl QuantPatternConv {
         );
         let spm = pc.spm();
         let n = spm.nonzeros_per_kernel();
+        let shape = *pc.shape();
         let (qweights, wparams) = quantize_symmetric(spm.nonzeros(), opts.weight_bits);
-        let skip = (0..spm.kernel_count())
+        let skip: Vec<bool> = (0..spm.kernel_count())
             .map(|ki| qweights[ki * n..(ki + 1) * n].iter().all(|&q| q == 0))
             .collect();
+        let schedule = PatternSchedule::build(spm.codes(), &skip, shape.out_c, shape.in_c);
+        let mut packed = Vec::with_capacity(schedule.slot_count() * n);
+        for (ic, oc) in schedule.slot_kernels() {
+            let ki = oc * shape.in_c + ic;
+            packed.extend_from_slice(&qweights[ki * n..(ki + 1) * n]);
+        }
         QuantPatternConv {
             registry: pc.registry().clone(),
-            shape: *pc.shape(),
+            shape,
             codes: spm.codes().to_vec(),
             qweights,
             n,
@@ -164,7 +185,25 @@ impl QuantPatternConv {
             relu: pc.has_relu(),
             skip,
             set_len: spm.pattern_set().len(),
+            schedule,
+            packed,
+            grouped: pc.is_grouped(),
         }
+    }
+
+    /// Selects pattern-grouped (default, inherited from the source
+    /// [`PatternConv`]) or oc-major batched execution. Results are
+    /// identical either way (i32 accumulation is exact); grouped
+    /// execution additionally folds the requantisation epilogue into
+    /// each output channel's final kernel dispatch.
+    pub fn with_grouping(mut self, grouped: bool) -> Self {
+        self.grouped = grouped;
+        self
+    }
+
+    /// Whether batched execution runs pattern-grouped.
+    pub fn is_grouped(&self) -> bool {
+        self.grouped
     }
 
     /// The convolution shape.
@@ -258,6 +297,47 @@ impl QuantPatternConv {
         out: &mut [f32],
         scratch: &mut QuantScratch,
     ) {
+        self.forward_batch_at(simd::active(), self.grouped, input, n, h, w, out, scratch);
+    }
+
+    /// [`QuantPatternConv::forward_batch`] on the legacy **oc-major**
+    /// kernel walk with the separate whole-tensor requantisation pass —
+    /// the parity oracle and bench baseline for the grouped order.
+    pub fn forward_batch_oc_major(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut QuantScratch,
+    ) {
+        self.forward_batch_at(simd::active(), false, input, n, h, w, out, scratch);
+    }
+
+    /// The fully pinned batched integer entry point: SIMD tier and walk
+    /// order chosen by the caller. The pattern-grouped order
+    /// additionally **folds the requantisation epilogue into each
+    /// output channel's final kernel dispatch**, turning the trailing
+    /// full pass over every accumulator plane into a cache-hot per-plane
+    /// tail — the fix for the tiny-plane int8 deficit, where that pass
+    /// rivals the arithmetic itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `out` have the wrong length.
+    #[allow(clippy::too_many_arguments)] // bench/test entry point: every axis is load-bearing
+    pub fn forward_batch_at(
+        &self,
+        level: SimdLevel,
+        grouped: bool,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut QuantScratch,
+    ) {
         let shape = &self.shape;
         let (oh, ow) = shape.out_hw(h, w);
         let in_img = shape.in_c * h * w;
@@ -269,8 +349,9 @@ impl QuantPatternConv {
         // Per-image activation quantisation, fused into plane padding:
         // each request keeps its own scale so batching never changes
         // its result.
-        let aparams = per_image_activation_params(input, n, self.act_bits);
-        quantize_batch_planes(
+        let aparams = per_image_activation_params_at(level, input, n, self.act_bits);
+        quantize_batch_planes_at(
+            level,
             input,
             n,
             shape.in_c,
@@ -294,54 +375,94 @@ impl QuantPatternConv {
         let acc = &mut scratch.acc[..];
         let padded = &scratch.padded[..n * in_c * plane_len];
 
-        // Kernels outer, images inner: one (code, weights, offsets)
-        // lookup — and one monomorphisation dispatch — per kernel per
-        // batch, exactly like the f32 path.
-        let in_img_padded = in_c * plane_len;
-        for oc in 0..shape.out_c {
-            for ic in 0..in_c {
-                let ki = oc * in_c + ic;
-                if self.skip[ki] {
-                    continue;
-                }
-                let code = self.codes[ki] as usize;
-                let offs = &offsets[code];
-                let qwts = &self.qweights[ki * self.n..(ki + 1) * self.n];
-                let geo = BatchPlanes {
-                    out_base: oc * out_plane_len,
-                    out_stride: out_img,
-                    in_base: ic * plane_len,
-                    in_stride: in_img_padded,
-                    plane_len,
-                    n,
-                };
-                accumulate_plane_batch_dyn_i8(
-                    acc,
-                    padded,
-                    geo,
-                    oh,
-                    ow,
-                    row_stride,
-                    offs,
-                    qwts,
-                    shape.stride,
-                );
-            }
-        }
-
-        // Requantisation epilogue: back to f32 at each image's own
-        // scale, bias added, ReLU fused.
-        for (ni, ap) in aparams.iter().enumerate() {
-            let out_scale = self.wparams.scale * ap.scale;
-            for oc in 0..shape.out_c {
+        let geo_for = |ic: usize, oc: usize| BatchPlanes {
+            out_base: oc * out_plane_len,
+            out_stride: out_img,
+            in_base: ic * plane_len,
+            in_stride: in_c * plane_len,
+            plane_len,
+            n,
+        };
+        // Requantises one output channel's accumulator planes across
+        // the batch: back to f32 at each image's own scale, bias added,
+        // ReLU fused.
+        let requant_oc = |acc: &[i32], out: &mut [f32], oc: usize| {
+            let bias = self.bias.as_ref().map_or(0.0, |b| b[oc]);
+            for (ni, ap) in aparams.iter().enumerate() {
                 let base = ni * out_img + oc * out_plane_len;
-                requantize_plane(
+                requantize_plane_at(
+                    level,
                     &acc[base..base + out_plane_len],
-                    out_scale,
-                    self.bias.as_ref().map_or(0.0, |b| b[oc]),
+                    self.wparams.scale * ap.scale,
+                    bias,
                     self.relu,
                     &mut out[base..base + out_plane_len],
                 );
+            }
+        };
+
+        if grouped {
+            // Pattern-grouped walk with the requant epilogue folded
+            // into each output channel's final live kernel dispatch:
+            // the accumulator planes are requantised while still hot
+            // instead of in a separate cold pass over the whole batch.
+            for entry in self.schedule.entries() {
+                let offs = &offsets[entry.code as usize];
+                let ic = entry.ic as usize;
+                let slot0 = entry.start as usize;
+                let lasts = self.schedule.group_last(entry);
+                for (s, &oc) in self.schedule.group_ocs(entry).iter().enumerate() {
+                    let oc = oc as usize;
+                    let qwts = &self.packed[(slot0 + s) * self.n..(slot0 + s + 1) * self.n];
+                    accumulate_plane_batch_dyn_i8_at(
+                        level,
+                        acc,
+                        padded,
+                        geo_for(ic, oc),
+                        oh,
+                        ow,
+                        row_stride,
+                        offs,
+                        qwts,
+                        shape.stride,
+                    );
+                    if lasts[s] {
+                        requant_oc(acc, out, oc);
+                    }
+                }
+            }
+            // Fully coarse-pruned channels never hit the fold; they
+            // still owe the bias (+ ReLU) epilogue over zero sums.
+            for &oc in self.schedule.untouched_ocs() {
+                requant_oc(acc, out, oc as usize);
+            }
+        } else {
+            // Legacy oc-major walk with the separate requant pass.
+            for oc in 0..shape.out_c {
+                for ic in 0..in_c {
+                    let ki = oc * in_c + ic;
+                    if self.skip[ki] {
+                        continue;
+                    }
+                    let code = self.codes[ki] as usize;
+                    let offs = &offsets[code];
+                    let qwts = &self.qweights[ki * self.n..(ki + 1) * self.n];
+                    accumulate_plane_batch_dyn_i8_at(
+                        level,
+                        acc,
+                        padded,
+                        geo_for(ic, oc),
+                        oh,
+                        ow,
+                        row_stride,
+                        offs,
+                        qwts,
+                        shape.stride,
+                    );
+                }
+            }
+            for oc in 0..shape.out_c {
+                requant_oc(acc, out, oc);
             }
         }
     }

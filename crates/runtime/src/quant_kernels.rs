@@ -23,18 +23,26 @@
 //! dequantise-then-f32 reference at 1e-5.
 
 use pcnn_core::quant::QuantParams;
-use pcnn_tensor::direct::{pad_quant_plane_overwrite, padded_dims};
+use pcnn_tensor::direct::{max_abs_at, pad_quant_plane_overwrite_at, padded_dims};
+use pcnn_tensor::simd::{self, SimdLevel};
 
 /// Symmetric activation parameters for one image: the scale maps the
 /// image's maximum absolute activation to the top code of `bits` bits
-/// (all-zero inputs get scale 1.0, same as `quantize_symmetric`).
+/// (all-zero inputs get scale 1.0, same as `quantize_symmetric`). The
+/// max-abs reduction runs on the active SIMD tier
+/// ([`pcnn_tensor::direct::max_abs`]) — exact on every tier, since
+/// `max`/`abs` have no rounding.
 ///
 /// # Panics
 ///
 /// Panics if `bits` is outside `2..=8`.
 pub fn activation_params(data: &[f32], bits: u32) -> QuantParams {
-    let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-    QuantParams::for_max_abs(max_abs, bits)
+    activation_params_at(simd::active(), data, bits)
+}
+
+/// [`activation_params`] with the SIMD tier pinned by the caller.
+pub fn activation_params_at(level: SimdLevel, data: &[f32], bits: u32) -> QuantParams {
+    QuantParams::for_max_abs(max_abs_at(level, data), bits)
 }
 
 /// Activation parameters for each image of an `n`-image batch,
@@ -47,10 +55,21 @@ pub fn activation_params(data: &[f32], bits: u32) -> QuantParams {
 /// Panics if `input.len()` is not a multiple of `n` or `bits` is
 /// outside `2..=8`.
 pub fn per_image_activation_params(input: &[f32], n: usize, bits: u32) -> Vec<QuantParams> {
+    per_image_activation_params_at(simd::active(), input, n, bits)
+}
+
+/// [`per_image_activation_params`] with the SIMD tier pinned by the
+/// caller.
+pub fn per_image_activation_params_at(
+    level: SimdLevel,
+    input: &[f32],
+    n: usize,
+    bits: u32,
+) -> Vec<QuantParams> {
     assert_eq!(input.len() % n.max(1), 0, "input length not divisible");
     let img = input.len() / n.max(1);
     (0..n)
-        .map(|ni| activation_params(&input[ni * img..(ni + 1) * img], bits))
+        .map(|ni| activation_params_at(level, &input[ni * img..(ni + 1) * img], bits))
         .collect()
 }
 
@@ -73,6 +92,22 @@ pub fn quantize_batch_planes(
     params: &[QuantParams],
     buf: &mut Vec<i8>,
 ) {
+    quantize_batch_planes_at(simd::active(), input, n, in_c, h, w, pad, params, buf);
+}
+
+/// [`quantize_batch_planes`] with the SIMD tier pinned by the caller.
+#[allow(clippy::too_many_arguments)] // batch-plane geometry is irreducible
+pub fn quantize_batch_planes_at(
+    level: SimdLevel,
+    input: &[f32],
+    n: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    params: &[QuantParams],
+    buf: &mut Vec<i8>,
+) {
     assert_eq!(input.len(), n * in_c * h * w, "input length mismatch");
     assert_eq!(params.len(), n, "one QuantParams per image");
     let (ph, pw) = padded_dims(h, w, pad);
@@ -85,7 +120,8 @@ pub fn quantize_batch_planes(
     for (ni, p) in params.iter().enumerate() {
         let q_max = p.q_max();
         for ic in 0..in_c {
-            pad_quant_plane_overwrite(
+            pad_quant_plane_overwrite_at(
+                level,
                 &input[ni * img + ic * h * w..ni * img + (ic + 1) * h * w],
                 h,
                 w,
@@ -108,6 +144,43 @@ pub fn quantize_batch_planes(
 ///
 /// Panics if `acc.len() != out.len()`.
 pub fn requantize_plane(acc: &[i32], scale: f32, bias: f32, relu: bool, out: &mut [f32]) {
+    requantize_plane_at(simd::active(), acc, scale, bias, relu, out);
+}
+
+/// [`requantize_plane`] with the SIMD tier pinned by the caller. The
+/// arithmetic is identical on both tiers (convert, multiply, add, max —
+/// one rounding each, no FMA); the AVX2 instantiation just runs it
+/// 8-wide.
+pub fn requantize_plane_at(
+    level: SimdLevel,
+    acc: &[i32],
+    scale: f32,
+    bias: f32,
+    relu: bool,
+    out: &mut [f32],
+) {
+    match level.effective() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: `effective()` returns Avx2 only after a positive
+            // (cached) CPUID check on this host.
+            unsafe { requantize_plane_avx2(acc, scale, bias, relu, out) }
+        }
+        _ => requantize_plane_impl(acc, scale, bias, relu, out),
+    }
+}
+
+/// # Safety
+///
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn requantize_plane_avx2(acc: &[i32], scale: f32, bias: f32, relu: bool, out: &mut [f32]) {
+    requantize_plane_impl(acc, scale, bias, relu, out);
+}
+
+#[inline(always)]
+fn requantize_plane_impl(acc: &[i32], scale: f32, bias: f32, relu: bool, out: &mut [f32]) {
     assert_eq!(acc.len(), out.len(), "plane length mismatch");
     if relu {
         for (o, &a) in out.iter_mut().zip(acc) {

@@ -165,6 +165,153 @@ impl KernelRegistry {
     }
 }
 
+/// One pattern-grouped execution step: every output channel whose
+/// kernel on input channel `ic` carries pattern `code`, executed
+/// back-to-back. See [`PatternSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// The input channel whose padded plane this group reads.
+    pub ic: u32,
+    /// The shared SPM pattern code — one offset-table load per group.
+    pub code: u16,
+    /// Range into [`PatternSchedule::ocs`] / packed-weight slots.
+    pub start: u32,
+    /// Exclusive end of the slot range.
+    pub end: u32,
+}
+
+/// The pattern-grouped execution order of one layer's `(oc, ic)`
+/// kernels.
+///
+/// The oc-major walk of the naive executor re-loads each kernel's tap
+/// offset table and hops across the SPM weight array once per kernel,
+/// and touches each padded input plane `out_c` times spread across the
+/// whole layer. Grouping reorders the walk **ic-major, then by pattern
+/// code**: the inner loop streams one padded input plane through every
+/// output channel that consumes it with a given pattern — one offset
+/// lookup per group, weights packed contiguously in visit order, and
+/// the input plane hot in L1/L2 for all of its consumers.
+///
+/// Per output channel, contributions still arrive in ascending-`ic`
+/// order (each `(oc, ic)` pair appears exactly once, under its `ic`),
+/// so the f32 accumulation order — and therefore the result, bit for
+/// bit — is identical to the oc-major walk.
+///
+/// The schedule also records which slot is the **last** live kernel of
+/// each output channel, which is what lets executors fold their
+/// epilogue (ReLU, or the int8 requantisation pass) into the final
+/// kernel dispatch while the accumulator plane is still cache-hot.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSchedule {
+    entries: Vec<GroupEntry>,
+    ocs: Vec<u32>,
+    last: Vec<bool>,
+    untouched: Vec<u32>,
+}
+
+impl PatternSchedule {
+    /// Builds the grouped order from a layer's per-kernel SPM codes and
+    /// skip flags (`codes[oc * in_c + ic]`, kernel-major like
+    /// `SpmLayer`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` / `skip` are not `out_c · in_c` long.
+    pub fn build(codes: &[u16], skip: &[bool], out_c: usize, in_c: usize) -> Self {
+        assert_eq!(codes.len(), out_c * in_c, "codes length mismatch");
+        assert_eq!(skip.len(), out_c * in_c, "skip length mismatch");
+        // Last live ic per output channel, for the epilogue fold.
+        let mut last_ic: Vec<Option<usize>> = vec![None; out_c];
+        for oc in 0..out_c {
+            for ic in 0..in_c {
+                if !skip[oc * in_c + ic] {
+                    last_ic[oc] = Some(ic);
+                }
+            }
+        }
+        let untouched: Vec<u32> = (0..out_c as u32)
+            .filter(|&oc| last_ic[oc as usize].is_none())
+            .collect();
+        let mut entries = Vec::new();
+        let mut ocs = Vec::new();
+        let mut last = Vec::new();
+        // (code, oc) pairs per input channel, sorted by code for
+        // deterministic grouping.
+        let mut pairs: Vec<(u16, u32)> = Vec::with_capacity(out_c);
+        for ic in 0..in_c {
+            pairs.clear();
+            for oc in 0..out_c {
+                if !skip[oc * in_c + ic] {
+                    pairs.push((codes[oc * in_c + ic], oc as u32));
+                }
+            }
+            pairs.sort_unstable();
+            let mut i = 0;
+            while i < pairs.len() {
+                let code = pairs[i].0;
+                let start = ocs.len() as u32;
+                while i < pairs.len() && pairs[i].0 == code {
+                    let oc = pairs[i].1;
+                    ocs.push(oc);
+                    last.push(last_ic[oc as usize] == Some(ic));
+                    i += 1;
+                }
+                entries.push(GroupEntry {
+                    ic: ic as u32,
+                    code,
+                    start,
+                    end: ocs.len() as u32,
+                });
+            }
+        }
+        PatternSchedule {
+            entries,
+            ocs,
+            last,
+            untouched,
+        }
+    }
+
+    /// The grouped entries, ic-major then code-ascending.
+    pub fn entries(&self) -> &[GroupEntry] {
+        &self.entries
+    }
+
+    /// The output channels of one entry, in slot order.
+    pub fn group_ocs(&self, e: &GroupEntry) -> &[u32] {
+        &self.ocs[e.start as usize..e.end as usize]
+    }
+
+    /// Per-slot "this is the output channel's final live kernel" flags
+    /// for one entry, aligned with [`PatternSchedule::group_ocs`].
+    pub fn group_last(&self, e: &GroupEntry) -> &[bool] {
+        &self.last[e.start as usize..e.end as usize]
+    }
+
+    /// Output channels with **no** live kernel at all (fully
+    /// coarse-pruned): the epilogue fold never reaches them, so
+    /// executors run their epilogue separately.
+    pub fn untouched_ocs(&self) -> &[u32] {
+        &self.untouched
+    }
+
+    /// Total packed slots (live kernels).
+    pub fn slot_count(&self) -> usize {
+        self.ocs.len()
+    }
+
+    /// `(ic, oc)` of every slot in schedule order — the order weight
+    /// packers must follow so slot `s`'s weights live at
+    /// `packed[s·n..(s+1)·n]`.
+    pub fn slot_kernels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.entries.iter().flat_map(move |e| {
+            self.group_ocs(e)
+                .iter()
+                .map(move |&oc| (e.ic as usize, oc as usize))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +358,61 @@ mod tests {
         for (mask, c) in (0..512u16).zip(0..512) {
             assert_eq!(reg.get(c).pattern().mask(), mask);
         }
+    }
+
+    #[test]
+    fn schedule_covers_every_live_kernel_once_in_ic_order() {
+        // 3 out × 4 in, codes chosen so groups form and skip bites.
+        let codes: Vec<u16> = vec![
+            0, 1, 0, 2, // oc 0
+            1, 1, 0, 0, // oc 1
+            2, 0, 0, 1, // oc 2
+        ];
+        let mut skip = vec![false; 12];
+        skip[1] = true; // (oc 0, ic 1)
+        skip[8] = true; // (oc 2, ic 0)
+        let s = PatternSchedule::build(&codes, &skip, 3, 4);
+        assert_eq!(s.slot_count(), 10);
+        let mut seen: Vec<(usize, usize)> = s.slot_kernels().collect();
+        // ic-major: entries never go back to an earlier ic.
+        let ics: Vec<u32> = s.entries().iter().map(|e| e.ic).collect();
+        assert!(ics.windows(2).all(|w| w[0] <= w[1]));
+        // Codes are uniform within a group and match the kernel table.
+        for e in s.entries() {
+            for &oc in s.group_ocs(e) {
+                assert!(!skip[oc as usize * 4 + e.ic as usize]);
+                assert_eq!(codes[oc as usize * 4 + e.ic as usize], e.code);
+            }
+        }
+        // Exactly the live kernels, each once.
+        seen.sort_unstable();
+        let mut want: Vec<(usize, usize)> = (0..3)
+            .flat_map(|oc| (0..4).map(move |ic| (ic, oc)))
+            .filter(|&(ic, oc)| !skip[oc * 4 + ic])
+            .collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+        assert!(s.untouched_ocs().is_empty());
+    }
+
+    #[test]
+    fn schedule_last_flags_mark_final_live_ic_per_oc() {
+        let codes: Vec<u16> = vec![3, 3, 3, 3, 5, 5];
+        // oc 1 fully pruned; oc 2's ic-1 kernel pruned so its last is ic 0.
+        let skip = vec![false, false, true, true, false, true];
+        let s = PatternSchedule::build(&codes, &skip, 3, 2);
+        assert_eq!(s.untouched_ocs(), &[1]);
+        let mut lasts: Vec<(usize, usize)> = Vec::new();
+        for e in s.entries() {
+            for (&oc, &l) in s.group_ocs(e).iter().zip(s.group_last(e)) {
+                if l {
+                    lasts.push((e.ic as usize, oc as usize));
+                }
+            }
+        }
+        lasts.sort_unstable();
+        // oc 0 ends at ic 1, oc 2 ends at ic 0 — exactly one flag each.
+        assert_eq!(lasts, vec![(0, 2), (1, 0)]);
     }
 
     #[test]

@@ -129,3 +129,84 @@ fn batched_engine_matches_sequential_graph() {
         pcnn_tensor::assert_slices_close(a.as_slice(), b.as_slice(), 1e-6);
     }
 }
+
+/// Pattern-grouped execution must match the legacy oc-major walk **bit
+/// for bit** on every zoo proxy: per output channel the grouped
+/// schedule delivers the same `(ic, kernel)` contributions in the same
+/// ascending-`ic` order through the same kernel dispatches, so even f32
+/// rounding agrees. Runs both precisions when the graph carries int8.
+fn assert_grouping_parity(mut model: Model, prunable: usize, n: usize, input_hw: usize, seed: u64) {
+    use pcnn_runtime::compile::prune_and_compile_quant;
+    use pcnn_runtime::{Precision, QuantOptions};
+    warm_batchnorm(&mut model, input_hw, seed);
+    let plan = PrunePlan::uniform(prunable, n, 32);
+    let mut grouped_model = model.clone();
+    let (grouped, _, _) = prune_and_compile_quant(
+        &mut grouped_model,
+        &plan,
+        &CompileOptions::default(),
+        &QuantOptions::default(),
+    )
+    .expect("grouped compile");
+    let mut oc_model = model.clone();
+    let (oc_major, _, _) = prune_and_compile_quant(
+        &mut oc_model,
+        &plan,
+        &CompileOptions {
+            pattern_grouped: false,
+            ..Default::default()
+        },
+        &QuantOptions::default(),
+    )
+    .expect("oc-major compile");
+    for batch in [1usize, 3] {
+        let x = random_input(&[batch, 3, input_hw, input_hw], seed + 77 + batch as u64);
+        for precision in [Precision::F32, Precision::Int8] {
+            let a = grouped.run_with(&x, precision);
+            let b = oc_major.run_with(&x, precision);
+            assert_eq!(a.shape(), b.shape());
+            for (i, (x1, x2)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+                assert_eq!(
+                    x1.to_bits(),
+                    x2.to_bits(),
+                    "grouped/oc-major divergence at {i} ({x1} vs {x2}), \
+                     precision {precision}, batch {batch}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vgg16_proxy_grouping_parity_n2() {
+    let cfg = VggProxyConfig::default();
+    assert_grouping_parity(vgg16_proxy(&cfg, 11), 13, 2, cfg.input_hw, 110);
+}
+
+#[test]
+fn vgg16_proxy_grouping_parity_n4() {
+    let cfg = VggProxyConfig::default();
+    assert_grouping_parity(vgg16_proxy(&cfg, 12), 13, 4, cfg.input_hw, 120);
+}
+
+#[test]
+fn resnet18_proxy_grouping_parity_n2() {
+    let cfg = ResNetProxyConfig::default();
+    assert_grouping_parity(resnet18_proxy(&cfg, 13), 17, 2, cfg.input_hw, 130);
+}
+
+#[test]
+fn resnet18_proxy_grouping_parity_n4() {
+    let cfg = ResNetProxyConfig::default();
+    assert_grouping_parity(resnet18_proxy(&cfg, 14), 17, 4, cfg.input_hw, 140);
+}
+
+#[test]
+fn tiny_cnn_grouping_parity_n2() {
+    assert_grouping_parity(tiny_cnn(10, 8, 15), 2, 2, 8, 150);
+}
+
+#[test]
+fn tiny_cnn_grouping_parity_n4() {
+    assert_grouping_parity(tiny_cnn(10, 8, 16), 2, 4, 8, 160);
+}

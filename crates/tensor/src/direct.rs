@@ -21,6 +21,10 @@
 //! size from [`crate::conv::Conv2dShape::out_hw`] every access stays
 //! inside the padded plane, so the hot loop is pure arithmetic.
 
+#[cfg(target_arch = "x86_64")]
+use crate::simd::Avx2Token;
+use crate::simd::{self, ScalarToken, SimdLevel, SimdToken};
+
 /// Padded plane dimensions `(ph, pw)` for an `h × w` plane.
 pub fn padded_dims(h: usize, w: usize, pad: usize) -> (usize, usize) {
     (h + 2 * pad, w + 2 * pad)
@@ -205,12 +209,11 @@ pub struct BatchPlanes {
 /// Batched variant of [`accumulate_plane_dyn`]: applies **one** kernel
 /// to the same channel slot of every image in a batch with a single
 /// monomorphisation dispatch, tap offsets and weights hoisted into
-/// registers for the whole batch. Deep layers of real networks have
-/// tiny output planes (down to 1×1), where per-plane slicing and
-/// dispatch rival the arithmetic itself; those take a direct-indexed
-/// fast path with the image loop fused inside the monomorphisation —
-/// a large share of what makes batched execution cheaper than
-/// per-image execution.
+/// registers for the whole batch. Dispatches once per call onto the
+/// active [`SimdLevel`] — explicit 8-lane AVX2 tiles on hosts that have
+/// them, the bit-identical scalar instantiation everywhere else (and
+/// under `PCNN_FORCE_SCALAR=1`). See [`accumulate_plane_batch_dyn_at`]
+/// for the level-pinned entry point benches and property tests use.
 #[inline]
 #[allow(clippy::too_many_arguments)] // kernel geometry is irreducible
 pub fn accumulate_plane_batch_dyn(
@@ -224,74 +227,116 @@ pub fn accumulate_plane_batch_dyn(
     weights: &[f32],
     stride: usize,
 ) {
+    accumulate_plane_batch_dyn_at(
+        simd::active(),
+        out,
+        padded,
+        geo,
+        oh,
+        ow,
+        row_stride,
+        offsets,
+        weights,
+        stride,
+    );
+}
+
+/// [`accumulate_plane_batch_dyn`] with the SIMD tier pinned by the
+/// caller instead of read from [`simd::active`]. Safe for any level on
+/// any host: the request passes through [`SimdLevel::effective`], which
+/// downgrades AVX2 to the scalar instantiation when this CPU cannot
+/// execute it. Both tiers compute **bit-identical** f32 results — one
+/// kernel source, two instantiations, no FMA.
+#[inline]
+#[allow(clippy::too_many_arguments)] // kernel geometry is irreducible
+pub fn accumulate_plane_batch_dyn_at(
+    level: SimdLevel,
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[f32],
+    stride: usize,
+) {
     debug_assert_eq!(offsets.len(), weights.len());
-    /// Rows as compile-time `[f32; OW]` arrays: the tap and pixel loops
-    /// unroll completely and the only bounds checks are one slice
-    /// conversion per row per tap.
-    #[inline]
-    fn tiny_rows<const N: usize, const OW: usize>(
-        out: &mut [f32],
-        padded: &[f32],
-        geo: BatchPlanes,
-        oh: usize,
-        row_stride: usize,
-        offs: &[usize; N],
-        wts: &[f32; N],
-    ) {
-        for i in 0..geo.n {
-            let ob = geo.out_base + i * geo.out_stride;
-            let ib = geo.in_base + i * geo.in_stride;
-            for oy in 0..oh {
-                let rb = ib + oy * row_stride;
-                let orow: &mut [f32; OW] = (&mut out[ob + oy * OW..ob + (oy + 1) * OW])
-                    .try_into()
-                    .expect("row length is OW");
-                let mut acc = [0.0f32; OW];
-                for j in 0..N {
-                    let src: &[f32; OW] = (&padded[rb + offs[j]..rb + offs[j] + OW])
-                        .try_into()
-                        .expect("row length is OW");
-                    for k in 0..OW {
-                        acc[k] += wts[j] * src[k];
-                    }
-                }
-                for k in 0..OW {
-                    orow[k] += acc[k];
-                }
+    match level.effective() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: `effective()` returns Avx2 only after a positive
+            // (cached) CPUID check on this host.
+            unsafe {
+                batch_f32_avx2(
+                    out, padded, geo, oh, ow, row_stride, offsets, weights, stride,
+                )
             }
         }
+        _ => batch_f32(
+            ScalarToken,
+            out,
+            padded,
+            geo,
+            oh,
+            ow,
+            row_stride,
+            offsets,
+            weights,
+            stride,
+        ),
     }
+}
+
+/// The AVX2 instantiation of [`batch_f32`]. The `#[target_feature]`
+/// boundary is here so every `#[inline(always)]` token op below it
+/// compiles with AVX2 enabled.
+///
+/// # Safety
+///
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn batch_f32_avx2(
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[f32],
+    stride: usize,
+) {
+    // SAFETY: the function's own contract guarantees AVX2.
+    let token = unsafe { Avx2Token::assert_available() };
+    batch_f32(
+        token, out, padded, geo, oh, ow, row_stride, offsets, weights, stride,
+    );
+}
+
+/// The shared f32 batch kernel: monomorphises the tap count and routes
+/// each plane shape to its tile form. One source for both SIMD tiers.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn batch_f32<S: SimdToken>(
+    t: S,
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[f32],
+    stride: usize,
+) {
     macro_rules! arm {
         ($n:literal) => {{
             let offs: &[usize; $n] = offsets.try_into().expect("length checked by match");
             let wts: &[f32; $n] = weights.try_into().expect("length checked by match");
-            if stride == 1 && matches!(ow, 1 | 2 | 4 | 8) {
-                // Const-width fast path: short power-of-two rows as
-                // fixed-size arrays, unrolled taps — on the small planes
-                // of deep layers the plane loop overhead rivals the
-                // arithmetic. Wider rows stay on the slice path, whose
-                // per-tap row zips vectorise well.
-                match ow {
-                    1 => tiny_rows::<$n, 1>(out, padded, geo, oh, row_stride, offs, wts),
-                    2 => tiny_rows::<$n, 2>(out, padded, geo, oh, row_stride, offs, wts),
-                    4 => tiny_rows::<$n, 4>(out, padded, geo, oh, row_stride, offs, wts),
-                    _ => tiny_rows::<$n, 8>(out, padded, geo, oh, row_stride, offs, wts),
-                }
-            } else {
-                for i in 0..geo.n {
-                    let ob = geo.out_base + i * geo.out_stride;
-                    let ib = geo.in_base + i * geo.in_stride;
-                    accumulate_plane::<$n>(
-                        &mut out[ob..ob + oh * ow],
-                        &padded[ib..ib + geo.plane_len],
-                        ow,
-                        row_stride,
-                        offs,
-                        wts,
-                        stride,
-                    );
-                }
-            }
+            batch_f32_n::<S, $n>(t, out, padded, geo, oh, ow, row_stride, offs, wts, stride)
         }};
     }
     match offsets.len() {
@@ -306,6 +351,8 @@ pub fn accumulate_plane_batch_dyn(
         8 => arm!(8),
         9 => arm!(9),
         _ => {
+            // Patterns wider than 9 taps (larger kernels): generic
+            // per-image fallback.
             for i in 0..geo.n {
                 let ob = geo.out_base + i * geo.out_stride;
                 let ib = geo.in_base + i * geo.in_stride;
@@ -318,6 +365,228 @@ pub fn accumulate_plane_batch_dyn(
                     weights,
                     stride,
                 );
+            }
+        }
+    }
+}
+
+/// Tap-monomorphised f32 batch kernel. Stride-1 planes route by width:
+///
+/// * `ow == 1 | 2` — scalar const-width rows (vector overhead would
+///   dominate 1–2 useful lanes);
+/// * `ow == 4` — **two-row tiles**: a full 8-lane vector spans rows
+///   `oy, oy+1`, so even a 4×4 plane fills the vector width;
+/// * `ow == 8 | 16 | 32` — const-width rows of 1/2/4 full vectors (the
+///   16/32-wide dispatch the int8 path already had);
+/// * anything else — full 8-lane chunks plus a **masked tail** covering
+///   `ow % 8` lanes ([`SimdToken::f32x8_load_partial`]).
+///
+/// Strided planes fall back to the scalar slice kernel (identical on
+/// both tiers).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn batch_f32_n<S: SimdToken, const N: usize>(
+    t: S,
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[f32; N],
+    stride: usize,
+) {
+    if stride != 1 {
+        for i in 0..geo.n {
+            let ob = geo.out_base + i * geo.out_stride;
+            let ib = geo.in_base + i * geo.in_stride;
+            accumulate_plane::<N>(
+                &mut out[ob..ob + oh * ow],
+                &padded[ib..ib + geo.plane_len],
+                ow,
+                row_stride,
+                offs,
+                wts,
+                stride,
+            );
+        }
+        return;
+    }
+    match ow {
+        1 => tiny_rows_f32::<S, N, 1>(t, out, padded, geo, oh, row_stride, offs, wts),
+        2 => tiny_rows_f32::<S, N, 2>(t, out, padded, geo, oh, row_stride, offs, wts),
+        4 => tile_f32_ow4::<S, N>(t, out, padded, geo, oh, row_stride, offs, wts),
+        8 => rows_f32_const::<S, N, 8>(t, out, padded, geo, oh, row_stride, offs, wts),
+        16 => rows_f32_const::<S, N, 16>(t, out, padded, geo, oh, row_stride, offs, wts),
+        32 => rows_f32_const::<S, N, 32>(t, out, padded, geo, oh, row_stride, offs, wts),
+        _ => rows_f32_dyn::<S, N>(t, out, padded, geo, oh, ow, row_stride, offs, wts),
+    }
+}
+
+/// Scalar const-width rows for 1- and 2-wide planes (deepest layers):
+/// fixed-size accumulators, taps fully unrolled. Identical on both
+/// tiers by construction.
+#[inline(always)]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn tiny_rows_f32<S: SimdToken, const N: usize, const OW: usize>(
+    _t: S,
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[f32; N],
+) {
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        for oy in 0..oh {
+            let rb = ib + oy * row_stride;
+            let orow: &mut [f32; OW] = (&mut out[ob + oy * OW..ob + (oy + 1) * OW])
+                .try_into()
+                .expect("row length is OW");
+            let mut acc = [0.0f32; OW];
+            for j in 0..N {
+                let src: &[f32; OW] = (&padded[rb + offs[j]..rb + offs[j] + OW])
+                    .try_into()
+                    .expect("row length is OW");
+                for k in 0..OW {
+                    acc[k] += wts[j] * src[k];
+                }
+            }
+            for k in 0..OW {
+                orow[k] += acc[k];
+            }
+        }
+    }
+}
+
+/// Two-row tiles for 4-wide planes: one 8-lane vector covers output
+/// rows `oy, oy+1` (their `2·4` outputs are contiguous), the tap loads
+/// compose the matching 4-wide segments of the two padded input rows.
+/// An odd final row runs as a 4-lane masked vector.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_f32_ow4<S: SimdToken, const N: usize>(
+    t: S,
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[f32; N],
+) {
+    let wsplat: [simd::F32x8; N] = std::array::from_fn(|j| t.f32x8_splat(wts[j]));
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        let mut oy = 0;
+        while oy + 1 < oh {
+            let rb0 = ib + oy * row_stride;
+            let rb1 = rb0 + row_stride;
+            let mut acc = simd::F32x8::zero();
+            for j in 0..N {
+                let x = t.f32x8_load_2x4(&padded[rb0 + offs[j]..], &padded[rb1 + offs[j]..]);
+                acc = t.f32x8_mul_acc(acc, wsplat[j], x);
+            }
+            let orow = &mut out[ob + oy * 4..];
+            let o = t.f32x8_load(orow);
+            t.f32x8_store(t.f32x8_add(o, acc), orow);
+            oy += 2;
+        }
+        if oy < oh {
+            let rb = ib + oy * row_stride;
+            let mut acc = simd::F32x8::zero();
+            for j in 0..N {
+                let x = t.f32x8_load_partial(&padded[rb + offs[j]..], 4);
+                acc = t.f32x8_mul_acc(acc, wsplat[j], x);
+            }
+            let orow = &mut out[ob + oy * 4..];
+            let o = t.f32x8_load_partial(orow, 4);
+            t.f32x8_store_partial(t.f32x8_add(o, acc), orow, 4);
+        }
+    }
+}
+
+/// Const-width vector rows: `OW / 8` full 8-lane chunks per output row
+/// with compile-time trip counts (OW ∈ {8, 16, 32}).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rows_f32_const<S: SimdToken, const N: usize, const OW: usize>(
+    t: S,
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[f32; N],
+) {
+    let wsplat: [simd::F32x8; N] = std::array::from_fn(|j| t.f32x8_splat(wts[j]));
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        for oy in 0..oh {
+            let rb = ib + oy * row_stride;
+            for c in 0..OW / 8 {
+                let mut acc = simd::F32x8::zero();
+                for j in 0..N {
+                    let x = t.f32x8_load(&padded[rb + offs[j] + c * 8..]);
+                    acc = t.f32x8_mul_acc(acc, wsplat[j], x);
+                }
+                let orow = &mut out[ob + oy * OW + c * 8..];
+                let o = t.f32x8_load(orow);
+                t.f32x8_store(t.f32x8_add(o, acc), orow);
+            }
+        }
+    }
+}
+
+/// Runtime-width vector rows: full 8-lane chunks plus a masked tail of
+/// `ow % 8` lanes — the path for widths outside the const set.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rows_f32_dyn<S: SimdToken, const N: usize>(
+    t: S,
+    out: &mut [f32],
+    padded: &[f32],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[f32; N],
+) {
+    let wsplat: [simd::F32x8; N] = std::array::from_fn(|j| t.f32x8_splat(wts[j]));
+    let full = ow / 8;
+    let tail = ow % 8;
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        for oy in 0..oh {
+            let rb = ib + oy * row_stride;
+            for c in 0..full {
+                let mut acc = simd::F32x8::zero();
+                for j in 0..N {
+                    let x = t.f32x8_load(&padded[rb + offs[j] + c * 8..]);
+                    acc = t.f32x8_mul_acc(acc, wsplat[j], x);
+                }
+                let orow = &mut out[ob + oy * ow + c * 8..];
+                let o = t.f32x8_load(orow);
+                t.f32x8_store(t.f32x8_add(o, acc), orow);
+            }
+            if tail > 0 {
+                let mut acc = simd::F32x8::zero();
+                for j in 0..N {
+                    let x = t.f32x8_load_partial(&padded[rb + offs[j] + full * 8..], tail);
+                    acc = t.f32x8_mul_acc(acc, wsplat[j], x);
+                }
+                let orow = &mut out[ob + oy * ow + full * 8..];
+                let o = t.f32x8_load_partial(orow, tail);
+                t.f32x8_store_partial(t.f32x8_add(o, acc), orow, tail);
             }
         }
     }
@@ -348,6 +617,67 @@ pub fn pad_quant_plane_overwrite(
     q_max: i32,
     buf: &mut [i8],
 ) {
+    pad_quant_plane_overwrite_at(simd::active(), plane, h, w, pad, scale, q_max, buf);
+}
+
+/// [`pad_quant_plane_overwrite`] with the SIMD tier pinned by the
+/// caller. The quantisation formula is identical on both tiers — the
+/// AVX2 instantiation exists because the baseline x86-64 build lowers
+/// `f32::round` to a libm call per element (no SSE4.1), which made the
+/// activation pass the dominant int8 cost on tiny planes.
+#[allow(clippy::too_many_arguments)] // quant-plane geometry is irreducible
+pub fn pad_quant_plane_overwrite_at(
+    level: SimdLevel,
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    pad: usize,
+    scale: f32,
+    q_max: i32,
+    buf: &mut [i8],
+) {
+    match level.effective() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: `effective()` returns Avx2 only after a positive
+            // (cached) CPUID check on this host.
+            unsafe { pad_quant_avx2(plane, h, w, pad, scale, q_max, buf) }
+        }
+        _ => pad_quant_impl(plane, h, w, pad, scale, q_max, buf),
+    }
+}
+
+/// The AVX2 instantiation of [`pad_quant_impl`]: same code, compiled
+/// with the feature enabled so the round/clamp/narrow loop vectorises
+/// (`vroundps`-based, 8 activations per step).
+///
+/// # Safety
+///
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn pad_quant_avx2(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    pad: usize,
+    scale: f32,
+    q_max: i32,
+    buf: &mut [i8],
+) {
+    pad_quant_impl(plane, h, w, pad, scale, q_max, buf);
+}
+
+#[inline(always)]
+fn pad_quant_impl(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    pad: usize,
+    scale: f32,
+    q_max: i32,
+    buf: &mut [i8],
+) {
     assert_eq!(plane.len(), h * w, "plane length mismatch");
     let (ph, pw) = padded_dims(h, w, pad);
     assert_eq!(buf.len(), ph * pw, "padded buffer length mismatch");
@@ -363,6 +693,98 @@ pub fn pad_quant_plane_overwrite(
         row[pad + w..].fill(0);
     }
     buf[(h + pad) * pw..].fill(0);
+}
+
+/// Maximum absolute value of `data` (0 for an empty slice), dispatched
+/// like the kernels — the activation-scale derivation is a whole-image
+/// pass that deserves vector width too. `max` is associative and
+/// commutative and `abs` is exact, so the blocked reduction returns the
+/// same value as a sequential fold on every tier.
+pub fn max_abs(data: &[f32]) -> f32 {
+    max_abs_at(simd::active(), data)
+}
+
+/// [`max_abs`] with the SIMD tier pinned by the caller.
+pub fn max_abs_at(level: SimdLevel, data: &[f32]) -> f32 {
+    match level.effective() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: `effective()` returns Avx2 only after a positive
+            // (cached) CPUID check on this host.
+            unsafe { max_abs_avx2(data) }
+        }
+        _ => max_abs_impl(data),
+    }
+}
+
+/// # Safety
+///
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn max_abs_avx2(data: &[f32]) -> f32 {
+    max_abs_impl(data)
+}
+
+/// Clamps every element of `data` at zero in place — the fused-ReLU
+/// epilogue the grouped executor runs per output channel right after
+/// its final kernel dispatch — dispatched like the kernels. `max(v, 0)`
+/// is exact, so the tiers agree bitwise.
+pub fn relu_in_place_at(level: SimdLevel, data: &mut [f32]) {
+    match level.effective() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: `effective()` returns Avx2 only after a positive
+            // (cached) CPUID check on this host.
+            unsafe { relu_avx2(data) }
+        }
+        _ => relu_impl(ScalarToken, data),
+    }
+}
+
+/// # Safety
+///
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn relu_avx2(data: &mut [f32]) {
+    // SAFETY: the function's own contract guarantees AVX2.
+    let token = unsafe { Avx2Token::assert_available() };
+    relu_impl(token, data);
+}
+
+#[inline(always)]
+fn relu_impl<S: SimdToken>(t: S, data: &mut [f32]) {
+    let mut i = 0;
+    while i + 8 <= data.len() {
+        let v = t.f32x8_relu(t.f32x8_load(&data[i..]));
+        t.f32x8_store(v, &mut data[i..]);
+        i += 8;
+    }
+    let tail = data.len() - i;
+    if tail > 0 {
+        let v = t.f32x8_relu(t.f32x8_load_partial(&data[i..], tail));
+        t.f32x8_store_partial(v, &mut data[i..], tail);
+    }
+}
+
+#[inline(always)]
+fn max_abs_impl(data: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        for k in 0..8 {
+            lanes[k] = lanes[k].max(c[k].abs());
+        }
+    }
+    let mut m = 0.0f32;
+    for &v in chunks.remainder() {
+        m = m.max(v.abs());
+    }
+    for &l in &lanes {
+        m = m.max(l);
+    }
+    m
 }
 
 /// Integer twin of [`accumulate_rows`]: accumulates one output row of
@@ -502,9 +924,9 @@ pub fn accumulate_plane_dyn_i8(
 /// Integer twin of [`accumulate_plane_batch_dyn`]: applies one
 /// i8-quantised kernel to the same channel slot of every image in a
 /// batch with a single monomorphisation dispatch, accumulating into
-/// `i32` planes. Small power-of-two output rows take the same
-/// const-width fast path as the f32 kernel — on the deep layers of real
-/// networks that loop overhead rivals the arithmetic.
+/// `i32` planes. Dispatches once per call onto the active
+/// [`SimdLevel`]; results are identical across tiers (integer
+/// accumulation is associative — 0 ULP by construction).
 #[inline]
 #[allow(clippy::too_many_arguments)] // kernel geometry is irreducible
 pub fn accumulate_plane_batch_dyn_i8(
@@ -518,77 +940,114 @@ pub fn accumulate_plane_batch_dyn_i8(
     weights: &[i8],
     stride: usize,
 ) {
+    accumulate_plane_batch_dyn_i8_at(
+        simd::active(),
+        out,
+        padded,
+        geo,
+        oh,
+        ow,
+        row_stride,
+        offsets,
+        weights,
+        stride,
+    );
+}
+
+/// [`accumulate_plane_batch_dyn_i8`] with the SIMD tier pinned by the
+/// caller — the int8 twin of [`accumulate_plane_batch_dyn_at`].
+#[inline]
+#[allow(clippy::too_many_arguments)] // kernel geometry is irreducible
+pub fn accumulate_plane_batch_dyn_i8_at(
+    level: SimdLevel,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[i8],
+    stride: usize,
+) {
     debug_assert_eq!(offsets.len(), weights.len());
-    /// Rows as compile-time `[i32; OW]` accumulators, taps fully
-    /// unrolled — the i8 mirror of the f32 `tiny_rows`.
-    #[inline]
-    fn tiny_rows_i8<const N: usize, const OW: usize>(
-        out: &mut [i32],
-        padded: &[i8],
-        geo: BatchPlanes,
-        oh: usize,
-        row_stride: usize,
-        offs: &[usize; N],
-        wts: &[i32; N],
-    ) {
-        for i in 0..geo.n {
-            let ob = geo.out_base + i * geo.out_stride;
-            let ib = geo.in_base + i * geo.in_stride;
-            for oy in 0..oh {
-                let rb = ib + oy * row_stride;
-                let orow: &mut [i32; OW] = (&mut out[ob + oy * OW..ob + (oy + 1) * OW])
-                    .try_into()
-                    .expect("row length is OW");
-                let mut acc = [0i32; OW];
-                for j in 0..N {
-                    let src: &[i8; OW] = (&padded[rb + offs[j]..rb + offs[j] + OW])
-                        .try_into()
-                        .expect("row length is OW");
-                    for k in 0..OW {
-                        acc[k] += wts[j] * src[k] as i32;
-                    }
-                }
-                for k in 0..OW {
-                    orow[k] += acc[k];
-                }
+    match level.effective() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: `effective()` returns Avx2 only after a positive
+            // (cached) CPUID check on this host.
+            unsafe {
+                batch_i8_avx2(
+                    out, padded, geo, oh, ow, row_stride, offsets, weights, stride,
+                )
             }
         }
+        _ => batch_i8(
+            ScalarToken,
+            out,
+            padded,
+            geo,
+            oh,
+            ow,
+            row_stride,
+            offsets,
+            weights,
+            stride,
+        ),
     }
+}
+
+/// The AVX2 instantiation of [`batch_i8`].
+///
+/// # Safety
+///
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn batch_i8_avx2(
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[i8],
+    stride: usize,
+) {
+    // SAFETY: the function's own contract guarantees AVX2.
+    let token = unsafe { Avx2Token::assert_available() };
+    batch_i8(
+        token, out, padded, geo, oh, ow, row_stride, offsets, weights, stride,
+    );
+}
+
+/// The shared int8 batch kernel: tap-count monomorphisation + width
+/// routing, one source for both SIMD tiers. The vector paths widen i8
+/// activations to 16 i16 lanes, multiply by the splat i16 weight
+/// (products fit i16: |w·x| ≤ 127² < 2¹⁵), and widen-accumulate into
+/// two 8-lane i32 vectors — the accumulators are **seeded from the
+/// output plane**, so the final add-back costs nothing.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn batch_i8<S: SimdToken>(
+    t: S,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offsets: &[usize],
+    weights: &[i8],
+    stride: usize,
+) {
     macro_rules! arm {
         ($n:literal) => {{
             let offs: &[usize; $n] = offsets.try_into().expect("length checked by match");
-            let mut wts = [0i32; $n];
-            for (w, &q) in wts.iter_mut().zip(weights) {
-                *w = q as i32;
-            }
-            if stride == 1 && matches!(ow, 1 | 2 | 4 | 8 | 16 | 32) {
-                match ow {
-                    1 => tiny_rows_i8::<$n, 1>(out, padded, geo, oh, row_stride, offs, &wts),
-                    2 => tiny_rows_i8::<$n, 2>(out, padded, geo, oh, row_stride, offs, &wts),
-                    4 => tiny_rows_i8::<$n, 4>(out, padded, geo, oh, row_stride, offs, &wts),
-                    8 => tiny_rows_i8::<$n, 8>(out, padded, geo, oh, row_stride, offs, &wts),
-                    // Integer widening MACs gain more from compile-time
-                    // trip counts than the f32 kernels do, so the i8
-                    // const-width dispatch extends to the 16/32-wide
-                    // planes of real CIFAR-scale networks.
-                    16 => tiny_rows_i8::<$n, 16>(out, padded, geo, oh, row_stride, offs, &wts),
-                    _ => tiny_rows_i8::<$n, 32>(out, padded, geo, oh, row_stride, offs, &wts),
-                }
-            } else {
-                for i in 0..geo.n {
-                    let ob = geo.out_base + i * geo.out_stride;
-                    let ib = geo.in_base + i * geo.in_stride;
-                    accumulate_plane_i8::<$n>(
-                        &mut out[ob..ob + oh * ow],
-                        &padded[ib..ib + geo.plane_len],
-                        ow,
-                        row_stride,
-                        offs,
-                        &wts,
-                        stride,
-                    );
-                }
-            }
+            let wts: &[i8; $n] = weights.try_into().expect("length checked by match");
+            batch_i8_n::<S, $n>(t, out, padded, geo, oh, ow, row_stride, offs, wts, stride)
         }};
     }
     match offsets.len() {
@@ -614,6 +1073,332 @@ pub fn accumulate_plane_batch_dyn_i8(
                     offsets,
                     weights,
                     stride,
+                );
+            }
+        }
+    }
+}
+
+/// Tap-monomorphised int8 batch kernel. Stride-1 planes route by width:
+///
+/// * `ow == 1 | 2` — scalar const-width rows;
+/// * `ow == 4` — **four-row tiles**: 16 i16 lanes span rows
+///   `oy..oy+4`, so a whole 4×4 plane is one vector step;
+/// * `ow == 8` — two-row tiles (16 lanes = 2 × 8);
+/// * `ow == 16 | 32` — const-width rows of 1/2 16-lane blocks;
+/// * anything else — 16-lane blocks with a scalar tail (`i32` sums are
+///   exact regardless of chunking).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn batch_i8_n<S: SimdToken, const N: usize>(
+    t: S,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[i8; N],
+    stride: usize,
+) {
+    if stride != 1 {
+        let mut wide = [0i32; N];
+        for (w, &q) in wide.iter_mut().zip(wts.iter()) {
+            *w = q as i32;
+        }
+        for i in 0..geo.n {
+            let ob = geo.out_base + i * geo.out_stride;
+            let ib = geo.in_base + i * geo.in_stride;
+            accumulate_plane_i8::<N>(
+                &mut out[ob..ob + oh * ow],
+                &padded[ib..ib + geo.plane_len],
+                ow,
+                row_stride,
+                offs,
+                &wide,
+                stride,
+            );
+        }
+        return;
+    }
+    match ow {
+        1 => tiny_rows_i8::<S, N, 1>(t, out, padded, geo, oh, row_stride, offs, wts),
+        2 => tiny_rows_i8::<S, N, 2>(t, out, padded, geo, oh, row_stride, offs, wts),
+        4 => tile_i8_ow4::<S, N>(t, out, padded, geo, oh, row_stride, offs, wts),
+        8 => tile_i8_ow8::<S, N>(t, out, padded, geo, oh, row_stride, offs, wts),
+        16 => rows_i8_const::<S, N, 16>(t, out, padded, geo, oh, row_stride, offs, wts),
+        32 => rows_i8_const::<S, N, 32>(t, out, padded, geo, oh, row_stride, offs, wts),
+        _ => rows_i8_dyn::<S, N>(t, out, padded, geo, oh, ow, row_stride, offs, wts),
+    }
+}
+
+/// Scalar const-width rows for 1- and 2-wide int8 planes.
+#[inline(always)]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn tiny_rows_i8<S: SimdToken, const N: usize, const OW: usize>(
+    _t: S,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[i8; N],
+) {
+    let mut wide = [0i32; N];
+    for (w, &q) in wide.iter_mut().zip(wts.iter()) {
+        *w = q as i32;
+    }
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        for oy in 0..oh {
+            let rb = ib + oy * row_stride;
+            let orow: &mut [i32; OW] = (&mut out[ob + oy * OW..ob + (oy + 1) * OW])
+                .try_into()
+                .expect("row length is OW");
+            let mut acc = [0i32; OW];
+            for j in 0..N {
+                let src: &[i8; OW] = (&padded[rb + offs[j]..rb + offs[j] + OW])
+                    .try_into()
+                    .expect("row length is OW");
+                for k in 0..OW {
+                    acc[k] += wide[j] * src[k] as i32;
+                }
+            }
+            for k in 0..OW {
+                orow[k] += acc[k];
+            }
+        }
+    }
+}
+
+/// Scalar remainder rows shared by the int8 tile kernels: plain
+/// pixel-outer accumulation for the `oh % tile` tail rows.
+#[inline(always)]
+fn scalar_row_i8<const N: usize>(
+    orow: &mut [i32],
+    padded: &[i8],
+    rb: usize,
+    offs: &[usize; N],
+    wts: &[i8; N],
+) {
+    for (ox, o) in orow.iter_mut().enumerate() {
+        let mut acc = 0i32;
+        for j in 0..N {
+            acc += wts[j] as i32 * padded[rb + offs[j] + ox] as i32;
+        }
+        *o += acc;
+    }
+}
+
+/// Four-row tiles for 4-wide int8 planes: one widen covers output rows
+/// `oy..oy+4` (16 contiguous outputs), so a whole 4×4 plane — the
+/// vector-width-starved case of the old kernel — fills the full 16-lane
+/// width in a single step.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_i8_ow4<S: SimdToken, const N: usize>(
+    t: S,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[i8; N],
+) {
+    let wsplat: [simd::I16x16; N] = std::array::from_fn(|j| t.i16x16_splat(wts[j] as i16));
+    // Byte-shuffle indices for the packed tile load: rows 0..2 of a
+    // tile all sit inside one 16-byte window whenever row_stride ≤ 6
+    // (always true for 3×3 stride-1 geometry, where row_stride = 6);
+    // row 3 rides in as a separate dword. Lanes 12..15 of the shuffle
+    // are unused (overwritten by the insert) and index 0.
+    let packable = 2 * row_stride + 4 <= 16;
+    let idx: [u8; 16] = std::array::from_fn(|k| {
+        if packable && k < 12 {
+            ((k / 4) * row_stride + k % 4) as u8
+        } else {
+            0
+        }
+    });
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        let mut oy = 0;
+        while oy + 3 < oh {
+            let rb = ib + oy * row_stride;
+            let orow = &mut out[ob + oy * 4..];
+            let mut lo = t.i32x8_load(orow);
+            let mut hi = t.i32x8_load(&orow[8..]);
+            for j in 0..N {
+                let base = rb + offs[j];
+                // The packed load reads a full 16-byte window; near the
+                // buffer end (final image's final tile) fall back to
+                // the four-row gather, which reads only live bytes.
+                let x = if packable && base + 16 <= padded.len() {
+                    t.i16x16_widen_4x4_packed(
+                        &padded[base..],
+                        &idx,
+                        &padded[base + 3 * row_stride..],
+                    )
+                } else {
+                    t.i16x16_widen_4x4(
+                        &padded[base..],
+                        &padded[base + row_stride..],
+                        &padded[base + 2 * row_stride..],
+                        &padded[base + 3 * row_stride..],
+                    )
+                };
+                let p = t.i16x16_mul(x, wsplat[j]);
+                lo = t.i32x8_add_widen_lo(lo, p);
+                hi = t.i32x8_add_widen_hi(hi, p);
+            }
+            t.i32x8_store(lo, orow);
+            t.i32x8_store(hi, &mut orow[8..]);
+            oy += 4;
+        }
+        for ty in oy..oh {
+            let rb = ib + ty * row_stride;
+            scalar_row_i8::<N>(
+                &mut out[ob + ty * 4..ob + (ty + 1) * 4],
+                padded,
+                rb,
+                offs,
+                wts,
+            );
+        }
+    }
+}
+
+/// Two-row tiles for 8-wide int8 planes: 16 i16 lanes = rows `oy, oy+1`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_i8_ow8<S: SimdToken, const N: usize>(
+    t: S,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[i8; N],
+) {
+    let wsplat: [simd::I16x16; N] = std::array::from_fn(|j| t.i16x16_splat(wts[j] as i16));
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        let mut oy = 0;
+        while oy + 1 < oh {
+            let rb0 = ib + oy * row_stride;
+            let rb1 = rb0 + row_stride;
+            let orow = &mut out[ob + oy * 8..];
+            let mut lo = t.i32x8_load(orow);
+            let mut hi = t.i32x8_load(&orow[8..]);
+            for j in 0..N {
+                let x = t.i16x16_widen_2x8(&padded[rb0 + offs[j]..], &padded[rb1 + offs[j]..]);
+                let p = t.i16x16_mul(x, wsplat[j]);
+                lo = t.i32x8_add_widen_lo(lo, p);
+                hi = t.i32x8_add_widen_hi(hi, p);
+            }
+            t.i32x8_store(lo, orow);
+            t.i32x8_store(hi, &mut orow[8..]);
+            oy += 2;
+        }
+        if oy < oh {
+            let rb = ib + oy * row_stride;
+            scalar_row_i8::<N>(
+                &mut out[ob + oy * 8..ob + (oy + 1) * 8],
+                padded,
+                rb,
+                offs,
+                wts,
+            );
+        }
+    }
+}
+
+/// Const-width int8 rows: `OW / 16` full 16-lane widen blocks per row
+/// with compile-time trip counts (OW ∈ {16, 32}).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rows_i8_const<S: SimdToken, const N: usize, const OW: usize>(
+    t: S,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[i8; N],
+) {
+    let wsplat: [simd::I16x16; N] = std::array::from_fn(|j| t.i16x16_splat(wts[j] as i16));
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        for oy in 0..oh {
+            let rb = ib + oy * row_stride;
+            for c in 0..OW / 16 {
+                let orow = &mut out[ob + oy * OW + c * 16..];
+                let mut lo = t.i32x8_load(orow);
+                let mut hi = t.i32x8_load(&orow[8..]);
+                for j in 0..N {
+                    let x = t.i16x16_widen(&padded[rb + offs[j] + c * 16..]);
+                    let p = t.i16x16_mul(x, wsplat[j]);
+                    lo = t.i32x8_add_widen_lo(lo, p);
+                    hi = t.i32x8_add_widen_hi(hi, p);
+                }
+                t.i32x8_store(lo, orow);
+                t.i32x8_store(hi, &mut orow[8..]);
+            }
+        }
+    }
+}
+
+/// Runtime-width int8 rows: full 16-lane blocks plus a scalar tail of
+/// `ow % 16` pixels (exact — i32 accumulation is associative).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rows_i8_dyn<S: SimdToken, const N: usize>(
+    t: S,
+    out: &mut [i32],
+    padded: &[i8],
+    geo: BatchPlanes,
+    oh: usize,
+    ow: usize,
+    row_stride: usize,
+    offs: &[usize; N],
+    wts: &[i8; N],
+) {
+    let wsplat: [simd::I16x16; N] = std::array::from_fn(|j| t.i16x16_splat(wts[j] as i16));
+    let full = ow / 16;
+    let tail = ow % 16;
+    for i in 0..geo.n {
+        let ob = geo.out_base + i * geo.out_stride;
+        let ib = geo.in_base + i * geo.in_stride;
+        for oy in 0..oh {
+            let rb = ib + oy * row_stride;
+            for c in 0..full {
+                let orow = &mut out[ob + oy * ow + c * 16..];
+                let mut lo = t.i32x8_load(orow);
+                let mut hi = t.i32x8_load(&orow[8..]);
+                for j in 0..N {
+                    let x = t.i16x16_widen(&padded[rb + offs[j] + c * 16..]);
+                    let p = t.i16x16_mul(x, wsplat[j]);
+                    lo = t.i32x8_add_widen_lo(lo, p);
+                    hi = t.i32x8_add_widen_hi(hi, p);
+                }
+                t.i32x8_store(lo, orow);
+                t.i32x8_store(hi, &mut orow[8..]);
+            }
+            if tail > 0 {
+                scalar_row_i8::<N>(
+                    &mut out[ob + oy * ow + full * 16..ob + (oy + 1) * ow],
+                    padded,
+                    rb + full * 16,
+                    offs,
+                    wts,
                 );
             }
         }

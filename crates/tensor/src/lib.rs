@@ -30,6 +30,7 @@ pub mod init;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+pub mod simd;
 pub mod tensor;
 
 pub use tensor::Tensor;

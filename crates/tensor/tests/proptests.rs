@@ -121,3 +121,169 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// SIMD tier parity: the AVX2 instantiation of the batched pattern
+// kernels must equal the scalar fallback *exactly* — bit-for-bit for
+// f32 (shared kernel source, no FMA) and 0 ULP for i32 accumulation —
+// across random plane shapes (masked tails and widths outside the
+// const-width set included), strides, batch sizes, and pattern masks.
+// On hosts without AVX2 the comparison degenerates to scalar-vs-scalar,
+// which keeps the suite meaningful under `PCNN_FORCE_SCALAR=1` too.
+// ---------------------------------------------------------------------------
+
+use pcnn_tensor::direct::{
+    accumulate_plane_batch_dyn_at, accumulate_plane_batch_dyn_i8_at, max_abs_at,
+    pad_quant_plane_overwrite_at, padded_dims, BatchPlanes,
+};
+use pcnn_tensor::simd::SimdLevel;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// The widest tier this host can execute (scalar when AVX2 is absent).
+fn vector_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// Pattern geometry shared by the two kernel parity tests: tap offsets
+/// for the 3×3 positions of `mask` on a padded plane of width `pw`.
+fn mask_offsets(mask: u16, pw: usize) -> Vec<usize> {
+    (0..9)
+        .filter(|p| mask & (1 << p) != 0)
+        .map(|p| (p / 3) * pw + (p % 3))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simd_batch_kernel_equals_scalar_bitwise_f32(
+        oh in 1usize..=7,
+        ow in 1usize..=34,
+        stride in 1usize..=2,
+        mask in 0u16..512u16,
+        nimg in 1usize..=3,
+        seed in 0u64..1_000_000u64,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pw = (ow - 1) * stride + 3;
+        let ph = (oh - 1) * stride + 3;
+        let plane_len = ph * pw;
+        let padded: Vec<f32> = (0..nimg * plane_len)
+            .map(|_| rng.gen_range(-2.0f32..2.0))
+            .collect();
+        let offsets = mask_offsets(mask, pw);
+        let weights: Vec<f32> = (0..offsets.len())
+            .map(|_| rng.gen_range(-1.5f32..1.5))
+            .collect();
+        // Output planes pre-seeded (the runtime seeds them with the
+        // channel bias), identically for both tiers.
+        let seeded: Vec<f32> = (0..nimg * oh * ow)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let geo = BatchPlanes {
+            out_base: 0,
+            out_stride: oh * ow,
+            in_base: 0,
+            in_stride: plane_len,
+            plane_len,
+            n: nimg,
+        };
+        let mut scalar_out = seeded.clone();
+        let mut simd_out = seeded;
+        accumulate_plane_batch_dyn_at(
+            SimdLevel::Scalar, &mut scalar_out, &padded, geo, oh, ow,
+            stride * pw, &offsets, &weights, stride,
+        );
+        accumulate_plane_batch_dyn_at(
+            vector_level(), &mut simd_out, &padded, geo, oh, ow,
+            stride * pw, &offsets, &weights, stride,
+        );
+        for (i, (a, b)) in scalar_out.iter().zip(&simd_out).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "f32 tier mismatch at {} ({} vs {}): oh={} ow={} stride={} mask={}",
+                i, a, b, oh, ow, stride, mask
+            );
+        }
+    }
+
+    #[test]
+    fn simd_batch_kernel_equals_scalar_exact_i8(
+        oh in 1usize..=7,
+        ow in 1usize..=34,
+        stride in 1usize..=2,
+        mask in 0u16..512u16,
+        nimg in 1usize..=3,
+        seed in 0u64..1_000_000u64,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+        let pw = (ow - 1) * stride + 3;
+        let ph = (oh - 1) * stride + 3;
+        let plane_len = ph * pw;
+        let padded: Vec<i8> = (0..nimg * plane_len)
+            .map(|_| rng.gen_range(-127i32..=127) as i8)
+            .collect();
+        let offsets = mask_offsets(mask, pw);
+        let weights: Vec<i8> = (0..offsets.len())
+            .map(|_| rng.gen_range(-127i32..=127) as i8)
+            .collect();
+        let seeded: Vec<i32> = (0..nimg * oh * ow)
+            .map(|_| rng.gen_range(-1000i32..1000))
+            .collect();
+        let geo = BatchPlanes {
+            out_base: 0,
+            out_stride: oh * ow,
+            in_base: 0,
+            in_stride: plane_len,
+            plane_len,
+            n: nimg,
+        };
+        let mut scalar_out = seeded.clone();
+        let mut simd_out = seeded;
+        accumulate_plane_batch_dyn_i8_at(
+            SimdLevel::Scalar, &mut scalar_out, &padded, geo, oh, ow,
+            stride * pw, &offsets, &weights, stride,
+        );
+        accumulate_plane_batch_dyn_i8_at(
+            vector_level(), &mut simd_out, &padded, geo, oh, ow,
+            stride * pw, &offsets, &weights, stride,
+        );
+        prop_assert_eq!(
+            scalar_out, simd_out,
+            "i32 tier mismatch: oh={} ow={} stride={} mask={}", oh, ow, stride, mask
+        );
+    }
+
+    #[test]
+    fn simd_quant_pad_and_max_abs_equal_scalar(
+        h in 1usize..=9,
+        w in 1usize..=19,
+        pad in 0usize..=2,
+        seed in 0u64..1_000_000u64,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5A5A);
+        let plane: Vec<f32> = (0..h * w).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+        prop_assert_eq!(
+            max_abs_at(SimdLevel::Scalar, &plane).to_bits(),
+            max_abs_at(vector_level(), &plane).to_bits()
+        );
+        let (ph, pw) = padded_dims(h, w, pad);
+        let scale = max_abs_at(SimdLevel::Scalar, &plane).max(1e-6) / 127.0;
+        let mut scalar_buf = vec![7i8; ph * pw];
+        let mut simd_buf = vec![-7i8; ph * pw];
+        pad_quant_plane_overwrite_at(
+            SimdLevel::Scalar, &plane, h, w, pad, scale, 127, &mut scalar_buf,
+        );
+        pad_quant_plane_overwrite_at(
+            vector_level(), &plane, h, w, pad, scale, 127, &mut simd_buf,
+        );
+        prop_assert_eq!(scalar_buf, simd_buf, "quant-pad tier mismatch: h={} w={} pad={}", h, w, pad);
+    }
+}
