@@ -28,8 +28,9 @@
 
 use pcnn_core::pattern::PatternSet;
 use pcnn_core::project::project_onto_set;
+use pcnn_runtime::ops::Op;
 use pcnn_runtime::quant_conv::QuantScratch;
-use pcnn_runtime::{PatternConv, QuantOptions, QuantPatternConv};
+use pcnn_runtime::{Engine, ExecutableGraph, PatternConv, QuantOptions, QuantPatternConv};
 use pcnn_tensor::conv::Conv2dShape;
 use pcnn_tensor::simd::{self, SimdLevel};
 use pcnn_tensor::Tensor;
@@ -134,6 +135,29 @@ fn time_pair(budget_ms: f64, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, 
     (best_a, best_b, ratios[2])
 }
 
+/// Runs the grouped production path of one layer op through the
+/// engine's per-layer profiler and returns the **median round's**
+/// `LayerProfile` record — the same schema `ExecProfile` emits, so the
+/// microbench trajectory and live serving profiles line up key-for-key.
+fn profiled_layer_record(op: Op, input: &Tensor, iters: usize) -> String {
+    let engine = Engine::new(ExecutableGraph::new(vec![op]), 1);
+    engine.enable_profiling();
+    let _ = engine.infer(input); // warm caches and scratch
+    let mut rounds: Vec<(u64, String)> = (0..5)
+        .map(|_| {
+            engine.profiler().reset();
+            for _ in 0..iters {
+                let _ = engine.infer(input);
+            }
+            let profile = engine.exec_profile();
+            let layer = &profile.precisions[0].layers[0];
+            (layer.total_ns, layer.to_json())
+        })
+        .collect();
+    rounds.sort_by_key(|r| r.0);
+    rounds.swap_remove(rounds.len() / 2).1
+}
+
 struct Tier {
     key: &'static str,
     level: SimdLevel,
@@ -225,7 +249,14 @@ fn validate_json(s: &str) {
     }
     assert_eq!(depth, 0, "unbalanced JSON");
     assert!(!in_str, "unterminated string");
-    for key in ["\"bench\":", "\"cells\":", "\"summary\":", "\"fraction\":"] {
+    for key in [
+        "\"bench\":",
+        "\"cells\":",
+        "\"layer_records\":",
+        "\"kernel_ns\":",
+        "\"summary\":",
+        "\"fraction\":",
+    ] {
         assert!(s.contains(key), "missing {key}");
     }
 }
@@ -239,6 +270,7 @@ fn main() {
     );
 
     let mut cells = Vec::new();
+    let mut layer_records = Vec::new();
     let mut summary: Vec<(String, f64)> = Vec::new();
     for &n in &NS {
         let ideal = 9.0 / n as f64;
@@ -246,6 +278,7 @@ fn main() {
             let layer = build_layer(n, hw);
             for dtype in ["f32", "int8"] {
                 let mut tier_blocks = Vec::new();
+                let mut grouped_sparse_ms = f64::INFINITY;
                 println!("== {dtype} n={n} plane {hw}x{hw} (ideal {ideal:.2}x) ==");
                 for tier in tiers() {
                     // Paired rounds: dense and sparse legs run
@@ -273,6 +306,7 @@ fn main() {
                     );
                     if tier.key == "grouped" {
                         summary.push((format!("{dtype}_n{n}_w{hw}_speedup"), speedup));
+                        grouped_sparse_ms = sparse_ms;
                     }
                     tier_blocks.push(format!(
                         "\"{}\":{{\"sparse_ms\":{sparse_ms:.5},\"dense_ms\":{dense_ms:.5},\
@@ -283,6 +317,21 @@ fn main() {
                 cells.push(format!(
                     "\"{dtype}_n{n}_w{hw}\":{{\"dtype\":\"{dtype}\",\"n\":{n},\"width\":{hw},{}}}",
                     tier_blocks.join(",")
+                ));
+                // The same cell once more through the engine's
+                // per-layer profiler (production grouped path), emitted
+                // in the ExecProfile layer-record schema.
+                let x = Tensor::from_vec(layer.input.clone(), &[BATCH, CHANNELS, hw, hw]);
+                let op = if dtype == "f32" {
+                    Op::PatternConv(layer.sparse_f32.clone())
+                } else {
+                    Op::QuantConv(layer.sparse_i8.clone())
+                };
+                let iters =
+                    ((budget_ms / grouped_sparse_ms.max(1e-4)).ceil() as usize).clamp(3, 2000);
+                layer_records.push(format!(
+                    "\"{dtype}_n{n}_w{hw}\":{}",
+                    profiled_layer_record(op, &x, iters)
                 ));
             }
             // The deficit tracker: grouped f32 vs grouped int8, paired.
@@ -310,8 +359,9 @@ fn main() {
          \"channels\":{CHANNELS},\"smoke\":{smoke},\
          \"note\":\"speedup = dense(9-tap, same tier) / sparse(n-tap); fraction = speedup / (9/n); \
          int8_over_f32 compares grouped int8 vs grouped f32 on identical geometry\",\
-         \"cells\":{{{}}},\"summary\":{{{}}}}}",
+         \"cells\":{{{}}},\"layer_records\":{{{}}},\"summary\":{{{}}}}}",
         cells.join(","),
+        layer_records.join(","),
         summary_json.join(",")
     );
     validate_json(&json);

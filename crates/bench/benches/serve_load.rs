@@ -29,7 +29,7 @@ use pcnn_core::PrunePlan;
 use pcnn_nn::models::{vgg16_proxy, VggProxyConfig};
 use pcnn_runtime::compile::{prune_and_compile, CompileOptions};
 use pcnn_runtime::Engine;
-use pcnn_serve::{ServeConfig, ServeError, Server, TelemetrySnapshot};
+use pcnn_serve::{ServeConfig, ServeError, Server, TelemetrySnapshot, TraceConfig};
 use pcnn_tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -398,6 +398,60 @@ fn main() {
         ms(sharded_open.snapshot.latency_p99),
     );
 
+    // == Tracing overhead: default sampling vs tracing off ==============
+    // The observability tentpole's acceptance bar: request-lifecycle
+    // tracing at the default 1-in-64 sampling must cost < 2% of
+    // closed-loop throughput. Paired rounds like every other comparison
+    // here; the BEST pair ratio is the estimate (co-tenant noise only
+    // ever deflates a pair).
+    println!("\n== tracing overhead: default sampling (1-in-64) vs tracing off ==");
+    let trace_cfg = |trace: TraceConfig| ServeConfig {
+        max_batch: batched_max_batch(),
+        max_wait: batched_max_wait(),
+        trace,
+        ..ServeConfig::default()
+    };
+    let mut trace_ratios = Vec::with_capacity(rounds);
+    let mut trace_off_best = 0f64;
+    let mut trace_on_best = 0f64;
+    for round in 0..rounds {
+        let off = closed_loop(
+            trace_cfg(TraceConfig {
+                sample_every: 0, // IDs still assigned; no span capture
+                ..TraceConfig::default()
+            }),
+            clients,
+            per_client,
+        );
+        let on = closed_loop(trace_cfg(TraceConfig::default()), clients, per_client);
+        println!(
+            "  round {round}: tracing off {:7.1} req/s   on {:7.1} req/s   ratio {:.3}",
+            off.rps,
+            on.rps,
+            on.rps / off.rps
+        );
+        trace_ratios.push(on.rps / off.rps);
+        trace_off_best = trace_off_best.max(off.rps);
+        trace_on_best = trace_on_best.max(on.rps);
+    }
+    trace_ratios.sort_by(f64::total_cmp);
+    let trace_ratio = *trace_ratios.last().expect("at least one round");
+    let trace_overhead_pct = ((1.0 - trace_ratio) * 100.0).max(0.0);
+    println!(
+        "tracing overhead: {trace_overhead_pct:.2}% of throughput at default sampling \
+         (best pair ratio {trace_ratio:.3}, median {:.3})",
+        trace_ratios[trace_ratios.len() / 2],
+    );
+    // Smoke runs are too short for a stable ratio; they only guard
+    // against gross regressions (tracing accidentally always-on, a lock
+    // on the submit path, ...).
+    let floor = if smoke { 0.80 } else { 0.98 };
+    assert!(
+        trace_ratio >= floor,
+        "tracing at default sampling cost {trace_overhead_pct:.2}% of closed-loop \
+         throughput (ratio {trace_ratio:.3} < {floor}): the <2% observability budget is blown"
+    );
+
     // Machine-readable trajectory: BENCH_serve.json at the workspace root.
     let json = format!(
         "{{\"bench\":\"serve_load\",\"clients\":{clients},\"per_client\":{per_client},\
@@ -406,7 +460,10 @@ fn main() {
          \"sharded\":{{\"shards\":{},\"distinct_topologies\":{distinct_topologies},{},{},\
          \"sharded_speedup\":{shard_ratio:.3},\
          \"sharded_speedup_median\":{shard_ratio_median:.3},\
-         \"open_loop\":{{\"offered_rps\":{:.3},\"accepted\":{},\"rejected\":{},\"telemetry\":{}}}}}}}",
+         \"open_loop\":{{\"offered_rps\":{:.3},\"accepted\":{},\"rejected\":{},\"telemetry\":{}}}}},\
+         \"tracing\":{{\"sample_every\":{},\"off_rps\":{trace_off_best:.3},\
+         \"on_rps\":{trace_on_best:.3},\"ratio\":{trace_ratio:.4},\
+         \"overhead_pct\":{trace_overhead_pct:.3}}}}}",
         json_block("closed_loop_batch1", batch1.rps, &batch1.snapshot),
         json_block("closed_loop_batched", batched.rps, &batched.snapshot),
         open.offered_rps,
@@ -420,6 +477,7 @@ fn main() {
         sharded_open.accepted,
         sharded_open.rejected,
         sharded_open.snapshot.to_json(),
+        TraceConfig::default().sample_every,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");

@@ -10,11 +10,28 @@
 //! behind it (work stealing rebalances).
 
 use crate::graph::ExecutableGraph;
+use crate::profile::{ExecProfile, ExecProfiler};
 use crate::quant_conv::Precision;
 use pcnn_tensor::parallel::ThreadPool;
 use pcnn_tensor::Tensor;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The engine's single graph-pass seam: every inference entry point
+/// funnels through here, so enabling the profiler instruments all of
+/// them at once.
+fn run_graph(
+    graph: &ExecutableGraph,
+    profiler: &ExecProfiler,
+    x: &Tensor,
+    precision: Precision,
+) -> Tensor {
+    if profiler.is_enabled() {
+        graph.run_profiled(x, precision, profiler)
+    } else {
+        graph.run_with(x, precision)
+    }
+}
 
 /// Aggregate timing of one [`Engine::serve`] call.
 ///
@@ -66,21 +83,26 @@ impl ServeStats {
 pub struct Engine {
     graph: Arc<ExecutableGraph>,
     pool: ThreadPool,
+    profiler: Arc<ExecProfiler>,
 }
 
 impl Engine {
     /// Builds an engine with `threads` workers (minimum 1).
     pub fn new(graph: ExecutableGraph, threads: usize) -> Self {
+        let graph = Arc::new(graph);
         Engine {
-            graph: Arc::new(graph),
+            profiler: Arc::new(ExecProfiler::for_graph(&graph)),
+            graph,
             pool: ThreadPool::new(threads),
         }
     }
 
     /// Builds an engine sized by `pcnn_tensor::parallel::num_threads`.
     pub fn with_default_threads(graph: ExecutableGraph) -> Self {
+        let graph = Arc::new(graph);
         Engine {
-            graph: Arc::new(graph),
+            profiler: Arc::new(ExecProfiler::for_graph(&graph)),
+            graph,
             pool: ThreadPool::with_default_threads(),
         }
     }
@@ -90,6 +112,7 @@ impl Engine {
     /// `n` copies of its weights and offset tables.
     pub fn from_shared(graph: Arc<ExecutableGraph>, threads: usize) -> Self {
         Engine {
+            profiler: Arc::new(ExecProfiler::for_graph(&graph)),
             graph,
             pool: ThreadPool::new(threads),
         }
@@ -105,12 +128,20 @@ impl Engine {
     pub fn into_shards(self, n: usize) -> Vec<Engine> {
         let n = n.max(1);
         let total = self.threads();
-        let Engine { graph, pool } = self;
+        let Engine {
+            graph,
+            pool,
+            profiler,
+        } = self;
         drop(pool); // join the old workers before spawning shard pools
         (0..n)
             .map(|i| {
                 let threads = (total / n + usize::from(i < total % n)).max(1);
-                Engine::from_shared(graph.clone(), threads)
+                let mut shard = Engine::from_shared(graph.clone(), threads);
+                // Shards aggregate into one execution profile, exactly
+                // like they share one compiled graph.
+                shard.profiler = profiler.clone();
+                shard
             })
             .collect()
     }
@@ -131,9 +162,28 @@ impl Engine {
         self.graph.supports(precision)
     }
 
+    /// Turns on per-layer execution profiling: every subsequent graph
+    /// pass — through any inference entry point — records per-layer
+    /// phase timings into [`Engine::exec_profile`]. Takes `&self`: the
+    /// switch is live on a serving engine.
+    pub fn enable_profiling(&self) {
+        self.profiler.set_enabled(true);
+    }
+
+    /// The engine's execution profiler (shared across shards created by
+    /// [`Engine::into_shards`]).
+    pub fn profiler(&self) -> &ExecProfiler {
+        &self.profiler
+    }
+
+    /// The aggregated per-layer execution profile.
+    pub fn exec_profile(&self) -> ExecProfile {
+        self.profiler.snapshot()
+    }
+
     /// Runs one request synchronously on the calling thread (f32).
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.graph.run(x)
+        run_graph(&self.graph, &self.profiler, x, Precision::F32)
     }
 
     /// Runs one request synchronously at the requested precision.
@@ -143,7 +193,7 @@ impl Engine {
     /// Panics if the graph lacks the requested lowering (see
     /// [`Engine::supports`]).
     pub fn infer_with(&self, x: &Tensor, precision: Precision) -> Tensor {
-        self.graph.run_with(x, precision)
+        run_graph(&self.graph, &self.profiler, x, precision)
     }
 
     /// Runs independent requests concurrently, returning outputs in
@@ -153,7 +203,8 @@ impl Engine {
             .into_iter()
             .map(|x| {
                 let graph = self.graph.clone();
-                move || graph.run(&x)
+                let profiler = self.profiler.clone();
+                move || run_graph(&graph, &profiler, &x, Precision::F32)
             })
             .collect();
         self.pool.run_batch(jobs)
@@ -231,13 +282,17 @@ impl Engine {
             // A 1-chunk dispatch degenerates to one batched pass on the
             // calling thread.
             let x = stacked.pop().expect("one chunk");
-            vec![(self.graph.run_with(&x, precision), x.into_vec())]
+            vec![(
+                run_graph(&self.graph, &self.profiler, &x, precision),
+                x.into_vec(),
+            )]
         } else {
             let jobs: Vec<_> = stacked
                 .into_iter()
                 .map(|x| {
                     let graph = self.graph.clone();
-                    move || (graph.run_with(&x, precision), x.into_vec())
+                    let profiler = self.profiler.clone();
+                    move || (run_graph(&graph, &profiler, &x, precision), x.into_vec())
                 })
                 .collect();
             self.pool.run_batch(jobs)
@@ -334,10 +389,11 @@ impl Engine {
     ) where
         F: FnOnce(Vec<Option<Tensor>>, Vec<Vec<f32>>) + Send + 'static,
     {
+        let profiler = self.profiler.clone();
         self.coalesced_async_with(
             inputs,
             buffers,
-            move |graph, x| graph.run_with(x, precision),
+            move |graph, x| run_graph(graph, &profiler, x, precision),
             on_done,
         )
     }
@@ -431,9 +487,10 @@ impl Engine {
             .into_iter()
             .map(|x| {
                 let graph = self.graph.clone();
+                let profiler = self.profiler.clone();
                 move || {
                     let t0 = Instant::now();
-                    let y = graph.run(&x);
+                    let y = run_graph(&graph, &profiler, &x, Precision::F32);
                     (y, t0.elapsed())
                 }
             })

@@ -13,7 +13,8 @@
 //! [`Precision`] per call, which is how one engine serves mixed-precision
 //! traffic without compiling the network twice.
 
-use crate::ops::{quantize_ops, run_ops, run_ops_reference, Op};
+use crate::ops::{quantize_ops, run_ops, run_ops_profiled, run_ops_reference, Op};
+use crate::profile::ExecProfiler;
 use crate::quant_conv::{Precision, QuantOptions};
 use pcnn_tensor::Tensor;
 
@@ -88,6 +89,33 @@ impl ExecutableGraph {
                 x,
             ),
         }
+    }
+
+    /// [`ExecutableGraph::run_with`] with per-layer instrumentation:
+    /// each op records wall time (convolutions split by phase) into the
+    /// profiler's slots for `precision`. The profiler must have been
+    /// built for this graph ([`ExecProfiler::for_graph`]) so the slot
+    /// order matches the op walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Precision::Int8` is requested on a graph compiled
+    /// without [`ExecutableGraph::with_int8`].
+    pub fn run_profiled(
+        &self,
+        x: &Tensor,
+        precision: Precision,
+        profiler: &ExecProfiler,
+    ) -> Tensor {
+        let ops = match precision {
+            Precision::F32 => &self.ops[..],
+            Precision::Int8 => self
+                .int8_ops
+                .as_deref()
+                .expect("int8 lowering not compiled: call with_int8 first"),
+        };
+        let mut idx = 0;
+        run_ops_profiled(ops, x, profiler.layers(precision), &mut idx)
     }
 
     /// Runs the int8 lowering on its dequantise-then-f32 **reference**

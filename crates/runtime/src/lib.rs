@@ -111,6 +111,7 @@ pub mod engine;
 pub mod graph;
 pub mod ops;
 pub mod pattern_conv;
+pub mod profile;
 pub mod quant_conv;
 pub mod quant_kernels;
 pub mod registry;
@@ -122,5 +123,6 @@ pub use compile::{
 pub use engine::{Engine, ServeStats};
 pub use graph::ExecutableGraph;
 pub use pattern_conv::PatternConv;
+pub use profile::{ExecProfile, ExecProfiler, LayerProfile, PrecisionProfile};
 pub use quant_conv::{Precision, QuantOptions, QuantPatternConv, QuantScratch};
 pub use registry::KernelRegistry;

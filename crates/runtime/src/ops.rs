@@ -7,10 +7,12 @@
 //! requires `&mut self` for gradient caches.
 
 use crate::pattern_conv::PatternConv;
+use crate::profile::LayerStats;
 use crate::quant_conv::QuantPatternConv;
 use pcnn_tensor::conv::{conv2d_forward, Conv2dShape};
 use pcnn_tensor::{ops as tops, pool, Tensor};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One executable operator.
 #[derive(Debug, Clone)]
@@ -238,6 +240,66 @@ pub fn run_ops(ops: &[Op], x: &Tensor) -> Tensor {
                 cur = op.run(&cur);
             }
             cur
+        }
+    }
+}
+
+/// [`run_ops`] with per-layer instrumentation: each op's wall time is
+/// recorded into its [`LayerStats`] slot, with pattern/quant
+/// convolutions additionally splitting pad/kernel/epilogue phases.
+///
+/// `idx` threads the flat slot cursor through residual recursion; the
+/// slot order is `crate::profile::ExecProfiler::for_graph`'s flatten
+/// order (main ops, shortcut ops, then one combine slot per residual
+/// block) and the two must never drift.
+pub fn run_ops_profiled(ops: &[Op], x: &Tensor, stats: &[LayerStats], idx: &mut usize) -> Tensor {
+    match ops.split_first() {
+        None => x.clone(),
+        Some((first, rest)) => {
+            let mut cur = run_op_profiled(first, x, stats, idx);
+            for op in rest {
+                cur = run_op_profiled(op, &cur, stats, idx);
+            }
+            cur
+        }
+    }
+}
+
+fn run_op_profiled(op: &Op, x: &Tensor, stats: &[LayerStats], idx: &mut usize) -> Tensor {
+    let images = x.shape().first().copied().unwrap_or(1) as u64;
+    match op {
+        Op::Residual { main, shortcut } => {
+            let mut m = run_ops_profiled(main, x, stats, idx);
+            let s = if shortcut.is_empty() {
+                x.clone()
+            } else {
+                run_ops_profiled(shortcut, x, stats, idx)
+            };
+            let slot = &stats[*idx];
+            *idx += 1;
+            let t0 = Instant::now();
+            m.axpy(1.0, &s);
+            m.map_inplace(|v| v.max(0.0));
+            slot.record_pass(images, t0.elapsed().as_nanos() as u64);
+            m
+        }
+        Op::PatternConv(conv) => {
+            let slot = &stats[*idx];
+            *idx += 1;
+            conv.forward_profiled(x, slot)
+        }
+        Op::QuantConv(conv) => {
+            let slot = &stats[*idx];
+            *idx += 1;
+            conv.forward_profiled(x, slot)
+        }
+        other => {
+            let slot = &stats[*idx];
+            *idx += 1;
+            let t0 = Instant::now();
+            let y = other.run(x);
+            slot.record_pass(images, t0.elapsed().as_nanos() as u64);
+            y
         }
     }
 }

@@ -13,6 +13,7 @@
 //! on top of PCNN, `pcnn_core::fuse`) — are skipped outright, so fused
 //! coarse+pattern sparsity shows up as real runtime savings.
 
+use crate::profile::{ConvPass, LayerStats};
 use crate::registry::{KernelRegistry, PatternSchedule};
 use pcnn_core::pattern::PatternSet;
 use pcnn_core::spm::{EncodeSpmError, SpmLayer};
@@ -23,6 +24,7 @@ use pcnn_tensor::direct::{
 };
 use pcnn_tensor::simd::{self, SimdLevel};
 use pcnn_tensor::Tensor;
+use std::time::Instant;
 
 /// A compiled, immutable, thread-safe sparse convolution.
 #[derive(Debug, Clone)]
@@ -242,6 +244,49 @@ impl PatternConv {
         out: &mut [f32],
         scratch: &mut Vec<f32>,
     ) {
+        self.forward_batch_impl(level, grouped, input, n, h, w, out, scratch, None);
+    }
+
+    /// [`PatternConv::forward`] with per-phase instrumentation into a
+    /// profiler slot — the profiled graph walk's entry point. The
+    /// caller's entry time anchors the pass, so output allocation counts
+    /// into the pad phase.
+    pub(crate) fn forward_profiled(&self, input: &Tensor, stats: &LayerStats) -> Tensor {
+        let start = Instant::now();
+        let dims = input.shape();
+        assert_eq!(dims.len(), 4, "input must be NCHW");
+        let (n, in_c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(in_c, self.shape.in_c, "input channel mismatch");
+        let (oh, ow) = self.shape.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, self.shape.out_c, oh, ow]);
+        let mut scratch = Vec::new();
+        self.forward_batch_impl(
+            simd::active(),
+            self.grouped,
+            input.as_slice(),
+            n,
+            h,
+            w,
+            out.as_mut_slice(),
+            &mut scratch,
+            Some((stats, start)),
+        );
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_impl(
+        &self,
+        level: SimdLevel,
+        grouped: bool,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+        profile: Option<(&LayerStats, Instant)>,
+    ) {
         let shape = &self.shape;
         let (oh, ow) = shape.out_hw(h, w);
         let in_img = shape.in_c * h * w;
@@ -286,6 +331,13 @@ impl PatternConv {
             }
         }
 
+        // Phase boundary: everything up to here (padding + bias seeding,
+        // plus the caller's output allocation) is the pad phase.
+        let profiling = profile.is_some();
+        let pad_done = profiling.then(Instant::now);
+        let mut dispatches = 0u64;
+        let mut epi_ns = 0u64;
+
         let in_img_padded = in_c * plane_len;
         let geo_for = |ic: usize, oc: usize| BatchPlanes {
             out_base: oc * out_plane_len,
@@ -312,6 +364,7 @@ impl PatternConv {
                 for (s, &oc) in self.schedule.group_ocs(entry).iter().enumerate() {
                     let oc = oc as usize;
                     let wts = &self.packed[(slot0 + s) * nz..(slot0 + s + 1) * nz];
+                    dispatches += 1;
                     accumulate_plane_batch_dyn_at(
                         level,
                         out,
@@ -325,9 +378,13 @@ impl PatternConv {
                         shape.stride,
                     );
                     if self.relu && lasts[s] {
+                        let t = profiling.then(Instant::now);
                         for ni in 0..n {
                             let base = ni * out_img + oc * out_plane_len;
                             relu_in_place_at(level, &mut out[base..base + out_plane_len]);
+                        }
+                        if let Some(t) = t {
+                            epi_ns += t.elapsed().as_nanos() as u64;
                         }
                     }
                 }
@@ -335,12 +392,16 @@ impl PatternConv {
             if self.relu {
                 // Fully coarse-pruned channels never hit the fold; their
                 // planes still hold a possibly-negative bias seed.
+                let t = profiling.then(Instant::now);
                 for &oc in self.schedule.untouched_ocs() {
                     let oc = oc as usize;
                     for ni in 0..n {
                         let base = ni * out_img + oc * out_plane_len;
                         relu_in_place_at(level, &mut out[base..base + out_plane_len]);
                     }
+                }
+                if let Some(t) = t {
+                    epi_ns += t.elapsed().as_nanos() as u64;
                 }
             }
         } else {
@@ -354,6 +415,7 @@ impl PatternConv {
                     let code = self.spm.code(ki) as usize;
                     let offs = &offsets[code];
                     let wts = self.spm.kernel_nonzeros(ki);
+                    dispatches += 1;
                     accumulate_plane_batch_dyn_at(
                         level,
                         out,
@@ -369,8 +431,32 @@ impl PatternConv {
                 }
             }
             if self.relu {
+                let t = profiling.then(Instant::now);
                 relu_in_place_at(level, out);
+                if let Some(t) = t {
+                    epi_ns += t.elapsed().as_nanos() as u64;
+                }
             }
+        }
+
+        if let Some((stats, start)) = profile {
+            let total = start.elapsed().as_nanos() as u64;
+            let pad_ns = pad_done.map_or(0, |p| (p - start).as_nanos() as u64);
+            stats.record_conv(&ConvPass {
+                images: n as u64,
+                pad_ns,
+                kernel_ns: total.saturating_sub(pad_ns).saturating_sub(epi_ns),
+                epilogue_ns: epi_ns,
+                kernel_dispatches: dispatches,
+                pattern_groups: if grouped {
+                    self.schedule.entries().len() as u64
+                } else {
+                    0
+                },
+                zero_kernels_skipped: self.skipped_kernels() as u64,
+                padded_bytes: (scratch_len * std::mem::size_of::<f32>()) as u64,
+                level,
+            });
         }
     }
 

@@ -1,0 +1,494 @@
+//! Opt-in per-layer execution profiling.
+//!
+//! An [`ExecProfiler`] is built alongside every [`crate::Engine`] from
+//! its compiled graph: one [`LayerStats`] slot per executable op (and
+//! per lowering, so f32 and int8 aggregate separately). Profiling is
+//! **off by default** — the slots exist but no timestamps are taken —
+//! and flips on with [`ExecProfiler::set_enabled`] (or
+//! `Engine::enable_profiling`), at which point every graph pass records
+//! per-layer wall time split by phase:
+//!
+//! * **pad** — padded-plane construction, including activation
+//!   quantisation and accumulator setup on the int8 path;
+//! * **kernel** — the compiled pattern-kernel dispatches themselves;
+//! * **epilogue** — fused ReLU / requantisation tails.
+//!
+//! Convolution layers additionally count kernel dispatches, pattern
+//! groups walked, zero kernels skipped, bytes of padded planes built,
+//! and the SIMD tier actually dispatched. The aggregate snapshot
+//! ([`ExecProfile`]) is the measured per-layer cost model the
+//! bench-driven kernel-plan work consumes — the same role profiled
+//! execution plays in the PatDNN/PCONV compiler line.
+//!
+//! All counters are relaxed atomics: recording from concurrent engine
+//! workers never takes a lock, and the steady-state cost with profiling
+//! disabled is one relaxed load per graph pass.
+
+use crate::graph::ExecutableGraph;
+use crate::ops::Op;
+use crate::quant_conv::Precision;
+use pcnn_tensor::simd::{self, SimdLevel};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Lock-free accumulation cell for one executable layer of one lowering.
+#[derive(Debug, Default)]
+pub struct LayerStats {
+    calls: AtomicU64,
+    images: AtomicU64,
+    pad_ns: AtomicU64,
+    kernel_ns: AtomicU64,
+    epilogue_ns: AtomicU64,
+    kernel_dispatches: AtomicU64,
+    pattern_groups: AtomicU64,
+    zero_kernels_skipped: AtomicU64,
+    padded_bytes: AtomicU64,
+    /// SIMD tier last dispatched: 0 = none recorded, 1 = scalar,
+    /// 2 = AVX2.
+    simd: AtomicU8,
+}
+
+/// One instrumented convolution pass, handed to
+/// [`LayerStats::record_conv`] by the pattern/quant conv layers.
+pub(crate) struct ConvPass {
+    pub images: u64,
+    pub pad_ns: u64,
+    pub kernel_ns: u64,
+    pub epilogue_ns: u64,
+    pub kernel_dispatches: u64,
+    pub pattern_groups: u64,
+    pub zero_kernels_skipped: u64,
+    pub padded_bytes: u64,
+    pub level: SimdLevel,
+}
+
+impl LayerStats {
+    /// Records a non-convolution op pass: the whole duration counts as
+    /// the kernel phase.
+    pub(crate) fn record_pass(&self, images: u64, total_ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.images.fetch_add(images, Ordering::Relaxed);
+        self.kernel_ns.fetch_add(total_ns, Ordering::Relaxed);
+    }
+
+    /// Records one instrumented convolution pass.
+    pub(crate) fn record_conv(&self, p: &ConvPass) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.images.fetch_add(p.images, Ordering::Relaxed);
+        self.pad_ns.fetch_add(p.pad_ns, Ordering::Relaxed);
+        self.kernel_ns.fetch_add(p.kernel_ns, Ordering::Relaxed);
+        self.epilogue_ns.fetch_add(p.epilogue_ns, Ordering::Relaxed);
+        self.kernel_dispatches
+            .fetch_add(p.kernel_dispatches, Ordering::Relaxed);
+        // Static per-layer properties: store, don't accumulate.
+        self.pattern_groups
+            .store(p.pattern_groups, Ordering::Relaxed);
+        self.zero_kernels_skipped
+            .store(p.zero_kernels_skipped, Ordering::Relaxed);
+        self.padded_bytes
+            .fetch_add(p.padded_bytes, Ordering::Relaxed);
+        let tier = match p.level {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Avx2 => 2,
+        };
+        self.simd.store(tier, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.images.store(0, Ordering::Relaxed);
+        self.pad_ns.store(0, Ordering::Relaxed);
+        self.kernel_ns.store(0, Ordering::Relaxed);
+        self.epilogue_ns.store(0, Ordering::Relaxed);
+        self.kernel_dispatches.store(0, Ordering::Relaxed);
+        self.pattern_groups.store(0, Ordering::Relaxed);
+        self.zero_kernels_skipped.store(0, Ordering::Relaxed);
+        self.padded_bytes.store(0, Ordering::Relaxed);
+        self.simd.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, layer: usize, label: &str) -> LayerProfile {
+        let pad_ns = self.pad_ns.load(Ordering::Relaxed);
+        let kernel_ns = self.kernel_ns.load(Ordering::Relaxed);
+        let epilogue_ns = self.epilogue_ns.load(Ordering::Relaxed);
+        LayerProfile {
+            layer,
+            label: label.to_string(),
+            calls: self.calls.load(Ordering::Relaxed),
+            images: self.images.load(Ordering::Relaxed),
+            pad_ns,
+            kernel_ns,
+            epilogue_ns,
+            total_ns: pad_ns + kernel_ns + epilogue_ns,
+            kernel_dispatches: self.kernel_dispatches.load(Ordering::Relaxed),
+            pattern_groups: self.pattern_groups.load(Ordering::Relaxed),
+            zero_kernels_skipped: self.zero_kernels_skipped.load(Ordering::Relaxed),
+            padded_bytes: self.padded_bytes.load(Ordering::Relaxed),
+            simd_level: match self.simd.load(Ordering::Relaxed) {
+                1 => "scalar",
+                2 => "avx2",
+                _ => "-",
+            },
+        }
+    }
+}
+
+/// One lowering's profiling slots, in execution order.
+#[derive(Debug, Default)]
+struct PrecisionSlice {
+    labels: Vec<String>,
+    stats: Vec<LayerStats>,
+}
+
+/// Flattens an op sequence into profiling-slot order: pre-order, with
+/// a residual block contributing its main ops, then its shortcut ops,
+/// then one slot for the add+ReLU combine. `run_ops_profiled` walks
+/// slots in exactly this order — the two must never drift.
+fn flatten_labels(ops: &[Op], out: &mut Vec<String>) {
+    for op in ops {
+        if let Op::Residual { main, shortcut } = op {
+            flatten_labels(main, out);
+            flatten_labels(shortcut, out);
+            out.push(format!(
+                "Residual(combine) [{} main ops, {} shortcut ops]",
+                main.len(),
+                shortcut.len()
+            ));
+        } else {
+            out.push(op.describe());
+        }
+    }
+}
+
+/// The per-engine execution profiler: one [`LayerStats`] per op per
+/// lowering, plus the master enable switch.
+///
+/// Engine shards created by `Engine::into_shards` share one profiler,
+/// so a sharded server still aggregates into a single profile.
+#[derive(Debug)]
+pub struct ExecProfiler {
+    enabled: AtomicBool,
+    slices: [PrecisionSlice; 2],
+}
+
+impl ExecProfiler {
+    /// Builds the (disabled) profiler for a compiled graph, with one
+    /// slot per op of each lowering the graph carries.
+    pub fn for_graph(graph: &ExecutableGraph) -> Self {
+        let slice_for = |ops: &[Op]| {
+            let mut labels = Vec::new();
+            flatten_labels(ops, &mut labels);
+            let stats = (0..labels.len()).map(|_| LayerStats::default()).collect();
+            PrecisionSlice { labels, stats }
+        };
+        ExecProfiler {
+            enabled: AtomicBool::new(false),
+            slices: [
+                slice_for(graph.ops()),
+                graph.int8_ops().map(slice_for).unwrap_or_default(),
+            ],
+        }
+    }
+
+    /// Whether graph passes currently record per-layer timings.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns profiling on or off. Takes `&self` — the switch is live on
+    /// a served engine without exclusive access.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Zeroes every accumulated counter (the enable switch is kept).
+    pub fn reset(&self) {
+        for slice in &self.slices {
+            for s in &slice.stats {
+                s.reset();
+            }
+        }
+    }
+
+    /// The profiling slots of one lowering, in execution order.
+    pub(crate) fn layers(&self, precision: Precision) -> &[LayerStats] {
+        &self.slices[precision.index()].stats
+    }
+
+    /// Aggregates the counters into an immutable [`ExecProfile`].
+    pub fn snapshot(&self) -> ExecProfile {
+        ExecProfile {
+            simd_level: simd::active().label(),
+            precisions: Precision::ALL
+                .iter()
+                .filter_map(|&p| {
+                    let slice = &self.slices[p.index()];
+                    if slice.stats.is_empty() {
+                        return None;
+                    }
+                    Some(PrecisionProfile {
+                        precision: p.label(),
+                        layers: slice
+                            .stats
+                            .iter()
+                            .zip(&slice.labels)
+                            .enumerate()
+                            .map(|(i, (s, label))| s.snapshot(i, label))
+                            .collect(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Aggregated per-layer timings of one lowering.
+#[derive(Debug, Clone)]
+pub struct PrecisionProfile {
+    /// Lowering label (`"f32"` / `"int8"`).
+    pub precision: &'static str,
+    /// Per-layer records in execution order.
+    pub layers: Vec<LayerProfile>,
+}
+
+/// Aggregated profile of one executable layer.
+#[derive(Debug, Clone)]
+pub struct LayerProfile {
+    /// Execution-order index within the lowering.
+    pub layer: usize,
+    /// The op's summary line (`Op::describe`).
+    pub label: String,
+    /// Graph passes that executed this layer.
+    pub calls: u64,
+    /// Images processed across those passes.
+    pub images: u64,
+    /// Wall time in the pad/quantise phase.
+    pub pad_ns: u64,
+    /// Wall time in compiled kernel dispatches (whole-op time for
+    /// non-convolution layers).
+    pub kernel_ns: u64,
+    /// Wall time in the fused ReLU / requantisation epilogue.
+    pub epilogue_ns: u64,
+    /// `pad_ns + kernel_ns + epilogue_ns`.
+    pub total_ns: u64,
+    /// Compiled kernel dispatches issued.
+    pub kernel_dispatches: u64,
+    /// Pattern groups in the layer's schedule (0 on the oc-major walk
+    /// and for non-pattern layers).
+    pub pattern_groups: u64,
+    /// All-zero kernels skipped per pass.
+    pub zero_kernels_skipped: u64,
+    /// Bytes of padded input planes built across passes.
+    pub padded_bytes: u64,
+    /// SIMD tier last dispatched (`"-"` until a conv pass records).
+    pub simd_level: &'static str,
+}
+
+impl LayerProfile {
+    /// One JSON object — the schema `benches/kernel_microbench.rs`
+    /// reuses for its per-(dtype, n, width) records.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"layer\":{},\"label\":\"{}\",\"calls\":{},\"images\":{},\
+             \"pad_ns\":{},\"kernel_ns\":{},\"epilogue_ns\":{},\"total_ns\":{},\
+             \"kernel_dispatches\":{},\"pattern_groups\":{},\
+             \"zero_kernels_skipped\":{},\"padded_bytes\":{},\"simd_level\":\"{}\"}}",
+            self.layer,
+            self.label,
+            self.calls,
+            self.images,
+            self.pad_ns,
+            self.kernel_ns,
+            self.epilogue_ns,
+            self.total_ns,
+            self.kernel_dispatches,
+            self.pattern_groups,
+            self.zero_kernels_skipped,
+            self.padded_bytes,
+            self.simd_level,
+        )
+    }
+}
+
+/// Immutable aggregate snapshot of an [`ExecProfiler`].
+#[derive(Debug, Clone)]
+pub struct ExecProfile {
+    /// The process-wide SIMD tier (`pcnn_tensor::simd::active`).
+    pub simd_level: &'static str,
+    /// Per-lowering layer records (lowerings the graph carries).
+    pub precisions: Vec<PrecisionProfile>,
+}
+
+impl ExecProfile {
+    /// Sum of per-layer `total_ns` for one lowering (0 when absent).
+    pub fn total_ns(&self, precision: Precision) -> u64 {
+        self.precisions
+            .iter()
+            .find(|p| p.precision == precision.label())
+            .map_or(0, |p| p.layers.iter().map(|l| l.total_ns).sum())
+    }
+
+    /// The whole profile as one JSON document.
+    pub fn to_json(&self) -> String {
+        let precisions: Vec<String> = self
+            .precisions
+            .iter()
+            .map(|p| {
+                let layers: Vec<String> = p.layers.iter().map(LayerProfile::to_json).collect();
+                format!(
+                    "{{\"precision\":\"{}\",\"layers\":[{}]}}",
+                    p.precision,
+                    layers.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"simd_level\":\"{}\",\"precisions\":[{}]}}",
+            self.simd_level,
+            precisions.join(",")
+        )
+    }
+
+    /// The profile in Prometheus text exposition format, appended to the
+    /// serving metrics by `pcnn_serve::Server::render_prometheus`.
+    pub fn render_prometheus(&self) -> String {
+        let mut o = String::new();
+        o.push_str(
+            "# HELP pcnn_profile_layer_seconds_total Per-layer wall time by phase \
+             (pad/quantise, kernel dispatch, epilogue).\n",
+        );
+        o.push_str("# TYPE pcnn_profile_layer_seconds_total counter\n");
+        for p in &self.precisions {
+            for l in &p.layers {
+                for (phase, ns) in [
+                    ("pad", l.pad_ns),
+                    ("kernel", l.kernel_ns),
+                    ("epilogue", l.epilogue_ns),
+                ] {
+                    o.push_str(&format!(
+                        "pcnn_profile_layer_seconds_total{{precision=\"{}\",layer=\"{}\",phase=\"{}\"}} {}\n",
+                        p.precision,
+                        l.layer,
+                        phase,
+                        ns as f64 * 1e-9
+                    ));
+                }
+            }
+        }
+        o.push_str("# HELP pcnn_profile_layer_calls_total Graph passes that executed the layer.\n");
+        o.push_str("# TYPE pcnn_profile_layer_calls_total counter\n");
+        for p in &self.precisions {
+            for l in &p.layers {
+                o.push_str(&format!(
+                    "pcnn_profile_layer_calls_total{{precision=\"{}\",layer=\"{}\"}} {}\n",
+                    p.precision, l.layer, l.calls
+                ));
+            }
+        }
+        o.push_str(
+            "# HELP pcnn_profile_layer_kernel_dispatches_total Compiled kernel dispatches issued.\n",
+        );
+        o.push_str("# TYPE pcnn_profile_layer_kernel_dispatches_total counter\n");
+        for p in &self.precisions {
+            for l in &p.layers {
+                o.push_str(&format!(
+                    "pcnn_profile_layer_kernel_dispatches_total{{precision=\"{}\",layer=\"{}\"}} {}\n",
+                    p.precision, l.layer, l.kernel_dispatches
+                ));
+            }
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_dense;
+    use crate::quant_conv::QuantOptions;
+    use pcnn_nn::models;
+    use pcnn_tensor::Tensor;
+
+    #[test]
+    fn profiled_run_matches_plain_and_fills_every_slot() {
+        let graph = compile_dense(&models::tiny_cnn(4, 4, 3));
+        let profiler = ExecProfiler::for_graph(&graph);
+        profiler.set_enabled(true);
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let want = graph.run(&x);
+        let got = graph.run_profiled(&x, Precision::F32, &profiler);
+        pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 0.0);
+        let profile = profiler.snapshot();
+        let f32p = &profile.precisions[0];
+        assert_eq!(f32p.precision, "f32");
+        assert_eq!(f32p.layers.len(), graph.ops().len());
+        for l in &f32p.layers {
+            assert_eq!(l.calls, 1, "layer {} ({})", l.layer, l.label);
+            assert_eq!(l.images, 2);
+        }
+        assert!(profile.total_ns(Precision::F32) > 0);
+    }
+
+    #[test]
+    fn dual_precision_graphs_profile_both_lowerings() {
+        let graph = compile_dense(&models::tiny_cnn(4, 4, 3)).with_int8(&QuantOptions::default());
+        let profiler = ExecProfiler::for_graph(&graph);
+        profiler.set_enabled(true);
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        let _ = graph.run_profiled(&x, Precision::F32, &profiler);
+        let _ = graph.run_profiled(&x, Precision::Int8, &profiler);
+        let profile = profiler.snapshot();
+        assert_eq!(profile.precisions.len(), 2);
+        assert!(profile.total_ns(Precision::Int8) > 0);
+        // Both lowerings share the compiled topology, so the slot
+        // counts agree.
+        assert_eq!(
+            profile.precisions[0].layers.len(),
+            profile.precisions[1].layers.len()
+        );
+        profiler.reset();
+        let profile = profiler.snapshot();
+        assert_eq!(profile.total_ns(Precision::F32), 0);
+    }
+
+    #[test]
+    fn residual_blocks_flatten_with_a_combine_slot() {
+        let graph = compile_dense(&models::resnet18_proxy(
+            &models::ResNetProxyConfig::default(),
+            3,
+        ));
+        let profiler = ExecProfiler::for_graph(&graph);
+        profiler.set_enabled(true);
+        let combines = profiler.slices[0]
+            .labels
+            .iter()
+            .filter(|l| l.starts_with("Residual(combine)"))
+            .count();
+        assert!(combines > 0, "proxy carries residual blocks");
+        let x = Tensor::ones(&[1, 3, 16, 16]);
+        let want = graph.run(&x);
+        let got = graph.run_profiled(&x, Precision::F32, &profiler);
+        pcnn_tensor::assert_slices_close(got.as_slice(), want.as_slice(), 0.0);
+        // Every slot — residual internals included — saw the pass.
+        for l in &profiler.snapshot().precisions[0].layers {
+            assert_eq!(l.calls, 1, "slot {} ({})", l.layer, l.label);
+        }
+    }
+
+    #[test]
+    fn profile_json_is_brace_balanced() {
+        let graph = compile_dense(&models::tiny_cnn(4, 4, 2));
+        let profiler = ExecProfiler::for_graph(&graph);
+        profiler.set_enabled(true);
+        let _ = graph.run_profiled(&Tensor::ones(&[1, 3, 8, 8]), Precision::F32, &profiler);
+        let json = profiler.snapshot().to_json();
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(json.contains("\"simd_level\""));
+        assert!(json.contains("\"pad_ns\""));
+        let prom = profiler.snapshot().render_prometheus();
+        assert!(prom.contains(
+            "pcnn_profile_layer_seconds_total{precision=\"f32\",layer=\"0\",phase=\"kernel\"}"
+        ));
+    }
+}

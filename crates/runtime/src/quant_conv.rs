@@ -32,6 +32,7 @@
 //! grow, since tiny weights may round to the zero code).
 
 use crate::pattern_conv::PatternConv;
+use crate::profile::{ConvPass, LayerStats};
 use crate::quant_kernels::{
     per_image_activation_params_at, quantize_batch_planes_at, requantize_plane_at,
 };
@@ -41,6 +42,7 @@ use pcnn_tensor::conv::{conv2d_direct, Conv2dShape};
 use pcnn_tensor::direct::{accumulate_plane_batch_dyn_i8_at, padded_dims, BatchPlanes};
 use pcnn_tensor::simd::{self, SimdLevel};
 use pcnn_tensor::Tensor;
+use std::time::Instant;
 
 /// The numeric precision an executable graph runs at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -206,6 +208,12 @@ impl QuantPatternConv {
         self.grouped
     }
 
+    /// The pattern-grouped execution schedule (rebuilt from the
+    /// quantised skip flags).
+    pub fn schedule(&self) -> &PatternSchedule {
+        &self.schedule
+    }
+
     /// The convolution shape.
     pub fn shape(&self) -> &Conv2dShape {
         &self.shape
@@ -338,6 +346,49 @@ impl QuantPatternConv {
         out: &mut [f32],
         scratch: &mut QuantScratch,
     ) {
+        self.forward_batch_impl(level, grouped, input, n, h, w, out, scratch, None);
+    }
+
+    /// [`QuantPatternConv::forward`] with per-phase instrumentation into
+    /// a profiler slot — the profiled graph walk's entry point. The pad
+    /// phase covers activation quantisation, padded-plane construction,
+    /// and accumulator setup; the epilogue is the requantisation tail.
+    pub(crate) fn forward_profiled(&self, input: &Tensor, stats: &LayerStats) -> Tensor {
+        let start = Instant::now();
+        let dims = input.shape();
+        assert_eq!(dims.len(), 4, "input must be NCHW");
+        let (n, in_c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(in_c, self.shape.in_c, "input channel mismatch");
+        let (oh, ow) = self.shape.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, self.shape.out_c, oh, ow]);
+        let mut scratch = QuantScratch::new();
+        self.forward_batch_impl(
+            simd::active(),
+            self.grouped,
+            input.as_slice(),
+            n,
+            h,
+            w,
+            out.as_mut_slice(),
+            &mut scratch,
+            Some((stats, start)),
+        );
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_impl(
+        &self,
+        level: SimdLevel,
+        grouped: bool,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut QuantScratch,
+        profile: Option<(&LayerStats, Instant)>,
+    ) {
         let shape = &self.shape;
         let (oh, ow) = shape.out_hw(h, w);
         let in_img = shape.in_c * h * w;
@@ -374,6 +425,13 @@ impl QuantPatternConv {
         scratch.acc.resize(acc_len, 0);
         let acc = &mut scratch.acc[..];
         let padded = &scratch.padded[..n * in_c * plane_len];
+
+        // Phase boundary: quantise + pad + accumulator setup (plus the
+        // caller's output allocation) is the pad phase.
+        let profiling = profile.is_some();
+        let pad_done = profiling.then(Instant::now);
+        let mut dispatches = 0u64;
+        let mut epi_ns = 0u64;
 
         let geo_for = |ic: usize, oc: usize| BatchPlanes {
             out_base: oc * out_plane_len,
@@ -414,6 +472,7 @@ impl QuantPatternConv {
                 for (s, &oc) in self.schedule.group_ocs(entry).iter().enumerate() {
                     let oc = oc as usize;
                     let qwts = &self.packed[(slot0 + s) * self.n..(slot0 + s + 1) * self.n];
+                    dispatches += 1;
                     accumulate_plane_batch_dyn_i8_at(
                         level,
                         acc,
@@ -427,14 +486,22 @@ impl QuantPatternConv {
                         shape.stride,
                     );
                     if lasts[s] {
+                        let t = profiling.then(Instant::now);
                         requant_oc(acc, out, oc);
+                        if let Some(t) = t {
+                            epi_ns += t.elapsed().as_nanos() as u64;
+                        }
                     }
                 }
             }
             // Fully coarse-pruned channels never hit the fold; they
             // still owe the bias (+ ReLU) epilogue over zero sums.
+            let t = profiling.then(Instant::now);
             for &oc in self.schedule.untouched_ocs() {
                 requant_oc(acc, out, oc as usize);
+            }
+            if let Some(t) = t {
+                epi_ns += t.elapsed().as_nanos() as u64;
             }
         } else {
             // Legacy oc-major walk with the separate requant pass.
@@ -447,6 +514,7 @@ impl QuantPatternConv {
                     let code = self.codes[ki] as usize;
                     let offs = &offsets[code];
                     let qwts = &self.qweights[ki * self.n..(ki + 1) * self.n];
+                    dispatches += 1;
                     accumulate_plane_batch_dyn_i8_at(
                         level,
                         acc,
@@ -461,9 +529,33 @@ impl QuantPatternConv {
                     );
                 }
             }
+            let t = profiling.then(Instant::now);
             for oc in 0..shape.out_c {
                 requant_oc(acc, out, oc);
             }
+            if let Some(t) = t {
+                epi_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+
+        if let Some((stats, start)) = profile {
+            let total = start.elapsed().as_nanos() as u64;
+            let pad_ns = pad_done.map_or(0, |p| (p - start).as_nanos() as u64);
+            stats.record_conv(&ConvPass {
+                images: n as u64,
+                pad_ns,
+                kernel_ns: total.saturating_sub(pad_ns).saturating_sub(epi_ns),
+                epilogue_ns: epi_ns,
+                kernel_dispatches: dispatches,
+                pattern_groups: if grouped {
+                    self.schedule.entries().len() as u64
+                } else {
+                    0
+                },
+                zero_kernels_skipped: self.skipped_kernels() as u64,
+                padded_bytes: (n * in_c * plane_len) as u64,
+                level,
+            });
         }
     }
 

@@ -35,9 +35,10 @@
 //! a request whose shape differs from the batch being built closes that
 //! batch and opens the next one (no reordering, no starvation).
 
-use crate::metrics::ShardMetrics;
+use crate::metrics::{ServerMetrics, ShardMetrics};
 use crate::queue::{BoundedQueue, Pop};
 use crate::ticket::{ServeError, TicketCell};
+use crate::trace::{ActiveSpan, FlightRecorder, RecordedSpan, SpanOutcome};
 use pcnn_runtime::engine::Engine;
 use pcnn_runtime::Precision;
 use pcnn_tensor::Tensor;
@@ -58,6 +59,22 @@ pub(crate) struct Request {
     /// precision-uniform: a mismatching request closes the batch being
     /// built, exactly like a shape change.
     pub precision: Precision,
+    /// The sampled lifecycle span, when this request drew the 1-in-N
+    /// tracing lot; `None` requests still tick every counter. The span
+    /// carries the trace ID assigned at admission.
+    pub span: Option<Box<ActiveSpan>>,
+}
+
+impl Request {
+    /// Stamps the span's dequeued event at the first pop off the queue
+    /// (idempotent — a carried request keeps its original pop stamp).
+    fn mark_dequeued(&mut self, recorder: &FlightRecorder) {
+        if let Some(span) = &mut self.span {
+            if span.dequeued_ns == 0 {
+                span.dequeued_ns = recorder.now_ns();
+            }
+        }
+    }
 }
 
 /// Everything one batcher thread needs, bundled for the spawn.
@@ -68,6 +85,12 @@ pub(crate) struct BatcherContext {
     pub queue: Arc<BoundedQueue<Request>>,
     /// This shard's metrics.
     pub shard: Arc<ShardMetrics>,
+    /// This shard's index, for span attribution.
+    pub shard_index: usize,
+    /// The server-wide metrics (queue-depth gauge sampling).
+    pub metrics: Arc<ServerMetrics>,
+    /// The server's flight recorder: span clock and ring sink.
+    pub recorder: Arc<FlightRecorder>,
     /// When set, drain-by-failing: remaining requests get
     /// [`ServeError::Aborted`] instead of an inference pass.
     pub abort: Arc<AtomicBool>,
@@ -119,7 +142,7 @@ pub(crate) fn run_batcher(ctx: BatcherContext) {
     // *next* one (shape change): it seeds the following iteration.
     let mut carried: Option<Request> = None;
     loop {
-        let first = match carried.take() {
+        let mut first = match carried.take() {
             Some(r) => r,
             None => match ctx.queue.pop_wait(None) {
                 Pop::Item(r) => r,
@@ -127,13 +150,23 @@ pub(crate) fn run_batcher(ctx: BatcherContext) {
                 Pop::TimedOut => unreachable!("untimed pop cannot time out"),
             },
         };
+        first.mark_dequeued(&ctx.recorder);
         // Claim an engine slot BEFORE coalescing: while the batcher
         // waits here for the engine to free up, new requests keep
         // queueing, so batch size adapts to engine busyness — idle
         // engine means tiny batches and minimal latency, saturated
         // engine means full batches and maximal amortisation.
         inflight.acquire(max_inflight);
-        let batch = coalesce(&ctx.queue, first, &mut carried, ctx.max_batch, ctx.max_wait);
+        ctx.shard.inflight_batches.inc();
+        let batch = coalesce(
+            &ctx.queue,
+            first,
+            &mut carried,
+            ctx.max_batch,
+            ctx.max_wait,
+            &ctx.recorder,
+        );
+        ctx.metrics.queue_depth.set(ctx.queue.len() as u64);
         dispatch(&ctx, batch, &inflight, &buffer_pool);
     }
     inflight.wait_zero();
@@ -153,6 +186,7 @@ fn coalesce(
     carried: &mut Option<Request>,
     max_batch: usize,
     max_wait: Duration,
+    recorder: &FlightRecorder,
 ) -> Vec<Request> {
     let anchor = first.submitted.min(Instant::now());
     let deadline = anchor + max_wait;
@@ -162,12 +196,18 @@ fn coalesce(
         if now >= deadline {
             // Deadline passed: take only what is already queued.
             match queue.try_pop() {
-                Some(r) => accept(&mut batch, carried, r),
+                Some(mut r) => {
+                    r.mark_dequeued(recorder);
+                    accept(&mut batch, carried, r);
+                }
                 None => break,
             }
         } else {
             match queue.pop_wait(Some(deadline - now)) {
-                Pop::Item(r) => accept(&mut batch, carried, r),
+                Pop::Item(mut r) => {
+                    r.mark_dequeued(recorder);
+                    accept(&mut batch, carried, r);
+                }
                 Pop::TimedOut => break,
                 Pop::Closed => break,
             }
@@ -195,14 +235,42 @@ fn dispatch(
     inflight: &Arc<InFlight>,
     buffer_pool: &Arc<Mutex<Vec<Vec<f32>>>>,
 ) {
+    let shard_index = ctx.shard_index as u32;
+    let batch_len = batch.len() as u32;
     if ctx.abort.load(Ordering::SeqCst) {
+        // Aborted timelines stay complete and monotone: the events the
+        // request never reached all carry the abort instant.
+        let abort_ns = ctx.recorder.now_ns();
         for r in batch {
             ctx.shard.aborted.inc();
+            ctx.shard.precision(r.precision).aborted.inc();
+            // Span first, ticket second: a woken waiter always finds
+            // its span already recorded.
+            if let Some(span) = r.span {
+                ctx.recorder.record(
+                    ctx.shard_index,
+                    &RecordedSpan {
+                        id: span.id,
+                        shard: shard_index,
+                        precision: r.precision,
+                        outcome: SpanOutcome::Aborted,
+                        batch_len,
+                        admitted_ns: span.admitted_ns,
+                        dequeued_ns: span.dequeued_ns.max(span.admitted_ns),
+                        coalesced_ns: abort_ns,
+                        dispatched_ns: abort_ns,
+                        executed_ns: abort_ns,
+                        completed_ns: abort_ns,
+                    },
+                );
+            }
             r.cell.complete(Err(ServeError::Aborted));
         }
+        ctx.shard.inflight_batches.dec();
         inflight.release();
         return;
     }
+    let coalesced_ns = ctx.recorder.now_ns();
     let dispatch_at = Instant::now();
     let precision = batch[0].precision;
     let mut inputs = Vec::with_capacity(batch.len());
@@ -211,7 +279,7 @@ fn dispatch(
         debug_assert_eq!(r.precision, precision, "batches are precision-uniform");
         ctx.shard.queue_wait.record(dispatch_at - r.submitted);
         inputs.push(r.input);
-        meta.push((r.cell, r.submitted));
+        meta.push((r.cell, r.submitted, r.span));
     }
     ctx.shard.batches.inc();
     ctx.shard.batched_images.add(meta.len() as u64);
@@ -223,36 +291,68 @@ fn dispatch(
     let shard = ctx.shard.clone();
     let inflight = inflight.clone();
     let buffer_pool = buffer_pool.clone();
+    let recorder = ctx.recorder.clone();
+    let shard_slot = ctx.shard_index;
+    let dispatched_ns = ctx.recorder.now_ns();
     ctx.engine
         .infer_coalesced_async_at(precision, inputs, buffers, move |outputs, spare| {
             let done_at = Instant::now();
+            let executed_ns = recorder.now_ns();
             shard.service.record(done_at - dispatch_at);
             debug_assert_eq!(outputs.len(), meta.len(), "one output slot per request");
             let mut outputs = outputs.into_iter();
-            for (cell, submitted) in meta {
-                // `next()` yields `None` past the end, so a short output
+            for (cell, submitted, span) in meta {
+                // `next()` past the end yields `None`: a short output
                 // vector (an engine attribution bug, impossible today)
                 // fails the surplus tickets instead of silently dropping
                 // them and hanging their waiters forever.
-                match outputs.next().flatten() {
-                    Some(y) => {
+                let output = outputs.next().flatten();
+                let outcome = match &output {
+                    Some(_) => {
                         shard.latency.record(done_at - submitted);
                         shard.completed.inc();
                         let pm = shard.precision(precision);
                         pm.latency.record(done_at - submitted);
                         pm.completed.inc();
-                        cell.complete(Ok(y));
+                        SpanOutcome::Completed
                     }
                     // This request's chunk pass panicked (or the engine
                     // failed to attribute an output to it); the rest of
                     // the batch keeps its outputs.
                     None => {
                         shard.failed.inc();
-                        cell.complete(Err(ServeError::EngineFault));
+                        shard.precision(precision).failed.inc();
+                        SpanOutcome::Failed
                     }
+                };
+                // Publish the span *before* completing the ticket so a
+                // waiter that wakes on `Ticket::wait` is guaranteed to
+                // find its span already in the flight recorder.
+                if let Some(span) = span {
+                    recorder.record(
+                        shard_slot,
+                        &RecordedSpan {
+                            id: span.id,
+                            shard: shard_index,
+                            precision,
+                            outcome,
+                            batch_len,
+                            admitted_ns: span.admitted_ns,
+                            dequeued_ns: span.dequeued_ns.max(span.admitted_ns),
+                            coalesced_ns,
+                            dispatched_ns,
+                            executed_ns,
+                            completed_ns: recorder.now_ns(),
+                        },
+                    );
+                }
+                match output {
+                    Some(y) => cell.complete(Ok(y)),
+                    None => cell.complete(Err(ServeError::EngineFault)),
                 }
             }
             *buffer_pool.lock().expect("buffer pool poisoned") = spare;
+            shard.inflight_batches.dec();
             inflight.release();
         });
 }
@@ -261,6 +361,11 @@ fn dispatch(
 mod tests {
     use super::*;
     use crate::queue::Priority;
+    use crate::trace::TraceConfig;
+
+    fn recorder() -> FlightRecorder {
+        FlightRecorder::new(&TraceConfig::default(), 1)
+    }
 
     fn request(shape: &[usize], submitted: Instant) -> Request {
         request_at(shape, submitted, Precision::F32)
@@ -272,6 +377,7 @@ mod tests {
             cell: TicketCell::new(),
             submitted,
             precision,
+            span: None,
         }
     }
 
@@ -294,7 +400,7 @@ mod tests {
         let first = request(&[1, 3, 8, 8], Instant::now() - 2 * max_wait);
         let mut carried = None;
         let t0 = Instant::now();
-        let batch = coalesce(&queue, first, &mut carried, 8, max_wait);
+        let batch = coalesce(&queue, first, &mut carried, 8, max_wait, &recorder());
         assert_eq!(batch.len(), 3, "queued requests still coalesce");
         assert!(carried.is_none());
         assert!(
@@ -326,18 +432,20 @@ mod tests {
             )
             .is_ok());
         let mut carried = None;
+        let rec = recorder();
         let batch = coalesce(
             &queue,
             request_at(&[1, 3, 8, 8], stale, Precision::F32),
             &mut carried,
             8,
             Duration::ZERO,
+            &rec,
         );
         assert_eq!(batch.len(), 3, "same-precision requests coalesce");
         assert!(batch.iter().all(|r| r.precision == Precision::F32));
         let int8 = carried.take().expect("the int8 request carried over");
         assert_eq!(int8.precision, Precision::Int8);
-        let batch = coalesce(&queue, int8, &mut carried, 8, Duration::ZERO);
+        let batch = coalesce(&queue, int8, &mut carried, 8, Duration::ZERO, &rec);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].precision, Precision::Int8);
     }
@@ -350,7 +458,7 @@ mod tests {
         let first = request(&[1, 3, 8, 8], Instant::now());
         let mut carried = None;
         let t0 = Instant::now();
-        let batch = coalesce(&queue, first, &mut carried, 8, max_wait);
+        let batch = coalesce(&queue, first, &mut carried, 8, max_wait, &recorder());
         assert_eq!(batch.len(), 1);
         assert!(
             t0.elapsed() >= Duration::from_millis(25),
@@ -374,12 +482,14 @@ mod tests {
             .try_push(request(&[1, 3, 10, 10], Instant::now()), Priority::Normal)
             .is_ok());
         let mut carried = None;
+        let rec = recorder();
         let batch = coalesce(
             &queue,
             request(&[1, 3, 8, 8], stale),
             &mut carried,
             3,
             Duration::from_millis(50),
+            &rec,
         );
         assert_eq!(batch.len(), 3, "max_batch caps the greedy drain");
         assert!(carried.is_none(), "cap hit before the shape change");
@@ -389,6 +499,7 @@ mod tests {
             &mut carried,
             8,
             Duration::ZERO,
+            &rec,
         );
         assert_eq!(batch.len(), 1);
         assert!(
@@ -401,6 +512,7 @@ mod tests {
             &mut carried,
             8,
             Duration::ZERO,
+            &rec,
         );
         assert_eq!(batch[0].input.shape(), &[1, 3, 10, 10]);
     }

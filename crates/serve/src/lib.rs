@@ -73,12 +73,14 @@ pub mod metrics;
 pub mod queue;
 pub mod shutdown;
 pub mod ticket;
+pub mod trace;
 
 pub use metrics::{PrecisionSnapshot, ServerMetrics, ShardSnapshot, TelemetrySnapshot};
 pub use pcnn_runtime::Precision;
 pub use queue::Priority;
-pub use shutdown::{DrainReport, ShutdownMode};
+pub use shutdown::{DrainPrecision, DrainReport, ShutdownMode};
 pub use ticket::{ServeError, Ticket};
+pub use trace::{FlightRecorder, RecordedSpan, SpanOutcome, TraceConfig};
 
 use batcher::{BatcherContext, Request};
 use pcnn_runtime::Engine;
@@ -87,6 +89,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ticket::TicketCell;
+use trace::ActiveSpan;
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -124,6 +127,11 @@ pub struct ServeConfig {
     /// [`Precision::Int8`] requires an engine whose graph carries the
     /// quantised lowering (`pcnn_runtime::compile::compile_quant`).
     pub precision: Precision,
+    /// Request-lifecycle tracing knobs: span sampling rate and the
+    /// per-shard flight-recorder ring capacity ([`TraceConfig`]).
+    /// Request IDs and trace counters are always on; only span capture
+    /// is sampled.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -137,6 +145,7 @@ impl Default for ServeConfig {
             input_chw: None,
             shards: 1,
             precision: Precision::F32,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -165,6 +174,7 @@ pub struct Server {
     engines: Vec<Arc<Engine>>,
     queue: Arc<BoundedQueue<Request>>,
     metrics: Arc<ServerMetrics>,
+    recorder: Arc<FlightRecorder>,
     abort: Arc<AtomicBool>,
     batchers: Vec<std::thread::JoinHandle<()>>,
     config: ServeConfig,
@@ -199,6 +209,7 @@ impl Server {
         };
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(ServerMetrics::new(shards));
+        let recorder = Arc::new(FlightRecorder::new(&config.trace, shards));
         let abort = Arc::new(AtomicBool::new(false));
         let batchers = engines
             .iter()
@@ -208,6 +219,9 @@ impl Server {
                     engine: engine.clone(),
                     queue: queue.clone(),
                     shard: metrics.shard(i).clone(),
+                    shard_index: i,
+                    metrics: metrics.clone(),
+                    recorder: recorder.clone(),
                     abort: abort.clone(),
                     max_batch: config.max_batch,
                     max_wait: config.max_wait,
@@ -222,6 +236,7 @@ impl Server {
             engines,
             queue,
             metrics,
+            recorder,
             abort,
             batchers,
             config,
@@ -251,6 +266,46 @@ impl Server {
     /// Live telemetry (counters and histograms update as traffic flows).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The request-lifecycle flight recorder: per-shard rings of the
+    /// last K sampled span timelines plus always-on trace counters.
+    /// `flight_recorder().to_json()` is the postmortem dump.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Every counter, gauge, and histogram in Prometheus text
+    /// exposition format — the serving telemetry, the trace counters,
+    /// and (when profiling is enabled on the engine) the per-layer
+    /// execution profile. Metric names are documented in the README's
+    /// "Observability" section.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.metrics.render_prometheus();
+        out.push_str("# HELP pcnn_trace_requests_total Requests assigned a trace ID.\n");
+        out.push_str("# TYPE pcnn_trace_requests_total counter\n");
+        out.push_str(&format!(
+            "pcnn_trace_requests_total {}\n",
+            self.recorder.requests()
+        ));
+        out.push_str("# HELP pcnn_trace_spans_recorded_total Sampled spans published to the flight recorder.\n");
+        out.push_str("# TYPE pcnn_trace_spans_recorded_total counter\n");
+        out.push_str(&format!(
+            "pcnn_trace_spans_recorded_total {}\n",
+            self.recorder.spans_recorded()
+        ));
+        out.push_str(
+            "# HELP pcnn_trace_spans_dropped_total Sampled spans lost to ring-slot contention.\n",
+        );
+        out.push_str("# TYPE pcnn_trace_spans_dropped_total counter\n");
+        out.push_str(&format!(
+            "pcnn_trace_spans_dropped_total {}\n",
+            self.recorder.spans_dropped()
+        ));
+        if self.engines[0].profiler().is_enabled() {
+            out.push_str(&self.engines[0].exec_profile().render_prometheus());
+        }
+        out
     }
 
     /// Submits a `1 × C × H × W` request at [`Priority::Normal`] and
@@ -306,16 +361,26 @@ impl Server {
             }
         }
         let cell = TicketCell::new();
+        let id = self.recorder.begin();
+        let span = self.recorder.is_sampled(id).then(|| {
+            Box::new(ActiveSpan {
+                id,
+                admitted_ns: self.recorder.now_ns(),
+                dequeued_ns: 0,
+            })
+        });
         let request = Request {
             input,
             cell: cell.clone(),
             submitted: Instant::now(),
             precision,
+            span,
         };
         match self.queue.try_push(request, priority) {
             Ok(()) => {
                 self.metrics.submitted.inc();
-                Ok(Ticket::new(cell))
+                self.metrics.queue_depth.set(self.queue.len() as u64);
+                Ok(Ticket::new(cell, id))
             }
             Err(PushError::Full(_)) => {
                 self.metrics.rejected.inc();
@@ -343,12 +408,33 @@ impl Server {
         for handle in self.batchers.drain(..) {
             let _ = handle.join();
         }
+        let shards = self.engines.len();
+        let precisions = Precision::ALL
+            .iter()
+            .map(|&p| {
+                let mut dp = DrainPrecision {
+                    precision: p.label(),
+                    completed: 0,
+                    failed: 0,
+                    aborted: 0,
+                };
+                for i in 0..shards {
+                    let pm = self.metrics.shard(i).precision(p);
+                    dp.completed += pm.completed.get();
+                    dp.failed += pm.failed.get();
+                    dp.aborted += pm.aborted.get();
+                }
+                dp
+            })
+            .collect();
         DrainReport {
             mode,
             completed: self.metrics.completed(),
             aborted: self.metrics.aborted(),
             failed: self.metrics.failed(),
             rejected_at_shutdown: self.metrics.rejected_shutdown.get(),
+            precisions,
+            spans: self.recorder.spans(),
             wall: start.elapsed(),
         }
     }

@@ -25,7 +25,7 @@
 //! (admission → ticket fulfilment, what the client observes).
 
 use pcnn_runtime::Precision;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,36 @@ impl Counter {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A relaxed atomic point-in-time gauge (queue depth, in-flight
+/// batches). Signed internally so a racing `dec` before the matching
+/// `inc` becomes visible can dip below zero without wrapping; reads
+/// clamp at zero.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites with a sampled value.
+    pub fn set(&self, v: u64) {
+        self.0
+            .store(v.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// Current value, clamped at zero.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed).max(0) as u64
     }
 }
 
@@ -193,6 +223,23 @@ impl LogHistogram {
         let lo = (1u64 << i) as f64;
         Duration::from_nanos((lo * std::f64::consts::SQRT_2) as u64)
     }
+
+    /// A relaxed copy of every bucket count, in bucket order — the raw
+    /// series the Prometheus exporter renders cumulatively.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Sum of all recorded nanoseconds (the exporter's `_sum`).
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Exclusive upper bound of bucket `i` in nanoseconds, `None` for
+    /// the open-ended last bucket (`+Inf` in the exporter).
+    pub fn bucket_upper_ns(i: usize) -> Option<u64> {
+        (i + 1 < BUCKETS).then(|| 2u64 << i)
+    }
 }
 
 /// Dispatch metrics of one precision class (f32 or int8) within a
@@ -201,6 +248,10 @@ impl LogHistogram {
 pub struct PrecisionMetrics {
     /// Requests of this precision fulfilled with an output.
     pub completed: Counter,
+    /// Requests of this precision failed by engine faults.
+    pub failed: Counter,
+    /// Requests of this precision aborted by shutdown.
+    pub aborted: Counter,
     /// Batches of this precision dispatched to the engine.
     pub batches: Counter,
     /// Total images across this precision's dispatched batches.
@@ -230,6 +281,8 @@ pub struct ShardMetrics {
     pub latency: LogHistogram,
     /// Dispatch → batch completion (engine time per batch).
     pub service: LogHistogram,
+    /// Batches dispatched to the engine and not yet completed.
+    pub inflight_batches: Gauge,
     /// The same dispatch metrics, labeled by execution precision
     /// (indexed by [`Precision::index`]).
     pub by_precision: [PrecisionMetrics; 2],
@@ -262,6 +315,7 @@ impl ShardMetrics {
             } else {
                 batched_images as f64 / batches as f64
             },
+            inflight_batches: self.inflight_batches.get(),
             queue_wait_p50: self.queue_wait.quantile(0.50),
             queue_wait_p99: self.queue_wait.quantile(0.99),
             latency_p50: self.latency.quantile(0.50),
@@ -282,6 +336,8 @@ pub struct ServerMetrics {
     pub rejected: Counter,
     /// Requests refused because the server was shutting down.
     pub rejected_shutdown: Counter,
+    /// Requests queued right now, sampled at queue push and pop.
+    pub queue_depth: Gauge,
     shards: Vec<Arc<ShardMetrics>>,
     started: Instant,
 }
@@ -294,6 +350,7 @@ impl ServerMetrics {
             submitted: Counter::default(),
             rejected: Counter::default(),
             rejected_shutdown: Counter::default(),
+            queue_depth: Gauge::default(),
             shards: (0..shards.max(1))
                 .map(|_| Arc::new(ShardMetrics::new()))
                 .collect(),
@@ -347,10 +404,13 @@ impl ServerMetrics {
             .iter()
             .map(|&p| {
                 let lat = LogHistogram::new();
-                let (mut completed, mut batches, mut batched_images) = (0u64, 0u64, 0u64);
+                let (mut completed, mut failed, mut aborted) = (0u64, 0u64, 0u64);
+                let (mut batches, mut batched_images) = (0u64, 0u64);
                 for shard in &self.shards {
                     let pm = shard.precision(p);
                     completed += pm.completed.get();
+                    failed += pm.failed.get();
+                    aborted += pm.aborted.get();
                     batches += pm.batches.get();
                     batched_images += pm.batched_images.get();
                     lat.merge_from(&pm.latency);
@@ -358,6 +418,8 @@ impl ServerMetrics {
                 PrecisionSnapshot {
                     precision: p.label(),
                     completed,
+                    failed,
+                    aborted,
                     batches,
                     mean_batch: if batches == 0 {
                         0.0
@@ -375,6 +437,7 @@ impl ServerMetrics {
         let failed: u64 = shards.iter().map(|s| s.failed).sum();
         let batches: u64 = shards.iter().map(|s| s.batches).sum();
         let batched_images: u64 = shards.iter().map(|s| s.batched_images).sum();
+        let inflight_batches: u64 = shards.iter().map(|s| s.inflight_batches).sum();
         let elapsed = self.started.elapsed();
         TelemetrySnapshot {
             submitted: self.submitted.get(),
@@ -383,6 +446,8 @@ impl ServerMetrics {
             rejected_shutdown: self.rejected_shutdown.get(),
             aborted,
             failed,
+            queue_depth: self.queue_depth.get(),
+            inflight_batches,
             batches,
             mean_batch: if batches == 0 {
                 0.0
@@ -408,6 +473,190 @@ impl ServerMetrics {
             shards,
         }
     }
+
+    /// Renders every counter, gauge, and histogram in the Prometheus
+    /// text exposition format — the machine-scrapable sibling of
+    /// [`TelemetrySnapshot::to_json`]. Metric names are stable and
+    /// documented in the README's Observability section.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::with_capacity(16 * 1024);
+        let simple = |o: &mut String, name: &str, help: &str, kind: &str, v: u64| {
+            let _ = writeln!(o, "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {v}");
+        };
+        simple(
+            &mut o,
+            "pcnn_requests_submitted_total",
+            "Requests admitted into the queue.",
+            "counter",
+            self.submitted.get(),
+        );
+        simple(
+            &mut o,
+            "pcnn_requests_rejected_total",
+            "Requests refused by admission control (queue full).",
+            "counter",
+            self.rejected.get(),
+        );
+        simple(
+            &mut o,
+            "pcnn_requests_rejected_shutdown_total",
+            "Requests refused because the server was shutting down.",
+            "counter",
+            self.rejected_shutdown.get(),
+        );
+        simple(
+            &mut o,
+            "pcnn_queue_depth",
+            "Requests queued right now (sampled at push/pop).",
+            "gauge",
+            self.queue_depth.get(),
+        );
+
+        type ShardCounter = fn(&ShardMetrics) -> u64;
+        let per_shard: [(&str, &str, &str, ShardCounter); 6] = [
+            (
+                "pcnn_requests_completed_total",
+                "Requests fulfilled with an output.",
+                "counter",
+                |s| s.completed.get(),
+            ),
+            (
+                "pcnn_requests_failed_total",
+                "Requests failed by engine faults.",
+                "counter",
+                |s| s.failed.get(),
+            ),
+            (
+                "pcnn_requests_aborted_total",
+                "Requests aborted by shutdown.",
+                "counter",
+                |s| s.aborted.get(),
+            ),
+            (
+                "pcnn_batches_dispatched_total",
+                "Batches dispatched to the engine.",
+                "counter",
+                |s| s.batches.get(),
+            ),
+            (
+                "pcnn_batched_images_total",
+                "Images across dispatched batches.",
+                "counter",
+                |s| s.batched_images.get(),
+            ),
+            (
+                "pcnn_inflight_batches",
+                "Batches dispatched and not yet completed.",
+                "gauge",
+                |s| s.inflight_batches.get(),
+            ),
+        ];
+        for (name, help, kind, get) in per_shard {
+            let _ = writeln!(o, "# HELP {name} {help}\n# TYPE {name} {kind}");
+            for (i, s) in self.shards.iter().enumerate() {
+                let _ = writeln!(o, "{name}{{shard=\"{i}\"}} {}", get(s));
+            }
+        }
+
+        type ShardHist = fn(&ShardMetrics) -> &LogHistogram;
+        let hists: [(&str, &str, ShardHist); 3] = [
+            (
+                "pcnn_queue_wait_seconds",
+                "Admission to dispatch wait.",
+                |s| &s.queue_wait,
+            ),
+            (
+                "pcnn_latency_seconds",
+                "Admission to ticket fulfilment (end-to-end).",
+                |s| &s.latency,
+            ),
+            (
+                "pcnn_service_seconds",
+                "Engine time per dispatched batch.",
+                |s| &s.service,
+            ),
+        ];
+        for (name, help, get) in hists {
+            let _ = writeln!(o, "# HELP {name} {help}\n# TYPE {name} histogram");
+            for (i, s) in self.shards.iter().enumerate() {
+                render_histogram_series(&mut o, name, &format!("shard=\"{i}\""), get(s));
+            }
+        }
+
+        type PrecCounter = fn(&PrecisionMetrics) -> u64;
+        let per_precision: [(&str, &str, PrecCounter); 5] = [
+            (
+                "pcnn_precision_completed_total",
+                "Requests fulfilled, by execution precision.",
+                |p| p.completed.get(),
+            ),
+            (
+                "pcnn_precision_failed_total",
+                "Requests failed by engine faults, by execution precision.",
+                |p| p.failed.get(),
+            ),
+            (
+                "pcnn_precision_aborted_total",
+                "Requests aborted by shutdown, by execution precision.",
+                |p| p.aborted.get(),
+            ),
+            (
+                "pcnn_precision_batches_total",
+                "Batches dispatched, by execution precision.",
+                |p| p.batches.get(),
+            ),
+            (
+                "pcnn_precision_batched_images_total",
+                "Images across dispatched batches, by execution precision.",
+                |p| p.batched_images.get(),
+            ),
+        ];
+        for (name, help, get) in per_precision {
+            let _ = writeln!(o, "# HELP {name} {help}\n# TYPE {name} counter");
+            for p in Precision::ALL {
+                let v: u64 = self.shards.iter().map(|s| get(s.precision(p))).sum();
+                let _ = writeln!(o, "{name}{{precision=\"{}\"}} {v}", p.label());
+            }
+        }
+        let _ = writeln!(
+            o,
+            "# HELP pcnn_precision_latency_seconds End-to-end latency, by execution precision.\n\
+             # TYPE pcnn_precision_latency_seconds histogram"
+        );
+        for p in Precision::ALL {
+            let merged = LogHistogram::new();
+            for s in &self.shards {
+                merged.merge_from(&s.precision(p).latency);
+            }
+            render_histogram_series(
+                &mut o,
+                "pcnn_precision_latency_seconds",
+                &format!("precision=\"{}\"", p.label()),
+                &merged,
+            );
+        }
+        o
+    }
+}
+
+/// Renders one histogram as a cumulative Prometheus series: `_bucket`
+/// lines for every finite power-of-two upper bound, the `+Inf` bucket,
+/// `_sum` (seconds), and `_count`.
+fn render_histogram_series(o: &mut String, name: &str, labels: &str, h: &LogHistogram) {
+    use std::fmt::Write as _;
+    let counts = h.bucket_counts();
+    let mut cum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cum += c;
+        if let Some(upper_ns) = LogHistogram::bucket_upper_ns(i) {
+            let le = upper_ns as f64 * 1e-9;
+            let _ = writeln!(o, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
+        }
+    }
+    let _ = writeln!(o, "{name}_bucket{{{labels},le=\"+Inf\"}} {cum}");
+    let _ = writeln!(o, "{name}_sum{{{labels}}} {}", h.total_ns() as f64 * 1e-9);
+    let _ = writeln!(o, "{name}_count{{{labels}}} {}", h.count());
 }
 
 /// A point-in-time telemetry reading — the serving-era successor of
@@ -427,6 +676,10 @@ pub struct TelemetrySnapshot {
     pub aborted: u64,
     /// Requests failed by engine faults (a chunk pass panicked).
     pub failed: u64,
+    /// Requests queued at snapshot time (sampled at push/pop).
+    pub queue_depth: u64,
+    /// Batches dispatched and not yet completed, across every shard.
+    pub inflight_batches: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Mean images per dispatched batch.
@@ -467,6 +720,10 @@ pub struct PrecisionSnapshot {
     pub precision: &'static str,
     /// Requests of this precision completed with an output.
     pub completed: u64,
+    /// Requests of this precision failed by engine faults.
+    pub failed: u64,
+    /// Requests of this precision aborted by shutdown.
+    pub aborted: u64,
     /// Batches of this precision dispatched.
     pub batches: u64,
     /// Mean images per dispatched batch.
@@ -484,12 +741,15 @@ impl PrecisionSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"precision\":\"{}\",\"completed\":{},\"batches\":{},",
+                "{{\"precision\":\"{}\",\"completed\":{},\"failed\":{},",
+                "\"aborted\":{},\"batches\":{},",
                 "\"mean_batch\":{:.3},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}}}}"
             ),
             self.precision,
             self.completed,
+            self.failed,
+            self.aborted,
             self.batches,
             self.mean_batch,
             ms(self.latency_p50),
@@ -514,6 +774,8 @@ pub struct ShardSnapshot {
     pub batches: u64,
     /// Total images across this shard's dispatched batches.
     pub batched_images: u64,
+    /// Batches this shard dispatched and not yet completed.
+    pub inflight_batches: u64,
     /// Mean images per dispatched batch.
     pub mean_batch: f64,
     /// Median admission → dispatch wait of this shard's requests.
@@ -534,7 +796,8 @@ impl ShardSnapshot {
         format!(
             concat!(
                 "{{\"shard\":{},\"completed\":{},\"aborted\":{},\"failed\":{},",
-                "\"batches\":{},\"batched_images\":{},\"mean_batch\":{:.3},",
+                "\"batches\":{},\"batched_images\":{},\"inflight_batches\":{},",
+                "\"mean_batch\":{:.3},",
                 "\"queue_wait_ms\":{{\"p50\":{:.6},\"p99\":{:.6}}},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p99\":{:.6}}},",
                 "\"service_mean_ms\":{:.6}}}"
@@ -545,6 +808,7 @@ impl ShardSnapshot {
             self.failed,
             self.batches,
             self.batched_images,
+            self.inflight_batches,
             self.mean_batch,
             ms(self.queue_wait_p50),
             ms(self.queue_wait_p99),
@@ -575,6 +839,11 @@ impl std::fmt::Display for TelemetrySnapshot {
             f,
             "batches:  {} dispatched, {:.2} images/batch mean",
             self.batches, self.mean_batch
+        )?;
+        writeln!(
+            f,
+            "pressure: queue depth {}, {} batches in flight",
+            self.queue_depth, self.inflight_batches
         )?;
         writeln!(f, "throughput: {:.1} req/s", self.throughput_rps)?;
         writeln!(
@@ -652,7 +921,8 @@ impl TelemetrySnapshot {
         format!(
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"rejected\":{},",
-                "\"rejected_shutdown\":{},\"aborted\":{},\"failed\":{},\"batches\":{},",
+                "\"rejected_shutdown\":{},\"aborted\":{},\"failed\":{},",
+                "\"queue_depth\":{},\"inflight_batches\":{},\"batches\":{},",
                 "\"mean_batch\":{:.3},\"elapsed_s\":{:.6},\"throughput_rps\":{:.3},",
                 "\"queue_wait_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
@@ -664,6 +934,8 @@ impl TelemetrySnapshot {
             self.rejected_shutdown,
             self.aborted,
             self.failed,
+            self.queue_depth,
+            self.inflight_batches,
             self.batches,
             self.mean_batch,
             self.elapsed.as_secs_f64(),
@@ -838,5 +1110,140 @@ mod tests {
         let display = format!("{snap}");
         assert!(display.contains("shard 2:"));
         assert!(snap.to_json().contains("\"shard\":2"));
+    }
+
+    #[test]
+    fn gauges_clamp_and_land_in_snapshot() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // racing dec past zero must not wrap
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+
+        let m = ServerMetrics::new(2);
+        m.queue_depth.set(5);
+        m.shard(0).inflight_batches.inc();
+        m.shard(1).inflight_batches.inc();
+        m.shard(1).inflight_batches.inc();
+        let snap = m.snapshot();
+        assert_eq!(snap.queue_depth, 5);
+        assert_eq!(snap.inflight_batches, 3);
+        assert_eq!(snap.shards[1].inflight_batches, 2);
+        assert!(format!("{snap}").contains("queue depth 5, 3 batches in flight"));
+        assert!(snap.to_json().contains("\"queue_depth\":5"));
+        assert!(snap.to_json().contains("\"inflight_batches\":3"));
+    }
+
+    /// A line-level validator of the Prometheus text exposition format:
+    /// every non-comment line must be `name{labels} value` (or bare
+    /// `name value`) with a parseable float value, and every sample
+    /// must be preceded by HELP/TYPE metadata for its metric family.
+    fn validate_prometheus(text: &str) {
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.splitn(3, ' ');
+                let kw = parts.next().unwrap();
+                let name = parts.next().unwrap_or_default();
+                assert!(kw == "HELP" || kw == "TYPE", "bad comment line: {line}");
+                assert!(!name.is_empty(), "metadata without a metric name: {line}");
+                if kw == "TYPE" {
+                    typed.push(name.to_string());
+                }
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in: {line}"
+            );
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in: {line}"
+            );
+            if let Some(labels) = series
+                .strip_prefix(name)
+                .and_then(|l| l.strip_prefix('{'))
+                .map(|l| l.strip_suffix('}').expect("labels close"))
+            {
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label is key=value");
+                    assert!(!k.is_empty() && v.starts_with('"') && v.ends_with('"'));
+                }
+            }
+            assert!(
+                typed.iter().any(|t| {
+                    name == t
+                        || ["_bucket", "_sum", "_count"]
+                            .iter()
+                            .any(|sfx| name == format!("{t}{sfx}"))
+                }),
+                "sample without TYPE metadata: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed_and_cumulative() {
+        let m = ServerMetrics::new(2);
+        m.submitted.add(20);
+        m.rejected.add(2);
+        m.queue_depth.set(3);
+        for (i, n) in [12u64, 6].into_iter().enumerate() {
+            let s = m.shard(i);
+            s.completed.add(n);
+            s.batches.add(n / 3);
+            s.batched_images.add(n);
+            for k in 0..n {
+                s.latency.record(Duration::from_micros(100 + 40 * k));
+                s.queue_wait.record(Duration::from_micros(10 + k));
+                s.service.record(Duration::from_micros(50));
+            }
+            let pm = s.precision(Precision::F32);
+            pm.completed.add(n);
+            for k in 0..n {
+                pm.latency.record(Duration::from_micros(100 + 40 * k));
+            }
+        }
+        let text = m.render_prometheus();
+        validate_prometheus(&text);
+        assert!(text.contains("pcnn_requests_submitted_total 20"));
+        assert!(text.contains("pcnn_requests_completed_total{shard=\"0\"} 12"));
+        assert!(text.contains("pcnn_precision_completed_total{precision=\"f32\"} 18"));
+        assert!(text.contains("pcnn_precision_completed_total{precision=\"int8\"} 0"));
+        assert!(text.contains("pcnn_queue_depth 3"));
+        // The histogram series is cumulative and self-consistent: the
+        // +Inf bucket equals _count.
+        let inf = text
+            .lines()
+            .find(|l| l.starts_with("pcnn_latency_seconds_bucket{shard=\"0\",le=\"+Inf\"}"))
+            .expect("+Inf bucket rendered");
+        assert!(inf.ends_with(" 12"));
+        let count = text
+            .lines()
+            .find(|l| l.starts_with("pcnn_latency_seconds_count{shard=\"0\"}"))
+            .expect("_count rendered");
+        assert!(count.ends_with(" 12"));
+        // Bucket counts never decrease as `le` grows.
+        let mut last = 0u64;
+        for l in text
+            .lines()
+            .filter(|l| l.starts_with("pcnn_latency_seconds_bucket{shard=\"1\""))
+        {
+            let v: u64 = l.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative buckets must be monotone: {l}");
+            last = v;
+        }
+        assert_eq!(last, 6);
     }
 }

@@ -12,6 +12,7 @@
 //! [`crate::ServeError::Aborted`] instead of an inference pass,
 //! bounding shutdown time by one in-flight batch per shard.
 
+use crate::trace::RecordedSpan;
 use std::time::Duration;
 
 /// What to do with requests still queued when shutdown begins.
@@ -22,6 +23,20 @@ pub enum ShutdownMode {
     /// Fail queued requests with [`crate::ServeError::Aborted`]; only
     /// the batch already inside the engine completes.
     Abort,
+}
+
+/// Lifetime outcome counts for one execution precision, summed across
+/// every shard — the shutdown-time view of the per-precision telemetry.
+#[derive(Debug, Clone)]
+pub struct DrainPrecision {
+    /// Precision label (`"f32"` / `"int8"`).
+    pub precision: &'static str,
+    /// Requests completed at this precision.
+    pub completed: u64,
+    /// Requests failed with `EngineFault` at this precision.
+    pub failed: u64,
+    /// Requests aborted by shutdown at this precision.
+    pub aborted: u64,
 }
 
 /// What shutdown did, assembled from the final metrics (summed across
@@ -38,6 +53,12 @@ pub struct DrainReport {
     pub failed: u64,
     /// Submissions refused because shutdown had begun.
     pub rejected_at_shutdown: u64,
+    /// Per-precision breakdown of the lifetime outcome counts above.
+    pub precisions: Vec<DrainPrecision>,
+    /// The flight recorder's final contents — the sampled span
+    /// timelines still in the rings when the last batcher exited, for
+    /// shutdown postmortems (aborted requests included).
+    pub spans: Vec<RecordedSpan>,
     /// Wall-clock from the shutdown call to the last batcher's exit.
     pub wall: Duration,
 }
@@ -54,6 +75,16 @@ impl std::fmt::Display for DrainReport {
             self.failed,
             self.rejected_at_shutdown,
             self.wall.as_secs_f64() * 1e3
-        )
+        )?;
+        for p in &self.precisions {
+            if p.completed + p.failed + p.aborted > 0 {
+                write!(
+                    f,
+                    "\n  [{}] {} served, {} aborted, {} failed",
+                    p.precision, p.completed, p.aborted, p.failed
+                )?;
+            }
+        }
+        Ok(())
     }
 }

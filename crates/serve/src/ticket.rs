@@ -87,11 +87,18 @@ impl TicketCell {
 /// write into the shared cell is unconditional.
 pub struct Ticket {
     cell: Arc<TicketCell>,
+    id: u64,
 }
 
 impl Ticket {
-    pub(crate) fn new(cell: Arc<TicketCell>) -> Self {
-        Ticket { cell }
+    pub(crate) fn new(cell: Arc<TicketCell>, id: u64) -> Self {
+        Ticket { cell, id }
+    }
+
+    /// The trace ID assigned at admission — the key that matches this
+    /// request to its span in the server's flight recorder.
+    pub fn request_id(&self) -> u64 {
+        self.id
     }
 
     /// Blocks until the request completes, returning the output tensor
@@ -142,7 +149,7 @@ mod tests {
     #[test]
     fn wait_blocks_until_completed() {
         let cell = TicketCell::new();
-        let ticket = Ticket::new(cell.clone());
+        let ticket = Ticket::new(cell.clone(), 1);
         let waiter = std::thread::spawn(move || ticket.wait());
         std::thread::sleep(Duration::from_millis(10));
         cell.complete(Ok(Tensor::ones(&[1, 2])));
@@ -153,7 +160,7 @@ mod tests {
     #[test]
     fn try_wait_polls_and_consumes() {
         let cell = TicketCell::new();
-        let ticket = Ticket::new(cell.clone());
+        let ticket = Ticket::new(cell.clone(), 1);
         assert!(ticket.try_wait().is_none());
         cell.complete(Err(ServeError::Aborted));
         assert_eq!(ticket.try_wait(), Some(Err(ServeError::Aborted)));
@@ -163,7 +170,7 @@ mod tests {
     #[test]
     fn wait_timeout_returns_ticket_on_deadline() {
         let cell = TicketCell::new();
-        let ticket = Ticket::new(cell.clone());
+        let ticket = Ticket::new(cell.clone(), 1);
         let ticket = match ticket.wait_timeout(Duration::from_millis(10)) {
             Err(t) => t,
             Ok(_) => panic!("nothing was completed yet"),
@@ -175,7 +182,7 @@ mod tests {
     #[test]
     fn first_completion_wins() {
         let cell = TicketCell::new();
-        let ticket = Ticket::new(cell.clone());
+        let ticket = Ticket::new(cell.clone(), 1);
         cell.complete(Ok(Tensor::ones(&[1])));
         cell.complete(Err(ServeError::Aborted));
         assert!(ticket.wait().is_ok(), "second write must not clobber");

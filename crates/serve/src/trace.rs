@@ -1,0 +1,535 @@
+//! Request-lifecycle tracing: request IDs, span events, and a lock-free
+//! per-shard ring-buffer **flight recorder**.
+//!
+//! Every request admitted by [`crate::Server::submit`] gets a unique ID
+//! and ticks the always-on trace counters. One in
+//! [`TraceConfig::sample_every`] requests additionally carries an
+//! active span through its whole lifecycle — admitted → dequeued →
+//! coalesced → dispatched-to-shard → executed → completed/failed/
+//! aborted — and publishes a [`RecordedSpan`] into its shard's ring
+//! when it resolves. The ring keeps the last K spans per shard, so a
+//! postmortem (including an abort drain) can always reconstruct recent
+//! timelines: [`crate::Server::flight_recorder`] dumps them as JSON,
+//! and [`crate::DrainReport`] carries the final dump out of shutdown.
+//!
+//! The ring is a seqlock over plain atomic words: writers claim a slot
+//! with one `fetch_add`, flip its sequence odd, store the encoded span,
+//! and publish by storing the next even sequence; a writer that loses
+//! the odd-flip race (a lap collision) drops its span and ticks the
+//! drop counter instead of spinning. Readers copy the words and keep
+//! the copy only when the sequence was even and unchanged around the
+//! read. No locks anywhere, so recording can never stall the batcher
+//! or the completion callbacks it instruments.
+
+use pcnn_runtime::Precision;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Sampling and retention knobs of the flight recorder.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Record the full span of every N-th request: `1` traces every
+    /// request, `0` disables span recording entirely. Request IDs and
+    /// the trace counters stay on regardless — sampling only gates the
+    /// per-request timeline capture.
+    pub sample_every: u64,
+    /// Spans retained per shard ring; older spans are overwritten.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    /// 1-in-64 sampling into 256-span shard rings: cheap enough to
+    /// leave on in production (the serving bench pins the closed-loop
+    /// overhead under 2%), deep enough for a useful postmortem.
+    fn default() -> Self {
+        TraceConfig {
+            sample_every: 64,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// How a traced request's lifecycle ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The ticket resolved with an output tensor.
+    Completed,
+    /// The engine failed the request ([`crate::ServeError::EngineFault`]).
+    Failed,
+    /// An abort shutdown resolved the ticket ([`crate::ServeError::Aborted`]).
+    Aborted,
+}
+
+impl SpanOutcome {
+    /// Stable label for JSON and Prometheus output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Failed => "failed",
+            SpanOutcome::Aborted => "aborted",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            SpanOutcome::Completed => 0,
+            SpanOutcome::Failed => 1,
+            SpanOutcome::Aborted => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> SpanOutcome {
+        match code {
+            0 => SpanOutcome::Completed,
+            1 => SpanOutcome::Failed,
+            _ => SpanOutcome::Aborted,
+        }
+    }
+}
+
+/// One fully resolved request timeline, timestamps in nanoseconds since
+/// the recorder's epoch (the server's start).
+///
+/// Every event is always stamped: an aborted request that never reached
+/// the engine carries the abort instant for its dispatch/execute/
+/// complete events, so timelines stay complete and monotone in every
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedSpan {
+    /// The request ID handed back on the ticket.
+    pub id: u64,
+    /// The shard whose batcher dispatched (or aborted) the request.
+    pub shard: u32,
+    /// The lowering the request executed on.
+    pub precision: Precision,
+    /// How the lifecycle ended.
+    pub outcome: SpanOutcome,
+    /// Size of the coalesced batch this request rode in.
+    pub batch_len: u32,
+    /// Admission: `Server::submit` accepted the request into the queue.
+    pub admitted_ns: u64,
+    /// A batcher popped the request off the shared queue.
+    pub dequeued_ns: u64,
+    /// The batch being built around (or including) the request closed.
+    pub coalesced_ns: u64,
+    /// The batch was handed to the shard's engine.
+    pub dispatched_ns: u64,
+    /// The engine pass finished.
+    pub executed_ns: u64,
+    /// The ticket resolved.
+    pub completed_ns: u64,
+}
+
+/// Number of atomic words one encoded span occupies in a ring slot.
+const SPAN_WORDS: usize = 8;
+
+impl RecordedSpan {
+    /// Whether the six lifecycle events are in order — the invariant
+    /// the span property tests pin across multi-shard contention.
+    pub fn is_monotone(&self) -> bool {
+        self.admitted_ns <= self.dequeued_ns
+            && self.dequeued_ns <= self.coalesced_ns
+            && self.coalesced_ns <= self.dispatched_ns
+            && self.dispatched_ns <= self.executed_ns
+            && self.executed_ns <= self.completed_ns
+    }
+
+    /// The span as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"id\":{},\"shard\":{},\"precision\":\"{}\",\"outcome\":\"{}\",",
+                "\"batch_len\":{},\"admitted_ns\":{},\"dequeued_ns\":{},",
+                "\"coalesced_ns\":{},\"dispatched_ns\":{},\"executed_ns\":{},",
+                "\"completed_ns\":{}}}"
+            ),
+            self.id,
+            self.shard,
+            self.precision.label(),
+            self.outcome.label(),
+            self.batch_len,
+            self.admitted_ns,
+            self.dequeued_ns,
+            self.coalesced_ns,
+            self.dispatched_ns,
+            self.executed_ns,
+            self.completed_ns,
+        )
+    }
+
+    fn encode(&self) -> [u64; SPAN_WORDS] {
+        let meta = ((self.shard as u64) << 48)
+            | ((self.precision.index() as u64) << 40)
+            | (self.outcome.code() << 32)
+            | self.batch_len as u64;
+        [
+            self.id,
+            meta,
+            self.admitted_ns,
+            self.dequeued_ns,
+            self.coalesced_ns,
+            self.dispatched_ns,
+            self.executed_ns,
+            self.completed_ns,
+        ]
+    }
+
+    fn decode(words: &[u64; SPAN_WORDS]) -> RecordedSpan {
+        let meta = words[1];
+        RecordedSpan {
+            id: words[0],
+            shard: (meta >> 48) as u32,
+            precision: Precision::ALL[((meta >> 40) & 0xff) as usize % 2],
+            outcome: SpanOutcome::from_code((meta >> 32) & 0xff),
+            batch_len: meta as u32,
+            admitted_ns: words[2],
+            dequeued_ns: words[3],
+            coalesced_ns: words[4],
+            dispatched_ns: words[5],
+            executed_ns: words[6],
+            completed_ns: words[7],
+        }
+    }
+}
+
+/// The pre-dispatch stamps a sampled request carries through the queue
+/// and the batcher; the dispatch path fills in the rest and publishes.
+#[derive(Debug)]
+pub(crate) struct ActiveSpan {
+    pub id: u64,
+    pub admitted_ns: u64,
+    /// Stamped by the first pop off the queue; 0 = not yet dequeued.
+    pub dequeued_ns: u64,
+}
+
+/// One seqlock slot: an even, nonzero sequence publishes the words.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; SPAN_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// One shard's span ring.
+struct ShardRing {
+    /// Total slots ever claimed; `head % capacity` is the next slot.
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl ShardRing {
+    fn new(capacity: usize) -> ShardRing {
+        ShardRing {
+            head: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Returns `false` when the slot was lost to a lap-racing writer
+    /// (the span is dropped rather than ever spinning).
+    fn push(&self, span: &RecordedSpan) -> bool {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(ticket % cap) as usize];
+        let lap = ticket / cap;
+        // The slot's sequence after its previous publish (lap L - 1
+        // published 2L; a never-written slot holds 0 = lap 0's expected
+        // value). Claim it by flipping odd; losing the race means a
+        // writer `capacity` spans ahead already owns the slot.
+        let expected = 2 * lap;
+        if slot
+            .seq
+            .compare_exchange(expected, expected + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        for (w, v) in slot.words.iter().zip(span.encode()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(expected + 2, Ordering::Release);
+        true
+    }
+
+    fn collect(&self, out: &mut Vec<RecordedSpan>) {
+        for slot in &self.slots {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue; // empty or mid-write
+            }
+            let mut words = [0u64; SPAN_WORDS];
+            for (v, w) in words.iter_mut().zip(&slot.words) {
+                *v = w.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) == before {
+                out.push(RecordedSpan::decode(&words));
+            }
+        }
+    }
+}
+
+/// The per-server flight recorder: request IDs, always-on trace
+/// counters, and one span ring per shard.
+pub struct FlightRecorder {
+    epoch: Instant,
+    sample_every: u64,
+    next_id: AtomicU64,
+    rings: Vec<ShardRing>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder for `shards` shard rings.
+    pub(crate) fn new(config: &TraceConfig, shards: usize) -> FlightRecorder {
+        FlightRecorder {
+            epoch: Instant::now(),
+            sample_every: config.sample_every,
+            next_id: AtomicU64::new(0),
+            rings: (0..shards.max(1))
+                .map(|_| ShardRing::new(config.ring_capacity))
+                .collect(),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Assigns the next request ID (IDs start at 1).
+    pub(crate) fn begin(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether request `id` carries a sampled span.
+    pub fn is_sampled(&self, id: u64) -> bool {
+        self.sample_every > 0 && id.is_multiple_of(self.sample_every)
+    }
+
+    /// Nanoseconds since the recorder's epoch — the clock every span
+    /// event is stamped on.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Publishes a resolved span into its shard's ring.
+    pub(crate) fn record(&self, shard: usize, span: &RecordedSpan) {
+        let ring = &self.rings[shard.min(self.rings.len() - 1)];
+        if ring.push(span) {
+            self.recorded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured 1-in-N sampling rate (0 = spans off).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Requests assigned an ID so far.
+    pub fn requests(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Spans successfully published.
+    pub fn spans_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost to lap-racing writers (never by blocking).
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained spans across every shard ring, oldest completion
+    /// first — the last K per shard, reconstructible into timelines.
+    pub fn spans(&self) -> Vec<RecordedSpan> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            ring.collect(&mut out);
+        }
+        out.sort_by_key(|s| (s.completed_ns, s.id));
+        out
+    }
+
+    /// The flight-recorder dump as one JSON object.
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self.spans().iter().map(RecordedSpan::to_json).collect();
+        format!(
+            concat!(
+                "{{\"requests\":{},\"sample_every\":{},\"spans_recorded\":{},",
+                "\"spans_dropped\":{},\"spans\":[{}]}}"
+            ),
+            self.requests(),
+            self.sample_every,
+            self.spans_recorded(),
+            self.spans_dropped(),
+            spans.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn span(id: u64, t0: u64) -> RecordedSpan {
+        RecordedSpan {
+            id,
+            shard: 0,
+            precision: Precision::F32,
+            outcome: SpanOutcome::Completed,
+            batch_len: 3,
+            admitted_ns: t0,
+            dequeued_ns: t0 + 1,
+            coalesced_ns: t0 + 2,
+            dispatched_ns: t0 + 3,
+            executed_ns: t0 + 4,
+            completed_ns: t0 + 5,
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_ring() {
+        let rec = FlightRecorder::new(
+            &TraceConfig {
+                sample_every: 1,
+                ring_capacity: 8,
+            },
+            1,
+        );
+        for i in 0..5u64 {
+            rec.record(0, &span(i + 1, 100 * i));
+        }
+        let got = rec.spans();
+        assert_eq!(got.len(), 5);
+        assert_eq!(rec.spans_recorded(), 5);
+        assert_eq!(rec.spans_dropped(), 0);
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s.id, i as u64 + 1, "sorted by completion");
+            assert_eq!(
+                *s,
+                span(s.id, 100 * i as u64),
+                "fields survive encode/decode"
+            );
+            assert!(s.is_monotone());
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_k_spans() {
+        let rec = FlightRecorder::new(
+            &TraceConfig {
+                sample_every: 1,
+                ring_capacity: 4,
+            },
+            1,
+        );
+        for i in 0..10u64 {
+            rec.record(0, &span(i + 1, 100 * i));
+        }
+        let got = rec.spans();
+        assert_eq!(got.len(), 4, "capacity bounds retention");
+        let ids: Vec<u64> = got.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10], "the oldest spans were evicted");
+    }
+
+    #[test]
+    fn sampling_gates_spans_but_not_ids() {
+        let rec = FlightRecorder::new(
+            &TraceConfig {
+                sample_every: 4,
+                ring_capacity: 8,
+            },
+            1,
+        );
+        let sampled: Vec<u64> = (0..16)
+            .map(|_| rec.begin())
+            .filter(|&id| rec.is_sampled(id))
+            .collect();
+        assert_eq!(rec.requests(), 16, "every request gets an id");
+        assert_eq!(sampled, vec![4, 8, 12, 16], "one in four carries a span");
+        let off = FlightRecorder::new(
+            &TraceConfig {
+                sample_every: 0,
+                ring_capacity: 8,
+            },
+            1,
+        );
+        assert!(!(1..100).any(|id| off.is_sampled(id)), "0 disables spans");
+    }
+
+    #[test]
+    fn decode_of_a_mixed_outcome_span_is_lossless() {
+        let s = RecordedSpan {
+            id: u64::MAX / 3,
+            shard: 7,
+            precision: Precision::Int8,
+            outcome: SpanOutcome::Aborted,
+            batch_len: u32::MAX,
+            admitted_ns: 1,
+            dequeued_ns: 2,
+            coalesced_ns: 3,
+            dispatched_ns: 4,
+            executed_ns: 5,
+            completed_ns: 6,
+        };
+        assert_eq!(RecordedSpan::decode(&s.encode()), s);
+    }
+
+    #[test]
+    fn concurrent_writers_account_for_every_span() {
+        let rec = Arc::new(FlightRecorder::new(
+            &TraceConfig {
+                sample_every: 1,
+                ring_capacity: 32,
+            },
+            2,
+        ));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        rec.record((w % 2) as usize, &span(w * 1000 + i, i));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer");
+        }
+        assert_eq!(rec.spans_recorded() + rec.spans_dropped(), 2000);
+        let spans = rec.spans();
+        assert!(spans.len() <= 64, "two rings of 32");
+        assert!(spans.iter().all(|s| s.is_monotone()), "no torn reads");
+    }
+
+    #[test]
+    fn json_dump_is_brace_balanced_and_carries_the_counters() {
+        let rec = FlightRecorder::new(&TraceConfig::default(), 2);
+        let id = rec.begin();
+        let mut s = span(id, 50);
+        s.shard = 1;
+        rec.record(1, &s);
+        let json = rec.to_json();
+        assert!(json.contains("\"requests\":1"));
+        assert!(json.contains("\"sample_every\":64"));
+        assert!(json.contains("\"spans_recorded\":1"));
+        assert!(json.contains("\"outcome\":\"completed\""));
+        let depth = json.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "balanced braces");
+    }
+}

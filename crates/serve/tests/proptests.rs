@@ -10,8 +10,11 @@
 //!   including across close(); rejected items come back to the caller.
 
 use pcnn_serve::queue::{BoundedQueue, Pop, Priority, PushError};
+use pcnn_serve::{ServeConfig, Server, SpanOutcome, TraceConfig};
 use proptest::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One scripted queue operation: push (with priority and id) or pop.
 #[derive(Debug, Clone, Copy)]
@@ -185,5 +188,83 @@ proptest! {
             rejected.len(),
             3 * per_producer
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span-ordering properties of the flight recorder: under any server
+// topology (shard count, batch size, request volume — multi-shard runs
+// contend on the shared queue), every traced request's lifecycle is
+// *complete* (one span per request survives to the ring) and *monotone*
+// (admitted ≤ dequeued ≤ coalesced ≤ dispatched ≤ executed ≤ completed).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn traced_spans_are_complete_monotone_and_unique(
+        shards in 1usize..4,
+        max_batch in 1usize..5,
+        requests in 1usize..40,
+    ) {
+        let model = pcnn_nn::models::tiny_cnn(4, 4, 17);
+        let graph = pcnn_runtime::compile::compile_dense(&model);
+        let server = Server::start(
+            pcnn_runtime::engine::Engine::new(graph, shards.max(2)),
+            ServeConfig {
+                max_batch,
+                max_wait: Duration::from_micros(200),
+                shards,
+                trace: TraceConfig {
+                    sample_every: 1, // trace every request
+                    ring_capacity: 64,
+                },
+                ..ServeConfig::default()
+            },
+        );
+
+        let mut ids = Vec::with_capacity(requests);
+        let mut tickets = Vec::with_capacity(requests);
+        for _ in 0..requests {
+            let ticket = server
+                .submit(pcnn_tensor::Tensor::ones(&[1, 3, 8, 8]))
+                .expect("capacity is ample");
+            ids.push(ticket.request_id());
+            tickets.push(ticket);
+        }
+        for ticket in tickets {
+            prop_assert!(ticket.wait().is_ok());
+        }
+
+        let spans = server.flight_recorder().spans();
+        prop_assert_eq!(
+            spans.len(),
+            requests,
+            "every traced request must retire exactly one span"
+        );
+        let submitted: HashSet<u64> = ids.iter().copied().collect();
+        let mut seen = HashSet::new();
+        for span in &spans {
+            prop_assert!(submitted.contains(&span.id), "span id from a real ticket");
+            prop_assert!(seen.insert(span.id), "span id {} recorded twice", span.id);
+            prop_assert_eq!(span.outcome, SpanOutcome::Completed);
+            prop_assert!((span.shard as usize) < shards);
+            prop_assert!(span.batch_len >= 1 && span.batch_len as usize <= max_batch);
+            prop_assert!(
+                span.is_monotone(),
+                "span {} not monotone: admitted={} dequeued={} coalesced={} \
+                 dispatched={} executed={} completed={}",
+                span.id,
+                span.admitted_ns,
+                span.dequeued_ns,
+                span.coalesced_ns,
+                span.dispatched_ns,
+                span.executed_ns,
+                span.completed_ns
+            );
+        }
+        prop_assert_eq!(server.flight_recorder().requests(), requests as u64);
+        prop_assert_eq!(server.flight_recorder().spans_dropped(), 0);
     }
 }

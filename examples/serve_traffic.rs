@@ -4,6 +4,7 @@
 //! cargo run --release --example serve_traffic                 # full demo
 //! cargo run --release --example serve_traffic -- --smoke      # CI-sized
 //! cargo run --release --example serve_traffic -- --shards 2   # sharded topology
+//! cargo run --release --example serve_traffic -- --trace      # observability demo
 //! ```
 //!
 //! 1. Prunes the VGG-16-topology proxy at n = 2 and compiles it through
@@ -24,7 +25,7 @@ use pcnn::core::PrunePlan;
 use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
 use pcnn::runtime::compile::{prune_and_compile, CompileOptions};
 use pcnn::runtime::Engine;
-use pcnn::serve::{ServeConfig, ServeError, Server, ShutdownMode, TelemetrySnapshot};
+use pcnn::serve::{ServeConfig, ServeError, Server, ShutdownMode, TelemetrySnapshot, TraceConfig};
 use pcnn::tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -103,9 +104,135 @@ fn shards_arg() -> usize {
     2
 }
 
+/// Rejects anything that is not valid Prometheus text exposition
+/// format: every line is a `# HELP`/`# TYPE` comment or a
+/// `name{labels} value` sample whose value parses as a float. Returns
+/// the number of sample lines.
+fn validate_prometheus(text: &str) -> usize {
+    assert!(!text.is_empty(), "exporter produced no output");
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unknown comment line: {line}"
+            );
+            if let Some(type_line) = comment.strip_prefix("TYPE ") {
+                let kind = type_line.rsplit(' ').next().unwrap();
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown metric type in: {line}"
+                );
+            }
+            continue;
+        }
+        // Label values may contain spaces, so split on the *last* one.
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(!series.is_empty(), "empty series name in: {line}");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable sample value in: {line}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exporter rendered zero samples");
+    samples
+}
+
+/// `--trace`: the observability demo. Every request is traced
+/// (`sample_every = 1`), the per-layer profiler is on, and the run ends
+/// by validating the Prometheus rendering, dumping span timelines from
+/// the flight recorder, and writing the execution profile to
+/// `PROFILE_serve.json` for CI to parse.
+fn trace_demo(smoke: bool, shards: usize) {
+    let hw = VggProxyConfig::default().input_hw;
+    let clients = if smoke { 4 } else { 6 };
+    let per_client = if smoke { 12 } else { 60 };
+    let engine = build_engine();
+    engine.enable_profiling();
+    let server = Arc::new(Server::start(
+        engine,
+        ServeConfig {
+            shards,
+            max_batch: (clients / 2).max(4),
+            input_chw: Some([3, hw, hw]),
+            trace: TraceConfig {
+                sample_every: 1, // trace every request for the demo
+                ring_capacity: 512,
+            },
+            ..ServeConfig::default()
+        },
+    ));
+    println!(
+        "\n[trace] {clients} clients x {per_client} requests, every request traced, profiler on"
+    );
+    let (wall, snap, dropped) = closed_loop(&server, clients, per_client, hw);
+    let total = clients * per_client;
+    assert_eq!(dropped, 0);
+    assert_eq!(snap.completed as usize, total);
+    println!(
+        "wall-clock throughput: {:.1} req/s over {total} requests",
+        total as f64 / wall.as_secs_f64()
+    );
+
+    // --- Prometheus exporter ---------------------------------------------
+    let prom = server.render_prometheus();
+    let samples = validate_prometheus(&prom);
+    println!("render_prometheus: {samples} samples, all lines well-formed");
+
+    // --- Flight recorder: span timelines ---------------------------------
+    let recorder = server.flight_recorder();
+    assert_eq!(recorder.requests(), total as u64);
+    let spans = recorder.spans();
+    assert!(!spans.is_empty(), "traced run must retain spans");
+    for span in &spans {
+        assert!(span.is_monotone(), "span {} not monotone", span.id);
+    }
+    let last = spans.last().unwrap();
+    println!(
+        "flight recorder: {} spans retained ({} recorded, {} dropped); last span: {}",
+        spans.len(),
+        recorder.spans_recorded(),
+        recorder.spans_dropped(),
+        last.to_json()
+    );
+
+    // --- Per-layer execution profile --------------------------------------
+    let profile = server.engine().exec_profile();
+    assert_eq!(profile.simd_level, pcnn::tensor::simd::active().label());
+    let f32_ns = profile.total_ns(pcnn::runtime::Precision::F32);
+    assert!(f32_ns > 0, "profiler must have recorded the f32 lowering");
+    let layers = &profile.precisions[0].layers;
+    println!(
+        "profiler: {} f32 layers, {:.2} ms total ({} SIMD tier)",
+        layers.len(),
+        f32_ns as f64 / 1e6,
+        profile.simd_level
+    );
+    let json = profile.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/PROFILE_serve.json");
+    std::fs::write(path, &json).expect("write PROFILE_serve.json");
+    println!("profile written to {path}");
+
+    let report = match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(ShutdownMode::Drain),
+        Err(_) => unreachable!("all clients joined"),
+    };
+    println!("\n{report}");
+    assert_eq!(report.completed as usize, total);
+    println!("serve_traffic --trace: OK");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let shards = shards_arg();
+    if std::env::args().any(|a| a == "--trace") {
+        trace_demo(smoke, shards);
+        return;
+    }
     let hw = VggProxyConfig::default().input_hw;
     let clients = if smoke { 4 } else { 6 };
     let per_client = if smoke { 12 } else { 60 };

@@ -6,7 +6,9 @@ use pcnn::core::PrunePlan;
 use pcnn::nn::models::{self, vgg16_proxy, VggProxyConfig};
 use pcnn::runtime::compile::{compile_dense, prune_and_compile, CompileOptions};
 use pcnn::runtime::Engine;
-use pcnn::serve::{Priority, ServeConfig, ServeError, Server, ShutdownMode};
+use pcnn::serve::{
+    Priority, ServeConfig, ServeError, Server, ShutdownMode, SpanOutcome, TraceConfig,
+};
 use pcnn::tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -214,6 +216,90 @@ fn sharded_abort_shutdown_accounts_for_every_ticket() {
     }
     assert_eq!(served, report.completed);
     assert_eq!(aborted, report.aborted);
+}
+
+/// The flight recorder on an abort shutdown: with every request traced,
+/// the drain report carries one span per admitted request, each span is
+/// a complete monotone timeline, and the span outcomes agree with the
+/// report's counters — including the aborted tail, whose unreached
+/// events all collapse onto the abort instant.
+#[test]
+fn abort_drain_report_carries_complete_span_timelines() {
+    let engine = Engine::new(compile_dense(&models::tiny_cnn(4, 4, 17)), 4);
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            shards: 4,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+            trace: TraceConfig {
+                sample_every: 1,
+                ring_capacity: 128,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let submitted = 96u64;
+    let tickets: Vec<_> = (0..submitted)
+        .map(|i| {
+            server
+                .submit(random_tensor(&[1, 3, 8, 8], 7500 + i))
+                .expect("admitted")
+        })
+        .collect();
+    let ids: Vec<u64> = tickets.iter().map(|t| t.request_id()).collect();
+    let report = server.shutdown(ShutdownMode::Abort);
+
+    assert_eq!(report.completed + report.aborted, submitted);
+    assert_eq!(report.failed, 0);
+    assert_eq!(
+        report.spans.len(),
+        submitted as usize,
+        "sample_every=1 must retire one span per admitted request"
+    );
+    let mut span_completed = 0u64;
+    let mut span_aborted = 0u64;
+    for span in &report.spans {
+        assert!(ids.contains(&span.id), "span id from a real ticket");
+        assert!(span.is_monotone(), "span {} is not monotone", span.id);
+        match span.outcome {
+            SpanOutcome::Completed => span_completed += 1,
+            SpanOutcome::Aborted => {
+                // An aborted request never reached the engine: its
+                // unreached events all carry the abort instant.
+                assert_eq!(span.coalesced_ns, span.completed_ns);
+                assert_eq!(span.dispatched_ns, span.completed_ns);
+                assert_eq!(span.executed_ns, span.completed_ns);
+                span_aborted += 1;
+            }
+            SpanOutcome::Failed => panic!("no request may fail here"),
+        }
+    }
+    assert_eq!(span_completed, report.completed);
+    assert_eq!(span_aborted, report.aborted);
+
+    // Satellite: the per-precision drain breakdown must re-sum to the
+    // report totals (all traffic here is f32).
+    let f32_drain = report
+        .precisions
+        .iter()
+        .find(|p| p.precision == "f32")
+        .expect("f32 breakdown present");
+    assert_eq!(f32_drain.completed, report.completed);
+    assert_eq!(f32_drain.aborted, report.aborted);
+    assert_eq!(f32_drain.failed, 0);
+
+    // The tickets resolve to exactly the outcomes the spans recorded.
+    let mut served = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => served += 1,
+            Err(ServeError::Aborted) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(served, report.completed);
 }
 
 /// Priorities, shutdown accounting, and post-shutdown rejection on a
