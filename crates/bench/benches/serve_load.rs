@@ -452,6 +452,49 @@ fn main() {
          throughput (ratio {trace_ratio:.3} < {floor}): the <2% observability budget is blown"
     );
 
+    // == Windowed telemetry overhead: windows on (default) vs off =======
+    // The windowed-telemetry acceptance bar: the rotating 1s/10s/60s
+    // window rings at the default config must cost <= 2% of closed-loop
+    // throughput. Writers pay two atomic ops per completion (one claim
+    // CAS amortised per bucket rotation, one add); everything else is
+    // read-side. Paired rounds, best pair, like the tracing comparison.
+    println!("\n== windowed telemetry overhead: windows on (default) vs off ==");
+    let window_cfg = |windowed: bool| ServeConfig {
+        max_batch: batched_max_batch(),
+        max_wait: batched_max_wait(),
+        windowed,
+        ..ServeConfig::default()
+    };
+    let mut window_ratios = Vec::with_capacity(rounds);
+    let mut window_off_best = 0f64;
+    let mut window_on_best = 0f64;
+    for round in 0..rounds {
+        let off = closed_loop(window_cfg(false), clients, per_client);
+        let on = closed_loop(window_cfg(true), clients, per_client);
+        println!(
+            "  round {round}: windows off {:7.1} req/s   on {:7.1} req/s   ratio {:.3}",
+            off.rps,
+            on.rps,
+            on.rps / off.rps
+        );
+        window_ratios.push(on.rps / off.rps);
+        window_off_best = window_off_best.max(off.rps);
+        window_on_best = window_on_best.max(on.rps);
+    }
+    window_ratios.sort_by(f64::total_cmp);
+    let window_ratio = *window_ratios.last().expect("at least one round");
+    let window_overhead_pct = ((1.0 - window_ratio) * 100.0).max(0.0);
+    println!(
+        "windowed telemetry overhead: {window_overhead_pct:.2}% of throughput \
+         (best pair ratio {window_ratio:.3}, median {:.3})",
+        window_ratios[window_ratios.len() / 2],
+    );
+    assert!(
+        window_ratio >= floor,
+        "windowed telemetry cost {window_overhead_pct:.2}% of closed-loop throughput \
+         (ratio {window_ratio:.3} < {floor}): the <=2% windowing budget is blown"
+    );
+
     // Machine-readable trajectory: BENCH_serve.json at the workspace root.
     let json = format!(
         "{{\"bench\":\"serve_load\",\"clients\":{clients},\"per_client\":{per_client},\
@@ -463,7 +506,9 @@ fn main() {
          \"open_loop\":{{\"offered_rps\":{:.3},\"accepted\":{},\"rejected\":{},\"telemetry\":{}}}}},\
          \"tracing\":{{\"sample_every\":{},\"off_rps\":{trace_off_best:.3},\
          \"on_rps\":{trace_on_best:.3},\"ratio\":{trace_ratio:.4},\
-         \"overhead_pct\":{trace_overhead_pct:.3}}}}}",
+         \"overhead_pct\":{trace_overhead_pct:.3}}},\
+         \"window\":{{\"off_rps\":{window_off_best:.3},\"on_rps\":{window_on_best:.3},\
+         \"ratio\":{window_ratio:.4},\"overhead_pct\":{window_overhead_pct:.3}}}}}",
         json_block("closed_loop_batch1", batch1.rps, &batch1.snapshot),
         json_block("closed_loop_batched", batched.rps, &batched.snapshot),
         open.offered_rps,

@@ -123,6 +123,6 @@ pub use compile::{
 pub use engine::{Engine, ServeStats};
 pub use graph::ExecutableGraph;
 pub use pattern_conv::PatternConv;
-pub use profile::{ExecProfile, ExecProfiler, LayerProfile, PrecisionProfile};
+pub use profile::{ExecProfile, ExecProfiler, LayerProfile, PhaseSplit, PrecisionProfile};
 pub use quant_conv::{Precision, QuantOptions, QuantPatternConv, QuantScratch};
 pub use registry::KernelRegistry;

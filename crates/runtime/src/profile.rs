@@ -309,6 +309,40 @@ impl LayerProfile {
     }
 }
 
+/// One lowering's wall time pooled across layers, split by phase —
+/// the engine-side counterpart of a serving span's execute segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSplit {
+    /// Padded-plane construction (incl. quantisation on int8).
+    pub pad_ns: u64,
+    /// Compiled kernel dispatches.
+    pub kernel_ns: u64,
+    /// Fused ReLU / requantisation tails.
+    pub epilogue_ns: u64,
+}
+
+impl PhaseSplit {
+    /// Sum of the three phases.
+    pub fn total_ns(&self) -> u64 {
+        self.pad_ns + self.kernel_ns + self.epilogue_ns
+    }
+
+    /// Each phase's share of the total, in `(pad, kernel, epilogue)`
+    /// order; all zero when nothing was recorded.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total_ns();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.pad_ns as f64 / t,
+            self.kernel_ns as f64 / t,
+            self.epilogue_ns as f64 / t,
+        )
+    }
+}
+
 /// Immutable aggregate snapshot of an [`ExecProfiler`].
 #[derive(Debug, Clone)]
 pub struct ExecProfile {
@@ -325,6 +359,28 @@ impl ExecProfile {
             .iter()
             .find(|p| p.precision == precision.label())
             .map_or(0, |p| p.layers.iter().map(|l| l.total_ns).sum())
+    }
+
+    /// The lowering's phase totals pooled across layers, or `None` when
+    /// the lowering recorded nothing. This is the read-side summary the
+    /// serving-side latency attribution cross-references: it splits a
+    /// span's opaque execute segment into pad/kernel/epilogue shares.
+    pub fn phase_split(&self, precision: Precision) -> Option<PhaseSplit> {
+        let p = self
+            .precisions
+            .iter()
+            .find(|p| p.precision == precision.label())?;
+        let mut split = PhaseSplit {
+            pad_ns: 0,
+            kernel_ns: 0,
+            epilogue_ns: 0,
+        };
+        for l in &p.layers {
+            split.pad_ns += l.pad_ns;
+            split.kernel_ns += l.kernel_ns;
+            split.epilogue_ns += l.epilogue_ns;
+        }
+        (split.total_ns() > 0).then_some(split)
     }
 
     /// The whole profile as one JSON document.
@@ -472,6 +528,22 @@ mod tests {
         for l in &profiler.snapshot().precisions[0].layers {
             assert_eq!(l.calls, 1, "slot {} ({})", l.layer, l.label);
         }
+    }
+
+    #[test]
+    fn phase_split_pools_layers_and_reports_fractions() {
+        let graph = compile_dense(&models::tiny_cnn(4, 4, 3));
+        let profiler = ExecProfiler::for_graph(&graph);
+        profiler.set_enabled(true);
+        let _ = graph.run_profiled(&Tensor::ones(&[1, 3, 8, 8]), Precision::F32, &profiler);
+        let profile = profiler.snapshot();
+        let split = profile.phase_split(Precision::F32).expect("f32 recorded");
+        assert_eq!(split.total_ns(), profile.total_ns(Precision::F32));
+        let (pad, kernel, epilogue) = split.fractions();
+        assert!((pad + kernel + epilogue - 1.0).abs() < 1e-9);
+        assert!(kernel > 0.0, "conv kernels always record kernel time");
+        // The int8 lowering was never compiled, let alone run.
+        assert!(profile.phase_split(Precision::Int8).is_none());
     }
 
     #[test]

@@ -244,6 +244,7 @@ fn dispatch(
         for r in batch {
             ctx.shard.aborted.inc();
             ctx.shard.precision(r.precision).aborted.inc();
+            ctx.shard.window_aborted(r.precision);
             // Span first, ticket second: a woken waiter always finds
             // its span already recorded.
             if let Some(span) = r.span {
@@ -314,6 +315,7 @@ fn dispatch(
                         let pm = shard.precision(precision);
                         pm.latency.record(done_at - submitted);
                         pm.completed.inc();
+                        shard.window_completed(precision, done_at - submitted);
                         SpanOutcome::Completed
                     }
                     // This request's chunk pass panicked (or the engine
@@ -322,6 +324,7 @@ fn dispatch(
                     None => {
                         shard.failed.inc();
                         shard.precision(precision).failed.inc();
+                        shard.window_failed(precision);
                         SpanOutcome::Failed
                     }
                 };

@@ -24,6 +24,7 @@
 //! → dispatch, the cost of batching) and **end-to-end latency**
 //! (admission → ticket fulfilment, what the client observes).
 
+use crate::window::{WindowSet, WindowSnapshot, WindowStats, WINDOWS};
 use pcnn_runtime::Precision;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,6 +78,33 @@ impl Gauge {
     /// Current value, clamped at zero.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+/// A high-watermark register: writers race [`Watermark::observe`] (one
+/// relaxed `fetch_max`), the snapshot reader drains it with
+/// [`Watermark::take`]. A sampled gauge only shows the depth at scrape
+/// instants; the watermark catches the transient saturation spikes in
+/// between.
+#[derive(Debug, Default)]
+pub struct Watermark(AtomicU64);
+
+impl Watermark {
+    /// Raises the watermark to `v` when higher.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current watermark without resetting it — the Prometheus render
+    /// path, which must not consume what the next snapshot reports.
+    pub fn peek(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Returns the watermark and resets it to zero: each snapshot
+    /// reports the high-water mark since the previous snapshot read.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -240,6 +268,38 @@ impl LogHistogram {
     pub fn bucket_upper_ns(i: usize) -> Option<u64> {
         (i + 1 < BUCKETS).then(|| 2u64 << i)
     }
+
+    /// Fraction of recorded samples strictly slower than the bucket
+    /// containing `ns` — the SLO-violation estimator the health engine
+    /// burns against. A bucket-resolution approximation: samples
+    /// sharing `ns`'s own bucket count as *within* target, so the
+    /// estimate errs toward compliance by at most one 2× bucket. Zero
+    /// when empty.
+    pub fn fraction_above(&self, ns: u64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let cutoff = Self::bucket_of(ns);
+        let above: u64 = self.buckets[cutoff + 1..]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        (above as f64 / n as f64).min(1.0)
+    }
+
+    /// Resets every bucket, the count, and the total to zero (relaxed
+    /// stores) — how the windowed rings recycle a slot when it rotates
+    /// to a new time bucket. Not atomic as a whole: a concurrent record
+    /// may partially survive the wipe, which the rotation-race contract
+    /// (`crate::window`) already allows.
+    pub(crate) fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Dispatch metrics of one precision class (f32 or int8) within a
@@ -260,10 +320,40 @@ pub struct PrecisionMetrics {
     pub latency: LogHistogram,
 }
 
+/// The rolling-window twins of one shard's cumulative signals: a
+/// [`WindowSet`] for the shard pooled plus one per precision class,
+/// all clocked against the server's shared epoch so every shard's
+/// rings rotate in phase (which is what makes the cross-shard merge in
+/// [`ServerMetrics::merged_window`] exact up to bucket granularity).
+#[derive(Debug)]
+pub struct ShardWindows {
+    epoch: Instant,
+    /// The shard's pooled windowed signals.
+    pub shard: WindowSet,
+    /// Per-precision windowed signals (indexed by [`Precision::index`]).
+    pub by_precision: [WindowSet; 2],
+}
+
+impl ShardWindows {
+    fn new(epoch: Instant) -> Self {
+        ShardWindows {
+            epoch,
+            shard: WindowSet::new(),
+            by_precision: [WindowSet::new(), WindowSet::new()],
+        }
+    }
+
+    /// Nanoseconds since the shared telemetry epoch — the timestamp
+    /// windowed records carry.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
 /// The dispatch-side counters and histograms of **one** shard, written
 /// only by that shard's batcher thread and the engine workers running
 /// its completions.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ShardMetrics {
     /// Requests whose ticket was fulfilled with an output.
     pub completed: Counter,
@@ -286,12 +376,70 @@ pub struct ShardMetrics {
     /// The same dispatch metrics, labeled by execution precision
     /// (indexed by [`Precision::index`]).
     pub by_precision: [PrecisionMetrics; 2],
+    /// The rolling-window view of this shard's traffic; `None` when the
+    /// server runs with windowing disabled (the bench's baseline).
+    pub windows: Option<ShardWindows>,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        Self::with_epoch(Instant::now(), true)
+    }
 }
 
 impl ShardMetrics {
-    /// Fresh shard-local metrics.
+    /// Fresh shard-local metrics with windowing on and a private epoch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Shard metrics clocked against the server's shared `epoch`;
+    /// `windowed == false` skips the rolling rings entirely.
+    pub fn with_epoch(epoch: Instant, windowed: bool) -> Self {
+        ShardMetrics {
+            completed: Counter::default(),
+            aborted: Counter::default(),
+            failed: Counter::default(),
+            batches: Counter::default(),
+            batched_images: Counter::default(),
+            queue_wait: LogHistogram::new(),
+            latency: LogHistogram::new(),
+            service: LogHistogram::new(),
+            inflight_batches: Gauge::default(),
+            by_precision: [PrecisionMetrics::default(), PrecisionMetrics::default()],
+            windows: windowed.then(|| ShardWindows::new(epoch)),
+        }
+    }
+
+    /// Feeds one completion (and its end-to-end latency) into the
+    /// rolling windows; a no-op when windowing is disabled. The
+    /// cumulative twins (`completed`, `latency`, per-precision) stay
+    /// the caller's responsibility.
+    pub fn window_completed(&self, p: Precision, latency: Duration) {
+        if let Some(w) = &self.windows {
+            let now = w.now_ns();
+            let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+            w.shard.on_completed(now, ns);
+            w.by_precision[p.index()].on_completed(now, ns);
+        }
+    }
+
+    /// Feeds one engine-fault failure into the rolling windows.
+    pub fn window_failed(&self, p: Precision) {
+        if let Some(w) = &self.windows {
+            let now = w.now_ns();
+            w.shard.on_failed(now);
+            w.by_precision[p.index()].on_failed(now);
+        }
+    }
+
+    /// Feeds one shutdown abort into the rolling windows.
+    pub fn window_aborted(&self, p: Precision) {
+        if let Some(w) = &self.windows {
+            let now = w.now_ns();
+            w.shard.on_aborted(now);
+            w.by_precision[p.index()].on_aborted(now);
+        }
     }
 
     /// The metrics of one precision class.
@@ -338,24 +486,135 @@ pub struct ServerMetrics {
     pub rejected_shutdown: Counter,
     /// Requests queued right now, sampled at queue push and pop.
     pub queue_depth: Gauge,
+    /// Highest queue depth observed since the last snapshot read —
+    /// catches transient saturation spikes the sampled gauge misses.
+    pub queue_depth_hwm: Watermark,
+    /// Low-priority requests shed by the health engine while the
+    /// server was `Overloaded` (the opt-in shedding hook).
+    pub shed: Counter,
     shards: Vec<Arc<ShardMetrics>>,
     started: Instant,
+    windowed: bool,
 }
 
 impl ServerMetrics {
-    /// Fresh metrics for a server of `shards` dispatchers (minimum 1);
-    /// the throughput clock starts now.
+    /// Fresh metrics for a server of `shards` dispatchers (minimum 1)
+    /// with rolling windows on; the throughput clock starts now.
     pub fn new(shards: usize) -> Self {
+        Self::with_options(shards, true)
+    }
+
+    /// [`ServerMetrics::new`] with windowing made explicit — `false`
+    /// skips every rolling ring, the baseline the serving bench pairs
+    /// against to price the windowed read-side.
+    pub fn with_options(shards: usize, windowed: bool) -> Self {
+        let started = Instant::now();
         ServerMetrics {
             submitted: Counter::default(),
             rejected: Counter::default(),
             rejected_shutdown: Counter::default(),
             queue_depth: Gauge::default(),
+            queue_depth_hwm: Watermark::default(),
+            shed: Counter::default(),
             shards: (0..shards.max(1))
-                .map(|_| Arc::new(ShardMetrics::new()))
+                .map(|_| Arc::new(ShardMetrics::with_epoch(started, windowed)))
                 .collect(),
-            started: Instant::now(),
+            started,
+            windowed,
         }
+    }
+
+    /// Nanoseconds since this server's telemetry epoch — the clock
+    /// every rolling window is recorded and read against.
+    pub fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Time since the server started (`pcnn_uptime_seconds`).
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Whether rolling windows are being recorded.
+    pub fn windowed(&self) -> bool {
+        self.windowed
+    }
+
+    /// Pools every shard's rolling window ending at `now_ns` into one
+    /// reading: the merged latency histogram plus `(completed, failed,
+    /// aborted)` counts. `None` when windowing is disabled. This is the
+    /// signal the health engine computes burn rates from — `now_ns` is
+    /// explicit so burn evaluation is deterministic under test.
+    pub fn merged_window(
+        &self,
+        now_ns: u64,
+        window: Duration,
+    ) -> Option<(LogHistogram, u64, u64, u64)> {
+        if !self.windowed {
+            return None;
+        }
+        let hist = LogHistogram::new();
+        let (mut c, mut f, mut a) = (0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            if let Some(w) = &shard.windows {
+                let (sc, sf, sa) = w.shard.accumulate(now_ns, window, &hist);
+                c += sc;
+                f += sf;
+                a += sa;
+            }
+        }
+        Some((hist, c, f, a))
+    }
+
+    /// The per-window readings (total + per-shard + per-precision) for
+    /// every standard window ([`WINDOWS`]), empty when windowing is
+    /// disabled. All three windows read against one `now`, so they
+    /// nest: the 60 s totals always cover the 10 s totals.
+    pub fn window_snapshots(&self) -> Vec<WindowSnapshot> {
+        if !self.windowed {
+            return Vec::new();
+        }
+        let now = self.now_ns();
+        WINDOWS
+            .iter()
+            .map(|&w| {
+                let hist = LogHistogram::new();
+                let (mut c, mut f, mut a) = (0u64, 0u64, 0u64);
+                let mut shard_stats = Vec::with_capacity(self.shards.len());
+                for (i, shard) in self.shards.iter().enumerate() {
+                    if let Some(sw) = &shard.windows {
+                        shard_stats.push(sw.shard.stats_over(now, w, format!("shard-{i}")));
+                        let (sc, sf, sa) = sw.shard.accumulate(now, w, &hist);
+                        c += sc;
+                        f += sf;
+                        a += sa;
+                    }
+                }
+                let precisions = Precision::ALL
+                    .iter()
+                    .map(|&p| {
+                        let ph = LogHistogram::new();
+                        let (mut pc, mut pf, mut pa) = (0u64, 0u64, 0u64);
+                        for shard in &self.shards {
+                            if let Some(sw) = &shard.windows {
+                                let (c1, f1, a1) =
+                                    sw.by_precision[p.index()].accumulate(now, w, &ph);
+                                pc += c1;
+                                pf += f1;
+                                pa += a1;
+                            }
+                        }
+                        WindowStats::compute(p.label().to_string(), w, &ph, pc, pf, pa)
+                    })
+                    .collect();
+                WindowSnapshot {
+                    window: w,
+                    total: WindowStats::compute("total".to_string(), w, &hist, c, f, a),
+                    shards: shard_stats,
+                    precisions,
+                }
+            })
+            .collect()
     }
 
     /// Number of shards this server's metrics track.
@@ -447,6 +706,8 @@ impl ServerMetrics {
             aborted,
             failed,
             queue_depth: self.queue_depth.get(),
+            queue_depth_hwm: self.queue_depth_hwm.take(),
+            shed: self.shed.get(),
             inflight_batches,
             batches,
             mean_batch: if batches == 0 {
@@ -471,6 +732,7 @@ impl ServerMetrics {
             service_mean: service.mean(),
             precisions,
             shards,
+            windows: self.window_snapshots(),
         }
     }
 
@@ -511,6 +773,20 @@ impl ServerMetrics {
             "Requests queued right now (sampled at push/pop).",
             "gauge",
             self.queue_depth.get(),
+        );
+        simple(
+            &mut o,
+            "pcnn_queue_depth_hwm",
+            "Highest queue depth observed since the last snapshot read (scrapes peek; snapshots reset).",
+            "gauge",
+            self.queue_depth_hwm.peek(),
+        );
+        simple(
+            &mut o,
+            "pcnn_requests_shed_total",
+            "Low-priority requests shed by the health engine while Overloaded.",
+            "counter",
+            self.shed.get(),
         );
 
         type ShardCounter = fn(&ShardMetrics) -> u64;
@@ -636,7 +912,141 @@ impl ServerMetrics {
                 &merged,
             );
         }
+        self.render_window_series(&mut o);
         o
+    }
+
+    /// Renders the rolling-window families (`pcnn_window_*`). All are
+    /// gauges — a trailing window's value moves both ways. Per-shard
+    /// and per-precision series carry only throughput and p99 to bound
+    /// cardinality; the full breakdown lives in the JSON snapshot.
+    fn render_window_series(&self, o: &mut String) {
+        use std::fmt::Write as _;
+        let snaps = self.window_snapshots();
+        if snaps.is_empty() {
+            return;
+        }
+        let wlabel = |w: &WindowSnapshot| format!("{}s", w.window.as_secs());
+        type TotalStat = fn(&WindowStats) -> f64;
+        let totals: [(&str, &str, TotalStat); 6] = [
+            (
+                "pcnn_window_completed",
+                "Requests completed inside the trailing window.",
+                |t| t.completed as f64,
+            ),
+            (
+                "pcnn_window_failed",
+                "Requests failed inside the trailing window.",
+                |t| t.failed as f64,
+            ),
+            (
+                "pcnn_window_aborted",
+                "Requests aborted inside the trailing window.",
+                |t| t.aborted as f64,
+            ),
+            (
+                "pcnn_window_throughput_rps",
+                "Completions per second over the trailing window.",
+                |t| t.throughput_rps,
+            ),
+            (
+                "pcnn_window_error_rate",
+                "failed / (completed+failed+aborted) over the trailing window.",
+                |t| t.error_rate,
+            ),
+            (
+                "pcnn_window_abort_rate",
+                "aborted / (completed+failed+aborted) over the trailing window.",
+                |t| t.abort_rate,
+            ),
+        ];
+        for (name, help, get) in totals {
+            let _ = writeln!(o, "# HELP {name} {help}\n# TYPE {name} gauge");
+            for w in &snaps {
+                let _ = writeln!(o, "{name}{{window=\"{}\"}} {}", wlabel(w), get(&w.total));
+            }
+        }
+        let _ = writeln!(
+            o,
+            "# HELP pcnn_window_latency_seconds End-to-end latency quantiles over the trailing window.\n\
+             # TYPE pcnn_window_latency_seconds gauge"
+        );
+        for w in &snaps {
+            for (q, v) in [
+                ("0.5", w.total.latency_p50),
+                ("0.95", w.total.latency_p95),
+                ("0.99", w.total.latency_p99),
+            ] {
+                let _ = writeln!(
+                    o,
+                    "pcnn_window_latency_seconds{{window=\"{}\",quantile=\"{q}\"}} {}",
+                    wlabel(w),
+                    v.as_secs_f64()
+                );
+            }
+        }
+        let _ = writeln!(
+            o,
+            "# HELP pcnn_window_shard_throughput_rps Per-shard completions per second over the trailing window.\n\
+             # TYPE pcnn_window_shard_throughput_rps gauge"
+        );
+        for w in &snaps {
+            for (i, s) in w.shards.iter().enumerate() {
+                let _ = writeln!(
+                    o,
+                    "pcnn_window_shard_throughput_rps{{window=\"{}\",shard=\"{i}\"}} {:.3}",
+                    wlabel(w),
+                    s.throughput_rps
+                );
+            }
+        }
+        let _ = writeln!(
+            o,
+            "# HELP pcnn_window_shard_latency_p99_seconds Per-shard p99 end-to-end latency over the trailing window.\n\
+             # TYPE pcnn_window_shard_latency_p99_seconds gauge"
+        );
+        for w in &snaps {
+            for (i, s) in w.shards.iter().enumerate() {
+                let _ = writeln!(
+                    o,
+                    "pcnn_window_shard_latency_p99_seconds{{window=\"{}\",shard=\"{i}\"}} {}",
+                    wlabel(w),
+                    s.latency_p99.as_secs_f64()
+                );
+            }
+        }
+        let _ = writeln!(
+            o,
+            "# HELP pcnn_window_precision_throughput_rps Per-precision completions per second over the trailing window.\n\
+             # TYPE pcnn_window_precision_throughput_rps gauge"
+        );
+        for w in &snaps {
+            for s in &w.precisions {
+                let _ = writeln!(
+                    o,
+                    "pcnn_window_precision_throughput_rps{{window=\"{}\",precision=\"{}\"}} {:.3}",
+                    wlabel(w),
+                    s.label,
+                    s.throughput_rps
+                );
+            }
+        }
+        let _ = writeln!(
+            o,
+            "# HELP pcnn_window_precision_latency_p99_seconds Per-precision p99 end-to-end latency over the trailing window.\n\
+             # TYPE pcnn_window_precision_latency_p99_seconds gauge"
+        );
+        for w in &snaps {
+            for s in &w.precisions {
+                let _ = writeln!(
+                    o,
+                    "pcnn_window_precision_latency_p99_seconds{{window=\"{}\",precision=\"{}\"}} {}",
+                    wlabel(w),
+                    s.label,
+                    s.latency_p99.as_secs_f64()
+                );
+            }
+        }
     }
 }
 
@@ -678,6 +1088,12 @@ pub struct TelemetrySnapshot {
     pub failed: u64,
     /// Requests queued at snapshot time (sampled at push/pop).
     pub queue_depth: u64,
+    /// Highest queue depth observed since the previous snapshot (the
+    /// watermark resets on every snapshot read).
+    pub queue_depth_hwm: u64,
+    /// Low-priority requests shed by the health engine while
+    /// `Overloaded`.
+    pub shed: u64,
     /// Batches dispatched and not yet completed, across every shard.
     pub inflight_batches: u64,
     /// Batches dispatched.
@@ -711,6 +1127,9 @@ pub struct TelemetrySnapshot {
     pub precisions: Vec<PrecisionSnapshot>,
     /// Per-shard breakdown (one entry per batcher, in shard order).
     pub shards: Vec<ShardSnapshot>,
+    /// Rolling-window readings (1 s / 10 s / 60 s trailing), empty when
+    /// windowing is disabled.
+    pub windows: Vec<WindowSnapshot>,
 }
 
 /// A point-in-time reading of one precision class's traffic.
@@ -842,8 +1261,8 @@ impl std::fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
-            "pressure: queue depth {}, {} batches in flight",
-            self.queue_depth, self.inflight_batches
+            "pressure: queue depth {}, {} batches in flight, queue hwm {}",
+            self.queue_depth, self.inflight_batches, self.queue_depth_hwm
         )?;
         writeln!(f, "throughput: {:.1} req/s", self.throughput_rps)?;
         writeln!(
@@ -898,6 +1317,22 @@ impl std::fmt::Display for TelemetrySnapshot {
                 )?;
             }
         }
+        for w in &self.windows {
+            let t = &w.total;
+            if t.completed + t.failed + t.aborted > 0 {
+                write!(
+                    f,
+                    "\nwindow {:>3}s: {:.1} req/s, e2e p50 {:.3} ms p99 {:.3} ms, \
+                     err {:.2}% abort {:.2}%",
+                    w.window.as_secs(),
+                    t.throughput_rps,
+                    ms(t.latency_p50),
+                    ms(t.latency_p99),
+                    t.error_rate * 100.0,
+                    t.abort_rate * 100.0
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -918,15 +1353,23 @@ impl TelemetrySnapshot {
             .map(PrecisionSnapshot::to_json)
             .collect::<Vec<_>>()
             .join(",");
+        let windows = self
+            .windows
+            .iter()
+            .map(WindowSnapshot::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"rejected\":{},",
                 "\"rejected_shutdown\":{},\"aborted\":{},\"failed\":{},",
-                "\"queue_depth\":{},\"inflight_batches\":{},\"batches\":{},",
+                "\"queue_depth\":{},\"queue_depth_hwm\":{},\"shed\":{},",
+                "\"inflight_batches\":{},\"batches\":{},",
                 "\"mean_batch\":{:.3},\"elapsed_s\":{:.6},\"throughput_rps\":{:.3},",
                 "\"queue_wait_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
-                "\"service_mean_ms\":{:.6},\"precisions\":[{}],\"shards\":[{}]}}"
+                "\"service_mean_ms\":{:.6},\"windows\":[{}],",
+                "\"precisions\":[{}],\"shards\":[{}]}}"
             ),
             self.submitted,
             self.completed,
@@ -935,6 +1378,8 @@ impl TelemetrySnapshot {
             self.aborted,
             self.failed,
             self.queue_depth,
+            self.queue_depth_hwm,
+            self.shed,
             self.inflight_batches,
             self.batches,
             self.mean_batch,
@@ -949,6 +1394,7 @@ impl TelemetrySnapshot {
             ms(self.latency_p99),
             ms(self.latency_mean),
             ms(self.service_mean),
+            windows,
             precisions,
             shards,
         )
@@ -1245,5 +1691,129 @@ mod tests {
             last = v;
         }
         assert_eq!(last, 6);
+    }
+
+    #[test]
+    fn watermark_races_observe_and_resets_on_take() {
+        let w = Watermark::default();
+        w.observe(3);
+        w.observe(9);
+        w.observe(5); // lower observations never pull the mark down
+        assert_eq!(w.peek(), 9);
+        assert_eq!(w.peek(), 9, "peek does not consume");
+        assert_eq!(w.take(), 9);
+        assert_eq!(w.peek(), 0, "take resets for the next interval");
+
+        let m = ServerMetrics::new(1);
+        m.queue_depth_hwm.observe(17);
+        m.queue_depth.set(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.queue_depth_hwm, 17);
+        assert_eq!(snap.queue_depth, 2);
+        assert!(snap.to_json().contains("\"queue_depth_hwm\":17"));
+        // The spike is reported exactly once per snapshot interval.
+        assert_eq!(m.snapshot().queue_depth_hwm, 0);
+    }
+
+    #[test]
+    fn fraction_above_counts_only_slower_buckets() {
+        let h = LogHistogram::new();
+        assert_eq!(h.fraction_above(1_000), 0.0, "empty histogram");
+        for us in [10u64, 10, 10, 100, 100, 1000, 10_000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        // Everything is slower than 1 µs...
+        assert_eq!(h.fraction_above(1_000), 1.0);
+        // ...nothing is slower than the slowest bucket...
+        assert_eq!(h.fraction_above(200_000_000), 0.0);
+        // ...and a mid cutoff counts the strictly-slower buckets only:
+        // 10 µs samples share the cutoff bucket, so 5 of 8 are above.
+        assert!((h.fraction_above(10_000) - 5.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_traffic_lands_in_snapshot_and_prometheus() {
+        let m = ServerMetrics::new(2);
+        for _ in 0..40 {
+            m.shard(0)
+                .window_completed(Precision::F32, Duration::from_millis(2));
+        }
+        for _ in 0..10 {
+            m.shard(1)
+                .window_completed(Precision::F32, Duration::from_millis(8));
+        }
+        m.shard(1).window_failed(Precision::F32);
+        let snap = m.snapshot();
+        assert_eq!(snap.windows.len(), WINDOWS.len());
+        // Everything above happened "just now": the 1 s window holds it
+        // all, and so do the larger nesting windows.
+        for w in &snap.windows {
+            assert_eq!(w.total.completed, 50, "window {:?}", w.window);
+            assert_eq!(w.total.failed, 1);
+            assert_eq!(w.shards.len(), 2);
+            assert_eq!(w.shards[0].completed, 40);
+            assert_eq!(w.shards[1].failed, 1);
+            assert_eq!(w.precisions[Precision::F32.index()].completed, 50);
+            assert_eq!(w.precisions[Precision::Int8.index()].completed, 0);
+            // The pooled p99 reflects shard 1's slower scale.
+            assert!(w.total.latency_p99 >= Duration::from_millis(4));
+        }
+        let json = snap.to_json();
+        assert!(json.contains("\"windows\":[{\"window_s\":1.000"));
+        assert!(json.contains("\"label\":\"shard-1\""));
+        let text = m.render_prometheus();
+        validate_prometheus(&text);
+        assert!(text.contains("pcnn_window_completed{window=\"10s\"} 50"));
+        assert!(text.contains("pcnn_window_latency_seconds{window=\"60s\",quantile=\"0.99\"}"));
+        assert!(text.contains("pcnn_window_shard_throughput_rps{window=\"1s\",shard=\"1\"}"));
+        assert!(text.contains(
+            "pcnn_window_precision_latency_p99_seconds{window=\"1s\",precision=\"f32\"}"
+        ));
+        let display = format!("{snap}");
+        assert!(display.contains("window   1s:"));
+    }
+
+    #[test]
+    fn windowing_disabled_is_truly_off() {
+        let m = ServerMetrics::with_options(1, false);
+        assert!(!m.windowed());
+        assert!(m.shard(0).windows.is_none());
+        // Recording helpers are no-ops, not panics.
+        m.shard(0)
+            .window_completed(Precision::F32, Duration::from_millis(1));
+        m.shard(0).window_failed(Precision::F32);
+        m.shard(0).window_aborted(Precision::F32);
+        assert!(m.merged_window(m.now_ns(), WINDOWS[0]).is_none());
+        let snap = m.snapshot();
+        assert!(snap.windows.is_empty());
+        assert!(snap.to_json().contains("\"windows\":[]"));
+        assert!(!m.render_prometheus().contains("pcnn_window_"));
+    }
+
+    #[test]
+    fn merged_window_pools_shards_for_burn_evaluation() {
+        let m = ServerMetrics::new(2);
+        for _ in 0..30 {
+            m.shard(0)
+                .window_completed(Precision::F32, Duration::from_millis(1));
+            m.shard(1)
+                .window_completed(Precision::F32, Duration::from_millis(1));
+        }
+        m.shard(0).window_failed(Precision::F32);
+        m.shard(1).window_aborted(Precision::F32);
+        let (hist, completed, failed, aborted) = m
+            .merged_window(m.now_ns(), Duration::from_secs(10))
+            .expect("windowing on");
+        assert_eq!(completed, 60);
+        assert_eq!(failed, 1);
+        assert_eq!(aborted, 1);
+        assert_eq!(hist.count(), 60);
+        // A read far past every bucket sees an empty window.
+        let far = m.now_ns() + 600 * 1_000_000_000;
+        let (hist, c, f, a) = m
+            .merged_window(far, Duration::from_secs(10))
+            .expect("windowing on");
+        assert_eq!((c, f, a), (0, 0, 0));
+        assert_eq!(hist.count(), 0);
     }
 }

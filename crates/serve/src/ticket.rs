@@ -29,6 +29,12 @@ pub enum ServeError {
     /// (int8 requires a graph lowered with its quantised twin — see
     /// `pcnn_runtime::compile::compile_quant`).
     PrecisionUnavailable,
+    /// The health engine is in the `Overloaded` state and the server
+    /// was configured to shed low-priority admissions
+    /// (`SloConfig::shed_low_priority`). Only `Priority::Normal`
+    /// submissions are ever shed; retry later or resubmit at
+    /// `Priority::High`.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -46,6 +52,9 @@ impl std::fmt::Display for ServeError {
                     f,
                     "requested precision is not compiled into the engine's graph"
                 )
+            }
+            ServeError::Overloaded => {
+                write!(f, "admission shed: server is overloaded (low-priority)")
             }
         }
     }

@@ -348,14 +348,20 @@ impl FlightRecorder {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// The retained spans across every shard ring, oldest completion
-    /// first — the last K per shard, reconstructible into timelines.
+    /// The retained spans across every shard ring, sorted by admission
+    /// timestamp (ties broken by ID) — the order requests entered the
+    /// server, which is what timeline reconstruction and latency
+    /// attribution want. Retention is still completion-driven: each
+    /// ring holds the last K spans *published* on its shard and
+    /// overwrites oldest-publication-first, so after a wrap the
+    /// surviving spans are the most recently resolved ones, whose
+    /// admission order can differ from their slot order.
     pub fn spans(&self) -> Vec<RecordedSpan> {
         let mut out = Vec::new();
         for ring in &self.rings {
             ring.collect(&mut out);
         }
-        out.sort_by_key(|s| (s.completed_ns, s.id));
+        out.sort_by_key(|s| (s.admitted_ns, s.id));
         out
     }
 
@@ -414,7 +420,7 @@ mod tests {
         assert_eq!(rec.spans_recorded(), 5);
         assert_eq!(rec.spans_dropped(), 0);
         for (i, s) in got.iter().enumerate() {
-            assert_eq!(s.id, i as u64 + 1, "sorted by completion");
+            assert_eq!(s.id, i as u64 + 1, "sorted by admission");
             assert_eq!(
                 *s,
                 span(s.id, 100 * i as u64),
@@ -440,6 +446,35 @@ mod tests {
         assert_eq!(got.len(), 4, "capacity bounds retention");
         let ids: Vec<u64> = got.iter().map(|s| s.id).collect();
         assert_eq!(ids, vec![7, 8, 9, 10], "the oldest spans were evicted");
+    }
+
+    #[test]
+    fn wrapped_ring_sorts_by_admission_not_slot_order() {
+        let rec = FlightRecorder::new(
+            &TraceConfig {
+                sample_every: 1,
+                ring_capacity: 4,
+            },
+            1,
+        );
+        // Publish in *reverse* admission order so that after the ring
+        // wraps, slot order disagrees with admission order: spans
+        // admitted at t = 900, 800, ..., 100 published in that
+        // sequence leave slots holding admissions 500..200 with the
+        // oldest publication (t=500) in the lowest slot.
+        for i in 0..9u64 {
+            rec.record(0, &span(i + 1, 100 * (9 - i)));
+        }
+        let got = rec.spans();
+        assert_eq!(got.len(), 4, "the ring wrapped: publications 1-5 evicted");
+        let admitted: Vec<u64> = got.iter().map(|s| s.admitted_ns).collect();
+        assert_eq!(admitted, vec![100, 200, 300, 400], "admission order");
+        let ids: Vec<u64> = got.iter().map(|s| s.id).collect();
+        assert_eq!(
+            ids,
+            vec![9, 8, 7, 6],
+            "the survivors are the last published"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! cargo run --release --example serve_traffic -- --smoke      # CI-sized
 //! cargo run --release --example serve_traffic -- --shards 2   # sharded topology
 //! cargo run --release --example serve_traffic -- --trace      # observability demo
+//! cargo run --release --example serve_traffic -- --attribution # where did the latency go?
 //! ```
 //!
 //! 1. Prunes the VGG-16-topology proxy at n = 2 and compiles it through
@@ -25,7 +26,10 @@ use pcnn::core::PrunePlan;
 use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
 use pcnn::runtime::compile::{prune_and_compile, CompileOptions};
 use pcnn::runtime::Engine;
-use pcnn::serve::{ServeConfig, ServeError, Server, ShutdownMode, TelemetrySnapshot, TraceConfig};
+use pcnn::serve::{
+    AttributionReport, HealthState, ServeConfig, ServeError, Server, ShutdownMode, SloConfig,
+    TelemetrySnapshot, TraceConfig,
+};
 use pcnn::tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -226,9 +230,113 @@ fn trace_demo(smoke: bool, shards: usize) {
     println!("serve_traffic --trace: OK");
 }
 
+/// `--attribution`: where did the end-to-end time go? Every request is
+/// traced, the profiler is on, and the run decomposes recorded spans
+/// into queue-wait / coalesce / dispatch-wait / execute /
+/// completion-notify segments per rolling window and percentile band,
+/// cross-references the engine's pad/kernel/epilogue phase split,
+/// checks the health engine reports `Healthy` at this (comfortable)
+/// load, and writes the attribution + health blocks into
+/// `PROFILE_serve.json` for CI to parse.
+fn attribution_demo(smoke: bool, shards: usize) {
+    let hw = VggProxyConfig::default().input_hw;
+    let clients = if smoke { 4 } else { 6 };
+    let per_client = if smoke { 12 } else { 60 };
+    let engine = build_engine();
+    engine.enable_profiling();
+    let server = Arc::new(Server::start(
+        engine,
+        ServeConfig {
+            shards,
+            max_batch: (clients / 2).max(4),
+            input_chw: Some([3, hw, hw]),
+            trace: TraceConfig {
+                sample_every: 1, // attribution wants every timeline
+                ring_capacity: 1024,
+            },
+            // A deliberately lenient SLO: closed-loop smoke load must
+            // grade Healthy, which CI asserts below.
+            slo: SloConfig {
+                latency_target: Duration::from_secs(5),
+                ..SloConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    ));
+    println!("\n[attribution] {clients} clients x {per_client} requests, every request traced");
+    let (wall, snap, dropped) = closed_loop(&server, clients, per_client, hw);
+    let total = clients * per_client;
+    assert_eq!(dropped, 0);
+    assert_eq!(snap.completed as usize, total);
+    println!(
+        "wall-clock throughput: {:.1} req/s over {total} requests",
+        total as f64 / wall.as_secs_f64()
+    );
+
+    // --- Health: smoke load against the lenient SLO must be Healthy ------
+    let health = server.health();
+    println!("{health}");
+    assert_eq!(
+        health.state,
+        HealthState::Healthy,
+        "closed-loop smoke load must stay inside a 5 s latency SLO"
+    );
+
+    // --- Span-driven latency attribution ----------------------------------
+    let spans = server.flight_recorder().spans();
+    let mut report = AttributionReport::analyze(&spans);
+    assert!(report.analyzed > 0, "traced run must retain spans");
+    let profile = server.engine().exec_profile();
+    report.attach_exec_profile(&profile);
+    assert!(
+        !report.exec_phases.is_empty(),
+        "profiler was on, so the execute segment cross-references"
+    );
+    print!("{report}");
+    println!(
+        "dominant contributor overall: {}",
+        report.dominant().expect("analyzed > 0")
+    );
+
+    // --- Exporter sanity ---------------------------------------------------
+    let prom = server.render_prometheus();
+    validate_prometheus(&prom);
+    assert!(
+        prom.contains("pcnn_health_state 0"),
+        "healthy at smoke load"
+    );
+    assert!(prom.contains("pcnn_window_completed{window=\"60s\"}"));
+    assert!(prom.contains("pcnn_build_info{version="));
+
+    // --- PROFILE_serve.json with attribution + health blocks --------------
+    let profile_json = profile.to_json();
+    let body = profile_json
+        .strip_suffix('}')
+        .expect("profile JSON is an object");
+    let json = format!(
+        "{body},\"attribution\":{},\"health\":{}}}",
+        report.to_json(),
+        health.to_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/PROFILE_serve.json");
+    std::fs::write(path, &json).expect("write PROFILE_serve.json");
+    println!("profile + attribution written to {path}");
+
+    let drain = match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(ShutdownMode::Drain),
+        Err(_) => unreachable!("all clients joined"),
+    };
+    assert_eq!(drain.completed as usize, total);
+    println!("serve_traffic --attribution: OK");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let shards = shards_arg();
+    if std::env::args().any(|a| a == "--attribution") {
+        attribution_demo(smoke, shards);
+        return;
+    }
     if std::env::args().any(|a| a == "--trace") {
         trace_demo(smoke, shards);
         return;

@@ -7,7 +7,8 @@ use pcnn::nn::models::{self, vgg16_proxy, VggProxyConfig};
 use pcnn::runtime::compile::{compile_dense, prune_and_compile, CompileOptions};
 use pcnn::runtime::Engine;
 use pcnn::serve::{
-    Priority, ServeConfig, ServeError, Server, ShutdownMode, SpanOutcome, TraceConfig,
+    HealthState, Priority, ServeConfig, ServeError, Server, ShutdownMode, SloConfig, SpanOutcome,
+    TraceConfig,
 };
 use pcnn::tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -300,6 +301,152 @@ fn abort_drain_report_carries_complete_span_timelines() {
         }
     }
     assert_eq!(served, report.completed);
+}
+
+/// Deterministic overload and recovery: an SLO every real request
+/// violates drives the health engine `Healthy → Degraded → Overloaded`
+/// under explicit evaluations, the opt-in shedding hook rejects only
+/// low-priority admissions while overloaded, and evaluating with the
+/// clock advanced past both windows walks the state back to `Healthy`.
+///
+/// Determinism: `eval_interval` is huge, so the submit path can only
+/// evaluate once (on the first submit, when the windows are still
+/// empty); every state change below comes from an explicit
+/// `evaluate_at` this test issues itself.
+#[test]
+fn overload_sheds_low_priority_and_recovers() {
+    let engine = Engine::new(compile_dense(&models::tiny_cnn(4, 4, 17)), 2);
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            slo: SloConfig {
+                // 1 ns: every completion is an SLO violation.
+                latency_target: Duration::from_nanos(1),
+                // Wide windows so the whole traffic burst stays inside
+                // both regardless of scheduling jitter.
+                fast_window: Duration::from_secs(5),
+                slow_window: Duration::from_secs(60),
+                min_samples: 1,
+                shed_low_priority: true,
+                eval_interval: Duration::from_secs(3600),
+                ..SloConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let health = server.health_engine();
+    assert_eq!(health.state(), HealthState::Healthy);
+
+    // Real traffic, all violating the 1 ns target.
+    let tickets: Vec<_> = (0..20)
+        .map(|i| {
+            server
+                .submit(random_tensor(&[1, 3, 8, 8], 8100 + i))
+                .expect("healthy server admits everything")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("served");
+    }
+
+    // Hysteresis: one step per evaluation, through Degraded.
+    let metrics = server.metrics();
+    let now = metrics.now_ns();
+    let r1 = health.evaluate_at(metrics, now);
+    assert_eq!(r1.state, HealthState::Degraded);
+    assert!(r1.slow.burn >= 2.0, "every request violated the target");
+    let r2 = health.evaluate_at(metrics, now);
+    assert_eq!(r2.state, HealthState::Overloaded);
+
+    // Overloaded + shed_low_priority: Normal is shed, High passes.
+    match server.submit(random_tensor(&[1, 3, 8, 8], 8200)) {
+        Err(ServeError::Overloaded) => {}
+        Err(e) => panic!("expected Overloaded shed, got error {e}"),
+        Ok(_) => panic!("expected Overloaded shed, but the request was admitted"),
+    }
+    let high = server
+        .submit_with_priority(random_tensor(&[1, 3, 8, 8], 8201), Priority::High)
+        .expect("high priority is never shed");
+    high.wait().expect("high priority request completes");
+    let snap = metrics.snapshot();
+    assert_eq!(snap.shed, 1, "exactly the one Normal admission was shed");
+
+    // Recovery: far enough ahead that both windows have drained.
+    let later = now + 600 * 1_000_000_000;
+    let r3 = health.evaluate_at(metrics, later);
+    assert_eq!(r3.state, HealthState::Degraded, "one step back per eval");
+    assert_eq!(r3.fast.attempts, 0, "windows are empty at the future clock");
+    let r4 = health.evaluate_at(metrics, later);
+    assert_eq!(r4.state, HealthState::Healthy);
+    assert_eq!(r4.transitions, 4);
+
+    // Healthy again: Normal admissions flow.
+    server
+        .submit(random_tensor(&[1, 3, 8, 8], 8202))
+        .expect("recovered server admits Normal traffic")
+        .wait()
+        .expect("served");
+
+    // The windowed series and new gauge families made it to the
+    // exporter, and the report serialises the shed count.
+    let prom = server.render_prometheus();
+    for family in [
+        "pcnn_build_info{version=",
+        "pcnn_uptime_seconds ",
+        "pcnn_health_state ",
+        "pcnn_health_burn_rate{window=\"fast\"}",
+        "pcnn_health_transitions_total ",
+        "pcnn_window_completed{window=\"10s\"}",
+        "pcnn_requests_shed_total 1",
+    ] {
+        assert!(prom.contains(family), "missing {family}");
+    }
+    assert!(server.health().to_json().contains("\"shed\":1"));
+}
+
+/// The queue-depth high-watermark satellite end-to-end: a backlogged
+/// burst leaves a watermark at least as deep as any sampled gauge
+/// reading, and reading a snapshot resets it.
+#[test]
+fn queue_depth_watermark_catches_the_burst_and_resets() {
+    let engine = Engine::new(compile_dense(&models::tiny_cnn(4, 4, 17)), 2);
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..64)
+        .map(|i| {
+            server
+                .submit(random_tensor(&[1, 3, 8, 8], 8300 + i))
+                .expect("admitted")
+        })
+        .collect();
+    let snap = server.metrics().snapshot();
+    assert!(
+        snap.queue_depth_hwm >= snap.queue_depth,
+        "watermark {} never lags the sampled gauge {}",
+        snap.queue_depth_hwm,
+        snap.queue_depth
+    );
+    assert!(
+        snap.queue_depth_hwm > 0,
+        "a 64-burst must leave a watermark"
+    );
+    for t in tickets {
+        t.wait().expect("served");
+    }
+    // Reset-on-read: with no new submissions the next snapshot's
+    // watermark is zero even though the lifetime counters are not.
+    let snap2 = server.metrics().snapshot();
+    assert_eq!(snap2.queue_depth_hwm, 0, "watermark resets on snapshot");
+    assert_eq!(snap2.completed, 64);
 }
 
 /// Priorities, shutdown accounting, and post-shutdown rejection on a
