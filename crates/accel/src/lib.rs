@@ -42,6 +42,8 @@
 //! assert!(report.speedup() > 8.0 && report.speedup() < 10.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod config;
 pub mod decoder;

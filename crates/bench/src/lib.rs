@@ -14,5 +14,7 @@
 //! distillation kernels, SPM sparse convolution vs dense, the pointer
 //! generator, and the cycle simulator.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod table;

@@ -43,6 +43,8 @@
 //! assert!(!pattern.contains(0) && pattern.contains(1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod admm;
 pub mod baselines;
 pub mod compress;

@@ -24,6 +24,8 @@
 //! assert_eq!(stats.epochs.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod data;
 pub mod layers;

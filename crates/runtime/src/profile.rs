@@ -27,8 +27,8 @@
 use crate::graph::ExecutableGraph;
 use crate::ops::Op;
 use crate::quant_conv::Precision;
+use pcnn_sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use pcnn_tensor::simd::{self, SimdLevel};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 /// Lock-free accumulation cell for one executable layer of one lowering.
 #[derive(Debug, Default)]
@@ -65,6 +65,10 @@ impl LayerStats {
     /// Records a non-convolution op pass: the whole duration counts as
     /// the kernel phase.
     pub(crate) fn record_pass(&self, images: u64, total_ns: u64) {
+        // ordering: Relaxed — independent statistics counters. Snapshot
+        // readers tolerate torn cross-counter views (a pass may appear
+        // in `calls` before its time lands in `kernel_ns`); only the
+        // eventual totals matter.
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.images.fetch_add(images, Ordering::Relaxed);
         self.kernel_ns.fetch_add(total_ns, Ordering::Relaxed);
@@ -72,32 +76,44 @@ impl LayerStats {
 
     /// Records one instrumented convolution pass.
     pub(crate) fn record_conv(&self, p: &ConvPass) {
+        // ordering: Relaxed — independent statistics counters; snapshot
+        // readers accept torn cross-counter views, only eventual totals
+        // matter. No payload is published through these cells.
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.images.fetch_add(p.images, Ordering::Relaxed);
         self.pad_ns.fetch_add(p.pad_ns, Ordering::Relaxed);
         self.kernel_ns.fetch_add(p.kernel_ns, Ordering::Relaxed);
+        // ordering: Relaxed — same statistics contract as above.
         self.epilogue_ns.fetch_add(p.epilogue_ns, Ordering::Relaxed);
         self.kernel_dispatches
             .fetch_add(p.kernel_dispatches, Ordering::Relaxed);
         // Static per-layer properties: store, don't accumulate.
+        // ordering: Relaxed — every pass writes the same values, so
+        // which writer wins is immaterial.
         self.pattern_groups
             .store(p.pattern_groups, Ordering::Relaxed);
         self.zero_kernels_skipped
             .store(p.zero_kernels_skipped, Ordering::Relaxed);
+        // ordering: Relaxed — same statistics contract as above.
         self.padded_bytes
             .fetch_add(p.padded_bytes, Ordering::Relaxed);
         let tier = match p.level {
             SimdLevel::Scalar => 1,
             SimdLevel::Avx2 => 2,
         };
+        // ordering: Relaxed — last-writer-wins tier tag, no payload.
         self.simd.store(tier, Ordering::Relaxed);
     }
 
     fn reset(&self) {
+        // ordering: Relaxed — reset is not atomic across cells by
+        // design; a concurrent recorder may land between the zeroing
+        // stores and the next snapshot simply reflects that.
         self.calls.store(0, Ordering::Relaxed);
         self.images.store(0, Ordering::Relaxed);
         self.pad_ns.store(0, Ordering::Relaxed);
         self.kernel_ns.store(0, Ordering::Relaxed);
+        // ordering: Relaxed — covered by the reset contract above.
         self.epilogue_ns.store(0, Ordering::Relaxed);
         self.kernel_dispatches.store(0, Ordering::Relaxed);
         self.pattern_groups.store(0, Ordering::Relaxed);
@@ -107,18 +123,23 @@ impl LayerStats {
     }
 
     fn snapshot(&self, layer: usize, label: &str) -> LayerProfile {
+        // ordering: Relaxed — the snapshot is an admittedly-racy
+        // statistical read; cross-counter consistency is not promised
+        // to callers, so no acquire pairing is needed.
         let pad_ns = self.pad_ns.load(Ordering::Relaxed);
         let kernel_ns = self.kernel_ns.load(Ordering::Relaxed);
         let epilogue_ns = self.epilogue_ns.load(Ordering::Relaxed);
         LayerProfile {
             layer,
             label: label.to_string(),
+            // ordering: Relaxed — covered by the snapshot contract above.
             calls: self.calls.load(Ordering::Relaxed),
             images: self.images.load(Ordering::Relaxed),
             pad_ns,
             kernel_ns,
             epilogue_ns,
             total_ns: pad_ns + kernel_ns + epilogue_ns,
+            // ordering: Relaxed — covered by the snapshot contract above.
             kernel_dispatches: self.kernel_dispatches.load(Ordering::Relaxed),
             pattern_groups: self.pattern_groups.load(Ordering::Relaxed),
             zero_kernels_skipped: self.zero_kernels_skipped.load(Ordering::Relaxed),
@@ -191,12 +212,17 @@ impl ExecProfiler {
 
     /// Whether graph passes currently record per-layer timings.
     pub fn is_enabled(&self) -> bool {
+        // ordering: Relaxed — the switch gates only whether timings are
+        // taken; a pass observing a stale value records (or skips) one
+        // extra pass, which the profiling contract allows.
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Turns profiling on or off. Takes `&self` — the switch is live on
     /// a served engine without exclusive access.
     pub fn set_enabled(&self, on: bool) {
+        // ordering: Relaxed — flag-only toggle; no data is published
+        // through it (see `is_enabled`).
         self.enabled.store(on, Ordering::Relaxed);
     }
 

@@ -41,9 +41,9 @@ use crate::ticket::{ServeError, TicketCell};
 use crate::trace::{ActiveSpan, FlightRecorder, RecordedSpan, SpanOutcome};
 use pcnn_runtime::engine::Engine;
 use pcnn_runtime::Precision;
+use pcnn_sync::atomic::{AtomicBool, Ordering};
+use pcnn_sync::{Arc, Condvar, Mutex};
 use pcnn_tensor::Tensor;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One queued inference request.
@@ -237,7 +237,12 @@ fn dispatch(
 ) {
     let shard_index = ctx.shard_index as u32;
     let batch_len = batch.len() as u32;
-    if ctx.abort.load(Ordering::SeqCst) {
+    // ordering: Acquire pairs with shutdown's Release store (downgraded
+    // from SeqCst — no other atomic participates in the decision, so a
+    // total order buys nothing). Missing one in-flight flip only means
+    // this batch executes normally before the drain completes, which
+    // the abort contract allows.
+    if ctx.abort.load(Ordering::Acquire) {
         // Aborted timelines stay complete and monotone: the events the
         // request never reached all carry the abort instant.
         let abort_ns = ctx.recorder.now_ns();

@@ -37,7 +37,7 @@
 //! and the default config sheds nothing.
 
 use crate::metrics::ServerMetrics;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use pcnn_sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
 
 /// The declarative service-level objective a server is graded against.
@@ -257,11 +257,14 @@ impl HealthEngine {
     /// The state as of the most recent evaluation (no evaluation is
     /// performed — this is the shedding hook's cheap read).
     pub fn state(&self) -> HealthState {
+        // ordering: the state code is a self-contained u8 verdict — no
+        // other memory rides on it, so admission readers can be relaxed.
         HealthState::from_code(self.state.load(Ordering::Relaxed))
     }
 
     /// State transitions since the engine started.
     pub fn transitions(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
         self.transitions.load(Ordering::Relaxed)
     }
 
@@ -317,12 +320,18 @@ impl HealthEngine {
         // Single-writer in practice (evaluations are rate-limited), so
         // a plain load/store pair with a transition count is enough; a
         // racing evaluation at worst repeats one hysteresis step.
+        //
+        // ordering: the verdict is one self-contained byte and the
+        // eval stamp only rate-limits — neither publishes other memory,
+        // so all three updates can stay relaxed.
         let current = self.state();
         let next = current.step_toward(target);
         if next != current {
             self.state.store(next.code(), Ordering::Relaxed);
+            // ordering: covered by the verdict contract above.
             self.transitions.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: Relaxed — the stamp only rate-limits; see above.
         self.last_eval_ns.fetch_max(now_ns, Ordering::Relaxed);
         HealthReport {
             state: next,
@@ -338,6 +347,8 @@ impl HealthEngine {
     /// evaluation — one relaxed load plus one CAS attempt otherwise.
     pub fn maybe_evaluate(&self, metrics: &ServerMetrics) {
         let now = metrics.now_ns();
+        // ordering: rate-limit stamp only; a stale read merely lets two
+        // callers race the CAS below, which picks one winner.
         let last = self.last_eval_ns.load(Ordering::Relaxed);
         let interval = self.config.eval_interval.as_nanos().min(u64::MAX as u128) as u64;
         // last == 0 means "never evaluated" — the first call always
@@ -346,6 +357,8 @@ impl HealthEngine {
             return;
         }
         // One winner per interval; losers skip the evaluation.
+        // ordering: the CAS only elects that winner — the evaluation
+        // it gates reads its inputs through the metrics' own atomics.
         if self
             .last_eval_ns
             .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)

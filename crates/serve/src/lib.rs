@@ -75,6 +75,8 @@
 //! assert_eq!(report.completed, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attribution;
 pub mod batcher;
 pub mod health;
@@ -97,9 +99,9 @@ pub use window::{WindowSnapshot, WindowStats, WINDOWS};
 
 use batcher::{BatcherContext, Request};
 use pcnn_runtime::Engine;
+use pcnn_sync::atomic::{AtomicBool, Ordering};
+use pcnn_sync::{thread, Arc};
 use queue::{BoundedQueue, PushError};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ticket::TicketCell;
 use trace::ActiveSpan;
@@ -181,7 +183,7 @@ impl Default for ServeConfig {
 /// shard never owns zero of the original budget.
 fn resolve_shards(requested: usize, engine_threads: usize) -> usize {
     match requested {
-        0 => std::thread::available_parallelism()
+        0 => thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .min(engine_threads)
@@ -203,7 +205,7 @@ pub struct Server {
     recorder: Arc<FlightRecorder>,
     health: health::HealthEngine,
     abort: Arc<AtomicBool>,
-    batchers: Vec<std::thread::JoinHandle<()>>,
+    batchers: Vec<thread::JoinHandle<()>>,
     config: ServeConfig,
 }
 
@@ -254,7 +256,7 @@ impl Server {
                     max_batch: config.max_batch,
                     max_wait: config.max_wait,
                 };
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("pcnn-serve-batcher-{i}"))
                     .spawn(move || batcher::run_batcher(ctx))
                     .expect("spawn batcher thread")
@@ -501,7 +503,12 @@ impl Server {
     fn shutdown_inner(&mut self, mode: ShutdownMode) -> DrainReport {
         let start = Instant::now();
         if mode == ShutdownMode::Abort {
-            self.abort.store(true, Ordering::SeqCst);
+            // ordering: Release pairs with the batchers' Acquire load
+            // (downgraded from SeqCst: the flag is the only atomic in
+            // the protocol, so Release/Acquire already gives the only
+            // ordering that matters — and `queue.close()` below adds a
+            // second happens-before edge through the queue mutex).
+            self.abort.store(true, Ordering::Release);
         }
         self.queue.close();
         for handle in self.batchers.drain(..) {

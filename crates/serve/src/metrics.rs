@@ -26,8 +26,8 @@
 
 use crate::window::{WindowSet, WindowSnapshot, WindowStats, WINDOWS};
 use pcnn_runtime::Precision;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use pcnn_sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use pcnn_sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A relaxed atomic event counter.
@@ -42,11 +42,13 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: monotone statistics counter, no payload published.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -61,22 +63,27 @@ pub struct Gauge(AtomicI64);
 impl Gauge {
     /// Adds one.
     pub fn inc(&self) {
+        // ordering: gauge updates are independent events; the signed
+        // representation already absorbs inc/dec reordering.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Subtracts one.
     pub fn dec(&self) {
+        // ordering: see `inc` — dips below zero are clamped on read.
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Overwrites with a sampled value.
     pub fn set(&self, v: u64) {
+        // ordering: point-in-time sample, last writer wins is fine.
         self.0
             .store(v.min(i64::MAX as u64) as i64, Ordering::Relaxed);
     }
 
     /// Current value, clamped at zero.
     pub fn get(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
         self.0.load(Ordering::Relaxed).max(0) as u64
     }
 }
@@ -92,18 +99,23 @@ pub struct Watermark(AtomicU64);
 impl Watermark {
     /// Raises the watermark to `v` when higher.
     pub fn observe(&self, v: u64) {
+        // ordering: the RMW keeps the max correct; no payload rides on
+        // the watermark value.
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current watermark without resetting it — the Prometheus render
     /// path, which must not consume what the next snapshot reports.
     pub fn peek(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
         self.0.load(Ordering::Relaxed)
     }
 
     /// Returns the watermark and resets it to zero: each snapshot
     /// reports the high-water mark since the previous snapshot read.
     pub fn take(&self) -> u64 {
+        // ordering: the swap's atomicity alone guarantees each spike is
+        // reported exactly once; no ordering with other state needed.
         self.0.swap(0, Ordering::Relaxed)
     }
 }
@@ -167,6 +179,9 @@ impl LogHistogram {
 
     /// Records one duration given in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
+        // ordering: the three fields are deliberately not published
+        // atomically as a group — readers document a one-sample skew
+        // tolerance, so each increment can stay relaxed.
         self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
@@ -174,6 +189,7 @@ impl LogHistogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -186,18 +202,20 @@ impl LogHistogram {
         // Count and total are read BEFORE the buckets, mirroring
         // `record_ns`'s bucket-then-count write order so a racing
         // record usually lands as a harmless one-sample undercount.
-        // Everything is relaxed, so this is best-effort, not a memory-
-        // model guarantee — `quantile` clamps to the slowest non-empty
-        // bucket for the case where count still runs ahead of the
-        // copied bucket mass.
+        // This is best-effort, not a memory-model guarantee —
+        // `quantile` clamps to the slowest non-empty bucket for the
+        // case where count still runs ahead of the copied bucket mass.
+        // ordering: everything relaxed by design, per the above.
         let count = other.count.load(Ordering::Relaxed);
         let total_ns = other.total_ns.load(Ordering::Relaxed);
         for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            // ordering: covered by the merge contract above.
             let v = theirs.load(Ordering::Relaxed);
             if v > 0 {
                 mine.fetch_add(v, Ordering::Relaxed);
             }
         }
+        // ordering: covered by the merge contract above.
         self.count.fetch_add(count, Ordering::Relaxed);
         self.total_ns.fetch_add(total_ns, Ordering::Relaxed);
     }
@@ -208,6 +226,8 @@ impl LogHistogram {
         if n == 0 {
             return Duration::ZERO;
         }
+        // ordering: statistics read; a racing record skews the mean by
+        // at most one in-flight sample.
         Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / n)
     }
 
@@ -231,6 +251,8 @@ impl LogHistogram {
         let mut seen = 0u64;
         let mut slowest_nonempty = None;
         for (i, bucket) in self.buckets.iter().enumerate() {
+            // ordering: statistics read; the slowest-non-empty clamp
+            // below absorbs count running ahead of bucket mass.
             let mass = bucket.load(Ordering::Relaxed);
             if mass > 0 {
                 slowest_nonempty = Some(i);
@@ -255,11 +277,13 @@ impl LogHistogram {
     /// A relaxed copy of every bucket count, in bucket order — the raw
     /// series the Prometheus exporter renders cumulatively.
     pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        // ordering: statistics read; snapshot readers tolerate lag.
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
     /// Sum of all recorded nanoseconds (the exporter's `_sum`).
     pub fn total_ns(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
         self.total_ns.load(Ordering::Relaxed)
     }
 
@@ -281,6 +305,8 @@ impl LogHistogram {
             return 0.0;
         }
         let cutoff = Self::bucket_of(ns);
+        // ordering: statistics read; the estimator is already bucket-
+        // resolution approximate.
         let above: u64 = self.buckets[cutoff + 1..]
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
@@ -294,6 +320,10 @@ impl LogHistogram {
     /// may partially survive the wipe, which the rotation-race contract
     /// (`crate::window`) already allows.
     pub(crate) fn clear(&self) {
+        // The wipe is not atomic as a whole and the rotation-race
+        // contract allows partial survival; publication rides on the
+        // window's epoch protocol.
+        // ordering: relaxed stores suffice, per the contract above.
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }

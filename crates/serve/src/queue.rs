@@ -24,8 +24,9 @@
 //! property of the queue, not a special shutdown code path.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use pcnn_sync::{Condvar, Mutex};
 
 /// Scheduling class of a request. `High` drains strictly before
 /// `Normal`; arrival order is preserved within a class (FIFO per
@@ -113,6 +114,11 @@ pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     capacity: usize,
     not_empty: Condvar,
+    /// Model-check-only fault knob: when set, pops never chain wakeups,
+    /// reproducing the pre-waiter-counting discipline whose stranded
+    /// wakeup the interleaving tests must rediscover.
+    #[cfg(any(pcnn_model_check, feature = "model-check"))]
+    buggy_wakeups: bool,
 }
 
 impl<T> BoundedQueue<T> {
@@ -127,7 +133,32 @@ impl<T> BoundedQueue<T> {
             }),
             capacity: capacity.max(1),
             not_empty: Condvar::new(),
+            #[cfg(any(pcnn_model_check, feature = "model-check"))]
+            buggy_wakeups: false,
         }
+    }
+
+    /// Model-check-only constructor re-creating the original (buggy)
+    /// wakeup discipline: pushes still `notify_one`, but a consumer
+    /// that pops while items remain never passes the wakeup on. The
+    /// model checker uses this to prove it can rediscover the stranded
+    /// wakeup this crate once shipped.
+    #[cfg(any(pcnn_model_check, feature = "model-check"))]
+    pub fn new_with_wakeup_bug(capacity: usize) -> Self {
+        BoundedQueue {
+            buggy_wakeups: true,
+            ..BoundedQueue::new(capacity)
+        }
+    }
+
+    #[cfg(any(pcnn_model_check, feature = "model-check"))]
+    fn chain_wakeups(&self) -> bool {
+        !self.buggy_wakeups
+    }
+
+    #[cfg(not(any(pcnn_model_check, feature = "model-check")))]
+    fn chain_wakeups(&self) -> bool {
+        true
     }
 
     /// The admission limit.
@@ -188,7 +219,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         let (item, notify) = Self::pop_flagged(&mut inner)?;
         drop(inner);
-        if notify {
+        if notify && self.chain_wakeups() {
             self.not_empty.notify_one();
         }
         Some(item)
@@ -204,7 +235,7 @@ impl<T> BoundedQueue<T> {
         loop {
             if let Some((item, notify)) = Self::pop_flagged(&mut inner) {
                 drop(inner);
-                if notify {
+                if notify && self.chain_wakeups() {
                     self.not_empty.notify_one();
                 }
                 return Pop::Item(item);

@@ -5,8 +5,8 @@
 //! a mutex + condvar, which is all a thread-per-client front-end needs
 //! and keeps the crate dependency-free like the rest of the workspace.
 
+use pcnn_sync::{Arc, Condvar, Mutex};
 use pcnn_tensor::Tensor;
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Why a request did not produce an output.
@@ -195,5 +195,76 @@ mod tests {
         cell.complete(Ok(Tensor::ones(&[1])));
         cell.complete(Err(ServeError::Aborted));
         assert!(ticket.wait().is_ok(), "second write must not clobber");
+    }
+}
+
+/// Interleaving tests under the deterministic model checker: every
+/// schedule of the waiter/completer/aborter races must resolve the
+/// ticket exactly once, with the first completion winning and no lost
+/// wakeup leaving the waiter parked. Compiled only under the
+/// `model-check` facade, where these mutex/condvar ops run on the
+/// controlled scheduler.
+#[cfg(all(test, any(pcnn_model_check, feature = "model-check")))]
+mod model_tests {
+    use super::*;
+    use pcnn_sync::model::{check, CheckOptions};
+    use pcnn_sync::thread;
+
+    fn opts() -> CheckOptions {
+        CheckOptions {
+            exhaustive_schedules: 2_000,
+            random_schedules: 1_000,
+            ..CheckOptions::default()
+        }
+    }
+
+    #[test]
+    fn wait_vs_complete_never_strands_the_waiter() {
+        let report = check("ticket-wait-complete", opts(), || {
+            let cell = TicketCell::new();
+            let ticket = Ticket::new(cell.clone(), 1);
+            let waiter = thread::spawn(move || ticket.wait());
+            cell.complete(Ok(Tensor::ones(&[1])));
+            // Any schedule that loses the completion wakeup deadlocks
+            // here and fails the check.
+            let out = waiter.join().unwrap();
+            assert!(out.is_ok(), "waiter must see the completion");
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn racing_complete_and_abort_resolve_exactly_once() {
+        let report = check("ticket-complete-vs-abort", opts(), || {
+            let cell = TicketCell::new();
+            let ticket = Ticket::new(cell.clone(), 1);
+            let completer = {
+                let cell = cell.clone();
+                thread::spawn(move || cell.complete(Ok(Tensor::ones(&[1]))))
+            };
+            let aborter = {
+                let cell = cell.clone();
+                thread::spawn(move || cell.complete(Err(ServeError::Aborted)))
+            };
+            let waiter = thread::spawn(move || ticket.wait());
+            let out = waiter.join().unwrap();
+            completer.join().unwrap();
+            aborter.join().unwrap();
+            assert!(
+                matches!(out, Ok(_) | Err(ServeError::Aborted)),
+                "waiter saw a result neither racer wrote"
+            );
+            // The waiter took whichever write won. The loser may have
+            // refilled the emptied slot afterwards (harmless: `wait`
+            // consumed the only ticket), but it can never duplicate
+            // the result the waiter already took.
+            let leftover = cell.slot.lock().expect("ticket poisoned").clone();
+            match (&out, &leftover) {
+                (_, None) => {}
+                (Ok(_), Some(Err(ServeError::Aborted))) | (Err(_), Some(Ok(_))) => {}
+                other => panic!("slot duplicated the consumed result: {other:?}"),
+            }
+        });
+        assert!(report.schedules_run > 0);
     }
 }

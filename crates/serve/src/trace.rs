@@ -22,7 +22,7 @@
 //! or the completion callbacks it instruments.
 
 use pcnn_runtime::Precision;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use pcnn_sync::atomic::{fence, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Sampling and retention knobs of the flight recorder.
@@ -235,6 +235,9 @@ impl ShardRing {
     /// Returns `false` when the slot was lost to a lap-racing writer
     /// (the span is dropped rather than ever spinning).
     fn push(&self, span: &RecordedSpan) -> bool {
+        // ordering: ticket distribution only — the CAS below is what
+        // transfers slot ownership, so the counter itself needs no
+        // synchronization.
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let cap = self.slots.len() as u64;
         let slot = &self.slots[(ticket % cap) as usize];
@@ -243,7 +246,12 @@ impl ShardRing {
         // published 2L; a never-written slot holds 0 = lap 0's expected
         // value). Claim it by flipping odd; losing the race means a
         // writer `capacity` spans ahead already owns the slot.
+        //
         let expected = 2 * lap;
+        // ordering: AcqRel on success — Acquire to see the previous
+        // lap's words before overwriting, Release to order our claim
+        // after any prior writes. Relaxed on failure: a lost claim
+        // touches nothing.
         if slot
             .seq
             .compare_exchange(expected, expected + 1, Ordering::AcqRel, Ordering::Relaxed)
@@ -251,7 +259,19 @@ impl ShardRing {
         {
             return false;
         }
+        // ordering: this Release fence pairs with the readers' Acquire
+        // fence in `collect`. Without it the relaxed word stores below
+        // are not ordered after the odd-sequence claim from the
+        // reader's point of view, so a reader could observe fresh words
+        // yet still see the old even sequence on its re-check and
+        // validate a torn span. (Found by the model checker's seqlock
+        // test; the claim CAS's AcqRel does not order *later* relaxed
+        // stores for remote observers.)
+        fence(Ordering::Release);
         for (w, v) in slot.words.iter().zip(span.encode()) {
+            // ordering: plain data words; the surrounding fence/Release
+            // seq protocol publishes them, per-word ordering is not
+            // needed.
             w.store(v, Ordering::Relaxed);
         }
         slot.seq.store(expected + 2, Ordering::Release);
@@ -266,9 +286,15 @@ impl ShardRing {
             }
             let mut words = [0u64; SPAN_WORDS];
             for (v, w) in words.iter_mut().zip(&slot.words) {
+                // ordering: speculative snapshot; the Acquire fence +
+                // sequence re-check below discards it if a writer
+                // intervened, so the loads themselves can be relaxed.
                 *v = w.load(Ordering::Relaxed);
             }
             fence(Ordering::Acquire);
+            // ordering: the fence above pairs with the writer's Release
+            // fence/store, so this re-check load needs no ordering of
+            // its own — an unchanged even sequence proves the snapshot.
             if slot.seq.load(Ordering::Relaxed) == before {
                 out.push(RecordedSpan::decode(&words));
             }
@@ -304,6 +330,8 @@ impl FlightRecorder {
 
     /// Assigns the next request ID (IDs start at 1).
     pub(crate) fn begin(&self) -> u64 {
+        // ordering: uniqueness comes from the atomic RMW itself; IDs
+        // carry no payload to publish.
         self.next_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -321,6 +349,8 @@ impl FlightRecorder {
     /// Publishes a resolved span into its shard's ring.
     pub(crate) fn record(&self, shard: usize, span: &RecordedSpan) {
         let ring = &self.rings[shard.min(self.rings.len() - 1)];
+        // ordering: monotone statistics counters; readers tolerate lag
+        // and read them independently of the span data they count.
         if ring.push(span) {
             self.recorded.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -335,16 +365,19 @@ impl FlightRecorder {
 
     /// Requests assigned an ID so far.
     pub fn requests(&self) -> u64 {
+        // ordering: statistics read; staleness is acceptable.
         self.next_id.load(Ordering::Relaxed)
     }
 
     /// Spans successfully published.
     pub fn spans_recorded(&self) -> u64 {
+        // ordering: statistics read; staleness is acceptable.
         self.recorded.load(Ordering::Relaxed)
     }
 
     /// Spans lost to lap-racing writers (never by blocking).
     pub fn spans_dropped(&self) -> u64 {
+        // ordering: statistics read; staleness is acceptable.
         self.dropped.load(Ordering::Relaxed)
     }
 
@@ -566,5 +599,113 @@ mod tests {
             _ => d,
         });
         assert_eq!(depth, 0, "balanced braces");
+    }
+}
+
+/// Interleaving tests for the span seqlock under the deterministic
+/// model checker, including its simulated weak memory: the writer's
+/// Release fence between the odd-sequence claim and the word stores is
+/// load-bearing (without it a reader can observe fresh words yet
+/// re-check against the stale even sequence and validate a torn span —
+/// the reduced shape lives in `pcnn-sync`'s self-tests). Compiled only
+/// under the `model-check` facade.
+#[cfg(all(test, any(pcnn_model_check, feature = "model-check")))]
+mod model_tests {
+    use super::*;
+    use pcnn_sync::model::{check, CheckOptions};
+    use pcnn_sync::{thread, Arc};
+
+    fn opts() -> CheckOptions {
+        CheckOptions {
+            exhaustive_schedules: 2_000,
+            random_schedules: 1_000,
+            ..CheckOptions::default()
+        }
+    }
+
+    fn span(id: u64, t0: u64) -> RecordedSpan {
+        RecordedSpan {
+            id,
+            shard: 0,
+            precision: Precision::F32,
+            outcome: SpanOutcome::Completed,
+            batch_len: 3,
+            admitted_ns: t0,
+            dequeued_ns: t0 + 1,
+            coalesced_ns: t0 + 2,
+            dispatched_ns: t0 + 3,
+            executed_ns: t0 + 4,
+            completed_ns: t0 + 5,
+        }
+    }
+
+    #[test]
+    fn seqlock_ring_never_validates_a_torn_span() {
+        let report = check("trace-seqlock-ring", opts(), || {
+            // One slot, two writers, one concurrent reader: maximum
+            // contention on the seq protocol.
+            let ring = Arc::new(ShardRing::new(1));
+            let a = span(1, 100);
+            let b = span(2, 1_000);
+            let w1 = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.push(&a))
+            };
+            let w2 = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.push(&b))
+            };
+            let reader = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    let mut out = Vec::new();
+                    ring.collect(&mut out);
+                    out
+                })
+            };
+            let mid = reader.join().unwrap();
+            let published_1 = w1.join().unwrap();
+            let published_2 = w2.join().unwrap();
+            // Anything the racing reader validated is one of the two
+            // spans in full — never a mix of their words.
+            for s in &mid {
+                assert!(*s == a || *s == b, "reader validated a torn span: {s:?}");
+            }
+            // The ticket-0 writer's claim always lands; a quiescent
+            // collect decodes the last publisher's span intact.
+            assert!(published_1 || published_2, "no writer claimed the slot");
+            let mut fin = Vec::new();
+            ring.collect(&mut fin);
+            assert_eq!(fin.len(), 1, "slot published exactly one span");
+            assert!(fin[0] == a || fin[0] == b);
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn recorder_counters_match_push_outcomes() {
+        let report = check("trace-recorder-counters", opts(), || {
+            // Two concurrent records into a single-slot shard: however
+            // the lap race resolves, recorded + dropped == 2.
+            let rec = Arc::new(FlightRecorder::new(
+                &TraceConfig {
+                    sample_every: 1,
+                    ring_capacity: 1,
+                },
+                1,
+            ));
+            let writers: Vec<_> = (0..2u64)
+                .map(|i| {
+                    let rec = Arc::clone(&rec);
+                    thread::spawn(move || rec.record(0, &span(i + 1, 100 * (i + 1))))
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            assert_eq!(rec.spans_recorded() + rec.spans_dropped(), 2);
+            assert!(rec.spans_recorded() >= 1, "the first claim always lands");
+        });
+        assert!(report.schedules_run > 0);
     }
 }

@@ -49,7 +49,7 @@
 //! histograms already accept. Writers never wait and never loop.
 
 use crate::metrics::LogHistogram;
-use std::sync::atomic::{AtomicU64, Ordering};
+use pcnn_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// The standard rolling windows every snapshot reports, smallest first.
@@ -78,6 +78,15 @@ fn tag_of(abs: u64) -> u64 {
 /// already belongs to a *newer* bucket — the writer's timestamp is a
 /// full ring behind, only possible with a wildly stale `now_ns`).
 /// The winner of the claiming CAS must zero the slot's payload.
+///
+/// Because the epoch tag and the payload live in separate cells, a
+/// `Current` racer can deposit into the payload between the winner's
+/// claiming CAS and its zeroing — and be swept away. That loss is
+/// bounded to samples in flight at a single rotation instant, which
+/// the histogram ring accepts for latency statistics. The counter
+/// ring, where exact counts matter, does NOT use this helper: it
+/// packs tag and count into one word precisely to close that window
+/// (the model checker's rotation test exposes it otherwise).
 fn claim(slot_epoch: &AtomicU64, abs: u64) -> Claim {
     let tag = tag_of(abs);
     let cur = slot_epoch.load(Ordering::Acquire);
@@ -105,13 +114,56 @@ enum Claim {
     Stale,
 }
 
-/// A rolling event counter: a ring of time buckets, each an atomic
-/// add target, summed over a trailing window on read.
+/// Bits of a packed counter slot holding the event count; the bucket's
+/// (truncated) epoch tag occupies the rest.
+const COUNT_BITS: u32 = 32;
+const COUNT_MASK: u64 = (1 << COUNT_BITS) - 1;
+
+/// Packs a truncated epoch tag and an event count into one slot word.
+fn pack(tag: u64, count: u64) -> u64 {
+    (tag << COUNT_BITS) | count
+}
+
+fn packed_tag(word: u64) -> u64 {
+    word >> COUNT_BITS
+}
+
+fn packed_count(word: u64) -> u64 {
+    word & COUNT_MASK
+}
+
+/// Truncated epoch tag for packed counter slots. Comparison across the
+/// 32-bit wrap uses serial-number arithmetic ([`tag_newer`]); two
+/// buckets 2^32 laps apart alias (34 years of 250 ms buckets), which
+/// telemetry tolerates. The all-zero initial word never matches a real
+/// tag because `tag_of` starts at 1.
+fn packed_tag_of(abs: u64) -> u64 {
+    tag_of(abs) & COUNT_MASK
+}
+
+/// Serial-number "strictly newer" across the 32-bit tag wrap.
+fn tag_newer(a: u64, b: u64) -> bool {
+    a != b && (a.wrapping_sub(b) & COUNT_MASK) < (1 << (COUNT_BITS - 1))
+}
+
+/// A rolling event counter: a ring of time buckets, each one atomic
+/// word packing the bucket's epoch tag with its event count, summed
+/// over a trailing window on read.
+///
+/// Packing tag and count into a single word is what makes rotation
+/// lossless: a slot rotates to its next bucket *and* deposits the
+/// rotating writer's events in one CAS, so a concurrent adder either
+/// observes the new tag (and folds its events in with its own CAS) or
+/// loses the race and retries against the updated word. An earlier
+/// two-cell scheme (separate epoch + value atomics, as the histogram
+/// ring still uses for its multi-word payload) had a lost-update
+/// window between the winner's epoch CAS and its zeroing store; the
+/// model checker's rotation interleaving test exposes it.
 #[derive(Debug)]
 pub struct WindowedCounter {
     width_ns: u64,
-    epochs: Vec<AtomicU64>,
-    values: Vec<AtomicU64>,
+    /// `tag << 32 | count` per slot; see [`pack`].
+    slots: Vec<AtomicU64>,
 }
 
 impl Default for WindowedCounter {
@@ -132,22 +184,42 @@ impl WindowedCounter {
         assert!(width_ns > 0 && slots > 1, "degenerate ring geometry");
         WindowedCounter {
             width_ns,
-            epochs: (0..slots).map(|_| AtomicU64::new(0)).collect(),
-            values: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     /// Adds `n` events at time `now_ns` (nanoseconds since the owner's
-    /// epoch). Wait-free: at most one CAS, no loops.
+    /// epoch). Lock-free: one CAS when uncontended; retries only while
+    /// racing another writer for the same slot. Per-bucket counts
+    /// saturate at 2^32 - 1 rather than carrying into the tag.
     pub fn add_at(&self, now_ns: u64, n: u64) {
         let abs = now_ns / self.width_ns;
-        let i = (abs % self.epochs.len() as u64) as usize;
-        match claim(&self.epochs[i], abs) {
-            Claim::Won => self.values[i].store(n, Ordering::Release),
-            Claim::Current => {
-                self.values[i].fetch_add(n, Ordering::Relaxed);
+        let i = (abs % self.slots.len() as u64) as usize;
+        let tag = packed_tag_of(abs);
+        let slot = &self.slots[i];
+        // ordering: Relaxed throughout — tag and count travel in one
+        // word, so there is no cross-cell publication to order; the
+        // CAS only has to be atomic, not a release point.
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let next = if packed_tag(cur) == tag {
+                // Same bucket: fold our events in (saturating).
+                pack(tag, (packed_count(cur) + n).min(COUNT_MASK))
+            } else if tag_newer(tag, packed_tag(cur)) {
+                // Rotate the slot to our bucket and deposit our events
+                // in the same word — the step that must be indivisible
+                // for rotation to be lossless.
+                pack(tag, n.min(COUNT_MASK))
+            } else {
+                // The slot already belongs to a newer bucket: our
+                // timestamp is a full ring behind. Drop the sample.
+                return;
+            };
+            // ordering: Relaxed per the single-word protocol above.
+            match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
             }
-            Claim::Stale => {}
         }
     }
 
@@ -155,7 +227,7 @@ impl WindowedCounter {
     /// `now_ns`. Buckets older than the ring (idle gaps longer than the
     /// ring span) are naturally excluded by their stale epoch tags.
     pub fn sum_over(&self, now_ns: u64, window: Duration) -> u64 {
-        let len = self.epochs.len() as u64;
+        let len = self.slots.len() as u64;
         let abs_now = now_ns / self.width_ns;
         let lo =
             now_ns.saturating_sub(window.as_nanos().min(u64::MAX as u128) as u64) / self.width_ns;
@@ -163,8 +235,12 @@ impl WindowedCounter {
         let mut sum = 0u64;
         for abs in lo..=abs_now {
             let i = (abs % len) as usize;
-            if self.epochs[i].load(Ordering::Acquire) == tag_of(abs) {
-                sum += self.values[i].load(Ordering::Relaxed);
+            // ordering: Relaxed — one load reads tag and count
+            // together, so a torn tag/count pair is impossible and
+            // nothing else is published through this word.
+            let word = self.slots[i].load(Ordering::Relaxed);
+            if packed_tag(word) == packed_tag_of(abs) {
+                sum += packed_count(word);
             }
         }
         sum
@@ -204,6 +280,9 @@ impl WindowedHistogram {
 
     /// Records one sample of `ns` nanoseconds at time `now_ns`.
     /// Wait-free: at most one CAS plus the plain histogram increments.
+    /// A sample racing the rotation instant of its bucket can be swept
+    /// by the rotating writer's clear — bounded, documented loss the
+    /// latency statistics accept (see [`claim`]).
     pub fn record_at(&self, now_ns: u64, ns: u64) {
         let abs = now_ns / self.width_ns;
         let i = (abs % self.epochs.len() as u64) as usize;

@@ -1,0 +1,86 @@
+//! `pcnn-sync`: the single concurrency seam of the PCNN workspace.
+//!
+//! Concurrent modules import sync primitives from this crate instead
+//! of `std` (`cargo xtask lint` enforces it). In ordinary builds every
+//! item is a zero-cost re-export of its `std::sync`/`std::thread`
+//! counterpart. Under `--cfg pcnn_model_check` or the `model-check`
+//! feature, the atomics, `Mutex`, `Condvar`, and `thread::spawn`/
+//! `join` swap to instrumented versions backed by the deterministic
+//! scheduler in [`mc`], and tests drive them through
+//! [`model::check`] to explore thread interleavings — including
+//! C11-style weak-memory reorderings that x86-TSO would hide — with
+//! replayable seeds printed on failure.
+//!
+//! [`mc`] and [`model`] are always compiled (the checker's self-tests
+//! run in the normal test round); only the facade re-exports switch.
+
+#![forbid(unsafe_code)]
+
+pub mod mc;
+pub mod model;
+
+/// True in builds whose facade routes through the model checker; lets
+/// tests assert they are running the instrumented configuration.
+#[cfg(any(pcnn_model_check, feature = "model-check"))]
+pub const MODEL_CHECK: bool = true;
+/// True in builds whose facade routes through the model checker.
+#[cfg(not(any(pcnn_model_check, feature = "model-check")))]
+pub const MODEL_CHECK: bool = false;
+
+// ---------------------------------------------------------------------
+// Passthrough facade (default): straight std re-exports.
+// ---------------------------------------------------------------------
+
+#[cfg(not(any(pcnn_model_check, feature = "model-check")))]
+pub use std::sync::{
+    Arc, Barrier, Condvar, LockResult, Mutex, MutexGuard, Once, OnceLock, PoisonError,
+    TryLockError, TryLockResult, WaitTimeoutResult, Weak,
+};
+
+#[cfg(not(any(pcnn_model_check, feature = "model-check")))]
+pub mod atomic {
+    //! Re-export of `std::sync::atomic`.
+    pub use std::sync::atomic::*;
+}
+
+#[cfg(not(any(pcnn_model_check, feature = "model-check")))]
+pub mod thread {
+    //! Re-export of `std::thread`.
+    pub use std::thread::*;
+}
+
+// ---------------------------------------------------------------------
+// Model-check facade: instrumented primitives where it matters,
+// std passthrough for the rest.
+// ---------------------------------------------------------------------
+
+#[cfg(any(pcnn_model_check, feature = "model-check"))]
+pub use std::sync::{
+    Arc, Barrier, LockResult, Once, OnceLock, PoisonError, TryLockError, TryLockResult, Weak,
+};
+
+#[cfg(any(pcnn_model_check, feature = "model-check"))]
+pub use crate::mc::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(any(pcnn_model_check, feature = "model-check"))]
+pub mod atomic {
+    //! Instrumented atomics; `Ordering` and `compiler_fence` come from
+    //! std. Atomic types the workspace does not use are deliberately
+    //! *not* re-exported here, so unchecked usage fails to compile in
+    //! model-check builds instead of silently escaping the model.
+    pub use crate::mc::sync::{
+        fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+    };
+    pub use std::sync::atomic::{compiler_fence, Ordering};
+}
+
+#[cfg(any(pcnn_model_check, feature = "model-check"))]
+pub mod thread {
+    //! Instrumented spawn/join; `scope` stays the std version
+    //! (un-instrumented — scoped threads run uncontrolled, see
+    //! [`crate::mc`] limitations).
+    pub use crate::mc::thread::{
+        available_parallelism, current, panicking, scope, sleep, spawn, yield_now, Builder,
+        JoinHandle, Result, Thread,
+    };
+}

@@ -1,0 +1,45 @@
+//! The model-checking half of `pcnn-sync`: a controlled scheduler plus
+//! instrumented drop-in replacements for the `std::sync` atomics,
+//! `Mutex`/`Condvar`, and `std::thread` spawn/join.
+//!
+//! This module is always compiled — the checker's own tests run in the
+//! normal tier-1 `cargo test` round — but the crate-root facade only
+//! re-exports the instrumented types in place of std under
+//! `--cfg pcnn_model_check` or the `model-check` feature. Outside a
+//! [`crate::model::check`] session every instrumented operation
+//! delegates straight to the wrapped std primitive, so code built
+//! against the instrumented facade behaves identically in ordinary
+//! tests.
+//!
+//! Known limitations (documented, deliberate):
+//! - `thread::scope` is re-exported from std un-instrumented; scoped
+//!   threads run uncontrolled. Model-check tests should use
+//!   `thread::spawn`/`join`.
+//! - A primitive must not be shared between controlled and
+//!   uncontrolled threads within one session.
+//! - Atomic/mutex identity is the value's address; don't drop and
+//!   reallocate checked primitives mid-iteration.
+
+pub(crate) mod scheduler;
+pub mod sync;
+pub mod thread;
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use scheduler::Scheduler;
+
+thread_local! {
+    /// The controlled-session context of this OS thread: the scheduler
+    /// it belongs to and its dense thread id. `None` means every
+    /// instrumented op falls through to the std primitive.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+pub(crate) fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}

@@ -1,0 +1,851 @@
+//! The controlled scheduler behind the model-checked facade.
+//!
+//! One schedule (an *iteration*) runs the test closure with every
+//! participating thread serialized: exactly one controlled thread is
+//! *active* at any instant, and at every visible operation — an atomic
+//! access, a lock, a condvar wait/notify, a spawn or join — the active
+//! thread hands control to the scheduler, which picks who runs next.
+//! The pick is a [`Strategy`] decision: uniformly random, PCT
+//! (priority-based probabilistic concurrency testing), or the replay of
+//! a recorded choice path (which is how the small-bound exhaustive DFS
+//! in [`crate::model`] enumerates schedules, and how a printed seed or
+//! schedule string reproduces a failure exactly).
+//!
+//! ## Simulated weak memory
+//!
+//! x86-TSO forgives most ordering mistakes, so the scheduler also
+//! models C11-style weak memory for the atomics it instruments: every
+//! atomic keeps a short history of recent values, and a load may be
+//! served any value newer than the reading thread's *view* of that
+//! location (bounded staleness, scheduler's choice). Views only grow
+//! through real synchronization edges:
+//!
+//! - a Release store attaches the writer's view to the stored value;
+//!   an Acquire load that observes it joins that view,
+//! - a Release **fence** makes the thread's subsequent relaxed stores
+//!   carry the fence-time view; an Acquire fence joins the views
+//!   attached to values previously read by relaxed loads (the
+//!   Boehm seqlock-fence rule),
+//! - RMWs always read the latest value (coherence) and apply their
+//!   acquire/release sides per their ordering,
+//! - mutex unlock→lock, thread spawn and thread join are full edges.
+//!
+//! `SeqCst` is modelled as AcqRel-plus-read-latest — a deliberate
+//! simplification (no global SC order, so IRIW-style anomalies are not
+//! explored) that can miss bugs but never invents one.
+//!
+//! Condvars model the weak POSIX guarantee: `notify_one` may be
+//! *absorbed* by a waiter that was already signalled but has not yet
+//! re-acquired the mutex (glibc-style signal stealing). That is exactly
+//! the mechanism behind the PR 3 stranded-wakeup bug, and modelling it
+//! is what lets the checker rediscover that bug deterministically.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Hard cap on how many values back a stale load may reach, regardless
+/// of configuration (bounds the DFS branching factor).
+pub const MAX_STALENESS: usize = 8;
+
+/// A thread's knowledge of each atomic location: the oldest history
+/// index it may still legally observe. Indexed by dense atomic id.
+pub(crate) type View = Vec<usize>;
+
+fn view_get(v: &View, a: usize) -> usize {
+    v.get(a).copied().unwrap_or(0)
+}
+
+fn view_join(into: &mut View, other: &View) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (i, &o) in other.iter().enumerate() {
+        if into[i] < o {
+            into[i] = o;
+        }
+    }
+}
+
+fn view_set(v: &mut View, a: usize, idx: usize) {
+    if v.len() <= a {
+        v.resize(a + 1, 0);
+    }
+    if v[a] < idx {
+        v[a] = idx;
+    }
+}
+
+/// A deterministic splitmix64/xorshift PRNG so schedules depend only on
+/// the seed, never on std's hasher or host entropy.
+#[derive(Debug, Clone)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        // splitmix64 step: good avalanche from sequential seeds.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// How the scheduler makes its choices for one iteration.
+#[derive(Debug, Clone)]
+pub(crate) enum Strategy {
+    /// Every choice uniform over its options.
+    Random(Rng),
+    /// PCT: run the highest-priority runnable thread; at `change_steps`
+    /// demote the current leader. Value choices (stale loads, handoff
+    /// targets) stay uniform.
+    Pct { rng: Rng, change_steps: Vec<usize> },
+    /// Follow a recorded choice path; past its end take option 0
+    /// (the DFS frontier) — every choice is recorded either way.
+    Replay(Vec<u32>),
+}
+
+/// What a controlled thread is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedLock(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    pub(crate) status: Status,
+    view: View,
+    /// Views released by stores that this thread's *relaxed* loads have
+    /// observed; an Acquire fence folds them into `view`.
+    pending_acquire: View,
+    /// Snapshot taken at the last Release fence; attached to subsequent
+    /// relaxed stores.
+    fence_release: Option<View>,
+    /// PCT priority (higher runs first).
+    priority: u64,
+    /// Set when a timed condvar wait was resolved as a timeout.
+    pub(crate) timed_out: bool,
+}
+
+/// One entry in an atomic's modification history.
+#[derive(Debug)]
+struct Entry {
+    val: u64,
+    /// The writer's released view, present when the store was Release
+    /// (store-time view) or relaxed-after-a-Release-fence (fence-time
+    /// view).
+    rel: Option<View>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+    /// Accumulated released view: joined by each unlock, acquired by
+    /// each lock — the mutex happens-before edge.
+    rel_view: View,
+}
+
+#[derive(Debug)]
+struct CvWaiter {
+    tid: usize,
+    timed: bool,
+}
+
+#[derive(Debug, Default)]
+struct CvState {
+    /// Dense first-touch id; iteration in registration order keeps
+    /// schedules identical across process runs (addresses are not).
+    reg: usize,
+    waiters: Vec<CvWaiter>,
+    /// Signalled but not yet returned from `wait` — still eligible
+    /// targets for `notify_one`, which models POSIX signal stealing
+    /// (a second signal landing on an already-woken waiter is lost).
+    woken: Vec<usize>,
+}
+
+/// The mutable state of one schedule iteration.
+pub(crate) struct IterState {
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) active: usize,
+    steps: usize,
+    max_steps: usize,
+    staleness: usize,
+    strategy: Strategy,
+    /// Every choice made this iteration as `(chosen, options)` — the
+    /// replayable schedule.
+    pub(crate) trace: Vec<(u32, u32)>,
+    atomics: HashMap<usize, usize>,
+    mem: Vec<Vec<Entry>>,
+    mutexes: HashMap<usize, MutexState>,
+    condvars: HashMap<usize, CvState>,
+    pub(crate) failure: Option<String>,
+    pub(crate) abort: bool,
+    pub(crate) done: bool,
+    pub(crate) spawned: usize,
+    pub(crate) exited: usize,
+    next_priority: u64,
+}
+
+/// The shared half every controlled thread holds an `Arc` of.
+pub(crate) struct Scheduler {
+    pub(crate) state: StdMutex<IterState>,
+    /// Wakes parked controlled threads on active-token transfer/abort.
+    pub(crate) cv: StdCondvar,
+    /// Wakes the driver when the iteration completes.
+    pub(crate) done_cv: StdCondvar,
+}
+
+/// Marker payload used to unwind controlled threads out of user code
+/// when the iteration aborts; recognised and swallowed by the thread
+/// wrapper in `mc::thread`.
+pub(crate) struct McAbort;
+
+fn lock_state(sched: &Scheduler) -> StdMutexGuard<'_, IterState> {
+    // ordering: harness-internal lock; poisoning only happens if the
+    // harness itself has a bug, and recovering the guard keeps abort
+    // propagation working even then.
+    sched
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Scheduler {
+    pub(crate) fn new(strategy: Strategy, max_steps: usize, staleness: usize) -> Scheduler {
+        Scheduler {
+            state: StdMutex::new(IterState {
+                threads: Vec::new(),
+                active: 0,
+                steps: 0,
+                max_steps,
+                staleness: staleness.clamp(1, MAX_STALENESS),
+                strategy,
+                trace: Vec::new(),
+                atomics: HashMap::new(),
+                mem: Vec::new(),
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                failure: None,
+                abort: false,
+                done: false,
+                spawned: 0,
+                exited: 0,
+                next_priority: u64::MAX / 2,
+            }),
+            cv: StdCondvar::new(),
+            done_cv: StdCondvar::new(),
+        }
+    }
+
+    /// Registers a new controlled thread. The child inherits the
+    /// parent's view (the spawn happens-before edge) and is runnable
+    /// immediately, so the runnable set at every choice point is
+    /// deterministic regardless of OS thread start latency.
+    pub(crate) fn register(&self, parent: Option<usize>) -> usize {
+        let mut st = lock_state(self);
+        let view = parent
+            .map(|p| st.threads[p].view.clone())
+            .unwrap_or_default();
+        let priority = st.next_priority;
+        st.next_priority = priority.wrapping_add(1);
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            view,
+            pending_acquire: Vec::new(),
+            fence_release: None,
+            priority,
+            timed_out: false,
+        });
+        st.spawned += 1;
+        st.threads.len() - 1
+    }
+
+    /// Checks the abort flag: unwinds with [`McAbort`] when aborted,
+    /// or returns `true` ("degraded — skip scheduling") when aborted
+    /// while this thread is already unwinding (a guard Drop mid-panic
+    /// must not panic again).
+    fn abort_gate(&self, st: &IterState) -> bool {
+        if !st.abort {
+            return false;
+        }
+        if std::thread::panicking() {
+            return true;
+        }
+        std::panic::resume_unwind(Box::new(McAbort));
+    }
+
+    /// One visible operation by thread `tid`: a scheduling point
+    /// followed by `op` executed atomically under the state lock.
+    /// Unwinds with [`McAbort`] if the iteration aborted.
+    pub(crate) fn op<R>(&self, tid: usize, op: impl FnOnce(&mut IterState) -> R) -> R {
+        let mut st = lock_state(self);
+        if self.abort_gate(&st) {
+            return op(&mut st);
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let msg = format!(
+                "step budget exceeded ({} steps): possible livelock or a schedule \
+                 bound too small for this test",
+                st.max_steps
+            );
+            self.fail(&mut st, msg);
+            if self.abort_gate(&st) {
+                return op(&mut st);
+            }
+        }
+        let chosen = st.choose_thread();
+        st.active = chosen;
+        if chosen != tid {
+            self.cv.notify_all();
+            while st.active != tid && !st.abort {
+                st = self
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if self.abort_gate(&st) {
+                return op(&mut st);
+            }
+        }
+        op(&mut st)
+    }
+
+    /// A state mutation with no scheduling point — bookkeeping that is
+    /// not a visible operation (and must not add a trace entry).
+    pub(crate) fn quiet<R>(&self, f: impl FnOnce(&mut IterState) -> R) -> R {
+        let mut st = lock_state(self);
+        f(&mut st)
+    }
+
+    /// Blocks `tid` (whose status was just set by `prep`) until it is
+    /// runnable again **and** holds the active token.
+    pub(crate) fn block(&self, tid: usize, prep: impl FnOnce(&mut IterState)) {
+        let mut st = lock_state(self);
+        if self.abort_gate(&st) {
+            return;
+        }
+        prep(&mut st);
+        debug_assert_ne!(st.threads[tid].status, Status::Runnable);
+        self.reschedule(&mut st);
+        self.cv.notify_all();
+        while !(st.abort || (st.active == tid && st.threads[tid].status == Status::Runnable)) {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let _degraded = self.abort_gate(&st);
+    }
+
+    /// Whether this iteration has aborted (failure recorded or torn
+    /// down); used by degraded paths during panic unwinding.
+    pub(crate) fn aborted(&self) -> bool {
+        lock_state(self).abort
+    }
+
+    /// Records a failure from outside a state-lock critical section
+    /// (thread wrappers reporting a caught user panic).
+    pub(crate) fn fail_external(&self, msg: String) {
+        let mut st = lock_state(self);
+        self.fail(&mut st, msg);
+    }
+
+    /// Driver-side wait for the iteration to finish: every controlled
+    /// thread reached Finished (or the iteration aborted) **and** every
+    /// spawned OS thread has actually exited. Returns the recorded
+    /// failure (if any) and the full choice trace.
+    pub(crate) fn wait_finished(&self) -> (Option<String>, Vec<(u32, u32)>) {
+        let mut st = lock_state(self);
+        while !(st.done && st.exited >= st.spawned) {
+            st = self
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        (st.failure.clone(), st.trace.clone())
+    }
+
+    /// `thread::yield_now` from a controlled thread: a scheduling point
+    /// that additionally demotes the caller under PCT, so spin loops
+    /// with explicit yields cannot starve lower-priority threads.
+    pub(crate) fn yield_now(&self, tid: usize) {
+        self.op(tid, |st| st.pct_demote(tid));
+    }
+
+    /// Records a failure and aborts the iteration.
+    pub(crate) fn fail(&self, st: &mut IterState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        st.done = true;
+        self.cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Picks the next active thread after the current one blocked or
+    /// finished. Resolves all-blocked states: timed condvar waiters
+    /// time out; otherwise it is a real deadlock.
+    pub(crate) fn reschedule(&self, st: &mut IterState) {
+        loop {
+            if st.threads.iter().any(|t| t.status == Status::Runnable) {
+                let chosen = st.choose_thread();
+                st.active = chosen;
+                return;
+            }
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.done = true;
+                self.done_cv.notify_all();
+                return;
+            }
+            // All live threads are blocked: wake every timed condvar
+            // waiter as a timeout, then retry; with none, it's a
+            // deadlock.
+            let mut woke = false;
+            let mut sorted: Vec<(usize, usize)> = st
+                .condvars
+                .iter()
+                .map(|(addr, cv)| (cv.reg, *addr))
+                .collect();
+            sorted.sort_unstable();
+            for (_, addr) in sorted {
+                let cv = st.condvars.get_mut(&addr).expect("condvar registered");
+                let timed: Vec<CvWaiter> = {
+                    let mut keep = Vec::new();
+                    let mut out = Vec::new();
+                    for w in cv.waiters.drain(..) {
+                        if w.timed {
+                            out.push(w);
+                        } else {
+                            keep.push(w);
+                        }
+                    }
+                    cv.waiters = keep;
+                    out
+                };
+                for w in timed {
+                    woke = true;
+                    st.threads[w.tid].timed_out = true;
+                    // The timed-out waiter re-competes for its mutex
+                    // when scheduled (the wait_timeout reacquire loop).
+                    st.threads[w.tid].status = Status::Runnable;
+                }
+            }
+            if !woke {
+                let states: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("t{i}:{:?}", t.status))
+                    .collect();
+                self.fail(
+                    st,
+                    format!("deadlock: no runnable thread [{}]", states.join(" ")),
+                );
+                return;
+            }
+        }
+    }
+
+    /// Marks `tid` finished, propagates its view to joiners, and moves
+    /// the schedule along (or completes the iteration).
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = lock_state(self);
+        st.threads[tid].status = Status::Finished;
+        let final_view = st.threads[tid].view.clone();
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedJoin(tid) {
+                // The join happens-before edge.
+                view_join(&mut st.threads[t].view, &final_view);
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        if !st.abort {
+            self.reschedule(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Bookkeeping when the OS thread actually exits (lets the driver
+    /// know no controlled thread still touches this state).
+    pub(crate) fn note_exit(&self) {
+        let mut st = lock_state(self);
+        st.exited += 1;
+        self.done_cv.notify_all();
+    }
+
+    /// First entry of a freshly spawned controlled thread: park until
+    /// the scheduler hands it the active token.
+    pub(crate) fn enter(&self, tid: usize) {
+        let mut st = lock_state(self);
+        while st.active != tid && !st.abort {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let _degraded = self.abort_gate(&st);
+    }
+}
+
+impl IterState {
+    /// One scheduling decision: which runnable thread runs next.
+    pub(crate) fn choose_thread(&mut self) -> usize {
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(
+            !runnable.is_empty(),
+            "choose_thread with empty runnable set"
+        );
+        let n = runnable.len();
+        let idx = match &mut self.strategy {
+            Strategy::Random(rng) => {
+                let i = if n > 1 { rng.below(n) } else { 0 };
+                self.trace.push((i as u32, n as u32));
+                i
+            }
+            Strategy::Pct { rng, change_steps } => {
+                if change_steps.contains(&self.steps) {
+                    // Demote the current leader below everyone.
+                    let min = self
+                        .threads
+                        .iter()
+                        .filter(|t| t.status != Status::Finished)
+                        .map(|t| t.priority)
+                        .min()
+                        .unwrap_or(0);
+                    let leader = *runnable
+                        .iter()
+                        .max_by_key(|&&t| self.threads[t].priority)
+                        .expect("runnable nonempty");
+                    self.threads[leader].priority = min.saturating_sub(1 + rng.below(3) as u64);
+                }
+                let i = runnable
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &t)| self.threads[t].priority)
+                    .map(|(i, _)| i)
+                    .expect("runnable nonempty");
+                self.trace.push((i as u32, n as u32));
+                i
+            }
+            Strategy::Replay(path) => {
+                let pos = self.trace.len();
+                let i = path.get(pos).map(|&c| c as usize).unwrap_or(0).min(n - 1);
+                self.trace.push((i as u32, n as u32));
+                i
+            }
+        };
+        runnable[idx]
+    }
+
+    /// One value decision with `n` options (stale-load index, lock
+    /// handoff target, notify target).
+    fn choose_value(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let i = match &mut self.strategy {
+            Strategy::Random(rng) | Strategy::Pct { rng, .. } => rng.below(n),
+            Strategy::Replay(path) => {
+                let pos = self.trace.len();
+                path.get(pos).map(|&c| c as usize).unwrap_or(0).min(n - 1)
+            }
+        };
+        self.trace.push((i as u32, n as u32));
+        i
+    }
+
+    fn atomic_id(&mut self, addr: usize, init: u64) -> usize {
+        if let Some(&id) = self.atomics.get(&addr) {
+            return id;
+        }
+        let id = self.mem.len();
+        self.atomics.insert(addr, id);
+        self.mem.push(vec![Entry {
+            val: init,
+            rel: None,
+        }]);
+        id
+    }
+
+    /// Model load. Relaxed and Acquire loads may observe any value the
+    /// thread's view allows within the staleness bound; SeqCst reads
+    /// the latest. Returns the observed value.
+    pub(crate) fn atomic_load(&mut self, tid: usize, addr: usize, init: u64, ord: Ordering) -> u64 {
+        let a = self.atomic_id(addr, init);
+        let latest = self.mem[a].len() - 1;
+        let idx = if matches!(ord, Ordering::SeqCst) {
+            latest
+        } else {
+            let lo = view_get(&self.threads[tid].view, a)
+                .max(latest.saturating_sub(self.staleness))
+                .min(latest);
+            lo + self.choose_value(latest - lo + 1)
+        };
+        view_set(&mut self.threads[tid].view, a, idx);
+        let (val, rel) = {
+            let e = &self.mem[a][idx];
+            (e.val, e.rel.clone())
+        };
+        if let Some(rel) = rel {
+            match ord {
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                    view_join(&mut self.threads[tid].view, &rel);
+                }
+                _ => view_join(&mut self.threads[tid].pending_acquire, &rel),
+            }
+        }
+        val
+    }
+
+    /// Model store: appends to the modification history; a Release
+    /// store (or a relaxed store after a Release fence) carries the
+    /// writer's released view.
+    pub(crate) fn atomic_store(
+        &mut self,
+        tid: usize,
+        addr: usize,
+        init: u64,
+        val: u64,
+        ord: Ordering,
+    ) {
+        let a = self.atomic_id(addr, init);
+        let rel = match ord {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => {
+                Some(self.threads[tid].view.clone())
+            }
+            _ => self.threads[tid].fence_release.clone(),
+        };
+        self.mem[a].push(Entry { val, rel });
+        let latest = self.mem[a].len() - 1;
+        view_set(&mut self.threads[tid].view, a, latest);
+    }
+
+    /// Model read-modify-write: always operates on the latest value
+    /// (coherence). `f` returns `Some(new)` to commit (fetch-ops, CAS
+    /// success) or `None` to leave the history untouched (CAS failure).
+    /// Returns the value read.
+    pub(crate) fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        addr: usize,
+        init: u64,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        let a = self.atomic_id(addr, init);
+        let latest = self.mem[a].len() - 1;
+        let (old, rel) = {
+            let e = &self.mem[a][latest];
+            (e.val, e.rel.clone())
+        };
+        view_set(&mut self.threads[tid].view, a, latest);
+        if let Some(rel) = rel {
+            match ord {
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                    view_join(&mut self.threads[tid].view, &rel);
+                }
+                _ => view_join(&mut self.threads[tid].pending_acquire, &rel),
+            }
+        }
+        if let Some(new) = f(old) {
+            let rel = match ord {
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => {
+                    Some(self.threads[tid].view.clone())
+                }
+                _ => self.threads[tid].fence_release.clone(),
+            };
+            self.mem[a].push(Entry { val: new, rel });
+            let latest = self.mem[a].len() - 1;
+            view_set(&mut self.threads[tid].view, a, latest);
+        }
+        old
+    }
+
+    /// Model fence: Acquire folds pending released views in; Release
+    /// snapshots the view for subsequent relaxed stores.
+    pub(crate) fn fence(&mut self, tid: usize, ord: Ordering) {
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            let pending = std::mem::take(&mut self.threads[tid].pending_acquire);
+            view_join(&mut self.threads[tid].view, &pending);
+        }
+        if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            self.threads[tid].fence_release = Some(self.threads[tid].view.clone());
+        }
+    }
+
+    /// Non-blocking lock attempt. Returns whether the lock was taken.
+    pub(crate) fn mutex_try_lock(&mut self, tid: usize, addr: usize) -> bool {
+        let m = self.mutexes.entry(addr).or_default();
+        if m.owner.is_none() {
+            m.owner = Some(tid);
+            let rel = m.rel_view.clone();
+            view_join(&mut self.threads[tid].view, &rel);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks `tid` blocked on `addr`'s lock queue (caller then parks).
+    pub(crate) fn mutex_enqueue(&mut self, tid: usize, addr: usize) {
+        let m = self.mutexes.entry(addr).or_default();
+        m.waiters.push(tid);
+        self.threads[tid].status = Status::BlockedLock(addr);
+    }
+
+    /// Releases `addr`, records the unlock edge, and makes every
+    /// queued waiter runnable again. Waiters *retry* acquisition when
+    /// scheduled rather than receiving the lock by handoff — real
+    /// mutexes barge, and modelling the race between a woken waiter
+    /// and a fresh locker is what keeps lost-wakeup windows open.
+    pub(crate) fn mutex_unlock(&mut self, tid: usize, addr: usize) {
+        let view = self.threads[tid].view.clone();
+        let m = self.mutexes.entry(addr).or_default();
+        debug_assert_eq!(m.owner, Some(tid), "unlock by non-owner");
+        m.owner = None;
+        view_join(&mut m.rel_view, &view);
+        for w in m.waiters.drain(..) {
+            self.threads[w].status = Status::Runnable;
+        }
+    }
+
+    /// Atomically releases the mutex and parks `tid` on the condvar
+    /// (caller then blocks). `timed` waiters are woken as timeouts if
+    /// the whole system would otherwise deadlock.
+    pub(crate) fn condvar_enqueue(
+        &mut self,
+        tid: usize,
+        cv_addr: usize,
+        mutex: usize,
+        timed: bool,
+    ) {
+        self.threads[tid].timed_out = false;
+        self.mutex_unlock(tid, mutex);
+        let cv = Self::cv_state(&mut self.condvars, cv_addr);
+        cv.waiters.push(CvWaiter { tid, timed });
+        self.threads[tid].status = Status::BlockedCv(cv_addr);
+    }
+
+    /// First-touch condvar registration with a dense `reg` id.
+    fn cv_state(condvars: &mut HashMap<usize, CvState>, addr: usize) -> &mut CvState {
+        let next_reg = condvars.len();
+        condvars.entry(addr).or_insert_with(|| CvState {
+            reg: next_reg,
+            ..CvState::default()
+        })
+    }
+
+    /// Removes `tid` from the condvar's signalled set once its `wait`
+    /// call actually returns (it can no longer absorb signals).
+    pub(crate) fn condvar_departed(&mut self, tid: usize, cv_addr: usize) {
+        if let Some(cv) = self.condvars.get_mut(&cv_addr) {
+            cv.woken.retain(|&t| t != tid);
+        }
+    }
+
+    /// `notify_one` with POSIX semantics: the signal may land on a
+    /// still-parked waiter (waking it — it then *competes* for the
+    /// mutex) or be absorbed by one that was already signalled but has
+    /// not yet left `wait` — the scheduler chooses, which is how
+    /// lost-wakeup bugs become reachable schedules instead of
+    /// one-in-a-million races.
+    pub(crate) fn condvar_notify_one(&mut self, cv_addr: usize) {
+        let (n_waiting, n_woken) = match self.condvars.get(&cv_addr) {
+            Some(cv) => (cv.waiters.len(), cv.woken.len()),
+            None => (0, 0),
+        };
+        let total = n_waiting + n_woken;
+        if total == 0 {
+            return;
+        }
+        let pick = self.choose_value(total);
+        if pick >= n_waiting {
+            return; // absorbed by an already-signalled waiter
+        }
+        let w = self
+            .condvars
+            .get_mut(&cv_addr)
+            .expect("condvar registered")
+            .waiters
+            .remove(pick);
+        self.condvars
+            .get_mut(&cv_addr)
+            .expect("condvar registered")
+            .woken
+            .push(w.tid);
+        self.threads[w.tid].status = Status::Runnable;
+    }
+
+    /// `notify_all`: every parked waiter wakes and competes for its
+    /// mutex.
+    pub(crate) fn condvar_notify_all(&mut self, cv_addr: usize) {
+        let waiters: Vec<CvWaiter> = match self.condvars.get_mut(&cv_addr) {
+            Some(cv) => cv.waiters.drain(..).collect(),
+            None => return,
+        };
+        for w in waiters {
+            self.condvars
+                .get_mut(&cv_addr)
+                .expect("condvar registered")
+                .woken
+                .push(w.tid);
+            self.threads[w.tid].status = Status::Runnable;
+        }
+    }
+
+    /// Under PCT, drops `tid`'s priority below every live thread; a
+    /// no-op for the other strategies.
+    pub(crate) fn pct_demote(&mut self, tid: usize) {
+        if let Strategy::Pct { rng, .. } = &mut self.strategy {
+            let jitter = rng.below(3) as u64;
+            let min = self
+                .threads
+                .iter()
+                .filter(|t| t.status != Status::Finished)
+                .map(|t| t.priority)
+                .min()
+                .unwrap_or(0);
+            self.threads[tid].priority = min.saturating_sub(1 + jitter);
+        }
+    }
+
+    /// Marks `tid` blocked on `target`'s completion (caller parks via
+    /// [`Scheduler::block`]).
+    pub(crate) fn join_block(&mut self, tid: usize, target: usize) {
+        self.threads[tid].status = Status::BlockedJoin(target);
+    }
+
+    /// Whether `target` already finished (join fast path); otherwise
+    /// the caller blocks via [`Scheduler::block`].
+    pub(crate) fn join_ready(&mut self, tid: usize, target: usize) -> bool {
+        if self.threads[target].status == Status::Finished {
+            let v = self.threads[target].view.clone();
+            view_join(&mut self.threads[tid].view, &v);
+            true
+        } else {
+            false
+        }
+    }
+}

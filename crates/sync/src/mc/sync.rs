@@ -1,0 +1,735 @@
+//! Instrumented drop-in replacements for `std::sync` atomics,
+//! `Mutex`, and `Condvar`.
+//!
+//! Every type wraps its std counterpart. Inside a model-check session
+//! (the calling thread carries a scheduler context) each operation is
+//! a scheduling point routed through the controlled scheduler's
+//! weak-memory model; outside a session everything delegates straight
+//! to the wrapped std primitive, so these types are safe to use in
+//! ordinary builds and tests.
+//!
+//! During a session the wrapped std value is kept equal to the newest
+//! entry of the model's modification history after every committed
+//! write, so `into_inner`/`get_mut`/post-session reads observe the
+//! final value.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+    TryLockError, TryLockResult,
+};
+use std::time::Duration;
+
+use super::ctx;
+
+/// Model-aware `atomic::fence`: Acquire folds the release views
+/// observed by earlier relaxed loads into the thread's view; Release
+/// makes subsequent relaxed stores carry the fence-time view.
+pub fn fence(ord: Ordering) {
+    match ctx() {
+        Some((s, tid)) => s.op(tid, |st| st.fence(tid, ord)),
+        None => std::sync::atomic::fence(ord),
+    }
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $prim:ty, $std:ty) => {
+        /// Instrumented counterpart of the matching `std::sync::atomic`
+        /// type; values travel through the scheduler's memory model as
+        /// `u64` bit patterns.
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            #[inline]
+            fn addr(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            /// Value used to seed the model history when this atomic is
+            /// first touched inside a session.
+            #[inline]
+            fn init(&self) -> u64 {
+                // ordering: pre-session seed read; the session itself
+                // serializes all subsequent accesses.
+                self.inner.load(Ordering::Relaxed) as u64
+            }
+
+            /// Runs `f` as a model RMW when inside a session; `None`
+            /// means "no session — caller should use the std op". `f`
+            /// must be pure: it is evaluated once inside the model and
+            /// once to sync the wrapped std value.
+            #[inline]
+            fn model_rmw(
+                &self,
+                ord: Ordering,
+                f: impl Fn($prim) -> Option<$prim>,
+            ) -> Option<$prim> {
+                let (s, tid) = ctx()?;
+                let addr = self.addr();
+                let init = self.init();
+                let old = s.op(tid, |st| {
+                    st.atomic_rmw(tid, addr, init, ord, |o| f(o as $prim).map(|n| n as u64))
+                }) as $prim;
+                if let Some(new) = f(old) {
+                    // ordering: mirror of the committed model write; the
+                    // session serializes all controlled accesses.
+                    self.inner.store(new, Ordering::Relaxed);
+                }
+                Some(old)
+            }
+
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match ctx() {
+                    Some((s, tid)) => {
+                        let addr = self.addr();
+                        let init = self.init();
+                        s.op(tid, |st| st.atomic_load(tid, addr, init, ord)) as $prim
+                    }
+                    None => self.inner.load(ord),
+                }
+            }
+
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                match ctx() {
+                    Some((s, tid)) => {
+                        let addr = self.addr();
+                        let init = self.init();
+                        s.op(tid, |st| st.atomic_store(tid, addr, init, val as u64, ord));
+                        // ordering: mirror of the model write (see above).
+                        self.inner.store(val, Ordering::Relaxed);
+                    }
+                    None => self.inner.store(val, ord),
+                }
+            }
+
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |_| Some(val))
+                    .unwrap_or_else(|| self.inner.swap(val, ord))
+            }
+
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |o| Some(o.wrapping_add(val)))
+                    .unwrap_or_else(|| self.inner.fetch_add(val, ord))
+            }
+
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |o| Some(o.wrapping_sub(val)))
+                    .unwrap_or_else(|| self.inner.fetch_sub(val, ord))
+            }
+
+            pub fn fetch_and(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |o| Some(o & val))
+                    .unwrap_or_else(|| self.inner.fetch_and(val, ord))
+            }
+
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |o| Some(o | val))
+                    .unwrap_or_else(|| self.inner.fetch_or(val, ord))
+            }
+
+            pub fn fetch_xor(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |o| Some(o ^ val))
+                    .unwrap_or_else(|| self.inner.fetch_xor(val, ord))
+            }
+
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |o| Some(o.max(val)))
+                    .unwrap_or_else(|| self.inner.fetch_max(val, ord))
+            }
+
+            pub fn fetch_min(&self, val: $prim, ord: Ordering) -> $prim {
+                self.model_rmw(ord, |o| Some(o.min(val)))
+                    .unwrap_or_else(|| self.inner.fetch_min(val, ord))
+            }
+
+            /// Failure-side acquire effects are modelled with the
+            /// success ordering (a sound over-approximation: it can
+            /// mask a too-weak failure ordering but never invent one).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match self.model_rmw(success, |o| if o == current { Some(new) } else { None }) {
+                    Some(old) if old == current => Ok(old),
+                    Some(old) => Err(old),
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Spurious failure is not modelled: under the checker a
+            /// weak CAS behaves like the strong one.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$prim, $prim>
+            where
+                F: FnMut($prim) -> Option<$prim>,
+            {
+                let mut prev = self.load(fetch_order);
+                loop {
+                    match f(prev) {
+                        Some(next) => {
+                            match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                                Ok(old) => return Ok(old),
+                                Err(old) => prev = old,
+                            }
+                        }
+                        None => return Err(prev),
+                    }
+                }
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+
+            /// `&mut` access bypasses the model (exclusive access is
+            /// race-free by construction); avoid interleaving it with
+            /// shared accesses inside one session.
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(<$prim>::default())
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> $name {
+                $name::new(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // ordering: diagnostic snapshot only.
+                fmt::Debug::fmt(&self.inner.load(Ordering::Relaxed), f)
+            }
+        }
+    };
+}
+
+model_atomic_int!(AtomicU8, u8, std::sync::atomic::AtomicU8);
+model_atomic_int!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+model_atomic_int!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+model_atomic_int!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+model_atomic_int!(AtomicI64, i64, std::sync::atomic::AtomicI64);
+
+/// Instrumented counterpart of `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        // ordering: pre-session seed read (see the integer atomics).
+        self.inner.load(Ordering::Relaxed) as u64
+    }
+
+    #[inline]
+    fn model_rmw(&self, ord: Ordering, f: impl Fn(bool) -> Option<bool>) -> Option<bool> {
+        let (s, tid) = ctx()?;
+        let addr = self.addr();
+        let init = self.init();
+        let old = s.op(tid, |st| {
+            st.atomic_rmw(tid, addr, init, ord, |o| f(o != 0).map(u64::from))
+        }) != 0;
+        if let Some(new) = f(old) {
+            // ordering: mirror of the committed model write.
+            self.inner.store(new, Ordering::Relaxed);
+        }
+        Some(old)
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match ctx() {
+            Some((s, tid)) => {
+                let addr = self.addr();
+                let init = self.init();
+                s.op(tid, |st| st.atomic_load(tid, addr, init, ord)) != 0
+            }
+            None => self.inner.load(ord),
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match ctx() {
+            Some((s, tid)) => {
+                let addr = self.addr();
+                let init = self.init();
+                s.op(tid, |st| {
+                    st.atomic_store(tid, addr, init, u64::from(val), ord)
+                });
+                // ordering: mirror of the model write.
+                self.inner.store(val, Ordering::Relaxed);
+            }
+            None => self.inner.store(val, ord),
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        self.model_rmw(ord, |_| Some(val))
+            .unwrap_or_else(|| self.inner.swap(val, ord))
+    }
+
+    pub fn fetch_and(&self, val: bool, ord: Ordering) -> bool {
+        self.model_rmw(ord, |o| Some(o & val))
+            .unwrap_or_else(|| self.inner.fetch_and(val, ord))
+    }
+
+    pub fn fetch_or(&self, val: bool, ord: Ordering) -> bool {
+        self.model_rmw(ord, |o| Some(o | val))
+            .unwrap_or_else(|| self.inner.fetch_or(val, ord))
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match self.model_rmw(success, |o| if o == current { Some(new) } else { None }) {
+            Some(old) if old == current => Ok(old),
+            Some(old) => Err(old),
+            None => self.inner.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> AtomicBool {
+        AtomicBool::new(v)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // ordering: diagnostic snapshot only.
+        fmt::Debug::fmt(&self.inner.load(Ordering::Relaxed), f)
+    }
+}
+
+/// Model-lock acquisition: retry until the try-lock wins. Unlock makes
+/// all queued waiters runnable and they *compete* on reschedule (real
+/// mutexes barge — a fresh locker can beat a woken waiter, which is
+/// exactly the window lost-wakeup bugs live in). Returns the context to
+/// store in the guard, or `None` when degraded by an abort mid-panic
+/// (the guard then skips the model unlock too).
+fn model_lock(
+    s: std::sync::Arc<super::scheduler::Scheduler>,
+    tid: usize,
+    addr: usize,
+) -> Option<(std::sync::Arc<super::scheduler::Scheduler>, usize)> {
+    loop {
+        if s.op(tid, |st| st.mutex_try_lock(tid, addr)) {
+            return Some((s, tid));
+        }
+        if std::thread::panicking() && s.aborted() {
+            return None;
+        }
+        s.block(tid, |st| st.mutex_enqueue(tid, addr));
+    }
+}
+
+/// Instrumented `Mutex`: inside a session, acquisition order is a
+/// scheduler decision and unlock→lock edges join thread views; the
+/// wrapped std mutex still guards the data itself (only the model-lock
+/// holder touches it, so it is uncontended among controlled threads).
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(t),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match ctx() {
+            Some((s, tid)) => {
+                let addr = self.addr();
+                let ctx = model_lock(s, tid, addr);
+                // A controlled thread may have poisoned the std mutex by
+                // panicking; the model session reports that panic as the
+                // iteration failure, so recover the data here.
+                let std = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    std: Some(std),
+                    mx: self,
+                    ctx,
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    std: Some(g),
+                    mx: self,
+                    ctx: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    std: Some(p.into_inner()),
+                    mx: self,
+                    ctx: None,
+                })),
+            },
+        }
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match ctx() {
+            Some((s, tid)) => {
+                let addr = self.addr();
+                let locked = s.op(tid, |st| st.mutex_try_lock(tid, addr));
+                if !locked {
+                    return Err(TryLockError::WouldBlock);
+                }
+                let std = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    std: Some(std),
+                    mx: self,
+                    ctx: Some((s, tid)),
+                })
+            }
+            None => match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    std: Some(g),
+                    mx: self,
+                    ctx: None,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(p)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        std: Some(p.into_inner()),
+                        mx: self,
+                        ctx: None,
+                    })))
+                }
+            },
+        }
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(t: T) -> Mutex<T> {
+        Mutex::new(t)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Mutex");
+        match self.inner.try_lock() {
+            Ok(g) => d.field("data", &&*g),
+            Err(_) => d.field("data", &format_args!("<locked>")),
+        };
+        d.finish_non_exhaustive()
+    }
+}
+
+/// Guard for the instrumented [`Mutex`]. Drop releases the std lock
+/// first, then performs the model unlock (a scheduling point that may
+/// hand the lock to a queued waiter).
+pub struct MutexGuard<'a, T> {
+    std: Option<StdMutexGuard<'a, T>>,
+    mx: &'a Mutex<T>,
+    ctx: Option<(std::sync::Arc<super::scheduler::Scheduler>, usize)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.std.take());
+        if let Some((s, tid)) = self.ctx.take() {
+            let addr = self.mx.addr();
+            s.op(tid, |st| st.mutex_unlock(tid, addr));
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]; mirrors the std type (which has
+/// no public constructor, hence this local definition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Instrumented `Condvar` with POSIX-faithful `notify_one`: a signal
+/// may be absorbed by a waiter that was already woken but has not yet
+/// returned from `wait` (glibc-style stealing), which makes lost-wakeup
+/// bugs reachable schedules instead of rare races.
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.ctx.take() {
+            Some((s, tid)) => {
+                let mx = guard.mx;
+                drop(guard.std.take());
+                drop(guard); // fields emptied — plain drop, no model unlock
+                let cv_addr = self.addr();
+                let mx_addr = mx.addr();
+                // Atomically: model-unlock the mutex and park on the
+                // condvar. Once notified, compete to reacquire the
+                // mutex — until reacquisition completes this thread can
+                // still absorb further notify_one signals (POSIX
+                // stealing).
+                s.block(tid, |st| st.condvar_enqueue(tid, cv_addr, mx_addr, false));
+                let ctx = model_lock(s, tid, mx_addr);
+                if let Some((s, tid)) = &ctx {
+                    s.quiet(|st| st.condvar_departed(*tid, cv_addr));
+                }
+                let std = mx.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    std: Some(std),
+                    mx,
+                    ctx,
+                })
+            }
+            None => {
+                let mx = guard.mx;
+                let std = guard.std.take().expect("guard holds the lock");
+                drop(guard);
+                match self.inner.wait(std) {
+                    Ok(g) => Ok(MutexGuard {
+                        std: Some(g),
+                        mx,
+                        ctx: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        std: Some(p.into_inner()),
+                        mx,
+                        ctx: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Inside a session the duration is ignored: a timed wait simply
+    /// becomes eligible to wake as a timeout whenever the whole system
+    /// would otherwise deadlock — timeouts are schedule outcomes, not
+    /// wall-clock events.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.ctx.take() {
+            Some((s, tid)) => {
+                let _ = dur;
+                let mx = guard.mx;
+                drop(guard.std.take());
+                drop(guard);
+                let cv_addr = self.addr();
+                let mx_addr = mx.addr();
+                s.block(tid, |st| st.condvar_enqueue(tid, cv_addr, mx_addr, true));
+                let ctx = model_lock(s, tid, mx_addr);
+                let timed_out = match &ctx {
+                    Some((s, tid)) => s.quiet(|st| {
+                        st.condvar_departed(*tid, cv_addr);
+                        st.threads[*tid].timed_out
+                    }),
+                    None => false,
+                };
+                let std = mx.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok((
+                    MutexGuard {
+                        std: Some(std),
+                        mx,
+                        ctx,
+                    },
+                    WaitTimeoutResult { timed_out },
+                ))
+            }
+            None => {
+                let mx = guard.mx;
+                let std = guard.std.take().expect("guard holds the lock");
+                drop(guard);
+                match self.inner.wait_timeout(std, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            std: Some(g),
+                            mx,
+                            ctx: None,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )),
+                    Err(p) => {
+                        let (g, r) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                std: Some(g),
+                                mx,
+                                ctx: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match ctx() {
+            Some((s, tid)) => {
+                let cv_addr = self.addr();
+                s.op(tid, |st| st.condvar_notify_one(cv_addr));
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match ctx() {
+            Some((s, tid)) => {
+                let cv_addr = self.addr();
+                s.op(tid, |st| st.condvar_notify_all(cv_addr));
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,182 @@
+//! Instrumented `spawn`/`join` plus the handful of `std::thread` items
+//! the workspace uses. Inside a session, spawned threads register with
+//! the controlled scheduler *synchronously* (before the OS thread even
+//! starts), so the runnable set at every scheduling point is
+//! deterministic regardless of OS thread start latency.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+use super::scheduler::{McAbort, Scheduler, Status};
+use super::{ctx, set_ctx};
+
+pub use std::thread::{available_parallelism, current, panicking, scope, Result, Thread};
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Mc {
+        sched: Arc<Scheduler>,
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Join handle covering both modes: a plain std handle outside a
+/// session, or a controlled-thread handle whose `join` is a visible
+/// scheduling operation inside one.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Mc { sched, tid, slot } => {
+                let (s, me) = ctx().expect(
+                    "a controlled thread's JoinHandle must be joined from a controlled thread",
+                );
+                debug_assert!(Arc::ptr_eq(&s, &sched));
+                let ready = s.op(me, |st| st.join_ready(me, tid));
+                if !ready {
+                    s.block(me, |st| st.join_block(me, tid));
+                }
+                let val = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+                match val {
+                    Some(v) => Ok(v),
+                    // The child panicked (its panic is already recorded
+                    // as the iteration failure) or was aborted.
+                    None => Err(Box::new(
+                        "controlled thread terminated without a value".to_string(),
+                    )),
+                }
+            }
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Std(h) => h.is_finished(),
+            Inner::Mc { sched, tid, .. } => {
+                sched.quiet(|st| st.threads[*tid].status == Status::Finished)
+            }
+        }
+    }
+}
+
+/// Instrumented `thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        Some((sched, tid)) => JoinHandle(spawn_controlled(sched, tid, f)),
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+/// Shared by `spawn` and `Builder::spawn` in model mode.
+fn spawn_controlled<F, T>(sched: Arc<Scheduler>, parent: usize, f: F) -> Inner<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let child = sched.register(Some(parent));
+    let slot = Arc::new(StdMutex::new(None));
+    let s2 = Arc::clone(&sched);
+    let slot2 = Arc::clone(&slot);
+    std::thread::spawn(move || {
+        set_ctx(Some((Arc::clone(&s2), child)));
+        s2.enter(child);
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => {
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            }
+            Err(p) => {
+                if !p.is::<McAbort>() {
+                    s2.fail_external(format!(
+                        "controlled thread panicked: {}",
+                        panic_msg(p.as_ref())
+                    ));
+                }
+            }
+        }
+        s2.finish_thread(child);
+        s2.note_exit();
+    });
+    // Spawn is a visible operation: the child is runnable now, and the
+    // scheduler may run it before the parent's next step.
+    sched.op(parent, |_| ());
+    Inner::Mc {
+        sched,
+        tid: child,
+        slot,
+    }
+}
+
+/// Minimal `thread::Builder` equivalent (name is recorded only in std
+/// mode; the model scheduler identifies threads by dense id).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            Some((sched, tid)) => Ok(JoinHandle(spawn_controlled(sched, tid, f))),
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(name) = self.name {
+                    b = b.name(name);
+                }
+                Ok(JoinHandle(Inner::Std(b.spawn(f)?)))
+            }
+        }
+    }
+}
+
+/// Inside a session: a pure scheduling point (plus a PCT priority
+/// demotion, so yielding spin loops cannot starve other threads).
+pub fn yield_now() {
+    match ctx() {
+        Some((s, tid)) => s.yield_now(tid),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Inside a session, sleeping is modelled as a yield — wall-clock time
+/// does not exist under the checker.
+pub fn sleep(dur: Duration) {
+    match ctx() {
+        Some((s, tid)) => {
+            let _ = dur;
+            s.yield_now(tid);
+        }
+        None => std::thread::sleep(dur),
+    }
+}

@@ -1,0 +1,263 @@
+//! The model-check driver: runs a closure under many controlled
+//! schedules and panics with a replayable seed/schedule on the first
+//! failing one.
+//!
+//! ```no_run
+//! use pcnn_sync::model::{check, CheckOptions};
+//!
+//! check("two-counters", CheckOptions::default(), || {
+//!     // build state, spawn controlled threads, join, assert
+//! });
+//! ```
+//!
+//! Exploration runs in two phases:
+//!
+//! 1. **Bounded-exhaustive DFS** over the schedule's choice tree
+//!    (thread picks, stale-load picks, lock-handoff and notify-target
+//!    picks), up to [`CheckOptions::exhaustive_schedules`] iterations.
+//!    Small tests are usually covered completely here — the returned
+//!    [`Report::exhausted`] says so.
+//! 2. **Seeded random + PCT** iterations
+//!    ([`CheckOptions::random_schedules`] of them), for tests whose
+//!    tree is too big to exhaust. Odd seeds use PCT (priority-based
+//!    probabilistic concurrency testing), even seeds uniform random.
+//!
+//! On failure the panic message carries both replay handles:
+//! `PCNN_MC_SEED=<seed>` re-runs just that seeded iteration, and
+//! `PCNN_MC_SCHEDULE=<c.c.c...>` replays the exact recorded choice
+//! path (works for DFS-found failures too, and is immune to code
+//! changes that do not alter the choice structure).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::mc::scheduler::{McAbort, Rng, Scheduler, Strategy};
+use crate::mc::set_ctx;
+
+/// Exploration bounds for one [`check`] call.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Cap on bounded-exhaustive DFS iterations (0 disables the phase).
+    pub exhaustive_schedules: usize,
+    /// Number of seeded random/PCT iterations after the DFS phase.
+    pub random_schedules: usize,
+    /// Per-iteration step budget; exceeding it fails the iteration
+    /// (livelock, or a test too big for the configured bounds).
+    pub max_steps: usize,
+    /// How many values back a relaxed/acquire load may legally read
+    /// (clamped to the scheduler's hard cap).
+    pub staleness: usize,
+    /// Base seed for the random/PCT phase; iteration `i` derives its
+    /// seed deterministically from this.
+    pub seed: u64,
+    /// Replay exactly this one seed instead of exploring — the in-code
+    /// equivalent of `PCNN_MC_SEED`, used by pinned known-bad-seed
+    /// regression tests.
+    pub replay_seed: Option<u64>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            exhaustive_schedules: 400,
+            random_schedules: 400,
+            max_steps: 20_000,
+            staleness: 3,
+            // Arbitrary fixed default so runs reproduce out of the box.
+            seed: 0x5eed_c0de_d00d_f00d,
+            replay_seed: None,
+        }
+    }
+}
+
+/// Outcome of a successful [`check`] call.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Total schedules executed across both phases.
+    pub schedules_run: usize,
+    /// True when the DFS phase enumerated the entire choice tree —
+    /// i.e. the property was verified for every schedule within the
+    /// staleness/step bounds, not just sampled.
+    pub exhausted: bool,
+}
+
+struct IterOutcome {
+    failure: Option<String>,
+    trace: Vec<(u32, u32)>,
+}
+
+/// Serializes model-check sessions process-wide: concurrent sessions
+/// in different test threads would interleave fallback accesses to any
+/// shared (e.g. global/static) instrumented state.
+static SESSION: StdMutex<()> = StdMutex::new(());
+
+fn run_one(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    strategy: Strategy,
+    opts: &CheckOptions,
+) -> IterOutcome {
+    let sched = Arc::new(Scheduler::new(strategy, opts.max_steps, opts.staleness));
+    let root = sched.register(None);
+    let s2 = Arc::clone(&sched);
+    let f2 = Arc::clone(f);
+    std::thread::spawn(move || {
+        set_ctx(Some((Arc::clone(&s2), root)));
+        s2.enter(root);
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f2())) {
+            if !p.is::<McAbort>() {
+                let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                s2.fail_external(format!("assertion failed on controlled thread: {msg}"));
+            }
+        }
+        s2.finish_thread(root);
+        s2.note_exit();
+    });
+    let (failure, trace) = sched.wait_finished();
+    IterOutcome { failure, trace }
+}
+
+/// Lexicographic DFS successor of a recorded choice path: bump the
+/// deepest incrementable choice, truncating everything after it.
+/// `None` means the tree is exhausted.
+fn next_path(trace: &[(u32, u32)]) -> Option<Vec<u32>> {
+    for i in (0..trace.len()).rev() {
+        let (chosen, options) = trace[i];
+        if chosen + 1 < options {
+            let mut path: Vec<u32> = trace[..i].iter().map(|t| t.0).collect();
+            path.push(chosen + 1);
+            return Some(path);
+        }
+    }
+    None
+}
+
+fn fmt_path(trace: &[(u32, u32)]) -> String {
+    let parts: Vec<String> = trace.iter().map(|t| t.0.to_string()).collect();
+    parts.join(".")
+}
+
+fn strategy_for_seed(seed: u64, opts: &CheckOptions) -> Strategy {
+    if seed & 1 == 1 {
+        // PCT: a few priority change points scattered over the
+        // expected schedule length.
+        let mut rng = Rng::new(seed);
+        let horizon = opts.max_steps.clamp(8, 256);
+        let change_steps: Vec<usize> = (0..3).map(|_| 1 + rng.below(horizon)).collect();
+        Strategy::Pct {
+            rng: Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15),
+            change_steps,
+        }
+    } else {
+        Strategy::Random(Rng::new(seed))
+    }
+}
+
+fn derive_seed(base: u64, i: usize) -> u64 {
+    let mut rng = Rng::new(base ^ (i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
+    rng.next()
+}
+
+fn fail_with_replay(name: &str, failure: &str, seed: Option<u64>, trace: &[(u32, u32)]) -> ! {
+    let seed_line = match seed {
+        Some(s) => format!("  replay (seed):     PCNN_MC_SEED={s}\n"),
+        None => String::new(),
+    };
+    panic!(
+        "model check '{name}' failed: {failure}\n\
+         {seed_line}  replay (schedule): PCNN_MC_SCHEDULE={path}\n\
+         (set the env var and re-run this test to reproduce the exact schedule)",
+        path = fmt_path(trace),
+    );
+}
+
+/// Explores schedules of `f` under the controlled scheduler. Panics
+/// (with replay instructions) on the first schedule where `f` panics,
+/// deadlocks, or exceeds the step budget; otherwise returns a
+/// [`Report`].
+///
+/// `f` runs once per schedule and must create its shared state afresh
+/// each time. Threads must be spawned through the facade
+/// (`pcnn_sync::thread::spawn`) and joined before `f` returns.
+pub fn check(name: &str, opts: CheckOptions, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let _session = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+
+    // Env replays trump normal exploration: reproduce exactly one
+    // schedule and report its outcome.
+    if let Ok(path) = std::env::var("PCNN_MC_SCHEDULE") {
+        let choices: Vec<u32> = path
+            .split('.')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .expect("PCNN_MC_SCHEDULE must be dot-separated integers")
+            })
+            .collect();
+        let out = run_one(&f, Strategy::Replay(choices), &opts);
+        if let Some(failure) = out.failure {
+            fail_with_replay(name, &failure, None, &out.trace);
+        }
+        return Report {
+            schedules_run: 1,
+            exhausted: false,
+        };
+    }
+    let pinned = std::env::var("PCNN_MC_SEED")
+        .ok()
+        .map(|s| s.parse::<u64>().expect("PCNN_MC_SEED must be an integer"))
+        .or(opts.replay_seed);
+    if let Some(seed) = pinned {
+        let out = run_one(&f, strategy_for_seed(seed, &opts), &opts);
+        if let Some(failure) = out.failure {
+            fail_with_replay(name, &failure, Some(seed), &out.trace);
+        }
+        return Report {
+            schedules_run: 1,
+            exhausted: false,
+        };
+    }
+
+    let mut schedules_run = 0;
+
+    // Phase 1: bounded-exhaustive DFS over the choice tree.
+    let mut exhausted = false;
+    let mut path: Vec<u32> = Vec::new();
+    for _ in 0..opts.exhaustive_schedules {
+        let out = run_one(&f, Strategy::Replay(path.clone()), &opts);
+        schedules_run += 1;
+        if let Some(failure) = out.failure {
+            fail_with_replay(name, &failure, None, &out.trace);
+        }
+        match next_path(&out.trace) {
+            Some(p) => path = p,
+            None => {
+                exhausted = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: seeded random/PCT sampling (skipped if DFS covered the
+    // whole tree).
+    if !exhausted {
+        for i in 0..opts.random_schedules {
+            let seed = derive_seed(opts.seed, i);
+            let out = run_one(&f, strategy_for_seed(seed, &opts), &opts);
+            schedules_run += 1;
+            if let Some(failure) = out.failure {
+                fail_with_replay(name, &failure, Some(seed), &out.trace);
+            }
+        }
+    }
+
+    Report {
+        schedules_run,
+        exhausted,
+    }
+}

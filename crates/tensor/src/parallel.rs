@@ -10,15 +10,16 @@
 //! workers steal the newest job from a sibling's tail.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+
+use pcnn_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use pcnn_sync::{thread, Arc, Condvar, Mutex};
 
 /// Returns the number of worker threads to use (capped at 8).
 ///
 /// Training batches in this workspace are small, so more threads than
 /// this only add synchronisation overhead.
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
+    thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
@@ -50,9 +51,12 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // ordering: index distribution only — workers touch
+                // disjoint indices and the scope join publishes their
+                // writes to the caller.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
@@ -84,8 +88,8 @@ where
         return;
     }
     let chunks: Vec<(usize, &mut [f32])> = data.chunks_mut(chunk_len).enumerate().collect();
-    let queue = std::sync::Mutex::new(chunks);
-    std::thread::scope(|scope| {
+    let queue = Mutex::new(chunks);
+    thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let item = queue.lock().expect("queue poisoned").pop();
@@ -137,10 +141,15 @@ struct PoolShared {
 /// ```
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
     next: AtomicUsize,
     /// Jobs submitted and not yet finished (for `wait_idle`).
     in_flight: Arc<(Mutex<usize>, Condvar)>,
+    /// Model-check-only fault knob: `Drop` stores the shutdown flag
+    /// outside the park mutex, re-creating the lost-wakeup window the
+    /// interleaving tests must rediscover.
+    #[cfg(any(pcnn_model_check, feature = "model-check"))]
+    buggy_shutdown: bool,
 }
 
 impl ThreadPool {
@@ -158,7 +167,7 @@ impl ThreadPool {
             .map(|id| {
                 let shared = shared.clone();
                 let in_flight = in_flight.clone();
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("pcnn-pool-{id}"))
                     .spawn(move || worker_loop(id, &shared, &in_flight))
                     .expect("spawn pool worker")
@@ -169,7 +178,32 @@ impl ThreadPool {
             workers,
             next: AtomicUsize::new(0),
             in_flight,
+            #[cfg(any(pcnn_model_check, feature = "model-check"))]
+            buggy_shutdown: false,
         }
+    }
+
+    /// Model-check-only constructor re-creating the original (buggy)
+    /// shutdown discipline: `Drop` flips the shutdown flag with a bare
+    /// store instead of inside the park mutex, so the notify can fire
+    /// in the window between a worker's shutdown check and its wait.
+    /// The model checker uses this to prove it can rediscover the
+    /// lost wakeup the fixed `Drop` closes.
+    #[cfg(any(pcnn_model_check, feature = "model-check"))]
+    pub fn new_with_shutdown_race(threads: usize) -> Self {
+        let mut pool = ThreadPool::new(threads);
+        pool.buggy_shutdown = true;
+        pool
+    }
+
+    #[cfg(any(pcnn_model_check, feature = "model-check"))]
+    fn shutdown_under_lock(&self) -> bool {
+        !self.buggy_shutdown
+    }
+
+    #[cfg(not(any(pcnn_model_check, feature = "model-check")))]
+    fn shutdown_under_lock(&self) -> bool {
+        true
     }
 
     /// A pool sized by [`num_threads`].
@@ -187,6 +221,8 @@ impl ThreadPool {
     /// worker; the panic re-surfaces from [`ThreadPool::run_batch`] but
     /// never wedges the pool.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        // ordering: round-robin cursor only; the job itself is handed
+        // off through the queue mutex below.
         let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
         {
             let (lock, _) = &*self.in_flight;
@@ -222,7 +258,7 @@ impl ThreadPool {
         F: FnOnce() -> R + Send + 'static,
     {
         let n = jobs.len();
-        type Outcome<R> = Option<std::thread::Result<R>>;
+        type Outcome<R> = Option<thread::Result<R>>;
         let results = Arc::new(Mutex::new(Vec::from_iter(
             (0..n).map(|_| None as Outcome<R>),
         )));
@@ -248,7 +284,7 @@ impl ThreadPool {
         drop(finished);
         // A worker may still hold its Arc clone for an instant after
         // signalling, so drain under the lock rather than unwrapping.
-        let outcomes: Vec<std::thread::Result<R>> = results
+        let outcomes: Vec<thread::Result<R>> = results
             .lock()
             .expect("results poisoned")
             .drain(..)
@@ -272,7 +308,27 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The flag must flip while holding the park mutex: a bare store
+        // can land between a worker's shutdown check and its `wait`,
+        // and the notify then fires before the worker parks — a lost
+        // wakeup that hangs these joins (found by the model checker).
+        //
+        // ordering: Relaxed is enough once the store sits inside the
+        // `queued` critical section — workers only read the flag under
+        // the same mutex, which supplies the ordering (downgraded from
+        // SeqCst).
+        if self.shutdown_under_lock() {
+            let _guard = self.shared.queued.lock().expect("queued poisoned");
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        } else {
+            // Fault-injection path (model check only): the bare store
+            // the fixed branch above replaces.
+            //
+            // ordering: SeqCst on purpose — the historical bug was the
+            // check-to-wait wakeup race, not memory ordering, and the
+            // strongest ordering proves strength alone cannot fix it.
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
         self.shared.signal.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -322,7 +378,10 @@ fn worker_loop(id: usize, shared: &PoolShared, in_flight: &(Mutex<usize>, Condva
                     if *q > 0 {
                         break;
                     }
-                    if shared.shutdown.load(Ordering::SeqCst) {
+                    // ordering: read under the `queued` mutex that the
+                    // writer also holds, so Relaxed suffices
+                    // (downgraded from SeqCst).
+                    if shared.shutdown.load(Ordering::Relaxed) {
                         return;
                     }
                     q = shared.signal.wait(q).expect("signal wait poisoned");
@@ -586,5 +645,79 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}
+
+/// Interleaving tests for the pool's shutdown handshake under the
+/// deterministic model checker. Compiled only under the `model-check`
+/// facade, where the pool's threads, mutexes, condvars, and atomics
+/// all run on the controlled scheduler.
+#[cfg(all(test, any(pcnn_model_check, feature = "model-check")))]
+mod model_tests {
+    use super::*;
+    use pcnn_sync::model::{check, CheckOptions};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+
+    fn opts() -> CheckOptions {
+        CheckOptions {
+            exhaustive_schedules: 1_000,
+            random_schedules: 500,
+            ..CheckOptions::default()
+        }
+    }
+
+    #[test]
+    fn drop_shutdown_race_is_rediscovered() {
+        // The pre-fix Drop: a bare shutdown store lets the notify fire
+        // inside a worker's check-to-wait window; the worker parks
+        // forever and Drop's join hangs. The checker must find that
+        // schedule even though the buggy store is SeqCst.
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            check("pool-shutdown-race", opts(), || {
+                drop(ThreadPool::new_with_shutdown_race(1));
+            })
+        }));
+        let msg = match res {
+            Ok(report) => panic!(
+                "the shutdown race survived {} schedules undetected",
+                report.schedules_run
+            ),
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("non-string checker panic"),
+        };
+        assert!(
+            msg.contains("deadlock"),
+            "the stranded worker must surface as a deadlock: {msg}"
+        );
+    }
+
+    #[test]
+    fn drop_with_store_under_park_mutex_passes() {
+        let report = check("pool-shutdown-fixed", opts(), || {
+            drop(ThreadPool::new(1));
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn execute_wait_idle_drop_never_hangs() {
+        let report = check("pool-execute-drain", opts(), || {
+            // Plain (uninstrumented) counter: the property under test
+            // is the queue/park handshake, not this cell's ordering.
+            let hits = Arc::new(StdAtomicUsize::new(0));
+            let pool = ThreadPool::new(1);
+            let h = Arc::clone(&hits);
+            pool.execute(move || {
+                h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            pool.wait_idle();
+            assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+            drop(pool);
+        });
+        assert!(report.schedules_run > 0);
     }
 }

@@ -410,6 +410,13 @@ mod avx2 {
         unsafe { transmute::<__m256i, I32x8>(v) }
     }
 
+    // lint: allow(gated-intrinsics) — the token is the gate: an
+    // `Avx2Token` only exists behind `assert_available()`, whose
+    // callers (the `#[target_feature]` dispatch wrappers in
+    // `crate::direct`) have already passed the runtime AVX2 check, so
+    // every method on it executes with the feature proven. The methods
+    // stay `#[inline(always)]` rather than `#[target_feature]` so they
+    // fold into their gated callers without call overhead.
     impl SimdToken for Avx2Token {
         #[inline(always)]
         fn f32x8_load(self, s: &[f32]) -> F32x8 {
@@ -697,9 +704,13 @@ mod tests {
         if !std::is_x86_feature_detected!("avx2") {
             return;
         }
+        // SAFETY: only called after `is_x86_feature_detected!("avx2")`
+        // above confirms the CPU supports every instruction this fn
+        // (and the token it constructs) may execute.
         #[target_feature(enable = "avx2")]
         unsafe fn check() {
             let s = ScalarToken;
+            // SAFETY: AVX2 was runtime-verified by the caller's guard.
             let a = unsafe { Avx2Token::assert_available() };
             let xs: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
             let ys: Vec<f32> = (0..16).map(|i| (i as f32 * 1.3).cos() * 2.0).collect();

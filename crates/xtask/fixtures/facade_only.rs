@@ -1,0 +1,29 @@
+//! Seeded violations for the `facade-only` rule: facade-migrated
+//! modules never name `std::sync`/`std::thread` directly — `pcnn_sync`
+//! is the single seam. The `// lint: allow(std-sync)` waiver and test
+//! regions are exempt.
+//!
+//! Fixture only — never compiled; `cargo xtask lint --fixtures` checks
+//! that the findings match the `//~ ERROR` markers exactly.
+
+use std::thread; //~ ERROR facade-only
+
+fn spawns_directly() {
+    let t = std::thread::spawn(|| ()); //~ ERROR facade-only
+    t.join().unwrap();
+}
+
+// The documented escape hatch for deliberate std access:
+#[allow(unused_imports)]
+use std::sync::Mutex; // lint: allow(std-sync) — fixture-only seed value
+
+#[cfg(test)]
+mod tests {
+    // Test code drives std primitives directly without a waiver.
+    use std::thread;
+
+    fn test_code_is_exempt() {
+        let t = std::thread::spawn(|| ());
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! Seeded violations for the `gated-intrinsics` rule: arch intrinsics
+//! outside a `#[target_feature]`-gated fn (and outside a waived token
+//! impl) are flagged; `use` imports are exempt.
+//!
+//! Fixture only — never compiled; `cargo xtask lint --fixtures` checks
+//! that the findings match the `//~ ERROR` markers exactly.
+
+use core::arch::x86_64::{__m256, _mm256_add_ps};
+
+fn ungated(a: __m256) -> __m256 {
+    _mm256_add_ps(a, a) //~ ERROR gated-intrinsics
+}
+
+fn inline_path_is_also_flagged(a: __m256) -> __m256 {
+    core::arch::x86_64::_mm256_sub_ps(a, a) //~ ERROR gated-intrinsics
+}
+
+// SAFETY: calling `gated` requires AVX2; this fixture is never called.
+#[target_feature(enable = "avx2")]
+unsafe fn gated(a: __m256) -> __m256 {
+    _mm256_add_ps(a, a)
+}
+
+// lint: allow(gated-intrinsics) — the token receiver is the proof of
+// CPU support here; its constructor is the gated seam.
+impl SimdToken for Tok {
+    fn add(self, a: __m256) -> __m256 {
+        _mm256_add_ps(a, a)
+    }
+}
+
+fn after_the_waived_region(a: __m256) -> __m256 {
+    _mm256_add_ps(a, a) //~ ERROR gated-intrinsics
+}

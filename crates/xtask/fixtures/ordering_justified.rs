@@ -1,0 +1,42 @@
+//! Seeded violations for the `ordering-justified` rule: `Relaxed` and
+//! `SeqCst` on the facade-migrated handoff paths need an `// ordering:`
+//! justification within the comment window; test code is exempt.
+//!
+//! Fixture only — never compiled; `cargo xtask lint --fixtures` checks
+//! that the findings match the `//~ ERROR` markers exactly.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+fn unjustified_relaxed(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed) //~ ERROR ordering-justified
+}
+
+fn unjustified_seqcst(a: &AtomicU64) {
+    a.store(1, Ordering::SeqCst); //~ ERROR ordering-justified
+}
+
+fn justified(a: &AtomicU64) -> u64 {
+    // ordering: Relaxed — statistics counter; no payload is published
+    // through this cell.
+    a.load(Ordering::Relaxed)
+}
+
+fn comment_too_far(a: &AtomicU64) {
+    // ordering: this justification sits outside the comment window of
+    // the final store below, so only that store is flagged.
+    a.store(1, Ordering::Relaxed);
+    let _ = a.load(Ordering::Relaxed);
+    let _ = a.load(Ordering::Relaxed);
+    let _ = a.load(Ordering::Relaxed);
+    let _ = a.load(Ordering::Relaxed);
+    a.store(2, Ordering::Relaxed); //~ ERROR ordering-justified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_code_is_exempt(a: &AtomicU64) -> u64 {
+        a.load(Ordering::Relaxed)
+    }
+}

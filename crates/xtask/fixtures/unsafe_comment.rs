@@ -1,0 +1,37 @@
+//! Seeded violations for the `unsafe-comment` rule: `unsafe` without a
+//! nearby `SAFETY:` justification is flagged; justified uses, `# Safety`
+//! doc sections, and `unsafe` inside string data are not.
+//!
+//! Fixture only — never compiled; `cargo xtask lint --fixtures` checks
+//! that the findings match the `//~ ERROR` markers exactly.
+
+fn unjustified_block(v: &[f32]) -> *const f32 {
+    let p = unsafe { v.as_ptr().add(0) }; //~ ERROR unsafe-comment
+    p
+}
+
+fn justified_block(v: &[f32]) -> f32 {
+    // SAFETY: index 0 is in bounds — the caller guarantees `v` is
+    // non-empty.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// # Safety
+///
+/// The pointer must be valid, aligned, and point to an initialised f32.
+pub unsafe fn justified_fn(p: *const f32) -> f32 {
+    // SAFETY: contract forwarded to the caller (see `# Safety` above).
+    unsafe { *p }
+}
+
+fn string_data_is_not_code() -> &'static str {
+    "this string mentions unsafe but is data, not code"
+}
+
+fn multiline_string_is_not_code() -> String {
+    format!(
+        "help:\n\
+         audit   check unsafe invariants\n\
+         more    unsafe text on a continuation line"
+    )
+}

@@ -1,0 +1,30 @@
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint::run(args.collect()),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\
+         \n\
+         commands:\n\
+           lint             audit the source tree for concurrency/unsafe invariants\n\
+               --fixtures   run the audit against the seeded-violation fixtures\n\
+                            and fail unless every expected violation is caught"
+    );
+}
