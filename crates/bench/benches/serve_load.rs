@@ -29,7 +29,7 @@ use pcnn_core::PrunePlan;
 use pcnn_nn::models::{vgg16_proxy, VggProxyConfig};
 use pcnn_runtime::compile::{prune_and_compile, CompileOptions};
 use pcnn_runtime::Engine;
-use pcnn_serve::{ServeConfig, ServeError, Server, TelemetrySnapshot, TraceConfig};
+use pcnn_serve::{EventConfig, ServeConfig, ServeError, Server, TelemetrySnapshot, TraceConfig};
 use pcnn_tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -495,6 +495,53 @@ fn main() {
          (ratio {window_ratio:.3} < {floor}): the <=2% windowing budget is blown"
     );
 
+    // == Event journal overhead: journal on (default) vs off ============
+    // The forensics acceptance bar: the structured event journal at the
+    // default config must cost < 2% of closed-loop throughput. The
+    // happy path never emits (events fire on queue-full, shed, faults,
+    // health transitions, drains — none of which closed-loop traffic
+    // hits), so this guards the cost of carrying the journal: the
+    // telemetry-snapshot tail read and any accidental hot-path emission.
+    println!("\n== event journal overhead: journal on (default) vs off ==");
+    let events_cfg = |enabled: bool| ServeConfig {
+        max_batch: batched_max_batch(),
+        max_wait: batched_max_wait(),
+        events: EventConfig {
+            enabled,
+            ..EventConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mut event_ratios = Vec::with_capacity(rounds);
+    let mut events_off_best = 0f64;
+    let mut events_on_best = 0f64;
+    for round in 0..rounds {
+        let off = closed_loop(events_cfg(false), clients, per_client);
+        let on = closed_loop(events_cfg(true), clients, per_client);
+        println!(
+            "  round {round}: journal off {:7.1} req/s   on {:7.1} req/s   ratio {:.3}",
+            off.rps,
+            on.rps,
+            on.rps / off.rps
+        );
+        event_ratios.push(on.rps / off.rps);
+        events_off_best = events_off_best.max(off.rps);
+        events_on_best = events_on_best.max(on.rps);
+    }
+    event_ratios.sort_by(f64::total_cmp);
+    let event_ratio = *event_ratios.last().expect("at least one round");
+    let event_overhead_pct = ((1.0 - event_ratio) * 100.0).max(0.0);
+    println!(
+        "event journal overhead: {event_overhead_pct:.2}% of throughput \
+         (best pair ratio {event_ratio:.3}, median {:.3})",
+        event_ratios[event_ratios.len() / 2],
+    );
+    assert!(
+        event_ratio >= floor,
+        "event journal cost {event_overhead_pct:.2}% of closed-loop throughput \
+         (ratio {event_ratio:.3} < {floor}): the <2% forensics budget is blown"
+    );
+
     // Machine-readable trajectory: BENCH_serve.json at the workspace root.
     let json = format!(
         "{{\"bench\":\"serve_load\",\"clients\":{clients},\"per_client\":{per_client},\
@@ -508,7 +555,9 @@ fn main() {
          \"on_rps\":{trace_on_best:.3},\"ratio\":{trace_ratio:.4},\
          \"overhead_pct\":{trace_overhead_pct:.3}}},\
          \"window\":{{\"off_rps\":{window_off_best:.3},\"on_rps\":{window_on_best:.3},\
-         \"ratio\":{window_ratio:.4},\"overhead_pct\":{window_overhead_pct:.3}}}}}",
+         \"ratio\":{window_ratio:.4},\"overhead_pct\":{window_overhead_pct:.3}}},\
+         \"events\":{{\"off_rps\":{events_off_best:.3},\"on_rps\":{events_on_best:.3},\
+         \"ratio\":{event_ratio:.4},\"overhead_pct\":{event_overhead_pct:.3}}}}}",
         json_block("closed_loop_batch1", batch1.rps, &batch1.snapshot),
         json_block("closed_loop_batched", batched.rps, &batched.snapshot),
         open.offered_rps,

@@ -265,6 +265,14 @@ impl ExecProfiler {
                 .collect(),
         }
     }
+
+    /// [`ExecProfiler::snapshot`] gated on the enable switch — the
+    /// accessor diagnostic snapshots use: `None` while profiling is
+    /// off, so a forensics consumer never serializes a profile of
+    /// zeros as if it were a measurement.
+    pub fn snapshot_if_enabled(&self) -> Option<ExecProfile> {
+        self.is_enabled().then(|| self.snapshot())
+    }
 }
 
 /// Aggregated per-layer timings of one lowering.

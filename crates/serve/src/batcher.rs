@@ -35,6 +35,8 @@
 //! a request whose shape differs from the batch being built closes that
 //! batch and opens the next one (no reordering, no starvation).
 
+use crate::events::{EventCode, Severity};
+use crate::incident::IncidentRecorder;
 use crate::metrics::{ServerMetrics, ShardMetrics};
 use crate::queue::{BoundedQueue, Pop};
 use crate::ticket::{ServeError, TicketCell};
@@ -91,6 +93,9 @@ pub(crate) struct BatcherContext {
     pub metrics: Arc<ServerMetrics>,
     /// The server's flight recorder: span clock and ring sink.
     pub recorder: Arc<FlightRecorder>,
+    /// The black-box incident recorder: notified on the first engine
+    /// fault so the telemetry that explains it is captured in time.
+    pub incidents: Arc<IncidentRecorder>,
     /// When set, drain-by-failing: remaining requests get
     /// [`ServeError::Aborted`] instead of an inference pass.
     pub abort: Arc<AtomicBool>,
@@ -246,6 +251,12 @@ fn dispatch(
         // Aborted timelines stay complete and monotone: the events the
         // request never reached all carry the abort instant.
         let abort_ns = ctx.recorder.now_ns();
+        ctx.metrics.events().emit(
+            EventCode::BatchAbort,
+            Severity::Warn,
+            shard_index as u64,
+            batch_len as u64,
+        );
         for r in batch {
             ctx.shard.aborted.inc();
             ctx.shard.precision(r.precision).aborted.inc();
@@ -298,6 +309,12 @@ fn dispatch(
     let inflight = inflight.clone();
     let buffer_pool = buffer_pool.clone();
     let recorder = ctx.recorder.clone();
+    let metrics = ctx.metrics.clone();
+    // Weak on purpose: this callback runs on an engine pool thread, and
+    // the recorder transitively owns the engines. A strong clone could
+    // make a pool worker the last owner of its own engine at shutdown —
+    // dropping it would have the pool join itself.
+    let incidents = Arc::downgrade(&ctx.incidents);
     let shard_slot = ctx.shard_index;
     let dispatched_ns = ctx.recorder.now_ns();
     ctx.engine
@@ -330,6 +347,15 @@ fn dispatch(
                         shard.failed.inc();
                         shard.precision(precision).failed.inc();
                         shard.window_failed(precision);
+                        metrics.events().emit(
+                            EventCode::EngineFault,
+                            Severity::Error,
+                            shard_slot as u64,
+                            shard.failed.get(),
+                        );
+                        if let Some(incidents) = incidents.upgrade() {
+                            incidents.on_engine_fault();
+                        }
                         SpanOutcome::Failed
                     }
                 };

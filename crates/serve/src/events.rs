@@ -1,0 +1,903 @@
+//! The structured event journal: the forensics layer between metrics
+//! (which count) and spans (which time). Discrete control-plane
+//! happenings — a queue-full rejection, a shed decision, an engine
+//! fault, a health transition — are **events**: rare, individually
+//! meaningful, and exactly what a 3am postmortem wants in order, with
+//! timestamps, after the fact.
+//!
+//! Writers never block and never allocate: an emission is a handful of
+//! relaxed counter bumps, one CAS on the per-code rate limiter, and a
+//! seqlock publication into a bounded ring (the same claim-odd /
+//! store-words / publish-even protocol as [`crate::trace`]'s span
+//! ring, including the load-bearing Release fence). A writer that
+//! loses a ring slot to a lap-racing writer drops its record and ticks
+//! a counter instead of spinning, so the journal can sit on the
+//! admission path and inside completion callbacks without ever
+//! stalling them.
+//!
+//! **Rate limiting with coalesced repeats.** Event storms are the
+//! norm, not the exception: a saturated queue rejects thousands of
+//! times per second, and each rejection is the *same* fact. Each
+//! [`EventCode`] therefore carries a packed `window_tag << 32 | count`
+//! rate limiter (one `AtomicU64`, rotated and bumped in a single CAS —
+//! the lost-increment-free idiom `crate::window`'s counters use): at
+//! most [`EventConfig::rate_burst`] records of a code are published
+//! per [`EventConfig::rate_window`], and suppressed occurrences
+//! accumulate into the **`repeats`** field of that code's next
+//! published record, so the journal keeps the full count while the
+//! ring keeps only the interesting edges. The per-`(code, severity)`
+//! totals (`pcnn_events_total`) count every occurrence regardless.
+//!
+//! Timestamps are nanoseconds on the owning
+//! [`crate::metrics::ServerMetrics`]' epoch — the same monotonic clock
+//! the rolling windows and health evaluations read — so an event tail
+//! lines up with window snapshots and span timelines without clock
+//! translation.
+
+use pcnn_sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Stable identities of the journalled control-plane events. The
+/// snake_case labels are the `code` label values of
+/// `pcnn_events_total` and the `"code"` field of the JSON tail —
+/// append new codes, never renumber or rename existing ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventCode {
+    /// Admission rejected a request because the queue was at capacity
+    /// (`a` = queue length, `b` = capacity).
+    QueueFull = 0,
+    /// The health engine shed a low-priority request while Overloaded
+    /// (`a` = total shed so far, `b` = health state code).
+    Shed = 1,
+    /// A request failed because its engine pass faulted
+    /// (`a` = shard, `b` = total failed so far).
+    EngineFault = 2,
+    /// An abort shutdown failed a coalesced batch
+    /// (`a` = shard, `b` = batch length).
+    BatchAbort = 3,
+    /// The health state machine moved
+    /// (`a` = from-state code, `b` = to-state code).
+    HealthTransition = 4,
+    /// The flight recorder lost a span to ring-slot contention
+    /// (`a` = shard, `b` = total spans dropped so far).
+    TraceRingOverwrite = 5,
+    /// Shutdown began (`a` = mode: 0 drain, 1 abort; `b` = queue
+    /// length at close).
+    DrainBegin = 6,
+    /// Shutdown finished (`a` = mode, `b` = lifetime failed count).
+    DrainEnd = 7,
+}
+
+/// Number of event codes — the size of every per-code table.
+pub const EVENT_CODES: usize = 8;
+
+impl EventCode {
+    /// Every code, in discriminant order (the iteration order of the
+    /// Prometheus rendering).
+    pub const ALL: [EventCode; EVENT_CODES] = [
+        EventCode::QueueFull,
+        EventCode::Shed,
+        EventCode::EngineFault,
+        EventCode::BatchAbort,
+        EventCode::HealthTransition,
+        EventCode::TraceRingOverwrite,
+        EventCode::DrainBegin,
+        EventCode::DrainEnd,
+    ];
+
+    /// The stable snake_case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventCode::QueueFull => "queue_full",
+            EventCode::Shed => "shed",
+            EventCode::EngineFault => "engine_fault",
+            EventCode::BatchAbort => "batch_abort",
+            EventCode::HealthTransition => "health_transition",
+            EventCode::TraceRingOverwrite => "trace_ring_overwrite",
+            EventCode::DrainBegin => "drain_begin",
+            EventCode::DrainEnd => "drain_end",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn from_index(i: u64) -> EventCode {
+        EventCode::ALL[(i as usize) % EVENT_CODES]
+    }
+}
+
+impl std::fmt::Display for EventCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How alarming an event is, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Expected lifecycle fact (a drain beginning, a recovery).
+    Info = 0,
+    /// Load or capacity pressure (rejections, sheds, degradations).
+    Warn = 1,
+    /// Something failed (an engine fault, an overload transition).
+    Error = 2,
+}
+
+/// Number of severities — the size of every per-severity table.
+pub const SEVERITIES: usize = 3;
+
+impl Severity {
+    /// Every severity, in ascending order.
+    pub const ALL: [Severity; SEVERITIES] = [Severity::Info, Severity::Warn, Severity::Error];
+
+    /// The stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn from_index(i: u64) -> Severity {
+        Severity::ALL[(i as usize) % SEVERITIES]
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Journal knobs of a server ([`crate::ServeConfig::events`]).
+#[derive(Debug, Clone)]
+pub struct EventConfig {
+    /// Record events at all. Off turns every emission into one branch
+    /// on a plain bool — the baseline the serving bench pairs against.
+    pub enabled: bool,
+    /// Records retained in the ring; older records are overwritten.
+    pub ring_capacity: usize,
+    /// The rate-limit window each code's burst budget refills on.
+    pub rate_window: Duration,
+    /// Records of one code published per window; further occurrences
+    /// of that code coalesce into the next record's `repeats`. `0`
+    /// disables rate limiting (every occurrence publishes).
+    pub rate_burst: u32,
+}
+
+impl Default for EventConfig {
+    /// On, 256 records, at most 16 records per code per 100 ms.
+    fn default() -> Self {
+        EventConfig {
+            enabled: true,
+            ring_capacity: 256,
+            rate_window: Duration::from_millis(100),
+            rate_burst: 16,
+        }
+    }
+}
+
+/// Number of atomic words one encoded event occupies in a ring slot.
+const EVENT_WORDS: usize = 6;
+
+/// One published journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Publication sequence number (1-based, strictly increasing) —
+    /// the journal's total order.
+    pub seq: u64,
+    /// What happened.
+    pub code: EventCode,
+    /// How alarming it was.
+    pub severity: Severity,
+    /// Nanoseconds since the owning metrics' epoch.
+    pub t_ns: u64,
+    /// First payload word (meaning is per-code, see [`EventCode`]).
+    pub a: u64,
+    /// Second payload word (meaning is per-code, see [`EventCode`]).
+    pub b: u64,
+    /// Occurrences of this code suppressed by the rate limiter since
+    /// the previous published record of the code.
+    pub repeats: u64,
+}
+
+impl RecordedEvent {
+    /// The record as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seq\":{},\"code\":\"{}\",\"severity\":\"{}\",",
+                "\"t_ns\":{},\"a\":{},\"b\":{},\"repeats\":{}}}"
+            ),
+            self.seq,
+            self.code.label(),
+            self.severity.label(),
+            self.t_ns,
+            self.a,
+            self.b,
+            self.repeats,
+        )
+    }
+
+    fn encode(&self) -> [u64; EVENT_WORDS] {
+        let meta = ((self.code.index() as u64) << 8) | self.severity.index() as u64;
+        [self.seq, meta, self.t_ns, self.a, self.b, self.repeats]
+    }
+
+    fn decode(words: &[u64; EVENT_WORDS]) -> RecordedEvent {
+        let meta = words[1];
+        RecordedEvent {
+            seq: words[0],
+            code: EventCode::from_index(meta >> 8),
+            severity: Severity::from_index(meta & 0xff),
+            t_ns: words[2],
+            a: words[3],
+            b: words[4],
+            repeats: words[5],
+        }
+    }
+}
+
+impl std::fmt::Display for RecordedEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#{} [{}] {} at {:.3} ms (a={}, b={}",
+            self.seq,
+            self.severity,
+            self.code,
+            self.t_ns as f64 / 1e6,
+            self.a,
+            self.b,
+        )?;
+        if self.repeats > 0 {
+            write!(f, ", +{} coalesced", self.repeats)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// One seqlock slot: an even, nonzero sequence publishes the words.
+/// The protocol is [`crate::trace`]'s span slot, word count aside.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; EVENT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bounded event ring: one CAS-claimed seqlock slot per record.
+struct EventRing {
+    /// Total slots ever claimed; `head % capacity` is the next slot.
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl EventRing {
+    fn new(capacity: usize) -> EventRing {
+        EventRing {
+            head: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Returns `false` when the slot was lost to a lap-racing writer
+    /// (the record is dropped rather than ever spinning).
+    fn push(&self, event: &RecordedEvent) -> bool {
+        // ordering: ticket distribution only — the CAS below is what
+        // transfers slot ownership, so the counter itself needs no
+        // synchronization.
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(ticket % cap) as usize];
+        let lap = ticket / cap;
+        let expected = 2 * lap;
+        // ordering: AcqRel on success — Acquire to see the previous
+        // lap's words before overwriting, Release to order our claim
+        // after any prior writes. Relaxed on failure: a lost claim
+        // touches nothing.
+        if slot
+            .seq
+            .compare_exchange(expected, expected + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        // ordering: this Release fence pairs with the readers' Acquire
+        // fence in `collect`. Without it the relaxed word stores below
+        // are not ordered after the odd-sequence claim from the
+        // reader's point of view, so a reader could observe fresh
+        // words yet still see the old even sequence on its re-check
+        // and validate a torn record (the span ring's model test found
+        // exactly this shape; the claim CAS's AcqRel does not order
+        // *later* relaxed stores for remote observers).
+        fence(Ordering::Release);
+        for (w, v) in slot.words.iter().zip(event.encode()) {
+            // ordering: plain data words; the surrounding fence /
+            // Release seq protocol publishes them, per-word ordering
+            // is not needed.
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(expected + 2, Ordering::Release);
+        true
+    }
+
+    fn collect(&self, out: &mut Vec<RecordedEvent>) {
+        for slot in &self.slots {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue; // empty or mid-write
+            }
+            let mut words = [0u64; EVENT_WORDS];
+            for (v, w) in words.iter_mut().zip(&slot.words) {
+                // ordering: speculative snapshot; the Acquire fence +
+                // sequence re-check below discards it if a writer
+                // intervened, so the loads themselves can be relaxed.
+                *v = w.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            // ordering: the fence above pairs with the writer's
+            // Release fence/store, so this re-check load needs no
+            // ordering of its own — an unchanged even sequence proves
+            // the snapshot.
+            if slot.seq.load(Ordering::Relaxed) == before {
+                out.push(RecordedEvent::decode(&words));
+            }
+        }
+    }
+}
+
+/// Bit layout of the packed per-code rate limiter: the high half is
+/// the window tag (`t_ns / window + 1`; 0 means "never emitted"), the
+/// low half the records published inside that window. One word means
+/// rotate-and-bump is a single CAS — no separate zeroing store for a
+/// racing writer's increment to fall into.
+const TAG_SHIFT: u32 = 32;
+const COUNT_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+/// The lock-free, bounded, rate-limited structured event journal.
+pub struct EventJournal {
+    enabled: bool,
+    epoch: Instant,
+    window_ns: u64,
+    burst: u64,
+    ring: EventRing,
+    /// Packed `tag << 32 | count` rate limiter, one per code.
+    limiter: [AtomicU64; EVENT_CODES],
+    /// Occurrences suppressed since each code's last published record,
+    /// drained into that record's `repeats`.
+    pending_repeats: [AtomicU64; EVENT_CODES],
+    /// Every occurrence, by (code, severity) — `pcnn_events_total`.
+    totals: [[AtomicU64; SEVERITIES]; EVENT_CODES],
+    /// Publication sequence numbers (the `seq` of published records).
+    next_seq: AtomicU64,
+    emitted: AtomicU64,
+    published: AtomicU64,
+    suppressed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventJournal {
+    /// A journal stamping timestamps against `epoch` (the owning
+    /// metrics' start instant).
+    pub fn new(config: &EventConfig, epoch: Instant) -> EventJournal {
+        EventJournal {
+            enabled: config.enabled,
+            epoch,
+            window_ns: config.rate_window.as_nanos().min(u64::MAX as u128) as u64,
+            burst: config.rate_burst as u64,
+            ring: EventRing::new(config.ring_capacity),
+            limiter: std::array::from_fn(|_| AtomicU64::new(0)),
+            pending_repeats: std::array::from_fn(|_| AtomicU64::new(0)),
+            totals: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            next_seq: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether emissions record anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since the journal's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Journals one event at the current instant.
+    pub fn emit(&self, code: EventCode, severity: Severity, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.emit_at(self.now_ns(), code, severity, a, b);
+    }
+
+    /// Journals one event at an explicit timestamp (nanoseconds on the
+    /// epoch clock) — the deterministic entry point tests and the
+    /// health engine (which already carries an explicit `now_ns`) use.
+    pub fn emit_at(&self, t_ns: u64, code: EventCode, severity: Severity, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        // ordering: monotone statistics counters; no payload rides on
+        // them and snapshot readers tolerate lag.
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        self.totals[code.index()][severity.index()].fetch_add(1, Ordering::Relaxed);
+        if !self.admit(code, t_ns) {
+            // ordering: both counters are statistics; the pending
+            // count is drained by `swap` in the next publication,
+            // whose atomicity alone keeps repeats exactly-once.
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            self.pending_repeats[code.index()].fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // ordering: the swap's atomicity guarantees each suppressed
+        // occurrence is folded into exactly one record's repeats.
+        let repeats = self.pending_repeats[code.index()].swap(0, Ordering::Relaxed);
+        // ordering: uniqueness comes from the RMW itself; the seq
+        // carries no payload to publish (the ring protocol does that).
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let event = RecordedEvent {
+            seq,
+            code,
+            severity,
+            t_ns,
+            a,
+            b,
+            repeats,
+        };
+        // ordering: monotone statistics counters, read independently
+        // of the records they count.
+        if self.ring.push(&event) {
+            self.published.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The rate-limit decision: at most `burst` publications per code
+    /// per window. A single CAS both rotates the window tag and bumps
+    /// the count, so a publication racing the rotation can never be
+    /// silently absorbed by a separate zeroing store (the lost-update
+    /// shape `crate::window`'s packed counters exist to close).
+    fn admit(&self, code: EventCode, t_ns: u64) -> bool {
+        if self.burst == 0 || self.window_ns == 0 {
+            return true;
+        }
+        let tag = t_ns / self.window_ns + 1;
+        let word = &self.limiter[code.index()];
+        // ordering: the limiter word is self-contained — tag and count
+        // travel together in one CAS, nothing else is published
+        // through it — so the whole loop can stay relaxed.
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            let (cur_tag, cur_count) = (cur >> TAG_SHIFT, cur & COUNT_MASK);
+            let next = if cur_tag == tag {
+                if cur_count >= self.burst {
+                    return false;
+                }
+                (tag << TAG_SHIFT) | (cur_count + 1)
+            } else {
+                // A new window (or an out-of-order stamp from a stale
+                // reading of the clock): the budget refills.
+                (tag << TAG_SHIFT) | 1
+            };
+            // ordering: covered by the limiter contract above; failure
+            // hands back the freshly observed word for the retry.
+            match word.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Occurrences journalled (published, suppressed, or dropped).
+    pub fn emitted(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Records published into the ring.
+    pub fn published(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Occurrences coalesced away by the per-code rate limiter.
+    pub fn suppressed(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to ring-slot contention (never by blocking).
+    pub fn dropped(&self) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Occurrences of one `(code, severity)` cell — the value of
+    /// `pcnn_events_total{code,severity}`.
+    pub fn total(&self, code: EventCode, severity: Severity) -> u64 {
+        // ordering: statistics read; snapshot readers tolerate lag.
+        self.totals[code.index()][severity.index()].load(Ordering::Relaxed)
+    }
+
+    /// The retained records, oldest first (sorted by publication
+    /// sequence).
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        let mut out = Vec::new();
+        self.ring.collect(&mut out);
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// The newest `n` retained records, oldest of them first — the
+    /// event tail telemetry snapshots and diagnostics carry.
+    pub fn tail(&self, n: usize) -> Vec<RecordedEvent> {
+        let mut all = self.events();
+        let skip = all.len().saturating_sub(n);
+        all.drain(..skip);
+        all
+    }
+
+    /// The journal as one JSON object (counters plus the full retained
+    /// record list).
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self.events().iter().map(RecordedEvent::to_json).collect();
+        format!(
+            concat!(
+                "{{\"enabled\":{},\"emitted\":{},\"published\":{},",
+                "\"suppressed\":{},\"dropped\":{},\"events\":[{}]}}"
+            ),
+            self.enabled,
+            self.emitted(),
+            self.published(),
+            self.suppressed(),
+            self.dropped(),
+            events.join(","),
+        )
+    }
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("enabled", &self.enabled)
+            .field("emitted", &self.emitted())
+            .field("published", &self.published())
+            .field("suppressed", &self.suppressed())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_sync::Arc;
+
+    fn journal(config: EventConfig) -> EventJournal {
+        EventJournal::new(&config, Instant::now())
+    }
+
+    #[test]
+    fn records_round_trip_and_order_by_sequence() {
+        let j = journal(EventConfig {
+            rate_burst: 0,
+            ..EventConfig::default()
+        });
+        j.emit_at(300, EventCode::Shed, Severity::Warn, 1, 2);
+        j.emit_at(100, EventCode::QueueFull, Severity::Warn, 10, 16);
+        j.emit_at(200, EventCode::DrainBegin, Severity::Info, 0, 4);
+        let got = j.events();
+        assert_eq!(got.len(), 3);
+        // Order is publication order, not timestamp order.
+        assert_eq!(got[0].code, EventCode::Shed);
+        assert_eq!(got[1].code, EventCode::QueueFull);
+        assert_eq!(got[2].code, EventCode::DrainBegin);
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[2].seq, 3);
+        assert_eq!(got[1].a, 10);
+        assert_eq!(got[1].b, 16);
+        assert_eq!(j.published(), 3);
+        assert_eq!(j.emitted(), 3);
+        assert_eq!(j.total(EventCode::QueueFull, Severity::Warn), 1);
+        assert_eq!(j.total(EventCode::QueueFull, Severity::Error), 0);
+    }
+
+    #[test]
+    fn encode_decode_is_lossless_at_the_extremes() {
+        let e = RecordedEvent {
+            seq: u64::MAX / 5,
+            code: EventCode::DrainEnd,
+            severity: Severity::Error,
+            t_ns: u64::MAX / 7,
+            a: u64::MAX,
+            b: 0,
+            repeats: u64::MAX / 3,
+        };
+        assert_eq!(RecordedEvent::decode(&e.encode()), e);
+    }
+
+    #[test]
+    fn rate_limiter_coalesces_repeats_within_a_window() {
+        let j = journal(EventConfig {
+            rate_window: Duration::from_nanos(1_000),
+            rate_burst: 2,
+            ..EventConfig::default()
+        });
+        // Five occurrences inside one window: two publish, three
+        // coalesce.
+        for i in 0..5u64 {
+            j.emit_at(100 + i, EventCode::QueueFull, Severity::Warn, i, 16);
+        }
+        assert_eq!(j.published(), 2);
+        assert_eq!(j.suppressed(), 3);
+        assert_eq!(j.emitted(), 5);
+        assert_eq!(j.total(EventCode::QueueFull, Severity::Warn), 5);
+        // The next window refills the budget, and its first record
+        // carries the three coalesced occurrences.
+        j.emit_at(2_500, EventCode::QueueFull, Severity::Warn, 9, 16);
+        let got = j.events();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2].repeats, 3, "suppressed occurrences coalesce");
+        assert_eq!(got[0].repeats, 0);
+        // Another code's budget is untouched.
+        j.emit_at(150, EventCode::Shed, Severity::Warn, 0, 2);
+        assert_eq!(j.published(), 4);
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_records_and_tail_trims() {
+        let j = journal(EventConfig {
+            ring_capacity: 4,
+            rate_burst: 0,
+            ..EventConfig::default()
+        });
+        for i in 0..10u64 {
+            j.emit_at(i, EventCode::EngineFault, Severity::Error, i, 0);
+        }
+        let got = j.events();
+        assert_eq!(got.len(), 4, "capacity bounds retention");
+        let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest records evicted");
+        let tail = j.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 9);
+        assert_eq!(tail[1].seq, 10);
+        assert!(j.tail(100).len() == 4, "tail clamps to what is retained");
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let j = journal(EventConfig {
+            enabled: false,
+            ..EventConfig::default()
+        });
+        j.emit(EventCode::QueueFull, Severity::Warn, 1, 2);
+        j.emit_at(50, EventCode::Shed, Severity::Warn, 1, 2);
+        assert!(!j.enabled());
+        assert_eq!(j.emitted(), 0);
+        assert_eq!(j.published(), 0);
+        assert_eq!(j.total(EventCode::QueueFull, Severity::Warn), 0);
+        assert!(j.events().is_empty());
+        assert!(j.to_json().contains("\"enabled\":false"));
+    }
+
+    #[test]
+    fn json_dump_is_brace_balanced_and_labeled() {
+        let j = journal(EventConfig::default());
+        j.emit_at(1_000, EventCode::HealthTransition, Severity::Warn, 0, 1);
+        j.emit_at(2_000, EventCode::TraceRingOverwrite, Severity::Warn, 0, 7);
+        let json = j.to_json();
+        assert!(json.contains("\"code\":\"health_transition\""));
+        assert!(json.contains("\"code\":\"trace_ring_overwrite\""));
+        assert!(json.contains("\"severity\":\"warn\""));
+        let depth = json.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "balanced braces");
+        let line = format!("{}", j.events()[0]);
+        assert!(line.contains("health_transition"));
+        assert!(line.contains("[warn]"));
+    }
+
+    #[test]
+    fn concurrent_emitters_account_for_every_occurrence() {
+        let j = Arc::new(journal(EventConfig {
+            ring_capacity: 32,
+            rate_window: Duration::from_millis(1),
+            rate_burst: 4,
+            ..EventConfig::default()
+        }));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let j = Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let code = EventCode::ALL[(w % 4) as usize];
+                        j.emit_at(i * 10, code, Severity::Warn, w, i);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer");
+        }
+        assert_eq!(j.emitted(), 2000);
+        assert_eq!(
+            j.published() + j.suppressed() + j.dropped(),
+            2000,
+            "every occurrence is published, coalesced, or counted as dropped"
+        );
+        // Repeats folded into surviving records never exceed the
+        // suppressed total.
+        let folded: u64 = j.events().iter().map(|e| e.repeats).sum();
+        assert!(folded <= j.suppressed());
+    }
+}
+
+/// Interleaving tests for the journal under the deterministic model
+/// checker: the seqlock ring never validates a torn record, and the
+/// single-CAS rate limiter never loses an occurrence below the burst
+/// threshold (the lost-update shape a separate zeroing store would
+/// reintroduce). Compiled only under the `model-check` facade.
+#[cfg(all(test, any(pcnn_model_check, feature = "model-check")))]
+mod model_tests {
+    use super::*;
+    use pcnn_sync::model::{check, CheckOptions};
+    use pcnn_sync::{thread, Arc};
+
+    fn opts() -> CheckOptions {
+        CheckOptions {
+            exhaustive_schedules: 2_000,
+            random_schedules: 1_000,
+            ..CheckOptions::default()
+        }
+    }
+
+    fn event(seq: u64, a: u64) -> RecordedEvent {
+        RecordedEvent {
+            seq,
+            code: EventCode::QueueFull,
+            severity: Severity::Warn,
+            t_ns: 100 * seq,
+            a,
+            b: a + 1,
+            repeats: a + 2,
+        }
+    }
+
+    #[test]
+    fn event_ring_never_validates_a_torn_record() {
+        let report = check("events-seqlock-ring", opts(), || {
+            // One slot, two writers, one concurrent reader: maximum
+            // contention on the seq protocol.
+            let ring = Arc::new(EventRing::new(1));
+            let a = event(1, 10);
+            let b = event(2, 2_000);
+            let w1 = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.push(&a))
+            };
+            let w2 = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.push(&b))
+            };
+            let reader = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    let mut out = Vec::new();
+                    ring.collect(&mut out);
+                    out
+                })
+            };
+            let mid = reader.join().unwrap();
+            let p1 = w1.join().unwrap();
+            let p2 = w2.join().unwrap();
+            for e in &mid {
+                assert!(*e == a || *e == b, "reader validated a torn record: {e:?}");
+            }
+            assert!(p1 || p2, "no writer claimed the slot");
+            let mut fin = Vec::new();
+            ring.collect(&mut fin);
+            assert_eq!(fin.len(), 1, "slot published exactly one record");
+            assert!(fin[0] == a || fin[0] == b);
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn concurrent_emits_below_the_burst_all_publish() {
+        let report = check("events-no-loss-below-burst", opts(), || {
+            // Two writers, burst 4, capacity 4: both emissions are
+            // under every limit, so no interleaving of the limiter CAS
+            // or the ring claim may lose either record.
+            let j = Arc::new(EventJournal::new(
+                &EventConfig {
+                    ring_capacity: 4,
+                    rate_window: Duration::from_nanos(1_000),
+                    rate_burst: 4,
+                    ..EventConfig::default()
+                },
+                Instant::now(),
+            ));
+            let writers: Vec<_> = (0..2u64)
+                .map(|w| {
+                    let j = Arc::clone(&j);
+                    thread::spawn(move || j.emit_at(100, EventCode::Shed, Severity::Warn, w, 0))
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            assert_eq!(j.suppressed(), 0, "below the burst nothing coalesces");
+            assert_eq!(j.dropped(), 0, "below capacity nothing drops");
+            assert_eq!(j.published(), 2, "an emission below every limit was lost");
+            let got = j.events();
+            assert_eq!(got.len(), 2);
+            let mut payloads: Vec<u64> = got.iter().map(|e| e.a).collect();
+            payloads.sort_unstable();
+            assert_eq!(payloads, vec![0, 1], "both writers' records survive");
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn limiter_rotation_never_loses_the_racing_occurrence() {
+        let report = check("events-limiter-rotation", opts(), || {
+            // Two writers race the window rotation (stamps in two
+            // different windows, burst 1). Whoever wins, both
+            // occurrences are accounted: published or coalesced into a
+            // pending repeat, never vanished.
+            let j = Arc::new(EventJournal::new(
+                &EventConfig {
+                    ring_capacity: 8,
+                    rate_window: Duration::from_nanos(100),
+                    rate_burst: 1,
+                    ..EventConfig::default()
+                },
+                Instant::now(),
+            ));
+            let writers: Vec<_> = [50u64, 250]
+                .into_iter()
+                .map(|t| {
+                    let j = Arc::clone(&j);
+                    thread::spawn(move || j.emit_at(t, EventCode::QueueFull, Severity::Warn, t, 0))
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            assert_eq!(j.emitted(), 2);
+            let folded: u64 = j.events().iter().map(|e| e.repeats).sum();
+            assert_eq!(
+                j.published() + j.suppressed(),
+                2,
+                "an occurrence racing the rotation was lost"
+            );
+            assert!(folded <= j.suppressed());
+        });
+        assert!(report.schedules_run > 0);
+    }
+}

@@ -36,8 +36,11 @@
 //! the state is `Overloaded` — high-priority traffic always passes,
 //! and the default config sheds nothing.
 
+use crate::events::{EventCode, Severity};
+use crate::incident::IncidentRecorder;
 use crate::metrics::ServerMetrics;
 use pcnn_sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use pcnn_sync::Arc;
 use std::time::Duration;
 
 /// The declarative service-level objective a server is graded against.
@@ -236,6 +239,7 @@ pub struct HealthEngine {
     state: AtomicU8,
     last_eval_ns: AtomicU64,
     transitions: AtomicU64,
+    incidents: Option<Arc<IncidentRecorder>>,
 }
 
 impl HealthEngine {
@@ -246,7 +250,16 @@ impl HealthEngine {
             state: AtomicU8::new(HealthState::Healthy.code()),
             last_eval_ns: AtomicU64::new(0),
             transitions: AtomicU64::new(0),
+            incidents: None,
         }
+    }
+
+    /// Attaches the black-box incident recorder: every evaluation
+    /// caches its report there, and a transition into
+    /// `Degraded`/`Overloaded` triggers a capture.
+    pub fn with_incidents(mut self, incidents: Arc<IncidentRecorder>) -> Self {
+        self.incidents = Some(incidents);
+        self
     }
 
     /// The objective this engine grades against.
@@ -333,13 +346,38 @@ impl HealthEngine {
         }
         // ordering: Relaxed — the stamp only rate-limits; see above.
         self.last_eval_ns.fetch_max(now_ns, Ordering::Relaxed);
-        HealthReport {
+        let report = HealthReport {
             state: next,
             fast,
             slow,
             transitions: self.transitions(),
             shed: metrics.shed.get(),
+        };
+        if next != current {
+            // Recovery steps are informational; entering Degraded is a
+            // warning and entering Overloaded an error — the same
+            // grading the incident recorder uses to decide a capture.
+            let severity = if next.code() < current.code() {
+                Severity::Info
+            } else if next == HealthState::Overloaded {
+                Severity::Error
+            } else {
+                Severity::Warn
+            };
+            metrics.events().emit_at(
+                now_ns,
+                EventCode::HealthTransition,
+                severity,
+                current.code() as u64,
+                next.code() as u64,
+            );
+            if let Some(incidents) = &self.incidents {
+                incidents.on_health_transition(current, next, &report);
+            }
+        } else if let Some(incidents) = &self.incidents {
+            incidents.note_health(&report);
         }
+        report
     }
 
     /// The submit-path hook: evaluates at the metrics' current time,

@@ -79,7 +79,9 @@
 
 pub mod attribution;
 pub mod batcher;
+pub mod events;
 pub mod health;
+pub mod incident;
 pub mod metrics;
 pub mod queue;
 pub mod shutdown;
@@ -88,7 +90,9 @@ pub mod trace;
 pub mod window;
 
 pub use attribution::AttributionReport;
+pub use events::{EventCode, EventConfig, EventJournal, RecordedEvent, Severity};
 pub use health::{HealthReport, HealthState, SloConfig};
+pub use incident::{DiagnosticSnapshot, IncidentRecorder, IncidentTrigger};
 pub use metrics::{PrecisionSnapshot, ServerMetrics, ShardSnapshot, TelemetrySnapshot};
 pub use pcnn_runtime::Precision;
 pub use queue::Priority;
@@ -158,6 +162,11 @@ pub struct ServeConfig {
     /// percentile, availability target, burn-rate windows, and the
     /// opt-in low-priority shedding hook.
     pub slo: SloConfig,
+    /// The structured event journal's knobs ([`EventConfig`]): ring
+    /// retention and per-code rate limiting for the control-plane
+    /// forensics feed (queue-full, shed, faults, health transitions,
+    /// drains).
+    pub events: EventConfig,
 }
 
 impl Default for ServeConfig {
@@ -174,7 +183,57 @@ impl Default for ServeConfig {
             trace: TraceConfig::default(),
             windowed: true,
             slo: SloConfig::default(),
+            events: EventConfig::default(),
         }
+    }
+}
+
+impl ServeConfig {
+    /// The effective configuration as one JSON object — embedded in
+    /// every [`DiagnosticSnapshot`] so an incident records the exact
+    /// knobs the server ran with.
+    pub fn to_json(&self) -> String {
+        let chw = match self.input_chw {
+            Some([c, h, w]) => format!("[{c},{h},{w}]"),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"queue_capacity\":{},\"max_batch\":{},\"max_wait_ms\":{:.3},",
+                "\"input_chw\":{},\"shards\":{},\"precision\":\"{}\",",
+                "\"trace\":{{\"sample_every\":{},\"ring_capacity\":{}}},",
+                "\"windowed\":{},",
+                "\"slo\":{{\"latency_target_ms\":{:.3},\"latency_percentile\":{},",
+                "\"availability_target\":{},\"fast_window_s\":{},\"slow_window_s\":{},",
+                "\"degraded_burn\":{},\"overloaded_burn\":{},\"min_samples\":{},",
+                "\"shed_low_priority\":{},\"eval_interval_ms\":{:.3}}},",
+                "\"events\":{{\"enabled\":{},\"ring_capacity\":{},",
+                "\"rate_window_ms\":{:.3},\"rate_burst\":{}}}}}"
+            ),
+            self.queue_capacity,
+            self.max_batch,
+            self.max_wait.as_secs_f64() * 1e3,
+            chw,
+            self.shards,
+            self.precision.label(),
+            self.trace.sample_every,
+            self.trace.ring_capacity,
+            self.windowed,
+            self.slo.latency_target.as_secs_f64() * 1e3,
+            self.slo.latency_percentile,
+            self.slo.availability_target,
+            self.slo.fast_window.as_secs_f64(),
+            self.slo.slow_window.as_secs_f64(),
+            self.slo.degraded_burn,
+            self.slo.overloaded_burn,
+            self.slo.min_samples,
+            self.slo.shed_low_priority,
+            self.slo.eval_interval.as_secs_f64() * 1e3,
+            self.events.enabled,
+            self.events.ring_capacity,
+            self.events.rate_window.as_secs_f64() * 1e3,
+            self.events.rate_burst,
+        )
     }
 }
 
@@ -204,6 +263,7 @@ pub struct Server {
     metrics: Arc<ServerMetrics>,
     recorder: Arc<FlightRecorder>,
     health: health::HealthEngine,
+    incidents: Arc<IncidentRecorder>,
     abort: Arc<AtomicBool>,
     batchers: Vec<thread::JoinHandle<()>>,
     config: ServeConfig,
@@ -236,10 +296,26 @@ impl Server {
                 .map(Arc::new)
                 .collect()
         };
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let metrics = Arc::new(ServerMetrics::with_options(shards, config.windowed));
-        let recorder = Arc::new(FlightRecorder::new(&config.trace, shards));
-        let health = health::HealthEngine::new(config.slo.clone());
+        let metrics = Arc::new(ServerMetrics::with_config(
+            shards,
+            config.windowed,
+            config.events.clone(),
+        ));
+        let journal = metrics.events().clone();
+        let mut queue = BoundedQueue::new(config.queue_capacity);
+        queue.set_journal(journal.clone());
+        let queue = Arc::new(queue);
+        let mut recorder = FlightRecorder::new(&config.trace, shards);
+        recorder.attach_journal(journal);
+        let recorder = Arc::new(recorder);
+        let incidents = Arc::new(IncidentRecorder::new(
+            &config,
+            engines.clone(),
+            metrics.clone(),
+            recorder.clone(),
+        ));
+        let health =
+            health::HealthEngine::new(config.slo.clone()).with_incidents(incidents.clone());
         let abort = Arc::new(AtomicBool::new(false));
         let batchers = engines
             .iter()
@@ -252,6 +328,7 @@ impl Server {
                     shard_index: i,
                     metrics: metrics.clone(),
                     recorder: recorder.clone(),
+                    incidents: incidents.clone(),
                     abort: abort.clone(),
                     max_batch: config.max_batch,
                     max_wait: config.max_wait,
@@ -268,6 +345,7 @@ impl Server {
             metrics,
             recorder,
             health,
+            incidents,
             abort,
             batchers,
             config,
@@ -319,6 +397,26 @@ impl Server {
     /// an explicit timestamp in tests.
     pub fn health_engine(&self) -> &health::HealthEngine {
         &self.health
+    }
+
+    /// The black-box incident recorder: bounded ring of automatically
+    /// captured [`DiagnosticSnapshot`]s (health deterioration, first
+    /// engine fault, drain with failures), plus capture/suppression
+    /// counters.
+    pub fn incidents(&self) -> &IncidentRecorder {
+        &self.incidents
+    }
+
+    /// One-call diagnostics: evaluates health now and captures a full
+    /// [`DiagnosticSnapshot`] on demand — build info, effective config,
+    /// telemetry, health, attribution, span and event tails, and the
+    /// exec profile when enabled. Bypasses the incident ring and
+    /// cooldown; it never counts as an incident.
+    pub fn diagnostics(&self) -> DiagnosticSnapshot {
+        // Evaluating refreshes the recorder's cached health report via
+        // the health engine's incident hook.
+        let _ = self.health();
+        self.incidents.diagnostics()
     }
 
     /// Every counter, gauge, and histogram in Prometheus text
@@ -457,6 +555,12 @@ impl Server {
             && self.health.state() == HealthState::Overloaded
         {
             self.metrics.shed.inc();
+            self.metrics.events().emit(
+                EventCode::Shed,
+                Severity::Warn,
+                self.metrics.shed.get(),
+                self.health.state().code() as u64,
+            );
             return Err(ServeError::Overloaded);
         }
         let cell = TicketCell::new();
@@ -502,6 +606,16 @@ impl Server {
 
     fn shutdown_inner(&mut self, mode: ShutdownMode) -> DrainReport {
         let start = Instant::now();
+        let mode_code = match mode {
+            ShutdownMode::Drain => 0,
+            ShutdownMode::Abort => 1,
+        };
+        self.metrics.events().emit(
+            EventCode::DrainBegin,
+            Severity::Info,
+            mode_code,
+            self.queue.len() as u64,
+        );
         if mode == ShutdownMode::Abort {
             // ordering: Release pairs with the batchers' Acquire load
             // (downgraded from SeqCst: the flag is the only atomic in
@@ -533,7 +647,7 @@ impl Server {
                 dp
             })
             .collect();
-        DrainReport {
+        let report = DrainReport {
             mode,
             completed: self.metrics.completed(),
             aborted: self.metrics.aborted(),
@@ -542,7 +656,19 @@ impl Server {
             precisions,
             spans: self.recorder.spans(),
             wall: start.elapsed(),
-        }
+        };
+        self.metrics.events().emit(
+            EventCode::DrainEnd,
+            if report.has_failures() {
+                Severity::Warn
+            } else {
+                Severity::Info
+            },
+            mode_code,
+            report.failed,
+        );
+        self.incidents.on_drain(&report);
+        report
     }
 }
 

@@ -24,6 +24,7 @@
 //! → dispatch, the cost of batching) and **end-to-end latency**
 //! (admission → ticket fulfilment, what the client observes).
 
+use crate::events::{EventCode, EventConfig, EventJournal, RecordedEvent, Severity};
 use crate::window::{WindowSet, WindowSnapshot, WindowStats, WINDOWS};
 use pcnn_runtime::Precision;
 use pcnn_sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -89,10 +90,13 @@ impl Gauge {
 }
 
 /// A high-watermark register: writers race [`Watermark::observe`] (one
-/// relaxed `fetch_max`), the snapshot reader drains it with
-/// [`Watermark::take`]. A sampled gauge only shows the depth at scrape
-/// instants; the watermark catches the transient saturation spikes in
-/// between.
+/// relaxed `fetch_max`); readers observe it non-destructively with
+/// [`Watermark::peek`], and only the explicit interval-reset path
+/// ([`ServerMetrics::snapshot_and_reset`]) drains it with
+/// [`Watermark::take`] — so concurrent snapshot consumers (Prometheus
+/// scrape, Display/JSON, health evaluation) never clobber each other's
+/// reading. A sampled gauge only shows the depth at scrape instants;
+/// the watermark catches the transient saturation spikes in between.
 #[derive(Debug, Default)]
 pub struct Watermark(AtomicU64);
 
@@ -104,21 +108,28 @@ impl Watermark {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
-    /// Current watermark without resetting it — the Prometheus render
-    /// path, which must not consume what the next snapshot reports.
+    /// Current watermark without resetting it — every observe-only
+    /// reader (plain snapshots, the Prometheus render path), so no
+    /// consumer can steal the spike another reader was about to see.
     pub fn peek(&self) -> u64 {
         // ordering: statistics read; snapshot readers tolerate lag.
         self.0.load(Ordering::Relaxed)
     }
 
-    /// Returns the watermark and resets it to zero: each snapshot
-    /// reports the high-water mark since the previous snapshot read.
+    /// Returns the watermark and resets it to zero — the explicit
+    /// opt-in interval reset ([`ServerMetrics::snapshot_and_reset`]);
+    /// every other reader uses [`Watermark::peek`].
     pub fn take(&self) -> u64 {
         // ordering: the swap's atomicity alone guarantees each spike is
         // reported exactly once; no ordering with other state needed.
         self.0.swap(0, Ordering::Relaxed)
     }
 }
+
+/// Events carried in a [`TelemetrySnapshot`]'s tail — enough to show
+/// the recent control-plane edges in Display/JSON without dumping the
+/// whole ring (that's the incident recorder's job).
+const SNAPSHOT_EVENT_TAIL: usize = 8;
 
 /// Number of power-of-two buckets: bucket `i > 0` holds durations in
 /// `[2^i, 2^(i+1))` ns, bucket 0 spans `[0, 2)` ns (it catches both the
@@ -516,12 +527,14 @@ pub struct ServerMetrics {
     pub rejected_shutdown: Counter,
     /// Requests queued right now, sampled at queue push and pop.
     pub queue_depth: Gauge,
-    /// Highest queue depth observed since the last snapshot read —
-    /// catches transient saturation spikes the sampled gauge misses.
+    /// Highest queue depth observed since the last explicit reset
+    /// ([`ServerMetrics::snapshot_and_reset`]) — catches transient
+    /// saturation spikes the sampled gauge misses.
     pub queue_depth_hwm: Watermark,
     /// Low-priority requests shed by the health engine while the
     /// server was `Overloaded` (the opt-in shedding hook).
     pub shed: Counter,
+    events: Arc<EventJournal>,
     shards: Vec<Arc<ShardMetrics>>,
     started: Instant,
     windowed: bool,
@@ -538,6 +551,14 @@ impl ServerMetrics {
     /// skips every rolling ring, the baseline the serving bench pairs
     /// against to price the windowed read-side.
     pub fn with_options(shards: usize, windowed: bool) -> Self {
+        Self::with_config(shards, windowed, EventConfig::default())
+    }
+
+    /// [`ServerMetrics::with_options`] with the event journal made
+    /// explicit. The journal shares this server's telemetry epoch, so
+    /// event timestamps, span timestamps, and window reads all live on
+    /// one monotonic clock.
+    pub fn with_config(shards: usize, windowed: bool, events: EventConfig) -> Self {
         let started = Instant::now();
         ServerMetrics {
             submitted: Counter::default(),
@@ -546,6 +567,7 @@ impl ServerMetrics {
             queue_depth: Gauge::default(),
             queue_depth_hwm: Watermark::default(),
             shed: Counter::default(),
+            events: Arc::new(EventJournal::new(&events, started)),
             shards: (0..shards.max(1))
                 .map(|_| Arc::new(ShardMetrics::with_epoch(started, windowed)))
                 .collect(),
@@ -568,6 +590,13 @@ impl ServerMetrics {
     /// Whether rolling windows are being recorded.
     pub fn windowed(&self) -> bool {
         self.windowed
+    }
+
+    /// The structured event journal sharing this server's telemetry
+    /// epoch — the control-plane forensics feed (queue-full, shed,
+    /// faults, health transitions, drains).
+    pub fn events(&self) -> &Arc<EventJournal> {
+        &self.events
     }
 
     /// Pools every shard's rolling window ending at `now_ns` into one
@@ -736,7 +765,7 @@ impl ServerMetrics {
             aborted,
             failed,
             queue_depth: self.queue_depth.get(),
-            queue_depth_hwm: self.queue_depth_hwm.take(),
+            queue_depth_hwm: self.queue_depth_hwm.peek(),
             shed: self.shed.get(),
             inflight_batches,
             batches,
@@ -763,7 +792,25 @@ impl ServerMetrics {
             precisions,
             shards,
             windows: self.window_snapshots(),
+            events_emitted: self.events.emitted(),
+            events_suppressed: self.events.suppressed(),
+            events_dropped: self.events.dropped(),
+            event_tail: self.events.tail(SNAPSHOT_EVENT_TAIL),
         }
+    }
+
+    /// [`ServerMetrics::snapshot`] plus the interval reset: drains the
+    /// queue-depth watermark so the *next* reading reports the high
+    /// water since this one. This is the only consumer allowed to
+    /// reset — plain snapshots and the Prometheus render are
+    /// observe-only, so concurrent readers never clobber each other.
+    pub fn snapshot_and_reset(&self) -> TelemetrySnapshot {
+        let mut snap = self.snapshot();
+        // `take` after the peek inside `snapshot` can only see an
+        // equal-or-higher mark (observe is monotone within an
+        // interval), so report the drained value.
+        snap.queue_depth_hwm = self.queue_depth_hwm.take();
+        snap
     }
 
     /// Renders every counter, gauge, and histogram in the Prometheus
@@ -807,7 +854,7 @@ impl ServerMetrics {
         simple(
             &mut o,
             "pcnn_queue_depth_hwm",
-            "Highest queue depth observed since the last snapshot read (scrapes peek; snapshots reset).",
+            "Highest queue depth observed since the last explicit reset (non-destructive read).",
             "gauge",
             self.queue_depth_hwm.peek(),
         );
@@ -942,6 +989,36 @@ impl ServerMetrics {
                 &merged,
             );
         }
+        let _ = writeln!(
+            o,
+            "# HELP pcnn_events_total Structured control-plane events recorded, by code and severity (every occurrence, coalesced or not).\n\
+             # TYPE pcnn_events_total counter"
+        );
+        for code in EventCode::ALL {
+            for severity in Severity::ALL {
+                let _ = writeln!(
+                    o,
+                    "pcnn_events_total{{code=\"{}\",severity=\"{}\"}} {}",
+                    code.label(),
+                    severity.label(),
+                    self.events.total(code, severity)
+                );
+            }
+        }
+        simple(
+            &mut o,
+            "pcnn_events_suppressed_total",
+            "Event occurrences coalesced by per-code rate limiting (counted in totals, kept out of the ring).",
+            "counter",
+            self.events.suppressed(),
+        );
+        simple(
+            &mut o,
+            "pcnn_events_dropped_total",
+            "Events lost to ring slot contention (writers never wait).",
+            "counter",
+            self.events.dropped(),
+        );
         self.render_window_series(&mut o);
         o
     }
@@ -1118,8 +1195,9 @@ pub struct TelemetrySnapshot {
     pub failed: u64,
     /// Requests queued at snapshot time (sampled at push/pop).
     pub queue_depth: u64,
-    /// Highest queue depth observed since the previous snapshot (the
-    /// watermark resets on every snapshot read).
+    /// Highest queue depth observed since the last explicit reset
+    /// ([`ServerMetrics::snapshot_and_reset`]); plain snapshots read
+    /// the watermark non-destructively.
     pub queue_depth_hwm: u64,
     /// Low-priority requests shed by the health engine while
     /// `Overloaded`.
@@ -1160,6 +1238,15 @@ pub struct TelemetrySnapshot {
     /// Rolling-window readings (1 s / 10 s / 60 s trailing), empty when
     /// windowing is disabled.
     pub windows: Vec<WindowSnapshot>,
+    /// Structured events recorded, counting every occurrence (the
+    /// rate limiter only gates ring publication, not this count).
+    pub events_emitted: u64,
+    /// Event occurrences coalesced by per-code rate limiting.
+    pub events_suppressed: u64,
+    /// Events lost to ring slot contention (writers never wait).
+    pub events_dropped: u64,
+    /// The most recent structured events, oldest first.
+    pub event_tail: Vec<RecordedEvent>,
 }
 
 /// A point-in-time reading of one precision class's traffic.
@@ -1363,6 +1450,16 @@ impl std::fmt::Display for TelemetrySnapshot {
                 )?;
             }
         }
+        if self.events_emitted > 0 {
+            write!(
+                f,
+                "\nevents: {} recorded ({} coalesced, {} dropped)",
+                self.events_emitted, self.events_suppressed, self.events_dropped
+            )?;
+            for e in &self.event_tail {
+                write!(f, "\n  {e}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -1389,6 +1486,12 @@ impl TelemetrySnapshot {
             .map(WindowSnapshot::to_json)
             .collect::<Vec<_>>()
             .join(",");
+        let event_tail = self
+            .event_tail
+            .iter()
+            .map(RecordedEvent::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"rejected\":{},",
@@ -1399,6 +1502,7 @@ impl TelemetrySnapshot {
                 "\"queue_wait_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}},",
                 "\"service_mean_ms\":{:.6},\"windows\":[{}],",
+                "\"events\":{{\"emitted\":{},\"suppressed\":{},\"dropped\":{},\"tail\":[{}]}},",
                 "\"precisions\":[{}],\"shards\":[{}]}}"
             ),
             self.submitted,
@@ -1425,6 +1529,10 @@ impl TelemetrySnapshot {
             ms(self.latency_mean),
             ms(self.service_mean),
             windows,
+            self.events_emitted,
+            self.events_suppressed,
+            self.events_dropped,
+            event_tail,
             precisions,
             shards,
         )
@@ -1724,7 +1832,7 @@ mod tests {
     }
 
     #[test]
-    fn watermark_races_observe_and_resets_on_take() {
+    fn watermark_peeks_on_snapshot_and_resets_only_on_explicit_take() {
         let w = Watermark::default();
         w.observe(3);
         w.observe(9);
@@ -1741,8 +1849,63 @@ mod tests {
         assert_eq!(snap.queue_depth_hwm, 17);
         assert_eq!(snap.queue_depth, 2);
         assert!(snap.to_json().contains("\"queue_depth_hwm\":17"));
-        // The spike is reported exactly once per snapshot interval.
+        // Plain snapshots are observe-only: the spike survives...
+        assert_eq!(m.snapshot().queue_depth_hwm, 17);
+        // ...until the one explicit reset consumer drains it.
+        assert_eq!(m.snapshot_and_reset().queue_depth_hwm, 17);
         assert_eq!(m.snapshot().queue_depth_hwm, 0);
+    }
+
+    #[test]
+    fn concurrent_snapshot_readers_never_clobber_the_watermark() {
+        // Regression for the reset-on-read race: when `snapshot`
+        // drained the watermark, whichever of two concurrent readers
+        // lost the race reported 0 and the spike was missed.
+        let m = std::sync::Arc::new(ServerMetrics::new(1));
+        m.queue_depth_hwm.observe(41);
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || m.snapshot().queue_depth_hwm)
+            })
+            .collect();
+        for r in readers {
+            assert_eq!(
+                r.join().expect("snapshot reader"),
+                41,
+                "every observe-only snapshot must see the spike"
+            );
+        }
+        // The Prometheus render is non-destructive too.
+        assert!(m.render_prometheus().contains("pcnn_queue_depth_hwm 41"));
+        assert_eq!(m.snapshot_and_reset().queue_depth_hwm, 41);
+        assert_eq!(m.snapshot().queue_depth_hwm, 0);
+    }
+
+    #[test]
+    fn events_land_in_snapshot_display_json_and_prometheus() {
+        let m = ServerMetrics::new(1);
+        m.events()
+            .emit(EventCode::QueueFull, Severity::Warn, 256, 256);
+        m.events().emit(EventCode::Shed, Severity::Info, 1, 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.events_emitted, 2);
+        assert_eq!(snap.events_dropped, 0);
+        assert_eq!(snap.event_tail.len(), 2);
+        assert_eq!(snap.event_tail[0].code, EventCode::QueueFull);
+        let json = snap.to_json();
+        assert!(json.contains("\"events\":{\"emitted\":2"));
+        assert!(json.contains("\"code\":\"queue_full\""));
+        let display = format!("{snap}");
+        assert!(display.contains("events: 2 recorded"));
+        assert!(display.contains("queue_full"));
+        let text = m.render_prometheus();
+        validate_prometheus(&text);
+        assert!(text.contains("pcnn_events_total{code=\"queue_full\",severity=\"warn\"} 1"));
+        assert!(text.contains("pcnn_events_total{code=\"shed\",severity=\"info\"} 1"));
+        assert!(text.contains("pcnn_events_total{code=\"engine_fault\",severity=\"error\"} 0"));
+        assert!(text.contains("pcnn_events_dropped_total 0"));
+        assert!(text.contains("pcnn_events_suppressed_total 0"));
     }
 
     #[test]

@@ -26,7 +26,9 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use pcnn_sync::{Condvar, Mutex};
+use pcnn_sync::{Arc, Condvar, Mutex};
+
+use crate::events::{EventCode, EventJournal, Severity};
 
 /// Scheduling class of a request. `High` drains strictly before
 /// `Normal`; arrival order is preserved within a class (FIFO per
@@ -114,6 +116,10 @@ pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     capacity: usize,
     not_empty: Condvar,
+    /// Forensics feed: when attached ([`BoundedQueue::set_journal`]),
+    /// every full-queue rejection emits a `queue_full` event. The
+    /// journal's emit is wait-free, so pushing never blocks on it.
+    journal: Option<Arc<EventJournal>>,
     /// Model-check-only fault knob: when set, pops never chain wakeups,
     /// reproducing the pre-waiter-counting discipline whose stranded
     /// wakeup the interleaving tests must rediscover.
@@ -133,6 +139,7 @@ impl<T> BoundedQueue<T> {
             }),
             capacity: capacity.max(1),
             not_empty: Condvar::new(),
+            journal: None,
             #[cfg(any(pcnn_model_check, feature = "model-check"))]
             buggy_wakeups: false,
         }
@@ -159,6 +166,13 @@ impl<T> BoundedQueue<T> {
     #[cfg(not(any(pcnn_model_check, feature = "model-check")))]
     fn chain_wakeups(&self) -> bool {
         true
+    }
+
+    /// Attaches the structured event journal this queue reports
+    /// `queue_full` rejections to. Called before the queue is shared
+    /// (the server wires it during construction), hence `&mut self`.
+    pub(crate) fn set_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = Some(journal);
     }
 
     /// The admission limit.
@@ -189,6 +203,14 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Closed(item));
         }
         if inner.len >= self.capacity {
+            if let Some(journal) = &self.journal {
+                journal.emit(
+                    EventCode::QueueFull,
+                    Severity::Warn,
+                    inner.len as u64,
+                    self.capacity as u64,
+                );
+            }
             return Err(PushError::Full(item));
         }
         inner.lanes[priority.lane()].push_back(item);

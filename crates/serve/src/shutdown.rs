@@ -63,6 +63,15 @@ pub struct DrainReport {
     pub wall: Duration,
 }
 
+impl DrainReport {
+    /// Whether any request failed with `EngineFault` over the server's
+    /// lifetime — the condition under which a drain triggers an
+    /// incident capture.
+    pub fn has_failures(&self) -> bool {
+        self.failed > 0
+    }
+}
+
 impl std::fmt::Display for DrainReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -23,7 +23,10 @@
 
 use pcnn_runtime::Precision;
 use pcnn_sync::atomic::{fence, AtomicU64, Ordering};
+use pcnn_sync::Arc;
 use std::time::Instant;
+
+use crate::events::{EventCode, EventJournal, Severity};
 
 /// Sampling and retention knobs of the flight recorder.
 #[derive(Debug, Clone)]
@@ -311,6 +314,10 @@ pub struct FlightRecorder {
     rings: Vec<ShardRing>,
     recorded: AtomicU64,
     dropped: AtomicU64,
+    /// Forensics feed: when attached ([`FlightRecorder::attach_journal`])
+    /// every lap-race span drop emits a `trace_ring_overwrite` event;
+    /// the journal's per-code rate limiter coalesces overwrite storms.
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl FlightRecorder {
@@ -325,7 +332,15 @@ impl FlightRecorder {
                 .collect(),
             recorded: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            journal: None,
         }
+    }
+
+    /// Attaches the structured event journal span-ring overwrites are
+    /// reported to. Called before the recorder is shared (the server
+    /// wires it during construction), hence `&mut self`.
+    pub(crate) fn attach_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = Some(journal);
     }
 
     /// Assigns the next request ID (IDs start at 1).
@@ -354,7 +369,15 @@ impl FlightRecorder {
         if ring.push(span) {
             self.recorded.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            let dropped = self.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(journal) = &self.journal {
+                journal.emit(
+                    EventCode::TraceRingOverwrite,
+                    Severity::Info,
+                    shard as u64,
+                    dropped,
+                );
+            }
         }
     }
 

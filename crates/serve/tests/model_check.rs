@@ -12,6 +12,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
+use pcnn_serve::events::{EventCode, EventConfig, EventJournal, Severity};
 use pcnn_serve::queue::{BoundedQueue, Pop, Priority};
 use pcnn_serve::window::{WindowedCounter, WindowedHistogram};
 use pcnn_sync::model::{check, CheckOptions};
@@ -229,6 +230,66 @@ fn window_counter_concurrent_reader_never_sees_stale_lap() {
         );
         assert_eq!(c.sum_over(200, Duration::from_nanos(100)), 1);
     });
+    assert!(report.schedules_run > 0);
+}
+
+#[test]
+fn event_journal_concurrent_emit_and_read_through_the_public_api() {
+    // The forensics journal end-to-end: two writers emitting distinct
+    // codes below every limit while a reader walks the ring. No
+    // interleaving may lose an emission (both publish), coalesce it
+    // (below the burst), or hand the reader a torn record — every
+    // record the reader validates must be exactly one of the two
+    // payloads, with `b = a + 1` intact.
+    let report = check(
+        "events-public-api",
+        CheckOptions {
+            exhaustive_schedules: 2_000,
+            random_schedules: 1_000,
+            max_steps: 20_000,
+            ..CheckOptions::default()
+        },
+        || {
+            let j = Arc::new(EventJournal::new(
+                &EventConfig {
+                    ring_capacity: 8,
+                    rate_burst: 8,
+                    ..EventConfig::default()
+                },
+                std::time::Instant::now(),
+            ));
+            let writers: Vec<_> = [EventCode::QueueFull, EventCode::Shed]
+                .into_iter()
+                .enumerate()
+                .map(|(i, code)| {
+                    let j = Arc::clone(&j);
+                    let a = (i as u64 + 1) * 100;
+                    thread::spawn(move || j.emit_at(50, code, Severity::Warn, a, a + 1))
+                })
+                .collect();
+            let reader = {
+                let j = Arc::clone(&j);
+                thread::spawn(move || j.events())
+            };
+            let mid = reader.join().unwrap();
+            for e in &mid {
+                assert!(
+                    (e.a == 100 || e.a == 200) && e.b == e.a + 1,
+                    "reader validated a torn record: {e:?}"
+                );
+            }
+            for w in writers {
+                w.join().unwrap();
+            }
+            assert_eq!(j.emitted(), 2);
+            assert_eq!(j.published(), 2, "an emission below every limit was lost");
+            assert_eq!(j.suppressed(), 0);
+            assert_eq!(j.dropped(), 0);
+            let fin = j.events();
+            assert_eq!(fin.len(), 2);
+            assert!(fin.windows(2).all(|w| w[0].seq < w[1].seq));
+        },
+    );
     assert!(report.schedules_run > 0);
 }
 

@@ -33,7 +33,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Files whose `Relaxed`/`SeqCst` orderings must be justified: the
-/// concurrency-hot modules migrated onto the facade.
+/// concurrency-hot modules migrated onto the facade. The whole-dir
+/// `crates/serve/src/` prefix covers every serving module, including
+/// the forensics pair (`events.rs` — the wait-free journal ring — and
+/// `incident.rs` — the black-box recorder's cooldown CAS).
 const ORDERING_SCOPE: &[&str] = &[
     "crates/serve/src/",
     "crates/tensor/src/parallel.rs",

@@ -6,6 +6,7 @@
 //! cargo run --release --example serve_traffic -- --shards 2   # sharded topology
 //! cargo run --release --example serve_traffic -- --trace      # observability demo
 //! cargo run --release --example serve_traffic -- --attribution # where did the latency go?
+//! cargo run --release --example serve_traffic -- --incident    # black-box forensics demo
 //! ```
 //!
 //! 1. Prunes the VGG-16-topology proxy at n = 2 and compiles it through
@@ -27,8 +28,8 @@ use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
 use pcnn::runtime::compile::{prune_and_compile, CompileOptions};
 use pcnn::runtime::Engine;
 use pcnn::serve::{
-    AttributionReport, HealthState, ServeConfig, ServeError, Server, ShutdownMode, SloConfig,
-    TelemetrySnapshot, TraceConfig,
+    AttributionReport, HealthState, IncidentTrigger, ServeConfig, ServeError, Server, ShutdownMode,
+    SloConfig, TelemetrySnapshot, TraceConfig,
 };
 use pcnn::tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -330,9 +331,116 @@ fn attribution_demo(smoke: bool, shards: usize) {
     println!("serve_traffic --attribution: OK");
 }
 
+/// `--incident`: the black-box forensics demo. Every request is traced
+/// and the profiler is on; an SLO every completion violates drives the
+/// health engine into `Degraded` under an explicit evaluation, which
+/// trips the incident recorder exactly once (the follow-up `Overloaded`
+/// step lands inside the capture cooldown). The run validates the event
+/// journal's Prometheus families, prints the captured incident, and
+/// writes the on-demand `Server::diagnostics()` snapshot plus the
+/// incident into `PROFILE_serve.json` for CI to parse.
+fn incident_demo(smoke: bool, shards: usize) {
+    let hw = VggProxyConfig::default().input_hw;
+    let clients = if smoke { 4 } else { 6 };
+    let per_client = if smoke { 12 } else { 60 };
+    let engine = build_engine();
+    engine.enable_profiling();
+    let server = Arc::new(Server::start(
+        engine,
+        ServeConfig {
+            shards,
+            max_batch: (clients / 2).max(4),
+            input_chw: Some([3, hw, hw]),
+            trace: TraceConfig {
+                sample_every: 1, // forensics wants every timeline
+                ring_capacity: 512,
+            },
+            // A 1 ns target: every real completion violates the SLO,
+            // so the explicit evaluations below are deterministic. The
+            // huge eval_interval keeps the submit path from evaluating
+            // on its own mid-burst.
+            slo: SloConfig {
+                latency_target: Duration::from_nanos(1),
+                fast_window: Duration::from_secs(5),
+                slow_window: Duration::from_secs(60),
+                min_samples: 1,
+                eval_interval: Duration::from_secs(3600),
+                ..SloConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    ));
+    println!("\n[incident] {clients} clients x {per_client} requests against a 1 ns SLO");
+    let (wall, snap, dropped) = closed_loop(&server, clients, per_client, hw);
+    let total = clients * per_client;
+    assert_eq!(dropped, 0);
+    assert_eq!(snap.completed as usize, total);
+    println!(
+        "wall-clock throughput: {:.1} req/s over {total} requests",
+        total as f64 / wall.as_secs_f64()
+    );
+
+    // --- Deterministic deterioration: exactly one incident ----------------
+    let health = server.health_engine();
+    let metrics = server.metrics();
+    let now = metrics.now_ns();
+    let r1 = health.evaluate_at(metrics, now);
+    assert_eq!(r1.state, HealthState::Degraded, "every request violated");
+    let r2 = health.evaluate_at(metrics, now);
+    assert_eq!(r2.state, HealthState::Overloaded);
+    let recorder = server.incidents();
+    assert_eq!(recorder.captured(), 1, "Degraded captures, cooldown holds");
+    assert_eq!(recorder.suppressed(), 1);
+    let incidents = recorder.incidents();
+    let incident = &incidents[0];
+    assert_eq!(incident.trigger, IncidentTrigger::HealthDegraded);
+    assert!(!incident.events.is_empty(), "event tail rides along");
+    println!("\n{incident}");
+
+    // --- Event journal in the exporter -------------------------------------
+    let prom = server.render_prometheus();
+    validate_prometheus(&prom);
+    assert!(prom.contains("pcnn_events_total{code=\"health_transition\""));
+    assert!(prom.contains("pcnn_events_suppressed_total"));
+    let journal = metrics.events();
+    println!(
+        "event journal: {} emitted, {} coalesced, {} dropped",
+        journal.emitted(),
+        journal.suppressed(),
+        journal.dropped()
+    );
+
+    // --- PROFILE_serve.json with diagnostics + incident blocks ------------
+    let diag = server.diagnostics();
+    assert_eq!(diag.trigger, IncidentTrigger::OnDemand);
+    let profile_json = server.engine().exec_profile().to_json();
+    let body = profile_json
+        .strip_suffix('}')
+        .expect("profile JSON is an object");
+    let json = format!(
+        "{body},\"diagnostics\":{},\"incident\":{}}}",
+        diag.to_json(),
+        incident.to_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/PROFILE_serve.json");
+    std::fs::write(path, &json).expect("write PROFILE_serve.json");
+    println!("profile + diagnostics + incident written to {path}");
+
+    let drain = match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(ShutdownMode::Drain),
+        Err(_) => unreachable!("all clients joined"),
+    };
+    assert_eq!(drain.completed as usize, total);
+    println!("serve_traffic --incident: OK");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let shards = shards_arg();
+    if std::env::args().any(|a| a == "--incident") {
+        incident_demo(smoke, shards);
+        return;
+    }
     if std::env::args().any(|a| a == "--attribution") {
         attribution_demo(smoke, shards);
         return;

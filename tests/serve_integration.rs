@@ -7,8 +7,8 @@ use pcnn::nn::models::{self, vgg16_proxy, VggProxyConfig};
 use pcnn::runtime::compile::{compile_dense, prune_and_compile, CompileOptions};
 use pcnn::runtime::Engine;
 use pcnn::serve::{
-    HealthState, Priority, ServeConfig, ServeError, Server, ShutdownMode, SloConfig, SpanOutcome,
-    TraceConfig,
+    EventCode, HealthState, IncidentTrigger, Priority, ServeConfig, ServeError, Server,
+    ShutdownMode, SloConfig, SpanOutcome, TraceConfig,
 };
 use pcnn::tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -408,7 +408,8 @@ fn overload_sheds_low_priority_and_recovers() {
 
 /// The queue-depth high-watermark satellite end-to-end: a backlogged
 /// burst leaves a watermark at least as deep as any sampled gauge
-/// reading, and reading a snapshot resets it.
+/// reading, observe-only snapshots never clobber it, and only the
+/// explicit `snapshot_and_reset` drains it.
 #[test]
 fn queue_depth_watermark_catches_the_burst_and_resets() {
     let engine = Engine::new(compile_dense(&models::tiny_cnn(4, 4, 17)), 2);
@@ -442,11 +443,147 @@ fn queue_depth_watermark_catches_the_burst_and_resets() {
     for t in tickets {
         t.wait().expect("served");
     }
-    // Reset-on-read: with no new submissions the next snapshot's
-    // watermark is zero even though the lifetime counters are not.
+    // Observe-only reads are non-destructive: a second snapshot (and
+    // the Prometheus render in between) still sees the burst's mark.
+    let _ = server.render_prometheus();
     let snap2 = server.metrics().snapshot();
-    assert_eq!(snap2.queue_depth_hwm, 0, "watermark resets on snapshot");
+    assert_eq!(
+        snap2.queue_depth_hwm, snap.queue_depth_hwm,
+        "snapshot must not clobber the watermark"
+    );
     assert_eq!(snap2.completed, 64);
+    // Only the explicit reset drains it; with no new submissions the
+    // next interval's watermark is zero.
+    let drained = server.metrics().snapshot_and_reset();
+    assert!(drained.queue_depth_hwm >= snap.queue_depth_hwm);
+    let snap3 = server.metrics().snapshot();
+    assert_eq!(
+        snap3.queue_depth_hwm, 0,
+        "explicit reset starts a new interval"
+    );
+}
+
+/// The black-box incident recorder end-to-end: deterministically drive
+/// the server `Healthy → Degraded → Overloaded` and back, and assert
+/// that exactly one well-formed incident was captured (the follow-up
+/// deterioration lands inside the cooldown; recoveries never trigger),
+/// with the event journal, health report, and attribution block riding
+/// along.
+#[test]
+fn overload_captures_exactly_one_incident() {
+    let engine = Engine::new(compile_dense(&models::tiny_cnn(4, 4, 17)), 2);
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            trace: TraceConfig {
+                sample_every: 1,
+                ring_capacity: 128,
+            },
+            slo: SloConfig {
+                // 1 ns: every completion is an SLO violation.
+                latency_target: Duration::from_nanos(1),
+                fast_window: Duration::from_secs(5),
+                slow_window: Duration::from_secs(60),
+                min_samples: 1,
+                shed_low_priority: true,
+                eval_interval: Duration::from_secs(3600),
+                ..SloConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..20)
+        .map(|i| {
+            server
+                .submit(random_tensor(&[1, 3, 8, 8], 8400 + i))
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("served");
+    }
+
+    // Deterministic deterioration: Degraded captures the incident,
+    // Overloaded lands inside the capture cooldown, recovery steps are
+    // journal events but never incidents.
+    let health = server.health_engine();
+    let metrics = server.metrics();
+    let now = metrics.now_ns();
+    assert_eq!(
+        health.evaluate_at(metrics, now).state,
+        HealthState::Degraded
+    );
+    assert_eq!(
+        health.evaluate_at(metrics, now).state,
+        HealthState::Overloaded
+    );
+    let later = now + 600 * 1_000_000_000;
+    let _ = health.evaluate_at(metrics, later);
+    assert_eq!(
+        health.evaluate_at(metrics, later).state,
+        HealthState::Healthy
+    );
+
+    let recorder = server.incidents();
+    assert_eq!(recorder.captured(), 1, "exactly one incident");
+    assert_eq!(recorder.suppressed(), 1, "the Overloaded step hit cooldown");
+    let incidents = recorder.incidents();
+    assert_eq!(incidents.len(), 1);
+    let incident = &incidents[0];
+    assert_eq!(incident.trigger, IncidentTrigger::HealthDegraded);
+    assert_eq!(incident.health.state, HealthState::Degraded);
+    assert!(
+        !incident.events.is_empty(),
+        "the health transition must be journaled into the tail"
+    );
+    assert!(incident
+        .events
+        .iter()
+        .any(|e| e.code == EventCode::HealthTransition));
+
+    // Well-formed snapshot: the documented blocks are present and the
+    // JSON is brace-balanced.
+    let json = incident.to_json();
+    for key in [
+        "\"trigger\":\"health_degraded\"",
+        "\"build\":{\"version\":\"",
+        "\"config\":{\"queue_capacity\":256",
+        "\"telemetry\":{",
+        "\"health\":{\"state\":\"degraded\"",
+        "\"attribution\":{\"analyzed\":",
+        "\"events\":[",
+    ] {
+        assert!(json.contains(key), "missing {key}");
+    }
+    let depth = json.chars().fold(0i32, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0, "incident JSON is balanced");
+    assert!(incident.attribution.analyzed > 0, "spans were attributed");
+
+    // All four transitions are in the journal and the telemetry
+    // snapshot carries the event tail.
+    let transitions = metrics
+        .events()
+        .events()
+        .iter()
+        .filter(|e| e.code == EventCode::HealthTransition)
+        .count();
+    assert_eq!(transitions, 4, "all four transitions journaled");
+    let snap = metrics.snapshot();
+    assert!(snap.events_emitted >= 4);
+    assert!(!snap.event_tail.is_empty());
+
+    // One-call diagnostics bypasses the incident ring. (It evaluates
+    // health at the real clock — where the violating burst is still
+    // in-window — so it may journal a fresh transition; that is fine.)
+    let diag = server.diagnostics();
+    assert_eq!(diag.trigger, IncidentTrigger::OnDemand);
+    assert_eq!(recorder.captured(), 1, "diagnostics is not an incident");
 }
 
 /// Priorities, shutdown accounting, and post-shutdown rejection on a
