@@ -29,7 +29,9 @@ use pcnn_core::PrunePlan;
 use pcnn_nn::models::{vgg16_proxy, VggProxyConfig};
 use pcnn_runtime::compile::{prune_and_compile, CompileOptions};
 use pcnn_runtime::Engine;
-use pcnn_serve::{EventConfig, ServeConfig, ServeError, Server, TelemetrySnapshot, TraceConfig};
+use pcnn_serve::{
+    EventConfig, ServeConfig, ServeError, Server, SupervisorConfig, TelemetrySnapshot, TraceConfig,
+};
 use pcnn_tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -542,6 +544,54 @@ fn main() {
          (ratio {event_ratio:.3} < {floor}): the <2% forensics budget is blown"
     );
 
+    // == Resilience overhead: supervision on (default) vs off ===========
+    // The fault-tolerance acceptance bar: the supervisor thread, shard
+    // heartbeats, registry bookkeeping, and retry budget must cost < 2%
+    // of closed-loop throughput when no fault ever fires. The hot path
+    // pays one heartbeat store per loop trip plus a registry insert and
+    // claim per request; the supervisor itself only wakes on its tick.
+    // Paired rounds, best pair, like the other overhead comparisons.
+    println!("\n== resilience overhead: supervision on (default) vs off ==");
+    let resilience_cfg = |enabled: bool| ServeConfig {
+        max_batch: batched_max_batch(),
+        max_wait: batched_max_wait(),
+        supervision: SupervisorConfig {
+            enabled,
+            ..SupervisorConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mut resilience_ratios = Vec::with_capacity(rounds);
+    let mut supervision_off_best = 0f64;
+    let mut supervision_on_best = 0f64;
+    for round in 0..rounds {
+        let off = closed_loop(resilience_cfg(false), clients, per_client);
+        let on = closed_loop(resilience_cfg(true), clients, per_client);
+        println!(
+            "  round {round}: supervision off {:7.1} req/s   on {:7.1} req/s   ratio {:.3}",
+            off.rps,
+            on.rps,
+            on.rps / off.rps
+        );
+        resilience_ratios.push(on.rps / off.rps);
+        supervision_off_best = supervision_off_best.max(off.rps);
+        supervision_on_best = supervision_on_best.max(on.rps);
+    }
+    resilience_ratios.sort_by(f64::total_cmp);
+    let resilience_ratio = *resilience_ratios.last().expect("at least one round");
+    let resilience_overhead_pct = ((1.0 - resilience_ratio) * 100.0).max(0.0);
+    println!(
+        "resilience overhead: {resilience_overhead_pct:.2}% of throughput when idle \
+         (best pair ratio {resilience_ratio:.3}, median {:.3})",
+        resilience_ratios[resilience_ratios.len() / 2],
+    );
+    assert!(
+        resilience_ratio >= floor,
+        "shard supervision cost {resilience_overhead_pct:.2}% of closed-loop throughput \
+         with no fault armed (ratio {resilience_ratio:.3} < {floor}): the <2% \
+         fault-tolerance budget is blown"
+    );
+
     // Machine-readable trajectory: BENCH_serve.json at the workspace root.
     let json = format!(
         "{{\"bench\":\"serve_load\",\"clients\":{clients},\"per_client\":{per_client},\
@@ -557,7 +607,10 @@ fn main() {
          \"window\":{{\"off_rps\":{window_off_best:.3},\"on_rps\":{window_on_best:.3},\
          \"ratio\":{window_ratio:.4},\"overhead_pct\":{window_overhead_pct:.3}}},\
          \"events\":{{\"off_rps\":{events_off_best:.3},\"on_rps\":{events_on_best:.3},\
-         \"ratio\":{event_ratio:.4},\"overhead_pct\":{event_overhead_pct:.3}}}}}",
+         \"ratio\":{event_ratio:.4},\"overhead_pct\":{event_overhead_pct:.3}}},\
+         \"resilience\":{{\"off_rps\":{supervision_off_best:.3},\
+         \"on_rps\":{supervision_on_best:.3},\"ratio\":{resilience_ratio:.4},\
+         \"overhead_pct\":{resilience_overhead_pct:.3}}}}}",
         json_block("closed_loop_batch1", batch1.rps, &batch1.snapshot),
         json_block("closed_loop_batched", batched.rps, &batched.snapshot),
         open.offered_rps,

@@ -146,6 +146,35 @@ impl Engine {
             .collect()
     }
 
+    /// Rebuilds this engine from scratch around the **same** shared
+    /// compiled graph and execution profiler, with a fresh worker pool
+    /// of the same size — the respawn seam a serving supervisor uses to
+    /// replace a crashed or wedged shard. The old engine is untouched
+    /// (its pool tears down whenever its last owner drops it); weights,
+    /// offset tables, and accumulated profile data are shared, not
+    /// copied, so a respawn costs thread spawns and nothing else.
+    pub fn respawn(&self) -> Engine {
+        Engine {
+            graph: self.graph.clone(),
+            profiler: self.profiler.clone(),
+            pool: ThreadPool::new(self.threads()),
+        }
+    }
+
+    /// The shared handle to the compiled graph — what a respawned shard
+    /// is rebuilt from.
+    pub fn shared_graph(&self) -> Arc<ExecutableGraph> {
+        self.graph.clone()
+    }
+
+    /// The shared handle to the execution profiler (the `Arc` behind
+    /// [`Engine::profiler`]), for owners that must outlive this engine
+    /// — a serving incident recorder keeps this instead of the engine
+    /// itself so a dead shard's pool is never pinned alive.
+    pub fn profiler_handle(&self) -> Arc<ExecProfiler> {
+        self.profiler.clone()
+    }
+
     /// The compiled graph.
     pub fn graph(&self) -> &ExecutableGraph {
         &self.graph

@@ -66,10 +66,24 @@ pub enum EventCode {
     DrainBegin = 6,
     /// Shutdown finished (`a` = mode, `b` = lifetime failed count).
     DrainEnd = 7,
+    /// A request's deadline passed before it dispatched; the batcher
+    /// dropped it at dequeue (`a` = shard, `b` = total expired so far).
+    DeadlineExceeded = 8,
+    /// A transiently-faulted request was re-queued for another attempt
+    /// on a different shard (`a` = the shard that failed it, `b` = the
+    /// attempt number being retried).
+    Retry = 9,
+    /// The supervisor declared a shard dead and respawned its engine
+    /// pool and batcher (`a` = shard, `b` = the shard's new
+    /// generation).
+    ShardRestart = 10,
+    /// A shard's circuit breaker changed state (`a` = shard, `b` =
+    /// state code: 0 closed, 1 open, 2 half-open).
+    CircuitBreaker = 11,
 }
 
 /// Number of event codes — the size of every per-code table.
-pub const EVENT_CODES: usize = 8;
+pub const EVENT_CODES: usize = 12;
 
 impl EventCode {
     /// Every code, in discriminant order (the iteration order of the
@@ -83,6 +97,10 @@ impl EventCode {
         EventCode::TraceRingOverwrite,
         EventCode::DrainBegin,
         EventCode::DrainEnd,
+        EventCode::DeadlineExceeded,
+        EventCode::Retry,
+        EventCode::ShardRestart,
+        EventCode::CircuitBreaker,
     ];
 
     /// The stable snake_case label.
@@ -96,6 +114,10 @@ impl EventCode {
             EventCode::TraceRingOverwrite => "trace_ring_overwrite",
             EventCode::DrainBegin => "drain_begin",
             EventCode::DrainEnd => "drain_end",
+            EventCode::DeadlineExceeded => "deadline_exceeded",
+            EventCode::Retry => "retry",
+            EventCode::ShardRestart => "shard_restart",
+            EventCode::CircuitBreaker => "circuit_breaker",
         }
     }
 

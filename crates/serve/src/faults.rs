@@ -1,0 +1,336 @@
+//! Deterministic fault injection: the chaos layer the recovery paths
+//! are proven against.
+//!
+//! A [`FaultPlan`] is a set of armed, countable failure rules threaded
+//! through `ServeConfig::faults` and consulted at four seams of the
+//! serving stack:
+//!
+//! * **Engine faults** — a rule keyed by a request-ID predicate
+//!   (`id % modulo == remainder`, or an exact ID) forces that request's
+//!   chunk result to the faulted state in the dispatch callback,
+//!   exercising the `EngineFault` → retry → exhaustion paths without
+//!   actually panicking a worker (the real panic containment is tested
+//!   separately in `pcnn_runtime`).
+//! * **Batcher crashes** — `crash_batcher(shard, n)` makes that shard's
+//!   batcher panic at the top of its loop the next `n` times it gets
+//!   there, driving the supervisor's death-detection, in-flight abort,
+//!   and respawn machinery; counts above the supervisor's restart
+//!   budget drive the circuit breaker into `Open`.
+//! * **Batcher stalls** — `stall_batcher(shard, dur)` wedges the
+//!   batcher in a sleep, driving the heartbeat-staleness path (a dead
+//!   shard that never panicked).
+//! * **Chunk latency** — `delay_chunks(dur)` sleeps in the completion
+//!   callback, simulating a slow engine for deadline/backpressure
+//!   tests.
+//! * **Forced queue-full** — `force_queue_full(n)` rejects the next
+//!   `n` submissions as if the queue were at capacity, for admission
+//!   backpressure tests that don't want to actually fill a queue.
+//!
+//! Every rule is **consumed**: a count of `n` fires exactly `n` times
+//! and then the seam behaves normally, which is what makes chaos tests
+//! deterministic — the test arms the plan, drives traffic, and knows
+//! precisely which requests failed and how many times each shard died.
+//! All knobs use interior mutability, so a test keeps its `Arc` handle
+//! and re-arms mid-run. A server configured without a plan pays one
+//! `Option` branch per seam and nothing else.
+
+use pcnn_sync::atomic::{AtomicU32, Ordering};
+use pcnn_sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One armed engine-fault rule: requests whose ID matches the
+/// predicate fail their chunk, `remaining` times total.
+#[derive(Debug)]
+struct EngineFaultRule {
+    /// `0` means exact match on `remainder`; otherwise the rule
+    /// matches `id % modulo == remainder`.
+    modulo: u64,
+    remainder: u64,
+    remaining: u32,
+}
+
+impl EngineFaultRule {
+    fn matches(&self, id: u64) -> bool {
+        if self.modulo == 0 {
+            id == self.remainder
+        } else {
+            id % self.modulo == self.remainder
+        }
+    }
+}
+
+/// A deterministic chaos plan, shared between the test that arms it
+/// and the server seams that consult it (`ServeConfig::faults`).
+///
+/// All methods take `&self`; construction hands back an `Arc` so the
+/// same plan can be armed from the test while the server holds its
+/// clone.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    engine: Mutex<Vec<EngineFaultRule>>,
+    crashes: Mutex<HashMap<usize, u32>>,
+    stalls: Mutex<HashMap<usize, Vec<Duration>>>,
+    chunk_delay: Mutex<Option<Duration>>,
+    queue_full: AtomicU32,
+    fired_engine: AtomicU32,
+    fired_crashes: AtomicU32,
+    fired_stalls: AtomicU32,
+}
+
+impl FaultPlan {
+    /// An empty (fully quiescent) plan.
+    pub fn new() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    // -- arming (test side) -------------------------------------------
+
+    /// Arms an engine fault for the exact request ID `id`, firing
+    /// `times` times (retries of the same ID draw fresh matches until
+    /// the count runs out — arm `times: 1` to let the first retry
+    /// succeed).
+    pub fn fail_request(&self, id: u64, times: u32) {
+        self.engine
+            .lock()
+            .expect("fault plan poisoned")
+            .push(EngineFaultRule {
+                modulo: 0,
+                remainder: id,
+                remaining: times,
+            });
+    }
+
+    /// Arms an engine fault for every request with
+    /// `id % modulo == remainder`, firing `times` times in total.
+    pub fn fail_requests_matching(&self, modulo: u64, remainder: u64, times: u32) {
+        assert!(
+            modulo > 0,
+            "modulo 0 is the exact-match encoding; use fail_request"
+        );
+        self.engine
+            .lock()
+            .expect("fault plan poisoned")
+            .push(EngineFaultRule {
+                modulo,
+                remainder,
+                remaining: times,
+            });
+    }
+
+    /// Arms `times` batcher panics on `shard`: the next `times` trips
+    /// through the batcher loop top panic with an injected message.
+    pub fn crash_batcher(&self, shard: usize, times: u32) {
+        *self
+            .crashes
+            .lock()
+            .expect("fault plan poisoned")
+            .entry(shard)
+            .or_insert(0) += times;
+    }
+
+    /// Arms one batcher stall on `shard`: the next trip through the
+    /// loop top sleeps `dur` (long enough relative to the supervisor's
+    /// `stall_timeout` and the shard is declared wedged). Stalls queue
+    /// up: arming twice stalls two consecutive trips.
+    pub fn stall_batcher(&self, shard: usize, dur: Duration) {
+        self.stalls
+            .lock()
+            .expect("fault plan poisoned")
+            .entry(shard)
+            .or_default()
+            .push(dur);
+    }
+
+    /// Adds `dur` of artificial latency to **every** chunk completion
+    /// until cleared with `delay_chunks(Duration::ZERO)`.
+    pub fn delay_chunks(&self, dur: Duration) {
+        *self.chunk_delay.lock().expect("fault plan poisoned") = (!dur.is_zero()).then_some(dur);
+    }
+
+    /// Rejects the next `n` submissions with `QueueFull` regardless of
+    /// actual queue depth.
+    pub fn force_queue_full(&self, n: u32) {
+        // ordering: test-side arming; the submit path only needs to
+        // eventually observe the new budget, not synchronize with it.
+        self.queue_full.fetch_add(n, Ordering::Relaxed);
+    }
+
+    // -- consumption (server side) ------------------------------------
+
+    /// Consumes one engine-fault match for request `id`. Called per
+    /// request in the dispatch completion callback.
+    pub(crate) fn take_engine_fault(&self, id: u64) -> bool {
+        let mut rules = self.engine.lock().expect("fault plan poisoned");
+        for rule in rules.iter_mut() {
+            if rule.remaining > 0 && rule.matches(id) {
+                rule.remaining -= 1;
+                // ordering: statistics counter for test assertions.
+                self.fired_engine.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes one armed crash for `shard`.
+    pub(crate) fn take_crash(&self, shard: usize) -> bool {
+        let mut crashes = self.crashes.lock().expect("fault plan poisoned");
+        match crashes.get_mut(&shard) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                // ordering: statistics counter for test assertions.
+                self.fired_crashes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes one armed stall for `shard`.
+    pub(crate) fn take_stall(&self, shard: usize) -> Option<Duration> {
+        let mut stalls = self.stalls.lock().expect("fault plan poisoned");
+        let queue = stalls.get_mut(&shard)?;
+        if queue.is_empty() {
+            return None;
+        }
+        // ordering: statistics counter for test assertions.
+        self.fired_stalls.fetch_add(1, Ordering::Relaxed);
+        Some(queue.remove(0))
+    }
+
+    /// The artificial per-chunk latency currently armed, if any.
+    pub(crate) fn chunk_delay(&self) -> Option<Duration> {
+        *self.chunk_delay.lock().expect("fault plan poisoned")
+    }
+
+    /// Consumes one forced queue-full rejection.
+    pub(crate) fn take_queue_full(&self) -> bool {
+        // ordering: the budget is a plain countdown consumed on the
+        // admission path; the CAS loop itself guarantees each armed
+        // rejection fires exactly once, and no other memory rides on
+        // the decision.
+        let mut cur = self.queue_full.load(Ordering::Relaxed);
+        while cur > 0 {
+            // ordering: Relaxed on both CAS outcomes — the same
+            // justification as the load above.
+            match self.queue_full.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
+
+    // -- introspection (test assertions) ------------------------------
+
+    /// Engine faults injected so far.
+    pub fn engine_faults_fired(&self) -> u32 {
+        // ordering: test-side read of a statistics counter.
+        self.fired_engine.load(Ordering::Relaxed)
+    }
+
+    /// Batcher crashes injected so far.
+    pub fn crashes_fired(&self) -> u32 {
+        // ordering: test-side read of a statistics counter.
+        self.fired_crashes.load(Ordering::Relaxed)
+    }
+
+    /// Batcher stalls injected so far.
+    pub fn stalls_fired(&self) -> u32 {
+        // ordering: test-side read of a statistics counter.
+        self.fired_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Whether every armed, countable rule has been consumed (the
+    /// steady-state a chaos test waits for before asserting recovery).
+    pub fn exhausted(&self) -> bool {
+        let engine_done = self
+            .engine
+            .lock()
+            .expect("fault plan poisoned")
+            .iter()
+            .all(|r| r.remaining == 0);
+        let crashes_done = self
+            .crashes
+            .lock()
+            .expect("fault plan poisoned")
+            .values()
+            .all(|&n| n == 0);
+        let stalls_done = self
+            .stalls
+            .lock()
+            .expect("fault plan poisoned")
+            .values()
+            .all(Vec::is_empty);
+        // ordering: test-side read of the admission countdown.
+        engine_done && crashes_done && stalls_done && self.queue_full.load(Ordering::Relaxed) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_id_rule_fires_exactly_n_times() {
+        let plan = FaultPlan::new();
+        plan.fail_request(7, 2);
+        assert!(!plan.take_engine_fault(6));
+        assert!(plan.take_engine_fault(7));
+        assert!(plan.take_engine_fault(7));
+        assert!(!plan.take_engine_fault(7), "count consumed");
+        assert_eq!(plan.engine_faults_fired(), 2);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn modulo_rule_matches_by_predicate() {
+        let plan = FaultPlan::new();
+        plan.fail_requests_matching(4, 1, 3);
+        assert!(plan.take_engine_fault(1));
+        assert!(!plan.take_engine_fault(2));
+        assert!(plan.take_engine_fault(5));
+        assert!(plan.take_engine_fault(9));
+        assert!(!plan.take_engine_fault(13), "budget of 3 spent");
+    }
+
+    #[test]
+    fn crashes_and_stalls_are_per_shard_and_consumed() {
+        let plan = FaultPlan::new();
+        plan.crash_batcher(1, 2);
+        plan.stall_batcher(0, Duration::from_millis(50));
+        assert!(!plan.take_crash(0));
+        assert!(plan.take_crash(1));
+        assert!(plan.take_crash(1));
+        assert!(!plan.take_crash(1));
+        assert_eq!(plan.take_stall(0), Some(Duration::from_millis(50)));
+        assert_eq!(plan.take_stall(0), None);
+        assert!(plan.take_stall(1).is_none());
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn queue_full_budget_counts_down() {
+        let plan = FaultPlan::new();
+        plan.force_queue_full(2);
+        assert!(plan.take_queue_full());
+        assert!(plan.take_queue_full());
+        assert!(!plan.take_queue_full());
+    }
+
+    #[test]
+    fn chunk_delay_arms_and_clears() {
+        let plan = FaultPlan::new();
+        assert_eq!(plan.chunk_delay(), None);
+        plan.delay_chunks(Duration::from_millis(3));
+        assert_eq!(plan.chunk_delay(), Some(Duration::from_millis(3)));
+        plan.delay_chunks(Duration::ZERO);
+        assert_eq!(plan.chunk_delay(), None);
+    }
+}

@@ -13,7 +13,9 @@
 //!
 //! * a health transition **into** `Degraded` or `Overloaded`
 //!   (recoveries are journal events, not incidents),
-//! * the **first** `EngineFault` a server ever serves, and
+//! * the **first** `EngineFault` a server ever serves,
+//! * every supervisor shard restart (rate-limited by the cooldown, so
+//!   a crash-loop produces one report, not one per respawn), and
 //! * a drain that finishes with failures
 //!   ([`DrainReport::has_failures`]).
 //!
@@ -38,7 +40,7 @@ use crate::metrics::{ServerMetrics, TelemetrySnapshot};
 use crate::shutdown::DrainReport;
 use crate::trace::{FlightRecorder, RecordedSpan};
 use crate::ServeConfig;
-use pcnn_runtime::{Engine, ExecProfile};
+use pcnn_runtime::{ExecProfile, ExecProfiler};
 use pcnn_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use pcnn_sync::{Arc, Mutex};
 use std::collections::VecDeque;
@@ -65,6 +67,8 @@ pub enum IncidentTrigger {
     HealthOverloaded,
     /// The server's first `EngineFault`.
     EngineFault,
+    /// The supervisor tore down and respawned a dead shard.
+    ShardRestart,
     /// Shutdown drained with lifetime failures on the books.
     DrainFailures,
     /// Explicit `Server::diagnostics()` call — never stored in the
@@ -79,6 +83,7 @@ impl IncidentTrigger {
             IncidentTrigger::HealthDegraded => "health_degraded",
             IncidentTrigger::HealthOverloaded => "health_overloaded",
             IncidentTrigger::EngineFault => "engine_fault",
+            IncidentTrigger::ShardRestart => "shard_restart",
             IncidentTrigger::DrainFailures => "drain_failures",
             IncidentTrigger::OnDemand => "on_demand",
         }
@@ -199,7 +204,11 @@ impl std::fmt::Display for DiagnosticSnapshot {
 /// trigger storms produce one report.
 pub struct IncidentRecorder {
     config: ServeConfig,
-    engines: Vec<Arc<Engine>>,
+    /// The exec profiler shared by every engine generation of the
+    /// server (restarts replace the worker pool, never the profiler),
+    /// so captures stay valid across supervisor respawns.
+    profiler: Arc<ExecProfiler>,
+    shards: usize,
     metrics: Arc<ServerMetrics>,
     recorder: Arc<FlightRecorder>,
     cooldown: Duration,
@@ -223,13 +232,15 @@ impl IncidentRecorder {
     /// is decided at server start, not per incident.
     pub(crate) fn new(
         config: &ServeConfig,
-        engines: Vec<Arc<Engine>>,
+        profiler: Arc<ExecProfiler>,
+        shards: usize,
         metrics: Arc<ServerMetrics>,
         recorder: Arc<FlightRecorder>,
     ) -> IncidentRecorder {
         IncidentRecorder {
             config: config.clone(),
-            engines,
+            profiler,
+            shards,
             metrics,
             recorder,
             cooldown: DEFAULT_COOLDOWN,
@@ -312,6 +323,13 @@ impl IncidentRecorder {
             return;
         }
         self.record(IncidentTrigger::EngineFault, self.health_or_default());
+    }
+
+    /// Shard-restart hook: every supervisor respawn wants its forensic
+    /// context, but a crash-loop must not flood the ring — the regular
+    /// cooldown coalesces the storm into one report.
+    pub(crate) fn on_shard_restart(&self) {
+        self.record(IncidentTrigger::ShardRestart, self.health_or_default());
     }
 
     /// Drain hook: a shutdown that finishes with failures on the books
@@ -408,7 +426,7 @@ impl IncidentRecorder {
     fn build(&self, trigger: IncidentTrigger, health: HealthReport) -> DiagnosticSnapshot {
         let spans = self.recorder.spans();
         let mut attribution = AttributionReport::analyze(&spans);
-        let exec_profile = self.engines[0].profiler().snapshot_if_enabled();
+        let exec_profile = self.profiler.snapshot_if_enabled();
         if let Some(profile) = &exec_profile {
             attribution.attach_exec_profile(profile);
         }
@@ -418,7 +436,7 @@ impl IncidentRecorder {
             captured_at_ns: self.metrics.now_ns(),
             version: env!("CARGO_PKG_VERSION"),
             simd: pcnn_tensor::simd::active().label(),
-            shards: self.engines.len(),
+            shards: self.shards,
             precision: self.config.precision.label(),
             config: self.config.to_json(),
             telemetry: self.metrics.snapshot(),
@@ -451,17 +469,23 @@ mod tests {
     use crate::trace::TraceConfig;
     use pcnn_nn::models;
     use pcnn_runtime::compile::compile_dense;
-    use pcnn_runtime::Precision;
+    use pcnn_runtime::{Engine, Precision};
 
-    /// A recorder over freshly built (trafficless) surfaces.
-    fn recorder_under_test() -> IncidentRecorder {
+    /// A recorder over freshly built (trafficless) surfaces, plus the
+    /// profiler handle it observes.
+    fn recorder_with_profiler() -> (IncidentRecorder, Arc<ExecProfiler>) {
         let config = ServeConfig::default();
-        let engine = Arc::new(Engine::new(compile_dense(&models::tiny_cnn(3, 4, 1)), 1));
+        let engine = Engine::new(compile_dense(&models::tiny_cnn(3, 4, 1)), 1);
+        let profiler = engine.profiler_handle();
         let metrics = Arc::new(ServerMetrics::with_config(1, true, config.events.clone()));
         let recorder = Arc::new(FlightRecorder::new(&TraceConfig::default(), 1));
-        let mut r = IncidentRecorder::new(&config, vec![engine], metrics, recorder);
+        let mut r = IncidentRecorder::new(&config, profiler.clone(), 1, metrics, recorder);
         r.set_dir(None); // tests must not inherit PCNN_INCIDENT_DIR
-        r
+        (r, profiler)
+    }
+
+    fn recorder_under_test() -> IncidentRecorder {
+        recorder_with_profiler().0
     }
 
     /// A degraded-state report produced by a real evaluation against
@@ -527,6 +551,8 @@ mod tests {
             completed: 10,
             aborted: 0,
             failed,
+            expired: 0,
+            cancelled: 0,
             rejected_at_shutdown: 0,
             precisions: Vec::new(),
             spans: Vec::new(),
@@ -593,11 +619,25 @@ mod tests {
 
     #[test]
     fn enabled_profiler_attaches_the_exec_profile() {
-        let r = recorder_under_test();
-        r.engines[0].profiler().set_enabled(true);
+        let (r, profiler) = recorder_with_profiler();
+        profiler.set_enabled(true);
         let snap = r.diagnostics();
         assert!(snap.exec_profile.is_some());
         assert!(snap.to_json().contains("\"exec_profile\":{"));
+    }
+
+    #[test]
+    fn shard_restarts_capture_with_the_restart_trigger_under_cooldown() {
+        let r = recorder_under_test();
+        r.on_shard_restart();
+        r.on_shard_restart();
+        r.on_shard_restart();
+        assert_eq!(r.captured(), 1, "crash-loop coalesced by the cooldown");
+        assert_eq!(r.suppressed(), 2);
+        assert_eq!(r.incidents()[0].trigger, IncidentTrigger::ShardRestart);
+        assert!(r.incidents()[0]
+            .to_json()
+            .contains("\"trigger\":\"shard_restart\""));
     }
 
     #[test]

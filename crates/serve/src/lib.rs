@@ -55,6 +55,18 @@
 //!   ([`TelemetrySnapshot`]'s `precisions`).
 //! * **Graceful shutdown** ([`shutdown`]): close admissions, drain the
 //!   queue (or abort it), join every batcher, report.
+//! * **Fault tolerance** ([`supervisor`], [`faults`]): per-request
+//!   deadlines ([`ServeConfig::default_deadline`],
+//!   [`Server::submit_with_deadline`]) and client-side cancellation
+//!   ([`Ticket::cancel`]); transient engine faults retried on a
+//!   different shard under a token-bucket budget ([`RetryPolicy`]); a
+//!   supervisor thread that detects panicked or wedged batchers by
+//!   heartbeat, fails their in-flight tickets with attribution
+//!   ([`ServeError::ShardFailed`]), respawns the engine pool from the
+//!   shared graph, and trips a per-shard circuit breaker on crash
+//!   loops ([`SupervisorConfig`], [`BreakerState`]); plus a
+//!   deterministic fault-injection plan ([`FaultPlan`]) that drives the
+//!   chaos tests without any real nondeterminism.
 //!
 //! ## Quickstart
 //!
@@ -80,33 +92,38 @@
 pub mod attribution;
 pub mod batcher;
 pub mod events;
+pub mod faults;
 pub mod health;
 pub mod incident;
 pub mod metrics;
 pub mod queue;
 pub mod shutdown;
+pub mod supervisor;
 pub mod ticket;
 pub mod trace;
 pub mod window;
 
 pub use attribution::AttributionReport;
 pub use events::{EventCode, EventConfig, EventJournal, RecordedEvent, Severity};
+pub use faults::FaultPlan;
 pub use health::{HealthReport, HealthState, SloConfig};
 pub use incident::{DiagnosticSnapshot, IncidentRecorder, IncidentTrigger};
 pub use metrics::{PrecisionSnapshot, ServerMetrics, ShardSnapshot, TelemetrySnapshot};
 pub use pcnn_runtime::Precision;
 pub use queue::Priority;
 pub use shutdown::{DrainPrecision, DrainReport, ShutdownMode};
+pub use supervisor::{BreakerState, RetryPolicy, ShardStatus, SupervisorConfig};
 pub use ticket::{ServeError, Ticket};
 pub use trace::{FlightRecorder, RecordedSpan, SpanOutcome, TraceConfig};
 pub use window::{WindowSnapshot, WindowStats, WINDOWS};
 
-use batcher::{BatcherContext, Request};
-use pcnn_runtime::Engine;
+use batcher::{BatcherContext, Request, RetryCtx};
+use pcnn_runtime::{Engine, ExecProfiler, ExecutableGraph};
 use pcnn_sync::atomic::{AtomicBool, Ordering};
-use pcnn_sync::{thread, Arc};
+use pcnn_sync::{thread, Arc, Mutex};
 use queue::{BoundedQueue, PushError};
 use std::time::{Duration, Instant};
+use supervisor::{ShardSlot, SpawnFn, Supervisor};
 use ticket::TicketCell;
 use trace::ActiveSpan;
 
@@ -167,6 +184,28 @@ pub struct ServeConfig {
     /// forensics feed (queue-full, shed, faults, health transitions,
     /// drains).
     pub events: EventConfig,
+    /// Deadline stamped on every request that [`Server::submit`] /
+    /// [`Server::submit_with`] admits (relative to admission). `None`
+    /// (default) means no deadline unless the caller sets one via
+    /// [`Server::submit_with_deadline`]. An expired request is dropped
+    /// at dequeue — or after coalescing, the last gate before the
+    /// engine — with [`ServeError::DeadlineExceeded`], counted in
+    /// `pcnn_deadline_exceeded_total` and the windowed error rates.
+    pub default_deadline: Option<Duration>,
+    /// Retry policy for transient engine faults ([`RetryPolicy`]): a
+    /// faulted request re-queues at high priority marked to avoid the
+    /// shard that failed it, gated by the per-shard token-bucket
+    /// budget and the health state (no retries while `Overloaded`).
+    /// The default (`max_attempts: 1`) disables retries.
+    pub retry: RetryPolicy,
+    /// Shard supervision knobs ([`SupervisorConfig`]): heartbeat stall
+    /// detection, restart-rate circuit breaking, half-open probing.
+    /// Enabled by default.
+    pub supervision: SupervisorConfig,
+    /// The armed fault-injection plan ([`FaultPlan`]) — deterministic
+    /// chaos for tests and drills. `None` (default) injects nothing
+    /// and costs nothing on the hot path beyond one `Option` check.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -184,6 +223,10 @@ impl Default for ServeConfig {
             windowed: true,
             slo: SloConfig::default(),
             events: EventConfig::default(),
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            supervision: SupervisorConfig::default(),
+            faults: None,
         }
     }
 }
@@ -208,7 +251,14 @@ impl ServeConfig {
                 "\"degraded_burn\":{},\"overloaded_burn\":{},\"min_samples\":{},",
                 "\"shed_low_priority\":{},\"eval_interval_ms\":{:.3}}},",
                 "\"events\":{{\"enabled\":{},\"ring_capacity\":{},",
-                "\"rate_window_ms\":{:.3},\"rate_burst\":{}}}}}"
+                "\"rate_window_ms\":{:.3},\"rate_burst\":{}}},",
+                "\"default_deadline_ms\":{},",
+                "\"retry\":{{\"max_attempts\":{},\"backoff_ms\":{:.3},",
+                "\"budget_ratio\":{},\"budget_burst\":{}}},",
+                "\"supervision\":{{\"enabled\":{},\"stall_timeout_ms\":{:.3},",
+                "\"max_restarts\":{},\"restart_window_s\":{},",
+                "\"open_duration_ms\":{:.3},\"probe_batches\":{}}},",
+                "\"faults_armed\":{}}}"
             ),
             self.queue_capacity,
             self.max_batch,
@@ -233,6 +283,21 @@ impl ServeConfig {
             self.events.ring_capacity,
             self.events.rate_window.as_secs_f64() * 1e3,
             self.events.rate_burst,
+            match self.default_deadline {
+                Some(d) => format!("{:.3}", d.as_secs_f64() * 1e3),
+                None => "null".to_string(),
+            },
+            self.retry.max_attempts,
+            self.retry.backoff.as_secs_f64() * 1e3,
+            self.retry.budget_ratio,
+            self.retry.budget_burst,
+            self.supervision.enabled,
+            self.supervision.stall_timeout.as_secs_f64() * 1e3,
+            self.supervision.max_restarts,
+            self.supervision.restart_window.as_secs_f64(),
+            self.supervision.open_duration.as_secs_f64() * 1e3,
+            self.supervision.probe_batches,
+            self.faults.is_some(),
         )
     }
 }
@@ -258,14 +323,22 @@ fn resolve_shards(requested: usize, engine_threads: usize) -> usize {
 /// [`Server::submit`] concurrently. Dropping the server performs a
 /// drain shutdown.
 pub struct Server {
-    engines: Vec<Arc<Engine>>,
+    supervisor: Arc<Supervisor>,
     queue: Arc<BoundedQueue<Request>>,
     metrics: Arc<ServerMetrics>,
     recorder: Arc<FlightRecorder>,
-    health: health::HealthEngine,
+    health: Arc<health::HealthEngine>,
     incidents: Arc<IncidentRecorder>,
     abort: Arc<AtomicBool>,
-    batchers: Vec<thread::JoinHandle<()>>,
+    /// The compiled graph shared by every shard (and every respawned
+    /// engine) — the admission-time precision check reads this instead
+    /// of locking a shard slot.
+    graph: Arc<ExecutableGraph>,
+    /// The execution profiler shared by every shard, held directly so
+    /// rendering the exec profile never pins a (possibly dead) engine.
+    profiler: Arc<ExecProfiler>,
+    shards: usize,
+    finished: bool,
     config: ServeConfig,
 }
 
@@ -287,6 +360,8 @@ impl Server {
             config.precision
         );
         let shards = resolve_shards(config.shards, engine.threads());
+        let graph = engine.shared_graph();
+        let profiler = engine.profiler_handle();
         let engines: Vec<Arc<Engine>> = if shards == 1 {
             vec![Arc::new(engine)]
         } else {
@@ -310,61 +385,122 @@ impl Server {
         let recorder = Arc::new(recorder);
         let incidents = Arc::new(IncidentRecorder::new(
             &config,
-            engines.clone(),
+            profiler.clone(),
+            shards,
             metrics.clone(),
             recorder.clone(),
         ));
-        let health =
-            health::HealthEngine::new(config.slo.clone()).with_incidents(incidents.clone());
+        let health = Arc::new(
+            health::HealthEngine::new(config.slo.clone()).with_incidents(incidents.clone()),
+        );
         let abort = Arc::new(AtomicBool::new(false));
-        let batchers = engines
-            .iter()
+        let slots: Vec<Arc<ShardSlot>> = engines
+            .into_iter()
             .enumerate()
-            .map(|(i, engine)| {
+            .map(|(i, engine)| ShardSlot::new(i, engine, &config.retry))
+            .collect();
+        let delayed = Arc::new(Mutex::new(Vec::new()));
+        // The spawn hook: everything a batcher generation needs, bound
+        // once here so the supervisor can respawn shards without ever
+        // constructing a `BatcherContext` itself.
+        let spawn: SpawnFn = {
+            let queue = queue.clone();
+            let metrics = metrics.clone();
+            let recorder = recorder.clone();
+            let incidents = incidents.clone();
+            let abort = abort.clone();
+            let health = health.clone();
+            let faults = config.faults.clone();
+            let retry = (config.retry.max_attempts > 1).then(|| RetryCtx {
+                policy: config.retry.clone(),
+                delayed: config.supervision.enabled.then(|| delayed.clone()),
+            });
+            let max_batch = config.max_batch;
+            let max_wait = config.max_wait;
+            Box::new(move |slot: Arc<ShardSlot>, generation: u64| {
+                let engine = slot.engine.lock().expect("slot engine poisoned").clone();
+                let index = slot.index;
                 let ctx = BatcherContext {
-                    engine: engine.clone(),
+                    engine,
                     queue: queue.clone(),
-                    shard: metrics.shard(i).clone(),
-                    shard_index: i,
+                    shard: metrics.shard(index).clone(),
+                    shard_index: index,
                     metrics: metrics.clone(),
                     recorder: recorder.clone(),
                     incidents: incidents.clone(),
                     abort: abort.clone(),
-                    max_batch: config.max_batch,
-                    max_wait: config.max_wait,
+                    slot: Arc::clone(&slot),
+                    generation,
+                    health: health.clone(),
+                    faults: faults.clone(),
+                    shards_total: shards,
+                    retry: retry.clone(),
+                    max_batch,
+                    max_wait,
                 };
                 thread::Builder::new()
-                    .name(format!("pcnn-serve-batcher-{i}"))
+                    .name(format!("pcnn-serve-batcher-{index}"))
                     .spawn(move || batcher::run_batcher(ctx))
                     .expect("spawn batcher thread")
             })
-            .collect();
+        };
+        for slot in &slots {
+            let handle = spawn(Arc::clone(slot), 0);
+            *slot.handle.lock().expect("slot handle poisoned") = Some(handle);
+        }
+        let supervisor = Supervisor::start(
+            config.supervision.clone(),
+            slots,
+            delayed,
+            queue.clone(),
+            metrics.clone(),
+            incidents.clone(),
+            spawn,
+        );
         Server {
-            engines,
+            supervisor,
             queue,
             metrics,
             recorder,
             health,
             incidents,
             abort,
-            batchers,
+            graph,
+            profiler,
+            shards,
+            finished: false,
             config,
         }
     }
 
-    /// Shard 0's engine (the only engine when `shards == 1`).
-    pub fn engine(&self) -> &Engine {
-        &self.engines[0]
+    /// Shard 0's current engine (the only engine when `shards == 1`).
+    /// An `Arc` clone rather than a borrow: the supervisor may replace
+    /// a shard's engine at any time, and the clone stays valid across a
+    /// restart (it just points at the retired pool).
+    pub fn engine(&self) -> Arc<Engine> {
+        self.engine_shard(0)
     }
 
     /// Number of engine shards serving the queue.
     pub fn shards(&self) -> usize {
-        self.engines.len()
+        self.shards
     }
 
-    /// Shard `i`'s engine.
-    pub fn engine_shard(&self, i: usize) -> &Engine {
-        &self.engines[i]
+    /// Shard `i`'s current engine (see [`Server::engine`] on why this
+    /// is an `Arc` clone).
+    pub fn engine_shard(&self, i: usize) -> Arc<Engine> {
+        self.supervisor.slots()[i]
+            .engine
+            .lock()
+            .expect("slot engine poisoned")
+            .clone()
+    }
+
+    /// The supervision status of shard `i`: batcher generation, restart
+    /// count, circuit-breaker state, registered in-flight requests, and
+    /// available retry tokens.
+    pub fn shard_status(&self, i: usize) -> ShardStatus {
+        self.supervisor.status(i)
     }
 
     /// The configuration the server was started with.
@@ -434,7 +570,7 @@ impl Server {
             "pcnn_build_info{{version=\"{}\",simd=\"{}\",shards=\"{}\",precision=\"{}\"}} 1\n",
             env!("CARGO_PKG_VERSION"),
             pcnn_tensor::simd::active().label(),
-            self.engines.len(),
+            self.shards,
             self.config.precision.label(),
         ));
         out.push_str("# HELP pcnn_uptime_seconds Seconds since the server started.\n");
@@ -487,8 +623,19 @@ impl Server {
             "pcnn_trace_spans_dropped_total {}\n",
             self.recorder.spans_dropped()
         ));
-        if self.engines[0].profiler().is_enabled() {
-            out.push_str(&self.engines[0].exec_profile().render_prometheus());
+        out.push_str(
+            "# HELP pcnn_shard_breaker_state Circuit breaker: 0 closed, 1 open, 2 half-open.\n",
+        );
+        out.push_str("# TYPE pcnn_shard_breaker_state gauge\n");
+        for i in 0..self.shards {
+            let status = self.supervisor.status(i);
+            out.push_str(&format!(
+                "pcnn_shard_breaker_state{{shard=\"{i}\"}} {}\n",
+                status.breaker.code()
+            ));
+        }
+        if self.profiler.is_enabled() {
+            out.push_str(&self.profiler.snapshot().render_prometheus());
         }
         out
     }
@@ -528,7 +675,32 @@ impl Server {
         priority: Priority,
         precision: Precision,
     ) -> Result<Ticket, ServeError> {
-        if !self.engines[0].supports(precision) {
+        self.submit_inner(input, priority, precision, self.config.default_deadline)
+    }
+
+    /// [`Server::submit_with`] with an explicit per-request deadline
+    /// (relative to now), overriding [`ServeConfig::default_deadline`].
+    /// A request whose deadline elapses before dispatch resolves with
+    /// [`ServeError::DeadlineExceeded`] instead of occupying an engine
+    /// pass its client stopped waiting for.
+    pub fn submit_with_deadline(
+        &self,
+        input: pcnn_tensor::Tensor,
+        priority: Priority,
+        precision: Precision,
+        deadline: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(input, priority, precision, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        input: pcnn_tensor::Tensor,
+        priority: Priority,
+        precision: Precision,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        if !self.graph.supports(precision) {
             return Err(ServeError::PrecisionUnavailable);
         }
         let dims = input.shape();
@@ -563,6 +735,17 @@ impl Server {
             );
             return Err(ServeError::Overloaded);
         }
+        // Injected admission failure: the chaos plan's backpressure
+        // knob, taken after the real gates so it cannot mask them.
+        if self
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.take_queue_full())
+        {
+            self.metrics.rejected.inc();
+            return Err(ServeError::QueueFull);
+        }
         let cell = TicketCell::new();
         let id = self.recorder.begin();
         let span = self.recorder.is_sampled(id).then(|| {
@@ -572,12 +755,18 @@ impl Server {
                 dequeued_ns: 0,
             })
         });
+        let submitted = Instant::now();
         let request = Request {
             input,
             cell: cell.clone(),
-            submitted: Instant::now(),
+            submitted,
             precision,
             span,
+            id,
+            deadline: deadline.map(|d| submitted + d),
+            attempt: 0,
+            avoid_shard: None,
+            bounced: false,
         };
         match self.queue.try_push(request, priority) {
             Ok(()) => {
@@ -605,6 +794,7 @@ impl Server {
     }
 
     fn shutdown_inner(&mut self, mode: ShutdownMode) -> DrainReport {
+        self.finished = true;
         let start = Instant::now();
         let mode_code = match mode {
             ShutdownMode::Drain => 0,
@@ -625,10 +815,28 @@ impl Server {
             self.abort.store(true, Ordering::Release);
         }
         self.queue.close();
-        for handle in self.batchers.drain(..) {
-            let _ = handle.join();
+        // Stop the monitor BEFORE joining batchers: a supervisor that
+        // kept running could respawn a shard the drain is tearing down.
+        self.supervisor.stop_and_join();
+        self.supervisor.join_batchers();
+        // Backoff-parked retries: the queue is closed, so each fails
+        // with the engine fault that caused it — never silently lost.
+        self.supervisor.final_flush();
+        // Tickets a dead shard's registry still holds (breaker open, no
+        // live generation to resolve them).
+        self.supervisor.fail_orphans();
+        // Requests still queued with no batcher left to pop them — only
+        // possible when every shard died (breaker open on a one-shard
+        // server). Fail them as aborted-by-shutdown, attributed to
+        // shard 0 for lack of a better owner.
+        while let Some(r) = self.queue.try_pop() {
+            let shard = self.metrics.shard(0);
+            shard.aborted.inc();
+            shard.precision(r.precision).aborted.inc();
+            shard.window_aborted(r.precision);
+            r.cell.complete(Err(ServeError::Aborted));
         }
-        let shards = self.engines.len();
+        let shards = self.shards;
         let precisions = Precision::ALL
             .iter()
             .map(|&p| {
@@ -637,12 +845,16 @@ impl Server {
                     completed: 0,
                     failed: 0,
                     aborted: 0,
+                    expired: 0,
+                    cancelled: 0,
                 };
                 for i in 0..shards {
                     let pm = self.metrics.shard(i).precision(p);
                     dp.completed += pm.completed.get();
                     dp.failed += pm.failed.get();
                     dp.aborted += pm.aborted.get();
+                    dp.expired += pm.expired.get();
+                    dp.cancelled += pm.cancelled.get();
                 }
                 dp
             })
@@ -652,6 +864,8 @@ impl Server {
             completed: self.metrics.completed(),
             aborted: self.metrics.aborted(),
             failed: self.metrics.failed(),
+            expired: self.metrics.expired(),
+            cancelled: self.metrics.cancelled(),
             rejected_at_shutdown: self.metrics.rejected_shutdown.get(),
             precisions,
             spans: self.recorder.spans(),
@@ -674,7 +888,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if !self.batchers.is_empty() {
+        if !self.finished {
             let _ = self.shutdown_inner(ShutdownMode::Drain);
         }
     }

@@ -353,6 +353,11 @@ pub struct PrecisionMetrics {
     pub failed: Counter,
     /// Requests of this precision aborted by shutdown.
     pub aborted: Counter,
+    /// Requests of this precision whose deadline elapsed before
+    /// dispatch.
+    pub expired: Counter,
+    /// Requests of this precision cancelled by their clients.
+    pub cancelled: Counter,
     /// Batches of this precision dispatched to the engine.
     pub batches: Counter,
     /// Total images across this precision's dispatched batches.
@@ -402,6 +407,15 @@ pub struct ShardMetrics {
     pub aborted: Counter,
     /// Requests failed because their chunk's engine pass panicked.
     pub failed: Counter,
+    /// Requests dropped because their deadline elapsed before
+    /// dispatch (`pcnn_deadline_exceeded_total`).
+    pub expired: Counter,
+    /// Requests whose client cancelled the ticket before dispatch
+    /// (`pcnn_requests_cancelled_total`).
+    pub cancelled: Counter,
+    /// Transient engine faults this shard re-queued for another shard
+    /// under the retry policy (`pcnn_retries_total`).
+    pub retries: Counter,
     /// Batches dispatched to the engine.
     pub batches: Counter,
     /// Total images across dispatched batches.
@@ -441,6 +455,9 @@ impl ShardMetrics {
             completed: Counter::default(),
             aborted: Counter::default(),
             failed: Counter::default(),
+            expired: Counter::default(),
+            cancelled: Counter::default(),
+            retries: Counter::default(),
             batches: Counter::default(),
             batched_images: Counter::default(),
             queue_wait: LogHistogram::new(),
@@ -497,6 +514,9 @@ impl ShardMetrics {
             completed: self.completed.get(),
             aborted: self.aborted.get(),
             failed: self.failed.get(),
+            expired: self.expired.get(),
+            cancelled: self.cancelled.get(),
+            retries: self.retries.get(),
             batches,
             batched_images,
             mean_batch: if batches == 0 {
@@ -534,6 +554,9 @@ pub struct ServerMetrics {
     /// Low-priority requests shed by the health engine while the
     /// server was `Overloaded` (the opt-in shedding hook).
     pub shed: Counter,
+    /// Batcher generations the supervisor tore down and respawned
+    /// (`pcnn_shard_restarts_total`).
+    pub shard_restarts: Counter,
     events: Arc<EventJournal>,
     shards: Vec<Arc<ShardMetrics>>,
     started: Instant,
@@ -567,6 +590,7 @@ impl ServerMetrics {
             queue_depth: Gauge::default(),
             queue_depth_hwm: Watermark::default(),
             shed: Counter::default(),
+            shard_restarts: Counter::default(),
             events: Arc::new(EventJournal::new(&events, started)),
             shards: (0..shards.max(1))
                 .map(|_| Arc::new(ShardMetrics::with_epoch(started, windowed)))
@@ -701,6 +725,21 @@ impl ServerMetrics {
         self.shards.iter().map(|s| s.failed.get()).sum()
     }
 
+    /// Requests expired at their deadline, across every shard.
+    pub fn expired(&self) -> u64 {
+        self.shards.iter().map(|s| s.expired.get()).sum()
+    }
+
+    /// Requests cancelled by their clients, across every shard.
+    pub fn cancelled(&self) -> u64 {
+        self.shards.iter().map(|s| s.cancelled.get()).sum()
+    }
+
+    /// Retries re-queued under the retry policy, across every shard.
+    pub fn retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.retries.get()).sum()
+    }
+
     /// A point-in-time reading of every metric: the shard histograms
     /// merge ([`LogHistogram::merge_from`]) into the server-wide
     /// percentiles, and the per-shard breakdown rides along. The merged
@@ -723,12 +762,15 @@ impl ServerMetrics {
             .map(|&p| {
                 let lat = LogHistogram::new();
                 let (mut completed, mut failed, mut aborted) = (0u64, 0u64, 0u64);
+                let (mut expired, mut cancelled) = (0u64, 0u64);
                 let (mut batches, mut batched_images) = (0u64, 0u64);
                 for shard in &self.shards {
                     let pm = shard.precision(p);
                     completed += pm.completed.get();
                     failed += pm.failed.get();
                     aborted += pm.aborted.get();
+                    expired += pm.expired.get();
+                    cancelled += pm.cancelled.get();
                     batches += pm.batches.get();
                     batched_images += pm.batched_images.get();
                     lat.merge_from(&pm.latency);
@@ -738,6 +780,8 @@ impl ServerMetrics {
                     completed,
                     failed,
                     aborted,
+                    expired,
+                    cancelled,
                     batches,
                     mean_batch: if batches == 0 {
                         0.0
@@ -753,6 +797,9 @@ impl ServerMetrics {
         let completed: u64 = shards.iter().map(|s| s.completed).sum();
         let aborted: u64 = shards.iter().map(|s| s.aborted).sum();
         let failed: u64 = shards.iter().map(|s| s.failed).sum();
+        let expired: u64 = shards.iter().map(|s| s.expired).sum();
+        let cancelled: u64 = shards.iter().map(|s| s.cancelled).sum();
+        let retries: u64 = shards.iter().map(|s| s.retries).sum();
         let batches: u64 = shards.iter().map(|s| s.batches).sum();
         let batched_images: u64 = shards.iter().map(|s| s.batched_images).sum();
         let inflight_batches: u64 = shards.iter().map(|s| s.inflight_batches).sum();
@@ -764,6 +811,10 @@ impl ServerMetrics {
             rejected_shutdown: self.rejected_shutdown.get(),
             aborted,
             failed,
+            expired,
+            cancelled,
+            retries,
+            shard_restarts: self.shard_restarts.get(),
             queue_depth: self.queue_depth.get(),
             queue_depth_hwm: self.queue_depth_hwm.peek(),
             shed: self.shed.get(),
@@ -865,9 +916,16 @@ impl ServerMetrics {
             "counter",
             self.shed.get(),
         );
+        simple(
+            &mut o,
+            "pcnn_shard_restarts_total",
+            "Batcher generations torn down and respawned by the supervisor.",
+            "counter",
+            self.shard_restarts.get(),
+        );
 
         type ShardCounter = fn(&ShardMetrics) -> u64;
-        let per_shard: [(&str, &str, &str, ShardCounter); 6] = [
+        let per_shard: [(&str, &str, &str, ShardCounter); 9] = [
             (
                 "pcnn_requests_completed_total",
                 "Requests fulfilled with an output.",
@@ -885,6 +943,24 @@ impl ServerMetrics {
                 "Requests aborted by shutdown.",
                 "counter",
                 |s| s.aborted.get(),
+            ),
+            (
+                "pcnn_deadline_exceeded_total",
+                "Requests dropped because their deadline elapsed before dispatch.",
+                "counter",
+                |s| s.expired.get(),
+            ),
+            (
+                "pcnn_requests_cancelled_total",
+                "Requests cancelled by their clients before dispatch.",
+                "counter",
+                |s| s.cancelled.get(),
+            ),
+            (
+                "pcnn_retries_total",
+                "Transient engine faults re-queued for another shard under the retry policy.",
+                "counter",
+                |s| s.retries.get(),
             ),
             (
                 "pcnn_batches_dispatched_total",
@@ -1193,6 +1269,16 @@ pub struct TelemetrySnapshot {
     pub aborted: u64,
     /// Requests failed by engine faults (a chunk pass panicked).
     pub failed: u64,
+    /// Requests dropped because their deadline elapsed before
+    /// dispatch.
+    pub expired: u64,
+    /// Requests whose client cancelled the ticket before dispatch.
+    pub cancelled: u64,
+    /// Transient faults re-queued for another shard under the retry
+    /// policy.
+    pub retries: u64,
+    /// Batcher generations torn down and respawned by the supervisor.
+    pub shard_restarts: u64,
     /// Requests queued at snapshot time (sampled at push/pop).
     pub queue_depth: u64,
     /// Highest queue depth observed since the last explicit reset
@@ -1260,6 +1346,10 @@ pub struct PrecisionSnapshot {
     pub failed: u64,
     /// Requests of this precision aborted by shutdown.
     pub aborted: u64,
+    /// Requests of this precision expired at their deadline.
+    pub expired: u64,
+    /// Requests of this precision cancelled by their clients.
+    pub cancelled: u64,
     /// Batches of this precision dispatched.
     pub batches: u64,
     /// Mean images per dispatched batch.
@@ -1278,7 +1368,7 @@ impl PrecisionSnapshot {
         format!(
             concat!(
                 "{{\"precision\":\"{}\",\"completed\":{},\"failed\":{},",
-                "\"aborted\":{},\"batches\":{},",
+                "\"aborted\":{},\"expired\":{},\"cancelled\":{},\"batches\":{},",
                 "\"mean_batch\":{:.3},",
                 "\"latency_ms\":{{\"p50\":{:.6},\"p99\":{:.6},\"mean\":{:.6}}}}}"
             ),
@@ -1286,6 +1376,8 @@ impl PrecisionSnapshot {
             self.completed,
             self.failed,
             self.aborted,
+            self.expired,
+            self.cancelled,
             self.batches,
             self.mean_batch,
             ms(self.latency_p50),
@@ -1306,6 +1398,12 @@ pub struct ShardSnapshot {
     pub aborted: u64,
     /// Requests this shard failed on engine faults.
     pub failed: u64,
+    /// Requests this shard expired at their deadline.
+    pub expired: u64,
+    /// Requests this shard dropped as client-cancelled.
+    pub cancelled: u64,
+    /// Transient faults this shard re-queued for retry elsewhere.
+    pub retries: u64,
     /// Batches this shard dispatched.
     pub batches: u64,
     /// Total images across this shard's dispatched batches.
@@ -1332,6 +1430,7 @@ impl ShardSnapshot {
         format!(
             concat!(
                 "{{\"shard\":{},\"completed\":{},\"aborted\":{},\"failed\":{},",
+                "\"expired\":{},\"cancelled\":{},\"retries\":{},",
                 "\"batches\":{},\"batched_images\":{},\"inflight_batches\":{},",
                 "\"mean_batch\":{:.3},",
                 "\"queue_wait_ms\":{{\"p50\":{:.6},\"p99\":{:.6}}},",
@@ -1342,6 +1441,9 @@ impl ShardSnapshot {
             self.completed,
             self.aborted,
             self.failed,
+            self.expired,
+            self.cancelled,
+            self.retries,
             self.batches,
             self.batched_images,
             self.inflight_batches,
@@ -1371,6 +1473,13 @@ impl std::fmt::Display for TelemetrySnapshot {
             self.aborted,
             self.failed
         )?;
+        if self.expired + self.cancelled + self.retries + self.shard_restarts > 0 {
+            writeln!(
+                f,
+                "faults:   {} expired, {} cancelled, {} retried, {} shard restart(s)",
+                self.expired, self.cancelled, self.retries, self.shard_restarts
+            )?;
+        }
         writeln!(
             f,
             "batches:  {} dispatched, {:.2} images/batch mean",
@@ -1496,6 +1605,7 @@ impl TelemetrySnapshot {
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"rejected\":{},",
                 "\"rejected_shutdown\":{},\"aborted\":{},\"failed\":{},",
+                "\"expired\":{},\"cancelled\":{},\"retries\":{},\"shard_restarts\":{},",
                 "\"queue_depth\":{},\"queue_depth_hwm\":{},\"shed\":{},",
                 "\"inflight_batches\":{},\"batches\":{},",
                 "\"mean_batch\":{:.3},\"elapsed_s\":{:.6},\"throughput_rps\":{:.3},",
@@ -1511,6 +1621,10 @@ impl TelemetrySnapshot {
             self.rejected_shutdown,
             self.aborted,
             self.failed,
+            self.expired,
+            self.cancelled,
+            self.retries,
+            self.shard_restarts,
             self.queue_depth,
             self.queue_depth_hwm,
             self.shed,

@@ -37,6 +37,11 @@ pub struct DrainPrecision {
     pub failed: u64,
     /// Requests aborted by shutdown at this precision.
     pub aborted: u64,
+    /// Requests whose deadline elapsed before dispatch at this
+    /// precision.
+    pub expired: u64,
+    /// Requests cancelled by their clients at this precision.
+    pub cancelled: u64,
 }
 
 /// What shutdown did, assembled from the final metrics (summed across
@@ -51,6 +56,11 @@ pub struct DrainReport {
     pub aborted: u64,
     /// Requests failed with `EngineFault` over the server's lifetime.
     pub failed: u64,
+    /// Requests whose deadline elapsed before dispatch, over the
+    /// server's lifetime.
+    pub expired: u64,
+    /// Requests cancelled by their clients over the server's lifetime.
+    pub cancelled: u64,
     /// Submissions refused because shutdown had begun.
     pub rejected_at_shutdown: u64,
     /// Per-precision breakdown of the lifetime outcome counts above.
@@ -77,20 +87,22 @@ impl std::fmt::Display for DrainReport {
         write!(
             f,
             "shutdown({:?}): {} served lifetime, {} aborted, {} failed, \
-             {} rejected at shutdown, drained in {:.2} ms",
+             {} expired, {} cancelled, {} rejected at shutdown, drained in {:.2} ms",
             self.mode,
             self.completed,
             self.aborted,
             self.failed,
+            self.expired,
+            self.cancelled,
             self.rejected_at_shutdown,
             self.wall.as_secs_f64() * 1e3
         )?;
         for p in &self.precisions {
-            if p.completed + p.failed + p.aborted > 0 {
+            if p.completed + p.failed + p.aborted + p.expired + p.cancelled > 0 {
                 write!(
                     f,
-                    "\n  [{}] {} served, {} aborted, {} failed",
-                    p.precision, p.completed, p.aborted, p.failed
+                    "\n  [{}] {} served, {} aborted, {} failed, {} expired, {} cancelled",
+                    p.precision, p.completed, p.aborted, p.failed, p.expired, p.cancelled
                 )?;
             }
         }

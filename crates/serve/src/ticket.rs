@@ -35,6 +35,21 @@ pub enum ServeError {
     /// submissions are ever shed; retry later or resubmit at
     /// `Priority::High`.
     Overloaded,
+    /// The request's deadline (per-request or
+    /// `ServeConfig::default_deadline`) passed before an engine pass
+    /// ran it. The batcher drops expired requests at dequeue, so an
+    /// expired request never occupies an engine slot.
+    DeadlineExceeded,
+    /// The client abandoned the request via [`Ticket::cancel`] before
+    /// it dispatched; the batcher reclaimed its slot without running
+    /// it.
+    Cancelled,
+    /// The shard holding this request crashed or wedged and its
+    /// supervisor aborted the in-flight work while restarting the
+    /// shard. Distinct from [`ServeError::EngineFault`] (one chunk
+    /// pass panicked, shard kept serving): here the whole failure
+    /// domain went down. Safe to resubmit.
+    ShardFailed,
 }
 
 impl std::fmt::Display for ServeError {
@@ -55,6 +70,16 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Overloaded => {
                 write!(f, "admission shed: server is overloaded (low-priority)")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request dispatched")
+            }
+            ServeError::Cancelled => write!(f, "request cancelled by the client"),
+            ServeError::ShardFailed => {
+                write!(
+                    f,
+                    "shard failed: the serving shard crashed or wedged mid-flight"
+                )
             }
         }
     }
@@ -85,6 +110,14 @@ impl TicketCell {
         }
         drop(slot);
         self.done.notify_all();
+    }
+
+    /// Whether the slot already holds a result. Before dispatch the
+    /// only writer is [`Ticket::cancel`], so a batcher that sees a
+    /// resolved cell at dequeue knows the client abandoned the request
+    /// and reclaims the slot without running it.
+    pub(crate) fn is_resolved(&self) -> bool {
+        self.slot.lock().expect("ticket poisoned").is_some()
     }
 }
 
@@ -149,6 +182,49 @@ impl Ticket {
     pub fn try_wait(&self) -> Option<Result<Tensor, ServeError>> {
         self.cell.slot.lock().expect("ticket poisoned").take()
     }
+
+    /// Abandons the request. When the cancellation wins (the request
+    /// had not resolved yet) this returns `None`, the ticket's cell is
+    /// fulfilled with [`ServeError::Cancelled`], and a batcher that
+    /// dequeues the request later reclaims the slot without dispatching
+    /// it. When the request already resolved, the result is handed back
+    /// as `Some` — a cancel can never lose a completed output silently.
+    ///
+    /// Cancellation after dispatch does not claw the request out of the
+    /// engine: the pass runs to completion and counts as completed in
+    /// telemetry, but the client still observes `Cancelled` (first
+    /// write wins on the cell).
+    pub fn cancel(self) -> Option<Result<Tensor, ServeError>> {
+        let mut slot = self.cell.slot.lock().expect("ticket poisoned");
+        match slot.take() {
+            Some(result) => Some(result),
+            None => {
+                *slot = Some(Err(ServeError::Cancelled));
+                drop(slot);
+                self.cell.done.notify_all();
+                None
+            }
+        }
+    }
+
+    /// [`Ticket::wait_timeout`] wired to the cancel path: waits up to
+    /// `timeout`, and if the deadline passes first the request is
+    /// **cancelled** instead of left live. `wait_timeout` alone gives
+    /// the ticket back with the request still in flight — its eventual
+    /// completion is unobservable unless the caller keeps the ticket —
+    /// so callers that intend to walk away should use this method and
+    /// let the batcher reclaim the slot. Returns the served result when
+    /// it lands before (or races ahead of) the cancellation, otherwise
+    /// `Err(ServeError::Cancelled)`.
+    pub fn wait_timeout_or_cancel(self, timeout: Duration) -> Result<Tensor, ServeError> {
+        match self.wait_timeout(timeout) {
+            Ok(result) => result,
+            Err(ticket) => match ticket.cancel() {
+                Some(result) => result,
+                None => Err(ServeError::Cancelled),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +271,46 @@ mod tests {
         cell.complete(Ok(Tensor::ones(&[1])));
         cell.complete(Err(ServeError::Aborted));
         assert!(ticket.wait().is_ok(), "second write must not clobber");
+    }
+
+    #[test]
+    fn cancel_resolves_the_cell_and_marks_it_reclaimable() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone(), 1);
+        assert!(!cell.is_resolved());
+        assert!(ticket.cancel().is_none(), "nothing had resolved yet");
+        assert!(cell.is_resolved(), "a batcher at dequeue sees the cancel");
+        // The losing batcher-side write is a no-op.
+        cell.complete(Ok(Tensor::ones(&[1])));
+    }
+
+    #[test]
+    fn cancel_after_completion_hands_the_result_back() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone(), 1);
+        cell.complete(Ok(Tensor::ones(&[2])));
+        match ticket.cancel() {
+            Some(Ok(t)) => assert_eq!(t.shape(), &[2]),
+            other => panic!("completed result must survive a late cancel: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_or_cancel_cancels_on_deadline() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone(), 1);
+        let got = ticket.wait_timeout_or_cancel(Duration::from_millis(5));
+        assert_eq!(got, Err(ServeError::Cancelled));
+        assert!(cell.is_resolved(), "the request is not left live");
+    }
+
+    #[test]
+    fn wait_timeout_or_cancel_returns_result_when_served_in_time() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(cell.clone(), 1);
+        cell.complete(Ok(Tensor::zeros(&[3])));
+        let got = ticket.wait_timeout_or_cancel(Duration::from_millis(50));
+        assert_eq!(got.expect("served before the deadline").shape(), &[3]);
     }
 }
 
@@ -263,6 +379,33 @@ mod model_tests {
                 (_, None) => {}
                 (Ok(_), Some(Err(ServeError::Aborted))) | (Err(_), Some(Ok(_))) => {}
                 other => panic!("slot duplicated the consumed result: {other:?}"),
+            }
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    /// Cancel racing the batcher's completion: the client observes
+    /// exactly one outcome, and it is either the served result or
+    /// `Cancelled` — a cancel can never fabricate a third state or
+    /// deadlock the completer.
+    #[test]
+    fn cancel_vs_complete_resolves_exactly_once() {
+        let report = check("ticket-cancel-vs-complete", opts(), || {
+            let cell = TicketCell::new();
+            let ticket = Ticket::new(cell.clone(), 1);
+            let completer = {
+                let cell = cell.clone();
+                thread::spawn(move || cell.complete(Ok(Tensor::ones(&[1]))))
+            };
+            let canceller = thread::spawn(move || ticket.cancel());
+            let won = canceller.join().unwrap();
+            completer.join().unwrap();
+            match won {
+                // Cancel won: the slot holds `Cancelled` for the batcher
+                // to observe at dequeue (or the completer's no-op write).
+                None => {}
+                Some(Ok(_)) => {}
+                Some(other) => panic!("cancel surfaced a result nobody wrote: {other:?}"),
             }
         });
         assert!(report.schedules_run > 0);

@@ -57,10 +57,17 @@ impl Default for TraceConfig {
 pub enum SpanOutcome {
     /// The ticket resolved with an output tensor.
     Completed,
-    /// The engine failed the request ([`crate::ServeError::EngineFault`]).
+    /// The engine failed the request ([`crate::ServeError::EngineFault`]),
+    /// or its shard died mid-flight ([`crate::ServeError::ShardFailed`]).
     Failed,
     /// An abort shutdown resolved the ticket ([`crate::ServeError::Aborted`]).
     Aborted,
+    /// The request's deadline passed before dispatch
+    /// ([`crate::ServeError::DeadlineExceeded`]).
+    Expired,
+    /// The client cancelled the request before dispatch
+    /// ([`crate::ServeError::Cancelled`]).
+    Cancelled,
 }
 
 impl SpanOutcome {
@@ -70,6 +77,8 @@ impl SpanOutcome {
             SpanOutcome::Completed => "completed",
             SpanOutcome::Failed => "failed",
             SpanOutcome::Aborted => "aborted",
+            SpanOutcome::Expired => "expired",
+            SpanOutcome::Cancelled => "cancelled",
         }
     }
 
@@ -78,6 +87,8 @@ impl SpanOutcome {
             SpanOutcome::Completed => 0,
             SpanOutcome::Failed => 1,
             SpanOutcome::Aborted => 2,
+            SpanOutcome::Expired => 3,
+            SpanOutcome::Cancelled => 4,
         }
     }
 
@@ -85,6 +96,8 @@ impl SpanOutcome {
         match code {
             0 => SpanOutcome::Completed,
             1 => SpanOutcome::Failed,
+            3 => SpanOutcome::Expired,
+            4 => SpanOutcome::Cancelled,
             _ => SpanOutcome::Aborted,
         }
     }

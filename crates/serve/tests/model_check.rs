@@ -323,3 +323,48 @@ fn window_histogram_rotation_loss_is_bounded() {
     });
     assert!(report.schedules_run > 0);
 }
+
+#[test]
+fn shutdown_leftover_drain_vs_surviving_batcher_double_serves_nothing() {
+    // The fault-tolerant shutdown path: when a shard died with its
+    // breaker open, `shutdown` closes the queue and then sweeps
+    // whatever is left with `try_pop` — while a surviving shard's
+    // batcher may still be draining the same queue through `pop_wait`.
+    // Under every interleaving, each admitted item must be handed to
+    // exactly one of the two (served by the batcher, or failed as
+    // aborted by the sweep), and the sweep must never hang.
+    let report = check("shutdown-leftover-drain", opts(3_000, 1_000), || {
+        let q = Arc::new(BoundedQueue::new(4));
+        for i in 0..3u32 {
+            q.try_push(i, Priority::Normal).unwrap();
+        }
+        let batcher = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut served = 0usize;
+                loop {
+                    match q.pop_wait(None) {
+                        Pop::Item(_) => served += 1,
+                        Pop::Closed => return served,
+                        Pop::TimedOut => unreachable!("no timeout configured"),
+                    }
+                }
+            })
+        };
+        // The shutdown side: close admissions, join nothing (the
+        // batcher here stands in for a *surviving* shard that exits on
+        // its own), sweep the leftovers.
+        q.close();
+        let mut swept = 0usize;
+        while q.try_pop().is_some() {
+            swept += 1;
+        }
+        let served = batcher.join().unwrap();
+        assert_eq!(
+            served + swept,
+            3,
+            "each admitted item resolves exactly once (served {served}, swept {swept})"
+        );
+    });
+    assert!(report.schedules_run > 0);
+}

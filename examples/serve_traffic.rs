@@ -7,6 +7,7 @@
 //! cargo run --release --example serve_traffic -- --trace      # observability demo
 //! cargo run --release --example serve_traffic -- --attribution # where did the latency go?
 //! cargo run --release --example serve_traffic -- --incident    # black-box forensics demo
+//! cargo run --release --example serve_traffic -- --chaos       # fault-injection drill
 //! ```
 //!
 //! 1. Prunes the VGG-16-topology proxy at n = 2 and compiles it through
@@ -28,8 +29,9 @@ use pcnn::nn::models::{vgg16_proxy, VggProxyConfig};
 use pcnn::runtime::compile::{prune_and_compile, CompileOptions};
 use pcnn::runtime::Engine;
 use pcnn::serve::{
-    AttributionReport, HealthState, IncidentTrigger, ServeConfig, ServeError, Server, ShutdownMode,
-    SloConfig, TelemetrySnapshot, TraceConfig,
+    AttributionReport, BreakerState, EventCode, FaultPlan, HealthState, IncidentTrigger,
+    RetryPolicy, ServeConfig, ServeError, Server, ShutdownMode, SloConfig, SupervisorConfig,
+    TelemetrySnapshot, TraceConfig,
 };
 use pcnn::tensor::Tensor;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -434,9 +436,191 @@ fn incident_demo(smoke: bool, shards: usize) {
     println!("serve_traffic --incident: OK");
 }
 
+/// `--chaos`: the fault-injection drill. A sharded server takes
+/// closed-loop load while the drill injects one batcher crash and one
+/// batcher stall into shard 0; the supervisor must restart the shard
+/// both times (panic detected structurally, stall detected by
+/// heartbeat), every admitted request must resolve exactly once, and
+/// traffic afterwards must run at full parity with the health engine
+/// reporting `Healthy`. The run writes `CHAOS_serve.json` — journal,
+/// telemetry, shard supervision status — for CI to validate.
+fn chaos_demo(smoke: bool, shards: usize) {
+    let hw = VggProxyConfig::default().input_hw;
+    // The drill needs a surviving shard while shard 0 is down.
+    let shards = if shards == 0 { 2 } else { shards.max(2) };
+    let clients = if smoke { 4 } else { 6 };
+    let per_client = if smoke { 12 } else { 40 };
+    let faults = FaultPlan::new();
+    let server = Arc::new(Server::start(
+        build_engine(),
+        ServeConfig {
+            shards,
+            max_batch: (clients / 2).max(4),
+            input_chw: Some([3, hw, hw]),
+            supervision: SupervisorConfig {
+                stall_timeout: Duration::from_millis(300),
+                ..SupervisorConfig::default()
+            },
+            retry: RetryPolicy {
+                max_attempts: 2,
+                budget_ratio: 1.0,
+                ..RetryPolicy::default()
+            },
+            // Lenient on both axes: the drill's handful of attributed
+            // failures must not keep the health engine degraded, so
+            // "recovered" is observable as a plain Healthy read.
+            slo: SloConfig {
+                latency_target: Duration::from_secs(5),
+                availability_target: 0.5,
+                ..SloConfig::default()
+            },
+            faults: Some(faults.clone()),
+            ..ServeConfig::default()
+        },
+    ));
+    println!("\n[chaos] {clients} clients x {per_client} requests across {shards} shards, crash + stall injected into shard 0");
+
+    // --- Phase 1: a batcher crash under load ------------------------------
+    let total = clients * per_client;
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = server.clone();
+            let faults = faults.clone();
+            std::thread::spawn(move || {
+                let (mut ok, mut failed) = (0usize, 0usize);
+                for i in 0..per_client {
+                    if c == 0 && i == per_client / 4 {
+                        faults.crash_batcher(0, 1);
+                    }
+                    let x = random_tensor(&[1, 3, hw, hw], (c * 10_000 + i) as u64);
+                    match server.submit(x).expect("admitted").wait() {
+                        Ok(_) => ok += 1,
+                        Err(ServeError::ShardFailed | ServeError::EngineFault) => failed += 1,
+                        Err(e) => panic!("unexpected outcome: {e}"),
+                    }
+                }
+                (ok, failed)
+            })
+        })
+        .collect();
+    let (ok, failed) = workers
+        .into_iter()
+        .map(|w| w.join().expect("client"))
+        .fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+    assert_eq!(ok + failed, total, "every submit resolved exactly once");
+    assert_eq!(faults.crashes_fired(), 1, "the crash fired under load");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.shard_status(0).restarts < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(server.shard_status(0).restarts >= 1, "crash restart");
+    println!(
+        "crash drill: {ok} completed, {failed} failed with attribution, shard 0 restarted ({:.1} req/s)",
+        total as f64 / start.elapsed().as_secs_f64()
+    );
+
+    // --- Phase 2: a wedged batcher (stall past the heartbeat timeout) -----
+    faults.stall_batcher(0, Duration::from_millis(700));
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while server.shard_status(0).restarts < 2 && Instant::now() < deadline {
+        // Keep traffic flowing so shard 0 trips the armed stall at its
+        // next loop top; stalled-era tickets may fail with attribution.
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                server
+                    .submit(random_tensor(&[1, 3, hw, hw], 7_000_000 + i))
+                    .expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            match t.wait() {
+                Ok(_) | Err(ServeError::ShardFailed) | Err(ServeError::EngineFault) => {}
+                Err(e) => panic!("unexpected outcome: {e}"),
+            }
+        }
+    }
+    assert_eq!(faults.stalls_fired(), 1, "the stall fired");
+    assert!(
+        server.shard_status(0).restarts >= 2,
+        "the wedged batcher was detected by heartbeat and replaced"
+    );
+    println!("stall drill: shard 0 declared wedged and replaced");
+
+    // --- Phase 3: full parity after recovery ------------------------------
+    let after: Vec<_> = (0..clients * 2)
+        .map(|i| {
+            server
+                .submit(random_tensor(&[1, 3, hw, hw], 8_000_000 + i as u64))
+                .expect("admitted")
+        })
+        .collect();
+    for t in after {
+        t.wait().expect("post-recovery traffic completes");
+    }
+    let health = server.health();
+    assert_eq!(
+        health.state,
+        HealthState::Healthy,
+        "health recovered after the drill"
+    );
+    for i in 0..server.shards() {
+        assert_eq!(server.shard_status(i).breaker, BreakerState::Closed);
+    }
+    let journal = server.metrics().events();
+    let restart_events = journal
+        .events()
+        .iter()
+        .filter(|e| e.code == EventCode::ShardRestart)
+        .count();
+    assert!(restart_events >= 2, "both restarts journaled");
+    println!(
+        "recovery: {} post-drill requests served, health {}, {} shard_restart events journaled",
+        clients * 2,
+        health.state,
+        restart_events
+    );
+
+    // --- CHAOS_serve.json for CI ------------------------------------------
+    let snap = server.metrics().snapshot();
+    let statuses: Vec<String> = (0..server.shards())
+        .map(|i| {
+            let s = server.shard_status(i);
+            format!(
+                "{{\"shard\":{},\"generation\":{},\"restarts\":{},\"breaker\":\"{}\"}}",
+                s.shard, s.generation, s.restarts, s.breaker
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"crashes_fired\":{},\"stalls_fired\":{},\"health\":\"{}\",\"shards\":[{}],\"telemetry\":{},\"events\":{}}}",
+        faults.crashes_fired(),
+        faults.stalls_fired(),
+        health.state,
+        statuses.join(","),
+        snap.to_json(),
+        journal.to_json(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/CHAOS_serve.json");
+    std::fs::write(path, &json).expect("write CHAOS_serve.json");
+    println!("chaos drill report written to {path}");
+
+    let report = match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(ShutdownMode::Drain),
+        Err(_) => unreachable!("all clients joined"),
+    };
+    println!("\n{report}");
+    assert_eq!(report.completed, snap.completed);
+    println!("serve_traffic --chaos: OK");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let shards = shards_arg();
+    if std::env::args().any(|a| a == "--chaos") {
+        chaos_demo(smoke, shards);
+        return;
+    }
     if std::env::args().any(|a| a == "--incident") {
         incident_demo(smoke, shards);
         return;

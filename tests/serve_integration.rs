@@ -274,7 +274,9 @@ fn abort_drain_report_carries_complete_span_timelines() {
                 assert_eq!(span.executed_ns, span.completed_ns);
                 span_aborted += 1;
             }
-            SpanOutcome::Failed => panic!("no request may fail here"),
+            SpanOutcome::Failed | SpanOutcome::Expired | SpanOutcome::Cancelled => {
+                panic!("no request may fail, expire, or cancel here")
+            }
         }
     }
     assert_eq!(span_completed, report.completed);
